@@ -1,0 +1,37 @@
+// Section III-A claims: the broadcast tree vs a conventional 2D mesh over
+// the same floorplan - hop counts, link counts, and how the maximum
+// distance grows per added level.
+#include "bench/bench_util.h"
+
+using namespace lnuca;
+
+int main(int, char**)
+{
+    text_table t("Search broadcast tree vs NUCA-style 2D mesh (Section III-A)");
+    t.set_header({"levels", "tiles", "tree links", "tree max hops",
+                  "mesh links", "mesh max hops", "mesh/tree links",
+                  "exit dist (repl.)", "3-network links"});
+    for (unsigned levels = 2; levels <= 8; ++levels) {
+        const fabric::geometry geo(levels);
+        const unsigned tree_links = geo.search_link_count();
+        const unsigned mesh_links = geo.mesh_equivalent_link_count();
+        const unsigned total =
+            tree_links + geo.transport_link_count() + geo.replacement_link_count();
+        t.add_row({std::to_string(levels), std::to_string(geo.tile_count()),
+                   std::to_string(tree_links),
+                   std::to_string(geo.search_max_distance()),
+                   std::to_string(mesh_links),
+                   std::to_string(geo.mesh_equivalent_max_distance()),
+                   text_table::num(double(mesh_links) / tree_links, 2),
+                   std::to_string(geo.replacement_exit_distance()),
+                   std::to_string(total)});
+    }
+    t.print();
+
+    std::printf(
+        "Paper claims: a 2D mesh doubles the hops to reach all tiles, needs\n"
+        ">50%% more links than the broadcast tree, and adds 2 hops per level\n"
+        "(the tree adds 1). The replacement exit distance grows by 3 hops\n"
+        "per added level.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the table/figure bench binaries: command-line run
+// length overrides, suite matrices, and group (Int/FP) aggregation.
+#pragma once
+
+#include "src/lnuca.h"
+
+#include <string>
+#include <vector>
+
+namespace lnuca::bench {
+
+struct run_options {
+    std::uint64_t instructions = hier::default_instructions;
+    std::uint64_t warmup = hier::default_warmup;
+    std::uint64_t seed = 1;
+};
+
+inline run_options parse_options(int argc, char** argv)
+{
+    const cli_args args(argc, argv);
+    run_options opt;
+    opt.instructions = args.get_u64("instructions", opt.instructions);
+    opt.warmup = args.get_u64("warmup", opt.warmup);
+    opt.seed = args.get_u64("seed", opt.seed);
+    return opt;
+}
+
+/// Harmonic-mean IPC over a workload group (the paper's aggregation).
+inline double group_ipc(const std::vector<hier::run_result>& results, bool fp)
+{
+    std::vector<double> values;
+    for (const auto& r : results)
+        if (r.floating_point == fp)
+            values.push_back(r.ipc);
+    return harmonic_mean(values);
+}
+
+/// Arithmetic mean of a per-benchmark metric over a group.
+template <typename Fn>
+double group_mean(const std::vector<hier::run_result>& results, bool fp, Fn fn)
+{
+    std::vector<double> values;
+    for (const auto& r : results)
+        if (r.floating_point == fp)
+            values.push_back(fn(r));
+    return arithmetic_mean(values);
+}
+
+/// Total energy summed over a group (J).
+inline double group_energy(const std::vector<hier::run_result>& results, bool fp)
+{
+    double total = 0;
+    for (const auto& r : results)
+        if (r.floating_point == fp)
+            total += r.energy.total();
+    return total;
+}
+
+} // namespace lnuca::bench

@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks: raw throughput of the simulator's
+// building blocks (tag array, MSHR file, fabric cycle, mesh cycle, branch
+// predictor, workload generation) and of whole-system simulation.
+#include "src/lnuca.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lnuca;
+
+namespace {
+
+void bm_tag_array_lookup(benchmark::State& state)
+{
+    mem::tag_array tags({32_KiB, 4, 32, "lru", 1});
+    rng rng(7);
+    for (addr_t a = 0; a < 32_KiB; a += 32)
+        tags.install(a, false);
+    for (auto _ : state) {
+        const addr_t addr = rng.below(64_KiB);
+        benchmark::DoNotOptimize(tags.lookup(addr));
+    }
+}
+BENCHMARK(bm_tag_array_lookup);
+
+void bm_mshr_allocate_release(benchmark::State& state)
+{
+    mem::mshr_file mshrs(16, 4);
+    addr_t a = 0;
+    for (auto _ : state) {
+        mshrs.allocate(a, 0);
+        benchmark::DoNotOptimize(mshrs.release(a));
+        a += 64;
+    }
+}
+BENCHMARK(bm_mshr_allocate_release);
+
+void bm_branch_predictor(benchmark::State& state)
+{
+    cpu::combined_predictor predictor;
+    rng rng(3);
+    for (auto _ : state) {
+        const addr_t pc = 0x400000 + 4 * rng.below(4096);
+        const bool taken = rng.chance(0.6);
+        benchmark::DoNotOptimize(predictor.predict(pc));
+        predictor.update(pc, taken);
+    }
+}
+BENCHMARK(bm_branch_predictor);
+
+void bm_workload_generation(benchmark::State& state)
+{
+    auto stream = wl::make_stream(*wl::find_spec2006("429.mcf"), 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stream->next());
+}
+BENCHMARK(bm_workload_generation);
+
+void bm_fabric_idle_cycle(benchmark::State& state)
+{
+    mem::txn_id_source ids;
+    fabric::fabric_config config;
+    config.levels = unsigned(state.range(0));
+    fabric::lnuca_cache fabric(config, ids);
+    cycle_t now = 0;
+    for (auto _ : state)
+        fabric.tick(now++);
+}
+BENCHMARK(bm_fabric_idle_cycle)->Arg(2)->Arg(3)->Arg(4);
+
+void bm_mesh_cycle(benchmark::State& state)
+{
+    noc::mesh_network mesh({4, 4}, 8, 5);
+    // Keep a steady trickle of traffic in flight.
+    std::uint64_t packet = 1;
+    cycle_t now = 0;
+    for (auto _ : state) {
+        auto& router = mesh.at({0, 0});
+        if (router.local_can_accept(0)) {
+            noc::flit f;
+            f.packet_id = packet++;
+            f.dst = {int(packet % 8), int(1 + packet % 4)};
+            router.local_inject(0, f);
+        }
+        for (int x = 0; x < 8; ++x)
+            for (int y = 0; y < 5; ++y)
+                while (mesh.at({x, y}).local_eject())
+                    ;
+        mesh.step(now++);
+    }
+}
+BENCHMARK(bm_mesh_cycle);
+
+void bm_system_simulation(benchmark::State& state)
+{
+    // Whole-system throughput in simulated instructions per wall second.
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        hier::system sys(hier::presets::lnuca_l3(3),
+                         *wl::find_spec2006("401.bzip2"), 1);
+        state.ResumeTiming();
+        const auto r = sys.run(20000, 2000);
+        instructions += r.instructions;
+    }
+    state.SetItemsProcessed(std::int64_t(instructions));
+}
+BENCHMARK(bm_system_simulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

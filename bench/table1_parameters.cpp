@@ -1,0 +1,79 @@
+// Table I: architectural and network parameters, dumped from the presets
+// so the configuration used by every other bench is auditable.
+#include "bench/bench_util.h"
+
+using namespace lnuca;
+
+namespace {
+
+std::string cache_line(const mem::cache_config& c)
+{
+    return format_size(c.size_bytes) + ", " + std::to_string(c.ways) +
+           " way, " + std::to_string(c.block_bytes) + "B block, " +
+           std::to_string(c.completion_latency) + "-cycle completion, " +
+           std::to_string(c.initiation_interval) + "-cycle initiation, " +
+           (c.write_through ? "write-through" : "copy-back") + ", " +
+           std::to_string(c.ports) + " port(s)";
+}
+
+} // namespace
+
+int main(int, char**)
+{
+    const auto conventional = hier::presets::l2_256kb();
+    const auto lnuca_cfg = hier::presets::lnuca_l3(3);
+    const auto dnuca_cfg = hier::presets::dnuca_4x8();
+    const auto& core = conventional.core;
+
+    text_table t("Table I: architectural and network parameters");
+    t.set_header({"parameter", "value"});
+    t.add_row({"fetch/decode width",
+               std::to_string(core.fetch_width) + ", up to " +
+                   std::to_string(core.max_taken_per_fetch) + " taken branches"});
+    t.add_row({"issue width", std::to_string(core.int_mem_issue_width) +
+                                  "(INT or MEM)+" +
+                                  std::to_string(core.fp_issue_width) + " FP"});
+    t.add_row({"commit width", std::to_string(core.commit_width)});
+    t.add_row({"ROB/LSQ size", std::to_string(core.rob_size) + "/" +
+                                   std::to_string(core.lsq_size)});
+    t.add_row({"INT/FP/MEM IW size", std::to_string(core.int_window) + "/" +
+                                         std::to_string(core.fp_window) + "/" +
+                                         std::to_string(core.mem_window)});
+    t.add_row({"store buffer size", std::to_string(core.store_buffer_size)});
+    t.add_row({"branch predictor", "bimodal + gshare, 16 bit"});
+    t.add_row({"branch mispred. delay", std::to_string(core.mispredict_penalty)});
+    t.add_row({"TLB miss latency", std::to_string(core.tlb_miss_latency)});
+    t.add_row({"MSHR L1/L2/L3", std::to_string(conventional.l1.mshr_entries) +
+                                    "/" +
+                                    std::to_string(conventional.l2.mshr_entries) +
+                                    "/" +
+                                    std::to_string(conventional.l3.mshr_entries)});
+    t.add_row({"MSHR secondary misses",
+               std::to_string(conventional.l1.mshr_secondary)});
+    t.add_row({"L1 cache / r-tile", cache_line(conventional.l1)});
+    t.add_row({"L2 cache", cache_line(conventional.l2)});
+    t.add_row({"L3 cache", cache_line(conventional.l3)});
+    t.add_row({"L-NUCA tile",
+               format_size(lnuca_cfg.fabric.tile.size_bytes) + ", " +
+                   std::to_string(lnuca_cfg.fabric.tile.ways) + " way, " +
+                   std::to_string(lnuca_cfg.fabric.tile.block_bytes) +
+                   "B block, 1-cycle completion and initiation"});
+    t.add_row({"L-NUCA MSHR", std::to_string(lnuca_cfg.fabric.mshr_entries)});
+    t.add_row({"L-NUCA buffers", std::to_string(lnuca_cfg.fabric.tile.buffer_depth) +
+                                     " entries per link (physical)"});
+    t.add_row({"D-NUCA", format_size(dnuca_cfg.dnuca.bank_bytes) + " banks, " +
+                             std::to_string(dnuca_cfg.dnuca.bank_sets) +
+                             " sparse sets, " +
+                             std::to_string(dnuca_cfg.dnuca.rows) + " rows, " +
+                             std::to_string(
+                                 dnuca_cfg.dnuca.router.virtual_channels) +
+                             " VCs, 1-5 flits/message"});
+    t.add_row({"main memory",
+               "first chunk " + std::to_string(conventional.memory.first_chunk_latency) +
+                   " cycles, " +
+                   std::to_string(conventional.memory.inter_chunk_latency) +
+                   "-cycle inter chunk, " +
+                   std::to_string(conventional.memory.wire_bytes) + "B wires"});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Table II: areas of the conventional L1+L2 against the L-NUCA
+// configurations, including the network area share.
+#include "bench/bench_util.h"
+
+using namespace lnuca;
+
+int main(int, char**)
+{
+    text_table t("Table II: conventional and L-NUCA areas (minicacti, 32nm)");
+    t.set_header({"config", "L1 (mm2)", "storage (mm2)", "network (mm2)",
+                  "total (mm2)", "network %", "vs L2-256KB"});
+
+    const auto conventional = power::conventional_l1_l2_area();
+    auto add = [&](const std::string& name, const power::area_report& r) {
+        t.add_row({name, text_table::num(r.l1_mm2, 3),
+                   text_table::num(r.storage_mm2, 3),
+                   text_table::num(r.network_mm2, 3),
+                   text_table::num(r.total(), 3),
+                   text_table::pct(r.network_percent(), 2),
+                   text_table::pct(100.0 * (r.total() / conventional.total() - 1.0),
+                                   1)});
+    };
+
+    add("L2-256KB", conventional);
+    for (unsigned levels = 2; levels <= 4; ++levels)
+        add(hier::lnuca_config_name(levels), power::lnuca_area(levels));
+    t.print();
+
+    std::printf("Paper reference (Table II):\n"
+                "  L2-256KB 0.91 mm2 | LN2-72KB 0.46 (14.01%% net) | "
+                "LN3-144KB 0.86 (18.8%% net) | LN4-248KB 1.59 (19.02%% net)\n"
+                "  LN3-144KB saves 5.3%% of area versus L2-256KB.\n");
+
+    // Fig. 5 area discussion: LN2 fabric as a fraction of the D-NUCA.
+    const auto ln2 = power::lnuca_area(2);
+    const double dnuca_mm2 =
+        32 * power::dnuca_bank_area_mm2() + 40 * power::vc_router_area_mm2();
+    std::printf("\nLN2 fabric on top of an 8MB D-NUCA: +%.2f mm2 over %.1f mm2 "
+                "(+%.2f%%; paper: +1.2%%)\n",
+                ln2.storage_mm2 + ln2.network_mm2, dnuca_mm2,
+                100.0 * (ln2.storage_mm2 + ln2.network_mm2) / dnuca_mm2);
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Fixed-bucket histogram for integer-valued observations (latencies, stack
+// distances, queue occupancies). Values beyond the last bucket accumulate in
+// an overflow bucket so the total count is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lnuca {
+
+class histogram {
+public:
+    explicit histogram(std::size_t buckets = 64) : counts_(buckets, 0) {}
+
+    void add(std::uint64_t value, std::uint64_t weight = 1)
+    {
+        total_ += weight;
+        weighted_sum_ += value * weight;
+        if (value < counts_.size())
+            counts_[value] += weight;
+        else
+            overflow_ += weight;
+    }
+
+    std::uint64_t count(std::size_t bucket) const
+    {
+        return bucket < counts_.size() ? counts_[bucket] : 0;
+    }
+
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    std::size_t buckets() const { return counts_.size(); }
+
+    double mean() const
+    {
+        return total_ == 0 ? 0.0 : double(weighted_sum_) / double(total_);
+    }
+
+    /// Smallest value v such that at least `fraction` of mass is <= v.
+    /// Overflowed observations count as "beyond any bucket".
+    std::uint64_t percentile(double fraction) const
+    {
+        const auto want = std::uint64_t(fraction * double(total_));
+        std::uint64_t running = 0;
+        for (std::size_t b = 0; b < counts_.size(); ++b) {
+            running += counts_[b];
+            if (running >= want)
+                return b;
+        }
+        return counts_.size();
+    }
+
+    void reset()
+    {
+        for (auto& c : counts_)
+            c = 0;
+        overflow_ = 0;
+        total_ = 0;
+        weighted_sum_ = 0;
+    }
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    std::uint64_t weighted_sum_ = 0;
+};
+
+} // namespace lnuca

@@ -1,0 +1,50 @@
+#include "src/common/log.h"
+
+#include "src/common/types.h"
+
+#include <cstdio>
+
+namespace lnuca {
+
+namespace {
+log_level g_level = log_level::warn;
+
+const char* level_name(log_level level)
+{
+    switch (level) {
+    case log_level::none: return "none";
+    case log_level::error: return "error";
+    case log_level::warn: return "warn";
+    case log_level::info: return "info";
+    case log_level::debug: return "debug";
+    case log_level::trace: return "trace";
+    }
+    return "?";
+}
+} // namespace
+
+log_level global_log_level() { return g_level; }
+
+void set_global_log_level(log_level level) { g_level = level; }
+
+void log_line(log_level level, const std::string& message)
+{
+    std::fprintf(stderr, "[lnuca:%s] %s\n", level_name(level), message.c_str());
+}
+
+std::string format_size(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= 1_MiB && bytes % 1_MiB == 0)
+        std::snprintf(buf, sizeof buf, "%lluMB",
+                      static_cast<unsigned long long>(bytes / 1_MiB));
+    else if (bytes >= 1_KiB && bytes % 1_KiB == 0)
+        std::snprintf(buf, sizeof buf, "%lluKB",
+                      static_cast<unsigned long long>(bytes / 1_KiB));
+    else
+        std::snprintf(buf, sizeof buf, "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+} // namespace lnuca

@@ -1,0 +1,43 @@
+// Minimal leveled logging. Simulators are extremely hot loops, so the macros
+// compile to a branch on a global level; message formatting only happens when
+// the level is enabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lnuca {
+
+enum class log_level { none = 0, error, warn, info, debug, trace };
+
+/// Global log level (default: warn). Tests may raise it locally.
+log_level global_log_level();
+void set_global_log_level(log_level level);
+
+/// Emit one line to stderr with a level prefix. Prefer the macros below.
+void log_line(log_level level, const std::string& message);
+
+namespace detail {
+template <typename... Parts>
+std::string concat(Parts&&... parts)
+{
+    std::ostringstream out;
+    (out << ... << parts);
+    return out.str();
+}
+} // namespace detail
+
+} // namespace lnuca
+
+#define LNUCA_LOG(level, ...)                                                  \
+    do {                                                                       \
+        if (static_cast<int>(level) <=                                         \
+            static_cast<int>(::lnuca::global_log_level()))                     \
+            ::lnuca::log_line(level, ::lnuca::detail::concat(__VA_ARGS__));    \
+    } while (0)
+
+#define LNUCA_ERROR(...) LNUCA_LOG(::lnuca::log_level::error, __VA_ARGS__)
+#define LNUCA_WARN(...) LNUCA_LOG(::lnuca::log_level::warn, __VA_ARGS__)
+#define LNUCA_INFO(...) LNUCA_LOG(::lnuca::log_level::info, __VA_ARGS__)
+#define LNUCA_DEBUG(...) LNUCA_LOG(::lnuca::log_level::debug, __VA_ARGS__)
+#define LNUCA_TRACE(...) LNUCA_LOG(::lnuca::log_level::trace, __VA_ARGS__)

@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64: fast, high
+// quality, and — unlike std::mt19937 — identical across standard libraries,
+// which keeps simulation results reproducible everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace lnuca {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// One-shot hash of a 64-bit value (stateless splitmix64).
+constexpr std::uint64_t hash64(std::uint64_t v)
+{
+    std::uint64_t s = v;
+    return splitmix64(s);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr rng(std::uint64_t seed = 0x1badcafe) { reseed(seed); }
+
+    constexpr void reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto& word : state_)
+            word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    constexpr std::uint64_t operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound == 0 returns 0.
+    constexpr std::uint64_t below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Lemire's multiply-shift rejection-free variant is overkill here;
+        // 64-bit modulo bias is negligible for simulation bounds (< 2^32).
+        return (*this)() % bound;
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double uniform() { return double((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Bernoulli trial.
+    constexpr bool chance(double p) { return uniform() < p; }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+} // namespace lnuca

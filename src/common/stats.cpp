@@ -1,0 +1,67 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+
+namespace lnuca {
+
+double harmonic_mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double inv_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0; // harmonic mean undefined; treat as degenerate
+        inv_sum += 1.0 / v;
+    }
+    return double(values.size()) / inv_sum;
+}
+
+double arithmetic_mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+double geometric_mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+void counter_set::inc(const std::string& name, std::uint64_t by)
+{
+    for (auto& [key, value] : items_) {
+        if (key == name) {
+            value += by;
+            return;
+        }
+    }
+    items_.emplace_back(name, by);
+}
+
+std::uint64_t counter_set::get(const std::string& name) const
+{
+    for (const auto& [key, value] : items_)
+        if (key == name)
+            return value;
+    return 0;
+}
+
+void counter_set::reset()
+{
+    items_.clear();
+}
+
+} // namespace lnuca

@@ -1,0 +1,101 @@
+// Statistics primitives used across the simulator: counters, running means,
+// ratios, harmonic means (the paper aggregates IPC with harmonic means), and
+// min/max trackers. All are plain value types; registration/reporting is the
+// caller's concern.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lnuca {
+
+/// Running arithmetic-mean accumulator.
+class mean_accumulator {
+public:
+    void add(double v)
+    {
+        sum_ += v;
+        ++n_;
+    }
+
+    double mean() const { return n_ == 0 ? 0.0 : sum_ / double(n_); }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return n_; }
+
+    void reset()
+    {
+        sum_ = 0;
+        n_ = 0;
+    }
+
+private:
+    double sum_ = 0;
+    std::uint64_t n_ = 0;
+};
+
+/// Running min/max/mean tracker for latencies and queue depths.
+class minmax_accumulator {
+public:
+    void add(double v)
+    {
+        mean_.add(v);
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    double mean() const { return mean_.mean(); }
+    double min() const { return mean_.count() ? min_ : 0.0; }
+    double max() const { return mean_.count() ? max_ : 0.0; }
+    std::uint64_t count() const { return mean_.count(); }
+
+private:
+    mean_accumulator mean_;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Harmonic mean of a set of samples (IPC aggregation in the paper).
+double harmonic_mean(std::span<const double> values);
+
+/// Arithmetic mean convenience.
+double arithmetic_mean(std::span<const double> values);
+
+/// Geometric mean convenience (used by some ablation reports).
+double geometric_mean(std::span<const double> values);
+
+/// Ratio with a defined value when the denominator is zero.
+constexpr double safe_ratio(double num, double den, double if_zero = 0.0)
+{
+    return den == 0.0 ? if_zero : num / den;
+}
+
+/// Named counter bundle: insertion-ordered, printable. Components expose one
+/// of these so tests and benches can introspect behaviour without bespoke
+/// accessor plumbing per statistic.
+class counter_set {
+public:
+    /// Increment (creating at zero on first use).
+    void inc(const std::string& name, std::uint64_t by = 1);
+
+    /// Read a counter; absent counters read as zero.
+    std::uint64_t get(const std::string& name) const;
+
+    /// All counters in insertion order.
+    const std::vector<std::pair<std::string, std::uint64_t>>& items() const
+    {
+        return items_;
+    }
+
+    void reset();
+
+private:
+    std::vector<std::pair<std::string, std::uint64_t>> items_;
+};
+
+} // namespace lnuca

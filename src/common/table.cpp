@@ -1,0 +1,81 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace lnuca {
+
+void text_table::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void text_table::add_row(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string text_table::num(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+std::string text_table::pct(double fraction_as_percent, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction_as_percent);
+    return buf;
+}
+
+std::string text_table::render() const
+{
+    // Column widths over header + all rows.
+    std::size_t columns = header_.size();
+    for (const auto& row : rows_)
+        columns = std::max(columns, row.size());
+
+    std::vector<std::size_t> width(columns, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_)
+        widen(row);
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < columns; ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string{};
+            out << cell << std::string(width[c] - cell.size(), ' ');
+            if (c + 1 < columns)
+                out << "  ";
+        }
+        out << '\n';
+    };
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < columns; ++c)
+        total += width[c] + (c + 1 < columns ? 2 : 0);
+
+    if (!title_.empty())
+        out << title_ << '\n' << std::string(std::max(total, title_.size()), '=') << '\n';
+    if (!header_.empty()) {
+        emit_row(header_);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void text_table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace lnuca

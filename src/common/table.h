@@ -1,0 +1,37 @@
+// ASCII table renderer for benches and examples: the bench binaries print
+// the same rows/series the paper's tables and figures report, and this is
+// the single place that formats them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lnuca {
+
+/// A simple column-aligned text table with an optional title and a header
+/// row. Cells are strings; numeric helpers format with fixed precision.
+class text_table {
+public:
+    explicit text_table(std::string title = {}) : title_(std::move(title)) {}
+
+    void set_header(std::vector<std::string> header);
+    void add_row(std::vector<std::string> row);
+
+    /// Format a floating-point cell with `digits` decimals.
+    static std::string num(double value, int digits = 3);
+    /// Format a percentage cell ("12.3%").
+    static std::string pct(double fraction_as_percent, int digits = 1);
+
+    /// Render the table; every column is padded to its widest cell.
+    std::string render() const;
+
+    /// Render and write to stdout.
+    void print() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lnuca

@@ -1,0 +1,51 @@
+// Fundamental value types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lnuca {
+
+/// Simulated processor cycles. 64 bits: a run never wraps.
+using cycle_t = std::uint64_t;
+
+/// Physical byte address in the simulated machine.
+using addr_t = std::uint64_t;
+
+/// Unique identifier for an in-flight memory transaction.
+using txn_id_t = std::uint64_t;
+
+/// Sentinel for "no cycle" / "not scheduled".
+inline constexpr cycle_t no_cycle = ~cycle_t{0};
+
+/// Sentinel for an invalid address.
+inline constexpr addr_t no_addr = ~addr_t{0};
+
+/// True iff `v` is a power of two (and non-zero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/// Round `v` up to the next multiple of `align` (power of two).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/// Kibibytes/mebibytes helpers so configuration reads like the paper.
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * 1024; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * 1024 * 1024; }
+
+/// Pretty size for reports: 256 KiB -> "256KB" (paper style).
+std::string format_size(std::uint64_t bytes);
+
+} // namespace lnuca

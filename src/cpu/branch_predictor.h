@@ -1,0 +1,135 @@
+// Branch direction predictors: bimodal, gshare and the McFarling-style
+// combined predictor the paper's core uses ("bimodal + gshare, 16 bit").
+#pragma once
+
+#include "src/common/types.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lnuca::cpu {
+
+/// Two-bit saturating counter helpers.
+class saturating_counter_table {
+public:
+    explicit saturating_counter_table(std::size_t entries, std::uint8_t init = 1)
+        : table_(entries, init)
+    {
+    }
+
+    std::size_t size() const { return table_.size(); }
+
+    bool predict(std::size_t index) const { return table_[index] >= 2; }
+
+    void update(std::size_t index, bool taken)
+    {
+        std::uint8_t& c = table_[index];
+        if (taken && c < 3)
+            ++c;
+        else if (!taken && c > 0)
+            --c;
+    }
+
+private:
+    std::vector<std::uint8_t> table_;
+};
+
+class branch_predictor {
+public:
+    virtual ~branch_predictor() = default;
+
+    virtual bool predict(addr_t pc) = 0;
+    virtual void update(addr_t pc, bool taken) = 0;
+    virtual std::string name() const = 0;
+};
+
+/// PC-indexed two-bit counters.
+class bimodal_predictor final : public branch_predictor {
+public:
+    explicit bimodal_predictor(std::size_t entries = 4096) : table_(entries) {}
+
+    bool predict(addr_t pc) override { return table_.predict(index(pc)); }
+    void update(addr_t pc, bool taken) override { table_.update(index(pc), taken); }
+    std::string name() const override { return "bimodal"; }
+
+private:
+    std::size_t index(addr_t pc) const { return (pc >> 2) & (table_.size() - 1); }
+
+    saturating_counter_table table_;
+};
+
+/// Global-history XOR PC indexed counters.
+class gshare_predictor final : public branch_predictor {
+public:
+    explicit gshare_predictor(unsigned history_bits = 16)
+        : history_bits_(history_bits), table_(std::size_t(1) << history_bits)
+    {
+    }
+
+    bool predict(addr_t pc) override { return table_.predict(index(pc)); }
+
+    void update(addr_t pc, bool taken) override
+    {
+        table_.update(index(pc), taken);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                   ((std::size_t(1) << history_bits_) - 1);
+    }
+
+    std::string name() const override { return "gshare"; }
+
+private:
+    std::size_t index(addr_t pc) const
+    {
+        return ((pc >> 2) ^ history_) & (table_.size() - 1);
+    }
+
+    unsigned history_bits_;
+    std::size_t history_ = 0;
+    saturating_counter_table table_;
+};
+
+/// McFarling combined predictor: a chooser table selects between the
+/// bimodal and gshare components per branch.
+class combined_predictor final : public branch_predictor {
+public:
+    combined_predictor(std::size_t bimodal_entries = 4096,
+                       unsigned gshare_history_bits = 16,
+                       std::size_t chooser_entries = 4096)
+        : bimodal_(bimodal_entries),
+          gshare_(gshare_history_bits),
+          chooser_(chooser_entries)
+    {
+    }
+
+    bool predict(addr_t pc) override
+    {
+        const bool use_gshare = chooser_.predict(chooser_index(pc));
+        return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+    }
+
+    void update(addr_t pc, bool taken) override
+    {
+        const bool bimodal_said = bimodal_.predict(pc);
+        const bool gshare_said = gshare_.predict(pc);
+        if (bimodal_said != gshare_said)
+            chooser_.update(chooser_index(pc), gshare_said == taken);
+        bimodal_.update(pc, taken);
+        gshare_.update(pc, taken);
+    }
+
+    std::string name() const override { return "combined"; }
+
+private:
+    std::size_t chooser_index(addr_t pc) const
+    {
+        return (pc >> 2) & (chooser_.size() - 1);
+    }
+
+    bimodal_predictor bimodal_;
+    gshare_predictor gshare_;
+    saturating_counter_table chooser_;
+};
+
+} // namespace lnuca::cpu

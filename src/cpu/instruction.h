@@ -1,0 +1,57 @@
+// Trace-driven instruction model.
+//
+// Workload generators emit a stream of these; the core reconstructs data
+// dependences from producer distances (how many instructions back each
+// source operand was produced), the standard encoding for synthetic and
+// compressed traces.
+#pragma once
+
+#include "src/common/types.h"
+
+#include <cstdint>
+
+namespace lnuca::cpu {
+
+enum class op_class : std::uint8_t {
+    int_alu,
+    int_mul,
+    fp_add,
+    fp_mul,
+    fp_div,
+    load,
+    store,
+    branch,
+};
+
+constexpr bool is_mem(op_class op)
+{
+    return op == op_class::load || op == op_class::store;
+}
+
+constexpr bool is_fp(op_class op)
+{
+    return op == op_class::fp_add || op == op_class::fp_mul ||
+           op == op_class::fp_div;
+}
+
+struct instruction {
+    op_class op = op_class::int_alu;
+    addr_t pc = 0;
+    addr_t addr = 0;       ///< effective address (loads/stores)
+    std::uint8_t size = 8; ///< access bytes (loads/stores)
+    bool taken = false;    ///< branch outcome
+    /// Producer distances in instructions (0 = no dependence). dep[0] is
+    /// typically the critical operand (e.g. the pointer for a load).
+    std::uint32_t dep[2] = {0, 0};
+};
+
+/// Source of instructions for the core. Streams are infinite; runs are
+/// bounded by instruction count.
+class instruction_stream {
+public:
+    virtual ~instruction_stream() = default;
+
+    virtual instruction next() = 0;
+};
+
+} // namespace lnuca::cpu

@@ -1,0 +1,55 @@
+// Data TLB: fully-associative LRU over pages; misses add a fixed page-walk
+// latency to the access (Table I: 30 cycles).
+#pragma once
+
+#include "src/common/types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lnuca::cpu {
+
+class tlb {
+public:
+    tlb(std::size_t entries, std::uint64_t page_bytes)
+        : page_bytes_(page_bytes), entries_(entries, no_addr),
+          last_use_(entries, 0)
+    {
+    }
+
+    /// Touch the page containing `addr`; returns true on a TLB hit.
+    bool access(addr_t addr)
+    {
+        const addr_t page = addr / page_bytes_;
+        ++stamp_;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i] == page) {
+                last_use_[i] = stamp_;
+                ++hits_;
+                return true;
+            }
+        }
+        // Miss: replace the LRU entry.
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < entries_.size(); ++i)
+            if (last_use_[i] < last_use_[victim])
+                victim = i;
+        entries_[victim] = page;
+        last_use_[victim] = stamp_;
+        ++misses_;
+        return false;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+private:
+    std::uint64_t page_bytes_;
+    std::vector<addr_t> entries_;
+    std::vector<std::uint64_t> last_use_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace lnuca::cpu

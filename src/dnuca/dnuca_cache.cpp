@@ -1,0 +1,482 @@
+#include "src/dnuca/dnuca_cache.h"
+
+#include "src/common/log.h"
+
+namespace lnuca::dnuca {
+
+dnuca_cache::dnuca_cache(const dnuca_config& config, mem::txn_id_source& ids)
+    : config_(config),
+      ids_(ids),
+      mshrs_(config.mshr_entries, config.mshr_secondary),
+      row_hits_(config.rows + 1, 0)
+{
+    mesh_ = std::make_unique<noc::mesh_network>(config.router,
+                                                int(config.bank_sets),
+                                                int(config.rows) + 1);
+    banks_.resize(std::size_t(config.bank_sets) * config.rows);
+    for (unsigned row = 1; row <= config.rows; ++row) {
+        for (unsigned col = 0; col < config.bank_sets; ++col) {
+            bank& b = bank_at(col, row);
+            mem::tag_array_config tc;
+            tc.size_bytes = config.bank_bytes;
+            tc.ways = config.bank_ways;
+            tc.block_bytes = config.block_bytes;
+            tc.policy = config.policy;
+            tc.seed = config.seed + row * 97 + col;
+            b.tags = std::make_unique<mem::tag_array>(tc);
+        }
+    }
+}
+
+bool dnuca_cache::can_accept(const mem::mem_request& request) const
+{
+    if (request.kind == mem::access_kind::read
+            ? controller_outbox_.queue.size() > 64
+            : controller_write_outbox_.queue.size() > 256)
+        return false;
+    if (request.kind == mem::access_kind::read && request.needs_response) {
+        const addr_t block = request.addr & ~addr_t(config_.block_bytes - 1);
+        if (const auto* entry = mshrs_.find(block))
+            return entry->targets.size() < config_.mshr_secondary;
+        return mshrs_.can_allocate();
+    }
+    return true;
+}
+
+void dnuca_cache::accept(const mem::mem_request& request)
+{
+    const cycle_t now = request.created_at;
+    const addr_t block = request.addr & ~addr_t(config_.block_bytes - 1);
+    const unsigned column = column_of(block);
+
+    const bool demand_read =
+        request.kind == mem::access_kind::read && request.needs_response;
+
+    if (demand_read) {
+        if (mshrs_.find(block) != nullptr) {
+            mshrs_.merge(block, {request.id, request.addr, request.kind,
+                                 request.created_at});
+            counters_.inc("mshr_merge");
+            return;
+        }
+        auto& entry = mshrs_.allocate(block, now);
+        entry.targets.push_back(
+            {request.id, request.addr, request.kind, request.created_at});
+    } else {
+        // Coalesce write traffic per 128B line: the probe set in flight
+        // already carries this line's update.
+        const auto it = active_writes_.find(block);
+        if (it != active_writes_.end()) {
+            auto rit = requests_.find(it->second);
+            if (rit != requests_.end()) {
+                rit->second.dirty = true;
+                counters_.inc("writes_coalesced");
+                return;
+            }
+            active_writes_.erase(it);
+        }
+        // Lines recently confirmed dirty absorb stores with no probe.
+        for (const addr_t line : written_lines_) {
+            if (line == block) {
+                counters_.inc("writes_filtered");
+                return;
+            }
+        }
+    }
+
+    request_state state;
+    state.block = block;
+    state.is_demand_read = demand_read;
+    state.is_write = request.kind == mem::access_kind::write;
+    state.is_writeback = request.kind == mem::access_kind::writeback;
+    state.dirty = request.dirty || state.is_write || state.is_writeback;
+    const std::uint64_t group = next_group_++;
+    requests_[group] = state;
+    if (!demand_read)
+        active_writes_[block] = group;
+
+    // Multicast search: one probe per bank of the column, all from the
+    // single injection point.
+    const noc::packet_kind probe_kind = demand_read
+                                            ? noc::packet_kind::request
+                                            : noc::packet_kind::writeback;
+    injector& outbox = demand_read ? controller_outbox_
+                                   : controller_write_outbox_;
+    for (unsigned row = 1; row <= config_.rows; ++row)
+        send_packet(outbox, probe_kind, {0, 0}, bank_coord(column, row),
+                    block, group, 1, now);
+    counters_.inc(demand_read ? "read_probes" : "write_probes");
+}
+
+void dnuca_cache::respond(const mem::mem_response& response)
+{
+    memory_responses_.push(response.ready_at, response);
+}
+
+void dnuca_cache::send_packet(injector& from, noc::packet_kind kind,
+                              noc::coord src, noc::coord dst, addr_t block,
+                              std::uint64_t group, std::uint32_t flit_count,
+                              cycle_t now)
+{
+    const std::uint64_t packet = next_packet_++;
+    for (std::uint32_t s = 0; s < flit_count; ++s) {
+        noc::flit f;
+        f.packet_id = packet;
+        f.kind = kind;
+        f.src = src;
+        f.dst = dst;
+        f.addr = block;
+        f.txn = group;
+        f.seq = std::uint16_t(s);
+        f.count = std::uint16_t(flit_count);
+        f.injected_at = now;
+        from.queue.push_back(f);
+    }
+}
+
+void dnuca_cache::inject_from(injector& from, noc::coord at)
+{
+    if (from.queue.empty())
+        return;
+    const noc::flit& head = from.queue.front();
+    noc::vc_router& router = mesh_->at(at);
+
+    if (!from.mid_packet) {
+        // Pick a VC with space for the head flit, round-robin.
+        const std::uint32_t vcs = config_.router.virtual_channels;
+        bool found = false;
+        for (std::uint32_t k = 0; k < vcs && !found; ++k) {
+            const std::uint32_t vc = (from.vc + k) % vcs;
+            if (router.local_can_accept(vc)) {
+                from.vc = vc;
+                found = true;
+            }
+        }
+        if (!found) {
+            counters_.inc("inject_stall");
+            return;
+        }
+    } else if (!router.local_can_accept(from.vc)) {
+        counters_.inc("inject_stall");
+        return;
+    }
+
+    router.local_inject(from.vc, head);
+    from.mid_packet = !head.tail();
+    if (head.tail())
+        from.vc = (from.vc + 1) % config_.router.virtual_channels;
+    from.queue.pop_front();
+    counters_.inc("flits_injected");
+}
+
+void dnuca_cache::tick(cycle_t now)
+{
+    process_memory_responses(now);
+    eject_and_handle(now);
+    run_banks(now);
+
+    // Injection: the controller's single point plus each bank's local
+    // port. Latency-critical read probes go first; writes fill idle slots.
+    if (!controller_outbox_.queue.empty())
+        inject_from(controller_outbox_, {0, 0});
+    else
+        inject_from(controller_write_outbox_, {0, 0});
+    for (unsigned row = 1; row <= config_.rows; ++row)
+        for (unsigned col = 0; col < config_.bank_sets; ++col)
+            inject_from(bank_at(col, row).outbox, bank_coord(col, row));
+
+    drain_memory_queue(now);
+    mesh_->step(now);
+}
+
+void dnuca_cache::process_memory_responses(cycle_t now)
+{
+    while (auto response = memory_responses_.pop_ready(now)) {
+        const auto it = outstanding_memory_.find(response->id);
+        if (it == outstanding_memory_.end()) {
+            counters_.inc("untracked_response");
+            continue;
+        }
+        const addr_t block = it->second;
+        outstanding_memory_.erase(it);
+
+        install_at_tail(now, block, /*dirty=*/false);
+        auto entry = mshrs_.release(block);
+        if (!entry)
+            continue;
+        if (upstream_ != nullptr) {
+            for (const auto& target : entry->targets) {
+                mem::mem_response up;
+                up.id = target.id;
+                up.addr = target.addr;
+                up.ready_at = now;
+                up.served_by = mem::service_level::memory;
+                upstream_->respond(up);
+            }
+        }
+        counters_.inc("fills_from_memory");
+    }
+}
+
+void dnuca_cache::eject_and_handle(cycle_t now)
+{
+    // Controller ejection point.
+    if (auto f = mesh_->at({0, 0}).local_eject())
+        controller_flit(now, *f);
+
+    // Bank ejection points.
+    for (unsigned row = 1; row <= config_.rows; ++row) {
+        for (unsigned col = 0; col < config_.bank_sets; ++col) {
+            auto f = mesh_->at(bank_coord(col, row)).local_eject();
+            if (!f)
+                continue;
+            switch (f->kind) {
+            case noc::packet_kind::request:
+                bank_at(col, row).probes.push_back(*f);
+                break;
+            case noc::packet_kind::writeback:
+                bank_at(col, row).write_probes.push_back(*f);
+                break;
+            case noc::packet_kind::migrate:
+                // Functional swap already applied; the packet models the
+                // traffic. Nothing to do at arrival.
+                if (f->tail())
+                    counters_.inc("migrations_delivered");
+                break;
+            default:
+                counters_.inc("unexpected_bank_flit");
+                break;
+            }
+        }
+    }
+}
+
+void dnuca_cache::run_banks(cycle_t now)
+{
+    for (unsigned row = 1; row <= config_.rows; ++row) {
+        for (unsigned col = 0; col < config_.bank_sets; ++col) {
+            bank& b = bank_at(col, row);
+
+            // Finish lookups whose completion time arrived.
+            while (auto probe = b.lookups.pop_ready(now)) {
+                const addr_t block = to_bank_addr(probe->addr);
+                counters_.inc("bank_lookups");
+                const bool is_write_probe =
+                    probe->kind == noc::packet_kind::writeback;
+                const auto hit = b.tags->lookup(block);
+                if (hit && !is_write_probe) {
+                    row_hits_[row]++;
+                    counters_.inc("bank_read_hits");
+                    send_packet(b.outbox, noc::packet_kind::reply,
+                                bank_coord(col, row), {0, 0}, probe->addr,
+                                probe->txn, flits_for_block(), now);
+                    if (row > 1)
+                        promote(now, col, row, block);
+                } else if (hit && is_write_probe) {
+                    b.tags->set_dirty(block, true);
+                    counters_.inc("bank_write_hits");
+                    send_packet(b.outbox, noc::packet_kind::reply,
+                                bank_coord(col, row), {0, 0}, probe->addr,
+                                probe->txn, 1, now); // write ack
+                } else {
+                    send_packet(b.outbox, noc::packet_kind::nack,
+                                bank_coord(col, row), {0, 0}, probe->addr,
+                                probe->txn, 1, now);
+                }
+            }
+
+            // Start the next probe when the array is free; reads first.
+            if (b.busy_until <= now &&
+                (!b.probes.empty() || !b.write_probes.empty())) {
+                auto& queue = b.probes.empty() ? b.write_probes : b.probes;
+                const noc::flit probe = queue.front();
+                queue.pop_front();
+                b.busy_until = now + config_.bank_initiation;
+                const cycle_t done = now + config_.bank_latency;
+                b.lookups.push(done > 0 ? done - 1 : 0, probe);
+            }
+        }
+    }
+}
+
+void dnuca_cache::promote(cycle_t now, unsigned column, unsigned row,
+                          addr_t bank_local)
+{
+    // Generational promotion: swap the hit block one row closer to the
+    // controller. The arrays swap immediately; two migrate packets model
+    // the traffic and contention of the exchange.
+    bank& lower = bank_at(column, row);      // hit bank (farther)
+    bank& upper = bank_at(column, row - 1);  // closer bank
+    const addr_t block = bank_local;
+
+    const auto moving = lower.tags->extract(block);
+    if (!moving)
+        return; // already promoted by a racing access
+
+    // Make room in the closer bank: its victim drops into the hit bank.
+    if (auto displaced = upper.tags->install(block, moving->dirty)) {
+        if (auto re = lower.tags->install(displaced->block_addr,
+                                          displaced->dirty)) {
+            // Both sets full and distinct victims: the doubly-displaced
+            // block leaves the cache (zero-copy replacement).
+            mem::mem_request writeback;
+            writeback.id = ids_.next();
+            writeback.addr = from_bank_addr(re->block_addr, column);
+            writeback.size = config_.block_bytes;
+            writeback.kind = mem::access_kind::writeback;
+            writeback.needs_response = false;
+            writeback.dirty = re->dirty;
+            if (re->dirty)
+                memory_queue_.push_back(writeback);
+            counters_.inc("promotion_spills");
+        }
+    }
+    counters_.inc("promotions");
+
+    send_packet(lower.outbox, noc::packet_kind::migrate,
+                bank_coord(column, row), bank_coord(column, row - 1), block,
+                0, flits_for_block(), now);
+    send_packet(upper.outbox, noc::packet_kind::migrate,
+                bank_coord(column, row - 1), bank_coord(column, row), block,
+                0, flits_for_block(), now);
+}
+
+void dnuca_cache::controller_flit(cycle_t now, const noc::flit& f)
+{
+    if (f.kind == noc::packet_kind::reply && !f.tail())
+        return; // wait for the full data packet
+
+    const auto it = requests_.find(f.txn);
+    if (it == requests_.end()) {
+        counters_.inc("orphan_reply");
+        return;
+    }
+    request_state& state = it->second;
+
+    if (f.kind == noc::packet_kind::reply) {
+        if (f.count > 1) {
+            // Data reply for a demand read.
+            state.satisfied = true;
+            auto entry = mshrs_.release(state.block);
+            if (entry && upstream_ != nullptr) {
+                for (const auto& target : entry->targets) {
+                    mem::mem_response up;
+                    up.id = target.id;
+                    up.addr = target.addr;
+                    up.ready_at = now;
+                    up.served_by = mem::service_level::dnuca;
+                    upstream_->respond(up);
+                }
+            }
+            counters_.inc("read_hits");
+            requests_.erase(it);
+        } else {
+            // Write probe absorbed by a bank: remember the line so
+            // follow-up stores skip the probe entirely.
+            if (written_lines_.size() < 64) {
+                written_lines_.push_back(state.block);
+            } else {
+                written_lines_[written_cursor_] = state.block;
+                written_cursor_ = (written_cursor_ + 1) % written_lines_.size();
+            }
+            active_writes_.erase(state.block);
+            requests_.erase(it);
+        }
+        return;
+    }
+
+    if (f.kind != noc::packet_kind::nack) {
+        counters_.inc("unexpected_controller_flit");
+        return;
+    }
+
+    if (++state.miss_replies < config_.rows || state.satisfied)
+        return;
+
+    // All banks of the set missed.
+    if (state.is_demand_read) {
+        counters_.inc("read_misses");
+        mem::mem_request read;
+        read.id = ids_.next();
+        read.addr = state.block;
+        read.size = config_.block_bytes;
+        read.kind = mem::access_kind::read;
+        read.created_at = now;
+        memory_queue_.push_back(read);
+        outstanding_memory_[read.id] = state.block;
+        requests_.erase(it);
+    } else {
+        // Word write or writeback that found no copy: install at the tail.
+        counters_.inc("write_installs");
+        install_at_tail(now, state.block, state.dirty);
+        active_writes_.erase(state.block);
+        requests_.erase(it);
+    }
+}
+
+void dnuca_cache::install_at_tail(cycle_t now, addr_t block, bool dirty)
+{
+    (void)now;
+    const unsigned column = column_of(block);
+    bank& tail = bank_at(column, config_.rows);
+    counters_.inc("bank_writes");
+    if (auto victim = tail.tags->install(to_bank_addr(block), dirty)) {
+        counters_.inc("tail_evictions");
+        if (victim->dirty) {
+            mem::mem_request writeback;
+            writeback.id = ids_.next();
+            writeback.addr = from_bank_addr(victim->block_addr, column);
+            writeback.size = config_.block_bytes;
+            writeback.kind = mem::access_kind::writeback;
+            writeback.needs_response = false;
+            writeback.dirty = true;
+            memory_queue_.push_back(writeback);
+        }
+    }
+}
+
+void dnuca_cache::drain_memory_queue(cycle_t now)
+{
+    if (memory_queue_.empty() || downstream_ == nullptr)
+        return;
+    mem::mem_request request = memory_queue_.front();
+    request.created_at = now;
+    if (downstream_->can_accept(request)) {
+        downstream_->accept(request);
+        memory_queue_.pop_front();
+    }
+}
+
+void dnuca_cache::prewarm(addr_t addr)
+{
+    const addr_t block = addr & ~addr_t(config_.block_bytes - 1);
+    // Spread lines over rows using the bits *above* the bank set index, so
+    // a column's four banks tile its share of an 8MB-resident window
+    // instead of aliasing into the same sets.
+    const std::uint64_t sets_per_bank =
+        config_.bank_bytes / config_.block_bytes / config_.bank_ways;
+    const std::uint64_t line = block / config_.block_bytes / config_.bank_sets;
+    const unsigned row = 1 + unsigned((line / sets_per_bank) % config_.rows);
+    bank_at(column_of(block), row).tags->install(to_bank_addr(block), false);
+}
+
+std::uint64_t dnuca_cache::hits_in_row(unsigned row) const
+{
+    return row < row_hits_.size() ? row_hits_[row] : 0;
+}
+
+bool dnuca_cache::quiescent() const
+{
+    if (!controller_outbox_.queue.empty() ||
+        !controller_write_outbox_.queue.empty() || !memory_queue_.empty() ||
+        !mshrs_.empty() || !requests_.empty() || !outstanding_memory_.empty() ||
+        !memory_responses_.empty())
+        return false;
+    for (const auto& b : banks_)
+        if (!b.probes.empty() || !b.write_probes.empty() ||
+            !b.outbox.queue.empty() || !b.lookups.empty())
+            return false;
+    return mesh_->quiescent();
+}
+
+} // namespace lnuca::dnuca

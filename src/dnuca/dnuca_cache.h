@@ -1,0 +1,182 @@
+// Dynamic NUCA baseline (Kim et al., ASPLOS'02) per the paper's Table I:
+// an 8 MB cache of 32 banks (256 KB, 2-way, 128 B blocks) arranged as
+// 8 bank sets (columns) x 4 rows on a wormhole 2D mesh with 4 virtual
+// channels and 32 B flits (1-flit requests, 5-flit data replies).
+//
+// Policies follow the SS-performance configuration: simple mapping (block
+// -> column), multicast search across the column's four banks (realised as
+// per-bank probe flits from the single injection point), LRU within a
+// bank, one-row generational promotion on each read hit, insertion at the
+// farthest (tail) row, and zero-copy replacement (tail victims leave the
+// cache).
+//
+// The mesh has an extra row 0 that carries no banks: it is the controller
+// rail; the controller is the single injection/ejection point at (0,0) -
+// exactly the structural bottleneck the L-NUCA paper criticises.
+#pragma once
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/mem/mshr.h"
+#include "src/mem/request.h"
+#include "src/mem/tag_array.h"
+#include "src/noc/vc_router.h"
+#include "src/sim/ticked.h"
+#include "src/sim/timed_queue.h"
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace lnuca::dnuca {
+
+struct dnuca_config {
+    unsigned bank_sets = 8; ///< sparse sets = mesh columns
+    unsigned rows = 4;      ///< banks per set
+    std::uint64_t bank_bytes = 256_KiB;
+    std::uint32_t bank_ways = 2;
+    std::uint32_t block_bytes = 128;
+    std::uint32_t bank_latency = 3;    ///< completion cycles
+    std::uint32_t bank_initiation = 3; ///< cycles between bank accesses
+    std::uint32_t flit_bytes = 32;
+    noc::router_config router{4, 4}; ///< 4 VCs, 4-flit buffers
+    std::uint32_t mshr_entries = 16;
+    std::uint32_t mshr_secondary = 4;
+    std::string policy = "lru";
+    std::uint64_t seed = 0xd0ca;
+};
+
+class dnuca_cache final : public sim::ticked, public mem::mem_port, public mem::mem_client {
+public:
+    dnuca_cache(const dnuca_config& config, mem::txn_id_source& ids);
+
+    void set_upstream(mem::mem_client* client) { upstream_ = client; }
+    void set_downstream(mem::mem_port* port) { downstream_ = port; }
+
+    // mem_port
+    bool can_accept(const mem::mem_request& request) const override;
+    void accept(const mem::mem_request& request) override;
+
+    // mem_client (memory side)
+    void respond(const mem::mem_response& response) override;
+
+    // ticked
+    void tick(cycle_t now) override;
+
+    const dnuca_config& config() const { return config_; }
+    const counter_set& counters() const { return counters_; }
+    const noc::mesh_network& mesh() const { return *mesh_; }
+    std::uint64_t size_bytes() const
+    {
+        return std::uint64_t(config_.bank_sets) * config_.rows *
+               config_.bank_bytes;
+    }
+    /// Read hits per row (promotion effectiveness; row 1 = closest).
+    std::uint64_t hits_in_row(unsigned row) const;
+    bool quiescent() const;
+
+    /// Functionally install a block (no timing, no traffic): used to warm
+    /// the arrays before measurement. Spreads lines round-robin over rows.
+    void prewarm(addr_t addr);
+
+private:
+    /// Flit source with wormhole injection state: flits of one packet stay
+    /// on one VC, and packets never interleave within a queue.
+    struct injector {
+        std::deque<noc::flit> queue;
+        std::uint32_t vc = 0;
+        bool mid_packet = false;
+    };
+
+    struct bank {
+        std::unique_ptr<mem::tag_array> tags;
+        std::deque<noc::flit> probes;       ///< read probes awaiting the array
+        std::deque<noc::flit> write_probes; ///< writes yield to reads
+        cycle_t busy_until = 0;
+        injector outbox;                ///< flits waiting to inject
+        sim::timed_queue<noc::flit> lookups; ///< probes inside the array
+    };
+
+    struct request_state {
+        addr_t block = no_addr;
+        unsigned miss_replies = 0;
+        bool satisfied = false;
+        bool is_demand_read = false; ///< expects data back
+        bool is_write = false;
+        bool is_writeback = false;
+        bool dirty = false;
+    };
+
+    noc::coord bank_coord(unsigned column, unsigned row) const
+    {
+        return {int(column), int(row)}; // rows 1..config_.rows hold banks
+    }
+    bank& bank_at(unsigned column, unsigned row)
+    {
+        return banks_[(row - 1) * config_.bank_sets + column];
+    }
+    unsigned column_of(addr_t block) const
+    {
+        return unsigned((block / config_.block_bytes) % config_.bank_sets);
+    }
+    /// Bank arrays index sets with the bits *above* the column-select bits;
+    /// store bank-local addresses so every set of a bank is usable.
+    addr_t to_bank_addr(addr_t block) const
+    {
+        return (block / (addr_t(config_.block_bytes) * config_.bank_sets)) *
+               config_.block_bytes;
+    }
+    addr_t from_bank_addr(addr_t local, unsigned column) const
+    {
+        return (local / config_.block_bytes) *
+                   (addr_t(config_.block_bytes) * config_.bank_sets) +
+               addr_t(column) * config_.block_bytes;
+    }
+    std::uint32_t flits_for_block() const
+    {
+        return 1 + (config_.block_bytes + config_.flit_bytes - 1) /
+                       config_.flit_bytes;
+    }
+
+    void process_memory_responses(cycle_t now);
+    void eject_and_handle(cycle_t now);
+    void run_banks(cycle_t now);
+    void controller_flit(cycle_t now, const noc::flit& f);
+    void install_at_tail(cycle_t now, addr_t block, bool dirty);
+    void promote(cycle_t now, unsigned column, unsigned row, addr_t block);
+    void inject_from(injector& from, noc::coord at);
+    void drain_memory_queue(cycle_t now);
+    void send_packet(injector& from, noc::packet_kind kind, noc::coord src,
+                     noc::coord dst, addr_t block, std::uint64_t group,
+                     std::uint32_t flit_count, cycle_t now);
+
+    dnuca_config config_;
+    mem::txn_id_source& ids_;
+    counter_set counters_;
+
+    mem::mem_client* upstream_ = nullptr;
+    mem::mem_port* downstream_ = nullptr;
+
+    std::unique_ptr<noc::mesh_network> mesh_;
+    std::vector<bank> banks_;
+    injector controller_outbox_;        ///< read probes (priority)
+    injector controller_write_outbox_;  ///< write probes (background)
+    std::deque<mem::mem_request> memory_queue_; ///< misses + writebacks out
+    mem::mshr_file mshrs_;
+    std::unordered_map<std::uint64_t, request_state> requests_; ///< by group id
+    /// Write probes in flight by block: later stores to the same 128B line
+    /// coalesce instead of multicasting another probe set.
+    std::unordered_map<addr_t, std::uint64_t> active_writes_;
+    /// Controller-side write-combining filter: lines recently confirmed
+    /// present-and-dirty absorb further stores without probing the banks.
+    std::vector<addr_t> written_lines_;
+    std::size_t written_cursor_ = 0;
+    std::unordered_map<txn_id_t, addr_t> outstanding_memory_;
+    sim::timed_queue<mem::mem_response> memory_responses_;
+    std::uint64_t next_packet_ = 1;
+    std::uint64_t next_group_ = 1;
+    std::vector<std::uint64_t> row_hits_;
+};
+
+} // namespace lnuca::dnuca

@@ -1,0 +1,275 @@
+#include "src/fabric/geometry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <stdexcept>
+
+namespace lnuca::fabric {
+
+namespace {
+
+int sign(int v) { return v > 0 ? 1 : v < 0 ? -1 : 0; }
+
+unsigned cheb(tile_coord c) { return unsigned(std::max(std::abs(c.x), c.y)); }
+
+/// 8-neighbourhood offsets (local wiring allows diagonals between abutting
+/// tiles; the replacement topology in Fig. 2(c) uses them).
+constexpr int k_neigh[8][2] = {{1, 0}, {-1, 0}, {0, 1},  {0, -1},
+                               {1, 1}, {-1, 1}, {1, -1}, {-1, -1}};
+
+} // namespace
+
+geometry::geometry(unsigned levels) : levels_(levels)
+{
+    if (levels < 2)
+        throw std::invalid_argument("an L-NUCA needs at least 2 levels");
+    const int d = int(rings());
+    for (int ring = 1; ring <= d; ++ring)
+        for (int y = 0; y <= ring; ++y)
+            for (int x = -ring; x <= ring; ++x)
+                if (int(cheb({x, y})) == ring)
+                    tiles_.push_back({x, y});
+
+    build_search();
+    build_transport();
+    build_replacement();
+}
+
+tile_index geometry::index_of(tile_coord c) const
+{
+    for (tile_index i = 0; i < tiles_.size(); ++i)
+        if (tiles_[i] == c)
+            return i;
+    throw std::out_of_range("coordinate is not a tile");
+}
+
+bool geometry::contains(tile_coord c) const
+{
+    if (c == tile_coord{0, 0})
+        return false; // the r-tile is not a fabric tile
+    return c.y >= 0 && cheb(c) >= 1 && cheb(c) <= rings();
+}
+
+unsigned geometry::ring_of(tile_coord c) const
+{
+    return cheb(c);
+}
+
+std::vector<tile_index> geometry::tiles_in_level(unsigned level) const
+{
+    std::vector<tile_index> out;
+    for (tile_index i = 0; i < tiles_.size(); ++i)
+        if (level_of(tiles_[i]) == level)
+            out.push_back(i);
+    return out;
+}
+
+unsigned geometry::transport_distance(tile_coord c) const
+{
+    return unsigned(std::abs(c.x) + c.y);
+}
+
+unsigned geometry::latency_of(tile_coord c) const
+{
+    return ring_of(c) + 1 + transport_distance(c);
+}
+
+void geometry::build_search()
+{
+    search_children_.assign(tiles_.size(), {});
+    for (tile_index i = 0; i < tiles_.size(); ++i) {
+        const tile_coord c = tiles_[i];
+        const unsigned ring = ring_of(c);
+        if (ring == 1) {
+            root_search_children_.push_back(i);
+            continue;
+        }
+        // Parent = coordinate clamped onto the previous ring.
+        const int r = int(ring) - 1;
+        const tile_coord parent{sign(c.x) * std::min(std::abs(c.x), r),
+                                std::min(c.y, r)};
+        search_children_[index_of(parent)].push_back(i);
+    }
+}
+
+void geometry::build_transport()
+{
+    transport_outputs_.assign(tiles_.size(), {});
+    transport_inputs_.assign(tiles_.size(), {});
+    for (tile_index i = 0; i < tiles_.size(); ++i) {
+        const tile_coord c = tiles_[i];
+        auto add_output = [&](tile_coord t) {
+            if (t == tile_coord{0, 0}) {
+                transport_outputs_[i].push_back(root_index);
+                root_transport_inputs_.push_back(i);
+            } else {
+                const tile_index ti = index_of(t);
+                transport_outputs_[i].push_back(ti);
+                transport_inputs_[ti].push_back(i);
+            }
+        };
+        if (c.x != 0)
+            add_output({c.x - sign(c.x), c.y});
+        if (c.y != 0)
+            add_output({c.x, c.y - 1});
+    }
+}
+
+void geometry::build_replacement()
+{
+    replacement_outputs_.assign(tiles_.size(), {});
+    replacement_inputs_.assign(tiles_.size(), {});
+
+    // Exit tiles: top corners of the outer ring.
+    const int d = int(rings());
+    exit_tiles_.push_back(index_of({-d, d}));
+    exit_tiles_.push_back(index_of({d, d}));
+
+    // The r-tile (latency 1) feeds all latency-3 tiles adjacent to it: the
+    // stated exception to the latency+1 rule.
+    for (const auto& [dx, dy] : k_neigh) {
+        const tile_coord n{dx, dy};
+        if (contains(n) && latency_of(n) == 3)
+            root_replacement_outputs_.push_back(index_of(n));
+    }
+
+    // Candidate edges: 8-neighbours whose latency is exactly one more.
+    std::vector<std::vector<tile_index>> candidates(tiles_.size());
+    for (tile_index i = 0; i < tiles_.size(); ++i) {
+        const tile_coord c = tiles_[i];
+        for (const auto& [dx, dy] : k_neigh) {
+            const tile_coord n{c.x + dx, c.y + dy};
+            if (contains(n) && latency_of(n) == latency_of(c) + 1)
+                candidates[i].push_back(index_of(n));
+        }
+        std::sort(candidates[i].begin(), candidates[i].end());
+    }
+
+    std::vector<unsigned> in_degree(tiles_.size(), 0);
+    for (const tile_index t : root_replacement_outputs_)
+        ++in_degree[t];
+
+    // Pass 1: every non-exit tile keeps one out-edge, aimed at the least-fed
+    // candidate so in-degrees stay minimal.
+    for (tile_index i = 0; i < tiles_.size(); ++i) {
+        if (is_exit_tile(i))
+            continue;
+        if (candidates[i].empty())
+            throw std::logic_error("non-exit tile with no replacement successor");
+        tile_index best = candidates[i].front();
+        for (const tile_index t : candidates[i])
+            if (in_degree[t] < in_degree[best])
+                best = t;
+        replacement_outputs_[i].push_back(best);
+        replacement_inputs_[best].push_back(i);
+        ++in_degree[best];
+    }
+
+    // Pass 2: feed any tile nothing evicts into yet (keeps the DAG a single
+    // temperature-ordered flow from the r-tile to the exits).
+    for (tile_index t = 0; t < tiles_.size(); ++t) {
+        if (in_degree[t] != 0)
+            continue;
+        bool fed = false;
+        for (tile_index s = 0; s < tiles_.size() && !fed; ++s) {
+            for (const tile_index c : candidates[s]) {
+                if (c == t) {
+                    replacement_outputs_[s].push_back(t);
+                    replacement_inputs_[t].push_back(s);
+                    ++in_degree[t];
+                    fed = true;
+                    break;
+                }
+            }
+        }
+        if (!fed)
+            throw std::logic_error("tile unreachable through replacement DAG");
+    }
+}
+
+bool geometry::is_exit_tile(tile_index i) const
+{
+    return std::find(exit_tiles_.begin(), exit_tiles_.end(), i) !=
+           exit_tiles_.end();
+}
+
+unsigned geometry::search_link_count() const
+{
+    unsigned links = unsigned(root_search_children_.size());
+    for (const auto& kids : search_children_)
+        links += unsigned(kids.size());
+    return links;
+}
+
+unsigned geometry::transport_link_count() const
+{
+    unsigned links = 0;
+    for (const auto& outs : transport_outputs_)
+        links += unsigned(outs.size());
+    return links;
+}
+
+unsigned geometry::replacement_link_count() const
+{
+    unsigned links = unsigned(root_replacement_outputs_.size());
+    for (const auto& outs : replacement_outputs_)
+        links += unsigned(outs.size());
+    return links;
+}
+
+unsigned geometry::replacement_exit_distance() const
+{
+    // BFS from the r-tile through the replacement DAG to the first exit.
+    std::vector<int> dist(tiles_.size(), -1);
+    std::deque<tile_index> queue;
+    for (const tile_index t : root_replacement_outputs_) {
+        dist[t] = 1;
+        queue.push_back(t);
+    }
+    while (!queue.empty()) {
+        const tile_index i = queue.front();
+        queue.pop_front();
+        if (is_exit_tile(i))
+            return unsigned(dist[i]);
+        for (const tile_index n : replacement_outputs_[i]) {
+            if (dist[n] < 0) {
+                dist[n] = dist[i] + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+    throw std::logic_error("no path from r-tile to an exit tile");
+}
+
+unsigned geometry::mesh_equivalent_link_count() const
+{
+    // Bidirectional N/S/E/W mesh over the same floorplan (r-tile included).
+    unsigned pairs = 0;
+    auto node = [&](tile_coord c) {
+        return c == tile_coord{0, 0} || contains(c);
+    };
+    const int d = int(rings());
+    for (int y = 0; y <= d; ++y) {
+        for (int x = -d; x <= d; ++x) {
+            const tile_coord c{x, y};
+            if (!node(c))
+                continue;
+            if (node({x + 1, y}))
+                ++pairs;
+            if (node({x, y + 1}))
+                ++pairs;
+        }
+    }
+    return pairs * 2; // two unidirectional links per adjacent pair
+}
+
+unsigned geometry::mesh_equivalent_max_distance() const
+{
+    unsigned max_dist = 0;
+    for (const tile_coord c : tiles_)
+        max_dist = std::max(max_dist, transport_distance(c));
+    return max_dist;
+}
+
+} // namespace lnuca::fabric

@@ -1,0 +1,149 @@
+// L-NUCA floorplan and the three network topologies (paper Figs. 1-2).
+//
+// The r-tile sits at grid position (0,0); tiles occupy every (x, y) with
+// y >= 0 and Chebyshev ring max(|x|, y) = 1 .. levels-1. Ring d holds
+// 4d + 1 tiles, reproducing the paper's 5/9/13 tiles for Le2/Le3/Le4.
+//
+// Tile latency (Fig. 2(c)) = ring + 1 + Manhattan distance: search hops to
+// reach the tile, one access cycle, and transport hops back to the r-tile.
+//
+// * Search network: a broadcast tree; each ring-(d+1) tile's parent is its
+//   coordinate clamped to ring d, so adding a level adds exactly one hop to
+//   the maximum search distance.
+// * Transport network: a 2D mesh of unidirectional links pointing towards
+//   the r-tile (west/east towards column 0, south towards row 0) - every
+//   output link makes progress, so messages need no headers.
+// * Replacement network: an irregular DAG connecting 8-neighbour tiles
+//   whose latencies differ by one cycle (the r-tile feeds the latency-3
+//   tiles as the stated exception), pruned to the lowest degree that keeps
+//   every tile fed and draining. Only the two top-corner tiles of the
+//   outermost ring evict to the next cache level.
+#pragma once
+
+#include "src/common/types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lnuca::fabric {
+
+struct tile_coord {
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const tile_coord&) const = default;
+};
+
+/// Index type for tiles in deterministic order (ring-major, then y, then x).
+using tile_index = std::uint32_t;
+inline constexpr tile_index root_index = ~tile_index{0};
+
+class geometry {
+public:
+    /// `levels` counts the r-tile: LN2 -> levels == 2 -> one ring of tiles.
+    explicit geometry(unsigned levels);
+
+    unsigned levels() const { return levels_; }
+    unsigned rings() const { return levels_ - 1; }
+    unsigned tile_count() const { return tile_index(tiles_.size()); }
+
+    const std::vector<tile_coord>& tiles() const { return tiles_; }
+    tile_coord coord_of(tile_index i) const { return tiles_[i]; }
+    tile_index index_of(tile_coord c) const;
+    bool contains(tile_coord c) const;
+
+    /// Chebyshev ring (1-based distance from the r-tile). Level = ring + 1.
+    unsigned ring_of(tile_coord c) const;
+    unsigned level_of(tile_coord c) const { return ring_of(c) + 1; }
+
+    /// Tiles forming L-NUCA level `level` (2 .. levels).
+    std::vector<tile_index> tiles_in_level(unsigned level) const;
+
+    /// Tile latency per Fig. 2(c): ring + access + transport distance.
+    unsigned latency_of(tile_coord c) const;
+    unsigned transport_distance(tile_coord c) const;
+
+    // --- Search network (broadcast tree) ---------------------------------
+    /// Children reached by this tile's miss propagation (next ring).
+    const std::vector<tile_index>& search_children(tile_index i) const
+    {
+        return search_children_[i];
+    }
+    /// Ring-1 tiles fed directly by the r-tile.
+    const std::vector<tile_index>& root_search_children() const
+    {
+        return root_search_children_;
+    }
+
+    // --- Transport network (to-root 2D mesh) -----------------------------
+    /// Mesh neighbours this tile can forward hit blocks to. root_index
+    /// denotes delivery into the r-tile.
+    const std::vector<tile_index>& transport_outputs(tile_index i) const
+    {
+        return transport_outputs_[i];
+    }
+    /// Tiles that feed this tile's downstream (transport) buffers.
+    const std::vector<tile_index>& transport_inputs(tile_index i) const
+    {
+        return transport_inputs_[i];
+    }
+    /// Tiles whose transport output is the r-tile itself.
+    const std::vector<tile_index>& root_transport_inputs() const
+    {
+        return root_transport_inputs_;
+    }
+
+    // --- Replacement network (latency-ordered DAG) ------------------------
+    /// Tiles this tile evicts into (latency + 1). Empty for top corners,
+    /// whose victims leave towards the next cache level.
+    const std::vector<tile_index>& replacement_outputs(tile_index i) const
+    {
+        return replacement_outputs_[i];
+    }
+    /// Tiles that evict into this tile (upstream buffer sources).
+    const std::vector<tile_index>& replacement_inputs(tile_index i) const
+    {
+        return replacement_inputs_[i];
+    }
+    /// Tiles the r-tile evicts into (the latency-3 tiles).
+    const std::vector<tile_index>& root_replacement_outputs() const
+    {
+        return root_replacement_outputs_;
+    }
+    /// Outer-ring top corners: the only next-level evictors.
+    bool is_exit_tile(tile_index i) const;
+    const std::vector<tile_index>& exit_tiles() const { return exit_tiles_; }
+
+    // --- Topology statistics (Section III-A ablation) ---------------------
+    unsigned search_link_count() const;
+    unsigned transport_link_count() const;
+    unsigned replacement_link_count() const;
+    /// Hops from the r-tile to the farthest tile through the search tree.
+    unsigned search_max_distance() const { return rings(); }
+    /// Hops from the r-tile to a top corner through the replacement DAG.
+    unsigned replacement_exit_distance() const;
+    /// Link count of a conventional bidirectional 2D mesh over the same
+    /// floorplan (the NUCA-style alternative the paper compares against).
+    unsigned mesh_equivalent_link_count() const;
+    /// Max request distance (hops) in that mesh from the r-tile.
+    unsigned mesh_equivalent_max_distance() const;
+
+private:
+    void build_search();
+    void build_transport();
+    void build_replacement();
+
+    unsigned levels_;
+    std::vector<tile_coord> tiles_;
+    std::vector<std::vector<tile_index>> search_children_;
+    std::vector<tile_index> root_search_children_;
+    std::vector<std::vector<tile_index>> transport_outputs_;
+    std::vector<std::vector<tile_index>> transport_inputs_;
+    std::vector<tile_index> root_transport_inputs_;
+    std::vector<std::vector<tile_index>> replacement_outputs_;
+    std::vector<std::vector<tile_index>> replacement_inputs_;
+    std::vector<tile_index> root_replacement_outputs_;
+    std::vector<tile_index> exit_tiles_;
+};
+
+} // namespace lnuca::fabric

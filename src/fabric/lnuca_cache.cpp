@@ -1,0 +1,761 @@
+#include "src/fabric/lnuca_cache.h"
+
+#include "src/common/log.h"
+
+#include <algorithm>
+
+namespace lnuca::fabric {
+
+namespace {
+
+std::uint32_t position_of(const std::vector<tile_index>& list, tile_index value)
+{
+    for (std::uint32_t i = 0; i < list.size(); ++i)
+        if (list[i] == value)
+            return i;
+    throw std::logic_error("wiring inconsistency: source not in input list");
+}
+
+} // namespace
+
+lnuca_cache::lnuca_cache(const fabric_config& config, mem::txn_id_source& ids)
+    : config_(config),
+      ids_(ids),
+      geo_(config.levels),
+      mshrs_(config.mshr_entries, config.mshr_secondary),
+      rng_(config.seed),
+      level_read_hits_(config.levels + 1, 0)
+{
+    tiles_.reserve(geo_.tile_count());
+    for (tile_index i = 0; i < geo_.tile_count(); ++i) {
+        const bool root_fed =
+            std::find(geo_.root_replacement_outputs().begin(),
+                      geo_.root_replacement_outputs().end(),
+                      i) != geo_.root_replacement_outputs().end();
+        tile_config tc = config.tile;
+        tc.seed = config.tile.seed + i;
+        tiles_.emplace_back(tc, unsigned(geo_.transport_inputs(i).size()),
+                            unsigned(geo_.replacement_inputs(i).size() +
+                                     (root_fed ? 1 : 0)));
+    }
+
+    // Transport wiring: receiver slot of each unidirectional link.
+    d_out_.resize(geo_.tile_count());
+    for (tile_index i = 0; i < geo_.tile_count(); ++i) {
+        for (const tile_index t : geo_.transport_outputs(i)) {
+            if (t == root_index)
+                d_out_[i].push_back(
+                    {root_index, position_of(geo_.root_transport_inputs(), i)});
+            else
+                d_out_[i].push_back({t, position_of(geo_.transport_inputs(t), i)});
+        }
+    }
+
+    // Replacement wiring. The r-tile's link lands in the extra (last) slot.
+    u_out_.resize(geo_.tile_count());
+    for (tile_index i = 0; i < geo_.tile_count(); ++i)
+        for (const tile_index t : geo_.replacement_outputs(i))
+            u_out_[i].push_back({t, position_of(geo_.replacement_inputs(t), i)});
+    for (const tile_index t : geo_.root_replacement_outputs())
+        root_u_out_.push_back(
+            {t, std::uint32_t(geo_.replacement_inputs(t).size())});
+
+    root_arrivals_.assign(geo_.root_transport_inputs().size(),
+                          noc::sync_fifo<transport_msg>(config.tile.buffer_depth));
+}
+
+bool lnuca_cache::can_accept(const mem::mem_request& request) const
+{
+    if (request.kind == mem::access_kind::writeback)
+        return evict_queue_.size() < config_.evict_queue_depth;
+
+    const addr_t block = request.addr & ~addr_t(config_.tile.block_bytes - 1);
+    if (const auto* entry = mshrs_.find(block)) {
+        const auto state_it = searches_.find(block);
+        const bool pure_write =
+            state_it != searches_.end() && state_it->second.is_write;
+        if (!request.needs_response)
+            return true; // stores absorb into the entry as a dirty merge
+        // A demand access cannot merge into a fire-and-forget write search
+        // (it would never be answered); it waits until that search drains.
+        if (pure_write)
+            return false;
+        return entry->targets.size() < config_.mshr_secondary;
+    }
+    return mshrs_.can_allocate() &&
+           inject_queue_.size() < config_.inject_queue_depth;
+}
+
+void lnuca_cache::accept(const mem::mem_request& request)
+{
+    const cycle_t now = request.created_at;
+
+    if (request.kind == mem::access_kind::writeback) {
+        counters_.inc("evictions_in");
+        evict_queue_.push_back(replace_msg{request.addr, request.dirty});
+        return;
+    }
+
+    const addr_t block = request.addr & ~addr_t(config_.tile.block_bytes - 1);
+    const bool fire_and_forget = !request.needs_response;
+
+    // The r-tile's output buffers (the eviction queue) are searched before
+    // launching a network search, avoiding false misses for blocks that
+    // just left the L1.
+    for (auto it = evict_queue_.begin(); it != evict_queue_.end(); ++it) {
+        if (it->block == block) {
+            counters_.inc("root_ubuffer_hit");
+            if (fire_and_forget) {
+                it->dirty = true;
+                return;
+            }
+            const bool dirty = it->dirty;
+            evict_queue_.erase(it);
+            counters_.inc("read_hit");
+            level_read_hits_[2] += request.kind == mem::access_kind::read;
+            if (upstream_ != nullptr) {
+                mem::mem_response response;
+                response.id = request.id;
+                response.addr = request.addr;
+                response.ready_at = now + 1;
+                response.served_by = mem::service_level::lnuca_tile;
+                response.fabric_level = 2;
+                response.dirty = dirty;
+                upstream_->respond(response);
+            }
+            return;
+        }
+    }
+
+    if (mshrs_.find(block) != nullptr) {
+        auto& state = searches_[block];
+        if (fire_and_forget) {
+            state.write_merged = true;
+            counters_.inc("store_merged");
+            return;
+        }
+        mshrs_.merge(block, {request.id, request.addr, request.kind,
+                             request.created_at});
+        counters_.inc("mshr_merge");
+        return;
+    }
+
+    auto& entry = mshrs_.allocate(block, now);
+    if (!fire_and_forget)
+        entry.targets.push_back(
+            {request.id, request.addr, request.kind, request.created_at});
+
+    search_state state;
+    state.block = block;
+    state.is_write = fire_and_forget;
+    searches_[block] = state;
+
+    search_msg msg;
+    msg.block = block;
+    msg.is_write = fire_and_forget;
+    inject_queue_.push_back(msg);
+    counters_.inc("searches_requested");
+}
+
+void lnuca_cache::respond(const mem::mem_response& response)
+{
+    refills_.push(response.ready_at, response);
+}
+
+void lnuca_cache::tick(cycle_t now)
+{
+    process_downstream_responses(now);
+    process_root_arrivals(now);
+    inject_evictions(now);
+    inject_searches(now);
+    for (tile_index i = 0; i < tiles_.size(); ++i)
+        evaluate_tile(now, i);
+    evaluate_global_misses(now);
+    drain_downstream_queues(now);
+    commit_cycle();
+}
+
+void lnuca_cache::process_downstream_responses(cycle_t now)
+{
+    while (auto response = refills_.pop_ready(now)) {
+        const auto it = outstanding_downstream_.find(response->id);
+        if (it == outstanding_downstream_.end()) {
+            counters_.inc("untracked_response");
+            continue;
+        }
+        const addr_t block = it->second;
+        outstanding_downstream_.erase(it);
+
+        auto entry = mshrs_.release(block);
+        if (!entry)
+            continue;
+        const auto state_it = searches_.find(block);
+        const bool merged_dirty =
+            state_it != searches_.end() && state_it->second.write_merged;
+        respond_to_targets(now, *entry, response->served_by, 0,
+                           response->dirty || merged_dirty);
+        searches_.erase(block);
+        counters_.inc("fills_from_next_level");
+    }
+}
+
+void lnuca_cache::process_root_arrivals(cycle_t now)
+{
+    for (auto& fifo : root_arrivals_) {
+        auto msg = fifo.pop();
+        if (!msg)
+            continue;
+        transport_actual_ += now - msg->hit_cycle;
+        transport_min_ += msg->min_hops;
+        counters_.inc("blocks_delivered");
+
+        auto entry = mshrs_.release(msg->block);
+        if (!entry) {
+            counters_.inc("untracked_arrival");
+            continue;
+        }
+        const auto state_it = searches_.find(msg->block);
+        const bool merged_dirty =
+            state_it != searches_.end() && state_it->second.write_merged;
+        respond_to_targets(now, *entry, mem::service_level::lnuca_tile,
+                           msg->level, msg->dirty || merged_dirty);
+        searches_.erase(msg->block);
+    }
+}
+
+void lnuca_cache::inject_searches(cycle_t now)
+{
+    if (inject_queue_.empty())
+        return;
+    const search_msg msg = inject_queue_.front();
+    inject_queue_.pop_front();
+
+    auto& state = searches_[msg.block];
+    state.active = true;
+    state.hit = false;
+    state.marked = false;
+    state.gather_at = now + geo_.rings() + 1;
+
+    for (const tile_index child : geo_.root_search_children()) {
+        tiles_[child].ma_next = msg;
+        counters_.inc("search_broadcast_hops");
+    }
+    counters_.inc("searches_injected");
+}
+
+std::size_t lnuca_cache::pick_output(std::size_t available)
+{
+    if (available <= 1)
+        return 0;
+    return config_.random_routing ? std::size_t(rng_.below(available)) : 0;
+}
+
+bool lnuca_cache::any_transport_output_free(
+    tile_index i, const std::vector<bool>& used_outputs) const
+{
+    for (std::size_t k = 0; k < d_out_[i].size(); ++k) {
+        if (used_outputs[k])
+            continue;
+        const link& l = d_out_[i][k];
+        const bool on = l.target == root_index
+                            ? root_arrivals_[l.slot].on()
+                            : tiles_[l.target].d_in[l.slot].on();
+        if (on)
+            return true;
+    }
+    return false;
+}
+
+bool lnuca_cache::push_transport(cycle_t, tile_index i, const transport_msg& msg,
+                                 std::vector<bool>& used_outputs)
+{
+    std::vector<std::size_t> candidates;
+    for (std::size_t k = 0; k < d_out_[i].size(); ++k) {
+        if (used_outputs[k])
+            continue;
+        const link& l = d_out_[i][k];
+        const bool on = l.target == root_index
+                            ? root_arrivals_[l.slot].on()
+                            : tiles_[l.target].d_in[l.slot].on();
+        if (on)
+            candidates.push_back(k);
+    }
+    if (candidates.empty())
+        return false;
+    const std::size_t k = candidates[pick_output(candidates.size())];
+    const link& l = d_out_[i][k];
+    if (l.target == root_index)
+        root_arrivals_[l.slot].push(msg);
+    else
+        tiles_[l.target].d_in[l.slot].push(msg);
+    used_outputs[k] = true;
+    counters_.inc("transport_hops");
+    return true;
+}
+
+void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
+{
+    tile& t = tiles_[i];
+    std::vector<bool> used_outputs(d_out_[i].size(), false);
+    const bool had_search = t.ma.has_value();
+
+    // --- Search operation: cache access + one-hop routing, one cycle ----
+    if (had_search) {
+        const search_msg msg = *t.ma;
+        t.ma.reset();
+        bool stop_propagation = false;
+        auto state_of = [&](addr_t block) -> search_state& {
+            return searches_[block]; // created by accept(); guarded below
+        };
+        const bool state_known = searches_.find(msg.block) != searches_.end();
+
+        if (!msg.marked && state_known) {
+            counters_.inc("tile_tag_lookups");
+            const unsigned level = geo_.level_of(geo_.coord_of(i));
+
+            // U-buffer comparators catch blocks in replacement transit.
+            bool u_hit = false;
+            for (auto& fifo : t.u_in) {
+                if (msg.is_write) {
+                    bool found = false;
+                    fifo.for_each([&](replace_msg& r) {
+                        if (r.block == msg.block) {
+                            r.dirty = true;
+                            found = true;
+                        }
+                    });
+                    if (found) {
+                        u_hit = true;
+                        state_of(msg.block).hit = true;
+                        counters_.inc("store_hits_in_transit");
+                    }
+                } else if (fifo.find([&](const replace_msg& r) {
+                               return r.block == msg.block;
+                           }) != nullptr) {
+                    // Extract only if the block can start transport now.
+                    if (any_transport_output_free(i, used_outputs)) {
+                        auto taken = fifo.extract([&](const replace_msg& r) {
+                            return r.block == msg.block;
+                        });
+                        transport_msg out;
+                        out.block = taken->block;
+                        out.dirty = taken->dirty;
+                        out.level = std::uint8_t(level);
+                        out.hit_cycle = now;
+                        out.min_hops = geo_.transport_distance(geo_.coord_of(i));
+                        push_transport(now, i, out, used_outputs);
+                        state_of(msg.block).hit = true;
+                        counters_.inc("ubuffer_hits");
+                        level_read_hits_[level]++;
+                        u_hit = true;
+                    } else {
+                        state_of(msg.block).marked = true;
+                        counters_.inc("transport_contention");
+                        // Re-emit marked so the miss line sees the restart.
+                        search_msg marked = msg;
+                        marked.marked = true;
+                        for (const tile_index child : geo_.search_children(i)) {
+                            tiles_[child].ma_next = marked;
+                            counters_.inc("search_broadcast_hops");
+                        }
+                        u_hit = true;
+                    }
+                }
+                if (u_hit)
+                    break;
+            }
+
+            if (u_hit) {
+                stop_propagation = true;
+            } else if (t.cache.probe(msg.block)) {
+                if (msg.is_write) {
+                    t.cache.lookup(msg.block); // refresh recency
+                    t.cache.set_dirty(msg.block, true);
+                    state_of(msg.block).hit = true;
+                    counters_.inc("store_hits_in_place");
+                    stop_propagation = true;
+                } else if (any_transport_output_free(i, used_outputs)) {
+                    const auto line = t.cache.extract(msg.block);
+                    transport_msg out;
+                    out.block = msg.block;
+                    out.dirty = line->dirty;
+                    out.level = std::uint8_t(level);
+                    out.hit_cycle = now;
+                    out.min_hops = geo_.transport_distance(geo_.coord_of(i));
+                    push_transport(now, i, out, used_outputs);
+                    state_of(msg.block).hit = true;
+                    counters_.inc("tile_hits");
+                    counters_.inc("tile_data_reads");
+                    level_read_hits_[level]++;
+                    stop_propagation = true;
+                } else {
+                    state_of(msg.block).marked = true;
+                    counters_.inc("transport_contention");
+                    search_msg marked = msg;
+                    marked.marked = true;
+                    for (const tile_index child : geo_.search_children(i)) {
+                        tiles_[child].ma_next = marked;
+                        counters_.inc("search_broadcast_hops");
+                    }
+                    stop_propagation = true; // marked copy already forwarded
+                }
+            }
+        }
+
+        if (!stop_propagation) {
+            for (const tile_index child : geo_.search_children(i)) {
+                tiles_[child].ma_next = msg;
+                counters_.inc("search_broadcast_hops");
+            }
+        }
+    }
+
+    // --- Transport operation: forward buffered blocks towards the root --
+    const std::size_t d_links = t.d_in.size();
+    for (std::size_t n = 0; n < d_links; ++n) {
+        auto& fifo = t.d_in[n];
+        const transport_msg* head = fifo.front();
+        if (head == nullptr)
+            continue;
+        if (push_transport(now, i, *head, used_outputs))
+            fifo.pop();
+        else
+            counters_.inc("transport_blocked");
+    }
+
+    // --- Replacement operation: only during search-idle cycles ----------
+    if (!had_search)
+        run_replacement(now, i);
+}
+
+void lnuca_cache::run_replacement(cycle_t now, tile_index i)
+{
+    (void)now;
+    tile& t = tiles_[i];
+
+    if (t.phase == tile::repl_phase::write_pending) {
+        auto& fifo = t.u_in[t.pending_u];
+        const replace_msg* head = fifo.front();
+        if (head == nullptr || head->block != t.pending_block) {
+            // The search operation extracted the in-transit block.
+            t.phase = tile::repl_phase::idle;
+            return;
+        }
+        const replace_msg msg = *fifo.pop();
+        if (auto displaced = t.cache.install(msg.block, msg.dirty)) {
+            // A way was freed in phase one; this indicates a logic error.
+            LNUCA_ERROR("tile install displaced a line unexpectedly");
+            counters_.inc("install_conflicts");
+            exit_queue_.push_back(replace_msg{displaced->block_addr,
+                                              displaced->dirty});
+        }
+        counters_.inc("tile_data_writes");
+        t.phase = tile::repl_phase::idle;
+        return;
+    }
+
+    // Phase one: pick an incoming victim, make room for it if needed.
+    const std::size_t links = t.u_in.size();
+    const replace_msg* head = nullptr;
+    std::size_t chosen = 0;
+    for (std::size_t n = 0; n < links; ++n) {
+        const std::size_t k = (t.repl_rotate + n) % links;
+        if ((head = t.u_in[k].front()) != nullptr) {
+            chosen = k;
+            break;
+        }
+    }
+    if (head == nullptr)
+        return;
+    t.repl_rotate = (chosen + 1) % std::max<std::size_t>(links, 1);
+
+    const bool room = t.cache.set_has_free_way(head->block) ||
+                      t.cache.probe(head->block).has_value();
+    if (!room) {
+        // Choose an On output U channel (or the exit path on corner tiles)
+        // and read the victim out; the incoming block lands next idle cycle.
+        std::vector<std::size_t> candidates;
+        for (std::size_t k = 0; k < u_out_[i].size(); ++k) {
+            const link& l = u_out_[i][k];
+            if (tiles_[l.target].u_in[l.slot].on())
+                candidates.push_back(k);
+        }
+        const bool exit_ok = geo_.is_exit_tile(i) &&
+                             exit_queue_.size() < config_.exit_queue_depth;
+        if (candidates.empty() && !exit_ok) {
+            counters_.inc("replacement_blocked");
+            return;
+        }
+        const auto victim = t.cache.evict_victim(head->block);
+        counters_.inc("tile_data_reads");
+        if (!candidates.empty()) {
+            const std::size_t k = candidates[pick_output(candidates.size())];
+            const link& l = u_out_[i][k];
+            tiles_[l.target].u_in[l.slot].push(
+                replace_msg{victim.block_addr, victim.dirty});
+        } else {
+            exit_queue_.push_back(replace_msg{victim.block_addr, victim.dirty});
+        }
+        counters_.inc("replacement_hops");
+    }
+
+    t.phase = tile::repl_phase::write_pending;
+    t.pending_u = chosen;
+    t.pending_block = head->block;
+}
+
+void lnuca_cache::inject_evictions(cycle_t)
+{
+    if (evict_queue_.empty())
+        return;
+    std::vector<std::size_t> candidates;
+    for (std::size_t k = 0; k < root_u_out_.size(); ++k) {
+        const link& l = root_u_out_[k];
+        if (tiles_[l.target].u_in[l.slot].on())
+            candidates.push_back(k);
+    }
+    if (candidates.empty()) {
+        counters_.inc("eviction_inject_blocked");
+        return;
+    }
+    const replace_msg msg = evict_queue_.front();
+    evict_queue_.pop_front();
+    const std::size_t k = candidates[pick_output(candidates.size())];
+    const link& l = root_u_out_[k];
+    tiles_[l.target].u_in[l.slot].push(msg);
+    counters_.inc("replacement_hops");
+    counters_.inc("evictions_injected");
+}
+
+void lnuca_cache::evaluate_global_misses(cycle_t now)
+{
+    std::vector<addr_t> to_erase;
+    for (auto& [block, state] : searches_) {
+        if (!state.active || state.gather_at != now)
+            continue;
+        state.active = false;
+        counters_.inc("miss_line_gathers");
+
+        if (state.hit) {
+            // Reads: the block is in transport; the MSHR is released when it
+            // reaches the r-tile. Pure stores landed in place: finish here.
+            if (state.is_write) {
+                mshrs_.release(block);
+                to_erase.push_back(block);
+            }
+            continue;
+        }
+
+        if (state.marked) {
+            // Transport contention: the miss line bounces the request back
+            // to the r-tile, which restarts the search.
+            search_msg msg;
+            msg.block = block;
+            msg.is_write = state.is_write;
+            inject_queue_.push_back(msg);
+            counters_.inc("search_restarts");
+            continue;
+        }
+
+        // Global miss. The block may be sitting in the exit path.
+        bool found_in_exit = false;
+        for (auto it = exit_queue_.begin(); it != exit_queue_.end(); ++it) {
+            if (it->block == block) {
+                found_in_exit = true;
+                const bool dirty = it->dirty || state.write_merged;
+                if (state.is_write) {
+                    it->dirty = true;
+                    mshrs_.release(block);
+                    to_erase.push_back(block);
+                    break;
+                }
+                exit_queue_.erase(it);
+                auto entry = mshrs_.release(block);
+                if (entry)
+                    respond_to_targets(now, *entry,
+                                       mem::service_level::lnuca_tile,
+                                       std::uint8_t(config_.levels), dirty);
+                to_erase.push_back(block);
+                counters_.inc("exit_snoop_hits");
+                break;
+            }
+        }
+        if (found_in_exit)
+            continue;
+
+        counters_.inc("global_misses");
+        // A global miss for a block actually present in the fabric would be
+        // a search correctness bug; exclusion makes this impossible, so it
+        // is counted defensively rather than tolerated silently.
+        if (copies_of(block) != 0)
+            counters_.inc("false_global_misses");
+        if (state.is_write) {
+            // Fire-and-forget store miss leaves towards the next level.
+            mem::mem_request write;
+            write.id = ids_.next();
+            write.addr = block;
+            write.size = config_.tile.block_bytes;
+            write.kind = mem::access_kind::write;
+            write.created_at = now;
+            write.needs_response = false;
+            downstream_queue_.push_back(write);
+            mshrs_.release(block);
+            to_erase.push_back(block);
+            counters_.inc("write_misses_out");
+            continue;
+        }
+
+        mem::mem_request read;
+        read.id = ids_.next();
+        read.addr = block;
+        read.size = config_.tile.block_bytes;
+        read.kind = mem::access_kind::read;
+        read.created_at = now;
+        downstream_queue_.push_back(read);
+        outstanding_downstream_[read.id] = block;
+        if (auto* entry = mshrs_.find(block))
+            entry->issued = true;
+    }
+    for (const addr_t block : to_erase)
+        searches_.erase(block);
+}
+
+void lnuca_cache::drain_downstream_queues(cycle_t now)
+{
+    if (downstream_ == nullptr)
+        return;
+
+    // Global misses and store misses, in order.
+    if (!downstream_queue_.empty()) {
+        mem::mem_request request = downstream_queue_.front();
+        request.created_at = now;
+        if (downstream_->can_accept(request)) {
+            downstream_->accept(request);
+            downstream_queue_.pop_front();
+        }
+    }
+
+    // Corner-tile victims: dirty blocks write back, clean ones are already
+    // present in the (inclusive) next level and are dropped.
+    if (!exit_queue_.empty()) {
+        const replace_msg victim = exit_queue_.front();
+        if (!victim.dirty) {
+            exit_queue_.pop_front();
+            counters_.inc("clean_exits_dropped");
+        } else {
+            mem::mem_request writeback;
+            writeback.id = ids_.next();
+            writeback.addr = victim.block;
+            writeback.size = config_.tile.block_bytes;
+            writeback.kind = mem::access_kind::writeback;
+            writeback.created_at = now;
+            writeback.needs_response = false;
+            writeback.dirty = true;
+            if (downstream_->can_accept(writeback)) {
+                downstream_->accept(writeback);
+                exit_queue_.pop_front();
+                counters_.inc("dirty_exits_written_back");
+            }
+        }
+    }
+}
+
+void lnuca_cache::commit_cycle()
+{
+    for (auto& t : tiles_)
+        t.commit();
+    for (auto& fifo : root_arrivals_)
+        fifo.commit();
+}
+
+void lnuca_cache::respond_to_targets(cycle_t now, const mem::mshr_entry& entry,
+                                     mem::service_level origin,
+                                     std::uint8_t level, bool dirty)
+{
+    if (upstream_ == nullptr)
+        return;
+    for (const auto& target : entry.targets) {
+        mem::mem_response response;
+        response.id = target.id;
+        response.addr = target.addr;
+        response.ready_at = now;
+        response.served_by = origin;
+        response.fabric_level = level;
+        response.dirty = dirty || target.kind == mem::access_kind::write;
+        upstream_->respond(response);
+    }
+}
+
+std::uint64_t lnuca_cache::read_hits_in_level(unsigned level) const
+{
+    return level < level_read_hits_.size() ? level_read_hits_[level] : 0;
+}
+
+std::uint64_t lnuca_cache::tile_capacity_bytes() const
+{
+    return std::uint64_t(geo_.tile_count()) * config_.tile.size_bytes;
+}
+
+bool lnuca_cache::prewarm(addr_t addr)
+{
+    const addr_t block = addr & ~addr_t(config_.tile.block_bytes - 1);
+    for (unsigned level = 2; level <= config_.levels; ++level) {
+        for (const tile_index i : geo_.tiles_in_level(level)) {
+            tile& t = tiles_[i];
+            if (t.cache.probe(block))
+                return true; // already present; exclusion holds
+            if (t.cache.set_has_free_way(block)) {
+                t.cache.install(block, false);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+unsigned lnuca_cache::copies_of(addr_t block) const
+{
+    unsigned copies = 0;
+    for (const auto& t : tiles_) {
+        if (t.cache.probe(block))
+            ++copies;
+        if (t.u_buffer_find(block) != nullptr)
+            ++copies;
+        for (const auto& fifo : t.d_in)
+            if (fifo.find([&](const transport_msg& m) { return m.block == block; }))
+                ++copies;
+    }
+    for (const auto& fifo : root_arrivals_)
+        if (fifo.find([&](const transport_msg& m) { return m.block == block; }))
+            ++copies;
+    for (const auto& m : evict_queue_)
+        copies += m.block == block;
+    for (const auto& m : exit_queue_)
+        copies += m.block == block;
+    return copies;
+}
+
+bool lnuca_cache::quiescent() const
+{
+    if (!inject_queue_.empty() || !evict_queue_.empty() || !exit_queue_.empty() ||
+        !downstream_queue_.empty() || !refills_.empty() || !mshrs_.empty() ||
+        !searches_.empty() || !outstanding_downstream_.empty())
+        return false;
+    for (const auto& fifo : root_arrivals_)
+        if (!fifo.empty())
+            return false;
+    for (const auto& t : tiles_) {
+        if (t.ma.has_value() || t.ma_next.has_value() ||
+            t.phase != tile::repl_phase::idle)
+            return false;
+        for (const auto& fifo : t.d_in)
+            if (!fifo.empty())
+                return false;
+        for (const auto& fifo : t.u_in)
+            if (!fifo.empty())
+                return false;
+    }
+    return true;
+}
+
+} // namespace lnuca::fabric

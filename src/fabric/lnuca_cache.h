@@ -1,0 +1,165 @@
+// The L-NUCA fabric: the paper's contribution.
+//
+// Sits between the r-tile (a conventional L1 whose misses and evictions it
+// absorbs) and the next cache level (L3 or a D-NUCA), exactly like the L2
+// it replaces:
+//
+//   L1 miss        -> broadcast search, one level per cycle; tile hits
+//                     extract the block (content exclusion) and transport
+//                     it to the r-tile; a global miss is detected one cycle
+//                     after the outermost level and forwarded downstream.
+//   L1 eviction    -> injected into the replacement network; victims domino
+//                     from tile to tile in latency order; only the two top
+//                     corner tiles spill to the next level.
+//   store miss     -> fire-and-forget: updates a tile in place on a hit or
+//                     is forwarded downstream on a global miss ("replaced
+//                     blocks + write misses to L3", Fig. 2(c)).
+//
+// Every tile performs its cache access plus one-hop routing in one cycle;
+// transport and replacement use two-entry On/Off link buffers and random
+// distributed routing over output links that are all valid by construction.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/fabric/geometry.h"
+#include "src/fabric/tile.h"
+#include "src/mem/mshr.h"
+#include "src/mem/request.h"
+#include "src/sim/ticked.h"
+#include "src/sim/timed_queue.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace lnuca::fabric {
+
+struct fabric_config {
+    unsigned levels = 3; ///< including the r-tile (LN3)
+    tile_config tile;
+    std::uint32_t mshr_entries = 16;
+    std::uint32_t mshr_secondary = 4;
+    std::uint32_t inject_queue_depth = 8;
+    std::uint32_t evict_queue_depth = 8;
+    std::uint32_t exit_queue_depth = 16;
+    bool random_routing = true; ///< false: always pick the first output link
+                                ///< (dimension-order-like, for the ablation)
+    std::uint64_t seed = 0xfab;
+};
+
+class lnuca_cache final : public sim::ticked, public mem::mem_port, public mem::mem_client {
+public:
+    lnuca_cache(const fabric_config& config, mem::txn_id_source& ids);
+
+    void set_upstream(mem::mem_client* client) { upstream_ = client; }
+    void set_downstream(mem::mem_port* port) { downstream_ = port; }
+
+    // mem_port (r-tile side)
+    bool can_accept(const mem::mem_request& request) const override;
+    void accept(const mem::mem_request& request) override;
+
+    // mem_client (next-level side)
+    void respond(const mem::mem_response& response) override;
+
+    // ticked
+    void tick(cycle_t now) override;
+
+    const fabric_config& config() const { return config_; }
+    const geometry& geo() const { return geo_; }
+    const counter_set& counters() const { return counters_; }
+    bool quiescent() const;
+
+    /// Read hits serviced by L-NUCA level `level` (2-based, Table III).
+    std::uint64_t read_hits_in_level(unsigned level) const;
+
+    /// Transport latency accounting (Table III right): sums of actual and
+    /// contention-free cycles over all delivered blocks.
+    std::uint64_t transport_actual_cycles() const { return transport_actual_; }
+    std::uint64_t transport_min_cycles() const { return transport_min_; }
+
+    /// Total data storage in tiles (for reports): tiles * tile size.
+    std::uint64_t tile_capacity_bytes() const;
+
+    /// Tile introspection for tests/examples.
+    const tile& tile_at(tile_index i) const { return tiles_[i]; }
+    tile& tile_at(tile_index i) { return tiles_[i]; }
+
+    /// True iff `block` currently lives in exactly `copies` places across
+    /// all tiles and in-flight buffers (exclusion checker for tests).
+    unsigned copies_of(addr_t block) const;
+
+    /// Functionally install a block before measurement (no timing): tiles
+    /// are tried closest-first, so calling with hottest blocks first yields
+    /// the temporal-locality-ordered placement the fabric converges to.
+    /// Returns false when every candidate set is full.
+    bool prewarm(addr_t addr);
+
+private:
+    struct link {
+        tile_index target = 0; ///< root_index = the r-tile
+        std::uint32_t slot = 0; ///< input fifo index at the target
+    };
+
+    struct search_state {
+        addr_t block = no_addr;
+        bool is_write = false;     ///< pure fire-and-forget store miss
+        bool write_merged = false; ///< a store merged while in flight
+        bool hit = false;
+        bool marked = false;
+        cycle_t gather_at = 0;
+        bool active = false;
+    };
+
+    void process_downstream_responses(cycle_t now);
+    void process_root_arrivals(cycle_t now);
+    void inject_searches(cycle_t now);
+    void evaluate_tile(cycle_t now, tile_index i);
+    void run_replacement(cycle_t now, tile_index i);
+    void inject_evictions(cycle_t now);
+    void evaluate_global_misses(cycle_t now);
+    void drain_downstream_queues(cycle_t now);
+    void commit_cycle();
+    bool push_transport(cycle_t now, tile_index i, const transport_msg& msg,
+                        std::vector<bool>& used_outputs);
+    bool any_transport_output_free(tile_index i,
+                                   const std::vector<bool>& used_outputs) const;
+
+    void respond_to_targets(cycle_t now, const mem::mshr_entry& entry,
+                            mem::service_level origin, std::uint8_t level,
+                            bool dirty);
+    std::size_t pick_output(std::size_t available);
+
+    fabric_config config_;
+    mem::txn_id_source& ids_;
+    geometry geo_;
+    std::vector<tile> tiles_;
+    mem::mshr_file mshrs_;
+    counter_set counters_;
+    rng rng_;
+
+    mem::mem_client* upstream_ = nullptr;
+    mem::mem_port* downstream_ = nullptr;
+
+    // Precomputed wiring: per-tile output links with receiver slot indices.
+    std::vector<std::vector<link>> d_out_;
+    std::vector<std::vector<link>> u_out_;
+    std::vector<link> root_u_out_; ///< r-tile eviction targets
+    std::vector<noc::sync_fifo<transport_msg>> root_arrivals_;
+
+    // Request-side queues.
+    std::deque<search_msg> inject_queue_;
+    std::deque<replace_msg> evict_queue_;          ///< r-tile victims entering
+    std::deque<replace_msg> exit_queue_;           ///< corner victims leaving
+    std::deque<mem::mem_request> downstream_queue_; ///< global misses / writes
+    sim::timed_queue<mem::mem_response> refills_;
+
+    std::unordered_map<addr_t, search_state> searches_; ///< by block address
+    std::unordered_map<txn_id_t, addr_t> outstanding_downstream_;
+
+    std::vector<std::uint64_t> level_read_hits_; ///< indexed by L-NUCA level
+    std::uint64_t transport_actual_ = 0;
+    std::uint64_t transport_min_ = 0;
+};
+
+} // namespace lnuca::fabric

@@ -1,0 +1,39 @@
+// Headerless messages of the three L-NUCA networks (Section III-B).
+//
+// Destinations are implicit in the topologies (search: broadcast outwards;
+// transport: towards the r-tile; replacement: next tile in the latency
+// order), so messages carry only the block identity plus bookkeeping the
+// simulator needs for statistics.
+#pragma once
+
+#include "src/common/types.h"
+
+namespace lnuca::fabric {
+
+/// Miss request travelling outwards on the broadcast tree. A tile that hits
+/// but finds all transport outputs Off re-emits the message with `marked`
+/// set; the global-miss logic then bounces the request back to the r-tile
+/// to restart the search (Section III-C, Transport operation).
+struct search_msg {
+    addr_t block = no_addr;
+    bool is_write = false; ///< fire-and-forget store miss (updates in place)
+    bool marked = false;   ///< transport-contention restart marker
+};
+
+/// Hit block travelling to the r-tile on the transport mesh. One
+/// message-wide flit (32 B links carry a 32 B block).
+struct transport_msg {
+    addr_t block = no_addr;
+    bool dirty = false;
+    std::uint8_t level = 2;   ///< L-NUCA level that hit (2 = Le2)
+    cycle_t hit_cycle = 0;    ///< for avg/min transport latency (Table III)
+    std::uint32_t min_hops = 1;
+};
+
+/// Victim block performing one "domino" hop on the replacement network.
+struct replace_msg {
+    addr_t block = no_addr;
+    bool dirty = false;
+};
+
+} // namespace lnuca::fabric

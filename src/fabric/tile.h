@@ -1,0 +1,77 @@
+// One L-NUCA tile: a small one-cycle cache plus the per-link latches and
+// buffers of Fig. 3 - the Miss Address (MA) pipeline register, downstream
+// (transport) buffers and upstream (replacement) buffers.
+//
+// Tiles hold state only; the fabric (lnuca_cache) drives the per-cycle
+// search/transport/replacement operations because routing needs the global
+// topology.
+#pragma once
+
+#include "src/common/stats.h"
+#include "src/fabric/messages.h"
+#include "src/mem/tag_array.h"
+#include "src/noc/fifo.h"
+
+#include <optional>
+#include <vector>
+
+namespace lnuca::fabric {
+
+struct tile_config {
+    std::uint64_t size_bytes = 8_KiB;
+    std::uint32_t ways = 2;
+    std::uint32_t block_bytes = 32;
+    std::string policy = "lru";
+    std::uint64_t seed = 0x5eed;
+    std::uint32_t buffer_depth = 2; ///< per-link U/D buffer entries
+};
+
+class tile {
+public:
+    tile(const tile_config& config, unsigned transport_in_links,
+         unsigned replacement_in_links)
+        : cache({config.size_bytes, config.ways, config.block_bytes,
+                 config.policy, config.seed}),
+          d_in(transport_in_links, noc::sync_fifo<transport_msg>(config.buffer_depth)),
+          u_in(replacement_in_links, noc::sync_fifo<replace_msg>(config.buffer_depth))
+    {
+    }
+
+    /// Latch the staged MA register and commit all link buffers; called once
+    /// per fabric cycle after every tile has been evaluated.
+    void commit()
+    {
+        ma = ma_next;
+        ma_next.reset();
+        for (auto& fifo : d_in)
+            fifo.commit();
+        for (auto& fifo : u_in)
+            fifo.commit();
+    }
+
+    /// Search for `block` among in-transit replacement blocks (the U-buffer
+    /// address comparators of Fig. 3(a)).
+    const replace_msg* u_buffer_find(addr_t block) const
+    {
+        for (const auto& fifo : u_in)
+            if (const auto* m =
+                    fifo.find([&](const replace_msg& r) { return r.block == block; }))
+                return m;
+        return nullptr;
+    }
+
+    mem::tag_array cache;
+    std::optional<search_msg> ma;      ///< request being processed this cycle
+    std::optional<search_msg> ma_next; ///< staged by the parent this cycle
+    std::vector<noc::sync_fifo<transport_msg>> d_in;
+    std::vector<noc::sync_fifo<replace_msg>> u_in;
+
+    /// Two-cycle replacement operation state (Section III-C(c)).
+    enum class repl_phase : std::uint8_t { idle, write_pending };
+    repl_phase phase = repl_phase::idle;
+    std::size_t pending_u = 0; ///< which u_in fifo the pending install reads
+    addr_t pending_block = no_addr;
+    std::size_t repl_rotate = 0; ///< fairness pointer over u_in fifos
+};
+
+} // namespace lnuca::fabric

@@ -1,0 +1,139 @@
+#include "src/hier/presets.h"
+
+#include "src/common/types.h"
+
+namespace lnuca::hier {
+
+namespace {
+
+mem::cache_config l1_write_through()
+{
+    mem::cache_config c;
+    c.name = "L1";
+    c.size_bytes = 32_KiB;
+    c.ways = 4;
+    c.block_bytes = 32;
+    c.completion_latency = 2;
+    c.initiation_interval = 1;
+    c.ports = 2;
+    c.write_through = true;
+    c.mshr_entries = 16;
+    c.mshr_secondary = 4;
+    c.write_buffer_entries = 32;
+    c.level_tag = mem::service_level::l1;
+    return c;
+}
+
+mem::cache_config r_tile()
+{
+    // The r-tile keeps the L1's geometry and timing but participates in the
+    // fabric's exclusive victim flow: copy-back, no allocation on store
+    // misses (they leave towards the L3, Fig. 2(c)), and every victim -
+    // clean or dirty - enters the replacement network.
+    mem::cache_config c = l1_write_through();
+    c.name = "r-tile";
+    c.write_through = false;
+    c.write_allocate = false;
+    c.writeback_clean = true;
+    return c;
+}
+
+mem::cache_config l2_cache()
+{
+    mem::cache_config c;
+    c.name = "L2";
+    c.size_bytes = 256_KiB;
+    c.ways = 8;
+    c.block_bytes = 64;
+    c.completion_latency = 4;
+    c.initiation_interval = 2;
+    c.ports = 1;
+    c.write_through = false;
+    c.serial_access = true;
+    c.mshr_entries = 16;
+    c.mshr_secondary = 4;
+    c.write_buffer_entries = 32;
+    c.level_tag = mem::service_level::l2;
+    return c;
+}
+
+mem::cache_config l3_cache()
+{
+    mem::cache_config c;
+    c.name = "L3";
+    c.size_bytes = 8_MiB;
+    c.ways = 16;
+    c.block_bytes = 128;
+    c.completion_latency = 20;
+    c.initiation_interval = 15; // per bank (serial low-power arrays)
+    c.ports = 1;
+    c.banks = 4; // Core 2-class LLCs are line-interleaved across banks
+    c.write_through = false;
+    c.mshr_entries = 8;
+    c.mshr_secondary = 4;
+    c.write_buffer_entries = 32;
+    c.level_tag = mem::service_level::l3;
+    return c;
+}
+
+system_config common_base()
+{
+    system_config s;
+    s.core = cpu::core_config{};
+    s.l1 = l1_write_through();
+    s.l2 = l2_cache();
+    s.l3 = l3_cache();
+    s.memory = mem::main_memory_config{};
+    return s;
+}
+
+} // namespace
+
+namespace presets {
+
+system_config l2_256kb()
+{
+    system_config s = common_base();
+    s.name = "L2-256KB";
+    s.kind = hierarchy_kind::conventional;
+    return s;
+}
+
+system_config lnuca_l3(unsigned levels)
+{
+    system_config s = common_base();
+    s.name = lnuca_config_name(levels);
+    s.kind = hierarchy_kind::lnuca_l3;
+    s.l1 = r_tile();
+    s.fabric.levels = levels;
+    return s;
+}
+
+system_config dnuca_4x8()
+{
+    system_config s = common_base();
+    s.name = "DN-4x8";
+    s.kind = hierarchy_kind::dnuca;
+    return s;
+}
+
+system_config lnuca_dnuca(unsigned levels)
+{
+    system_config s = common_base();
+    s.name = "LN" + std::to_string(levels) + " + DN-4x8";
+    s.kind = hierarchy_kind::lnuca_dnuca;
+    s.l1 = r_tile();
+    s.fabric.levels = levels;
+    return s;
+}
+
+} // namespace presets
+
+std::string lnuca_config_name(unsigned levels)
+{
+    const fabric::geometry geo(levels);
+    const std::uint64_t kb = (32_KiB + geo.tile_count() * 8_KiB) / 1024;
+    return "LN" + std::to_string(levels) + "-" + std::to_string(kb) + "KB";
+}
+
+} // namespace lnuca::hier

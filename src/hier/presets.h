@@ -1,0 +1,68 @@
+// The paper's cache hierarchies (Fig. 1) as ready-made configurations:
+//
+//   l2_256kb()        L1 32KB -> L2 256KB -> L3 8MB          (Fig. 1(a))
+//   lnuca_l3(k)       r-tile  -> LNk fabric -> L3 8MB        (Fig. 1(b))
+//   dnuca_4x8()       L1 32KB -> 8MB D-NUCA (8 sets x 4 rows) (Fig. 1(c))
+//   lnuca_dnuca(k)    r-tile  -> LNk fabric -> 8MB D-NUCA    (Fig. 1(d))
+//
+// All parameters follow Table I.
+#pragma once
+
+#include "src/cpu/ooo_core.h"
+#include "src/dnuca/dnuca_cache.h"
+#include "src/fabric/lnuca_cache.h"
+#include "src/mem/bus.h"
+#include "src/mem/cache.h"
+#include "src/mem/main_memory.h"
+
+#include <string>
+
+namespace lnuca::hier {
+
+enum class hierarchy_kind {
+    conventional, ///< L1 + L2 + L3
+    lnuca_l3,     ///< r-tile + L-NUCA + L3
+    dnuca,        ///< L1 + D-NUCA
+    lnuca_dnuca,  ///< r-tile + L-NUCA + D-NUCA
+};
+
+struct system_config {
+    std::string name = "L2-256KB";
+    hierarchy_kind kind = hierarchy_kind::conventional;
+    cpu::core_config core;
+    mem::cache_config l1;
+    mem::cache_config l2;
+    mem::cache_config l3;
+    fabric::fabric_config fabric;
+    dnuca::dnuca_config dnuca;
+    mem::main_memory_config memory;
+    /// The conventional L1<->L2 connection crosses the die over a narrow
+    /// shared bus (16B wires, two arbitration cycles each way, full 64B
+    /// line streamed back), which puts the L2's load-to-use latency at the
+    /// ~14 cycles of the Core 2-class parts the paper models its clock on.
+    /// The L-NUCA replaces this bus with abutted message-wide local links -
+    /// that is the paper's premise (Section III-A).
+    mem::bus_config l1_l2_bus{16, 2, 64};
+    std::uint64_t seed = 1;
+};
+
+namespace presets {
+
+/// Baseline three-level conventional hierarchy (L2 design-space winner).
+system_config l2_256kb();
+
+/// L-NUCA replacing the L2; `levels` in [2,4] gives LN2/LN3/LN4.
+system_config lnuca_l3(unsigned levels);
+
+/// 8MB D-NUCA directly under the L1.
+system_config dnuca_4x8();
+
+/// L-NUCA between the L1 and the D-NUCA.
+system_config lnuca_dnuca(unsigned levels);
+
+} // namespace presets
+
+/// Human name like the paper's: LN3-144KB.
+std::string lnuca_config_name(unsigned levels);
+
+} // namespace lnuca::hier

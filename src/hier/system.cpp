@@ -1,0 +1,314 @@
+#include "src/hier/system.h"
+
+#include "src/common/log.h"
+
+#include <atomic>
+#include <thread>
+
+namespace lnuca::hier {
+
+system::system(const system_config& config, const wl::workload_profile& workload,
+               std::uint64_t seed)
+    : config_(config)
+{
+    stream_ = wl::make_stream(workload, hash64(seed ^ hash64(0x5770)));
+    core_ = std::make_unique<cpu::ooo_core>(config.core, *stream_, ids_);
+
+    mem::cache_config l1c = config.l1;
+    l1c.seed = hash64(seed ^ 0x11);
+    l1_ = std::make_unique<mem::conventional_cache>(l1c, ids_);
+
+    memory_ = std::make_unique<mem::main_memory>(config.memory);
+
+    const bool with_fabric = config.kind == hierarchy_kind::lnuca_l3 ||
+                             config.kind == hierarchy_kind::lnuca_dnuca;
+    const bool with_l2 = config.kind == hierarchy_kind::conventional;
+    const bool with_l3 = config.kind == hierarchy_kind::conventional ||
+                         config.kind == hierarchy_kind::lnuca_l3;
+    const bool with_dnuca = config.kind == hierarchy_kind::dnuca ||
+                            config.kind == hierarchy_kind::lnuca_dnuca;
+
+    if (with_fabric) {
+        fabric::fabric_config fc = config.fabric;
+        fc.seed = hash64(seed ^ 0xfab);
+        fc.tile.seed = hash64(seed ^ 0x711e);
+        fabric_ = std::make_unique<fabric::lnuca_cache>(fc, ids_);
+    }
+    if (with_l2) {
+        mem::cache_config l2c = config.l2;
+        l2c.seed = hash64(seed ^ 0x22);
+        l2_ = std::make_unique<mem::conventional_cache>(l2c, ids_);
+    }
+    if (with_l3) {
+        mem::cache_config l3c = config.l3;
+        l3c.seed = hash64(seed ^ 0x33);
+        l3_ = std::make_unique<mem::conventional_cache>(l3c, ids_);
+    }
+    if (with_dnuca) {
+        dnuca::dnuca_config dc = config.dnuca;
+        dc.seed = hash64(seed ^ 0xd0ca);
+        dnuca_ = std::make_unique<dnuca::dnuca_cache>(dc, ids_);
+    }
+
+    // Wire top-down. Registration order is the timing contract: producers
+    // tick before the consumers beneath them (see sim/engine.h).
+    core_->set_dcache(l1_.get());
+    engine_.add(*core_);
+
+    mem::mem_port* below_l1 = nullptr;
+
+    engine_.add(*l1_);
+    if (with_fabric) {
+        below_l1 = fabric_.get();
+        fabric_->set_upstream(l1_.get());
+        engine_.add(*fabric_);
+    } else if (with_l2) {
+        // L1 -> bus -> L2: the inter-cache hop the L-NUCA eliminates.
+        l1_l2_bus_ = std::make_unique<mem::bus>(config.l1_l2_bus);
+        below_l1 = l1_l2_bus_.get();
+        l1_l2_bus_->set_upstream(l1_.get());
+        l1_l2_bus_->set_downstream(l2_.get());
+        l2_->set_upstream(l1_l2_bus_.get());
+        engine_.add(*l1_l2_bus_);
+        engine_.add(*l2_);
+    }
+
+    l1_->set_upstream(core_.get());
+    if (below_l1 == nullptr) {
+        // D-NUCA directly under the L1 (Fig. 1(c)).
+        below_l1 = dnuca_.get();
+        dnuca_->set_upstream(l1_.get());
+        engine_.add(*dnuca_);
+        dnuca_->set_downstream(memory_.get());
+        memory_->set_upstream(dnuca_.get());
+        l1_->set_downstream(below_l1);
+        engine_.add(*memory_);
+        prewarm();
+        return;
+    }
+    l1_->set_downstream(below_l1);
+
+    if (with_l3) {
+        l3_->set_upstream(static_cast<mem::mem_client*>(
+            with_fabric ? static_cast<mem::mem_client*>(fabric_.get())
+                        : static_cast<mem::mem_client*>(l2_.get())));
+        if (with_fabric)
+            fabric_->set_downstream(l3_.get());
+        else
+            l2_->set_downstream(l3_.get());
+        engine_.add(*l3_);
+        l3_->set_downstream(memory_.get());
+        memory_->set_upstream(l3_.get());
+    } else if (with_dnuca) {
+        // L-NUCA + D-NUCA (Fig. 1(d)).
+        dnuca_->set_upstream(fabric_.get());
+        fabric_->set_downstream(dnuca_.get());
+        engine_.add(*dnuca_);
+        dnuca_->set_downstream(memory_.get());
+        memory_->set_upstream(dnuca_.get());
+    }
+    engine_.add(*memory_);
+    prewarm();
+}
+
+void system::prewarm()
+{
+    // Functionally install the workload's hot window into the large arrays
+    // before measurement, substituting for the paper's 200M-instruction
+    // warm-up, which scaled-down runs cannot afford. Smaller structures
+    // (L1, L-NUCA tiles, conventional L2) warm naturally during the
+    // simulated warm-up window; the L2 is included here because its 4K
+    // lines are borderline at short windows.
+    auto warm_cache = [&](mem::conventional_cache* cache) {
+        if (cache == nullptr)
+            return;
+        const std::uint64_t lines =
+            cache->tags().size_bytes() / cache->tags().block_bytes();
+        const std::uint64_t window =
+            lines * cache->tags().block_bytes() / 32; // generator blocks
+        for (std::uint64_t j = window; j-- > 0;)
+            cache->tags().install(stream_->warm_block(j), false);
+    };
+    warm_cache(l3_.get());
+    warm_cache(l2_.get());
+    if (dnuca_) {
+        const std::uint64_t window = dnuca_->size_bytes() / 32;
+        for (std::uint64_t j = window; j-- > 0;)
+            dnuca_->prewarm(stream_->warm_block(j));
+    }
+    if (fabric_) {
+        // The fabric holds the recency window just beyond the L1's 1024
+        // blocks; the L1 itself warms naturally within the warm-up window.
+        const std::uint64_t l1_blocks = config_.l1.size_bytes / 32;
+        const std::uint64_t capacity = fabric_->tile_capacity_bytes() / 32;
+        std::uint64_t installed = 0;
+        for (std::uint64_t j = l1_blocks;
+             installed < capacity && j < l1_blocks + 2 * capacity; ++j)
+            installed += fabric_->prewarm(stream_->warm_block(j)) ? 1 : 0;
+    }
+}
+
+namespace {
+
+std::uint64_t counter_delta(const counter_set& counters, const std::string& name,
+                            const counter_set& snapshot)
+{
+    return counters.get(name) - snapshot.get(name);
+}
+
+} // namespace
+
+run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
+{
+    const cycle_t max_cycles = 400 * (instructions + warmup) + 2'000'000;
+
+    // Warm-up window.
+    core_->set_instruction_limit(warmup);
+    engine_.run_until([&] { return core_->done(); }, max_cycles);
+
+    // Snapshot counters whose deltas we report.
+    const counter_set l1_snap = l1_->counters();
+    const counter_set l2_snap = l2_ ? l2_->counters() : counter_set{};
+    const counter_set l3_snap = l3_ ? l3_->counters() : counter_set{};
+    const counter_set fab_snap = fabric_ ? fabric_->counters() : counter_set{};
+    const counter_set dn_snap = dnuca_ ? dnuca_->counters() : counter_set{};
+    const counter_set memory_snap = memory_->counters();
+    const std::uint64_t dn_hops_snap = dnuca_ ? dnuca_->mesh().flit_hops() : 0;
+    std::vector<std::uint64_t> fab_hits_snap;
+    std::uint64_t transport_actual_snap = 0;
+    std::uint64_t transport_min_snap = 0;
+    if (fabric_) {
+        for (unsigned level = 0; level <= config_.fabric.levels; ++level)
+            fab_hits_snap.push_back(fabric_->read_hits_in_level(level));
+        transport_actual_snap = fabric_->transport_actual_cycles();
+        transport_min_snap = fabric_->transport_min_cycles();
+    }
+
+    core_->reset_stats();
+    const cycle_t measure_start = engine_.now();
+
+    core_->set_instruction_limit(instructions);
+    const bool finished =
+        engine_.run_until([&] { return core_->done(); }, max_cycles);
+    if (!finished)
+        LNUCA_WARN("run hit the cycle ceiling before committing ",
+                   instructions, " instructions");
+
+    run_result r;
+    r.config_name = config_.name;
+    r.workload_name = stream_->profile().name;
+    r.floating_point = stream_->profile().floating_point;
+    r.instructions = core_->committed();
+    r.cycles = engine_.now() - measure_start;
+    r.ipc = r.cycles == 0 ? 0.0 : double(r.instructions) / double(r.cycles);
+
+    if (l2_)
+        r.l2_read_hits = counter_delta(l2_->counters(), "read_hit", l2_snap);
+    if (fabric_) {
+        r.fabric_read_hits.assign(config_.fabric.levels + 1, 0);
+        for (unsigned level = 2; level <= config_.fabric.levels; ++level)
+            r.fabric_read_hits[level] =
+                fabric_->read_hits_in_level(level) - fab_hits_snap[level];
+        r.transport_actual =
+            fabric_->transport_actual_cycles() - transport_actual_snap;
+        r.transport_min = fabric_->transport_min_cycles() - transport_min_snap;
+        r.search_restarts =
+            counter_delta(fabric_->counters(), "search_restarts", fab_snap);
+        r.searches =
+            counter_delta(fabric_->counters(), "searches_injected", fab_snap);
+    }
+
+    r.loads_l1 = core_->loads_served_by(mem::service_level::l1);
+    r.loads_fabric = core_->loads_served_by(mem::service_level::lnuca_tile);
+    r.loads_l2 = core_->loads_served_by(mem::service_level::l2);
+    r.loads_l3 = core_->loads_served_by(mem::service_level::l3);
+    r.loads_dnuca = core_->loads_served_by(mem::service_level::dnuca);
+    r.loads_memory = core_->loads_served_by(mem::service_level::memory);
+    r.avg_load_latency = core_->load_latency().mean();
+
+    // Energy over the measurement window.
+    power::energy_inputs in;
+    in.cycles = r.cycles;
+    in.l1_accesses = counter_delta(l1_->counters(), "accesses", l1_snap);
+    if (l2_) {
+        in.has_l2 = true;
+        in.l2_accesses = counter_delta(l2_->counters(), "accesses", l2_snap);
+    }
+    if (fabric_) {
+        const auto& fc = fabric_->counters();
+        in.fabric_tiles = fabric_->geo().tile_count();
+        in.tile_tag_lookups = counter_delta(fc, "tile_tag_lookups", fab_snap);
+        in.tile_data_accesses =
+            counter_delta(fc, "tile_data_reads", fab_snap) +
+            counter_delta(fc, "tile_data_writes", fab_snap);
+        in.transport_hops = counter_delta(fc, "transport_hops", fab_snap);
+        in.replacement_hops = counter_delta(fc, "replacement_hops", fab_snap);
+        in.search_hops = counter_delta(fc, "search_broadcast_hops", fab_snap);
+    }
+    if (l3_) {
+        in.has_l3 = true;
+        in.l3_accesses = counter_delta(l3_->counters(), "accesses", l3_snap);
+    }
+    if (dnuca_) {
+        in.dnuca_banks = config_.dnuca.bank_sets * config_.dnuca.rows;
+        in.bank_accesses =
+            counter_delta(dnuca_->counters(), "bank_lookups", dn_snap) +
+            counter_delta(dnuca_->counters(), "bank_writes", dn_snap);
+        in.dnuca_flit_hops = dnuca_->mesh().flit_hops() - dn_hops_snap;
+    }
+    in.memory_transfers =
+        counter_delta(memory_->counters(), "transfers", memory_snap);
+    r.energy = power::compute_energy(in);
+    return r;
+}
+
+run_result run_one(const system_config& config,
+                   const wl::workload_profile& workload,
+                   std::uint64_t instructions, std::uint64_t warmup,
+                   std::uint64_t seed)
+{
+    system sys(config, workload, seed);
+    return sys.run(instructions, warmup);
+}
+
+std::vector<std::vector<run_result>>
+run_matrix(const std::vector<system_config>& configs,
+           const std::vector<wl::workload_profile>& workloads,
+           std::uint64_t instructions, std::uint64_t warmup, std::uint64_t seed)
+{
+    std::vector<std::vector<run_result>> results(
+        configs.size(), std::vector<run_result>(workloads.size()));
+
+    struct job {
+        std::size_t c;
+        std::size_t w;
+    };
+    std::vector<job> jobs;
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        for (std::size_t w = 0; w < workloads.size(); ++w)
+            jobs.push_back({c, w});
+
+    std::atomic<std::size_t> next{0};
+    const unsigned threads =
+        std::max(1u, std::min(std::thread::hardware_concurrency(),
+                              unsigned(jobs.size())));
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t j = next.fetch_add(1);
+                if (j >= jobs.size())
+                    return;
+                const job& jb = jobs[j];
+                results[jb.c][jb.w] = run_one(configs[jb.c], workloads[jb.w],
+                                              instructions, warmup, seed);
+            }
+        });
+    }
+    for (auto& t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace lnuca::hier

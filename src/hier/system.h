@@ -1,0 +1,109 @@
+// Whole-system assembly: core + hierarchy + memory on one engine, plus the
+// run driver (warm-up, measurement window, statistics harvesting).
+#pragma once
+
+#include "src/cpu/ooo_core.h"
+#include "src/dnuca/dnuca_cache.h"
+#include "src/fabric/lnuca_cache.h"
+#include "src/hier/presets.h"
+#include "src/mem/bus.h"
+#include "src/mem/cache.h"
+#include "src/mem/main_memory.h"
+#include "src/power/energy_model.h"
+#include "src/sim/engine.h"
+#include "src/workloads/synthetic.h"
+
+#include <memory>
+#include <vector>
+
+namespace lnuca::hier {
+
+/// Everything a bench/table needs from one (config, workload) run.
+struct run_result {
+    std::string config_name;
+    std::string workload_name;
+    bool floating_point = false;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    double ipc = 0.0;
+
+    // Read-hit distribution (Table III): conventional L2 hits, or per
+    // L-NUCA level read hits (index = level, 2-based).
+    std::uint64_t l2_read_hits = 0;
+    std::vector<std::uint64_t> fabric_read_hits;
+
+    // Transport latency accounting (Table III right).
+    std::uint64_t transport_actual = 0;
+    std::uint64_t transport_min = 0;
+
+    // Contention restarts (Section III-C: "rarely occurs" - verified).
+    std::uint64_t search_restarts = 0;
+    std::uint64_t searches = 0;
+
+    power::energy_breakdown energy;
+
+    // Load service distribution as seen by the core.
+    std::uint64_t loads_l1 = 0;
+    std::uint64_t loads_fabric = 0;
+    std::uint64_t loads_l2 = 0;
+    std::uint64_t loads_l3 = 0;
+    std::uint64_t loads_dnuca = 0;
+    std::uint64_t loads_memory = 0;
+    double avg_load_latency = 0.0;
+};
+
+class system {
+public:
+    system(const system_config& config, const wl::workload_profile& workload,
+           std::uint64_t seed);
+
+    /// Run `warmup` instructions (discarded), then `instructions` measured.
+    run_result run(std::uint64_t instructions, std::uint64_t warmup);
+
+    cpu::ooo_core& core() { return *core_; }
+    fabric::lnuca_cache* fabric() { return fabric_.get(); }
+    dnuca::dnuca_cache* dnuca() { return dnuca_.get(); }
+    mem::conventional_cache& l1() { return *l1_; }
+    mem::conventional_cache* l2() { return l2_.get(); }
+    mem::conventional_cache* l3() { return l3_.get(); }
+    mem::main_memory& memory() { return *memory_; }
+    mem::bus* l1_l2_bus() { return l1_l2_bus_.get(); }
+    sim::engine& engine() { return engine_; }
+
+private:
+    void prewarm();
+
+    system_config config_;
+    mem::txn_id_source ids_;
+    std::unique_ptr<wl::synthetic_stream> stream_;
+    std::unique_ptr<cpu::ooo_core> core_;
+    std::unique_ptr<mem::conventional_cache> l1_;
+    std::unique_ptr<mem::bus> l1_l2_bus_;
+    std::unique_ptr<mem::conventional_cache> l2_;
+    std::unique_ptr<mem::conventional_cache> l3_;
+    std::unique_ptr<fabric::lnuca_cache> fabric_;
+    std::unique_ptr<dnuca::dnuca_cache> dnuca_;
+    std::unique_ptr<mem::main_memory> memory_;
+    sim::engine engine_;
+};
+
+/// Run one (config, workload) pair in a fresh system.
+run_result run_one(const system_config& config,
+                   const wl::workload_profile& workload,
+                   std::uint64_t instructions, std::uint64_t warmup,
+                   std::uint64_t seed = 1);
+
+/// Run a configs x workloads matrix, parallelised across hardware threads.
+/// Results are indexed [config][workload].
+std::vector<std::vector<run_result>>
+run_matrix(const std::vector<system_config>& configs,
+           const std::vector<wl::workload_profile>& workloads,
+           std::uint64_t instructions, std::uint64_t warmup,
+           std::uint64_t seed = 1);
+
+/// Default bench run lengths; override with --instructions/--warmup.
+inline constexpr std::uint64_t default_instructions = 400'000;
+inline constexpr std::uint64_t default_warmup = 60'000;
+
+} // namespace lnuca::hier

@@ -1,0 +1,56 @@
+#include "src/mem/bus.h"
+
+namespace lnuca::mem {
+
+bool bus::can_accept(const mem_request&) const
+{
+    return down_.size() < 16;
+}
+
+void bus::accept(const mem_request& request)
+{
+    down_.push(request.created_at + config_.arbitration, request);
+}
+
+void bus::respond(const mem_response& response)
+{
+    up_.push(response.ready_at + config_.arbitration, response);
+}
+
+void bus::tick(cycle_t now)
+{
+    // Downward channel: one request wins arbitration per transfer slot.
+    // Reads are address-only; writes stream their payload.
+    if (down_free_at_ <= now) {
+        if (auto request = down_.pop_ready(now)) {
+            mem_request forwarded = *request;
+            forwarded.created_at = now; // offered to the target *now*
+            if (downstream_ != nullptr && downstream_->can_accept(forwarded)) {
+                downstream_->accept(forwarded);
+                down_free_at_ =
+                    now + (request->kind == access_kind::read
+                               ? 1
+                               : transfer_cycles(request->size));
+                counters_.inc("down_transfers");
+            } else {
+                down_.push(now + 1, *request); // target busy: retry
+                counters_.inc("down_stall");
+            }
+        }
+    }
+    // Upward channel: responses stream a block over the narrow wires.
+    if (up_free_at_ <= now) {
+        if (auto response = up_.pop_ready(now)) {
+            const cycle_t transfer = transfer_cycles(config_.response_bytes);
+            if (upstream_ != nullptr) {
+                mem_response forwarded = *response;
+                forwarded.ready_at = now + transfer - 1;
+                upstream_->respond(forwarded);
+            }
+            up_free_at_ = now + transfer;
+            counters_.inc("up_transfers");
+        }
+    }
+}
+
+} // namespace lnuca::mem

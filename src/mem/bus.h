@@ -1,0 +1,60 @@
+// Split-transaction bus: forwards requests downward and responses upward
+// with a fixed arbitration latency and a bandwidth limit (bytes per cycle).
+// Used between hierarchy levels when the levels' own initiation intervals
+// do not already model the channel (e.g. ablation studies).
+#pragma once
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/mem/request.h"
+#include "src/sim/ticked.h"
+#include "src/sim/timed_queue.h"
+
+namespace lnuca::mem {
+
+struct bus_config {
+    std::uint32_t width_bytes = 16;  ///< payload moved per cycle
+    std::uint32_t arbitration = 1;   ///< cycles to win the bus
+    /// Bytes carried by an upward (refill) response: the upper cache's
+    /// block. The narrow shared bus is what the L-NUCA's message-wide
+    /// local links replace (Section III-A).
+    std::uint32_t response_bytes = 32;
+};
+
+class bus final : public sim::ticked, public mem_port, public mem_client {
+public:
+    explicit bus(const bus_config& config) : config_(config) {}
+
+    void set_upstream(mem_client* client) { upstream_ = client; }
+    void set_downstream(mem_port* port) { downstream_ = port; }
+
+    // Upper side: requests travelling down.
+    bool can_accept(const mem_request& request) const override;
+    void accept(const mem_request& request) override;
+
+    // Lower side: responses travelling up.
+    void respond(const mem_response& response) override;
+
+    void tick(cycle_t now) override;
+
+    const counter_set& counters() const { return counters_; }
+    bool quiescent() const { return down_.empty() && up_.empty(); }
+
+private:
+    cycle_t transfer_cycles(std::uint32_t bytes) const
+    {
+        const std::uint32_t b = bytes == 0 ? 1 : bytes;
+        return (b + config_.width_bytes - 1) / config_.width_bytes;
+    }
+
+    bus_config config_;
+    mem_client* upstream_ = nullptr;
+    mem_port* downstream_ = nullptr;
+    counter_set counters_;
+    sim::timed_queue<mem_request> down_;
+    sim::timed_queue<mem_response> up_;
+    cycle_t down_free_at_ = 0;
+    cycle_t up_free_at_ = 0;
+};
+
+} // namespace lnuca::mem

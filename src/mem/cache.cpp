@@ -1,0 +1,352 @@
+#include "src/mem/cache.h"
+
+#include "src/common/log.h"
+
+namespace lnuca::mem {
+
+conventional_cache::conventional_cache(const cache_config& config, txn_id_source& ids)
+    : config_(config),
+      ids_(ids),
+      tags_({config.size_bytes, config.ways, config.block_bytes, config.policy,
+             config.seed}),
+      mshrs_(config.mshr_entries, config.mshr_secondary),
+      wb_(config.write_buffer_entries, config.block_bytes),
+      port_free_(std::size_t(config.ports) * std::max(1u, config.banks), 0)
+{
+}
+
+std::size_t conventional_cache::bank_of(addr_t addr) const
+{
+    if (config_.banks <= 1)
+        return 0;
+    return std::size_t((addr / config_.block_bytes) % config_.banks);
+}
+
+bool conventional_cache::can_accept(const mem_request& request) const
+{
+    // Writes and writebacks wait in the input write buffer and never
+    // compete with demand reads for a port on arrival.
+    if (request.kind != access_kind::read)
+        return input_writes_.size() < config_.write_buffer_entries;
+    // High watermark: once the write buffer is nearly full, reads yield the
+    // port so buffered writes cannot be starved indefinitely.
+    if (input_writes_.size() + 2 >= config_.write_buffer_entries)
+        return false;
+    const std::size_t bank = bank_of(request.addr);
+    for (std::uint32_t p = 0; p < config_.ports; ++p)
+        if (port_free_[bank * config_.ports + p] <= request.created_at)
+            return true;
+    return false;
+}
+
+void conventional_cache::accept(const mem_request& request)
+{
+    counters_.inc("accesses");
+    if (request.kind != access_kind::read) {
+        input_writes_.push_back(pending_access{request, request.needs_response,
+                                               false});
+        return;
+    }
+    const cycle_t start = request.created_at;
+    // Claim the first free port of the addressed bank (checked above).
+    const std::size_t bank = bank_of(request.addr);
+    for (std::uint32_t p = 0; p < config_.ports; ++p) {
+        cycle_t& free_at = port_free_[bank * config_.ports + p];
+        if (free_at <= start) {
+            free_at = start + config_.initiation_interval;
+            break;
+        }
+    }
+    const cycle_t done = start + config_.completion_latency;
+    lookups_.push(done > 0 ? done - 1 : 0,
+                  pending_access{request, request.needs_response, false});
+}
+
+void conventional_cache::respond(const mem_response& response)
+{
+    refills_.push(response.ready_at, response);
+}
+
+void conventional_cache::tick(cycle_t now)
+{
+    now_ = now;
+    while (auto access = lookups_.pop_ready(now))
+        process_lookup(now, *access);
+    drain_input_writes(now);
+    process_refills(now);
+    issue_misses(now);
+    drain_write_buffer(now);
+}
+
+void conventional_cache::drain_input_writes(cycle_t now)
+{
+    // Absorb buffered writes through idle ports of their target banks.
+    std::size_t scanned = input_writes_.size();
+    while (scanned-- > 0 && !input_writes_.empty()) {
+        const pending_access access = input_writes_.front();
+        const std::size_t bank = bank_of(access.request.addr);
+        bool claimed = false;
+        for (std::uint32_t p = 0; p < config_.ports && !claimed; ++p) {
+            cycle_t& free_at = port_free_[bank * config_.ports + p];
+            if (free_at <= now) {
+                free_at = now + config_.initiation_interval;
+                claimed = true;
+            }
+        }
+        if (!claimed)
+            return; // head-of-line waits for its bank
+        input_writes_.pop_front();
+        const cycle_t done = now + config_.completion_latency;
+        lookups_.push(done > 0 ? done - 1 : 0, access);
+    }
+}
+
+void conventional_cache::process_lookup(cycle_t now, pending_access access)
+{
+    switch (access.request.kind) {
+    case access_kind::read:
+        handle_read_like(now, access);
+        break;
+    case access_kind::write:
+        if (config_.write_through || !config_.write_allocate)
+            handle_write_through_store(now, access);
+        else
+            handle_read_like(now, access); // copy-back write-allocate
+        break;
+    case access_kind::writeback:
+        handle_incoming_writeback(now, access);
+        break;
+    }
+}
+
+void conventional_cache::handle_read_like(cycle_t now, pending_access access)
+{
+    const mem_request& req = access.request;
+    const bool is_write = req.kind == access_kind::write;
+    if (!access.counted) {
+        counters_.inc(is_write ? "writes" : "reads");
+        access.counted = true;
+    }
+
+    // Snoop both write buffers: a matching entry means the data is present
+    // on this side of the downstream interface.
+    bool buffered = !is_write && wb_.contains(req.addr);
+    if (!is_write && !buffered) {
+        const addr_t block = tags_.block_of(req.addr);
+        for (const auto& w : input_writes_)
+            if (tags_.block_of(w.request.addr) == block) {
+                buffered = true;
+                break;
+            }
+    }
+    if (buffered) {
+        counters_.inc("wb_hit");
+        counters_.inc("read_hit");
+        if (access.needs_response)
+            respond_up(now, {req.id, req.addr, req.kind, req.created_at},
+                       config_.level_tag, 0);
+        return;
+    }
+
+    if (tags_.lookup(req.addr)) {
+        counters_.inc(is_write ? "write_hit" : "read_hit");
+        if (is_write)
+            tags_.set_dirty(req.addr, true);
+        if (access.needs_response)
+            respond_up(now, {req.id, req.addr, req.kind, req.created_at},
+                       config_.level_tag, 0);
+        return;
+    }
+
+    counters_.inc(is_write ? "write_miss" : "read_miss");
+    const addr_t block = tags_.block_of(req.addr);
+    const mshr_target target{req.id, req.addr, req.kind, req.created_at};
+    if (mshr_entry* entry = mshrs_.find(block)) {
+        if (entry->targets.size() <
+            std::size_t(config_.mshr_secondary)) {
+            counters_.inc("mshr_merge");
+            if (access.needs_response)
+                mshrs_.merge(block, target);
+            return;
+        }
+        counters_.inc("mshr_secondary_stall");
+        lookups_.push(now + 1, access); // retry until a target slot frees
+        return;
+    }
+    if (!mshrs_.can_allocate()) {
+        counters_.inc("mshr_full_stall");
+        lookups_.push(now + 1, access);
+        return;
+    }
+    auto& entry = mshrs_.allocate(block, now);
+    if (access.needs_response)
+        entry.targets.push_back(target);
+}
+
+void conventional_cache::handle_write_through_store(cycle_t now,
+                                                    pending_access access)
+{
+    const mem_request& req = access.request;
+    if (!access.counted) {
+        counters_.inc("writes");
+        access.counted = true;
+    }
+    if (tags_.lookup(req.addr)) {
+        counters_.inc("write_hit");
+        if (!config_.write_through) {
+            // Copy-back no-write-allocate (the r-tile): a store hit dirties
+            // the line in place and produces no downstream traffic.
+            tags_.set_dirty(req.addr, true);
+            if (access.needs_response)
+                respond_up(now, {req.id, req.addr, req.kind, req.created_at},
+                           config_.level_tag, 0);
+            return;
+        }
+        // Write-through: line updated in place, stays clean; fall through
+        // to forward the word downstream.
+    } else {
+        counters_.inc("write_miss"); // no allocation on either policy
+    }
+
+    if (!wb_.push(req.addr, /*writeback=*/false, /*dirty=*/false)) {
+        counters_.inc("wb_full_stall");
+        lookups_.push(now + 1, access);
+        return;
+    }
+    counters_.inc("write_through_out");
+    if (access.needs_response)
+        respond_up(now, {req.id, req.addr, req.kind, req.created_at},
+                   config_.level_tag, 0);
+}
+
+void conventional_cache::handle_incoming_writeback(cycle_t now,
+                                                   const pending_access& access)
+{
+    const mem_request& req = access.request;
+    counters_.inc("writeback_in");
+
+    // Full block arrives from above: install without fetch. Hold off when
+    // a displaced victim could not be buffered.
+    if (!tags_.set_has_free_way(req.addr) && !tags_.probe(req.addr) && wb_.full()) {
+        counters_.inc("refill_wb_stall");
+        lookups_.push(now + 1, access);
+        return;
+    }
+    if (auto victim = tags_.install(req.addr, req.dirty))
+        queue_victim(now, *victim);
+}
+
+void conventional_cache::issue_misses(cycle_t now)
+{
+    for (mshr_entry* entry : mshrs_.unissued()) {
+        if (downstream_ == nullptr) {
+            LNUCA_ERROR(config_.name, ": miss with no downstream level");
+            entry->issued = true;
+            continue;
+        }
+        mem_request miss;
+        miss.id = ids_.next();
+        miss.addr = entry->block_addr;
+        miss.size = config_.block_bytes;
+        miss.kind = access_kind::read;
+        miss.created_at = now;
+        miss.needs_response = true;
+        if (!downstream_->can_accept(miss))
+            break; // retry next cycle, preserve order
+        downstream_->accept(miss);
+        entry->issued = true;
+        counters_.inc("miss_issued");
+        break; // one new miss per cycle
+    }
+}
+
+void conventional_cache::drain_write_buffer(cycle_t now)
+{
+    const auto head = wb_.head();
+    if (!head || downstream_ == nullptr)
+        return;
+    mem_request write;
+    write.id = ids_.next();
+    write.addr = *head;
+    write.size = config_.block_bytes;
+    write.kind = wb_.head_is_writeback() ? access_kind::writeback : access_kind::write;
+    write.created_at = now;
+    write.needs_response = false;
+    write.dirty = wb_.head_is_dirty();
+    if (!downstream_->can_accept(write))
+        return;
+    downstream_->accept(write);
+    wb_.pop();
+    counters_.inc("wb_drained");
+}
+
+void conventional_cache::process_refills(cycle_t now)
+{
+    for (std::uint32_t i = 0; i < config_.fills_per_cycle; ++i) {
+        auto response = refills_.pop_ready(now);
+        if (!response)
+            return;
+
+        const addr_t block = tags_.block_of(response->addr);
+
+        // A displaced dirty victim needs write-buffer space; wait if full.
+        if (!tags_.set_has_free_way(block) && !tags_.probe(block) && wb_.full()) {
+            counters_.inc("refill_wb_stall");
+            refills_.push(now + 1, *response);
+            return;
+        }
+
+        auto entry = mshrs_.release(block);
+        if (!entry) {
+            // Response for a transaction we do not track (e.g. an ack for
+            // drained write traffic); nothing to fill.
+            counters_.inc("untracked_response");
+            continue;
+        }
+
+        bool fill_dirty = response->dirty;
+        if (!config_.write_through)
+            for (const auto& t : entry->targets)
+                fill_dirty |= t.kind == access_kind::write;
+
+        if (auto victim = tags_.install(block, fill_dirty))
+            queue_victim(now, *victim);
+        counters_.inc("fills");
+
+        for (const auto& target : entry->targets)
+            respond_up(now, target, response->served_by, response->fabric_level);
+    }
+}
+
+void conventional_cache::respond_up(cycle_t now, const mshr_target& target,
+                                    service_level origin, std::uint8_t fabric_level)
+{
+    if (upstream_ == nullptr)
+        return;
+    mem_response response;
+    response.id = target.id;
+    response.addr = target.addr;
+    response.ready_at = now;
+    response.served_by = origin;
+    response.fabric_level = fabric_level;
+    upstream_->respond(response);
+}
+
+void conventional_cache::queue_victim(cycle_t now, const evicted_line& victim)
+{
+    (void)now;
+    counters_.inc("evictions");
+    if (!victim.dirty && !config_.writeback_clean)
+        return;
+    counters_.inc("writeback_out");
+    // Capacity was checked before install; push cannot fail here.
+    wb_.push(victim.block_addr, /*writeback=*/true, victim.dirty);
+}
+
+bool conventional_cache::quiescent() const
+{
+    return lookups_.empty() && refills_.empty() && mshrs_.empty() &&
+           wb_.empty() && input_writes_.empty();
+}
+
+} // namespace lnuca::mem

@@ -1,0 +1,118 @@
+// Conventional set-associative cache with Table-I-style timing:
+// completion latency (access begins -> result available), initiation
+// interval per port, MSHRs with secondary-miss merging, a coalescing write
+// buffer towards the next level, write-through or copy-back policy.
+//
+// Timing contract (see sim/engine.h): upstream components tick earlier in
+// the cycle, so accept() calls land in the same cycle and responses are
+// observed one cycle after they are stamped, which makes a hit's
+// load-to-use latency exactly `completion_latency`.
+#pragma once
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/mem/mshr.h"
+#include "src/mem/request.h"
+#include "src/mem/tag_array.h"
+#include "src/mem/write_buffer.h"
+#include "src/sim/ticked.h"
+#include "src/sim/timed_queue.h"
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+namespace lnuca::mem {
+
+struct cache_config {
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32_KiB;
+    std::uint32_t ways = 4;
+    std::uint32_t block_bytes = 32;
+    std::uint32_t completion_latency = 2; ///< access start -> result
+    std::uint32_t initiation_interval = 1; ///< per-port issue spacing
+    std::uint32_t ports = 1;
+    /// Independent line-interleaved banks; the initiation interval applies
+    /// per bank (large LLC arrays are multi-banked).
+    std::uint32_t banks = 1;
+    bool write_through = false; ///< true: L1-style write-through no-allocate
+    bool write_allocate = true; ///< copy-back caches: allocate on store miss?
+    bool writeback_clean = false; ///< forward clean victims too (victim/
+                                  ///< exclusive hierarchies, e.g. the r-tile)
+    bool serial_access = false; ///< tag-then-data (energy model input)
+    std::uint32_t mshr_entries = 16;
+    std::uint32_t mshr_secondary = 4;
+    std::uint32_t write_buffer_entries = 32;
+    std::uint32_t fills_per_cycle = 1;
+    std::string policy = "lru";
+    std::uint64_t seed = 0x5eed;
+    service_level level_tag = service_level::l2;
+};
+
+class conventional_cache final : public sim::ticked, public mem_port, public mem_client {
+public:
+    conventional_cache(const cache_config& config, txn_id_source& ids);
+
+    /// Wire the component above (receives our responses) and below
+    /// (receives our misses and write traffic). Downstream may be null for
+    /// a last level backed by nothing (tests).
+    void set_upstream(mem_client* client) { upstream_ = client; }
+    void set_downstream(mem_port* port) { downstream_ = port; }
+
+    // mem_port (upper side)
+    bool can_accept(const mem_request& request) const override;
+    void accept(const mem_request& request) override;
+
+    // mem_client (lower side)
+    void respond(const mem_response& response) override;
+
+    // ticked
+    void tick(cycle_t now) override;
+
+    const cache_config& config() const { return config_; }
+    const counter_set& counters() const { return counters_; }
+    const tag_array& tags() const { return tags_; }
+    tag_array& tags() { return tags_; }
+    bool quiescent() const; ///< no in-flight work (drain detection)
+
+private:
+    struct pending_access {
+        mem_request request;
+        bool needs_response = true;
+        bool counted = false; ///< statistics recorded (retries skip them)
+    };
+
+    void process_lookup(cycle_t now, pending_access access);
+    void drain_input_writes(cycle_t now);
+    std::size_t bank_of(addr_t addr) const;
+    void handle_read_like(cycle_t now, pending_access access);
+    void handle_write_through_store(cycle_t now, pending_access access);
+    void handle_incoming_writeback(cycle_t now, const pending_access& access);
+    void issue_misses(cycle_t now);
+    void drain_write_buffer(cycle_t now);
+    void process_refills(cycle_t now);
+    void respond_up(cycle_t now, const mshr_target& target, service_level origin,
+                    std::uint8_t fabric_level);
+    void queue_victim(cycle_t now, const evicted_line& victim);
+
+    cache_config config_;
+    txn_id_source& ids_;
+    tag_array tags_;
+    mshr_file mshrs_;
+    write_buffer wb_;
+    counter_set counters_;
+
+    mem_client* upstream_ = nullptr;
+    mem_port* downstream_ = nullptr;
+
+    std::vector<cycle_t> port_free_; ///< per-port next-free cycle
+    sim::timed_queue<pending_access> lookups_;
+    sim::timed_queue<mem_response> refills_;
+    /// Incoming writes/writebacks wait here (Table I write buffers) and
+    /// drain into the array only when a port is otherwise idle; reads
+    /// snoop this queue so buffered data is visible.
+    std::deque<pending_access> input_writes_;
+    cycle_t now_ = 0; ///< cycle of the current/last tick (for can_accept)
+};
+
+} // namespace lnuca::mem

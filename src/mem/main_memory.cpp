@@ -1,0 +1,49 @@
+#include "src/mem/main_memory.h"
+
+namespace lnuca::mem {
+
+bool main_memory::can_accept(const mem_request&) const
+{
+    return queue_.size() < config_.queue_depth;
+}
+
+void main_memory::accept(const mem_request& request)
+{
+    queue_.push_back(request);
+    counters_.inc(request.kind == access_kind::read ? "reads" : "writes");
+}
+
+cycle_t main_memory::unloaded_latency(std::uint32_t bytes) const
+{
+    const std::uint32_t chunks = chunks_for(bytes == 0 ? 1 : bytes);
+    return config_.first_chunk_latency +
+           cycle_t(chunks - 1) * config_.inter_chunk_latency;
+}
+
+void main_memory::tick(cycle_t now)
+{
+    // Start one transfer per cycle at most; the data wires serialise bursts.
+    if (queue_.empty() || wires_free_at_ > now)
+        return;
+
+    const mem_request request = queue_.front();
+    queue_.pop_front();
+
+    const std::uint32_t bytes = request.size == 0 ? config_.wire_bytes : request.size;
+    const std::uint32_t chunks = chunks_for(bytes);
+    const cycle_t burst = cycle_t(chunks) * config_.inter_chunk_latency;
+    wires_free_at_ = now + burst;
+
+    if (request.kind == access_kind::read && request.needs_response &&
+        upstream_ != nullptr) {
+        mem_response response;
+        response.id = request.id;
+        response.addr = request.addr;
+        response.ready_at = now + unloaded_latency(bytes);
+        response.served_by = service_level::memory;
+        upstream_->respond(response);
+    }
+    counters_.inc("transfers");
+}
+
+} // namespace lnuca::mem

@@ -1,0 +1,60 @@
+#include "src/mem/mshr.h"
+
+namespace lnuca::mem {
+
+mshr_entry* mshr_file::find(addr_t block_addr)
+{
+    for (auto& e : entries_)
+        if (e.block_addr == block_addr)
+            return &e;
+    return nullptr;
+}
+
+const mshr_entry* mshr_file::find(addr_t block_addr) const
+{
+    for (const auto& e : entries_)
+        if (e.block_addr == block_addr)
+            return &e;
+    return nullptr;
+}
+
+bool mshr_file::can_merge(addr_t block_addr) const
+{
+    const mshr_entry* e = find(block_addr);
+    return e != nullptr && e->targets.size() < max_targets_;
+}
+
+mshr_entry& mshr_file::allocate(addr_t block_addr, cycle_t now)
+{
+    entries_.push_back(mshr_entry{block_addr, false, now, {}});
+    return entries_.back();
+}
+
+void mshr_file::merge(addr_t block_addr, const mshr_target& target)
+{
+    mshr_entry* e = find(block_addr);
+    e->targets.push_back(target);
+}
+
+std::optional<mshr_entry> mshr_file::release(addr_t block_addr)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].block_addr == block_addr) {
+            mshr_entry out = std::move(entries_[i]);
+            entries_.erase(entries_.begin() + std::ptrdiff_t(i));
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<mshr_entry*> mshr_file::unissued()
+{
+    std::vector<mshr_entry*> out;
+    for (auto& e : entries_)
+        if (!e.issued)
+            out.push_back(&e);
+    return out;
+}
+
+} // namespace lnuca::mem

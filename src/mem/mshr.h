@@ -1,0 +1,69 @@
+// Miss Status Holding Registers.
+//
+// One entry per outstanding block miss; secondary misses to the same block
+// merge into the entry up to a per-entry target limit (Table I: 16/16/8
+// entries for L1/L2/L3 and 4 secondary misses per entry).
+#pragma once
+
+#include "src/common/types.h"
+#include "src/mem/request.h"
+
+#include <optional>
+#include <vector>
+
+namespace lnuca::mem {
+
+struct mshr_target {
+    txn_id_t id = 0;
+    addr_t addr = no_addr; ///< original (unaligned) demanded address
+    access_kind kind = access_kind::read;
+    cycle_t created_at = 0;
+};
+
+struct mshr_entry {
+    addr_t block_addr = no_addr;
+    bool issued = false; ///< miss request sent downstream yet?
+    cycle_t allocated_at = 0;
+    std::vector<mshr_target> targets;
+};
+
+class mshr_file {
+public:
+    mshr_file(std::uint32_t entries, std::uint32_t max_targets)
+        : capacity_(entries), max_targets_(max_targets)
+    {
+    }
+
+    /// Entry for `block_addr`, if one is outstanding.
+    mshr_entry* find(addr_t block_addr);
+    const mshr_entry* find(addr_t block_addr) const;
+
+    /// Can a brand-new miss to `block_addr` allocate an entry?
+    bool can_allocate() const { return entries_.size() < capacity_; }
+
+    /// Can a secondary miss merge into the existing entry?
+    bool can_merge(addr_t block_addr) const;
+
+    /// Allocate a new entry (caller checked can_allocate).
+    mshr_entry& allocate(addr_t block_addr, cycle_t now);
+
+    /// Add a target to an existing entry (caller checked can_merge).
+    void merge(addr_t block_addr, const mshr_target& target);
+
+    /// Remove and return the entry when its refill arrives.
+    std::optional<mshr_entry> release(addr_t block_addr);
+
+    std::size_t in_use() const { return entries_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+    bool empty() const { return entries_.empty(); }
+
+    /// Entries not yet forwarded downstream (issue queue scan).
+    std::vector<mshr_entry*> unissued();
+
+private:
+    std::uint32_t capacity_;
+    std::uint32_t max_targets_;
+    std::vector<mshr_entry> entries_;
+};
+
+} // namespace lnuca::mem

@@ -1,0 +1,67 @@
+#include "src/mem/replacement.h"
+
+#include <stdexcept>
+
+namespace lnuca::mem {
+
+void lru_policy::resize(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    last_use_.assign(std::size_t(sets) * ways, 0);
+}
+
+void lru_policy::touch(std::uint32_t set, std::uint32_t way)
+{
+    last_use_[std::size_t(set) * ways_ + way] = ++stamp_;
+}
+
+std::uint32_t lru_policy::victim(std::uint32_t set)
+{
+    const std::size_t base = std::size_t(set) * ways_;
+    std::uint32_t best = 0;
+    std::uint64_t oldest = last_use_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+        if (last_use_[base + w] < oldest) {
+            oldest = last_use_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void random_policy::resize(std::uint32_t, std::uint32_t ways)
+{
+    ways_ = ways;
+}
+
+std::uint32_t random_policy::victim(std::uint32_t)
+{
+    return std::uint32_t(rng_.below(ways_));
+}
+
+void fifo_policy::resize(std::uint32_t sets, std::uint32_t ways)
+{
+    ways_ = ways;
+    next_.assign(sets, 0);
+}
+
+std::uint32_t fifo_policy::victim(std::uint32_t set)
+{
+    const std::uint32_t way = next_[set];
+    next_[set] = (way + 1) % ways_;
+    return way;
+}
+
+std::unique_ptr<replacement_policy> make_replacement_policy(const std::string& name,
+                                                            std::uint64_t seed)
+{
+    if (name == "lru")
+        return std::make_unique<lru_policy>();
+    if (name == "random")
+        return std::make_unique<random_policy>(seed);
+    if (name == "fifo")
+        return std::make_unique<fifo_policy>();
+    throw std::invalid_argument("unknown replacement policy: " + name);
+}
+
+} // namespace lnuca::mem

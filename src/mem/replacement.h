@@ -1,0 +1,79 @@
+// Replacement policies for set-associative arrays.
+//
+// The policy owns per-set recency state; the tag array calls it on every
+// touch/install and asks it for victims. All caches in the paper use LRU;
+// random and FIFO are provided for the ablation benches.
+#pragma once
+
+#include "src/common/rng.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lnuca::mem {
+
+class replacement_policy {
+public:
+    virtual ~replacement_policy() = default;
+
+    /// Called once: `sets` x `ways` geometry.
+    virtual void resize(std::uint32_t sets, std::uint32_t ways) = 0;
+
+    /// A way in `set` was accessed (hit or fill).
+    virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+
+    /// Choose the way to evict from `set` (all ways valid).
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/// True LRU via per-set recency stamps.
+class lru_policy final : public replacement_policy {
+public:
+    void resize(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string name() const override { return "lru"; }
+
+private:
+    std::uint32_t ways_ = 0;
+    std::uint64_t stamp_ = 0;
+    std::vector<std::uint64_t> last_use_; // sets x ways
+};
+
+/// Uniform-random victim.
+class random_policy final : public replacement_policy {
+public:
+    explicit random_policy(std::uint64_t seed = 0x5eed) : rng_(seed) {}
+
+    void resize(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t, std::uint32_t) override {}
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string name() const override { return "random"; }
+
+private:
+    std::uint32_t ways_ = 0;
+    rng rng_;
+};
+
+/// FIFO: evicts in fill order, ignores hits.
+class fifo_policy final : public replacement_policy {
+public:
+    void resize(std::uint32_t sets, std::uint32_t ways) override;
+    void touch(std::uint32_t, std::uint32_t) override {}
+    std::uint32_t victim(std::uint32_t set) override;
+    std::string name() const override { return "fifo"; }
+
+private:
+    std::uint32_t ways_ = 0;
+    std::vector<std::uint32_t> next_; // per-set round-robin pointer
+};
+
+/// Factory by name ("lru" | "random" | "fifo").
+std::unique_ptr<replacement_policy> make_replacement_policy(const std::string& name,
+                                                            std::uint64_t seed = 0x5eed);
+
+} // namespace lnuca::mem

@@ -1,0 +1,19 @@
+#include "src/mem/request.h"
+
+namespace lnuca::mem {
+
+std::string to_string(service_level level)
+{
+    switch (level) {
+    case service_level::none: return "none";
+    case service_level::l1: return "L1";
+    case service_level::lnuca_tile: return "L-NUCA";
+    case service_level::l2: return "L2";
+    case service_level::l3: return "L3";
+    case service_level::dnuca: return "D-NUCA";
+    case service_level::memory: return "memory";
+    }
+    return "?";
+}
+
+} // namespace lnuca::mem

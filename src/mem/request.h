@@ -1,0 +1,89 @@
+// Memory transaction types and the two interfaces every level of the
+// hierarchy speaks: mem_port (accepts requests travelling away from the
+// core) and mem_client (receives responses travelling towards it).
+//
+// Only timing and tags are simulated, never data values — the standard
+// approach for timing studies like the paper's.
+#pragma once
+
+#include "src/common/types.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lnuca::mem {
+
+enum class access_kind : std::uint8_t {
+    read,      ///< demand load (expects a response)
+    write,     ///< demand store (response used to retire the store buffer)
+    writeback, ///< dirty eviction travelling down (no response)
+};
+
+/// Identifies which structure serviced a request; used for the paper's
+/// per-level hit statistics (Table III) and energy accounting.
+enum class service_level : std::uint8_t {
+    none = 0,
+    l1,          ///< L1 / r-tile
+    lnuca_tile,  ///< an L-NUCA tile (level recorded separately)
+    l2,          ///< conventional L2
+    l3,          ///< conventional L3
+    dnuca,       ///< a D-NUCA bank
+    memory,      ///< main memory
+};
+
+std::string to_string(service_level level);
+
+struct mem_request {
+    txn_id_t id = 0;
+    addr_t addr = no_addr;
+    std::uint32_t size = 0;
+    access_kind kind = access_kind::read;
+    cycle_t created_at = 0;
+    /// Demand accesses expect a response; write-buffer drains and
+    /// writebacks are fire-and-forget.
+    bool needs_response = true;
+    /// For writeback kind: does the block carry modified data? Clean
+    /// victims circulate in exclusive/victim hierarchies (L-NUCA).
+    bool dirty = false;
+};
+
+struct mem_response {
+    txn_id_t id = 0;
+    addr_t addr = no_addr;
+    cycle_t ready_at = 0;
+    service_level served_by = service_level::none;
+    /// For L-NUCA hits: fabric level (2 = Le2, ...). 0 otherwise.
+    std::uint8_t fabric_level = 0;
+    /// Block carries modified data (migrating dirty line must stay dirty).
+    bool dirty = false;
+};
+
+/// Upstream-facing interface: a component the level above pushes requests
+/// into. Callers must check can_accept in the same cycle before accept.
+class mem_port {
+public:
+    virtual ~mem_port() = default;
+
+    virtual bool can_accept(const mem_request& request) const = 0;
+    virtual void accept(const mem_request& request) = 0;
+};
+
+/// Downstream-facing interface: receives responses for requests this
+/// component (or its clients) previously pushed into a mem_port.
+class mem_client {
+public:
+    virtual ~mem_client() = default;
+
+    virtual void respond(const mem_response& response) = 0;
+};
+
+/// Monotonic transaction-id source (one per system).
+class txn_id_source {
+public:
+    txn_id_t next() { return ++last_; }
+
+private:
+    txn_id_t last_ = 0;
+};
+
+} // namespace lnuca::mem

@@ -1,0 +1,128 @@
+#include "src/mem/tag_array.h"
+
+#include <stdexcept>
+
+namespace lnuca::mem {
+
+tag_array::tag_array(const tag_array_config& config)
+    : ways_(config.ways),
+      block_bytes_(config.block_bytes),
+      policy_(make_replacement_policy(config.policy, config.seed))
+{
+    if (!is_pow2(config.block_bytes))
+        throw std::invalid_argument("block size must be a power of two");
+    const std::uint64_t lines = config.size_bytes / config.block_bytes;
+    if (lines == 0 || lines % config.ways != 0)
+        throw std::invalid_argument("size/ways/block geometry does not divide");
+    sets_ = std::uint32_t(lines / config.ways);
+    if (!is_pow2(sets_))
+        throw std::invalid_argument("set count must be a power of two");
+    lines_.assign(std::size_t(sets_) * ways_, cache_line{});
+    policy_->resize(sets_, ways_);
+}
+
+std::optional<hit_info> tag_array::probe(addr_t addr) const
+{
+    const addr_t block = block_of(addr);
+    const std::uint32_t set = set_of(addr);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const cache_line& l = line(set, w);
+        if (l.valid && l.tag == block)
+            return hit_info{set, w, l.dirty};
+    }
+    return std::nullopt;
+}
+
+std::optional<hit_info> tag_array::lookup(addr_t addr)
+{
+    auto hit = probe(addr);
+    if (hit)
+        policy_->touch(hit->set, hit->way);
+    return hit;
+}
+
+void tag_array::set_dirty(addr_t addr, bool dirty)
+{
+    auto hit = probe(addr);
+    if (!hit)
+        return;
+    line_ref(hit->set, hit->way).dirty = dirty;
+}
+
+std::optional<evicted_line> tag_array::install(addr_t addr, bool dirty)
+{
+    const addr_t block = block_of(addr);
+    const std::uint32_t set = set_of(addr);
+
+    // Already present: refresh recency, merge dirtiness.
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        cache_line& l = line_ref(set, w);
+        if (l.valid && l.tag == block) {
+            l.dirty = l.dirty || dirty;
+            policy_->touch(set, w);
+            return std::nullopt;
+        }
+    }
+
+    // Free way if any.
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        cache_line& l = line_ref(set, w);
+        if (!l.valid) {
+            l = cache_line{block, true, dirty};
+            policy_->touch(set, w);
+            return std::nullopt;
+        }
+    }
+
+    // Displace the policy victim.
+    const std::uint32_t victim_way = policy_->victim(set);
+    cache_line& l = line_ref(set, victim_way);
+    const evicted_line displaced{l.tag, l.dirty};
+    l = cache_line{block, true, dirty};
+    policy_->touch(set, victim_way);
+    return displaced;
+}
+
+bool tag_array::set_has_free_way(addr_t addr) const
+{
+    const std::uint32_t set = set_of(addr);
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (!line(set, w).valid)
+            return true;
+    return false;
+}
+
+std::optional<evicted_line> tag_array::extract(addr_t addr)
+{
+    const addr_t block = block_of(addr);
+    const std::uint32_t set = set_of(addr);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        cache_line& l = line_ref(set, w);
+        if (l.valid && l.tag == block) {
+            const evicted_line out{l.tag, l.dirty};
+            l = cache_line{};
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+evicted_line tag_array::evict_victim(addr_t addr)
+{
+    const std::uint32_t set = set_of(addr);
+    const std::uint32_t way = policy_->victim(set);
+    cache_line& l = line_ref(set, way);
+    const evicted_line out{l.tag, l.dirty};
+    l = cache_line{};
+    return out;
+}
+
+std::uint64_t tag_array::valid_count() const
+{
+    std::uint64_t n = 0;
+    for (const auto& l : lines_)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace lnuca::mem

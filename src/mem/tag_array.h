@@ -1,0 +1,109 @@
+// Set-associative tag array: the functional core of every cache in the
+// simulator (L1, L2, L3, L-NUCA tiles, D-NUCA banks).
+#pragma once
+
+#include "src/common/types.h"
+#include "src/mem/replacement.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace lnuca::mem {
+
+struct cache_line {
+    addr_t tag = no_addr; ///< block-aligned address (full address, not shifted)
+    bool valid = false;
+    bool dirty = false;
+};
+
+struct tag_array_config {
+    std::uint64_t size_bytes = 32_KiB;
+    std::uint32_t ways = 4;
+    std::uint32_t block_bytes = 32;
+    std::string policy = "lru";
+    std::uint64_t seed = 0x5eed;
+};
+
+/// Result of a lookup that hit.
+struct hit_info {
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    bool was_dirty = false;
+};
+
+/// A line displaced by an install.
+struct evicted_line {
+    addr_t block_addr = no_addr;
+    bool dirty = false;
+};
+
+class tag_array {
+public:
+    explicit tag_array(const tag_array_config& config);
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t block_bytes() const { return block_bytes_; }
+    std::uint64_t size_bytes() const
+    {
+        return std::uint64_t(sets_) * ways_ * block_bytes_;
+    }
+
+    /// Block-align an address to this array's block size.
+    addr_t block_of(addr_t addr) const { return addr & ~addr_t(block_bytes_ - 1); }
+
+    std::uint32_t set_of(addr_t addr) const
+    {
+        return std::uint32_t((addr / block_bytes_) & (sets_ - 1));
+    }
+
+    /// Probe without changing recency state.
+    std::optional<hit_info> probe(addr_t addr) const;
+
+    /// Probe and, on hit, update recency.
+    std::optional<hit_info> lookup(addr_t addr);
+
+    /// Mark an existing line dirty (store hit on a copy-back cache).
+    void set_dirty(addr_t addr, bool dirty);
+
+    /// Install the block containing `addr`. If the set is full, the policy's
+    /// victim is displaced and returned. Installing a block that is already
+    /// present refreshes its recency instead of duplicating it.
+    std::optional<evicted_line> install(addr_t addr, bool dirty);
+
+    /// True iff the set containing `addr` has a free (invalid) way.
+    bool set_has_free_way(addr_t addr) const;
+
+    /// Remove the block containing `addr` if present; returns the line so
+    /// callers can propagate dirtiness (exclusion migrations, invalidations).
+    std::optional<evicted_line> extract(addr_t addr);
+
+    /// Evict the replacement-policy victim of the set containing `addr`
+    /// without installing anything (the L-NUCA domino reads the victim one
+    /// cycle before writing the incoming block). Requires a full set.
+    evicted_line evict_victim(addr_t addr);
+
+    /// Read a line by geometry position (introspection for tests/examples).
+    const cache_line& line(std::uint32_t set, std::uint32_t way) const
+    {
+        return lines_[std::size_t(set) * ways_ + way];
+    }
+
+    /// Number of valid lines (occupancy metrics).
+    std::uint64_t valid_count() const;
+
+private:
+    cache_line& line_ref(std::uint32_t set, std::uint32_t way)
+    {
+        return lines_[std::size_t(set) * ways_ + way];
+    }
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::uint32_t block_bytes_;
+    std::vector<cache_line> lines_;
+    std::unique_ptr<replacement_policy> policy_;
+};
+
+} // namespace lnuca::mem

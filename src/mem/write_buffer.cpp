@@ -1,0 +1,52 @@
+#include "src/mem/write_buffer.h"
+
+namespace lnuca::mem {
+
+bool write_buffer::push(addr_t addr, bool writeback, bool dirty)
+{
+    const addr_t block = block_of(addr);
+    for (auto& e : queue_) {
+        if (e.block_addr == block) {
+            e.writeback = e.writeback || writeback;
+            e.dirty = e.dirty || dirty;
+            return true;
+        }
+    }
+    if (full())
+        return false;
+    queue_.push_back(entry{block, writeback, dirty});
+    return true;
+}
+
+bool write_buffer::contains(addr_t addr) const
+{
+    const addr_t block = block_of(addr);
+    for (const auto& e : queue_)
+        if (e.block_addr == block)
+            return true;
+    return false;
+}
+
+std::optional<addr_t> write_buffer::head() const
+{
+    if (queue_.empty())
+        return std::nullopt;
+    return queue_.front().block_addr;
+}
+
+bool write_buffer::head_is_writeback() const
+{
+    return !queue_.empty() && queue_.front().writeback;
+}
+
+bool write_buffer::head_is_dirty() const
+{
+    return !queue_.empty() && queue_.front().dirty;
+}
+
+void write_buffer::pop()
+{
+    queue_.pop_front();
+}
+
+} // namespace lnuca::mem

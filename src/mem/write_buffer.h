@@ -1,0 +1,60 @@
+// Coalescing write buffer placed between a cache and its downstream level
+// (Table I: 32-entry L2 and L3 write buffers; the store path of the
+// write-through L1 drains through the L2 buffer).
+//
+// Entries coalesce at downstream-block granularity. Reads must snoop the
+// buffer: a read that matches a buffered write is serviced as a hit by the
+// owning cache (handled by the cache, which calls contains()).
+#pragma once
+
+#include "src/common/types.h"
+
+#include <deque>
+#include <optional>
+
+namespace lnuca::mem {
+
+class write_buffer {
+public:
+    write_buffer(std::uint32_t entries, std::uint32_t block_bytes)
+        : capacity_(entries), block_bytes_(block_bytes)
+    {
+    }
+
+    bool full() const { return queue_.size() >= capacity_; }
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+    /// Queue a write (coalesces into an existing same-block entry).
+    /// Returns false when the buffer is full and no coalescing is possible.
+    bool push(addr_t addr, bool writeback, bool dirty);
+
+    /// Does the buffer hold the block containing `addr`?
+    bool contains(addr_t addr) const;
+
+    /// Oldest entry, if any (drain candidate).
+    std::optional<addr_t> head() const;
+
+    /// Whether the head entry is a full-block writeback (vs a write-through
+    /// word) and whether it carries modified data.
+    bool head_is_writeback() const;
+    bool head_is_dirty() const;
+
+    /// Remove the head after it was sent downstream.
+    void pop();
+
+private:
+    addr_t block_of(addr_t addr) const { return addr & ~addr_t(block_bytes_ - 1); }
+
+    struct entry {
+        addr_t block_addr;
+        bool writeback;
+        bool dirty;
+    };
+
+    std::uint32_t capacity_;
+    std::uint32_t block_bytes_;
+    std::deque<entry> queue_;
+};
+
+} // namespace lnuca::mem

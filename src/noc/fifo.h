@@ -1,0 +1,117 @@
+// Synchronous bounded FIFO used as a link receive buffer.
+//
+// Pushes are staged and only become visible to the consumer after commit()
+// at the end of the network cycle, so a message can never traverse two hops
+// in one cycle no matter the order components are evaluated in. With a
+// capacity of two this reproduces the paper's two-entry On/Off buffers
+// (capacity covers the two-cycle On/Off round trip, so no message is ever
+// dropped).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace lnuca::noc {
+
+template <typename T>
+class sync_fifo {
+public:
+    explicit sync_fifo(std::size_t capacity = 2) : capacity_(capacity) {}
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return committed_.size(); }
+    bool empty() const { return committed_.empty(); }
+
+    /// On/Off back-pressure as seen by the upstream tile this cycle:
+    /// Off (false) when committed + staged occupancy has reached capacity.
+    bool on() const { return committed_.size() + staged_.size() < capacity_; }
+
+    /// Stage a message for delivery next cycle. Caller must check on().
+    void push(T value) { staged_.push_back(std::move(value)); }
+
+    /// Front of the committed (visible) entries.
+    const T* front() const { return committed_.empty() ? nullptr : &committed_.front(); }
+
+    /// Pop the visible head.
+    std::optional<T> pop()
+    {
+        if (committed_.empty())
+            return std::nullopt;
+        T out = std::move(committed_.front());
+        committed_.pop_front();
+        return out;
+    }
+
+    /// Iterate visible entries (U-buffer address comparators do this).
+    const std::deque<T>& visible() const { return committed_; }
+
+    /// Find an entry (visible or staged) matching `pred`; the L-NUCA search
+    /// operation compares addresses against in-transit replacement blocks,
+    /// including ones latched this very cycle.
+    template <typename Pred>
+    const T* find(Pred pred) const
+    {
+        for (const auto& v : committed_)
+            if (pred(v))
+                return &v;
+        for (const auto& v : staged_)
+            if (pred(v))
+                return &v;
+        return nullptr;
+    }
+
+    /// Remove the first entry (visible or staged) matching `pred` and return
+    /// it (U-buffer hit extraction). Returns nullopt when none matches.
+    template <typename Pred>
+    std::optional<T> extract(Pred pred)
+    {
+        for (auto it = committed_.begin(); it != committed_.end(); ++it) {
+            if (pred(*it)) {
+                T out = std::move(*it);
+                committed_.erase(it);
+                return out;
+            }
+        }
+        for (auto it = staged_.begin(); it != staged_.end(); ++it) {
+            if (pred(*it)) {
+                T out = std::move(*it);
+                staged_.erase(it);
+                return out;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /// Mutate entries in place (store hits dirty an in-transit block).
+    template <typename Fn>
+    void for_each(Fn fn)
+    {
+        for (auto& v : committed_)
+            fn(v);
+        for (auto& v : staged_)
+            fn(v);
+    }
+
+    /// Make staged pushes visible; call once per simulated cycle.
+    void commit()
+    {
+        for (auto& v : staged_)
+            committed_.push_back(std::move(v));
+        staged_.clear();
+    }
+
+    void clear()
+    {
+        committed_.clear();
+        staged_.clear();
+    }
+
+private:
+    std::size_t capacity_;
+    std::deque<T> committed_;
+    std::vector<T> staged_;
+};
+
+} // namespace lnuca::noc

@@ -1,0 +1,45 @@
+// Flit and packet types for the wormhole virtual-channel network that
+// carries D-NUCA traffic (the L-NUCA fabric uses its own headerless
+// messages; see src/fabric).
+#pragma once
+
+#include "src/common/types.h"
+
+#include <cstdint>
+
+namespace lnuca::noc {
+
+/// Node coordinate in a 2D mesh.
+struct coord {
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const coord&) const = default;
+};
+
+enum class packet_kind : std::uint8_t {
+    request,   ///< cache probe travelling to a bank (single flit)
+    reply,     ///< data block travelling back (multi-flit)
+    nack,      ///< miss notification back to the controller (single flit)
+    migrate,   ///< block moving between banks (multi-flit)
+    writeback, ///< dirty block / write probe (multi-flit / single flit)
+};
+
+/// Wormhole flit. Every flit carries its packet's routing context so the
+/// simulator does not need a separate packet table.
+struct flit {
+    std::uint64_t packet_id = 0;
+    packet_kind kind = packet_kind::request;
+    coord src{};
+    coord dst{};
+    addr_t addr = no_addr;
+    txn_id_t txn = 0;
+    std::uint16_t seq = 0;  ///< flit index within packet
+    std::uint16_t count = 1; ///< total flits in packet
+    cycle_t injected_at = 0;
+
+    bool head() const { return seq == 0; }
+    bool tail() const { return seq + 1 == count; }
+};
+
+} // namespace lnuca::noc

@@ -1,0 +1,127 @@
+// Wormhole virtual-channel mesh router (the NUCA-style interconnect the
+// paper contrasts L-NUCA against): dimension-order X-Y routing, per-input
+// virtual channels with fixed-depth flit buffers, credit-based VC flow
+// control, round-robin switch allocation, one cycle per hop.
+#pragma once
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/noc/fifo.h"
+#include "src/noc/message.h"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lnuca::noc {
+
+enum class port_dir : std::uint8_t { local = 0, north, south, east, west };
+inline constexpr std::size_t port_count = 5;
+
+struct router_config {
+    std::uint32_t virtual_channels = 4;
+    std::uint32_t vc_depth = 4; ///< flit buffer entries per VC
+};
+
+class mesh_network; // forward; owns and wires routers
+
+/// One mesh node. Input-buffered; the local port is the bank/controller
+/// attachment point.
+class vc_router {
+public:
+    vc_router(const router_config& config, coord position);
+
+    coord position() const { return position_; }
+
+    /// Can the local port accept a new flit this cycle (VC `vc`)?
+    bool local_can_accept(std::uint32_t vc) const;
+
+    /// Inject a flit at the local port (caller checked local_can_accept).
+    void local_inject(std::uint32_t vc, const flit& f);
+
+    /// Drain one flit delivered to this node, if any.
+    std::optional<flit> local_eject();
+
+    const counter_set& counters() const { return counters_; }
+    bool quiescent() const;
+
+private:
+    friend class mesh_network;
+
+    struct input_vc {
+        sync_fifo<flit> buffer{4};
+        // Wormhole state: once a head flit is routed, the packet owns this
+        // route until its tail passes.
+        bool routed = false;
+        port_dir out = port_dir::local;
+        std::uint32_t out_vc = 0;
+    };
+
+    struct input_port {
+        std::vector<input_vc> vcs;
+    };
+
+    input_vc& in(port_dir port, std::uint32_t vc)
+    {
+        return inputs_[std::size_t(port)].vcs[vc];
+    }
+
+    router_config config_;
+    coord position_;
+    std::array<input_port, port_count> inputs_;
+    // Downstream credits per output port per VC (free buffer slots).
+    std::array<std::vector<std::uint32_t>, port_count> credits_;
+    // Output VC ownership for wormhole: encoded input (port * V + vc), -1 free.
+    std::array<std::vector<std::int32_t>, port_count> vc_owner_;
+    std::uint32_t rr_ = 0; ///< round-robin arbitration pointer
+    std::vector<flit> ejected_;
+    counter_set counters_;
+};
+
+/// A width x height mesh of vc_routers with neighbour wiring. Call step()
+/// once per cycle; flits staged this cycle are visible next cycle.
+class mesh_network {
+public:
+    mesh_network(const router_config& config, int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    vc_router& at(coord c) { return routers_[index(c)]; }
+    const vc_router& at(coord c) const { return routers_[index(c)]; }
+
+    /// Advance every router one cycle.
+    void step(cycle_t now);
+
+    /// Total flit-hops performed (energy model input).
+    std::uint64_t flit_hops() const { return flit_hops_; }
+    std::uint64_t router_traversals() const { return flit_hops_; }
+
+    bool quiescent() const;
+
+    /// X-Y route: next hop direction from `from` towards `to`.
+    static port_dir route_xy(coord from, coord to);
+
+private:
+    std::size_t index(coord c) const
+    {
+        return std::size_t(c.y) * std::size_t(width_) + std::size_t(c.x);
+    }
+
+    bool in_bounds(coord c) const
+    {
+        return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+    }
+
+    static coord neighbour(coord c, port_dir d);
+    static port_dir opposite(port_dir d);
+
+    router_config config_;
+    int width_;
+    int height_;
+    std::vector<vc_router> routers_;
+    std::uint64_t flit_hops_ = 0;
+};
+
+} // namespace lnuca::noc

@@ -1,0 +1,75 @@
+#include "src/power/area_model.h"
+
+#include "src/common/types.h"
+
+#include <cmath>
+
+namespace lnuca::power {
+
+namespace {
+// Calibration against Table II (see header): 32 nm HP SRAM.
+constexpr double k_per_bit_floor_um2 = 0.264; ///< large-array asymptote
+constexpr double k_periphery_um2 = 0.763;     ///< small-array inflation
+constexpr double k_assoc_per_way = 0.01;      ///< extra way compare/mux cost
+constexpr double k_two_port_factor = 2.4;     ///< dual-ported cell + wiring
+
+// Network components (32B datapaths between abutting small tiles).
+constexpr double k_link_mm2 = 0.00055;     ///< one unidirectional 32B link
+constexpr double k_buffer_mm2 = 0.00070;   ///< one two-entry 32B buffer
+constexpr double k_crossbar_mm2 = 0.00095; ///< per-tile cut-through crossbar
+constexpr double k_search_link_mm2 = 0.00012; ///< address-wide tree segment
+} // namespace
+
+double sram_area_mm2(std::uint64_t size_bytes, unsigned ways, unsigned ports)
+{
+    const double bits = double(size_bytes) * 8.0;
+    const double size_kb = double(size_bytes) / 1024.0;
+    const double per_bit = k_per_bit_floor_um2 + k_periphery_um2 / std::sqrt(size_kb);
+    const double assoc = 1.0 + k_assoc_per_way * (ways > 2 ? ways - 2 : 0);
+    const double port = ports >= 2 ? k_two_port_factor : 1.0;
+    return bits * per_bit * assoc * port / 1e6;
+}
+
+double fabric_network_area_mm2(const fabric::geometry& geo)
+{
+    const unsigned data_links =
+        geo.transport_link_count() + geo.replacement_link_count();
+    // One receive buffer per data link, plus the root arrival buffers.
+    const unsigned buffers =
+        data_links + unsigned(geo.root_transport_inputs().size());
+    const unsigned crossbars = geo.tile_count();
+    const unsigned search_links = geo.search_link_count();
+    return data_links * k_link_mm2 + buffers * k_buffer_mm2 +
+           crossbars * k_crossbar_mm2 + search_links * k_search_link_mm2;
+}
+
+area_report conventional_l1_l2_area()
+{
+    area_report r;
+    r.l1_mm2 = sram_area_mm2(32_KiB, 4, 2);
+    r.storage_mm2 = sram_area_mm2(256_KiB, 8, 1);
+    return r;
+}
+
+area_report lnuca_area(unsigned levels)
+{
+    const fabric::geometry geo(levels);
+    area_report r;
+    r.l1_mm2 = sram_area_mm2(32_KiB, 4, 2);
+    r.storage_mm2 = geo.tile_count() * sram_area_mm2(8_KiB, 2, 1);
+    r.network_mm2 = fabric_network_area_mm2(geo);
+    return r;
+}
+
+double dnuca_bank_area_mm2()
+{
+    return sram_area_mm2(256_KiB, 2, 1);
+}
+
+double vc_router_area_mm2()
+{
+    // 5-port 4-VC wormhole router with 4-flit buffers (Orion-class figure).
+    return 0.018;
+}
+
+} // namespace lnuca::power

@@ -1,0 +1,45 @@
+// Analytical SRAM + network area model ("minicacti").
+//
+// CACTI 5.3 is not available offline, so this model reproduces its role:
+// a per-bit cell area inflated by periphery for small arrays, multiplied
+// by port and associativity factors, calibrated against the paper's
+// published Table II areas (32 nm, HP transistors). Network area counts
+// the fabric's links, buffers and crossbars from the real topology.
+#pragma once
+
+#include "src/fabric/geometry.h"
+
+#include <cstdint>
+
+namespace lnuca::power {
+
+/// Area of one SRAM array in mm^2.
+double sram_area_mm2(std::uint64_t size_bytes, unsigned ways, unsigned ports);
+
+/// Area of the three L-NUCA networks for a given floorplan: unidirectional
+/// 32B links, two-entry link buffers, and per-tile cut-through crossbars.
+double fabric_network_area_mm2(const fabric::geometry& geo);
+
+/// Composite areas used by Table II.
+struct area_report {
+    double l1_mm2 = 0.0;
+    double storage_mm2 = 0.0; ///< L2 array or all L-NUCA tiles
+    double network_mm2 = 0.0; ///< zero for the conventional hierarchy
+    double total() const { return l1_mm2 + storage_mm2 + network_mm2; }
+    /// Paper's "network area percentage": share of the fabric (tiles +
+    /// networks) occupied by the networks.
+    double network_percent() const
+    {
+        const double fabric = storage_mm2 + network_mm2;
+        return fabric <= 0 ? 0.0 : 100.0 * network_mm2 / fabric;
+    }
+};
+
+area_report conventional_l1_l2_area();
+area_report lnuca_area(unsigned levels);
+
+/// One D-NUCA bank + per-node router area (for the Fig. 5 discussion).
+double dnuca_bank_area_mm2();
+double vc_router_area_mm2();
+
+} // namespace lnuca::power

@@ -1,0 +1,28 @@
+#include "src/sim/engine.h"
+
+namespace lnuca::sim {
+
+void engine::step()
+{
+    for (ticked* component : components_)
+        component->tick(now_);
+    ++now_;
+}
+
+void engine::run(cycle_t cycles)
+{
+    for (cycle_t i = 0; i < cycles; ++i)
+        step();
+}
+
+bool engine::run_until(const std::function<bool()>& done, cycle_t max_cycles)
+{
+    for (cycle_t i = 0; i < max_cycles; ++i) {
+        if (done())
+            return true;
+        step();
+    }
+    return done();
+}
+
+} // namespace lnuca::sim

@@ -1,0 +1,40 @@
+// Deterministic cycle engine.
+//
+// Timing contract: components are ticked in registration order. All
+// inter-component hand-offs use explicit ready cycles (timed_queue) and a
+// consumer only observes items stamped <= the current cycle, so a producer
+// that ticks *before* its consumer can deliver in the same cycle while the
+// reverse direction always lands one cycle later. Hierarchies therefore
+// register top-down: core, L1/r-tile, L2/fabric, L3/D-NUCA, memory.
+#pragma once
+
+#include "src/common/types.h"
+#include "src/sim/ticked.h"
+
+#include <functional>
+#include <vector>
+
+namespace lnuca::sim {
+
+class engine {
+public:
+    /// Register a component. Non-owning; the component must outlive the engine.
+    void add(ticked& component) { components_.push_back(&component); }
+
+    cycle_t now() const { return now_; }
+
+    /// Run exactly `cycles` cycles.
+    void run(cycle_t cycles);
+
+    /// Run until `done()` returns true or `max_cycles` elapse.
+    /// Returns true when the predicate fired (false: cycle budget exhausted).
+    bool run_until(const std::function<bool()>& done, cycle_t max_cycles);
+
+private:
+    void step();
+
+    std::vector<ticked*> components_;
+    cycle_t now_ = 0;
+};
+
+} // namespace lnuca::sim

@@ -1,0 +1,21 @@
+// Cycle-driven component interface.
+//
+// The engine advances one processor cycle at a time and calls tick(now) on
+// every registered component in registration order. Registration order is
+// part of the timing contract: producers that must be visible to consumers
+// within the same cycle register earlier (see engine.h).
+#pragma once
+
+#include "src/common/types.h"
+
+namespace lnuca::sim {
+
+class ticked {
+public:
+    virtual ~ticked() = default;
+
+    /// Advance this component by one cycle. `now` is the cycle being executed.
+    virtual void tick(cycle_t now) = 0;
+};
+
+} // namespace lnuca::sim

@@ -1,0 +1,63 @@
+// Priority queue of items that become visible at a future cycle.
+//
+// This is the standard hand-off primitive between ticked components: the
+// producer pushes with an explicit ready cycle, the consumer pops everything
+// whose time has come during its own tick. Ties preserve push order so the
+// simulation stays deterministic.
+#pragma once
+
+#include "src/common/types.h"
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace lnuca::sim {
+
+template <typename T>
+class timed_queue {
+public:
+    void push(cycle_t ready_at, T item)
+    {
+        heap_.push(entry{ready_at, seq_++, std::move(item)});
+    }
+
+    /// Pop the oldest item with ready_at <= now, if any.
+    std::optional<T> pop_ready(cycle_t now)
+    {
+        if (heap_.empty() || heap_.top().ready_at > now)
+            return std::nullopt;
+        T item = std::move(const_cast<entry&>(heap_.top()).item);
+        heap_.pop();
+        return item;
+    }
+
+    /// Cycle of the earliest pending item (no_cycle when empty).
+    cycle_t next_ready() const
+    {
+        return heap_.empty() ? no_cycle : heap_.top().ready_at;
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+private:
+    struct entry {
+        cycle_t ready_at;
+        std::uint64_t seq;
+        T item;
+
+        bool operator>(const entry& other) const
+        {
+            if (ready_at != other.ready_at)
+                return ready_at > other.ready_at;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<entry, std::vector<entry>, std::greater<>> heap_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace lnuca::sim

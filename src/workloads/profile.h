@@ -1,0 +1,65 @@
+// Parameterisation of a synthetic benchmark proxy.
+//
+// The paper evaluates on SPEC CPU2006, which cannot be run here; each
+// benchmark is replaced by a generator whose temporal locality is shaped by
+// a reuse-depth mixture (which slice of the LRU depth axis an access
+// reuses), because the per-level hit distribution that drives the paper's
+// results (Table III) is exactly the mass of that distribution between the
+// capacities of adjacent hierarchy levels. See DESIGN.md, "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lnuca::wl {
+
+/// One component of the reuse mixture: with probability `weight`, reuse a
+/// block drawn uniformly from the last `range_blocks` distinct blocks.
+/// Under LRU, such an access hits a cache holding the C most recent blocks
+/// with probability min(1, C / range_blocks) - the direct knob for the
+/// per-level hit distributions of Table III.
+struct reuse_component {
+    double weight = 0.0;
+    double range_blocks = 0.0;
+};
+
+struct instruction_mix {
+    double load = 0.25;
+    double store = 0.10;
+    double branch = 0.15;
+    double int_alu = 0.40;
+    double int_mul = 0.02;
+    double fp_add = 0.04;
+    double fp_mul = 0.03;
+    double fp_div = 0.01;
+};
+
+struct workload_profile {
+    std::string name;
+    bool floating_point = false;
+
+    instruction_mix mix;
+
+    // --- Temporal locality -------------------------------------------------
+    double p_new_block = 0.02;  ///< compulsory/streaming fraction of accesses
+    std::vector<reuse_component> reuse; ///< weights need not sum to 1;
+                                        ///< remainder reuses the hottest blocks
+    std::uint64_t footprint_blocks = 1 << 18; ///< distinct 32B blocks touched
+
+    // --- Spatial locality --------------------------------------------------
+    double sequential_run = 0.4; ///< P(access continues a sequential run)
+
+    // --- Control flow ------------------------------------------------------
+    unsigned static_branches = 64;   ///< distinct branch sites
+    double biased_fraction = 0.85;   ///< branches with strongly-biased outcome
+    double bias = 0.92;              ///< P(taken) for biased branches
+    double random_outcome = 0.5;     ///< P(taken) for the unbiased remainder
+
+    // --- Instruction-level parallelism --------------------------------------
+    double mean_dep_distance = 6.0;  ///< geometric producer distance
+    double pointer_chase = 0.0;      ///< P(load address depends on prior load)
+    double second_operand = 0.35;    ///< P(instruction has a second source)
+};
+
+} // namespace lnuca::wl

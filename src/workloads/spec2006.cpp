@@ -1,0 +1,290 @@
+#include "src/workloads/spec2006.h"
+
+namespace lnuca::wl {
+
+namespace {
+
+instruction_mix int_mix()
+{
+    instruction_mix m;
+    m.load = 0.24;
+    m.store = 0.10;
+    m.branch = 0.18;
+    m.int_alu = 0.43;
+    m.int_mul = 0.03;
+    m.fp_add = 0.01;
+    m.fp_mul = 0.01;
+    m.fp_div = 0.00;
+    return m;
+}
+
+instruction_mix fp_mix()
+{
+    instruction_mix m;
+    m.load = 0.28;
+    m.store = 0.08;
+    m.branch = 0.05;
+    m.int_alu = 0.24;
+    m.int_mul = 0.01;
+    m.fp_add = 0.19;
+    m.fp_mul = 0.13;
+    m.fp_div = 0.02;
+    return m;
+}
+
+// Capacity landmarks in 32B blocks: L1 holds 1024; the exclusive L-NUCA
+// windows end at 2304/4608/7936 (LN2/LN3/LN4 incl. L1); the 256KB L2 ends
+// at 8192. Components are placed against these landmarks so that the
+// per-level hit ratios land in Table III's ranges: integer codes
+// concentrate their beyond-L1 reuse tightly (Le2-heavy), floating-point
+// codes spread it deeper (more Le3/Le4 mass).
+
+/// Integer-style reuse ladder. `mid` scales the L2-zone mass, `deep_w` the
+/// L3-zone mass at `deep_r`.
+std::vector<reuse_component> int_reuse(double hot_w, double hot_r, double mid,
+                                       double deep_w, double deep_r)
+{
+    return {{hot_w, hot_r},
+            {0.080 * mid, 1600},
+            {0.011 * mid, 3800},
+            {0.003 * mid, 6500},
+            {deep_w, deep_r}};
+}
+
+/// Floating-point-style ladder: same landmarks, flatter across the
+/// fabric's outer levels.
+std::vector<reuse_component> fp_reuse(double hot_w, double hot_r, double mid,
+                                      double deep_w, double deep_r)
+{
+    return {{hot_w, hot_r},
+            {0.034 * mid, 1800},
+            {0.026 * mid, 4000},
+            {0.018 * mid, 7200},
+            {deep_w, deep_r}};
+}
+
+workload_profile base_int(std::string name)
+{
+    workload_profile p;
+    p.name = std::move(name);
+    p.floating_point = false;
+    p.mix = int_mix();
+    p.sequential_run = 0.30;
+    p.mean_dep_distance = 6.5;
+    return p;
+}
+
+workload_profile base_fp(std::string name)
+{
+    workload_profile p;
+    p.name = std::move(name);
+    p.floating_point = true;
+    p.mix = fp_mix();
+    p.sequential_run = 0.60;
+    p.mean_dep_distance = 13.0;
+    p.biased_fraction = 0.95;
+    p.bias = 0.97;
+    return p;
+}
+
+workload_profile make_int(std::string name, double hot_w, double hot_r,
+                          double mid, double deep_w, double deep_r,
+                          double p_new, std::uint64_t footprint)
+{
+    workload_profile p = base_int(std::move(name));
+    p.reuse = int_reuse(hot_w, hot_r, mid, deep_w, deep_r);
+    p.p_new_block = p_new;
+    p.footprint_blocks = footprint;
+    return p;
+}
+
+workload_profile make_fp(std::string name, double hot_w, double hot_r,
+                         double mid, double deep_w, double deep_r,
+                         double p_new, std::uint64_t footprint)
+{
+    workload_profile p = base_fp(std::move(name));
+    p.reuse = fp_reuse(hot_w, hot_r, mid, deep_w, deep_r);
+    p.p_new_block = p_new;
+    p.footprint_blocks = footprint;
+    return p;
+}
+
+std::vector<workload_profile> build_suite()
+{
+    std::vector<workload_profile> suite;
+
+    // ---------------- Integer (11) ----------------
+    {
+        auto p = make_int("400.perlbench", 0.72, 450, 0.8, 0.015, 40000,
+                          0.003, 1 << 17); // branchy interpreter, warm WS
+        p.biased_fraction = 0.80;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("401.bzip2", 0.68, 500, 1.0, 0.022, 60000, 0.005,
+                          1 << 18); // compression, strided
+        p.sequential_run = 0.45;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("403.gcc", 0.66, 550, 1.1, 0.028, 90000, 0.006,
+                          1 << 18); // large code/data, irregular
+        p.biased_fraction = 0.78;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("429.mcf", 0.52, 600, 2.2, 0.075, 250000, 0.012,
+                          1 << 20); // pointer-chasing, huge WS
+        p.pointer_chase = 0.45;
+        p.sequential_run = 0.10;
+        p.mean_dep_distance = 3.5;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("445.gobmk", 0.70, 420, 0.9, 0.015, 40000, 0.004,
+                          1 << 16); // game tree, hard branches
+        p.biased_fraction = 0.65;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("456.hmmer", 0.78, 350, 0.35, 0.006, 15000, 0.001,
+                          1 << 15); // tight loops, L1-resident
+        p.mean_dep_distance = 8.0;
+        p.biased_fraction = 0.95;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("458.sjeng", 0.70, 450, 0.9, 0.018, 50000, 0.003,
+                          1 << 17); // chess, mispredict-heavy
+        p.biased_fraction = 0.68;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("462.libquantum", 0.55, 700, 1.6, 0.060, 300000,
+                          0.015, 1 << 20); // pure streaming over a vector
+        p.sequential_run = 0.80;
+        p.biased_fraction = 0.97;
+        p.mean_dep_distance = 10.0;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("464.h264ref", 0.72, 400, 0.8, 0.012, 30000, 0.003,
+                          1 << 16); // media kernels, strided reuse
+        p.sequential_run = 0.55;
+        p.mean_dep_distance = 7.0;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("471.omnetpp", 0.60, 550, 1.7, 0.050, 150000,
+                          0.008, 1 << 19); // discrete event sim, pointers
+        p.pointer_chase = 0.30;
+        p.sequential_run = 0.15;
+        p.mean_dep_distance = 4.0;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_int("473.astar", 0.62, 500, 1.5, 0.040, 120000, 0.006,
+                          1 << 18); // path finding, pointer graph
+        p.pointer_chase = 0.35;
+        p.biased_fraction = 0.72;
+        p.sequential_run = 0.15;
+        suite.push_back(p);
+    }
+
+    // ---------------- Floating point (17) ----------------
+    suite.push_back(make_fp("410.bwaves", 0.55, 650, 1.6, 0.050, 120000,
+                            0.010, 1 << 20)); // block-tridiagonal streams
+    suite.push_back(make_fp("416.gamess", 0.75, 380, 0.5, 0.008, 15000,
+                            0.002, 1 << 15)); // cache-friendly chemistry
+    suite.push_back(make_fp("433.milc", 0.52, 700, 1.7, 0.060, 200000,
+                            0.012, 1 << 20)); // lattice QCD, strided
+    suite.push_back(make_fp("434.zeusmp", 0.60, 600, 1.4, 0.040, 100000,
+                            0.007, 1 << 19)); // CFD, blocked stencils
+    suite.push_back(make_fp("435.gromacs", 0.70, 450, 0.8, 0.015, 30000,
+                            0.003, 1 << 17)); // MD neighbour lists
+    suite.push_back(make_fp("436.cactusADM", 0.56, 650, 1.5, 0.045, 120000,
+                            0.009, 1 << 19)); // relativity stencil
+    suite.push_back(make_fp("437.leslie3d", 0.56, 620, 1.5, 0.042, 110000,
+                            0.009, 1 << 19)); // CFD streaming with tiles
+    suite.push_back(make_fp("444.namd", 0.73, 400, 0.6, 0.010, 20000, 0.002,
+                            1 << 16)); // MD kernels, mostly resident
+    {
+        auto p = make_fp("447.dealII", 0.64, 500, 1.2, 0.025, 70000, 0.005,
+                         1 << 18); // FEM, mixed pointer/stream
+        p.pointer_chase = 0.10;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_fp("450.soplex", 0.56, 580, 1.5, 0.045, 150000, 0.009,
+                         1 << 19); // sparse LP solver
+        p.sequential_run = 0.40;
+        p.pointer_chase = 0.15;
+        suite.push_back(p);
+    }
+    {
+        auto p = make_fp("453.povray", 0.76, 320, 0.4, 0.006, 12000, 0.001,
+                         1 << 14); // ray tracing, small WS, branchy
+        p.mix.branch = 0.12;
+        p.biased_fraction = 0.80;
+        suite.push_back(p);
+    }
+    suite.push_back(make_fp("454.calculix", 0.64, 500, 1.2, 0.025, 75000,
+                            0.005, 1 << 18)); // FEM solver
+    suite.push_back(make_fp("459.GemsFDTD", 0.53, 680, 1.6, 0.055, 180000,
+                            0.011, 1 << 20)); // FDTD streaming stencil
+    suite.push_back(make_fp("465.tonto", 0.71, 420, 0.8, 0.014, 25000,
+                            0.003, 1 << 16)); // quantum chemistry
+    {
+        auto p = make_fp("470.lbm", 0.50, 750, 1.7, 0.065, 300000, 0.015,
+                         1 << 20); // lattice Boltzmann, pure streaming
+        p.sequential_run = 0.85;
+        p.mix.branch = 0.02;
+        suite.push_back(p);
+    }
+    suite.push_back(make_fp("481.wrf", 0.61, 550, 1.3, 0.030, 90000, 0.006,
+                            1 << 18)); // weather model, mixed kernels
+    {
+        auto p = make_fp("482.sphinx3", 0.59, 560, 1.4, 0.033, 100000,
+                         0.007, 1 << 18); // speech recognition
+        p.mix.branch = 0.08;
+        suite.push_back(p);
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<workload_profile>& spec2006_suite()
+{
+    static const std::vector<workload_profile> suite = build_suite();
+    return suite;
+}
+
+std::vector<workload_profile> spec2006_int()
+{
+    std::vector<workload_profile> out;
+    for (const auto& p : spec2006_suite())
+        if (!p.floating_point)
+            out.push_back(p);
+    return out;
+}
+
+std::vector<workload_profile> spec2006_fp()
+{
+    std::vector<workload_profile> out;
+    for (const auto& p : spec2006_suite())
+        if (p.floating_point)
+            out.push_back(p);
+    return out;
+}
+
+std::optional<workload_profile> find_spec2006(const std::string& name)
+{
+    for (const auto& p : spec2006_suite())
+        if (p.name == name)
+            return p;
+    return std::nullopt;
+}
+
+} // namespace lnuca::wl

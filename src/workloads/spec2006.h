@@ -1,0 +1,27 @@
+// Synthetic proxies for the SPEC CPU2006 suite the paper evaluates (all
+// benchmarks minus 483.xalancbmk, which the authors excluded).
+//
+// Parameters are set per benchmark from its published memory-intensity
+// character (working-set size, streaming vs pointer-chasing, branch
+// behaviour, FP/INT mix). Absolute IPC is not expected to match the paper;
+// the per-level reuse structure that drives the paper's comparisons is.
+#pragma once
+
+#include "src/workloads/profile.h"
+
+#include <optional>
+#include <vector>
+
+namespace lnuca::wl {
+
+/// All 28 proxies, INT first (11), then FP (17), in SPEC numeric order.
+const std::vector<workload_profile>& spec2006_suite();
+
+/// Suite filtered by kind.
+std::vector<workload_profile> spec2006_int();
+std::vector<workload_profile> spec2006_fp();
+
+/// Lookup by name (e.g. "429.mcf").
+std::optional<workload_profile> find_spec2006(const std::string& name);
+
+} // namespace lnuca::wl

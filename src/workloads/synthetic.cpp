@@ -1,0 +1,168 @@
+#include "src/workloads/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lnuca::wl {
+
+namespace {
+constexpr std::uint32_t k_block_bytes = 32;
+} // namespace
+
+synthetic_stream::synthetic_stream(const workload_profile& profile,
+                                   std::uint64_t seed)
+    : profile_(profile), rng_(seed)
+{
+    // The working set pre-exists: a real program has long allocated its
+    // data when the measured region starts. p_new_block keeps sliding it.
+    frontier_ = profile_.footprint_blocks;
+    const instruction_mix& m = profile_.mix;
+    const double parts[8] = {m.load,    m.store,  m.branch,  m.int_alu,
+                             m.int_mul, m.fp_add, m.fp_mul,  m.fp_div};
+    double total = 0;
+    for (const double p : parts)
+        total += p;
+    double running = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        running += parts[i] / total;
+        cum_[i] = running;
+    }
+
+    for (unsigned b = 0; b < profile_.static_branches; ++b) {
+        const bool biased = rng_.uniform() < profile_.biased_fraction;
+        const double p_taken = biased ? (rng_.chance(0.5) ? profile_.bias
+                                                          : 1.0 - profile_.bias)
+                                      : profile_.random_outcome;
+        branch_sites_.emplace_back(0x400000 + 4 * (b + 1) * 64, p_taken);
+    }
+}
+
+cpu::op_class synthetic_stream::pick_op()
+{
+    const double u = rng_.uniform();
+    if (u < cum_[0])
+        return cpu::op_class::load;
+    if (u < cum_[1])
+        return cpu::op_class::store;
+    if (u < cum_[2])
+        return cpu::op_class::branch;
+    if (u < cum_[3])
+        return cpu::op_class::int_alu;
+    if (u < cum_[4])
+        return cpu::op_class::int_mul;
+    if (u < cum_[5])
+        return cpu::op_class::fp_add;
+    if (u < cum_[6])
+        return cpu::op_class::fp_mul;
+    return cpu::op_class::fp_div;
+}
+
+addr_t synthetic_stream::new_block()
+{
+    const std::uint64_t index = frontier_++ % profile_.footprint_blocks;
+    return region_base_ + index * k_block_bytes;
+}
+
+addr_t synthetic_stream::block_at(std::uint64_t backward_index) const
+{
+    const std::uint64_t index =
+        (frontier_ - 1 - backward_index) % profile_.footprint_blocks;
+    return region_base_ + index * k_block_bytes;
+}
+
+addr_t synthetic_stream::pick_address()
+{
+    // Continue a sequential run (spatial locality).
+    if (in_seq_run_ && rng_.chance(profile_.sequential_run)) {
+        seq_addr_ += 8;
+        return seq_addr_;
+    }
+    in_seq_run_ = false;
+
+    addr_t block;
+    if (frontier_ == 0 || rng_.chance(profile_.p_new_block)) {
+        block = new_block();
+    } else {
+        // Reuse: uniform within the chosen backward range; the weight
+        // remainder reuses the hottest handful of blocks.
+        double range = 64.0;
+        double u = rng_.uniform();
+        for (const auto& c : profile_.reuse) {
+            if (u < c.weight) {
+                range = c.range_blocks;
+                break;
+            }
+            u -= c.weight;
+        }
+        const std::uint64_t bound = std::min<std::uint64_t>(
+            std::uint64_t(range), std::min<std::uint64_t>(
+                                      frontier_, profile_.footprint_blocks));
+        block = block_at(rng_.below(bound));
+    }
+
+    if (rng_.chance(profile_.sequential_run)) {
+        in_seq_run_ = true;
+        seq_addr_ = block;
+        return block;
+    }
+    return block + 8 * rng_.below(k_block_bytes / 8);
+}
+
+cpu::instruction synthetic_stream::next()
+{
+    ++instr_count_;
+    ++last_load_distance_;
+    pc_ += 4;
+
+    cpu::instruction inst;
+    inst.op = pick_op();
+    inst.pc = pc_;
+
+    auto geometric_dep = [&]() -> std::uint32_t {
+        const double draw =
+            -profile_.mean_dep_distance * std::log(1.0 - rng_.uniform());
+        return std::uint32_t(std::clamp(draw, 1.0, 64.0));
+    };
+
+    switch (inst.op) {
+    case cpu::op_class::load:
+        inst.addr = pick_address();
+        inst.size = 8;
+        if (profile_.pointer_chase > 0 && rng_.chance(profile_.pointer_chase) &&
+            last_load_distance_ < 64 && instr_count_ > last_load_distance_) {
+            // Address depends on the previous load (pointer chasing).
+            inst.dep[0] = std::uint32_t(last_load_distance_);
+        } else {
+            inst.dep[0] = geometric_dep();
+        }
+        last_load_distance_ = 0;
+        break;
+    case cpu::op_class::store:
+        inst.addr = pick_address();
+        inst.size = 8;
+        inst.dep[0] = geometric_dep(); // data being stored
+        break;
+    case cpu::op_class::branch: {
+        const auto& [pc, p_taken] =
+            branch_sites_[rng_.below(branch_sites_.size())];
+        inst.pc = pc;
+        inst.taken = rng_.chance(p_taken);
+        inst.dep[0] = geometric_dep(); // condition operand
+        break;
+    }
+    default:
+        inst.dep[0] = geometric_dep();
+        if (rng_.chance(profile_.second_operand))
+            inst.dep[1] = geometric_dep();
+        break;
+    }
+    return inst;
+}
+
+std::unique_ptr<synthetic_stream> make_stream(const workload_profile& profile,
+                                              std::uint64_t seed)
+{
+    return std::make_unique<synthetic_stream>(profile, seed);
+}
+
+} // namespace lnuca::wl

@@ -1,0 +1,66 @@
+// Synthetic instruction stream generator driven by a workload_profile.
+//
+// Addresses come from a sliding working set: an allocation frontier
+// advances on "new block" accesses, and a reuse access picks a block
+// uniformly within one of the profile's backward ranges from the frontier.
+// Blocks at small backward index are the recently allocated/hot ones, so a
+// cache of capacity C captures a range-R component with probability
+// ~min(1, C/R) - an analytically controllable locality profile at O(1)
+// cost per access.
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/cpu/instruction.h"
+#include "src/workloads/profile.h"
+
+#include <memory>
+#include <vector>
+
+namespace lnuca::wl {
+
+class synthetic_stream final : public cpu::instruction_stream {
+public:
+    synthetic_stream(const workload_profile& profile, std::uint64_t seed);
+
+    cpu::instruction next() override;
+
+    const workload_profile& profile() const { return profile_; }
+
+    /// Address of the block `backward` distinct allocations behind the
+    /// current frontier; lets a system pre-warm large arrays with the hot
+    /// window (substituting for the paper's 200M-instruction warm-up).
+    addr_t warm_block(std::uint64_t backward) const { return block_at(backward); }
+
+private:
+    addr_t pick_address();
+    addr_t new_block();
+    addr_t block_at(std::uint64_t backward_index) const;
+    cpu::op_class pick_op();
+
+    workload_profile profile_;
+    rng rng_;
+
+    // Cumulative mix thresholds for O(1) op-class selection.
+    double cum_[8] = {};
+
+    std::uint64_t frontier_ = 0; ///< blocks allocated so far (slides the WS)
+    addr_t region_base_ = 0x10000000;
+
+    // Sequential-run state.
+    addr_t seq_addr_ = 0;
+    bool in_seq_run_ = false;
+
+    // Branch sites.
+    std::vector<std::pair<addr_t, double>> branch_sites_; ///< pc, P(taken)
+
+    std::uint64_t instr_count_ = 0;
+    std::uint64_t last_load_distance_ = 0; ///< instructions since last load
+    addr_t pc_ = 0x400000;
+};
+
+/// Convenience factory.
+std::unique_ptr<synthetic_stream> make_stream(const workload_profile& profile,
+                                              std::uint64_t seed);
+
+} // namespace lnuca::wl

@@ -1,0 +1,259 @@
+// Unit tests for the common foundation: rng, statistics, histogram,
+// tables, CLI parsing, and the type helpers.
+#include "src/common/cli.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace lnuca {
+namespace {
+
+TEST(types, pow2_helpers)
+{
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(1024));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_EQ(log2_exact(1), 0u);
+    EXPECT_EQ(log2_exact(4096), 12u);
+    EXPECT_EQ(align_up(5, 8), 8u);
+    EXPECT_EQ(align_up(16, 8), 16u);
+}
+
+TEST(types, size_literals_and_format)
+{
+    EXPECT_EQ(32_KiB, 32768u);
+    EXPECT_EQ(8_MiB, 8388608u);
+    EXPECT_EQ(format_size(256_KiB), "256KB");
+    EXPECT_EQ(format_size(8_MiB), "8MB");
+    EXPECT_EQ(format_size(72_KiB), "72KB");
+    EXPECT_EQ(format_size(100), "100B");
+}
+
+TEST(rng, deterministic_per_seed)
+{
+    rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a();
+        EXPECT_EQ(va, b());
+        (void)c;
+    }
+    rng d(43);
+    EXPECT_NE(rng(42)(), d());
+}
+
+TEST(rng, below_respects_bound)
+{
+    rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+    EXPECT_EQ(r.below(0), 0u);
+    EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(rng, uniform_in_unit_interval_and_mean)
+{
+    rng r(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(rng, chance_matches_probability)
+{
+    rng r(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(rng, between_is_inclusive)
+{
+    rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.between(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(rng, hash64_stateless)
+{
+    EXPECT_EQ(hash64(1), hash64(1));
+    EXPECT_NE(hash64(1), hash64(2));
+}
+
+TEST(stats, harmonic_mean_known_values)
+{
+    const std::array<double, 2> v{1.0, 2.0};
+    EXPECT_NEAR(harmonic_mean(v), 4.0 / 3.0, 1e-12);
+    const std::array<double, 3> w{2.0, 2.0, 2.0};
+    EXPECT_NEAR(harmonic_mean(w), 2.0, 1e-12);
+}
+
+TEST(stats, harmonic_mean_degenerate)
+{
+    EXPECT_EQ(harmonic_mean({}), 0.0);
+    const std::array<double, 2> z{0.0, 2.0};
+    EXPECT_EQ(harmonic_mean(z), 0.0);
+}
+
+TEST(stats, harmonic_below_arithmetic)
+{
+    const std::array<double, 4> v{0.5, 1.0, 1.5, 3.0};
+    EXPECT_LT(harmonic_mean(v), arithmetic_mean(v));
+    EXPECT_LT(geometric_mean(v), arithmetic_mean(v));
+    EXPECT_GT(geometric_mean(v), harmonic_mean(v));
+}
+
+TEST(stats, mean_accumulator)
+{
+    mean_accumulator acc;
+    EXPECT_EQ(acc.mean(), 0.0);
+    acc.add(2.0);
+    acc.add(4.0);
+    EXPECT_EQ(acc.count(), 2u);
+    EXPECT_NEAR(acc.mean(), 3.0, 1e-12);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(stats, minmax_accumulator)
+{
+    minmax_accumulator acc;
+    acc.add(5.0);
+    acc.add(-1.0);
+    acc.add(3.0);
+    EXPECT_EQ(acc.min(), -1.0);
+    EXPECT_EQ(acc.max(), 5.0);
+    EXPECT_NEAR(acc.mean(), 7.0 / 3.0, 1e-12);
+}
+
+TEST(stats, safe_ratio)
+{
+    EXPECT_EQ(safe_ratio(4, 2), 2.0);
+    EXPECT_EQ(safe_ratio(4, 0), 0.0);
+    EXPECT_EQ(safe_ratio(4, 0, 1.5), 1.5);
+}
+
+TEST(stats, counter_set_insertion_order_and_get)
+{
+    counter_set c;
+    c.inc("b");
+    c.inc("a", 3);
+    c.inc("b", 2);
+    EXPECT_EQ(c.get("b"), 3u);
+    EXPECT_EQ(c.get("a"), 3u);
+    EXPECT_EQ(c.get("missing"), 0u);
+    ASSERT_EQ(c.items().size(), 2u);
+    EXPECT_EQ(c.items()[0].first, "b");
+    c.reset();
+    EXPECT_TRUE(c.items().empty());
+}
+
+TEST(histogram, counts_and_overflow)
+{
+    histogram h(4);
+    h.add(0);
+    h.add(3);
+    h.add(10); // overflow bucket
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(histogram, weighted_mean)
+{
+    histogram h(16);
+    h.add(2, 3); // three observations of 2
+    h.add(8, 1);
+    EXPECT_NEAR(h.mean(), (2 * 3 + 8) / 4.0, 1e-12);
+}
+
+TEST(histogram, percentile)
+{
+    histogram h(32);
+    for (std::uint64_t v = 0; v < 10; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.5), 4u);
+    EXPECT_EQ(h.percentile(1.0), 9u);
+}
+
+TEST(histogram, reset)
+{
+    histogram h(8);
+    h.add(1);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(table, renders_header_and_rows)
+{
+    text_table t("Title");
+    t.set_header({"a", "bb"});
+    t.add_row({"1", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(table, numeric_formatting)
+{
+    EXPECT_EQ(text_table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(text_table::num(2.0, 0), "2");
+    EXPECT_EQ(text_table::pct(12.34, 1), "12.3%");
+}
+
+TEST(table, ragged_rows_padded)
+{
+    text_table t;
+    t.set_header({"x", "y", "z"});
+    t.add_row({"only-one"});
+    EXPECT_NO_THROW({ const auto s = t.render(); (void)s; });
+}
+
+TEST(cli, parses_separate_and_equals_forms)
+{
+    const char* argv[] = {"prog", "--alpha", "5", "--beta=7", "--flag"};
+    cli_args args(5, argv);
+    EXPECT_EQ(args.get_u64("alpha", 0), 5u);
+    EXPECT_EQ(args.get_u64("beta", 0), 7u);
+    EXPECT_TRUE(args.has_flag("flag"));
+    EXPECT_FALSE(args.has_flag("gamma"));
+    EXPECT_EQ(args.get_u64("gamma", 9), 9u);
+}
+
+TEST(cli, string_and_double)
+{
+    const char* argv[] = {"prog", "--name", "mcf", "--ratio", "1.5"};
+    cli_args args(5, argv);
+    EXPECT_EQ(args.get_string("name", "x"), "mcf");
+    EXPECT_DOUBLE_EQ(args.get_double("ratio", 0), 1.5);
+    EXPECT_EQ(args.get_string("other", "fallback"), "fallback");
+}
+
+} // namespace
+} // namespace lnuca

@@ -1,0 +1,201 @@
+// L-NUCA floorplan and topology properties: tile counts, Fig. 2(c)
+// latencies, broadcast-tree shape, transport progress, replacement DAG
+// invariants, and the Section III-A comparisons against a 2D mesh.
+#include "src/fabric/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace lnuca::fabric {
+namespace {
+
+TEST(geometry, rejects_single_level)
+{
+    EXPECT_THROW(geometry{1}, std::invalid_argument);
+}
+
+TEST(geometry, paper_tile_counts)
+{
+    EXPECT_EQ(geometry(2).tile_count(), 5u);   // LN2: 5 tiles
+    EXPECT_EQ(geometry(3).tile_count(), 14u);  // LN3: 5 + 9
+    EXPECT_EQ(geometry(4).tile_count(), 27u);  // LN4: 5 + 9 + 13
+}
+
+TEST(geometry, levels_have_4d_plus_1_tiles)
+{
+    const geometry g(5);
+    EXPECT_EQ(g.tiles_in_level(2).size(), 5u);
+    EXPECT_EQ(g.tiles_in_level(3).size(), 9u);
+    EXPECT_EQ(g.tiles_in_level(4).size(), 13u);
+    EXPECT_EQ(g.tiles_in_level(5).size(), 17u);
+}
+
+TEST(geometry, fig2c_latencies_for_three_levels)
+{
+    // Fig. 2(c): ring-1 tiles at latency 3-4; ring-2 at 5-7.
+    const geometry g(3);
+    EXPECT_EQ(g.latency_of({0, 1}), 3u);
+    EXPECT_EQ(g.latency_of({1, 0}), 3u);
+    EXPECT_EQ(g.latency_of({-1, 0}), 3u);
+    EXPECT_EQ(g.latency_of({1, 1}), 4u);
+    EXPECT_EQ(g.latency_of({-1, 1}), 4u);
+    EXPECT_EQ(g.latency_of({0, 2}), 5u);
+    EXPECT_EQ(g.latency_of({2, 0}), 5u);
+    EXPECT_EQ(g.latency_of({1, 2}), 6u);
+    EXPECT_EQ(g.latency_of({2, 1}), 6u);
+    EXPECT_EQ(g.latency_of({2, 2}), 7u);
+    EXPECT_EQ(g.latency_of({-2, 2}), 7u);
+}
+
+TEST(geometry, contains_and_indexing_roundtrip)
+{
+    const geometry g(4);
+    EXPECT_FALSE(g.contains({0, 0})); // the r-tile is not a tile
+    EXPECT_TRUE(g.contains({3, 3}));
+    EXPECT_FALSE(g.contains({4, 0}));
+    EXPECT_FALSE(g.contains({0, -1}));
+    for (tile_index i = 0; i < g.tile_count(); ++i)
+        EXPECT_EQ(g.index_of(g.coord_of(i)), i);
+}
+
+TEST(geometry, search_tree_reaches_every_tile_once)
+{
+    const geometry g(4);
+    std::set<tile_index> reached;
+    std::vector<tile_index> frontier = g.root_search_children();
+    unsigned depth = 0;
+    while (!frontier.empty()) {
+        ++depth;
+        std::vector<tile_index> next;
+        for (const tile_index i : frontier) {
+            EXPECT_TRUE(reached.insert(i).second) << "tile reached twice";
+            EXPECT_EQ(g.ring_of(g.coord_of(i)), depth);
+            for (const tile_index c : g.search_children(i))
+                next.push_back(c);
+        }
+        frontier = std::move(next);
+    }
+    EXPECT_EQ(reached.size(), g.tile_count());
+    EXPECT_EQ(depth, g.rings());
+    EXPECT_EQ(depth, g.search_max_distance());
+}
+
+TEST(geometry, transport_outputs_always_make_progress)
+{
+    const geometry g(4);
+    for (tile_index i = 0; i < g.tile_count(); ++i) {
+        const auto c = g.coord_of(i);
+        const auto& outs = g.transport_outputs(i);
+        EXPECT_FALSE(outs.empty());
+        for (const tile_index t : outs) {
+            const unsigned here = g.transport_distance(c);
+            const unsigned there =
+                t == root_index ? 0 : g.transport_distance(g.coord_of(t));
+            EXPECT_EQ(there + 1, here) << "link must reduce distance by one";
+        }
+    }
+}
+
+TEST(geometry, transport_inputs_mirror_outputs)
+{
+    const geometry g(3);
+    for (tile_index i = 0; i < g.tile_count(); ++i)
+        for (const tile_index t : g.transport_outputs(i))
+            if (t != root_index) {
+                const auto& ins = g.transport_inputs(t);
+                EXPECT_NE(std::find(ins.begin(), ins.end(), i), ins.end());
+            }
+    // Root inputs: the three tiles adjacent to the r-tile.
+    EXPECT_EQ(g.root_transport_inputs().size(), 3u);
+}
+
+TEST(geometry, replacement_edges_connect_latency_plus_one)
+{
+    const geometry g(4);
+    for (tile_index i = 0; i < g.tile_count(); ++i) {
+        const unsigned lat = g.latency_of(g.coord_of(i));
+        for (const tile_index t : g.replacement_outputs(i))
+            EXPECT_EQ(g.latency_of(g.coord_of(t)), lat + 1);
+    }
+    for (const tile_index t : g.root_replacement_outputs())
+        EXPECT_EQ(g.latency_of(g.coord_of(t)), 3u); // the stated exception
+}
+
+TEST(geometry, replacement_dag_feeds_and_drains_every_tile)
+{
+    for (unsigned levels = 2; levels <= 6; ++levels) {
+        const geometry g(levels);
+        for (tile_index i = 0; i < g.tile_count(); ++i) {
+            const bool fed_by_root =
+                std::find(g.root_replacement_outputs().begin(),
+                          g.root_replacement_outputs().end(),
+                          i) != g.root_replacement_outputs().end();
+            EXPECT_TRUE(fed_by_root || !g.replacement_inputs(i).empty())
+                << "tile " << i << " unreachable at " << levels << " levels";
+            if (g.is_exit_tile(i))
+                EXPECT_TRUE(g.replacement_outputs(i).empty());
+            else
+                EXPECT_FALSE(g.replacement_outputs(i).empty());
+            // Up to 2 in-links = up to 4 U-buffer comparators (paper).
+            EXPECT_LE(g.replacement_inputs(i).size() + (fed_by_root ? 1 : 0),
+                      2u);
+        }
+        EXPECT_EQ(g.exit_tiles().size(), 2u);
+    }
+}
+
+TEST(geometry, exit_distance_grows_three_hops_per_level)
+{
+    // Paper: the distance from the r-tile to the upper corner tiles grows
+    // by 3 hops per added level.
+    unsigned previous = 0;
+    for (unsigned levels = 2; levels <= 7; ++levels) {
+        const geometry g(levels);
+        const unsigned distance = g.replacement_exit_distance();
+        EXPECT_EQ(distance, 3 * (levels - 1) - 1);
+        if (previous != 0)
+            EXPECT_EQ(distance, previous + 3);
+        previous = distance;
+    }
+}
+
+class geometry_sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(geometry_sweep, mesh_comparison_claims)
+{
+    // Section III-A: a 2D mesh would roughly double the hops to reach all
+    // tiles, need >50% more links than the broadcast tree, and add 2 hops
+    // per level where the tree adds 1.
+    const geometry g(GetParam());
+    EXPECT_EQ(g.mesh_equivalent_max_distance(), 2 * g.search_max_distance());
+    EXPECT_GT(double(g.mesh_equivalent_link_count()),
+              1.5 * double(g.search_link_count()));
+}
+
+TEST_P(geometry_sweep, search_tree_adds_one_hop_per_level)
+{
+    const geometry g(GetParam());
+    EXPECT_EQ(g.search_max_distance(), GetParam() - 1);
+}
+
+TEST_P(geometry_sweep, link_counts_match_enumeration)
+{
+    const geometry g(GetParam());
+    unsigned transport = 0;
+    for (tile_index i = 0; i < g.tile_count(); ++i)
+        transport += unsigned(g.transport_outputs(i).size());
+    EXPECT_EQ(transport, g.transport_link_count());
+
+    unsigned replacement = unsigned(g.root_replacement_outputs().size());
+    for (tile_index i = 0; i < g.tile_count(); ++i)
+        replacement += unsigned(g.replacement_outputs(i).size());
+    EXPECT_EQ(replacement, g.replacement_link_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(levels, geometry_sweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u));
+
+} // namespace
+} // namespace lnuca::fabric

@@ -1,0 +1,358 @@
+// Conventional cache behaviour: exact hit timing, miss path, MSHR merging,
+// write policies, write buffers, banked ports.
+#include "src/mem/cache.h"
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace lnuca::mem {
+namespace {
+
+/// Records responses with their arrival cycle.
+struct recorder final : mem_client {
+    std::map<txn_id_t, mem_response> responses;
+    std::map<txn_id_t, cycle_t> stamped;
+
+    void respond(const mem_response& r) override
+    {
+        responses[r.id] = r;
+        stamped[r.id] = r.ready_at;
+    }
+};
+
+/// Downstream stub that answers reads after a fixed latency.
+struct stub_memory final : sim::ticked, mem_port {
+    explicit stub_memory(cycle_t latency) : latency_(latency) {}
+
+    bool can_accept(const mem_request&) const override { return accepting; }
+    void accept(const mem_request& r) override
+    {
+        ++accepted;
+        if (r.kind == access_kind::read && r.needs_response)
+            pending_.push(r.created_at + latency_, r);
+        if (r.kind == access_kind::writeback)
+            ++writebacks;
+        if (r.kind == access_kind::write)
+            ++writes;
+    }
+    void tick(cycle_t now) override
+    {
+        while (auto r = pending_.pop_ready(now)) {
+            mem_response resp;
+            resp.id = r->id;
+            resp.addr = r->addr;
+            resp.ready_at = now;
+            resp.served_by = service_level::memory;
+            if (client)
+                client->respond(resp);
+        }
+    }
+
+    cycle_t latency_;
+    bool accepting = true;
+    int accepted = 0;
+    int writebacks = 0;
+    int writes = 0;
+    mem_client* client = nullptr;
+    sim::timed_queue<mem_request> pending_;
+};
+
+struct cache_fixture : ::testing::Test {
+    cache_fixture()
+    {
+        config.name = "test";
+        config.size_bytes = 1_KiB;
+        config.ways = 2;
+        config.block_bytes = 32;
+        config.completion_latency = 2;
+        config.initiation_interval = 1;
+        config.ports = 2;
+        config.mshr_entries = 4;
+        config.mshr_secondary = 2;
+        config.write_buffer_entries = 4;
+        config.level_tag = service_level::l2;
+    }
+
+    void build(cycle_t downstream_latency = 10)
+    {
+        cache = std::make_unique<conventional_cache>(config, ids);
+        memory = std::make_unique<stub_memory>(downstream_latency);
+        cache->set_upstream(&client);
+        cache->set_downstream(memory.get());
+        memory->client = cache.get();
+        engine.add(*cache);
+        engine.add(*memory);
+    }
+
+    txn_id_t read(addr_t addr)
+    {
+        mem_request r;
+        r.id = ids.next();
+        r.addr = addr;
+        r.size = 8;
+        r.kind = access_kind::read;
+        r.created_at = engine.now();
+        EXPECT_TRUE(cache->can_accept(r));
+        cache->accept(r);
+        return r.id;
+    }
+
+    txn_id_t write(addr_t addr, bool needs_response = true)
+    {
+        mem_request r;
+        r.id = ids.next();
+        r.addr = addr;
+        r.size = 8;
+        r.kind = access_kind::write;
+        r.created_at = engine.now();
+        EXPECT_TRUE(cache->can_accept(r));
+        cache->accept(r);
+        r.needs_response = needs_response;
+        return r.id;
+    }
+
+    void writeback(addr_t addr, bool dirty)
+    {
+        mem_request r;
+        r.id = ids.next();
+        r.addr = addr;
+        r.size = 32;
+        r.kind = access_kind::writeback;
+        r.needs_response = false;
+        r.dirty = dirty;
+        r.created_at = engine.now();
+        cache->accept(r);
+    }
+
+    cache_config config;
+    txn_id_source ids;
+    recorder client;
+    std::unique_ptr<conventional_cache> cache;
+    std::unique_ptr<stub_memory> memory;
+    sim::engine engine;
+};
+
+TEST_F(cache_fixture, hit_latency_is_completion_latency)
+{
+    build();
+    // Preload via writeback (installs without fetch).
+    writeback(0x100, false);
+    engine.run(4);
+    const cycle_t start = engine.now();
+    const txn_id_t id = read(0x100);
+    engine.run(8);
+    ASSERT_TRUE(client.responses.count(id));
+    // Stamped at start + completion - 1; observable one cycle later.
+    EXPECT_EQ(client.stamped[id], start + config.completion_latency - 1);
+    EXPECT_EQ(client.responses[id].served_by, service_level::l2);
+}
+
+TEST_F(cache_fixture, miss_goes_downstream_and_fills)
+{
+    build(10);
+    const txn_id_t id = read(0x200);
+    engine.run(40);
+    ASSERT_TRUE(client.responses.count(id));
+    EXPECT_EQ(client.responses[id].served_by, service_level::memory);
+    EXPECT_EQ(memory->accepted, 1);
+    // Second read is now a hit: no extra downstream traffic.
+    const txn_id_t id2 = read(0x200);
+    engine.run(8);
+    ASSERT_TRUE(client.responses.count(id2));
+    EXPECT_EQ(client.responses[id2].served_by, service_level::l2);
+    EXPECT_EQ(memory->accepted, 1);
+}
+
+TEST_F(cache_fixture, secondary_misses_merge)
+{
+    build(20);
+    const txn_id_t a = read(0x300);
+    engine.run(1);
+    const txn_id_t b = read(0x308); // same block
+    engine.run(60);
+    EXPECT_TRUE(client.responses.count(a));
+    EXPECT_TRUE(client.responses.count(b));
+    EXPECT_EQ(memory->accepted, 1); // one downstream fetch for both
+    EXPECT_EQ(cache->counters().get("mshr_merge"), 1u);
+}
+
+TEST_F(cache_fixture, write_through_sends_word_downstream)
+{
+    config.write_through = true;
+    build();
+    const txn_id_t id = write(0x400);
+    engine.run(10);
+    EXPECT_TRUE(client.responses.count(id));
+    EXPECT_EQ(memory->writes, 1);
+    EXPECT_EQ(cache->counters().get("write_miss"), 1u);
+    EXPECT_FALSE(cache->tags().probe(0x400).has_value()); // no allocation
+}
+
+TEST_F(cache_fixture, copy_back_write_allocates_and_dirties)
+{
+    build(10);
+    const txn_id_t id = write(0x500);
+    engine.run(40);
+    EXPECT_TRUE(client.responses.count(id));
+    const auto hit = cache->tags().probe(0x500);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->was_dirty);
+}
+
+TEST_F(cache_fixture, no_write_allocate_forwards_miss)
+{
+    config.write_allocate = false;
+    build(10);
+    const txn_id_t id = write(0x600);
+    engine.run(20);
+    EXPECT_TRUE(client.responses.count(id));
+    EXPECT_FALSE(cache->tags().probe(0x600).has_value());
+    EXPECT_EQ(memory->writes, 1);
+    // A store *hit* stays local and dirties in place.
+    writeback(0x700, false);
+    engine.run(4);
+    const txn_id_t id2 = write(0x700);
+    engine.run(10);
+    EXPECT_TRUE(client.responses.count(id2));
+    EXPECT_TRUE(cache->tags().probe(0x700)->was_dirty);
+    EXPECT_EQ(memory->writes, 1); // no new downstream write
+}
+
+TEST_F(cache_fixture, dirty_victim_writes_back)
+{
+    build(6);
+    // Fill one set (2 ways; 8 sets for 1KB/32B/2w? sets=16).
+    const std::uint32_t stride = cache->tags().sets() * 32;
+    writeback(0x0, true);          // dirty line
+    writeback(0x0 + stride, false);
+    engine.run(4);
+    // Displace: read a third block of the same set.
+    read(0x0 + 2 * std::uint64_t(stride));
+    engine.run(40);
+    EXPECT_EQ(memory->writebacks, 1); // the dirty victim left
+}
+
+TEST_F(cache_fixture, clean_victims_forwarded_when_configured)
+{
+    config.writeback_clean = true;
+    build(6);
+    const std::uint32_t stride = cache->tags().sets() * 32;
+    writeback(0x0, false); // clean
+    writeback(0x0 + stride, false);
+    engine.run(4);
+    read(0x0 + 2 * std::uint64_t(stride));
+    engine.run(40);
+    EXPECT_GE(memory->writebacks, 1); // clean victim still forwarded
+}
+
+TEST_F(cache_fixture, reads_never_false_miss_behind_buffered_writes)
+{
+    // A read arriving just after a writeback must be served locally - the
+    // data is in the input write buffer or freshly installed - and must
+    // not trigger a downstream fetch.
+    build(50);
+    writeback(0x800, true);
+    engine.run(1);
+    const txn_id_t id = read(0x800);
+    engine.run(8);
+    ASSERT_TRUE(client.responses.count(id));
+    EXPECT_EQ(client.responses[id].served_by, service_level::l2);
+    EXPECT_EQ(memory->accepted, 0);
+    EXPECT_GE(cache->counters().get("read_hit"), 1u);
+}
+
+TEST_F(cache_fixture, ports_throttle_reads)
+{
+    config.ports = 1;
+    config.initiation_interval = 4;
+    build();
+    writeback(0x900, false);
+    engine.run(6);
+    read(0x900);
+    mem_request r;
+    r.id = ids.next();
+    r.addr = 0x900;
+    r.kind = access_kind::read;
+    r.created_at = engine.now();
+    EXPECT_FALSE(cache->can_accept(r)); // port busy for 4 cycles
+    engine.run(4);
+    r.created_at = engine.now();
+    EXPECT_TRUE(cache->can_accept(r));
+}
+
+TEST_F(cache_fixture, banks_allow_parallel_access)
+{
+    config.ports = 1;
+    config.banks = 2;
+    config.initiation_interval = 8;
+    build();
+    // Two reads to different banks accepted in the same cycle.
+    writeback(0x0, false);
+    writeback(0x20, false); // next block -> other bank
+    engine.run(24); // let the buffered writes drain and the banks go idle
+    const cycle_t now = engine.now();
+    mem_request a;
+    a.id = ids.next();
+    a.addr = 0x0;
+    a.kind = access_kind::read;
+    a.created_at = now;
+    ASSERT_TRUE(cache->can_accept(a));
+    cache->accept(a);
+    mem_request b = a;
+    b.id = ids.next();
+    b.addr = 0x20;
+    ASSERT_TRUE(cache->can_accept(b));
+    cache->accept(b);
+    // Same bank again: busy.
+    mem_request c = a;
+    c.id = ids.next();
+    EXPECT_FALSE(cache->can_accept(c));
+}
+
+TEST_F(cache_fixture, untracked_response_is_ignored)
+{
+    build();
+    mem_response bogus;
+    bogus.id = 12345;
+    bogus.addr = 0xabc;
+    bogus.ready_at = engine.now();
+    cache->respond(bogus);
+    engine.run(4);
+    EXPECT_EQ(cache->counters().get("untracked_response"), 1u);
+    EXPECT_TRUE(client.responses.empty());
+}
+
+TEST_F(cache_fixture, mshr_full_retries_until_space)
+{
+    config.mshr_entries = 1;
+    build(30);
+    read(0x1000);
+    engine.run(3);
+    const txn_id_t second = read(0x2000); // different block: MSHR full
+    engine.run(200);
+    EXPECT_TRUE(client.responses.count(second));
+    EXPECT_GT(cache->counters().get("mshr_full_stall"), 0u);
+}
+
+TEST_F(cache_fixture, quiescent_after_drain)
+{
+    build(10);
+    read(0x100);
+    write(0x200);
+    engine.run(100);
+    EXPECT_TRUE(cache->quiescent());
+}
+
+TEST_F(cache_fixture, response_propagates_origin_level)
+{
+    build(10);
+    const txn_id_t id = read(0x300);
+    engine.run(40);
+    ASSERT_TRUE(client.responses.count(id));
+    EXPECT_EQ(client.responses[id].served_by, service_level::memory);
+}
+
+} // namespace
+} // namespace lnuca::mem

@@ -1,0 +1,116 @@
+// MSHR file and write buffer unit tests.
+#include "src/mem/mshr.h"
+#include "src/mem/write_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace lnuca::mem {
+namespace {
+
+TEST(mshr, allocate_find_release)
+{
+    mshr_file m(4, 4);
+    EXPECT_TRUE(m.can_allocate());
+    EXPECT_EQ(m.find(0x100), nullptr);
+    auto& e = m.allocate(0x100, 5);
+    EXPECT_EQ(e.block_addr, 0x100u);
+    EXPECT_EQ(e.allocated_at, 5u);
+    EXPECT_NE(m.find(0x100), nullptr);
+    const auto released = m.release(0x100);
+    ASSERT_TRUE(released.has_value());
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.release(0x100).has_value());
+}
+
+TEST(mshr, capacity_limit)
+{
+    mshr_file m(2, 4);
+    m.allocate(0x0, 0);
+    m.allocate(0x40, 0);
+    EXPECT_FALSE(m.can_allocate());
+    m.release(0x0);
+    EXPECT_TRUE(m.can_allocate());
+}
+
+TEST(mshr, secondary_merge_limit)
+{
+    mshr_file m(2, 2);
+    auto& e = m.allocate(0x100, 0);
+    e.targets.push_back({1, 0x100, access_kind::read, 0});
+    EXPECT_TRUE(m.can_merge(0x100));
+    m.merge(0x100, {2, 0x108, access_kind::read, 1});
+    EXPECT_FALSE(m.can_merge(0x100)); // 2 targets = limit
+    EXPECT_FALSE(m.can_merge(0x999)); // absent block cannot merge
+}
+
+TEST(mshr, unissued_tracking)
+{
+    mshr_file m(4, 4);
+    m.allocate(0x0, 0);
+    auto& b = m.allocate(0x40, 0);
+    EXPECT_EQ(m.unissued().size(), 2u);
+    b.issued = true;
+    EXPECT_EQ(m.unissued().size(), 1u);
+    EXPECT_EQ(m.unissued()[0]->block_addr, 0x0u);
+}
+
+TEST(mshr, release_preserves_targets)
+{
+    mshr_file m(4, 4);
+    auto& e = m.allocate(0x100, 0);
+    e.targets.push_back({1, 0x104, access_kind::read, 0});
+    e.targets.push_back({2, 0x110, access_kind::write, 1});
+    const auto out = m.release(0x100);
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(out->targets.size(), 2u);
+    EXPECT_EQ(out->targets[1].kind, access_kind::write);
+}
+
+TEST(write_buffer, coalesces_same_block)
+{
+    write_buffer wb(2, 64);
+    EXPECT_TRUE(wb.push(0x100, false, false));
+    EXPECT_TRUE(wb.push(0x108, false, false)); // same 64B block
+    EXPECT_EQ(wb.size(), 1u);
+    EXPECT_TRUE(wb.push(0x200, true, true));
+    EXPECT_EQ(wb.size(), 2u);
+    EXPECT_TRUE(wb.full());
+    EXPECT_FALSE(wb.push(0x300, false, false));
+    EXPECT_TRUE(wb.push(0x130, false, false)); // coalesces into 0x100 block
+}
+
+TEST(write_buffer, contains_block_granularity)
+{
+    write_buffer wb(4, 64);
+    wb.push(0x100, false, false);
+    EXPECT_TRUE(wb.contains(0x100));
+    EXPECT_TRUE(wb.contains(0x13f));
+    EXPECT_FALSE(wb.contains(0x140));
+}
+
+TEST(write_buffer, head_flags_and_merge)
+{
+    write_buffer wb(4, 64);
+    wb.push(0x100, false, false);
+    EXPECT_FALSE(wb.head_is_writeback());
+    EXPECT_FALSE(wb.head_is_dirty());
+    wb.push(0x110, true, true); // merges: flags become sticky
+    EXPECT_TRUE(wb.head_is_writeback());
+    EXPECT_TRUE(wb.head_is_dirty());
+}
+
+TEST(write_buffer, fifo_drain_order)
+{
+    write_buffer wb(4, 64);
+    wb.push(0x100, false, false);
+    wb.push(0x200, false, false);
+    ASSERT_EQ(*wb.head(), 0x100u);
+    wb.pop();
+    ASSERT_EQ(*wb.head(), 0x200u);
+    wb.pop();
+    EXPECT_TRUE(wb.empty());
+    EXPECT_FALSE(wb.head().has_value());
+}
+
+} // namespace
+} // namespace lnuca::mem

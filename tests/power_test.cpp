@@ -1,0 +1,158 @@
+// Area and energy model checks: calibration anchors from the paper's
+// tables, monotonicity, and accounting identities.
+#include "src/power/area_model.h"
+#include "src/power/energy_model.h"
+#include "src/power/technology.h"
+
+#include <gtest/gtest.h>
+
+namespace lnuca::power {
+namespace {
+
+TEST(area, tile_and_l1_anchor_values)
+{
+    // Table II reverse-engineered anchors (see DESIGN.md): the 8KB tile is
+    // ~0.035 mm2 and the dual-ported 32KB L1 ~0.26 mm2 at 32nm.
+    EXPECT_NEAR(sram_area_mm2(8_KiB, 2, 1), 0.035, 0.005);
+    EXPECT_NEAR(sram_area_mm2(32_KiB, 4, 2), 0.256, 0.03);
+}
+
+TEST(area, table2_totals_close_to_paper)
+{
+    const auto conventional = conventional_l1_l2_area();
+    EXPECT_NEAR(conventional.total(), 0.91, 0.08); // paper: 0.91 mm2
+    EXPECT_NEAR(lnuca_area(2).total(), 0.46, 0.05); // paper: 0.46
+    EXPECT_NEAR(lnuca_area(3).total(), 0.86, 0.08); // paper: 0.86
+    EXPECT_NEAR(lnuca_area(4).total(), 1.59, 0.30); // paper: 1.59
+}
+
+TEST(area, lnuca3_smaller_than_conventional)
+{
+    // The paper's headline: LN3-144KB saves area versus L2-256KB.
+    EXPECT_LT(lnuca_area(3).total(), conventional_l1_l2_area().total());
+    EXPECT_GT(lnuca_area(4).total(), conventional_l1_l2_area().total());
+}
+
+TEST(area, network_share_in_paper_range)
+{
+    for (unsigned levels = 2; levels <= 4; ++levels) {
+        const double pct = lnuca_area(levels).network_percent();
+        EXPECT_GT(pct, 5.0);
+        EXPECT_LT(pct, 25.0); // paper reports 14-19%
+    }
+}
+
+TEST(area, grows_with_size_and_ports)
+{
+    EXPECT_LT(sram_area_mm2(8_KiB, 2, 1), sram_area_mm2(16_KiB, 2, 1));
+    EXPECT_LT(sram_area_mm2(32_KiB, 4, 1), sram_area_mm2(32_KiB, 4, 2));
+    EXPECT_LE(sram_area_mm2(256_KiB, 2, 1), sram_area_mm2(256_KiB, 8, 1));
+}
+
+TEST(area, per_bit_efficiency_improves_with_size)
+{
+    const double small = sram_area_mm2(8_KiB, 2, 1) / (8 * 1024 * 8);
+    const double large = sram_area_mm2(8_MiB, 16, 1) / (8.0 * 1024 * 1024 * 8);
+    EXPECT_LT(large, small);
+}
+
+TEST(area, fabric_network_grows_with_levels)
+{
+    double previous = 0;
+    for (unsigned levels = 2; levels <= 6; ++levels) {
+        const double area = fabric_network_area_mm2(fabric::geometry(levels));
+        EXPECT_GT(area, previous);
+        previous = area;
+    }
+}
+
+TEST(area, ln2_addition_to_dnuca_is_small)
+{
+    const auto ln2 = lnuca_area(2);
+    const double dnuca =
+        32 * dnuca_bank_area_mm2() + 40 * vc_router_area_mm2();
+    const double pct = 100.0 * (ln2.storage_mm2 + ln2.network_mm2) / dnuca;
+    EXPECT_LT(pct, 3.0); // paper: 1.2%
+}
+
+TEST(energy, static_scales_with_cycles)
+{
+    energy_inputs in;
+    in.cycles = 1000;
+    in.has_l3 = true;
+    const auto e1 = compute_energy(in);
+    in.cycles = 2000;
+    const auto e2 = compute_energy(in);
+    EXPECT_NEAR(e2.static_l3_j, 2 * e1.static_l3_j, 1e-15);
+    EXPECT_NEAR(e2.static_l1_j, 2 * e1.static_l1_j, 1e-15);
+}
+
+TEST(energy, l3_leakage_dominates_statics)
+{
+    // Fig. 4(b): "L3 static energy stands out above the rest".
+    energy_inputs in;
+    in.cycles = 100000;
+    in.has_l2 = true;
+    in.has_l3 = true;
+    const auto e = compute_energy(in);
+    EXPECT_GT(e.static_l3_j, e.static_storage_j);
+    EXPECT_GT(e.static_l3_j, 5 * e.static_l1_j);
+}
+
+TEST(energy, dynamic_counts_events)
+{
+    energy_inputs in;
+    in.cycles = 1;
+    in.l1_accesses = 10;
+    const auto e = compute_energy(in);
+    EXPECT_NEAR(e.dynamic_j, 10 * l1_32k.read_energy_j, 1e-15);
+}
+
+TEST(energy, tile_hit_cheaper_than_dnuca_bank)
+{
+    // The Fig. 5(b) dynamic-energy argument: an 8KB tile access plus its
+    // network hops costs far less than a 256KB D-NUCA bank access plus VC
+    // routing.
+    const double tile_hit = lnuca_tile_8k.read_energy_j +
+                            2 * (lnuca_link_hop_j + lnuca_buffer_j +
+                                 lnuca_crossbar_j);
+    const double bank_hit =
+        dnuca_bank_256k.read_energy_j + 10 * (vc_router_flit_j + mesh_link_flit_j);
+    EXPECT_LT(tile_hit * 3, bank_hit);
+}
+
+TEST(energy, breakdown_total_is_sum)
+{
+    energy_inputs in;
+    in.cycles = 5000;
+    in.has_l2 = true;
+    in.has_l3 = true;
+    in.l1_accesses = 100;
+    in.l2_accesses = 10;
+    in.l3_accesses = 2;
+    in.memory_transfers = 1;
+    const auto e = compute_energy(in);
+    EXPECT_NEAR(e.total(),
+                e.dynamic_j + e.static_l1_j + e.static_storage_j + e.static_l3_j,
+                1e-18);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(energy, fabric_events_accounted)
+{
+    energy_inputs base;
+    base.cycles = 1;
+    energy_inputs with;
+    with.cycles = 1;
+    with.fabric_tiles = 14;
+    with.tile_tag_lookups = 100;
+    with.transport_hops = 50;
+    with.replacement_hops = 20;
+    with.search_hops = 200;
+    EXPECT_GT(compute_energy(with).dynamic_j, compute_energy(base).dynamic_j);
+    EXPECT_GT(compute_energy(with).static_storage_j,
+              compute_energy(base).static_storage_j);
+}
+
+} // namespace
+} // namespace lnuca::power

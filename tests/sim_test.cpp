@@ -1,0 +1,106 @@
+// Engine and timed-queue semantics: the timing contract everything else
+// builds on.
+#include "src/sim/engine.h"
+#include "src/sim/timed_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace lnuca::sim {
+namespace {
+
+TEST(timed_queue, pops_only_when_ready)
+{
+    timed_queue<int> q;
+    q.push(5, 1);
+    EXPECT_FALSE(q.pop_ready(4).has_value());
+    auto v = q.pop_ready(5);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 1);
+}
+
+TEST(timed_queue, orders_by_time_then_push_order)
+{
+    timed_queue<int> q;
+    q.push(10, 1);
+    q.push(5, 2);
+    q.push(10, 3);
+    EXPECT_EQ(*q.pop_ready(20), 2);
+    EXPECT_EQ(*q.pop_ready(20), 1); // tie broken by push order
+    EXPECT_EQ(*q.pop_ready(20), 3);
+    EXPECT_FALSE(q.pop_ready(20).has_value());
+}
+
+TEST(timed_queue, next_ready_and_empty)
+{
+    timed_queue<int> q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.next_ready(), no_cycle);
+    q.push(7, 0);
+    EXPECT_EQ(q.next_ready(), 7u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+struct counter_component final : ticked {
+    cycle_t last = no_cycle;
+    int ticks = 0;
+    void tick(cycle_t now) override
+    {
+        last = now;
+        ++ticks;
+    }
+};
+
+TEST(engine, run_advances_cycles)
+{
+    engine e;
+    counter_component c;
+    e.add(c);
+    e.run(10);
+    EXPECT_EQ(e.now(), 10u);
+    EXPECT_EQ(c.ticks, 10);
+    EXPECT_EQ(c.last, 9u); // last executed cycle
+}
+
+TEST(engine, registration_order_is_tick_order)
+{
+    engine e;
+    std::vector<int> order;
+    struct probe final : ticked {
+        std::vector<int>* order;
+        int id;
+        probe(std::vector<int>* o, int i) : order(o), id(i) {}
+        void tick(cycle_t) override { order->push_back(id); }
+    };
+    probe a(&order, 1), b(&order, 2);
+    e.add(a);
+    e.add(b);
+    e.run(2);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 1);
+}
+
+TEST(engine, run_until_predicate)
+{
+    engine e;
+    counter_component c;
+    e.add(c);
+    const bool done = e.run_until([&] { return c.ticks >= 5; }, 100);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(c.ticks, 5);
+    EXPECT_EQ(e.now(), 5u);
+}
+
+TEST(engine, run_until_budget_exhausted)
+{
+    engine e;
+    counter_component c;
+    e.add(c);
+    const bool done = e.run_until([] { return false; }, 25);
+    EXPECT_FALSE(done);
+    EXPECT_EQ(e.now(), 25u);
+}
+
+} // namespace
+} // namespace lnuca::sim

@@ -1,0 +1,215 @@
+// Synthetic SPEC proxy generators: determinism, mix, locality structure,
+// and suite completeness.
+#include "src/workloads/spec2006.h"
+#include "src/workloads/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+namespace lnuca::wl {
+namespace {
+
+TEST(suite, has_28_benchmarks_11_int_17_fp)
+{
+    EXPECT_EQ(spec2006_suite().size(), 28u);
+    EXPECT_EQ(spec2006_int().size(), 11u);
+    EXPECT_EQ(spec2006_fp().size(), 17u);
+}
+
+TEST(suite, excludes_xalancbmk)
+{
+    EXPECT_FALSE(find_spec2006("483.xalancbmk").has_value());
+    EXPECT_TRUE(find_spec2006("429.mcf").has_value());
+    EXPECT_TRUE(find_spec2006("470.lbm").has_value());
+}
+
+TEST(suite, names_unique_and_numeric_order)
+{
+    std::map<std::string, int> seen;
+    for (const auto& p : spec2006_suite())
+        seen[p.name]++;
+    for (const auto& [name, count] : seen)
+        EXPECT_EQ(count, 1) << name;
+}
+
+TEST(suite, weights_do_not_exceed_one)
+{
+    for (const auto& p : spec2006_suite()) {
+        double total = p.p_new_block;
+        for (const auto& c : p.reuse)
+            total += c.weight;
+        EXPECT_LE(total, 1.0) << p.name;
+        EXPECT_GT(p.footprint_blocks, 0u) << p.name;
+    }
+}
+
+TEST(generator, deterministic_per_seed)
+{
+    const auto profile = *find_spec2006("401.bzip2");
+    synthetic_stream a(profile, 99), b(profile, 99), c(profile, 100);
+    bool any_diff = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto ia = a.next();
+        const auto ib = b.next();
+        const auto ic = c.next();
+        EXPECT_EQ(ia.addr, ib.addr);
+        EXPECT_EQ(int(ia.op), int(ib.op));
+        any_diff |= ia.addr != ic.addr || ia.op != ic.op;
+    }
+    EXPECT_TRUE(any_diff); // different seed, different stream
+}
+
+TEST(generator, instruction_mix_matches_profile)
+{
+    const auto profile = *find_spec2006("429.mcf");
+    synthetic_stream s(profile, 7);
+    std::map<int, int> histogram;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        histogram[int(s.next().op)]++;
+    const double loads = double(histogram[int(cpu::op_class::load)]) / n;
+    const double stores = double(histogram[int(cpu::op_class::store)]) / n;
+    const double branches = double(histogram[int(cpu::op_class::branch)]) / n;
+    EXPECT_NEAR(loads, profile.mix.load, 0.02);
+    EXPECT_NEAR(stores, profile.mix.store, 0.02);
+    EXPECT_NEAR(branches, profile.mix.branch, 0.02);
+}
+
+TEST(generator, fp_profiles_emit_fp_ops)
+{
+    const auto profile = *find_spec2006("470.lbm");
+    synthetic_stream s(profile, 7);
+    int fp_ops = 0;
+    for (int i = 0; i < 10000; ++i)
+        fp_ops += is_fp(s.next().op) ? 1 : 0;
+    EXPECT_GT(fp_ops, 2000);
+}
+
+TEST(generator, addresses_stay_within_footprint_region)
+{
+    const auto profile = *find_spec2006("456.hmmer");
+    synthetic_stream s(profile, 3);
+    const addr_t base = 0x10000000;
+    // Sequential runs can stray slightly past the footprint; allow slack.
+    const addr_t limit = base + (profile.footprint_blocks + 4096) * 32;
+    for (int i = 0; i < 50000; ++i) {
+        const auto inst = s.next();
+        if (inst.op == cpu::op_class::load || inst.op == cpu::op_class::store) {
+            EXPECT_GE(inst.addr, base);
+            EXPECT_LT(inst.addr, limit);
+        }
+    }
+}
+
+TEST(generator, hot_range_dominates_reuse)
+{
+    // The first reuse component (the hot working set) should make a small
+    // LRU cache capture the majority of accesses.
+    const auto profile = *find_spec2006("456.hmmer");
+    synthetic_stream s(profile, 5);
+    std::list<addr_t> lru;
+    std::unordered_map<addr_t, std::list<addr_t>::iterator> where;
+    std::uint64_t hits = 0, accesses = 0;
+    for (int i = 0; i < 200000; ++i) {
+        const auto inst = s.next();
+        if (inst.op != cpu::op_class::load && inst.op != cpu::op_class::store)
+            continue;
+        ++accesses;
+        const addr_t block = inst.addr & ~addr_t(31);
+        const auto it = where.find(block);
+        if (it != where.end()) {
+            hits++;
+            lru.erase(it->second);
+        }
+        lru.push_front(block);
+        where[block] = lru.begin();
+        if (lru.size() > 1024) {
+            where.erase(lru.back());
+            lru.pop_back();
+        }
+    }
+    EXPECT_GT(double(hits) / double(accesses), 0.75);
+}
+
+TEST(generator, memory_intense_profiles_miss_more)
+{
+    // lbm (streaming) must show much worse 1024-block locality than hmmer.
+    auto hit_rate = [](const workload_profile& p) {
+        synthetic_stream s(p, 5);
+        std::list<addr_t> lru;
+        std::unordered_map<addr_t, std::list<addr_t>::iterator> where;
+        std::uint64_t hits = 0, accesses = 0;
+        for (int i = 0; i < 150000; ++i) {
+            const auto inst = s.next();
+            if (inst.op != cpu::op_class::load &&
+                inst.op != cpu::op_class::store)
+                continue;
+            ++accesses;
+            const addr_t block = inst.addr & ~addr_t(31);
+            const auto it = where.find(block);
+            if (it != where.end()) {
+                hits++;
+                lru.erase(it->second);
+            }
+            lru.push_front(block);
+            where[block] = lru.begin();
+            if (lru.size() > 1024) {
+                where.erase(lru.back());
+                lru.pop_back();
+            }
+        }
+        return double(hits) / double(accesses);
+    };
+    EXPECT_GT(hit_rate(*find_spec2006("456.hmmer")),
+              hit_rate(*find_spec2006("429.mcf")) + 0.08);
+}
+
+TEST(generator, pointer_chase_creates_load_load_dependences)
+{
+    const auto profile = *find_spec2006("429.mcf");
+    synthetic_stream s(profile, 5);
+    int chained = 0, loads = 0;
+    std::uint32_t since_last_load = 1000;
+    for (int i = 0; i < 50000; ++i) {
+        const auto inst = s.next();
+        ++since_last_load;
+        if (inst.op == cpu::op_class::load) {
+            ++loads;
+            if (inst.dep[0] == since_last_load)
+                ++chained;
+            since_last_load = 0;
+        }
+    }
+    EXPECT_GT(double(chained) / loads, 0.2);
+}
+
+TEST(generator, branch_sites_have_stable_pcs)
+{
+    const auto profile = *find_spec2006("445.gobmk");
+    synthetic_stream s(profile, 5);
+    std::map<addr_t, int> sites;
+    for (int i = 0; i < 50000; ++i) {
+        const auto inst = s.next();
+        if (inst.op == cpu::op_class::branch)
+            sites[inst.pc]++;
+    }
+    EXPECT_LE(sites.size(), std::size_t(profile.static_branches));
+    EXPECT_GE(sites.size(), std::size_t(profile.static_branches) / 2);
+}
+
+TEST(generator, warm_block_covers_backward_window)
+{
+    const auto profile = *find_spec2006("401.bzip2");
+    synthetic_stream s(profile, 5);
+    // Distinct blocks for distinct backward indices (within footprint).
+    EXPECT_NE(s.warm_block(0), s.warm_block(1));
+    EXPECT_NE(s.warm_block(0), s.warm_block(100000));
+    // Aligned to 32B.
+    EXPECT_EQ(s.warm_block(17) % 32, 0u);
+}
+
+} // namespace
+} // namespace lnuca::wl
