@@ -1,13 +1,11 @@
 // Extension ablation: sensitivity of the fabric to the U/D link-buffer
 // depth (the paper fixes two entries to cover the On/Off round trip).
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 
 int main(int argc, char** argv)
 {
-    const auto opt = bench::parse_options(argc, argv);
-
     std::vector<hier::system_config> configs;
     for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
         hier::system_config cfg = hier::presets::lnuca_l3(3);
@@ -16,30 +14,31 @@ int main(int argc, char** argv)
         configs.push_back(cfg);
     }
 
-    const auto& suite = wl::spec2006_suite();
-    const auto results =
-        hier::run_matrix(configs, suite, opt.instructions, opt.warmup, opt.seed);
+    return exp::run_app(
+        argc, argv, std::move(configs), wl::spec2006_suite(),
+        [](const exp::report& rep, const exp::app_options&) {
+            text_table t("U/D buffer depth sensitivity (LN3)");
+            t.set_header({"config", "IPC Int", "IPC FP", "avg/min transport",
+                          "restarts"});
+            for (std::size_t c = 0; c < rep.config_count; ++c) {
+                const auto row = rep.row(c);
+                double restarts = 0, actual = 0, minimum = 0;
+                for (const auto& r : row) {
+                    restarts += double(r.search_restarts);
+                    actual += double(r.transport_actual);
+                    minimum += double(r.transport_min);
+                }
+                t.add_row({row.front().config_name,
+                           text_table::num(exp::group_ipc(row, false), 3),
+                           text_table::num(exp::group_ipc(row, true), 3),
+                           text_table::num(safe_ratio(actual, minimum, 1.0), 4),
+                           text_table::num(restarts, 0)});
+            }
+            t.print();
 
-    text_table t("U/D buffer depth sensitivity (LN3)");
-    t.set_header({"config", "IPC Int", "IPC FP", "avg/min transport",
-                  "restarts"});
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        double restarts = 0, actual = 0, minimum = 0;
-        for (const auto& r : results[c]) {
-            restarts += double(r.search_restarts);
-            actual += double(r.transport_actual);
-            minimum += double(r.transport_min);
-        }
-        t.add_row({configs[c].name,
-                   text_table::num(bench::group_ipc(results[c], false), 3),
-                   text_table::num(bench::group_ipc(results[c], true), 3),
-                   text_table::num(safe_ratio(actual, minimum, 1.0), 4),
-                   text_table::num(restarts, 0)});
-    }
-    t.print();
-
-    std::printf("Expectation: two entries (the paper's choice, covering the "
+            std::printf(
+                "Expectation: two entries (the paper's choice, covering the "
                 "two-cycle On/Off round trip) already behave like deeper "
                 "buffers; a single entry throttles transport.\n");
-    return 0;
+        });
 }

@@ -1,14 +1,12 @@
 // Section V-A note: the L2-256KB baseline was "the most performance" point
 // of an L2 design-space exploration. Sweep L2 size (with latency scaled by
 // a minicacti-flavoured rule) and reproduce the exploration.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 
 int main(int argc, char** argv)
 {
-    const auto opt = bench::parse_options(argc, argv);
-
     struct point {
         std::uint64_t size;
         unsigned ways;
@@ -17,7 +15,7 @@ int main(int argc, char** argv)
     };
     // Latency grows with array size (CACTI-style): small L2s respond
     // faster but capture less.
-    const std::vector<point> sweep = {
+    const std::vector<point> sweep_points = {
         {64_KiB, 4, 3, 1},
         {128_KiB, 8, 3, 2},
         {256_KiB, 8, 4, 2},
@@ -26,7 +24,7 @@ int main(int argc, char** argv)
     };
 
     std::vector<hier::system_config> configs;
-    for (const auto& p : sweep) {
+    for (const auto& p : sweep_points) {
         hier::system_config cfg = hier::presets::l2_256kb();
         cfg.name = "L2-" + format_size(p.size);
         cfg.l2.size_bytes = p.size;
@@ -36,24 +34,25 @@ int main(int argc, char** argv)
         configs.push_back(cfg);
     }
 
-    const auto& suite = wl::spec2006_suite();
-    const auto results =
-        hier::run_matrix(configs, suite, opt.instructions, opt.warmup, opt.seed);
+    return exp::run_app(
+        argc, argv, std::move(configs), wl::spec2006_suite(),
+        [](const exp::report& rep, const exp::app_options&) {
+            text_table t("L2 design space (Section V-A): IPC harmonic means");
+            t.set_header({"config", "IPC Int", "IPC FP", "IPC all"});
+            for (std::size_t c = 0; c < rep.config_count; ++c) {
+                const auto row = rep.row(c);
+                std::vector<double> all;
+                for (const auto& r : row)
+                    all.push_back(r.ipc);
+                t.add_row({row.front().config_name,
+                           text_table::num(exp::group_ipc(row, false), 3),
+                           text_table::num(exp::group_ipc(row, true), 3),
+                           text_table::num(harmonic_mean(all), 3)});
+            }
+            t.print();
 
-    text_table t("L2 design space (Section V-A): IPC harmonic means");
-    t.set_header({"config", "IPC Int", "IPC FP", "IPC all"});
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        std::vector<double> all;
-        for (const auto& r : results[c])
-            all.push_back(r.ipc);
-        t.add_row({configs[c].name,
-                   text_table::num(bench::group_ipc(results[c], false), 3),
-                   text_table::num(bench::group_ipc(results[c], true), 3),
-                   text_table::num(harmonic_mean(all), 3)});
-    }
-    t.print();
-
-    std::printf("Paper: 256KB was the best-performing L2 for the three-level "
+            std::printf(
+                "Paper: 256KB was the best-performing L2 for the three-level "
                 "conventional hierarchy; the sweep should peak around it.\n");
-    return 0;
+        });
 }

@@ -2,49 +2,51 @@
 // first-output (dimension-order-like) selection on the transport and
 // replacement networks, measured by transport latency inflation and
 // contention restarts on the full suite.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 
 int main(int argc, char** argv)
 {
-    const auto opt = bench::parse_options(argc, argv);
-
     hier::system_config random_cfg = hier::presets::lnuca_l3(3);
     hier::system_config deterministic_cfg = random_cfg;
     deterministic_cfg.name = "LN3 (deterministic routing)";
     deterministic_cfg.fabric.random_routing = false;
 
-    const std::vector<hier::system_config> configs{random_cfg,
-                                                   deterministic_cfg};
-    const auto& suite = wl::spec2006_suite();
-    const auto results =
-        hier::run_matrix(configs, suite, opt.instructions, opt.warmup, opt.seed);
+    return exp::run_app(
+        argc, argv, {random_cfg, deterministic_cfg}, wl::spec2006_suite(),
+        [](const exp::report& rep, const exp::app_options&) {
+            text_table t(
+                "Random distributed routing vs deterministic output choice");
+            t.set_header({"config", "avg/min transport (Int)",
+                          "avg/min transport (FP)", "restarts", "IPC Int",
+                          "IPC FP"});
+            for (std::size_t c = 0; c < rep.config_count; ++c) {
+                const auto row = rep.row(c);
+                double restarts = 0;
+                for (const auto& r : row)
+                    restarts += double(r.search_restarts);
+                auto ratio = [&](bool fp) {
+                    return exp::group_mean(
+                        row, fp, [](const hier::run_result& r) {
+                            return r.transport_min == 0
+                                       ? 1.0
+                                       : double(r.transport_actual) /
+                                             double(r.transport_min);
+                        });
+                };
+                t.add_row({row.front().config_name,
+                           text_table::num(ratio(false), 4),
+                           text_table::num(ratio(true), 4),
+                           text_table::num(restarts, 0),
+                           text_table::num(exp::group_ipc(row, false), 3),
+                           text_table::num(exp::group_ipc(row, true), 3)});
+            }
+            t.print();
 
-    text_table t("Random distributed routing vs deterministic output choice");
-    t.set_header({"config", "avg/min transport (Int)", "avg/min transport (FP)",
-                  "restarts", "IPC Int", "IPC FP"});
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        double restarts = 0;
-        for (const auto& r : results[c])
-            restarts += double(r.search_restarts);
-        auto ratio = [&](bool fp) {
-            return bench::group_mean(results[c], fp, [](const hier::run_result& r) {
-                return r.transport_min == 0
-                           ? 1.0
-                           : double(r.transport_actual) / double(r.transport_min);
-            });
-        };
-        t.add_row({configs[c].name, text_table::num(ratio(false), 4),
-                   text_table::num(ratio(true), 4),
-                   text_table::num(restarts, 0),
-                   text_table::num(bench::group_ipc(results[c], false), 3),
-                   text_table::num(bench::group_ipc(results[c], true), 3)});
-    }
-    t.print();
-
-    std::printf("Paper: random output selection reduces contention versus "
+            std::printf(
+                "Paper: random output selection reduces contention versus "
                 "dimension-order routing, keeping avg/min transport latency "
                 "within 1.5%% (Table III right).\n");
-    return 0;
+        });
 }

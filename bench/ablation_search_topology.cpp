@@ -1,7 +1,7 @@
 // Section III-A claims: the broadcast tree vs a conventional 2D mesh over
 // the same floorplan - hop counts, link counts, and how the maximum
 // distance grows per added level.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 

@@ -1,54 +1,55 @@
 // Fig. 4(a): IPC harmonic mean (Integer and Floating Point) for the
 // conventional baseline and the three L-NUCA configurations.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 
 int main(int argc, char** argv)
 {
-    const auto opt = bench::parse_options(argc, argv);
+    return exp::run_app(
+        argc, argv,
+        {hier::presets::l2_256kb(), hier::presets::lnuca_l3(2),
+         hier::presets::lnuca_l3(3), hier::presets::lnuca_l3(4)},
+        wl::spec2006_suite(),
+        [](const exp::report& rep, const exp::app_options&) {
+            const auto baseline = rep.row(0);
+            const double base_int = exp::group_ipc(baseline, false);
+            const double base_fp = exp::group_ipc(baseline, true);
 
-    std::vector<hier::system_config> configs = {
-        hier::presets::l2_256kb(),
-        hier::presets::lnuca_l3(2),
-        hier::presets::lnuca_l3(3),
-        hier::presets::lnuca_l3(4),
-    };
-    const auto& suite = wl::spec2006_suite();
-    const auto results =
-        hier::run_matrix(configs, suite, opt.instructions, opt.warmup, opt.seed);
+            text_table t("Fig. 4(a): IPC harmonic mean, conventional vs L-NUCA");
+            t.set_header({"config", "IPC Int", "IPC FP", "gain Int", "gain FP"});
+            for (std::size_t c = 0; c < rep.config_count; ++c) {
+                const auto row = rep.row(c);
+                const double i = exp::group_ipc(row, false);
+                const double f = exp::group_ipc(row, true);
+                t.add_row({row.front().config_name, text_table::num(i, 3),
+                           text_table::num(f, 3),
+                           text_table::pct(100.0 * (i / base_int - 1.0)),
+                           text_table::pct(100.0 * (f / base_fp - 1.0))});
+            }
+            t.print();
 
-    const double base_int = bench::group_ipc(results[0], false);
-    const double base_fp = bench::group_ipc(results[0], true);
-
-    text_table t("Fig. 4(a): IPC harmonic mean, conventional vs L-NUCA");
-    t.set_header({"config", "IPC Int", "IPC FP", "gain Int", "gain FP"});
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        const double i = bench::group_ipc(results[c], false);
-        const double f = bench::group_ipc(results[c], true);
-        t.add_row({configs[c].name, text_table::num(i, 3), text_table::num(f, 3),
-                   text_table::pct(100.0 * (i / base_int - 1.0)),
-                   text_table::pct(100.0 * (f / base_fp - 1.0))});
-    }
-    t.print();
-
-    std::printf("Paper reference (Fig. 4(a)): gains over L2-256KB\n"
+            std::printf(
+                "Paper reference (Fig. 4(a)): gains over L2-256KB\n"
                 "  LN2-72KB : Int +5.4%%  FP +14.3%%\n"
                 "  LN3-144KB: Int ~+6%%   FP ~+15%%\n"
                 "  LN4-248KB: Int +6.22%% FP +15.4%%\n");
 
-    // Per-benchmark detail for the appendix-style view.
-    text_table d("Per-benchmark IPC");
-    std::vector<std::string> header{"benchmark"};
-    for (const auto& c : configs)
-        header.push_back(c.name);
-    d.set_header(std::move(header));
-    for (std::size_t w = 0; w < suite.size(); ++w) {
-        std::vector<std::string> row{suite[w].name};
-        for (std::size_t c = 0; c < configs.size(); ++c)
-            row.push_back(text_table::num(results[c][w].ipc, 3));
-        d.add_row(std::move(row));
-    }
-    d.print();
-    return 0;
+            // Per-benchmark detail for the appendix-style view.
+            text_table d("Per-benchmark IPC");
+            std::vector<std::string> header{"benchmark"};
+            std::vector<std::vector<hier::run_result>> rows;
+            for (std::size_t c = 0; c < rep.config_count; ++c) {
+                rows.push_back(rep.row(c));
+                header.push_back(rows.back().front().config_name);
+            }
+            d.set_header(std::move(header));
+            for (std::size_t w = 0; w < rep.workload_count; ++w) {
+                std::vector<std::string> row{rows[0][w].workload_name};
+                for (std::size_t c = 0; c < rep.config_count; ++c)
+                    row.push_back(text_table::num(rows[c][w].ipc, 3));
+                d.add_row(std::move(row));
+            }
+            d.print();
+        });
 }

@@ -1,54 +1,50 @@
 // Fig. 4(b): total energy normalised to L2-256KB, stacked as
 // {dynamic, static L1/r-tile, static L2-or-tiles (RESTT), static L3}.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 
 int main(int argc, char** argv)
 {
-    const auto opt = bench::parse_options(argc, argv);
+    return exp::run_app(
+        argc, argv,
+        {hier::presets::l2_256kb(), hier::presets::lnuca_l3(2),
+         hier::presets::lnuca_l3(3), hier::presets::lnuca_l3(4)},
+        wl::spec2006_suite(),
+        [](const exp::report& rep, const exp::app_options&) {
+            auto total_breakdown = [&](std::size_t c) {
+                power::energy_breakdown sum;
+                for (const auto& r : rep.row(c)) {
+                    sum.dynamic_j += r.energy.dynamic_j;
+                    sum.static_l1_j += r.energy.static_l1_j;
+                    sum.static_storage_j += r.energy.static_storage_j;
+                    sum.static_l3_j += r.energy.static_l3_j;
+                }
+                return sum;
+            };
 
-    std::vector<hier::system_config> configs = {
-        hier::presets::l2_256kb(),
-        hier::presets::lnuca_l3(2),
-        hier::presets::lnuca_l3(3),
-        hier::presets::lnuca_l3(4),
-    };
-    const auto& suite = wl::spec2006_suite();
-    const auto results =
-        hier::run_matrix(configs, suite, opt.instructions, opt.warmup, opt.seed);
+            const double base = total_breakdown(0).total();
 
-    auto total_breakdown = [&](std::size_t c) {
-        power::energy_breakdown sum;
-        for (const auto& r : results[c]) {
-            sum.dynamic_j += r.energy.dynamic_j;
-            sum.static_l1_j += r.energy.static_l1_j;
-            sum.static_storage_j += r.energy.static_storage_j;
-            sum.static_l3_j += r.energy.static_l3_j;
-        }
-        return sum;
-    };
+            text_table t("Fig. 4(b): total energy normalised to L2-256KB");
+            t.set_header({"config", "dyn.", "sta. L1-RT", "sta. L2/RESTT",
+                          "sta. L3", "total", "saving"});
+            for (std::size_t c = 0; c < rep.config_count; ++c) {
+                const auto e = total_breakdown(c);
+                t.add_row({rep.row(c).front().config_name,
+                           text_table::num(e.dynamic_j / base, 3),
+                           text_table::num(e.static_l1_j / base, 3),
+                           text_table::num(e.static_storage_j / base, 3),
+                           text_table::num(e.static_l3_j / base, 3),
+                           text_table::num(e.total() / base, 3),
+                           text_table::pct(100.0 * (1.0 - e.total() / base))});
+            }
+            t.print();
 
-    const double base = total_breakdown(0).total();
-
-    text_table t("Fig. 4(b): total energy normalised to L2-256KB");
-    t.set_header({"config", "dyn.", "sta. L1-RT", "sta. L2/RESTT", "sta. L3",
-                  "total", "saving"});
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        const auto e = total_breakdown(c);
-        t.add_row({configs[c].name, text_table::num(e.dynamic_j / base, 3),
-                   text_table::num(e.static_l1_j / base, 3),
-                   text_table::num(e.static_storage_j / base, 3),
-                   text_table::num(e.static_l3_j / base, 3),
-                   text_table::num(e.total() / base, 3),
-                   text_table::pct(100.0 * (1.0 - e.total() / base))});
-    }
-    t.print();
-
-    std::printf("Paper reference (Fig. 4(b)): total-energy savings over "
+            std::printf(
+                "Paper reference (Fig. 4(b)): total-energy savings over "
                 "L2-256KB\n"
                 "  LN2-72KB 16.5%%, LN3-144KB ~14%%, LN4-248KB 10.5%%; L3 "
                 "static dominates; L-NUCA saves ~10%% of static L3 energy "
                 "via shorter execution.\n");
-    return 0;
+        });
 }

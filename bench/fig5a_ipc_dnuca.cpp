@@ -1,47 +1,48 @@
 // Fig. 5(a): IPC harmonic mean for the D-NUCA baseline (DN-4x8) and for
 // L-NUCA + D-NUCA combinations.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 
 int main(int argc, char** argv)
 {
-    const auto opt = bench::parse_options(argc, argv);
+    return exp::run_app(
+        argc, argv,
+        {hier::presets::dnuca_4x8(), hier::presets::lnuca_dnuca(2),
+         hier::presets::lnuca_dnuca(3), hier::presets::lnuca_dnuca(4)},
+        wl::spec2006_suite(),
+        [](const exp::report& rep, const exp::app_options&) {
+            const auto baseline = rep.row(0);
+            const double base_int = exp::group_ipc(baseline, false);
+            const double base_fp = exp::group_ipc(baseline, true);
 
-    std::vector<hier::system_config> configs = {
-        hier::presets::dnuca_4x8(),
-        hier::presets::lnuca_dnuca(2),
-        hier::presets::lnuca_dnuca(3),
-        hier::presets::lnuca_dnuca(4),
-    };
-    const auto& suite = wl::spec2006_suite();
-    const auto results =
-        hier::run_matrix(configs, suite, opt.instructions, opt.warmup, opt.seed);
+            text_table t(
+                "Fig. 5(a): IPC harmonic mean, D-NUCA vs L-NUCA + D-NUCA");
+            t.set_header({"config", "IPC Int", "IPC FP", "gain Int", "gain FP"});
+            for (std::size_t c = 0; c < rep.config_count; ++c) {
+                const auto row = rep.row(c);
+                const double i = exp::group_ipc(row, false);
+                const double f = exp::group_ipc(row, true);
+                t.add_row({row.front().config_name, text_table::num(i, 3),
+                           text_table::num(f, 3),
+                           text_table::pct(100.0 * (i / base_int - 1.0)),
+                           text_table::pct(100.0 * (f / base_fp - 1.0))});
+            }
+            t.print();
 
-    const double base_int = bench::group_ipc(results[0], false);
-    const double base_fp = bench::group_ipc(results[0], true);
-
-    text_table t("Fig. 5(a): IPC harmonic mean, D-NUCA vs L-NUCA + D-NUCA");
-    t.set_header({"config", "IPC Int", "IPC FP", "gain Int", "gain FP"});
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        const double i = bench::group_ipc(results[c], false);
-        const double f = bench::group_ipc(results[c], true);
-        t.add_row({configs[c].name, text_table::num(i, 3), text_table::num(f, 3),
-                   text_table::pct(100.0 * (i / base_int - 1.0)),
-                   text_table::pct(100.0 * (f / base_fp - 1.0))});
-    }
-    t.print();
-
-    std::printf("Paper reference (Fig. 5(a)): gains over DN-4x8 are almost "
+            std::printf(
+                "Paper reference (Fig. 5(a)): gains over DN-4x8 are almost "
                 "flat across LN2/LN3/LN4: Int ~+4.5%%, FP ~+7%% (LN2+DN: "
                 "+4.2%% / +6.8%%).\n");
 
-    // Count of benchmarks improving by >10% (paper: 60% of them).
-    unsigned improved = 0;
-    for (std::size_t w = 0; w < suite.size(); ++w)
-        if (results[1][w].ipc > 1.10 * results[0][w].ipc)
-            ++improved;
-    std::printf("Benchmarks with >10%% IPC gain under LN2+DN: %u of %zu\n",
-                improved, suite.size());
-    return 0;
+            // Count of benchmarks improving by >10% (paper: 60% of them).
+            const auto ln2dn = rep.row(1);
+            unsigned improved = 0;
+            for (std::size_t w = 0; w < rep.workload_count; ++w)
+                if (ln2dn[w].ipc > 1.10 * baseline[w].ipc)
+                    ++improved;
+            std::printf(
+                "Benchmarks with >10%% IPC gain under LN2+DN: %u of %zu\n",
+                improved, rep.workload_count);
+        });
 }

@@ -1,56 +1,53 @@
 // Fig. 5(b): total energy normalised to DN-4x8, stacked as
 // {dynamic, static L1/r-tile, static tiles (RESTT), static D-NUCA}.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 
 int main(int argc, char** argv)
 {
-    const auto opt = bench::parse_options(argc, argv);
+    return exp::run_app(
+        argc, argv,
+        {hier::presets::dnuca_4x8(), hier::presets::lnuca_dnuca(2),
+         hier::presets::lnuca_dnuca(3), hier::presets::lnuca_dnuca(4)},
+        wl::spec2006_suite(),
+        [](const exp::report& rep, const exp::app_options&) {
+            auto totals = [&](std::size_t c) {
+                power::energy_breakdown sum;
+                for (const auto& r : rep.row(c)) {
+                    sum.dynamic_j += r.energy.dynamic_j;
+                    sum.static_l1_j += r.energy.static_l1_j;
+                    sum.static_storage_j += r.energy.static_storage_j;
+                    sum.static_l3_j += r.energy.static_l3_j;
+                }
+                return sum;
+            };
+            const auto base = totals(0);
 
-    std::vector<hier::system_config> configs = {
-        hier::presets::dnuca_4x8(),
-        hier::presets::lnuca_dnuca(2),
-        hier::presets::lnuca_dnuca(3),
-        hier::presets::lnuca_dnuca(4),
-    };
-    const auto& suite = wl::spec2006_suite();
-    const auto results =
-        hier::run_matrix(configs, suite, opt.instructions, opt.warmup, opt.seed);
+            text_table t("Fig. 5(b): total energy normalised to DN-4x8");
+            t.set_header({"config", "dyn.", "sta. L1-RT", "sta. RESTT",
+                          "sta. D-NUCA", "total", "saving"});
+            for (std::size_t c = 0; c < rep.config_count; ++c) {
+                const auto e = totals(c);
+                t.add_row(
+                    {rep.row(c).front().config_name,
+                     text_table::num(e.dynamic_j / base.total(), 3),
+                     text_table::num(e.static_l1_j / base.total(), 3),
+                     text_table::num(e.static_storage_j / base.total(), 3),
+                     text_table::num(e.static_l3_j / base.total(), 3),
+                     text_table::num(e.total() / base.total(), 3),
+                     text_table::pct(100.0 * (1.0 - e.total() / base.total()))});
+            }
+            t.print();
 
-    auto totals = [&](std::size_t c) {
-        power::energy_breakdown sum;
-        for (const auto& r : results[c]) {
-            sum.dynamic_j += r.energy.dynamic_j;
-            sum.static_l1_j += r.energy.static_l1_j;
-            sum.static_storage_j += r.energy.static_storage_j;
-            sum.static_l3_j += r.energy.static_l3_j;
-        }
-        return sum;
-    };
-    const auto base = totals(0);
-
-    text_table t("Fig. 5(b): total energy normalised to DN-4x8");
-    t.set_header({"config", "dyn.", "sta. L1-RT", "sta. RESTT", "sta. D-NUCA",
-                  "total", "saving"});
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        const auto e = totals(c);
-        t.add_row({configs[c].name, text_table::num(e.dynamic_j / base.total(), 3),
-                   text_table::num(e.static_l1_j / base.total(), 3),
-                   text_table::num(e.static_storage_j / base.total(), 3),
-                   text_table::num(e.static_l3_j / base.total(), 3),
-                   text_table::num(e.total() / base.total(), 3),
-                   text_table::pct(100.0 * (1.0 - e.total() / base.total()))});
-    }
-    t.print();
-
-    const double dyn_saving =
-        100.0 * (1.0 - totals(1).dynamic_j / base.dynamic_j);
-    std::printf("Dynamic energy saving of LN2+DN over DN-4x8: %.1f%%\n",
-                dyn_saving);
-    std::printf("Paper reference (Fig. 5(b)): total savings 4.25%% (LN2+DN) "
+            const double dyn_saving =
+                100.0 * (1.0 - totals(1).dynamic_j / base.dynamic_j);
+            std::printf("Dynamic energy saving of LN2+DN over DN-4x8: %.1f%%\n",
+                        dyn_saving);
+            std::printf(
+                "Paper reference (Fig. 5(b)): total savings 4.25%% (LN2+DN) "
                 "down to 0.2%% (LN4+DN); LN2+DN saves 19.8%% of *dynamic* "
                 "energy because 8KB tile hits displace 256KB bank accesses "
                 "and VC routing.\n");
-    return 0;
+        });
 }

@@ -1,6 +1,6 @@
 // Table I: architectural and network parameters, dumped from the presets
 // so the configuration used by every other bench is auditable.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 

@@ -1,6 +1,6 @@
 // Table II: areas of the conventional L1+L2 against the L-NUCA
 // configurations, including the network area share.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 

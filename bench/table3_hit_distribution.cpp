@@ -4,84 +4,83 @@
 //
 // Runs the full SPEC CPU2006 proxy suite on L2-256KB, LN2, LN3 and LN4 and
 // prints the same rows the paper reports.
-#include "bench/bench_util.h"
+#include "src/lnuca.h"
 
 using namespace lnuca;
 
 int main(int argc, char** argv)
 {
-    const auto opt = bench::parse_options(argc, argv);
+    return exp::run_app(
+        argc, argv,
+        {hier::presets::l2_256kb(), hier::presets::lnuca_l3(2),
+         hier::presets::lnuca_l3(3), hier::presets::lnuca_l3(4)},
+        wl::spec2006_suite(),
+        [](const exp::report& rep, const exp::app_options&) {
+            std::vector<std::vector<hier::run_result>> results;
+            for (std::size_t c = 0; c < rep.config_count; ++c)
+                results.push_back(rep.row(c));
+            const auto& baseline = results[0];
 
-    std::vector<hier::system_config> configs = {
-        hier::presets::l2_256kb(),
-        hier::presets::lnuca_l3(2),
-        hier::presets::lnuca_l3(3),
-        hier::presets::lnuca_l3(4),
-    };
-    const auto& suite = wl::spec2006_suite();
-    const auto results =
-        hier::run_matrix(configs, suite, opt.instructions, opt.warmup, opt.seed);
-    const auto& baseline = results[0];
+            // Per (config, group): mean over benchmarks of level/L2 hits.
+            auto level_pct = [&](std::size_t config, unsigned level, bool fp) {
+                std::vector<double> values;
+                for (std::size_t w = 0; w < rep.workload_count; ++w) {
+                    const auto& r = results[config][w];
+                    if (r.floating_point != fp)
+                        continue;
+                    if (baseline[w].l2_read_hits == 0 ||
+                        level >= r.fabric_read_hits.size())
+                        continue;
+                    values.push_back(100.0 * double(r.fabric_read_hits[level]) /
+                                     double(baseline[w].l2_read_hits));
+                }
+                return arithmetic_mean(values);
+            };
+            auto transport_ratio = [&](std::size_t config, bool fp) {
+                std::vector<double> values;
+                for (std::size_t w = 0; w < rep.workload_count; ++w) {
+                    const auto& r = results[config][w];
+                    if (r.floating_point != fp)
+                        continue;
+                    if (r.transport_min > 0)
+                        values.push_back(double(r.transport_actual) /
+                                         double(r.transport_min));
+                }
+                return arithmetic_mean(values);
+            };
 
-    // Per (config, group): mean over benchmarks of level hits / L2 hits.
-    auto level_pct = [&](std::size_t config, unsigned level, bool fp) {
-        std::vector<double> values;
-        for (std::size_t w = 0; w < suite.size(); ++w) {
-            if (suite[w].floating_point != fp)
-                continue;
-            const auto& r = results[config][w];
-            if (baseline[w].l2_read_hits == 0 ||
-                level >= r.fabric_read_hits.size())
-                continue;
-            values.push_back(100.0 * double(r.fabric_read_hits[level]) /
-                             double(baseline[w].l2_read_hits));
-        }
-        return arithmetic_mean(values);
-    };
-    auto transport_ratio = [&](std::size_t config, bool fp) {
-        std::vector<double> values;
-        for (std::size_t w = 0; w < suite.size(); ++w) {
-            if (suite[w].floating_point != fp)
-                continue;
-            const auto& r = results[config][w];
-            if (r.transport_min > 0)
-                values.push_back(double(r.transport_actual) /
-                                 double(r.transport_min));
-        }
-        return arithmetic_mean(values);
-    };
-
-    text_table t("Table III: read hits per L-NUCA level relative to L2-256KB "
-                 "read hits; avg/min transport latency");
-    t.set_header({"config", "Le2/L2 Int", "Le2/L2 FP", "Le3/L2 Int",
-                  "Le3/L2 FP", "Le4/L2 Int", "Le4/L2 FP", "All/L2 Int",
-                  "All/L2 FP", "T.lat Int", "T.lat FP"});
-    for (std::size_t c = 1; c < configs.size(); ++c) {
-        const unsigned levels = unsigned(c) + 1; // LN2, LN3, LN4
-        double all_int = 0, all_fp = 0;
-        std::vector<std::string> row{configs[c].name};
-        for (unsigned level = 2; level <= 4; ++level) {
-            if (level <= levels) {
-                const double i = level_pct(c, level, false);
-                const double f = level_pct(c, level, true);
-                all_int += i;
-                all_fp += f;
-                row.push_back(text_table::num(i, 1));
-                row.push_back(text_table::num(f, 1));
-            } else {
-                row.push_back("-");
-                row.push_back("-");
+            text_table t("Table III: read hits per L-NUCA level relative to "
+                         "L2-256KB read hits; avg/min transport latency");
+            t.set_header({"config", "Le2/L2 Int", "Le2/L2 FP", "Le3/L2 Int",
+                          "Le3/L2 FP", "Le4/L2 Int", "Le4/L2 FP", "All/L2 Int",
+                          "All/L2 FP", "T.lat Int", "T.lat FP"});
+            for (std::size_t c = 1; c < rep.config_count; ++c) {
+                const unsigned levels = unsigned(c) + 1; // LN2, LN3, LN4
+                double all_int = 0, all_fp = 0;
+                std::vector<std::string> row{results[c].front().config_name};
+                for (unsigned level = 2; level <= 4; ++level) {
+                    if (level <= levels) {
+                        const double i = level_pct(c, level, false);
+                        const double f = level_pct(c, level, true);
+                        all_int += i;
+                        all_fp += f;
+                        row.push_back(text_table::num(i, 1));
+                        row.push_back(text_table::num(f, 1));
+                    } else {
+                        row.push_back("-");
+                        row.push_back("-");
+                    }
+                }
+                row.push_back(text_table::num(all_int, 1));
+                row.push_back(text_table::num(all_fp, 1));
+                row.push_back(text_table::num(transport_ratio(c, false), 3));
+                row.push_back(text_table::num(transport_ratio(c, true), 3));
+                t.add_row(std::move(row));
             }
-        }
-        row.push_back(text_table::num(all_int, 1));
-        row.push_back(text_table::num(all_fp, 1));
-        row.push_back(text_table::num(transport_ratio(c, false), 3));
-        row.push_back(text_table::num(transport_ratio(c, true), 3));
-        t.add_row(std::move(row));
-    }
-    t.print();
+            t.print();
 
-    std::printf("Paper reference (Table III):\n"
+            std::printf(
+                "Paper reference (Table III):\n"
                 "  LN2-72KB : Le2 58.7 / 40.9            all 58.7/40.9   "
                 "lat 1.014/1.009\n"
                 "  LN3-144KB: Le2 59.9/41.0 Le3 21.2/29.4 all 81.2/70.3  "
@@ -89,16 +88,17 @@ int main(int argc, char** argv)
                 "  LN4-248KB: Le2 60.1/41.0 Le3 21.1/27.1 Le4 7.4/19.5 "
                 "all 88.6/87.7 lat 1.005/1.004\n");
 
-    // Search restarts: the paper observes transport contention restarts
-    // "rarely occur"; report the measured rate.
-    double restarts = 0, searches = 0;
-    for (std::size_t c = 1; c < configs.size(); ++c)
-        for (const auto& r : results[c]) {
-            restarts += double(r.search_restarts);
-            searches += double(r.searches);
-        }
-    std::printf("\nSearch restarts due to transport contention: %.0f of %.0f "
+            // Search restarts: the paper observes transport contention
+            // restarts "rarely occur"; report the measured rate.
+            double restarts = 0, searches = 0;
+            for (std::size_t c = 1; c < rep.config_count; ++c)
+                for (const auto& r : results[c]) {
+                    restarts += double(r.search_restarts);
+                    searches += double(r.searches);
+                }
+            std::printf(
+                "\nSearch restarts due to transport contention: %.0f of %.0f "
                 "searches (%.4f%%)\n",
                 restarts, searches, 100.0 * safe_ratio(restarts, searches));
-    return 0;
+        });
 }

@@ -2,7 +2,11 @@
 // mix, working set, and LRU hit rates at the hierarchy's capacity
 // landmarks - the data the proxies were calibrated against.
 //
-//   ./examples/workload_atlas [--samples 200000]
+// The per-workload LRU characterisations are independent, so they run on
+// the exp::pool work-stealing scheduler (one job per proxy) and the table
+// is assembled in suite order afterwards.
+//
+//   ./examples/workload_atlas [--samples 200000] [--threads N]
 #include "src/lnuca.h"
 
 #include <cstdio>
@@ -75,12 +79,23 @@ int main(int argc, char** argv)
 {
     const cli_args args(argc, argv);
     const int samples = int(args.get_u64("samples", 200000));
+    const unsigned threads = unsigned(args.get_u64("threads", 0));
+
+    const auto& suite = wl::spec2006_suite();
+    std::vector<locality> localities(suite.size());
+    {
+        exp::pool workers(threads);
+        workers.parallel_for(suite.size(), [&](std::size_t w) {
+            localities[w] = characterise(suite[w], samples);
+        });
+    }
 
     text_table t("SPEC CPU2006 proxy atlas (LRU hit % at capacity landmarks)");
     t.set_header({"benchmark", "kind", "loads%", "branch%", "<=L1", "<=LN3 win",
                   "<=L2 win", "footprint"});
-    for (const auto& profile : wl::spec2006_suite()) {
-        const locality loc = characterise(profile, samples);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        const auto& profile = suite[w];
+        const locality& loc = localities[w];
         t.add_row({profile.name, profile.floating_point ? "FP" : "INT",
                    text_table::num(loc.loads, 1),
                    text_table::num(loc.branches, 1), text_table::num(loc.l1, 1),

@@ -33,6 +33,36 @@ public:
 
     explicit constexpr rng(std::uint64_t seed = 0x1badcafe) { reseed(seed); }
 
+    /// Derive an independent seed lane from a base seed and up to three
+    /// coordinates (e.g. config index, workload index, replicate index of an
+    /// experiment sweep).
+    ///
+    /// Scheme — a splitmix64 "sponge": start from the mixed base seed and
+    /// absorb each coordinate, re-mixing the state after every absorption:
+    ///
+    ///     state = hash64(base)
+    ///     state = hash64(state ^ hash64(coord_i ^ tag_i))   for i = 0, 1, 2
+    ///
+    /// The tags are distinct constants, so coordinate *positions* cannot
+    /// alias: split(s, 1, 0) != split(s, 0, 1). Unlike additive schemes
+    /// (`seed + index`), which guarantee collisions between neighbouring
+    /// sweeps (seed 5, job 1 == seed 6, job 0), two distinct (base, coords)
+    /// tuples collide here only if the final mixed states collide — the
+    /// 2^-64 birthday behaviour of a random function. Every derived lane
+    /// seeds its own rng/stream, which keeps sharded and multi-threaded
+    /// sweeps bit-identical to serial ones: the lane depends only on the
+    /// tuple, never on scheduling order.
+    static constexpr std::uint64_t split(std::uint64_t base, std::uint64_t a,
+                                         std::uint64_t b = 0,
+                                         std::uint64_t c = 0)
+    {
+        std::uint64_t state = hash64(base);
+        state = hash64(state ^ hash64(a ^ 0xc0a0f16ULL));
+        state = hash64(state ^ hash64(b ^ 0x3017ab1eULL));
+        state = hash64(state ^ hash64(c ^ 0x5eed1a7eULL));
+        return state;
+    }
+
     constexpr void reseed(std::uint64_t seed)
     {
         std::uint64_t sm = seed;

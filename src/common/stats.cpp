@@ -4,7 +4,7 @@
 
 namespace lnuca {
 
-double harmonic_mean(std::span<const double> values)
+double harmonic_mean(const std::vector<double>& values)
 {
     if (values.empty())
         return 0.0;
@@ -17,7 +17,7 @@ double harmonic_mean(std::span<const double> values)
     return double(values.size()) / inv_sum;
 }
 
-double arithmetic_mean(std::span<const double> values)
+double arithmetic_mean(const std::vector<double>& values)
 {
     if (values.empty())
         return 0.0;
@@ -27,7 +27,7 @@ double arithmetic_mean(std::span<const double> values)
     return sum / double(values.size());
 }
 
-double geometric_mean(std::span<const double> values)
+double geometric_mean(const std::vector<double>& values)
 {
     if (values.empty())
         return 0.0;

@@ -7,7 +7,6 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -61,13 +60,13 @@ private:
 };
 
 /// Harmonic mean of a set of samples (IPC aggregation in the paper).
-double harmonic_mean(std::span<const double> values);
+double harmonic_mean(const std::vector<double>& values);
 
 /// Arithmetic mean convenience.
-double arithmetic_mean(std::span<const double> values);
+double arithmetic_mean(const std::vector<double>& values);
 
 /// Geometric mean convenience (used by some ablation reports).
-double geometric_mean(std::span<const double> values);
+double geometric_mean(const std::vector<double>& values);
 
 /// Ratio with a defined value when the denominator is zero.
 constexpr double safe_ratio(double num, double den, double if_zero = 0.0)

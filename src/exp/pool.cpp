@@ -1,0 +1,122 @@
+#include "src/exp/pool.h"
+
+#include <algorithm>
+
+namespace lnuca::exp {
+
+pool::pool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    queues_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        queues_.push_back(std::make_unique<worker_queue>());
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+pool::~pool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(control_mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void pool::submit(task t)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(control_mutex_);
+        target = next_queue_++ % queues_.size();
+        ++queued_;
+        ++outstanding_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(t));
+    }
+    work_ready_.notify_one();
+}
+
+void pool::wait()
+{
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    all_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void pool::parallel_for(std::size_t n,
+                        const std::function<void(std::size_t)>& fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        submit([i, &fn] { fn(i); });
+    wait();
+}
+
+bool pool::try_take(unsigned self, task& out)
+{
+    // Own queue first (front: oldest of our share), then steal from the
+    // back of the other queues, starting just after ourselves so stealers
+    // spread out instead of mobbing worker 0.
+    {
+        auto& own = *queues_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    const std::size_t n = queues_.size();
+    for (std::size_t hop = 1; hop < n; ++hop) {
+        auto& victim = *queues_[(self + hop) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            std::lock_guard<std::mutex> control(control_mutex_);
+            ++steals_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void pool::worker_loop(unsigned self)
+{
+    for (;;) {
+        task t;
+        if (try_take(self, t)) {
+            {
+                std::lock_guard<std::mutex> lock(control_mutex_);
+                --queued_;
+            }
+            t();
+            bool drained;
+            {
+                std::lock_guard<std::mutex> lock(control_mutex_);
+                drained = --outstanding_ == 0;
+            }
+            if (drained)
+                all_done_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(control_mutex_);
+        work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+        if (stopping_ && queued_ == 0)
+            return;
+    }
+}
+
+std::uint64_t pool::steal_count() const
+{
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    return steals_;
+}
+
+} // namespace lnuca::exp

@@ -1,0 +1,74 @@
+// Work-stealing thread pool for independent simulation jobs.
+//
+// Each worker owns a deque; submit() deals tasks round-robin, a worker pops
+// from the front of its own deque (FIFO: sweeps finish in roughly submission
+// order) and an idle worker steals from the *back* of a victim's deque, which
+// keeps stealers off the cache-warm front end. Tasks must be independent —
+// the pool makes no ordering promises, which is why the experiment runner
+// has every task write into its own preallocated result slot and replays
+// sinks in flat job order afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lnuca::exp {
+
+class pool {
+public:
+    using task = std::function<void()>;
+
+    /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+    explicit pool(unsigned threads = 0);
+
+    /// Drains outstanding work before joining the workers.
+    ~pool();
+
+    pool(const pool&) = delete;
+    pool& operator=(const pool&) = delete;
+
+    /// Enqueue one task. Thread-safe; may be called from inside a task.
+    void submit(task t);
+
+    /// Block until every submitted task has finished.
+    void wait();
+
+    /// Run fn(0) .. fn(n-1) across the pool and wait for all of them.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    unsigned thread_count() const { return unsigned(workers_.size()); }
+
+    /// Tasks a worker obtained from another worker's deque (load-balance
+    /// telemetry; identical results either way).
+    std::uint64_t steal_count() const;
+
+private:
+    struct worker_queue {
+        std::mutex mutex;
+        std::deque<task> tasks;
+    };
+
+    void worker_loop(unsigned self);
+    bool try_take(unsigned self, task& out);
+
+    std::vector<std::unique_ptr<worker_queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex control_mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable all_done_;
+    std::size_t queued_ = 0;      ///< submitted, not yet picked up
+    std::size_t outstanding_ = 0; ///< submitted, not yet finished
+    std::uint64_t steals_ = 0;
+    std::size_t next_queue_ = 0;  ///< round-robin submit cursor
+    bool stopping_ = false;
+};
+
+} // namespace lnuca::exp

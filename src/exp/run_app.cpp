@@ -1,0 +1,125 @@
+#include "src/exp/run_app.h"
+
+#include "src/exp/sink.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+namespace lnuca::exp {
+
+namespace {
+
+// "--shard i/n" -> (i, n). Accepts "i:n" too.
+bool parse_shard(const std::string& text, std::size_t& index,
+                 std::size_t& count)
+{
+    const std::size_t sep = text.find_first_of("/:");
+    if (sep == std::string::npos || sep == 0 || sep + 1 >= text.size())
+        return false;
+    try {
+        index = std::stoull(text.substr(0, sep));
+        count = std::stoull(text.substr(sep + 1));
+    } catch (...) {
+        return false;
+    }
+    return count > 0 && index < count;
+}
+
+} // namespace
+
+app_options parse_app_options(const cli_args& args)
+{
+    app_options opt;
+    opt.instructions = args.get_u64("instructions", opt.instructions);
+    opt.warmup = args.get_u64("warmup", opt.warmup);
+    opt.seed = args.get_u64("seed", opt.seed);
+    opt.replicates = std::size_t(args.get_u64("replicates", opt.replicates));
+    opt.threads = unsigned(args.get_u64("threads", opt.threads));
+    opt.json_path = args.get_string("json", "");
+    opt.csv_path = args.get_string("csv", "");
+    opt.quiet = args.has_flag("quiet");
+    if (const auto shard = args.value("shard")) {
+        if (!parse_shard(*shard, opt.shard_index, opt.shard_count)) {
+            std::fprintf(stderr,
+                         "invalid --shard '%s' (expected i/n with i < n); "
+                         "running the full sweep\n",
+                         shard->c_str());
+            opt.shard_index = 0;
+            opt.shard_count = 1;
+        }
+    }
+    return opt;
+}
+
+int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
+            std::vector<wl::workload_profile> workloads,
+            const render_fn& render)
+{
+    const cli_args args(argc, argv);
+    const app_options opt = parse_app_options(args);
+
+    sweep s;
+    s.add_configs(configs)
+        .add_workloads(workloads)
+        .replicates(opt.replicates)
+        .instructions(opt.instructions)
+        .warmup(opt.warmup)
+        .base_seed(opt.seed)
+        .shard(opt.shard_index, opt.shard_count);
+
+    // Sinks. "-" streams to stdout. The JSON-lines file opens in append
+    // mode (as documented: successive runs/shards accumulate into one
+    // trajectory); the CSV file truncates, since its header row only makes
+    // sense once.
+    std::vector<sink*> sinks;
+    std::unique_ptr<std::ofstream> json_file, csv_file;
+    std::unique_ptr<jsonl_sink> json;
+    std::unique_ptr<csv_sink> csv;
+    if (!opt.json_path.empty()) {
+        if (opt.json_path == "-") {
+            json = std::make_unique<jsonl_sink>(std::cout);
+        } else {
+            json_file = std::make_unique<std::ofstream>(opt.json_path,
+                                                        std::ios::app);
+            if (!*json_file) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n",
+                             opt.json_path.c_str());
+                return 1;
+            }
+            json = std::make_unique<jsonl_sink>(*json_file);
+        }
+        sinks.push_back(json.get());
+    }
+    if (!opt.csv_path.empty()) {
+        if (opt.csv_path == "-") {
+            csv = std::make_unique<csv_sink>(std::cout);
+        } else {
+            csv_file = std::make_unique<std::ofstream>(opt.csv_path);
+            if (!*csv_file) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n",
+                             opt.csv_path.c_str());
+                return 1;
+            }
+            csv = std::make_unique<csv_sink>(*csv_file);
+        }
+        sinks.push_back(csv.get());
+    }
+
+    const report rep = run_sweep(s, {opt.threads}, sinks);
+
+    if (opt.shard_count > 1) {
+        std::printf("shard %zu/%zu: ran %zu of %zu jobs; tables suppressed — "
+                    "merge the per-shard JSON-lines outputs for the full "
+                    "matrix\n",
+                    opt.shard_index, opt.shard_count, rep.jobs.size(),
+                    s.total_jobs());
+        return 0;
+    }
+    if (!opt.quiet && render)
+        render(rep, opt);
+    return 0;
+}
+
+} // namespace lnuca::exp

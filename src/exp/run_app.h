@@ -1,0 +1,55 @@
+// Shared main() body for the figure/table bench binaries and sweep-driven
+// examples. Standardises the experiment-runner command line:
+//
+//   --instructions N   measured instructions per run
+//   --warmup N         discarded warm-up instructions per run
+//   --seed S           base seed (per-job seeds derive via rng::split)
+//   --replicates R     repeated measurements per (config, workload)
+//   --threads N        worker threads (0 = all hardware threads, 1 = serial)
+//   --shard i/n        run only this shard of the sweep (multi-machine)
+//   --json PATH        append JSON-lines results ("-" = stdout)
+//   --csv PATH         write CSV results ("-" = stdout)
+//   --quiet            skip the paper-style rendered tables
+//
+// A bench passes its configs, workloads and a render callback; run_app
+// expands the sweep, runs it on the pool, wires the requested sinks, and —
+// for unsharded runs — calls render with the completed report. Sharded runs
+// suppress rendering (the matrix is partial by construction) and tell the
+// operator to merge the JSON-lines shards instead.
+#pragma once
+
+#include "src/common/cli.h"
+#include "src/exp/runner.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lnuca::exp {
+
+struct app_options {
+    std::uint64_t instructions = hier::default_instructions;
+    std::uint64_t warmup = hier::default_warmup;
+    std::uint64_t seed = 1;
+    std::size_t replicates = 1;
+    unsigned threads = 0;
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 1;
+    std::string json_path;
+    std::string csv_path;
+    bool quiet = false;
+};
+
+/// Parse the shared options; unknown options are left for the caller.
+app_options parse_app_options(const cli_args& args);
+
+/// Render callback: the completed (unsharded) report plus the options.
+using render_fn = std::function<void(const report&, const app_options&)>;
+
+/// Run a (configs x workloads) sweep under the shared command line.
+/// Returns the process exit code.
+int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
+            std::vector<wl::workload_profile> workloads,
+            const render_fn& render);
+
+} // namespace lnuca::exp

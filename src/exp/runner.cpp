@@ -1,0 +1,100 @@
+#include "src/exp/runner.h"
+
+#include "src/common/log.h"
+#include "src/exp/pool.h"
+
+#include <stdexcept>
+
+namespace lnuca::exp {
+
+const hier::run_result* report::find(std::size_t config, std::size_t workload,
+                                     std::size_t replicate) const
+{
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const job_key& k = jobs[i].key;
+        if (k.config == config && k.workload == workload &&
+            k.replicate == replicate)
+            return &results[i];
+    }
+    return nullptr;
+}
+
+std::vector<hier::run_result> report::row(std::size_t config) const
+{
+    std::vector<hier::run_result> out;
+    out.reserve(workload_count);
+    for (std::size_t w = 0; w < workload_count; ++w) {
+        const hier::run_result* r = find(config, w, 0);
+        if (r == nullptr)
+            throw std::logic_error(
+                "report::row() needs an unsharded report: missing (config " +
+                std::to_string(config) + ", workload " + std::to_string(w) +
+                ")");
+        out.push_back(*r);
+    }
+    return out;
+}
+
+std::vector<std::vector<hier::run_result>> report::matrix() const
+{
+    std::vector<std::vector<hier::run_result>> out;
+    out.reserve(config_count);
+    for (std::size_t c = 0; c < config_count; ++c)
+        out.push_back(row(c));
+    return out;
+}
+
+report run_sweep(const sweep& s, const run_options& opt,
+                 const std::vector<sink*>& sinks)
+{
+    report rep;
+    rep.jobs = s.build();
+    rep.config_count = s.configs().size();
+    rep.workload_count = s.workloads().size();
+    rep.replicate_count = s.replicate_count();
+    rep.results.resize(rep.jobs.size());
+
+    if (opt.threads == 1 || rep.jobs.size() <= 1) {
+        for (std::size_t i = 0; i < rep.jobs.size(); ++i)
+            rep.results[i] = rep.jobs[i].run();
+    } else {
+        pool workers(opt.threads);
+        workers.parallel_for(rep.jobs.size(), [&](std::size_t i) {
+            rep.results[i] = rep.jobs[i].run();
+        });
+    }
+
+    // Sinks replay in flat-job order: deterministic bytes out, independent
+    // of which worker finished first.
+    for (sink* sk : sinks)
+        if (sk != nullptr)
+            sk->begin(rep.jobs.size());
+    for (std::size_t i = 0; i < rep.jobs.size(); ++i)
+        for (sink* sk : sinks)
+            if (sk != nullptr)
+                sk->consume(rep.jobs[i], rep.results[i]);
+    for (sink* sk : sinks)
+        if (sk != nullptr)
+            sk->finish();
+    return rep;
+}
+
+} // namespace lnuca::exp
+
+namespace lnuca::hier {
+
+std::vector<std::vector<run_result>>
+run_matrix(const std::vector<system_config>& configs,
+           const std::vector<wl::workload_profile>& workloads,
+           std::uint64_t instructions, std::uint64_t warmup, std::uint64_t seed)
+{
+    exp::sweep s;
+    s.add_configs(configs)
+        .add_workloads(workloads)
+        .instructions(instructions)
+        .warmup(warmup)
+        .base_seed(seed);
+    return exp::run_sweep(s).matrix();
+}
+
+} // namespace lnuca::hier

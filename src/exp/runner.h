@@ -1,0 +1,91 @@
+// Sweep execution: expand a sweep, run every job on the work-stealing pool,
+// and replay the results into sinks in deterministic flat-job order.
+//
+// Determinism contract: results are written into preallocated slots keyed by
+// job index, so the thread count and steal pattern change only wall-clock
+// time — run_sweep(s, {1}) and run_sweep(s, {8}) return bit-identical
+// reports, and sinks observe the same byte stream either way.
+#pragma once
+
+#include "src/common/stats.h"
+#include "src/exp/job.h"
+#include "src/exp/sink.h"
+#include "src/exp/sweep.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace lnuca::exp {
+
+struct run_options {
+    /// Worker threads; 0 = one per hardware thread, 1 = serial in the
+    /// calling thread (no pool is built).
+    unsigned threads = 0;
+};
+
+/// Results of one sweep execution. jobs[i] produced results[i].
+struct report {
+    std::vector<job> jobs;
+    std::vector<hier::run_result> results;
+
+    // Dimensions of the full sweep (before shard filtering).
+    std::size_t config_count = 0;
+    std::size_t workload_count = 0;
+    std::size_t replicate_count = 0;
+
+    /// Result of (config, workload, replicate), or nullptr when that job
+    /// fell outside this shard.
+    const hier::run_result* find(std::size_t config, std::size_t workload,
+                                 std::size_t replicate = 0) const;
+
+    /// Replicate-0 results of one config across all workloads, in workload
+    /// order. Only meaningful for unsharded runs; throws std::logic_error
+    /// when a cell is missing (sharded report).
+    std::vector<hier::run_result> row(std::size_t config) const;
+
+    /// [config][workload] view of replicate 0 (unsharded runs).
+    std::vector<std::vector<hier::run_result>> matrix() const;
+};
+
+/// Expand and run a sweep. Sinks (may be empty) see jobs in flat order.
+report run_sweep(const sweep& s, const run_options& opt = {},
+                 const std::vector<sink*>& sinks = {});
+
+// ---------------------------------------------------------------------------
+// Paper-style aggregation over one config's row (previously duplicated in
+// every bench binary's bench_util.h).
+// ---------------------------------------------------------------------------
+
+/// Harmonic-mean IPC over a workload group (the paper's aggregation).
+inline double group_ipc(const std::vector<hier::run_result>& results, bool fp)
+{
+    std::vector<double> values;
+    for (const auto& r : results)
+        if (r.floating_point == fp)
+            values.push_back(r.ipc);
+    return harmonic_mean(values);
+}
+
+/// Arithmetic mean of a per-benchmark metric over a group.
+template <typename Fn>
+double group_mean(const std::vector<hier::run_result>& results, bool fp, Fn fn)
+{
+    std::vector<double> values;
+    for (const auto& r : results)
+        if (r.floating_point == fp)
+            values.push_back(fn(r));
+    return arithmetic_mean(values);
+}
+
+/// Total energy summed over a group (J).
+inline double group_energy(const std::vector<hier::run_result>& results,
+                           bool fp)
+{
+    double total = 0;
+    for (const auto& r : results)
+        if (r.floating_point == fp)
+            total += r.energy.total();
+    return total;
+}
+
+} // namespace lnuca::exp

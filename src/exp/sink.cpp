@@ -1,0 +1,508 @@
+#include "src/exp/sink.h"
+
+#include "src/common/table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lnuca::exp {
+
+namespace {
+
+// Full-precision double formatting: %.17g round-trips through strtod.
+std::string fmt_double(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string csv_quote(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// table_sink
+// ---------------------------------------------------------------------------
+
+void table_sink::consume(const job& j, const hier::run_result& r)
+{
+    rows_.push_back({r.config_name, r.workload_name,
+                     std::to_string(j.key.replicate), text_table::num(r.ipc, 3),
+                     std::to_string(r.cycles),
+                     text_table::num(r.avg_load_latency, 1),
+                     text_table::num(r.energy.total() * 1e3, 3)});
+}
+
+void table_sink::finish()
+{
+    text_table t("Run log");
+    t.set_header({"config", "workload", "rep", "IPC", "cycles", "load lat.",
+                  "energy (mJ)"});
+    for (auto& row : rows_)
+        t.add_row(std::move(row));
+    out_ << t.render();
+    rows_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// csv_sink
+// ---------------------------------------------------------------------------
+
+void csv_sink::begin(std::size_t)
+{
+    out_ << "config,workload,config_index,workload_index,replicate,flat,seed,"
+            "floating_point,instructions,cycles,ipc,l2_read_hits,"
+            "transport_actual,transport_min,search_restarts,searches,"
+            "loads_l1,loads_fabric,loads_l2,loads_l3,loads_dnuca,"
+            "loads_memory,avg_load_latency,energy_dynamic_j,"
+            "energy_static_l1_j,energy_static_storage_j,energy_static_l3_j,"
+            "energy_total_j\n";
+}
+
+void csv_sink::consume(const job& j, const hier::run_result& r)
+{
+    out_ << csv_quote(r.config_name) << ',' << csv_quote(r.workload_name)
+         << ',' << j.key.config << ',' << j.key.workload << ','
+         << j.key.replicate << ',' << j.key.flat << ',' << j.seed << ','
+         << (r.floating_point ? 1 : 0) << ',' << r.instructions << ','
+         << r.cycles << ',' << fmt_double(r.ipc) << ',' << r.l2_read_hits
+         << ',' << r.transport_actual << ',' << r.transport_min << ','
+         << r.search_restarts << ',' << r.searches << ',' << r.loads_l1 << ','
+         << r.loads_fabric << ',' << r.loads_l2 << ',' << r.loads_l3 << ','
+         << r.loads_dnuca << ',' << r.loads_memory << ','
+         << fmt_double(r.avg_load_latency) << ','
+         << fmt_double(r.energy.dynamic_j) << ','
+         << fmt_double(r.energy.static_l1_j) << ','
+         << fmt_double(r.energy.static_storage_j) << ','
+         << fmt_double(r.energy.static_l3_j) << ','
+         << fmt_double(r.energy.total()) << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// jsonl_sink
+// ---------------------------------------------------------------------------
+
+std::string encode_json_line(const job& j, const hier::run_result& r)
+{
+    std::string line = "{";
+    auto str = [&](const char* key, const std::string& value) {
+        line += '"';
+        line += key;
+        line += "\":\"";
+        line += json_escape(value);
+        line += "\",";
+    };
+    auto u64 = [&](const char* key, std::uint64_t value) {
+        line += '"';
+        line += key;
+        line += "\":";
+        line += std::to_string(value);
+        line += ',';
+    };
+    auto dbl = [&](const char* key, double value) {
+        line += '"';
+        line += key;
+        line += "\":";
+        line += fmt_double(value);
+        line += ',';
+    };
+
+    str("config", r.config_name);
+    str("workload", r.workload_name);
+    u64("config_index", j.key.config);
+    u64("workload_index", j.key.workload);
+    u64("replicate", j.key.replicate);
+    u64("flat", j.key.flat);
+    u64("seed", j.seed);
+    u64("instructions_requested", j.instructions);
+    u64("warmup", j.warmup);
+    line += r.floating_point ? "\"floating_point\":true,"
+                             : "\"floating_point\":false,";
+    u64("instructions", r.instructions);
+    u64("cycles", r.cycles);
+    dbl("ipc", r.ipc);
+    u64("l2_read_hits", r.l2_read_hits);
+    line += "\"fabric_read_hits\":[";
+    for (std::size_t i = 0; i < r.fabric_read_hits.size(); ++i) {
+        if (i != 0)
+            line += ',';
+        line += std::to_string(r.fabric_read_hits[i]);
+    }
+    line += "],";
+    u64("transport_actual", r.transport_actual);
+    u64("transport_min", r.transport_min);
+    u64("search_restarts", r.search_restarts);
+    u64("searches", r.searches);
+    u64("loads_l1", r.loads_l1);
+    u64("loads_fabric", r.loads_fabric);
+    u64("loads_l2", r.loads_l2);
+    u64("loads_l3", r.loads_l3);
+    u64("loads_dnuca", r.loads_dnuca);
+    u64("loads_memory", r.loads_memory);
+    dbl("avg_load_latency", r.avg_load_latency);
+    line += "\"energy\":{";
+    dbl("dynamic_j", r.energy.dynamic_j);
+    dbl("static_l1_j", r.energy.static_l1_j);
+    dbl("static_storage_j", r.energy.static_storage_j);
+    dbl("static_l3_j", r.energy.static_l3_j);
+    line += "\"total_j\":";
+    line += fmt_double(r.energy.total());
+    line += "}}";
+    return line;
+}
+
+void jsonl_sink::consume(const job& j, const hier::run_result& r)
+{
+    out_ << encode_json_line(j, r) << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// sink_fanout
+// ---------------------------------------------------------------------------
+
+void sink_fanout::attach(sink* s)
+{
+    if (s != nullptr)
+        sinks_.push_back(s);
+}
+
+void sink_fanout::begin(std::size_t job_count)
+{
+    for (sink* s : sinks_)
+        s->begin(job_count);
+}
+
+void sink_fanout::consume(const job& j, const hier::run_result& r)
+{
+    for (sink* s : sinks_)
+        s->consume(j, r);
+}
+
+void sink_fanout::finish()
+{
+    for (sink* s : sinks_)
+        s->finish();
+}
+
+// ---------------------------------------------------------------------------
+// decode_json_line: minimal recursive-descent parser for the exact grammar
+// encode_json_line() emits (flat object, one nested object, one u64 array).
+// Unknown keys are skipped so the format can grow fields without breaking
+// old readers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct cursor {
+    const char* p;
+    const char* end;
+
+    void skip_ws()
+    {
+        while (p != end && (*p == ' ' || *p == '\t' || *p == '\r' ||
+                            *p == '\n'))
+            ++p;
+    }
+
+    bool consume(char c)
+    {
+        skip_ws();
+        if (p == end || *p != c)
+            return false;
+        ++p;
+        return true;
+    }
+
+    bool peek(char c)
+    {
+        skip_ws();
+        return p != end && *p == c;
+    }
+
+    bool parse_string(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (p != end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p == end)
+                    return false;
+                switch (*p) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (end - p < 5)
+                        return false;
+                    char hex[5] = {p[1], p[2], p[3], p[4], 0};
+                    out += char(std::strtoul(hex, nullptr, 16));
+                    p += 4;
+                    break;
+                }
+                default: return false;
+                }
+                ++p;
+            } else {
+                out += *p++;
+            }
+        }
+        return consume('"');
+    }
+
+    bool parse_u64(std::uint64_t& out)
+    {
+        skip_ws();
+        char* after = nullptr;
+        out = std::strtoull(p, &after, 10);
+        if (after == p)
+            return false;
+        p = after;
+        return true;
+    }
+
+    bool parse_double(double& out)
+    {
+        skip_ws();
+        char* after = nullptr;
+        out = std::strtod(p, &after);
+        if (after == p)
+            return false;
+        p = after;
+        return true;
+    }
+
+    bool parse_bool(bool& out)
+    {
+        skip_ws();
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+            out = true;
+            p += 4;
+            return true;
+        }
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+            out = false;
+            p += 5;
+            return true;
+        }
+        return false;
+    }
+
+    bool skip_value()
+    {
+        skip_ws();
+        if (p == end)
+            return false;
+        if (*p == '"') {
+            std::string ignored;
+            return parse_string(ignored);
+        }
+        if (*p == '[' || *p == '{') {
+            const char open = *p, close = open == '[' ? ']' : '}';
+            int depth = 0;
+            bool in_string = false;
+            for (; p != end; ++p) {
+                if (in_string) {
+                    if (*p == '\\') {
+                        if (++p == end)
+                            return false; // truncated escape
+                    } else if (*p == '"') {
+                        in_string = false;
+                    }
+                } else if (*p == '"') {
+                    in_string = true;
+                } else if (*p == open) {
+                    ++depth;
+                } else if (*p == close && --depth == 0) {
+                    ++p;
+                    return true;
+                }
+            }
+            return false;
+        }
+        double ignored;
+        if (parse_double(ignored))
+            return true;
+        bool flag;
+        return parse_bool(flag);
+    }
+
+    bool parse_u64_array(std::vector<std::uint64_t>& out)
+    {
+        if (!consume('['))
+            return false;
+        out.clear();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            std::uint64_t v;
+            if (!parse_u64(v))
+                return false;
+            out.push_back(v);
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+};
+
+bool parse_energy(cursor& c, power::energy_breakdown& e)
+{
+    if (!c.consume('{'))
+        return false;
+    if (c.consume('}'))
+        return true;
+    for (;;) {
+        std::string key;
+        if (!c.parse_string(key) || !c.consume(':'))
+            return false;
+        bool ok = true;
+        if (key == "dynamic_j")
+            ok = c.parse_double(e.dynamic_j);
+        else if (key == "static_l1_j")
+            ok = c.parse_double(e.static_l1_j);
+        else if (key == "static_storage_j")
+            ok = c.parse_double(e.static_storage_j);
+        else if (key == "static_l3_j")
+            ok = c.parse_double(e.static_l3_j);
+        else
+            ok = c.skip_value(); // total_j and future fields
+        if (!ok)
+            return false;
+        if (c.consume('}'))
+            return true;
+        if (!c.consume(','))
+            return false;
+    }
+}
+
+} // namespace
+
+std::optional<decoded_run> decode_json_line(const std::string& line)
+{
+    cursor c{line.data(), line.data() + line.size()};
+    decoded_run out;
+    if (!c.consume('{'))
+        return std::nullopt;
+    if (c.consume('}'))
+        return out;
+    for (;;) {
+        std::string key;
+        if (!c.parse_string(key) || !c.consume(':'))
+            return std::nullopt;
+        bool ok = true;
+        hier::run_result& r = out.result;
+        if (key == "config")
+            ok = c.parse_string(r.config_name);
+        else if (key == "workload")
+            ok = c.parse_string(r.workload_name);
+        else if (key == "config_index") {
+            std::uint64_t v;
+            ok = c.parse_u64(v);
+            out.key.config = std::size_t(v);
+        } else if (key == "workload_index") {
+            std::uint64_t v;
+            ok = c.parse_u64(v);
+            out.key.workload = std::size_t(v);
+        } else if (key == "replicate") {
+            std::uint64_t v;
+            ok = c.parse_u64(v);
+            out.key.replicate = std::size_t(v);
+        } else if (key == "flat") {
+            std::uint64_t v;
+            ok = c.parse_u64(v);
+            out.key.flat = std::size_t(v);
+        } else if (key == "seed")
+            ok = c.parse_u64(out.seed);
+        else if (key == "instructions_requested")
+            ok = c.parse_u64(out.instructions_requested);
+        else if (key == "warmup")
+            ok = c.parse_u64(out.warmup);
+        else if (key == "floating_point")
+            ok = c.parse_bool(r.floating_point);
+        else if (key == "instructions")
+            ok = c.parse_u64(r.instructions);
+        else if (key == "cycles")
+            ok = c.parse_u64(r.cycles);
+        else if (key == "ipc")
+            ok = c.parse_double(r.ipc);
+        else if (key == "l2_read_hits")
+            ok = c.parse_u64(r.l2_read_hits);
+        else if (key == "fabric_read_hits")
+            ok = c.parse_u64_array(r.fabric_read_hits);
+        else if (key == "transport_actual")
+            ok = c.parse_u64(r.transport_actual);
+        else if (key == "transport_min")
+            ok = c.parse_u64(r.transport_min);
+        else if (key == "search_restarts")
+            ok = c.parse_u64(r.search_restarts);
+        else if (key == "searches")
+            ok = c.parse_u64(r.searches);
+        else if (key == "loads_l1")
+            ok = c.parse_u64(r.loads_l1);
+        else if (key == "loads_fabric")
+            ok = c.parse_u64(r.loads_fabric);
+        else if (key == "loads_l2")
+            ok = c.parse_u64(r.loads_l2);
+        else if (key == "loads_l3")
+            ok = c.parse_u64(r.loads_l3);
+        else if (key == "loads_dnuca")
+            ok = c.parse_u64(r.loads_dnuca);
+        else if (key == "loads_memory")
+            ok = c.parse_u64(r.loads_memory);
+        else if (key == "avg_load_latency")
+            ok = c.parse_double(r.avg_load_latency);
+        else if (key == "energy")
+            ok = parse_energy(c, r.energy);
+        else
+            ok = c.skip_value();
+        if (!ok)
+            return std::nullopt;
+        if (c.consume('}'))
+            return out;
+        if (!c.consume(','))
+            return std::nullopt;
+    }
+}
+
+} // namespace lnuca::exp

@@ -1,0 +1,101 @@
+// Result sinks for the experiment runner.
+//
+// The runner replays finished (job, run_result) pairs into every sink in
+// deterministic flat-job order, after the parallel phase — a sink never sees
+// scheduler-dependent interleavings, so its output is bit-stable across
+// thread counts.
+//
+// Formats:
+//   table_sink  human-readable summary table (one row per run)
+//   csv_sink    flat CSV, one header row + one row per run
+//   jsonl_sink  JSON-lines: one self-contained object per run, carrying the
+//               job coordinates, derived seed, the full run_result and the
+//               energy breakdown. decode_json_line() round-trips the format
+//               (bench/BENCH_*.json trajectory tooling and tests).
+#pragma once
+
+#include "src/exp/job.h"
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lnuca::exp {
+
+class sink {
+public:
+    virtual ~sink() = default;
+
+    /// Called once before the first consume() with the sharded job count.
+    virtual void begin(std::size_t job_count) { (void)job_count; }
+
+    /// Called once per finished job, in flat-job order.
+    virtual void consume(const job& j, const hier::run_result& r) = 0;
+
+    /// Called once after the last consume().
+    virtual void finish() {}
+};
+
+/// Compact human-readable run log (headline metrics only).
+class table_sink final : public sink {
+public:
+    explicit table_sink(std::ostream& out) : out_(out) {}
+    void consume(const job& j, const hier::run_result& r) override;
+    void finish() override;
+
+private:
+    std::ostream& out_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Flat CSV with a fixed column set.
+class csv_sink final : public sink {
+public:
+    explicit csv_sink(std::ostream& out) : out_(out) {}
+    void begin(std::size_t job_count) override;
+    void consume(const job& j, const hier::run_result& r) override;
+
+private:
+    std::ostream& out_;
+};
+
+/// JSON-lines, one object per run.
+class jsonl_sink final : public sink {
+public:
+    explicit jsonl_sink(std::ostream& out) : out_(out) {}
+    void consume(const job& j, const hier::run_result& r) override;
+
+private:
+    std::ostream& out_;
+};
+
+/// Broadcasts to several sinks (non-owning).
+class sink_fanout final : public sink {
+public:
+    void attach(sink* s);
+    void begin(std::size_t job_count) override;
+    void consume(const job& j, const hier::run_result& r) override;
+    void finish() override;
+
+private:
+    std::vector<sink*> sinks_;
+};
+
+/// One decoded jsonl_sink line.
+struct decoded_run {
+    job_key key;
+    std::uint64_t seed = 0;
+    std::uint64_t instructions_requested = 0;
+    std::uint64_t warmup = 0;
+    hier::run_result result;
+};
+
+/// Serialise one run the way jsonl_sink does (doubles keep full precision,
+/// so decode_json_line() round-trips bit-exactly).
+std::string encode_json_line(const job& j, const hier::run_result& r);
+
+/// Parse an encode_json_line() line; std::nullopt on malformed input.
+std::optional<decoded_run> decode_json_line(const std::string& line);
+
+} // namespace lnuca::exp

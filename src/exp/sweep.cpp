@@ -1,0 +1,91 @@
+#include "src/exp/sweep.h"
+
+#include "src/common/log.h"
+
+namespace lnuca::exp {
+
+sweep& sweep::add_config(hier::system_config config)
+{
+    configs_.push_back(std::move(config));
+    return *this;
+}
+
+sweep& sweep::add_configs(const std::vector<hier::system_config>& configs)
+{
+    configs_.insert(configs_.end(), configs.begin(), configs.end());
+    return *this;
+}
+
+sweep& sweep::add_workload(wl::workload_profile workload)
+{
+    workloads_.push_back(std::move(workload));
+    return *this;
+}
+
+sweep& sweep::add_workloads(const std::vector<wl::workload_profile>& workloads)
+{
+    workloads_.insert(workloads_.end(), workloads.begin(), workloads.end());
+    return *this;
+}
+
+sweep& sweep::replicates(std::size_t count)
+{
+    replicates_ = count == 0 ? 1 : count;
+    return *this;
+}
+
+sweep& sweep::instructions(std::uint64_t count)
+{
+    instructions_ = count;
+    return *this;
+}
+
+sweep& sweep::warmup(std::uint64_t count)
+{
+    warmup_ = count;
+    return *this;
+}
+
+sweep& sweep::base_seed(std::uint64_t seed)
+{
+    base_seed_ = seed;
+    return *this;
+}
+
+sweep& sweep::shard(std::size_t index, std::size_t count)
+{
+    if (count == 0)
+        count = 1;
+    if (index >= count) {
+        LNUCA_WARN("shard index ", index, " out of range for ", count,
+                   " shards; clamping");
+        index = count - 1;
+    }
+    shard_index_ = index;
+    shard_count_ = count;
+    return *this;
+}
+
+std::vector<job> sweep::build() const
+{
+    std::vector<job> jobs;
+    jobs.reserve(total_jobs() / shard_count_ + 1);
+    std::size_t flat = 0;
+    for (std::size_t c = 0; c < configs_.size(); ++c)
+        for (std::size_t w = 0; w < workloads_.size(); ++w)
+            for (std::size_t r = 0; r < replicates_; ++r, ++flat) {
+                if (flat % shard_count_ != shard_index_)
+                    continue;
+                job j;
+                j.key = {c, w, r, flat};
+                j.config = configs_[c];
+                j.workload = workloads_[w];
+                j.instructions = instructions_;
+                j.warmup = warmup_;
+                j.seed = rng::split(base_seed_, c, w, r);
+                jobs.push_back(std::move(j));
+            }
+    return jobs;
+}
+
+} // namespace lnuca::exp

@@ -1,0 +1,73 @@
+// Declarative (config x workload x replicate) experiment space.
+//
+// build() expands the cartesian product in a fixed order — config-major,
+// then workload, then replicate — and derives every job's seed with
+// rng::split(base seed, config, workload, replicate), so the job list is a
+// pure function of the sweep description. Shard filters keep the subset of
+// that list with flat index == shard_index (mod shard_count): the shards of
+// a sweep partition it exactly, which lets N machines each run
+// `--shard i/N` and concatenate their JSON-lines outputs into the same
+// result set a single machine would produce.
+#pragma once
+
+#include "src/exp/job.h"
+#include "src/hier/presets.h"
+#include "src/workloads/profile.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lnuca::exp {
+
+class sweep {
+public:
+    sweep& add_config(hier::system_config config);
+    sweep& add_configs(const std::vector<hier::system_config>& configs);
+    sweep& add_workload(wl::workload_profile workload);
+    sweep& add_workloads(const std::vector<wl::workload_profile>& workloads);
+
+    /// Repeated measurements per (config, workload); default 1.
+    sweep& replicates(std::size_t count);
+
+    sweep& instructions(std::uint64_t count);
+    sweep& warmup(std::uint64_t count);
+    sweep& base_seed(std::uint64_t seed);
+
+    /// Keep only jobs with flat index == index (mod count). count == 1 (the
+    /// default) keeps everything. index must be < count.
+    sweep& shard(std::size_t index, std::size_t count);
+
+    const std::vector<hier::system_config>& configs() const { return configs_; }
+    const std::vector<wl::workload_profile>& workloads() const
+    {
+        return workloads_;
+    }
+    std::size_t replicate_count() const { return replicates_; }
+    std::uint64_t instruction_count() const { return instructions_; }
+    std::uint64_t warmup_count() const { return warmup_; }
+    std::uint64_t seed() const { return base_seed_; }
+    std::size_t shard_index() const { return shard_index_; }
+    std::size_t shard_count() const { return shard_count_; }
+
+    /// Size of the full cartesian space, ignoring the shard filter.
+    std::size_t total_jobs() const
+    {
+        return configs_.size() * workloads_.size() * replicates_;
+    }
+
+    /// Expand to the (shard-filtered) job list in deterministic flat order.
+    std::vector<job> build() const;
+
+private:
+    std::vector<hier::system_config> configs_;
+    std::vector<wl::workload_profile> workloads_;
+    std::size_t replicates_ = 1;
+    std::uint64_t instructions_ = hier::default_instructions;
+    std::uint64_t warmup_ = hier::default_warmup;
+    std::uint64_t base_seed_ = 1;
+    std::size_t shard_index_ = 0;
+    std::size_t shard_count_ = 1;
+};
+
+} // namespace lnuca::exp

@@ -31,7 +31,8 @@ struct tile_coord {
     int x = 0;
     int y = 0;
 
-    bool operator==(const tile_coord&) const = default;
+    bool operator==(const tile_coord& o) const { return x == o.x && y == o.y; }
+    bool operator!=(const tile_coord& o) const { return !(*this == o); }
 };
 
 /// Index type for tiles in deterministic order (ring-major, then y, then x).

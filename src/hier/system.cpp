@@ -2,9 +2,6 @@
 
 #include "src/common/log.h"
 
-#include <atomic>
-#include <thread>
-
 namespace lnuca::hier {
 
 system::system(const system_config& config, const wl::workload_profile& workload,
@@ -271,44 +268,7 @@ run_result run_one(const system_config& config,
     return sys.run(instructions, warmup);
 }
 
-std::vector<std::vector<run_result>>
-run_matrix(const std::vector<system_config>& configs,
-           const std::vector<wl::workload_profile>& workloads,
-           std::uint64_t instructions, std::uint64_t warmup, std::uint64_t seed)
-{
-    std::vector<std::vector<run_result>> results(
-        configs.size(), std::vector<run_result>(workloads.size()));
-
-    struct job {
-        std::size_t c;
-        std::size_t w;
-    };
-    std::vector<job> jobs;
-    for (std::size_t c = 0; c < configs.size(); ++c)
-        for (std::size_t w = 0; w < workloads.size(); ++w)
-            jobs.push_back({c, w});
-
-    std::atomic<std::size_t> next{0};
-    const unsigned threads =
-        std::max(1u, std::min(std::thread::hardware_concurrency(),
-                              unsigned(jobs.size())));
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-            for (;;) {
-                const std::size_t j = next.fetch_add(1);
-                if (j >= jobs.size())
-                    return;
-                const job& jb = jobs[j];
-                results[jb.c][jb.w] = run_one(configs[jb.c], workloads[jb.w],
-                                              instructions, warmup, seed);
-            }
-        });
-    }
-    for (auto& t : pool)
-        t.join();
-    return results;
-}
+// run_matrix lives in src/exp/runner.cpp: it is a thin wrapper over the
+// exp experiment runner (work-stealing pool + rng::split job seeding).
 
 } // namespace lnuca::hier

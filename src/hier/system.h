@@ -94,8 +94,11 @@ run_result run_one(const system_config& config,
                    std::uint64_t instructions, std::uint64_t warmup,
                    std::uint64_t seed = 1);
 
-/// Run a configs x workloads matrix, parallelised across hardware threads.
-/// Results are indexed [config][workload].
+/// Run a configs x workloads matrix, parallelised across hardware threads
+/// by the exp runner (src/exp/). Results are indexed [config][workload].
+/// Each job's seed derives from rng::split(seed, config, workload, 0), so a
+/// cell is reproduced serially by
+/// run_one(configs[c], workloads[w], ..., rng::split(seed, c, w, 0)).
 std::vector<std::vector<run_result>>
 run_matrix(const std::vector<system_config>& configs,
            const std::vector<wl::workload_profile>& workloads,

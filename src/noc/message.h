@@ -14,7 +14,8 @@ struct coord {
     int x = 0;
     int y = 0;
 
-    bool operator==(const coord&) const = default;
+    bool operator==(const coord& o) const { return x == o.x && y == o.y; }
+    bool operator!=(const coord& o) const { return !(*this == o); }
 };
 
 enum class packet_kind : std::uint8_t {

@@ -105,22 +105,22 @@ TEST(rng, hash64_stateless)
 
 TEST(stats, harmonic_mean_known_values)
 {
-    const std::array<double, 2> v{1.0, 2.0};
+    const std::vector<double> v{1.0, 2.0};
     EXPECT_NEAR(harmonic_mean(v), 4.0 / 3.0, 1e-12);
-    const std::array<double, 3> w{2.0, 2.0, 2.0};
+    const std::vector<double> w{2.0, 2.0, 2.0};
     EXPECT_NEAR(harmonic_mean(w), 2.0, 1e-12);
 }
 
 TEST(stats, harmonic_mean_degenerate)
 {
     EXPECT_EQ(harmonic_mean({}), 0.0);
-    const std::array<double, 2> z{0.0, 2.0};
+    const std::vector<double> z{0.0, 2.0};
     EXPECT_EQ(harmonic_mean(z), 0.0);
 }
 
 TEST(stats, harmonic_below_arithmetic)
 {
-    const std::array<double, 4> v{0.5, 1.0, 1.5, 3.0};
+    const std::vector<double> v{0.5, 1.0, 1.5, 3.0};
     EXPECT_LT(harmonic_mean(v), arithmetic_mean(v));
     EXPECT_LT(geometric_mean(v), arithmetic_mean(v));
     EXPECT_GT(geometric_mean(v), harmonic_mean(v));

@@ -1,0 +1,371 @@
+// Experiment-runner subsystem: determinism of the work-stealing pool,
+// shard partition/union correctness, seed-lane derivation, and the
+// JSON-lines sink round-trip.
+#include "src/exp/pool.h"
+#include "src/exp/run_app.h"
+#include "src/exp/runner.h"
+#include "src/exp/sink.h"
+#include "src/exp/sweep.h"
+#include "src/hier/presets.h"
+#include "src/workloads/spec2006.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+
+namespace lnuca::exp {
+namespace {
+
+// Bitwise equality of two run_results: the determinism contract says the
+// thread count and shard layout must not change a single field.
+void expect_identical(const hier::run_result& a, const hier::run_result& b)
+{
+    EXPECT_EQ(a.config_name, b.config_name);
+    EXPECT_EQ(a.workload_name, b.workload_name);
+    EXPECT_EQ(a.floating_point, b.floating_point);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l2_read_hits, b.l2_read_hits);
+    EXPECT_EQ(a.fabric_read_hits, b.fabric_read_hits);
+    EXPECT_EQ(a.transport_actual, b.transport_actual);
+    EXPECT_EQ(a.transport_min, b.transport_min);
+    EXPECT_EQ(a.search_restarts, b.search_restarts);
+    EXPECT_EQ(a.searches, b.searches);
+    EXPECT_EQ(a.energy.dynamic_j, b.energy.dynamic_j);
+    EXPECT_EQ(a.energy.static_l1_j, b.energy.static_l1_j);
+    EXPECT_EQ(a.energy.static_storage_j, b.energy.static_storage_j);
+    EXPECT_EQ(a.energy.static_l3_j, b.energy.static_l3_j);
+    EXPECT_EQ(a.loads_l1, b.loads_l1);
+    EXPECT_EQ(a.loads_fabric, b.loads_fabric);
+    EXPECT_EQ(a.loads_l2, b.loads_l2);
+    EXPECT_EQ(a.loads_l3, b.loads_l3);
+    EXPECT_EQ(a.loads_dnuca, b.loads_dnuca);
+    EXPECT_EQ(a.loads_memory, b.loads_memory);
+    EXPECT_EQ(a.avg_load_latency, b.avg_load_latency);
+}
+
+sweep small_sweep()
+{
+    sweep s;
+    s.add_config(hier::presets::l2_256kb())
+        .add_config(hier::presets::lnuca_l3(2))
+        .add_config(hier::presets::lnuca_l3(3))
+        .add_workload(*wl::find_spec2006("456.hmmer"))
+        .add_workload(*wl::find_spec2006("401.bzip2"))
+        .add_workload(*wl::find_spec2006("429.mcf"))
+        .add_workload(*wl::find_spec2006("470.lbm"))
+        .instructions(3000)
+        .warmup(500)
+        .base_seed(17);
+    return s;
+}
+
+// --------------------------------------------------------------------------
+// Pool basics.
+// --------------------------------------------------------------------------
+
+TEST(pool, parallel_for_covers_every_index_once)
+{
+    pool p(4);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits)
+        h = 0;
+    p.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(pool, submit_from_inside_a_task)
+{
+    pool p(2);
+    std::atomic<int> ran{0};
+    p.submit([&] {
+        ++ran;
+        p.submit([&] { ++ran; });
+    });
+    p.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(pool, thread_count_defaults_to_hardware)
+{
+    pool p;
+    EXPECT_GE(p.thread_count(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Seed lanes.
+// --------------------------------------------------------------------------
+
+TEST(seeding, split_lanes_are_distinct_across_a_grid)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base = 1; base <= 4; ++base)
+        for (std::uint64_t a = 0; a < 4; ++a)
+            for (std::uint64_t b = 0; b < 4; ++b)
+                for (std::uint64_t c = 0; c < 4; ++c)
+                    seen.insert(rng::split(base, a, b, c));
+    EXPECT_EQ(seen.size(), 4u * 4u * 4u * 4u);
+}
+
+TEST(seeding, split_coordinates_do_not_alias_positions)
+{
+    EXPECT_NE(rng::split(1, 1, 0), rng::split(1, 0, 1));
+    EXPECT_NE(rng::split(1, 1, 0, 0), rng::split(1, 0, 0, 1));
+    // The additive scheme's guaranteed collision must not exist here.
+    EXPECT_NE(rng::split(5, 1, 0, 0), rng::split(6, 0, 0, 0));
+}
+
+TEST(seeding, sweep_jobs_use_split_lanes)
+{
+    const auto jobs = small_sweep().build();
+    ASSERT_EQ(jobs.size(), 12u);
+    std::set<std::uint64_t> seeds;
+    for (const auto& j : jobs) {
+        EXPECT_EQ(j.seed,
+                  rng::split(17, j.key.config, j.key.workload, j.key.replicate));
+        seeds.insert(j.seed);
+    }
+    EXPECT_EQ(seeds.size(), jobs.size()) << "job seed collision";
+}
+
+// --------------------------------------------------------------------------
+// Determinism: a multi-threaded sweep is bit-identical to the serial path.
+// --------------------------------------------------------------------------
+
+TEST(runner, parallel_sweep_bit_identical_to_serial)
+{
+    const sweep s = small_sweep();
+    const report serial = run_sweep(s, {1});
+    const report parallel = run_sweep(s, {8});
+    ASSERT_EQ(serial.jobs.size(), 12u);
+    ASSERT_EQ(parallel.jobs.size(), 12u);
+    for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+        EXPECT_TRUE(serial.jobs[i].key == parallel.jobs[i].key);
+        expect_identical(serial.results[i], parallel.results[i]);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Shard filters: partition, union, and per-shard determinism.
+// --------------------------------------------------------------------------
+
+TEST(sharding, shards_partition_the_sweep)
+{
+    sweep s = small_sweep();
+    const std::size_t total = s.total_jobs();
+    const std::size_t shards = 3;
+
+    std::set<std::size_t> seen;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < shards; ++i) {
+        s.shard(i, shards);
+        for (const auto& j : s.build()) {
+            EXPECT_EQ(j.key.flat % shards, i);
+            EXPECT_TRUE(seen.insert(j.key.flat).second)
+                << "job " << j.key.flat << " appears in two shards";
+            ++count;
+        }
+    }
+    EXPECT_EQ(count, total);
+    EXPECT_EQ(seen.size(), total);
+    EXPECT_EQ(*seen.rbegin(), total - 1);
+}
+
+TEST(sharding, sharded_results_match_the_full_run)
+{
+    sweep full;
+    full.add_config(hier::presets::l2_256kb())
+        .add_config(hier::presets::lnuca_l3(2))
+        .add_workload(*wl::find_spec2006("456.hmmer"))
+        .add_workload(*wl::find_spec2006("401.bzip2"))
+        .instructions(2500)
+        .warmup(400)
+        .base_seed(5);
+    const report whole = run_sweep(full, {2});
+
+    std::size_t matched = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        sweep part = full;
+        part.shard(i, 2);
+        const report rep = run_sweep(part, {2});
+        for (std::size_t k = 0; k < rep.jobs.size(); ++k) {
+            const job_key& key = rep.jobs[k].key;
+            const hier::run_result* full_result =
+                whole.find(key.config, key.workload, key.replicate);
+            ASSERT_NE(full_result, nullptr);
+            expect_identical(rep.results[k], *full_result);
+            ++matched;
+        }
+    }
+    EXPECT_EQ(matched, full.total_jobs());
+}
+
+// --------------------------------------------------------------------------
+// Sinks.
+// --------------------------------------------------------------------------
+
+hier::run_result synthetic_result()
+{
+    hier::run_result r;
+    r.config_name = "LN3, \"quoted\", with, commas";
+    r.workload_name = "429.mcf";
+    r.floating_point = true;
+    r.instructions = 123456789;
+    r.cycles = 987654321;
+    r.ipc = 0.12499999999999997; // needs all 17 significant digits
+    r.l2_read_hits = 42;
+    r.fabric_read_hits = {0, 0, 777, 31};
+    r.transport_actual = 1003;
+    r.transport_min = 991;
+    r.search_restarts = 3;
+    r.searches = 1000;
+    r.energy.dynamic_j = 1.2345678901234567e-3;
+    r.energy.static_l1_j = 9.87e-5;
+    r.energy.static_storage_j = 3.3e-4;
+    r.energy.static_l3_j = 7.1e-2;
+    r.loads_l1 = 11;
+    r.loads_fabric = 22;
+    r.loads_l2 = 33;
+    r.loads_l3 = 44;
+    r.loads_dnuca = 55;
+    r.loads_memory = 66;
+    r.avg_load_latency = 7.0999999999999996;
+    return r;
+}
+
+job synthetic_job()
+{
+    job j;
+    j.key = {2, 7, 1, 71};
+    j.instructions = 50000;
+    j.warmup = 8000;
+    j.seed = rng::split(99, 2, 7, 1);
+    return j;
+}
+
+TEST(jsonl, round_trip_is_exact)
+{
+    const job j = synthetic_job();
+    const hier::run_result r = synthetic_result();
+    const std::string line = encode_json_line(j, r);
+
+    const auto decoded = decode_json_line(line);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->key == j.key);
+    EXPECT_EQ(decoded->seed, j.seed);
+    EXPECT_EQ(decoded->instructions_requested, j.instructions);
+    EXPECT_EQ(decoded->warmup, j.warmup);
+    expect_identical(decoded->result, r);
+
+    // Encoding the decoded run reproduces the exact bytes.
+    job j2 = j;
+    EXPECT_EQ(encode_json_line(j2, decoded->result), line);
+}
+
+TEST(jsonl, sink_emits_one_line_per_run_and_rejects_garbage)
+{
+    std::ostringstream out;
+    jsonl_sink sink(out);
+    sink.consume(synthetic_job(), synthetic_result());
+    sink.consume(synthetic_job(), synthetic_result());
+    std::istringstream in(out.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(decode_json_line(line).has_value());
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2u);
+
+    EXPECT_FALSE(decode_json_line("").has_value());
+    EXPECT_FALSE(decode_json_line("not json").has_value());
+    EXPECT_FALSE(decode_json_line("{\"config\":").has_value());
+    EXPECT_FALSE(decode_json_line("{\"cycles\":\"text\"}").has_value());
+    // Unknown key whose skipped value is truncated mid-escape: must fail
+    // cleanly, not scan past the end of the buffer.
+    EXPECT_FALSE(decode_json_line("{\"x\":[\"\\").has_value());
+    EXPECT_FALSE(decode_json_line("{\"x\":{\"y\":\"\\").has_value());
+}
+
+TEST(csv, header_plus_one_row_per_run)
+{
+    std::ostringstream out;
+    csv_sink sink(out);
+    sink.begin(1);
+    sink.consume(synthetic_job(), synthetic_result());
+    std::istringstream in(out.str());
+    std::string header, row, extra;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_FALSE(std::getline(in, extra));
+    EXPECT_EQ(header.substr(0, 15), "config,workload");
+    // The comma-laden config name survives CSV quoting.
+    EXPECT_NE(row.find("\"LN3, \"\"quoted\"\", with, commas\""),
+              std::string::npos);
+}
+
+TEST(runner, sinks_see_jobs_in_flat_order_regardless_of_threads)
+{
+    struct order_probe final : sink {
+        std::vector<std::size_t> flats;
+        void consume(const job& j, const hier::run_result&) override
+        {
+            flats.push_back(j.key.flat);
+        }
+    };
+
+    sweep s;
+    s.add_config(hier::presets::l2_256kb())
+        .add_workload(*wl::find_spec2006("456.hmmer"))
+        .add_workload(*wl::find_spec2006("401.bzip2"))
+        .add_workload(*wl::find_spec2006("429.mcf"))
+        .instructions(1500)
+        .warmup(300);
+
+    order_probe probe;
+    run_sweep(s, {4}, {&probe});
+    ASSERT_EQ(probe.flats.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(probe.flats.begin(), probe.flats.end()));
+}
+
+// --------------------------------------------------------------------------
+// App-level option parsing.
+// --------------------------------------------------------------------------
+
+TEST(run_app_options, parses_the_shared_flags)
+{
+    const char* argv[] = {"bench",           "--instructions", "7000",
+                          "--warmup",        "900",            "--seed",
+                          "3",               "--threads",      "8",
+                          "--shard",         "2/5",            "--json",
+                          "out.jsonl",       "--replicates",   "4",
+                          "--quiet"};
+    const cli_args args(int(sizeof argv / sizeof *argv), argv);
+    const app_options opt = parse_app_options(args);
+    EXPECT_EQ(opt.instructions, 7000u);
+    EXPECT_EQ(opt.warmup, 900u);
+    EXPECT_EQ(opt.seed, 3u);
+    EXPECT_EQ(opt.threads, 8u);
+    EXPECT_EQ(opt.shard_index, 2u);
+    EXPECT_EQ(opt.shard_count, 5u);
+    EXPECT_EQ(opt.json_path, "out.jsonl");
+    EXPECT_EQ(opt.replicates, 4u);
+    EXPECT_TRUE(opt.quiet);
+}
+
+TEST(run_app_options, bad_shard_falls_back_to_full_sweep)
+{
+    const char* argv[] = {"bench", "--shard", "5/5"};
+    const cli_args args(3, argv);
+    const app_options opt = parse_app_options(args);
+    EXPECT_EQ(opt.shard_index, 0u);
+    EXPECT_EQ(opt.shard_count, 1u);
+}
+
+} // namespace
+} // namespace lnuca::exp

@@ -338,10 +338,11 @@ TEST_F(fabric_fixture, exclusion_invariant_under_stress)
             }
         }
         engine.run(1);
-        if (step % 64 == 0)
+        if (step % 64 == 0) {
             for (const addr_t b : blocks)
                 ASSERT_LE(fab->copies_of(b) + (owned.count(b) ? 1u : 0u), 1u)
                     << "duplicate copy of a block";
+        }
     }
     engine.run(2000);
     EXPECT_TRUE(fab->quiescent());

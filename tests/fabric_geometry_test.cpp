@@ -155,8 +155,9 @@ TEST(geometry, exit_distance_grows_three_hops_per_level)
         const geometry g(levels);
         const unsigned distance = g.replacement_exit_distance();
         EXPECT_EQ(distance, 3 * (levels - 1) - 1);
-        if (previous != 0)
+        if (previous != 0) {
             EXPECT_EQ(distance, previous + 3);
+        }
         previous = distance;
     }
 }
