@@ -1,6 +1,7 @@
 #include "src/common/stats.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace lnuca {
 
@@ -57,6 +58,15 @@ std::uint64_t counter_set::get(const std::string& name) const
         if (key == name)
             return value;
     return 0;
+}
+
+std::uint64_t counter_set::digest() const
+{
+    std::uint64_t sum = 0;
+    for (const auto& [key, value] : items_)
+        sum += (std::hash<std::string>{}(key) ^ (value * 0x9e3779b97f4a7c15ULL)) *
+               0x2545f4914f6cdd1dULL;
+    return sum;
 }
 
 void counter_set::reset()

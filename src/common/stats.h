@@ -91,6 +91,11 @@ public:
         return items_;
     }
 
+    /// Order-independent hash of (name, value) pairs. Stable only within
+    /// one process: used for cheap state digests (sim::ticked), never
+    /// persisted.
+    std::uint64_t digest() const;
+
     void reset();
 
 private:

@@ -2,6 +2,8 @@
 
 #include "src/common/log.h"
 
+#include <algorithm>
+
 namespace lnuca::cpu {
 
 ooo_core::ooo_core(const core_config& config, instruction_stream& stream,
@@ -31,7 +33,76 @@ void ooo_core::tick(cycle_t now)
     dispatch(now);
     fetch(now);
     drain_store_buffer(now);
-    ++cycles_;
+    // Engine-time accounting: idle cycles count whether or not the engine
+    // actually ticked us through them (idle-skip jumps over no-op cycles).
+    last_tick_ = now;
+    cycles_ = now + 1 - cycles_base_;
+}
+
+bool ooo_core::dispatch_capacity(const instruction& inst) const
+{
+    if (rob_count_ >= rob_.size())
+        return false;
+    if (is_mem(inst.op))
+        return mem_used_ < config_.mem_window && lsq_used_ < config_.lsq_size;
+    if (is_fp(inst.op))
+        return fp_used_ < config_.fp_window;
+    return int_used_ < config_.int_window;
+}
+
+cycle_t ooo_core::next_event(cycle_t now) const
+{
+    // Immediately actionable work means the very next cycle matters.
+    if (rob_count_ > 0 && rob_[rob_head_].state == entry_state::done)
+        return now; // commit retires the head
+    if (sb_unissued_ > 0 || sb_acked_ > 0)
+        return now; // store issues to the L1 / retires from the buffer
+    if (ready_count_ > 0)
+        return now; // scheduler has an instruction to issue
+    cycle_t next = std::min({responses_.next_ready(), completions_.next_ready(),
+                             delayed_mem_.next_ready()});
+    // Dispatch is bounded by the front-end ready time while capacity
+    // exists. When capacity-blocked, every unblocking path (commit, issue,
+    // writeback, load response) is itself one of the events above, so the
+    // block cannot clear inside a skipped gap.
+    if (!fetch_queue_.empty() && dispatch_capacity(fetch_queue_.front().inst))
+        next = std::min(next, std::max(now, fetch_queue_.front().ready_at));
+    // Fetch: the redirect-penalty window is the only pure time gate; the
+    // other blockers (mispredict in flight, full front-end buffer, enough
+    // instructions in flight) clear exclusively through core events.
+    if (committed_ + rob_count_ + fetch_queue_.size() < limit_ &&
+        !fetch_blocked_ && fetch_queue_.size() < 4 * config_.fetch_width)
+        next = std::min(next, std::max(now, fetch_stalled_until_));
+    return next;
+}
+
+std::uint64_t ooo_core::state_digest() const
+{
+    sim::state_hash h;
+    h.mix(counters_.digest());
+    h.mix(committed_);
+    h.mix(rob_count_);
+    h.mix(rob_head_);
+    h.mix(next_seq_);
+    h.mix(int_used_);
+    h.mix(fp_used_);
+    h.mix(mem_used_);
+    h.mix(lsq_used_);
+    h.mix(fetch_queue_.size());
+    h.mix(fetch_blocked_);
+    h.mix(fetch_stalled_until_);
+    h.mix(store_buffer_.size());
+    for (const auto& sb : store_buffer_)
+        h.mix((sb.issued ? 2u : 0u) | (sb.acked ? 1u : 0u));
+    h.mix(completions_.size());
+    h.mix(completions_.next_ready());
+    h.mix(delayed_mem_.size());
+    h.mix(delayed_mem_.next_ready());
+    h.mix(responses_.size());
+    h.mix(responses_.next_ready());
+    for (const auto& [txn, slot] : pending_loads_)
+        h.mix_unordered(txn * 0x9e3779b97f4a7c15ULL + slot);
+    return h.value();
 }
 
 bool ooo_core::in_rob(std::uint64_t seq) const
@@ -101,6 +172,7 @@ void ooo_core::process_responses(cycle_t now)
         for (auto& sb : store_buffer_) {
             if (sb.issued && !sb.acked && sb.txn == response->id) {
                 sb.acked = true;
+                ++sb_acked_;
                 matched = true;
                 break;
             }
@@ -124,6 +196,7 @@ void ooo_core::commit(cycle_t now)
             }
             store_buffer_.push_back({head.inst.addr, head.inst.size, 0, false,
                                      false});
+            ++sb_unissued_;
             --lsq_used_;
         } else if (head.inst.op == op_class::load) {
             --lsq_used_;
@@ -148,8 +221,10 @@ void ooo_core::wake_dependents(std::uint32_t slot, cycle_t now)
         // Slots recycle; confirm this is still a live dependent.
         if (dep.state != entry_state::waiting || dep.deps == 0)
             continue;
-        if (--dep.deps == 0)
+        if (--dep.deps == 0) {
             dep.state = entry_state::ready;
+            ++ready_count_;
+        }
     }
     producer.dependents.clear();
 }
@@ -261,6 +336,7 @@ void ooo_core::issue(cycle_t now)
         }
 
         entry.state = entry_state::issued;
+        --ready_count_;
         entry.issued_at = now;
 
         switch (entry.inst.op) {
@@ -309,30 +385,18 @@ void ooo_core::dispatch(cycle_t now)
     for (unsigned n = 0; n < config_.dispatch_width; ++n) {
         if (fetch_queue_.empty() || fetch_queue_.front().ready_at > now)
             return;
-        if (rob_count_ >= rob_.size()) {
-            counters_.inc("rob_full_stall");
+        // Capacity back-pressure (ROB / per-class window / LSQ) is charged
+        // when the instruction finally dispatches, as wait cycles beyond
+        // its front-end ready time ("dispatch_wait_cycles"). Counting
+        // blocked cycles one-by-one here would make the counter depend on
+        // how many idle cycles the engine skipped.
+        if (!dispatch_capacity(fetch_queue_.front().inst))
             return;
-        }
-        const instruction& inst = fetch_queue_.front().inst;
-
-        // Window / LSQ capacity per class.
-        if (is_mem(inst.op)) {
-            if (mem_used_ >= config_.mem_window || lsq_used_ >= config_.lsq_size) {
-                counters_.inc("mem_window_stall");
-                return;
-            }
-        } else if (is_fp(inst.op)) {
-            if (fp_used_ >= config_.fp_window) {
-                counters_.inc("fp_window_stall");
-                return;
-            }
-        } else if (int_used_ >= config_.int_window) {
-            counters_.inc("int_window_stall");
-            return;
-        }
 
         const fetched item = fetch_queue_.front();
         fetch_queue_.pop_front();
+        if (now > item.ready_at)
+            counters_.inc("dispatch_wait_cycles", now - item.ready_at);
 
         const std::uint32_t slot =
             std::uint32_t((rob_head_ + rob_count_) % rob_.size());
@@ -368,6 +432,8 @@ void ooo_core::dispatch(cycle_t now)
             ++entry.deps;
         }
         entry.state = entry.deps == 0 ? entry_state::ready : entry_state::waiting;
+        if (entry.state == entry_state::ready)
+            ++ready_count_;
 
         if (item.mispredicted)
             fetch_block_seq_ = entry.seq;
@@ -414,8 +480,10 @@ void ooo_core::fetch(cycle_t now)
 void ooo_core::drain_store_buffer(cycle_t now)
 {
     // Retire acknowledged stores from the front, in order.
-    while (!store_buffer_.empty() && store_buffer_.front().acked)
+    while (!store_buffer_.empty() && store_buffer_.front().acked) {
         store_buffer_.pop_front();
+        --sb_acked_;
+    }
 
     // Issue the oldest unissued store.
     for (auto& sb : store_buffer_) {
@@ -432,6 +500,7 @@ void ooo_core::drain_store_buffer(cycle_t now)
         dcache_->accept(request);
         sb.txn = request.id;
         sb.issued = true;
+        --sb_unissued_;
         counters_.inc("stores_issued");
         return; // one per cycle
     }
@@ -453,6 +522,7 @@ void ooo_core::reset_stats()
 {
     committed_ = 0;
     cycles_ = 0;
+    cycles_base_ = last_tick_ == no_cycle ? 0 : last_tick_ + 1;
     counters_.reset();
     load_latency_.reset();
     served_by_level_.assign(served_by_level_.size(), 0);

@@ -74,8 +74,16 @@ public:
 
     // ticked
     void tick(cycle_t now) override;
+    cycle_t next_event(cycle_t now) const override;
+    std::uint64_t state_digest() const override;
 
     std::uint64_t committed() const { return committed_; }
+    /// Cycles elapsed since the last reset_stats(), measured in engine time
+    /// as of this core's most recent tick. Identical under dense and
+    /// idle-skip scheduling whenever the run ends at a core event (the
+    /// hier::system driver's case: runs end at an instruction commit);
+    /// after a cycle budget expires mid-gap, idle-skip reports the last
+    /// event cycle while dense reports the budget end.
     std::uint64_t cycles() const { return cycles_; }
     double ipc() const
     {
@@ -126,6 +134,7 @@ private:
     void start_load_access(std::uint32_t slot, cycle_t now);
     void wake_dependents(std::uint32_t slot, cycle_t now);
     void release_window(const rob_entry& entry);
+    bool dispatch_capacity(const instruction& inst) const;
     unsigned latency_of(op_class op) const;
     bool in_rob(std::uint64_t seq) const;
     std::uint32_t slot_of_seq(std::uint64_t seq) const;
@@ -160,6 +169,12 @@ private:
     unsigned mem_used_ = 0;
     unsigned lsq_used_ = 0;
 
+    // O(1) next_event() probes, maintained at state transitions: entries in
+    // entry_state::ready, and store-buffer entries awaiting issue / retire.
+    unsigned ready_count_ = 0;
+    unsigned sb_unissued_ = 0;
+    unsigned sb_acked_ = 0;
+
     sim::timed_queue<std::uint32_t> completions_; ///< rob slots finishing
     sim::timed_queue<std::uint32_t> delayed_mem_; ///< TLB-miss / port retry
     std::unordered_map<txn_id_t, std::uint32_t> pending_loads_;
@@ -170,6 +185,8 @@ private:
     std::uint64_t limit_ = ~std::uint64_t{0};
     std::uint64_t committed_ = 0;
     std::uint64_t cycles_ = 0;
+    cycle_t last_tick_ = no_cycle;  ///< cycle of the most recent tick
+    cycle_t cycles_base_ = 0;       ///< engine cycle the stats window began
 
     counter_set counters_;
     histogram load_latency_{256};

@@ -2,6 +2,8 @@
 
 #include "src/common/log.h"
 
+#include <algorithm>
+
 namespace lnuca::dnuca {
 
 dnuca_cache::dnuca_cache(const dnuca_config& config, mem::txn_id_source& ids)
@@ -167,6 +169,58 @@ void dnuca_cache::inject_from(injector& from, noc::coord at)
         from.vc = (from.vc + 1) % config_.router.virtual_channels;
     from.queue.pop_front();
     counters_.inc("flits_injected");
+}
+
+cycle_t dnuca_cache::next_event(cycle_t now) const
+{
+    // Flits move and queues drain every cycle while anything is in flight:
+    // outstanding probe sets (requests_), injection queues, bank work or
+    // mesh traffic make the cache immediately busy.
+    if (!controller_outbox_.queue.empty() ||
+        !controller_write_outbox_.queue.empty() || !memory_queue_.empty() ||
+        !requests_.empty())
+        return now;
+    if (!mesh_->quiescent())
+        return now;
+    // Quiet: only bank-array completions and main-memory responses remain.
+    cycle_t next = memory_responses_.next_ready();
+    for (const auto& b : banks_) {
+        if (!b.probes.empty() || !b.write_probes.empty() ||
+            !b.outbox.queue.empty())
+            return now;
+        next = std::min(next, b.lookups.next_ready());
+    }
+    return next;
+}
+
+std::uint64_t dnuca_cache::state_digest() const
+{
+    sim::state_hash h;
+    h.mix(counters_.digest());
+    h.mix(controller_outbox_.queue.size());
+    h.mix(controller_write_outbox_.queue.size());
+    h.mix(memory_queue_.size());
+    h.mix(requests_.size());
+    h.mix(mshrs_.in_use());
+    h.mix(memory_responses_.size());
+    h.mix(memory_responses_.next_ready());
+    h.mix(next_packet_);
+    h.mix(next_group_);
+    h.mix(mesh_->occupancy_digest());
+    for (const auto& b : banks_) {
+        h.mix(b.probes.size());
+        h.mix(b.write_probes.size());
+        h.mix(b.outbox.queue.size());
+        h.mix(b.busy_until);
+        h.mix(b.lookups.size());
+        h.mix(b.lookups.next_ready());
+    }
+    for (const auto& [txn, block] : outstanding_memory_)
+        h.mix_unordered(txn * 0x9e3779b97f4a7c15ULL + block);
+    for (const auto& [group, state] : requests_)
+        h.mix_unordered(group * 0x9e3779b97f4a7c15ULL + state.block +
+                        state.miss_replies);
+    return h.value();
 }
 
 void dnuca_cache::tick(cycle_t now)

@@ -1,7 +1,9 @@
 #include "src/exp/run_app.h"
 
+#include "src/common/stats.h"
 #include "src/exp/sink.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -40,6 +42,18 @@ app_options parse_app_options(const cli_args& args)
     opt.json_path = args.get_string("json", "");
     opt.csv_path = args.get_string("csv", "");
     opt.quiet = args.has_flag("quiet");
+    const std::string engine = args.get_string("engine", "skip");
+    if (engine == "dense")
+        opt.engine_mode = sim::schedule_mode::dense;
+    else if (engine == "skip" || engine == "idle_skip" || engine == "idle-skip")
+        opt.engine_mode = sim::schedule_mode::idle_skip;
+    else if (engine == "paranoid")
+        opt.engine_mode = sim::schedule_mode::paranoid;
+    else
+        std::fprintf(stderr,
+                     "unknown --engine '%s' (dense|skip|paranoid); using "
+                     "idle-skip\n",
+                     engine.c_str());
     if (const auto shard = args.value("shard")) {
         if (!parse_shard(*shard, opt.shard_index, opt.shard_count)) {
             std::fprintf(stderr,
@@ -59,6 +73,9 @@ int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
 {
     const cli_args args(argc, argv);
     const app_options opt = parse_app_options(args);
+
+    for (auto& config : configs)
+        config.engine_mode = opt.engine_mode;
 
     sweep s;
     s.add_configs(configs)
@@ -107,7 +124,26 @@ int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
         sinks.push_back(csv.get());
     }
 
+    const auto wall_start = std::chrono::steady_clock::now();
     const report rep = run_sweep(s, {opt.threads}, sinks);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    if (!opt.quiet) {
+        double job_seconds = 0.0, total_cycles = 0.0, total_instructions = 0.0;
+        for (const auto& r : rep.results) {
+            job_seconds += r.host_seconds;
+            total_cycles += double(r.cycles);
+            total_instructions += double(r.instructions);
+        }
+        std::printf("%zu jobs in %.2fs wall (%.2fs job time): %.2f Mcycles/s, "
+                    "%.2f Minstr/s aggregate\n",
+                    rep.jobs.size(), wall_seconds, job_seconds,
+                    safe_ratio(total_cycles, job_seconds) * 1e-6,
+                    safe_ratio(total_instructions, job_seconds) * 1e-6);
+    }
 
     if (opt.shard_count > 1) {
         std::printf("shard %zu/%zu: ran %zu of %zu jobs; tables suppressed — "

@@ -9,7 +9,10 @@
 //   --shard i/n        run only this shard of the sweep (multi-machine)
 //   --json PATH        append JSON-lines results ("-" = stdout)
 //   --csv PATH         write CSV results ("-" = stdout)
-//   --quiet            skip the paper-style rendered tables
+//   --engine MODE      dense | skip | paranoid (default: skip; bit-identical
+//                      schedules, see src/sim/engine.h)
+//   --quiet            skip the paper-style rendered tables and the
+//                      throughput summary
 //
 // A bench passes its configs, workloads and a render callback; run_app
 // expands the sweep, runs it on the pool, wires the requested sinks, and —
@@ -38,6 +41,7 @@ struct app_options {
     std::string json_path;
     std::string csv_path;
     bool quiet = false;
+    sim::schedule_mode engine_mode = sim::schedule_mode::idle_skip;
 };
 
 /// Parse the shared options; unknown options are left for the caller.

@@ -67,14 +67,16 @@ void table_sink::consume(const job& j, const hier::run_result& r)
                      std::to_string(j.key.replicate), text_table::num(r.ipc, 3),
                      std::to_string(r.cycles),
                      text_table::num(r.avg_load_latency, 1),
-                     text_table::num(r.energy.total() * 1e3, 3)});
+                     text_table::num(r.energy.total() * 1e3, 3),
+                     text_table::num(r.host_seconds, 2),
+                     text_table::num(r.sim_cycles_per_second * 1e-6, 2)});
 }
 
 void table_sink::finish()
 {
     text_table t("Run log");
     t.set_header({"config", "workload", "rep", "IPC", "cycles", "load lat.",
-                  "energy (mJ)"});
+                  "energy (mJ)", "host s", "Mcyc/s"});
     for (auto& row : rows_)
         t.add_row(std::move(row));
     out_ << t.render();
@@ -93,7 +95,8 @@ void csv_sink::begin(std::size_t)
             "loads_l1,loads_fabric,loads_l2,loads_l3,loads_dnuca,"
             "loads_memory,avg_load_latency,energy_dynamic_j,"
             "energy_static_l1_j,energy_static_storage_j,energy_static_l3_j,"
-            "energy_total_j\n";
+            "energy_total_j,host_seconds,sim_cycles_per_second,"
+            "sim_instructions_per_second\n";
 }
 
 void csv_sink::consume(const job& j, const hier::run_result& r)
@@ -112,7 +115,10 @@ void csv_sink::consume(const job& j, const hier::run_result& r)
          << fmt_double(r.energy.static_l1_j) << ','
          << fmt_double(r.energy.static_storage_j) << ','
          << fmt_double(r.energy.static_l3_j) << ','
-         << fmt_double(r.energy.total()) << '\n';
+         << fmt_double(r.energy.total()) << ','
+         << fmt_double(r.host_seconds) << ','
+         << fmt_double(r.sim_cycles_per_second) << ','
+         << fmt_double(r.sim_instructions_per_second) << '\n';
 }
 
 // ---------------------------------------------------------------------------
@@ -177,6 +183,9 @@ std::string encode_json_line(const job& j, const hier::run_result& r)
     u64("loads_dnuca", r.loads_dnuca);
     u64("loads_memory", r.loads_memory);
     dbl("avg_load_latency", r.avg_load_latency);
+    dbl("host_seconds", r.host_seconds);
+    dbl("sim_cycles_per_second", r.sim_cycles_per_second);
+    dbl("sim_instructions_per_second", r.sim_instructions_per_second);
     line += "\"energy\":{";
     dbl("dynamic_j", r.energy.dynamic_j);
     dbl("static_l1_j", r.energy.static_l1_j);
@@ -492,6 +501,12 @@ std::optional<decoded_run> decode_json_line(const std::string& line)
             ok = c.parse_u64(r.loads_memory);
         else if (key == "avg_load_latency")
             ok = c.parse_double(r.avg_load_latency);
+        else if (key == "host_seconds")
+            ok = c.parse_double(r.host_seconds);
+        else if (key == "sim_cycles_per_second")
+            ok = c.parse_double(r.sim_cycles_per_second);
+        else if (key == "sim_instructions_per_second")
+            ok = c.parse_double(r.sim_instructions_per_second);
         else if (key == "energy")
             ok = parse_energy(c, r.energy);
         else

@@ -3,7 +3,8 @@
 // The runner replays finished (job, run_result) pairs into every sink in
 // deterministic flat-job order, after the parallel phase — a sink never sees
 // scheduler-dependent interleavings, so its output is bit-stable across
-// thread counts.
+// thread counts *except* the host-timing fields (host_seconds and the
+// derived throughput rates), which measure the host by design.
 //
 // Formats:
 //   table_sink  human-readable summary table (one row per run)

@@ -175,6 +175,75 @@ void lnuca_cache::tick(cycle_t now)
     commit_cycle();
 }
 
+cycle_t lnuca_cache::next_event(cycle_t now) const
+{
+    // Anything queued, latched or in flight inside the fabric advances
+    // every cycle (searches propagate, transport and replacement hop,
+    // queues drain), so the fabric is busy until all of it settles.
+    if (!inject_queue_.empty() || !evict_queue_.empty() ||
+        !exit_queue_.empty() || !downstream_queue_.empty())
+        return now;
+    for (const auto& fifo : root_arrivals_)
+        if (!fifo.idle())
+            return now;
+    for (const tile& t : tiles_) {
+        if (t.ma.has_value() || t.ma_next.has_value() ||
+            t.phase != tile::repl_phase::idle)
+            return now;
+        for (const auto& fifo : t.d_in)
+            if (!fifo.idle())
+                return now;
+        for (const auto& fifo : t.u_in)
+            if (!fifo.idle())
+                return now;
+    }
+    // Quiet fabric: the only future work is time-stamped - next-level
+    // refills and the miss-line gather of any still-active search (the
+    // gather fires on exact cycle equality, so its bound must be included
+    // even though the search wave itself has already left the tiles).
+    cycle_t next = refills_.next_ready();
+    for (const auto& [block, state] : searches_)
+        if (state.active)
+            next = std::min(next, std::max(now, state.gather_at));
+    return next;
+}
+
+std::uint64_t lnuca_cache::state_digest() const
+{
+    sim::state_hash h;
+    h.mix(counters_.digest());
+    h.mix(inject_queue_.size());
+    h.mix(evict_queue_.size());
+    h.mix(exit_queue_.size());
+    h.mix(downstream_queue_.size());
+    h.mix(refills_.size());
+    h.mix(refills_.next_ready());
+    h.mix(mshrs_.in_use());
+    h.mix(transport_actual_);
+    h.mix(transport_min_);
+    for (const std::uint64_t hits : level_read_hits_)
+        h.mix(hits);
+    for (const auto& fifo : root_arrivals_)
+        h.mix(fifo.total_size());
+    for (const tile& t : tiles_) {
+        h.mix(t.ma.has_value() ? t.ma->block : no_addr);
+        h.mix(t.ma_next.has_value() ? t.ma_next->block : no_addr);
+        h.mix(std::uint64_t(t.phase));
+        h.mix(t.pending_block);
+        for (const auto& fifo : t.d_in)
+            h.mix(fifo.total_size());
+        for (const auto& fifo : t.u_in)
+            h.mix(fifo.total_size());
+    }
+    for (const auto& [block, state] : searches_)
+        h.mix_unordered(block + (state.active ? 1 : 0) +
+                        (state.hit ? 2 : 0) + (state.marked ? 4 : 0) +
+                        state.gather_at * 8);
+    for (const auto& [txn, block] : outstanding_downstream_)
+        h.mix_unordered(txn * 0x9e3779b97f4a7c15ULL + block);
+    return h.value();
+}
+
 void lnuca_cache::process_downstream_responses(cycle_t now)
 {
     while (auto response = refills_.pop_ready(now)) {

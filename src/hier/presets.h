@@ -14,6 +14,7 @@
 #include "src/mem/bus.h"
 #include "src/mem/cache.h"
 #include "src/mem/main_memory.h"
+#include "src/sim/engine.h"
 
 #include <string>
 
@@ -44,6 +45,11 @@ struct system_config {
     /// that is the paper's premise (Section III-A).
     mem::bus_config l1_l2_bus{16, 2, 64};
     std::uint64_t seed = 1;
+    /// Engine scheduling. idle_skip is bit-identical to dense for every
+    /// config x workload (enforced by tests/hier_test.cpp) and several
+    /// times faster on idle-heavy hierarchies; paranoid cross-checks the
+    /// skip schedule while stepping densely (tests/CI).
+    sim::schedule_mode engine_mode = sim::schedule_mode::idle_skip;
 };
 
 namespace presets {

@@ -2,12 +2,15 @@
 
 #include "src/common/log.h"
 
+#include <chrono>
+
 namespace lnuca::hier {
 
 system::system(const system_config& config, const wl::workload_profile& workload,
                std::uint64_t seed)
     : config_(config)
 {
+    engine_.set_mode(config.engine_mode);
     stream_ = wl::make_stream(workload, hash64(seed ^ hash64(0x5770)));
     core_ = std::make_unique<cpu::ooo_core>(config.core, *stream_, ids_);
 
@@ -183,6 +186,7 @@ run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
 
     core_->reset_stats();
     const cycle_t measure_start = engine_.now();
+    const auto host_start = std::chrono::steady_clock::now();
 
     core_->set_instruction_limit(instructions);
     const bool finished =
@@ -190,6 +194,10 @@ run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
     if (!finished)
         LNUCA_WARN("run hit the cycle ceiling before committing ",
                    instructions, " instructions");
+    const double host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
 
     run_result r;
     r.config_name = config_.name;
@@ -198,6 +206,11 @@ run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
     r.instructions = core_->committed();
     r.cycles = engine_.now() - measure_start;
     r.ipc = r.cycles == 0 ? 0.0 : double(r.instructions) / double(r.cycles);
+    r.host_seconds = host_seconds;
+    r.sim_cycles_per_second =
+        host_seconds > 0.0 ? double(r.cycles) / host_seconds : 0.0;
+    r.sim_instructions_per_second =
+        host_seconds > 0.0 ? double(r.instructions) / host_seconds : 0.0;
 
     if (l2_)
         r.l2_read_hits = counter_delta(l2_->counters(), "read_hit", l2_snap);

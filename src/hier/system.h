@@ -51,6 +51,13 @@ struct run_result {
     std::uint64_t loads_dnuca = 0;
     std::uint64_t loads_memory = 0;
     double avg_load_latency = 0.0;
+
+    // Host-side throughput of the measurement window. These are the only
+    // fields that are *not* deterministic - exclude them from bit-identity
+    // comparisons (exp_test/hier_test do).
+    double host_seconds = 0.0;
+    double sim_cycles_per_second = 0.0;    ///< cycles / host_seconds
+    double sim_instructions_per_second = 0.0;
 };
 
 class system {

@@ -1,5 +1,7 @@
 #include "src/mem/bus.h"
 
+#include <algorithm>
+
 namespace lnuca::mem {
 
 bool bus::can_accept(const mem_request&) const
@@ -15,6 +17,28 @@ void bus::accept(const mem_request& request)
 void bus::respond(const mem_response& response)
 {
     up_.push(response.ready_at + config_.arbitration, response);
+}
+
+cycle_t bus::next_event(cycle_t now) const
+{
+    // Each channel acts when its earliest queued transfer matures; the
+    // free_at gates may defer that further, but waking early is merely a
+    // no-op tick (pop_ready still fails or the channel stays busy).
+    (void)now;
+    return std::min(down_.next_ready(), up_.next_ready());
+}
+
+std::uint64_t bus::state_digest() const
+{
+    sim::state_hash h;
+    h.mix(counters_.digest());
+    h.mix(down_.size());
+    h.mix(down_.next_ready());
+    h.mix(up_.size());
+    h.mix(up_.next_ready());
+    h.mix(down_free_at_);
+    h.mix(up_free_at_);
+    return h.value();
 }
 
 void bus::tick(cycle_t now)

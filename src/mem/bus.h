@@ -36,6 +36,8 @@ public:
     void respond(const mem_response& response) override;
 
     void tick(cycle_t now) override;
+    cycle_t next_event(cycle_t now) const override;
+    std::uint64_t state_digest() const override;
 
     const counter_set& counters() const { return counters_; }
     bool quiescent() const { return down_.empty() && up_.empty(); }

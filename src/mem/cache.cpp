@@ -2,6 +2,8 @@
 
 #include "src/common/log.h"
 
+#include <algorithm>
+
 namespace lnuca::mem {
 
 conventional_cache::conventional_cache(const cache_config& config, txn_id_source& ids)
@@ -65,6 +67,35 @@ void conventional_cache::accept(const mem_request& request)
 void conventional_cache::respond(const mem_response& response)
 {
     refills_.push(response.ready_at, response);
+}
+
+cycle_t conventional_cache::next_event(cycle_t now) const
+{
+    // Retry loops run every cycle until they drain: buffered input writes
+    // wait for an idle port, unissued misses and the write-buffer head poll
+    // the downstream level. Any of them makes the cache immediately busy.
+    if (!input_writes_.empty() || !wb_.empty() || mshrs_.any_unissued())
+        return now;
+    // Otherwise the only future work is time-stamped: finishing lookups and
+    // arriving refills.
+    return std::min(lookups_.next_ready(), refills_.next_ready());
+}
+
+std::uint64_t conventional_cache::state_digest() const
+{
+    sim::state_hash h;
+    h.mix(counters_.digest());
+    h.mix(lookups_.size());
+    h.mix(lookups_.next_ready());
+    h.mix(refills_.size());
+    h.mix(refills_.next_ready());
+    h.mix(input_writes_.size());
+    h.mix(wb_.size());
+    h.mix(mshrs_.in_use());
+    h.mix(mshrs_.any_unissued());
+    for (const cycle_t free_at : port_free_)
+        h.mix(free_at);
+    return h.value();
 }
 
 void conventional_cache::tick(cycle_t now)

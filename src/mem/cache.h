@@ -68,6 +68,8 @@ public:
 
     // ticked
     void tick(cycle_t now) override;
+    cycle_t next_event(cycle_t now) const override;
+    std::uint64_t state_digest() const override;
 
     const cache_config& config() const { return config_; }
     const counter_set& counters() const { return counters_; }

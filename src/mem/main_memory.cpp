@@ -1,5 +1,7 @@
 #include "src/mem/main_memory.h"
 
+#include <algorithm>
+
 namespace lnuca::mem {
 
 bool main_memory::can_accept(const mem_request&) const
@@ -18,6 +20,23 @@ cycle_t main_memory::unloaded_latency(std::uint32_t bytes) const
     const std::uint32_t chunks = chunks_for(bytes == 0 ? 1 : bytes);
     return config_.first_chunk_latency +
            cycle_t(chunks - 1) * config_.inter_chunk_latency;
+}
+
+cycle_t main_memory::next_event(cycle_t now) const
+{
+    if (queue_.empty())
+        return no_cycle;
+    // The head transfer starts as soon as the serialised data wires free up.
+    return std::max(now, wires_free_at_);
+}
+
+std::uint64_t main_memory::state_digest() const
+{
+    sim::state_hash h;
+    h.mix(counters_.digest());
+    h.mix(queue_.size());
+    h.mix(wires_free_at_);
+    return h.value();
 }
 
 void main_memory::tick(cycle_t now)

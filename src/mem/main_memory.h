@@ -28,6 +28,8 @@ public:
     bool can_accept(const mem_request& request) const override;
     void accept(const mem_request& request) override;
     void tick(cycle_t now) override;
+    cycle_t next_event(cycle_t now) const override;
+    std::uint64_t state_digest() const override;
 
     const counter_set& counters() const { return counters_; }
     bool quiescent() const { return queue_.empty(); }

@@ -48,6 +48,14 @@ std::optional<mshr_entry> mshr_file::release(addr_t block_addr)
     return std::nullopt;
 }
 
+bool mshr_file::any_unissued() const
+{
+    for (const auto& e : entries_)
+        if (!e.issued)
+            return true;
+    return false;
+}
+
 std::vector<mshr_entry*> mshr_file::unissued()
 {
     std::vector<mshr_entry*> out;

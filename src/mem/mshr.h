@@ -60,6 +60,10 @@ public:
     /// Entries not yet forwarded downstream (issue queue scan).
     std::vector<mshr_entry*> unissued();
 
+    /// Is any entry still waiting to be forwarded downstream? (idle-skip
+    /// next_event probe: an unissued miss retries every cycle.)
+    bool any_unissued() const;
+
 private:
     std::uint32_t capacity_;
     std::uint32_t max_targets_;

@@ -24,6 +24,11 @@ public:
     std::size_t size() const { return committed_.size(); }
     bool empty() const { return committed_.empty(); }
 
+    /// Nothing visible *or* staged: safe-to-sleep test for idle-skip
+    /// scheduling (a staged entry forces a commit, hence a tick, next cycle).
+    bool idle() const { return committed_.empty() && staged_.empty(); }
+    std::size_t total_size() const { return committed_.size() + staged_.size(); }
+
     /// On/Off back-pressure as seen by the upstream tile this cycle:
     /// Off (false) when committed + staged occupancy has reached capacity.
     bool on() const { return committed_.size() + staged_.size() < capacity_; }

@@ -99,7 +99,6 @@ port_dir mesh_network::opposite(port_dir d)
 
 void mesh_network::step(cycle_t now)
 {
-    (void)now;
     const std::uint32_t vcs = config_.virtual_channels;
 
     // Phase A: route computation + virtual-channel allocation for new heads.
@@ -138,12 +137,17 @@ void mesh_network::step(cycle_t now)
 
     // Phase B: switch allocation + traversal. One flit per output port per
     // cycle, round-robin over input VCs for fairness.
+    // The rotation pointer is a pure function of the cycle number (every
+    // router used to advance a member copy once per step, in lockstep), so
+    // arbitration fairness is independent of how many idle cycles the
+    // engine skipped.
+    const std::size_t slots = port_count * vcs;
+    const std::size_t rotate = std::size_t(now % slots);
     for (auto& r : routers_) {
         for (std::size_t out = 0; out < port_count; ++out) {
-            const std::size_t slots = port_count * vcs;
             bool sent = false;
             for (std::size_t k = 0; k < slots && !sent; ++k) {
-                const std::size_t slot = (r.rr_ + k) % slots;
+                const std::size_t slot = (rotate + k) % slots;
                 const std::size_t p = slot / vcs;
                 const std::uint32_t v = std::uint32_t(slot % vcs);
                 auto& ivc = r.inputs_[p].vcs[v];
@@ -189,7 +193,6 @@ void mesh_network::step(cycle_t now)
                 sent = true;
             }
         }
-        r.rr_ = (r.rr_ + 1) % (port_count * vcs);
     }
 
     // Make staged flits visible for the next cycle.
@@ -205,6 +208,19 @@ bool mesh_network::quiescent() const
         if (!r.quiescent())
             return false;
     return true;
+}
+
+std::uint64_t mesh_network::occupancy_digest() const
+{
+    std::uint64_t h = flit_hops_;
+    for (const auto& r : routers_) {
+        h = h * 0x100000001b3ULL + r.ejected_.size();
+        for (const auto& port : r.inputs_)
+            for (const auto& vc : port.vcs)
+                h = h * 0x100000001b3ULL + vc.buffer.total_size() * 8 +
+                    (vc.routed ? 4 : 0);
+    }
+    return h;
 }
 
 } // namespace lnuca::noc

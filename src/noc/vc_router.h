@@ -73,8 +73,9 @@ private:
     // Downstream credits per output port per VC (free buffer slots).
     std::array<std::vector<std::uint32_t>, port_count> credits_;
     // Output VC ownership for wormhole: encoded input (port * V + vc), -1 free.
+    // (Switch-allocation round-robin rotates by cycle number - see
+    // mesh_network::step - so routers hold no per-cycle arbitration state.)
     std::array<std::vector<std::int32_t>, port_count> vc_owner_;
-    std::uint32_t rr_ = 0; ///< round-robin arbitration pointer
     std::vector<flit> ejected_;
     counter_set counters_;
 };
@@ -99,6 +100,10 @@ public:
     std::uint64_t router_traversals() const { return flit_hops_; }
 
     bool quiescent() const;
+
+    /// Cheap summary of buffer/ejection occupancy across all routers
+    /// (paranoid-mode state digests; see sim/ticked.h).
+    std::uint64_t occupancy_digest() const;
 
     /// X-Y route: next hop direction from `from` towards `to`.
     static port_dir route_xy(coord from, coord to);

@@ -4,13 +4,19 @@
 // producer pushes with an explicit ready cycle, the consumer pops everything
 // whose time has come during its own tick. Ties preserve push order so the
 // simulation stays deterministic.
+//
+// Implemented as an owned binary min-heap rather than std::priority_queue:
+// popping moves the item out of the heap directly (std::priority_queue only
+// exposes a const top(), forcing a const_cast to move from it), reserve()
+// pre-sizes the backing store, and the (ready_at, seq) ordering is explicit
+// in one comparison function.
 #pragma once
 
 #include "src/common/types.h"
 
 #include <cstdint>
 #include <optional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace lnuca::sim {
@@ -20,43 +26,81 @@ class timed_queue {
 public:
     void push(cycle_t ready_at, T item)
     {
-        heap_.push(entry{ready_at, seq_++, std::move(item)});
+        heap_.push_back(entry{ready_at, seq_++, std::move(item)});
+        sift_up(heap_.size() - 1);
     }
 
     /// Pop the oldest item with ready_at <= now, if any.
     std::optional<T> pop_ready(cycle_t now)
     {
-        if (heap_.empty() || heap_.top().ready_at > now)
+        if (heap_.empty() || heap_.front().ready_at > now)
             return std::nullopt;
-        T item = std::move(const_cast<entry&>(heap_.top()).item);
-        heap_.pop();
+        T item = std::move(heap_.front().item);
+        if (heap_.size() > 1) {
+            heap_.front() = std::move(heap_.back());
+            heap_.pop_back();
+            sift_down(0);
+        } else {
+            heap_.pop_back();
+        }
         return item;
     }
 
     /// Cycle of the earliest pending item (no_cycle when empty).
     cycle_t next_ready() const
     {
-        return heap_.empty() ? no_cycle : heap_.top().ready_at;
+        return heap_.empty() ? no_cycle : heap_.front().ready_at;
     }
 
     bool empty() const { return heap_.empty(); }
     std::size_t size() const { return heap_.size(); }
+    void reserve(std::size_t n) { heap_.reserve(n); }
 
 private:
     struct entry {
         cycle_t ready_at;
         std::uint64_t seq;
         T item;
-
-        bool operator>(const entry& other) const
-        {
-            if (ready_at != other.ready_at)
-                return ready_at > other.ready_at;
-            return seq > other.seq;
-        }
     };
 
-    std::priority_queue<entry, std::vector<entry>, std::greater<>> heap_;
+    /// Strict weak order: earlier ready cycle first, push order on ties.
+    static bool before(const entry& a, const entry& b)
+    {
+        if (a.ready_at != b.ready_at)
+            return a.ready_at < b.ready_at;
+        return a.seq < b.seq;
+    }
+
+    void sift_up(std::size_t i)
+    {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!before(heap_[i], heap_[parent]))
+                return;
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    void sift_down(std::size_t i)
+    {
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t best = i;
+            const std::size_t left = 2 * i + 1;
+            const std::size_t right = 2 * i + 2;
+            if (left < n && before(heap_[left], heap_[best]))
+                best = left;
+            if (right < n && before(heap_[right], heap_[best]))
+                best = right;
+            if (best == i)
+                return;
+            std::swap(heap_[i], heap_[best]);
+            i = best;
+        }
+    }
+
+    std::vector<entry> heap_;
     std::uint64_t seq_ = 0;
 };
 

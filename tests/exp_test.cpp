@@ -8,6 +8,7 @@
 #include "src/exp/sweep.h"
 #include "src/hier/presets.h"
 #include "src/workloads/spec2006.h"
+#include "tests/run_result_compare.h"
 
 #include <gtest/gtest.h>
 
@@ -20,32 +21,13 @@ namespace lnuca::exp {
 namespace {
 
 // Bitwise equality of two run_results: the determinism contract says the
-// thread count and shard layout must not change a single field.
+// thread count and shard layout must not change a single field. The host
+// wall-clock/throughput fields are deliberately absent from the shared
+// comparator: they measure the host, not the simulation (the jsonl
+// round-trip test covers their serialisation instead).
 void expect_identical(const hier::run_result& a, const hier::run_result& b)
 {
-    EXPECT_EQ(a.config_name, b.config_name);
-    EXPECT_EQ(a.workload_name, b.workload_name);
-    EXPECT_EQ(a.floating_point, b.floating_point);
-    EXPECT_EQ(a.instructions, b.instructions);
-    EXPECT_EQ(a.cycles, b.cycles);
-    EXPECT_EQ(a.ipc, b.ipc);
-    EXPECT_EQ(a.l2_read_hits, b.l2_read_hits);
-    EXPECT_EQ(a.fabric_read_hits, b.fabric_read_hits);
-    EXPECT_EQ(a.transport_actual, b.transport_actual);
-    EXPECT_EQ(a.transport_min, b.transport_min);
-    EXPECT_EQ(a.search_restarts, b.search_restarts);
-    EXPECT_EQ(a.searches, b.searches);
-    EXPECT_EQ(a.energy.dynamic_j, b.energy.dynamic_j);
-    EXPECT_EQ(a.energy.static_l1_j, b.energy.static_l1_j);
-    EXPECT_EQ(a.energy.static_storage_j, b.energy.static_storage_j);
-    EXPECT_EQ(a.energy.static_l3_j, b.energy.static_l3_j);
-    EXPECT_EQ(a.loads_l1, b.loads_l1);
-    EXPECT_EQ(a.loads_fabric, b.loads_fabric);
-    EXPECT_EQ(a.loads_l2, b.loads_l2);
-    EXPECT_EQ(a.loads_l3, b.loads_l3);
-    EXPECT_EQ(a.loads_dnuca, b.loads_dnuca);
-    EXPECT_EQ(a.loads_memory, b.loads_memory);
-    EXPECT_EQ(a.avg_load_latency, b.avg_load_latency);
+    expect_sim_fields_identical(a, b);
 }
 
 sweep small_sweep()
@@ -235,6 +217,9 @@ hier::run_result synthetic_result()
     r.loads_dnuca = 55;
     r.loads_memory = 66;
     r.avg_load_latency = 7.0999999999999996;
+    r.host_seconds = 0.12345678901234567;
+    r.sim_cycles_per_second = 8.0012345678901234e9;
+    r.sim_instructions_per_second = 1.0000000000000002e9;
     return r;
 }
 
@@ -261,6 +246,10 @@ TEST(jsonl, round_trip_is_exact)
     EXPECT_EQ(decoded->instructions_requested, j.instructions);
     EXPECT_EQ(decoded->warmup, j.warmup);
     expect_identical(decoded->result, r);
+    EXPECT_EQ(decoded->result.host_seconds, r.host_seconds);
+    EXPECT_EQ(decoded->result.sim_cycles_per_second, r.sim_cycles_per_second);
+    EXPECT_EQ(decoded->result.sim_instructions_per_second,
+              r.sim_instructions_per_second);
 
     // Encoding the decoded run reproduces the exact bytes.
     job j2 = j;
@@ -344,7 +333,7 @@ TEST(run_app_options, parses_the_shared_flags)
                           "3",               "--threads",      "8",
                           "--shard",         "2/5",            "--json",
                           "out.jsonl",       "--replicates",   "4",
-                          "--quiet"};
+                          "--engine",        "paranoid",       "--quiet"};
     const cli_args args(int(sizeof argv / sizeof *argv), argv);
     const app_options opt = parse_app_options(args);
     EXPECT_EQ(opt.instructions, 7000u);
@@ -355,7 +344,19 @@ TEST(run_app_options, parses_the_shared_flags)
     EXPECT_EQ(opt.shard_count, 5u);
     EXPECT_EQ(opt.json_path, "out.jsonl");
     EXPECT_EQ(opt.replicates, 4u);
+    EXPECT_EQ(opt.engine_mode, sim::schedule_mode::paranoid);
     EXPECT_TRUE(opt.quiet);
+}
+
+TEST(run_app_options, engine_defaults_to_idle_skip)
+{
+    const char* argv[] = {"bench"};
+    const app_options opt = parse_app_options(cli_args(1, argv));
+    EXPECT_EQ(opt.engine_mode, sim::schedule_mode::idle_skip);
+
+    const char* dense_argv[] = {"bench", "--engine", "dense"};
+    EXPECT_EQ(parse_app_options(cli_args(3, dense_argv)).engine_mode,
+              sim::schedule_mode::dense);
 }
 
 TEST(run_app_options, bad_shard_falls_back_to_full_sweep)

@@ -2,6 +2,7 @@
 #include "src/hier/presets.h"
 #include "src/hier/system.h"
 #include "src/workloads/spec2006.h"
+#include "tests/run_result_compare.h"
 
 #include <gtest/gtest.h>
 
@@ -165,6 +166,102 @@ TEST(system, loads_distribute_across_levels)
     EXPECT_GT(r.loads_fabric, 0u);
     EXPECT_GT(r.loads_l3 + r.loads_memory, 0u);
     EXPECT_EQ(r.loads_l2, 0u); // no L2 in this hierarchy
+}
+
+// ---------------------------------------------------------------------------
+// Idle-skip engine: bit-identity with dense stepping (the refactor's core
+// guarantee) across every preset hierarchy x a representative workload mix.
+// ---------------------------------------------------------------------------
+
+std::vector<system_config> all_presets()
+{
+    return {presets::l2_256kb(),     presets::lnuca_l3(2),
+            presets::lnuca_l3(3),    presets::lnuca_l3(4),
+            presets::dnuca_4x8(),    presets::lnuca_dnuca(2),
+            presets::lnuca_dnuca(3), presets::lnuca_dnuca(4)};
+}
+
+struct engine_case {
+    std::size_t config;
+    const char* workload;
+};
+
+class engine_bit_identity : public ::testing::TestWithParam<engine_case> {};
+
+TEST_P(engine_bit_identity, dense_and_idle_skip_agree_on_every_field)
+{
+    const auto param = GetParam();
+    system_config config = all_presets()[param.config];
+    const auto workload = *wl::find_spec2006(param.workload);
+
+    config.engine_mode = sim::schedule_mode::dense;
+    const auto dense = run_one(config, workload, 2500, 500, 7);
+    config.engine_mode = sim::schedule_mode::idle_skip;
+    const auto skip = run_one(config, workload, 2500, 500, 7);
+    // Every simulation field, including the energy breakdown; only the
+    // host-timing trio is excluded (nondeterministic by design).
+    expect_sim_fields_identical(dense, skip);
+    EXPECT_GT(skip.cycles, 0u);
+}
+
+// The full preset list crossed with an INT/FP, cache-friendly/memory-bound
+// workload mix: the idle-heavy configs (conventional, D-NUCA) are where
+// skipping is aggressive, the L-NUCA fabrics are where it is subtle.
+INSTANTIATE_TEST_SUITE_P(
+    presets_x_workloads, engine_bit_identity,
+    ::testing::Values(
+        engine_case{0, "456.hmmer"}, engine_case{0, "429.mcf"},
+        engine_case{0, "470.lbm"}, engine_case{0, "433.milc"},
+        engine_case{1, "456.hmmer"}, engine_case{1, "429.mcf"},
+        engine_case{1, "470.lbm"}, engine_case{1, "433.milc"},
+        engine_case{2, "456.hmmer"}, engine_case{2, "429.mcf"},
+        engine_case{2, "470.lbm"}, engine_case{2, "433.milc"},
+        engine_case{3, "456.hmmer"}, engine_case{3, "429.mcf"},
+        engine_case{3, "470.lbm"}, engine_case{3, "433.milc"},
+        engine_case{4, "456.hmmer"}, engine_case{4, "429.mcf"},
+        engine_case{4, "470.lbm"}, engine_case{4, "433.milc"},
+        engine_case{5, "456.hmmer"}, engine_case{5, "429.mcf"},
+        engine_case{5, "470.lbm"}, engine_case{5, "433.milc"},
+        engine_case{6, "456.hmmer"}, engine_case{6, "429.mcf"},
+        engine_case{6, "470.lbm"}, engine_case{6, "433.milc"},
+        engine_case{7, "456.hmmer"}, engine_case{7, "429.mcf"},
+        engine_case{7, "470.lbm"}, engine_case{7, "433.milc"}));
+
+TEST(engine_modes, paranoid_cross_check_passes_on_every_hierarchy_kind)
+{
+    // Dense stepping that digests component state across every cycle the
+    // skip schedule would have jumped: a dishonest next_event() in any
+    // component throws engine_paranoia_error.
+    const auto workload = *wl::find_spec2006("429.mcf");
+    for (std::size_t c : {std::size_t(0), std::size_t(2), std::size_t(4),
+                          std::size_t(5)}) {
+        system_config config = all_presets()[c];
+        config.engine_mode = sim::schedule_mode::paranoid;
+        EXPECT_NO_THROW(run_one(config, workload, 1500, 300, 11))
+            << config.name;
+    }
+}
+
+TEST(engine_modes, idle_skip_actually_skips_on_a_conventional_hierarchy)
+{
+    // The refactor's point: a memory-bound run on the conventional
+    // hierarchy spends most cycles with every component idle.
+    system_config config = presets::l2_256kb();
+    config.engine_mode = sim::schedule_mode::idle_skip;
+    system sys(config, *wl::find_spec2006("429.mcf"), 3);
+    sys.run(4000, 800);
+    EXPECT_GT(sys.engine().cycles_skipped(), 0u);
+    EXPECT_EQ(sys.engine().cycles_executed() + sys.engine().cycles_skipped(),
+              sys.engine().now());
+}
+
+TEST(engine_modes, host_throughput_fields_are_populated)
+{
+    const auto r = run_one(presets::l2_256kb(), *wl::find_spec2006("429.mcf"),
+                           4000, 800, 3);
+    EXPECT_GT(r.host_seconds, 0.0);
+    EXPECT_GT(r.sim_cycles_per_second, 0.0);
+    EXPECT_GT(r.sim_instructions_per_second, 0.0);
 }
 
 TEST(run_matrix, parallel_matches_serial)

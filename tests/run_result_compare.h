@@ -1,0 +1,43 @@
+// Shared bit-identity comparator for hier::run_result, used by both the
+// exp determinism tests (thread count / shard layout must not change a
+// field) and the engine-schedule tests (dense vs idle-skip must not change
+// a field). Compares every simulation field; the host-timing trio
+// (host_seconds and the derived throughput rates) is deliberately absent —
+// it measures the host, not the simulation.
+#pragma once
+
+#include "src/hier/system.h"
+
+#include <gtest/gtest.h>
+
+namespace lnuca {
+
+inline void expect_sim_fields_identical(const hier::run_result& a,
+                                        const hier::run_result& b)
+{
+    EXPECT_EQ(a.config_name, b.config_name);
+    EXPECT_EQ(a.workload_name, b.workload_name);
+    EXPECT_EQ(a.floating_point, b.floating_point);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.l2_read_hits, b.l2_read_hits);
+    EXPECT_EQ(a.fabric_read_hits, b.fabric_read_hits);
+    EXPECT_EQ(a.transport_actual, b.transport_actual);
+    EXPECT_EQ(a.transport_min, b.transport_min);
+    EXPECT_EQ(a.search_restarts, b.search_restarts);
+    EXPECT_EQ(a.searches, b.searches);
+    EXPECT_EQ(a.energy.dynamic_j, b.energy.dynamic_j);
+    EXPECT_EQ(a.energy.static_l1_j, b.energy.static_l1_j);
+    EXPECT_EQ(a.energy.static_storage_j, b.energy.static_storage_j);
+    EXPECT_EQ(a.energy.static_l3_j, b.energy.static_l3_j);
+    EXPECT_EQ(a.loads_l1, b.loads_l1);
+    EXPECT_EQ(a.loads_fabric, b.loads_fabric);
+    EXPECT_EQ(a.loads_l2, b.loads_l2);
+    EXPECT_EQ(a.loads_l3, b.loads_l3);
+    EXPECT_EQ(a.loads_dnuca, b.loads_dnuca);
+    EXPECT_EQ(a.loads_memory, b.loads_memory);
+    EXPECT_EQ(a.avg_load_latency, b.avg_load_latency);
+}
+
+} // namespace lnuca

@@ -1,9 +1,13 @@
 // Engine and timed-queue semantics: the timing contract everything else
-// builds on.
+// builds on, including the idle-skip scheduler (next_event lower bounds,
+// event-boundary predicate evaluation, paranoid cross-checking).
 #include "src/sim/engine.h"
 #include "src/sim/timed_queue.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
 
 namespace lnuca::sim {
 namespace {
@@ -38,6 +42,94 @@ TEST(timed_queue, next_ready_and_empty)
     q.push(7, 0);
     EXPECT_EQ(q.next_ready(), 7u);
     EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(timed_queue, next_ready_tracks_pops_and_reinsertion)
+{
+    timed_queue<int> q;
+    q.push(9, 1);
+    q.push(4, 2);
+    EXPECT_EQ(q.next_ready(), 4u);
+    EXPECT_EQ(*q.pop_ready(4), 2);
+    EXPECT_EQ(q.next_ready(), 9u);
+    EXPECT_FALSE(q.pop_ready(8).has_value());
+    q.push(0, 3); // overdue entries surface immediately
+    EXPECT_EQ(q.next_ready(), 0u);
+    EXPECT_EQ(*q.pop_ready(8), 3);
+    EXPECT_EQ(*q.pop_ready(9), 1);
+    EXPECT_EQ(q.next_ready(), no_cycle);
+}
+
+TEST(timed_queue, same_cycle_push_is_visible_and_zero_works)
+{
+    timed_queue<int> q;
+    q.push(0, 1);
+    EXPECT_EQ(q.next_ready(), 0u);
+    EXPECT_EQ(*q.pop_ready(0), 1);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(timed_queue, heap_preserves_push_order_under_interleaving)
+{
+    // Stress the owned binary heap against a reference sort: random ready
+    // cycles with heavy ties, popped in stages, must come out in
+    // (ready_at, push order). A deterministic LCG keeps the test stable.
+    timed_queue<int> q;
+    q.reserve(256);
+    std::vector<std::pair<cycle_t, int>> reference;
+    std::uint64_t lcg = 12345;
+    int id = 0;
+    auto push_some = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+            const cycle_t at = (lcg >> 33) % 8; // few buckets -> many ties
+            q.push(at, id);
+            reference.emplace_back(at, id);
+            ++id;
+        }
+    };
+    auto drain_until = [&](cycle_t now, std::vector<int>& out) {
+        while (auto v = q.pop_ready(now))
+            out.push_back(*v);
+    };
+
+    std::vector<int> popped;
+    push_some(100);
+    drain_until(3, popped);
+    push_some(100);
+    drain_until(no_cycle, popped);
+
+    // Expected order: stable sort by ready cycle within each drain phase.
+    std::vector<int> expected;
+    auto take = [&](std::size_t begin, std::size_t end, cycle_t now) {
+        std::vector<std::pair<cycle_t, int>> phase(
+            reference.begin() + std::ptrdiff_t(begin),
+            reference.begin() + std::ptrdiff_t(end));
+        std::stable_sort(phase.begin(), phase.end(),
+                         [](const auto& a, const auto& b) {
+                             return a.first < b.first;
+                         });
+        std::vector<std::pair<cycle_t, int>> left;
+        for (const auto& [at, v] : phase) {
+            if (at <= now)
+                expected.push_back(v);
+            else
+                left.push_back({at, v});
+        }
+        return left;
+    };
+    auto leftover = take(0, 100, 3);
+    std::vector<std::pair<cycle_t, int>> phase2(reference.begin() + 100,
+                                                reference.end());
+    leftover.insert(leftover.end(), phase2.begin(), phase2.end());
+    std::stable_sort(leftover.begin(), leftover.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+    for (const auto& [at, v] : leftover)
+        expected.push_back(v);
+
+    EXPECT_EQ(popped, expected);
 }
 
 struct counter_component final : ticked {
@@ -100,6 +192,208 @@ TEST(engine, run_until_budget_exhausted)
     const bool done = e.run_until([] { return false; }, 25);
     EXPECT_FALSE(done);
     EXPECT_EQ(e.now(), 25u);
+}
+
+// ---------------------------------------------------------------------------
+// Idle-skip scheduling.
+// ---------------------------------------------------------------------------
+
+/// Acts (mutates observable state) exactly at the scheduled cycles and
+/// reports an honest next_event lower bound.
+struct scripted_component final : ticked {
+    std::vector<cycle_t> schedule; ///< sorted
+    std::vector<cycle_t> acted;
+    int ticks = 0;
+
+    explicit scripted_component(std::vector<cycle_t> s) : schedule(std::move(s)) {}
+
+    void tick(cycle_t now) override
+    {
+        ++ticks;
+        if (std::binary_search(schedule.begin(), schedule.end(), now))
+            acted.push_back(now);
+    }
+
+    cycle_t next_event(cycle_t now) const override
+    {
+        const auto it =
+            std::lower_bound(schedule.begin(), schedule.end(), now);
+        return it == schedule.end() ? no_cycle : *it;
+    }
+
+    std::uint64_t state_digest() const override { return acted.size(); }
+};
+
+TEST(engine_idle_skip, ticks_exactly_the_event_cycles)
+{
+    engine e;
+    e.set_mode(schedule_mode::idle_skip);
+    scripted_component c({3, 7, 20});
+    e.add(c);
+    e.run(25);
+    EXPECT_EQ(e.now(), 25u);
+    // Never skipped past a cycle where the component would have acted...
+    EXPECT_EQ(c.acted, (std::vector<cycle_t>{3, 7, 20}));
+    // ...and never woken in between.
+    EXPECT_EQ(c.ticks, 3);
+    EXPECT_EQ(e.cycles_executed(), 3u);
+    EXPECT_EQ(e.cycles_skipped(), 22u);
+}
+
+TEST(engine_idle_skip, run_lands_exactly_on_the_target_cycle)
+{
+    engine e;
+    e.set_mode(schedule_mode::idle_skip);
+    scripted_component c({100});
+    e.add(c);
+    e.run(10);
+    EXPECT_EQ(e.now(), 10u);
+    EXPECT_EQ(c.ticks, 0);
+    e.run(100);
+    EXPECT_EQ(e.now(), 110u);
+    EXPECT_EQ(c.acted, (std::vector<cycle_t>{100}));
+}
+
+TEST(engine_idle_skip, default_next_event_keeps_dense_behaviour)
+{
+    engine e;
+    e.set_mode(schedule_mode::idle_skip);
+    counter_component c; // no next_event override -> never skippable
+    e.add(c);
+    e.run(10);
+    EXPECT_EQ(c.ticks, 10);
+    EXPECT_EQ(e.cycles_skipped(), 0u);
+}
+
+TEST(engine_idle_skip, run_until_fires_at_event_boundaries_like_dense)
+{
+    for (const auto mode : {schedule_mode::dense, schedule_mode::idle_skip,
+                            schedule_mode::paranoid}) {
+        engine e;
+        e.set_mode(mode);
+        scripted_component c({3, 7, 20});
+        e.add(c);
+        const bool done =
+            e.run_until([&] { return c.acted.size() >= 2; }, 1000);
+        EXPECT_TRUE(done);
+        // The predicate became true during cycle 7; every mode must stop
+        // with now() == 8, exactly as dense per-cycle evaluation does.
+        EXPECT_EQ(e.now(), 8u) << "mode " << int(mode);
+    }
+}
+
+TEST(engine_idle_skip, no_future_event_jumps_to_the_budget)
+{
+    engine e;
+    e.set_mode(schedule_mode::idle_skip);
+    scripted_component c({}); // never acts
+    e.add(c);
+    const bool done = e.run_until([] { return false; }, 5000);
+    EXPECT_FALSE(done);
+    EXPECT_EQ(e.now(), 5000u);
+    EXPECT_EQ(e.cycles_executed(), 0u);
+    EXPECT_EQ(e.cycles_skipped(), 5000u);
+}
+
+TEST(engine_idle_skip, overdue_events_clamp_to_now)
+{
+    // A component whose bound lies in the past must run immediately, not
+    // wind the engine backwards.
+    struct overdue final : ticked {
+        int ticks = 0;
+        void tick(cycle_t) override { ++ticks; }
+        cycle_t next_event(cycle_t) const override { return 0; }
+    };
+    engine e;
+    e.set_mode(schedule_mode::idle_skip);
+    overdue c;
+    e.add(c);
+    e.run(5);
+    EXPECT_EQ(c.ticks, 5);
+    EXPECT_EQ(e.now(), 5u);
+}
+
+TEST(engine_paranoid, honest_components_pass)
+{
+    engine e;
+    e.set_mode(schedule_mode::paranoid);
+    scripted_component c({2, 9});
+    e.add(c);
+    EXPECT_NO_THROW(e.run(20));
+    EXPECT_EQ(c.acted, (std::vector<cycle_t>{2, 9}));
+    EXPECT_EQ(c.ticks, 20); // paranoid steps densely
+    EXPECT_EQ(e.cycles_skipped(), 18u);
+}
+
+TEST(engine_paranoid, catches_a_dishonest_next_event)
+{
+    // Claims to be idle forever but mutates observable state every tick.
+    struct liar final : ticked {
+        std::uint64_t state = 0;
+        void tick(cycle_t) override { ++state; }
+        cycle_t next_event(cycle_t) const override { return no_cycle; }
+        std::uint64_t state_digest() const override { return state; }
+    };
+    engine e;
+    e.set_mode(schedule_mode::paranoid);
+    liar c;
+    e.add(c);
+    EXPECT_THROW(e.run(5), engine_paranoia_error);
+}
+
+TEST(engine_idle_skip, producer_consumer_matches_dense_bit_for_bit)
+{
+    // A two-stage pipeline over timed_queue: the producer emits a value
+    // every 10 cycles, the consumer sees it 3 cycles later. Dense and
+    // idle-skip must agree on every observation timestamp.
+    struct producer final : ticked {
+        timed_queue<cycle_t>* out = nullptr;
+        cycle_t next_emit = 5;
+        void tick(cycle_t now) override
+        {
+            if (now == next_emit) {
+                out->push(now + 3, now);
+                next_emit += 10;
+            }
+        }
+        cycle_t next_event(cycle_t now) const override
+        {
+            return std::max(now, next_emit);
+        }
+        std::uint64_t state_digest() const override { return next_emit; }
+    };
+    struct consumer final : ticked {
+        timed_queue<cycle_t> in;
+        std::vector<std::pair<cycle_t, cycle_t>> seen; ///< (cycle, payload)
+        void tick(cycle_t now) override
+        {
+            while (auto v = in.pop_ready(now))
+                seen.emplace_back(now, *v);
+        }
+        cycle_t next_event(cycle_t) const override { return in.next_ready(); }
+        std::uint64_t state_digest() const override
+        {
+            return seen.size() * 131 + in.size();
+        }
+    };
+
+    auto run = [](schedule_mode mode) {
+        engine e;
+        e.set_mode(mode);
+        producer p;
+        consumer c;
+        p.out = &c.in;
+        e.add(p);
+        e.add(c);
+        e.run(64);
+        return c.seen;
+    };
+    const auto dense = run(schedule_mode::dense);
+    const auto skip = run(schedule_mode::idle_skip);
+    const auto paranoid = run(schedule_mode::paranoid);
+    ASSERT_EQ(dense.size(), 6u);
+    EXPECT_EQ(dense, skip);
+    EXPECT_EQ(dense, paranoid);
 }
 
 } // namespace
