@@ -1,0 +1,229 @@
+// Zero-allocation executed-cycle hot path: measurement and enforcement.
+//
+// Two jobs in one binary:
+//
+//  1. A steady-state allocation gate that runs the saturated presets under
+//     a counting global allocator and FAILS (exit 1) if any executed cycle
+//     of the measurement window touches the heap. CI runs this as the
+//     perf-smoke step; the zero-allocation invariant of DESIGN.md's
+//     "Anatomy of an executed cycle" section is enforced here, not by
+//     review.
+//  2. google-benchmark timings of saturated-preset whole-system simulation
+//     (cycles/second and allocations/cycle as reported counters), emitted
+//     as BENCH_hotpath.json by CI next to BENCH_engine.json.
+//
+// "Saturated" means the core acts nearly every cycle (a cache-resident
+// 456.hmmer proxy), i.e. the idle-skip engine cannot delete cycles and all
+// the cost sits in the executed-cycle data plane this gate protects.
+#include "src/lnuca.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <execinfo.h>
+#include <new>
+
+// The replacement operator new routes through malloc; GCC's inliner then
+// flags ordinary `delete` call sites as mismatched with malloc. The pairing
+// is correct (our delete frees with free), so silence the false positive.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+// ---------------------------------------------------------------------------
+// Counting global allocator. Replacing operator new/delete binary-wide is
+// the hook google-benchmark itself and the standard library route through,
+// so the count covers every heap allocation in the process.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_trap{false}; // debug aid: abort on first gated allocation
+}
+
+void* operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (g_trap.load(std::memory_order_relaxed)) {
+        void* frames[32];
+        const int n = ::backtrace(frames, 32);
+        ::backtrace_symbols_fd(frames, n, 2);
+        std::abort();
+    }
+    if (void* p = std::malloc(size == 0 ? 1 : size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept
+{
+    return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#if defined(__cpp_aligned_new)
+void* operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(std::size_t(align),
+                                     (size + std::size_t(align) - 1) &
+                                         ~(std::size_t(align) - 1)))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+#endif
+
+namespace {
+
+using namespace lnuca;
+
+struct hotpath_case {
+    const char* name;
+    hier::system_config config;
+};
+
+std::vector<hotpath_case> saturated_cases()
+{
+    std::vector<hotpath_case> cases;
+    cases.push_back({"L2-256KB", hier::presets::l2_256kb()});
+    cases.push_back({"LN3-144KB", hier::presets::lnuca_l3(3)});
+    for (auto& c : cases)
+        c.config.engine_mode = sim::schedule_mode::dense; // every cycle executes
+    return cases;
+}
+
+const wl::workload_profile& saturated_workload()
+{
+    static const wl::workload_profile w = *wl::find_spec2006("456.hmmer");
+    return w;
+}
+
+/// Run `instructions` more committed instructions without resetting stats
+/// (reset would re-create counters and allocate); returns executed cycles.
+cycle_t run_more(hier::system& sys, std::uint64_t instructions)
+{
+    const cycle_t start = sys.engine().now();
+    sys.core().set_instruction_limit(sys.core().committed() + instructions);
+    sys.engine().run_until([&] { return sys.core().done(); },
+                           start + 400 * instructions + 2'000'000);
+    return sys.engine().now() - start;
+}
+
+// ---------------------------------------------------------------------------
+// The gate: after warm-up, a measurement window of a saturated dense run
+// must perform zero heap allocations.
+// ---------------------------------------------------------------------------
+constexpr std::uint64_t gate_warmup_instructions = 60'000;
+constexpr std::uint64_t gate_window_instructions = 120'000;
+
+int run_gate()
+{
+    int failures = 0;
+    for (const hotpath_case& c : saturated_cases()) {
+        hier::system sys(c.config, saturated_workload(), 1);
+        run_more(sys, gate_warmup_instructions); // reach steady state
+
+        const std::uint64_t before = g_allocations.load();
+        if (std::getenv("HOTPATH_TRAP"))
+            g_trap.store(true);
+        const cycle_t cycles = run_more(sys, gate_window_instructions);
+        g_trap.store(false);
+        const std::uint64_t allocations = g_allocations.load() - before;
+
+        std::printf("hotpath gate: %-10s %10llu cycles, %llu allocations "
+                    "(%.6f/cycle) -> %s\n",
+                    c.name, (unsigned long long)cycles,
+                    (unsigned long long)allocations,
+                    cycles ? double(allocations) / double(cycles) : 0.0,
+                    allocations == 0 ? "OK" : "FAIL");
+        if (allocations != 0)
+            ++failures;
+    }
+    return failures;
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks: saturated cycles/second plus allocations/cycle as counters.
+// ---------------------------------------------------------------------------
+void bm_hotpath(benchmark::State& state, const hier::system_config& config)
+{
+    std::uint64_t cycles = 0, allocations = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        hier::system sys(config, saturated_workload(), 1);
+        run_more(sys, 20'000); // warm-up outside the timed window
+        state.ResumeTiming();
+        const std::uint64_t before = g_allocations.load();
+        cycles += run_more(sys, 40'000);
+        allocations += g_allocations.load() - before;
+    }
+    state.SetItemsProcessed(std::int64_t(cycles)); // items/s = cycles/s
+    state.counters["allocs_per_cycle"] =
+        cycles == 0 ? 0.0 : double(allocations) / double(cycles);
+}
+
+void bm_saturated_conventional(benchmark::State& s)
+{
+    auto config = hier::presets::l2_256kb();
+    config.engine_mode = sim::schedule_mode::dense;
+    bm_hotpath(s, config);
+}
+
+void bm_saturated_lnuca(benchmark::State& s)
+{
+    auto config = hier::presets::lnuca_l3(3);
+    config.engine_mode = sim::schedule_mode::dense;
+    bm_hotpath(s, config);
+}
+
+BENCHMARK(bm_saturated_conventional)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_saturated_lnuca)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    const int gate_failures = run_gate();
+    if (gate_failures != 0) {
+        std::fprintf(stderr,
+                     "hotpath gate FAILED: %d case(s) allocate in steady "
+                     "state\n",
+                     gate_failures);
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,8 +6,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace lnuca {
@@ -77,13 +79,46 @@ constexpr double safe_ratio(double num, double den, double if_zero = 0.0)
 /// Named counter bundle: insertion-ordered, printable. Components expose one
 /// of these so tests and benches can introspect behaviour without bespoke
 /// accessor plumbing per statistic.
+///
+/// Hot-path contract: inc() takes a string_view (no temporary std::string)
+/// and resolves the name through an open-addressed hash index, so after a
+/// counter's first increment further increments perform no heap allocation
+/// and no linear string scan.
 class counter_set {
 public:
+    /// Stable reference to a counter: an index into items(). Handles stay
+    /// valid for the counter_set's lifetime (reset() zeroes values but
+    /// keeps the registered names precisely so handles survive it).
+    using handle = std::uint32_t;
+
     /// Increment (creating at zero on first use).
-    void inc(const std::string& name, std::uint64_t by = 1);
+    void inc(std::string_view name, std::uint64_t by = 1)
+    {
+        items_[slot_of(name)].second += by;
+    }
+
+    /// Handle-based increment for per-cycle hot sites: one indexed add, no
+    /// hashing or string comparison.
+    void inc(handle h, std::uint64_t by = 1) { items_[h].second += by; }
+
+    /// Find-or-create a counter and return its stable handle.
+    handle handle_of(std::string_view name)
+    {
+        return handle(slot_of(name));
+    }
+
+    /// Create counters at zero ahead of first use. Components preregister
+    /// every counter they can emit in their constructor, so a rare event
+    /// firing mid-run never allocates its name string on the hot path (the
+    /// zero-allocation gate in bench/micro_hotpath.cpp enforces this).
+    void preregister(std::initializer_list<std::string_view> names)
+    {
+        for (const std::string_view name : names)
+            (void)slot_of(name);
+    }
 
     /// Read a counter; absent counters read as zero.
-    std::uint64_t get(const std::string& name) const;
+    std::uint64_t get(std::string_view name) const;
 
     /// All counters in insertion order.
     const std::vector<std::pair<std::string, std::uint64_t>>& items() const
@@ -99,7 +134,14 @@ public:
     void reset();
 
 private:
+    static std::uint64_t hash(std::string_view name);
+    std::size_t slot_of(std::string_view name); ///< find-or-insert item index
+    void rebuild_index(std::size_t buckets);
+
     std::vector<std::pair<std::string, std::uint64_t>> items_;
+    /// Open addressing (linear probe), power-of-two size; stores item
+    /// index + 1, 0 = empty. Rebuilt when items_ outgrows half the table.
+    std::vector<std::uint32_t> index_;
 };
 
 } // namespace lnuca

@@ -17,6 +17,31 @@ ooo_core::ooo_core(const core_config& config, instruction_stream& stream,
       served_by_level_(8, 0),
       served_by_fabric_level_(16, 0)
 {
+    counters_.preregister(
+        {"fetched", "branches", "branch_mispredicts", "dispatch_wait_cycles",
+         "loads", "loads_issued", "loads_completed", "stores",
+         "stores_issued", "store_forwards", "dtlb_misses", "l1_port_retry",
+         "sb_full_stall", "orphan_responses"});
+    h_fetched_ = counters_.handle_of("fetched");
+    h_loads_ = counters_.handle_of("loads");
+    h_loads_issued_ = counters_.handle_of("loads_issued");
+    h_loads_completed_ = counters_.handle_of("loads_completed");
+    h_stores_ = counters_.handle_of("stores");
+    h_stores_issued_ = counters_.handle_of("stores_issued");
+    h_branches_ = counters_.handle_of("branches");
+    h_dispatch_wait_ = counters_.handle_of("dispatch_wait_cycles");
+    // Pre-size every hot-path container for its structural bound so
+    // steady-state ticks never allocate.
+    fetch_queue_.reserve(4 * config.fetch_width + config.fetch_width);
+    store_buffer_.reserve(config.store_buffer_size);
+    pending_loads_.reserve(config.lsq_size);
+    retry_scratch_.reserve(config.lsq_size);
+    rob_store_slots_.reserve(config.lsq_size);
+    completions_.reserve(config.rob_size);
+    delayed_mem_.reserve(config.lsq_size);
+    responses_.reserve(config.lsq_size + config.store_buffer_size);
+    for (auto& entry : rob_)
+        entry.dependents.reserve(8);
 }
 
 void ooo_core::respond(const mem::mem_response& response)
@@ -149,10 +174,16 @@ void ooo_core::release_window(const rob_entry& entry)
 void ooo_core::process_responses(cycle_t now)
 {
     while (auto response = responses_.pop_ready(now)) {
-        const auto it = pending_loads_.find(response->id);
-        if (it != pending_loads_.end()) {
-            const std::uint32_t slot = it->second;
-            pending_loads_.erase(it);
+        std::size_t pending = pending_loads_.size();
+        for (std::size_t i = 0; i < pending_loads_.size(); ++i)
+            if (pending_loads_[i].first == response->id) {
+                pending = i;
+                break;
+            }
+        if (pending != pending_loads_.size()) {
+            const std::uint32_t slot = pending_loads_[pending].second;
+            pending_loads_[pending] = pending_loads_.back();
+            pending_loads_.pop_back();
             rob_entry& entry = rob_[slot];
             entry.state = entry_state::done;
             release_window(entry);
@@ -163,7 +194,7 @@ void ooo_core::process_responses(cycle_t now)
                 ++served_by_level_[level];
             if (response->fabric_level < served_by_fabric_level_.size())
                 ++served_by_fabric_level_[response->fabric_level];
-            counters_.inc("loads_completed");
+            counters_.inc(h_loads_completed_);
             wake_dependents(slot, now);
             continue;
         }
@@ -198,10 +229,17 @@ void ooo_core::commit(cycle_t now)
                                      false});
             ++sb_unissued_;
             --lsq_used_;
+            for (std::size_t i = 0; i < rob_store_slots_.size(); ++i) {
+                if (rob_store_slots_[i] == rob_head_) {
+                    rob_store_slots_[i] = rob_store_slots_.back();
+                    rob_store_slots_.pop_back();
+                    break;
+                }
+            }
         } else if (head.inst.op == op_class::load) {
             --lsq_used_;
         } else if (head.inst.op == op_class::branch) {
-            counters_.inc("branches");
+            counters_.inc(h_branches_);
             if (head.mispredicted)
                 counters_.inc("branch_mispredicts");
         }
@@ -250,10 +288,10 @@ void ooo_core::writeback(cycle_t now)
     }
 
     // TLB walks finished / cache-port retries.
-    std::vector<std::uint32_t> retry;
+    retry_scratch_.clear();
     while (auto slot = delayed_mem_.pop_ready(now))
-        retry.push_back(*slot);
-    for (const std::uint32_t slot : retry)
+        retry_scratch_.push_back(*slot);
+    for (const std::uint32_t slot : retry_scratch_)
         start_load_access(slot, now);
 }
 
@@ -268,7 +306,7 @@ void ooo_core::start_load_access(std::uint32_t slot, cycle_t now)
         // Model the forward as an L1-class service for statistics.
         ++served_by_level_[std::size_t(mem::service_level::l1)];
         counters_.inc("store_forwards");
-        counters_.inc("loads_completed");
+        counters_.inc(h_loads_completed_);
         // Completion via the execution path; mark as normal op finishing.
         // (wake and state transition happen in writeback.)
         return;
@@ -288,8 +326,8 @@ void ooo_core::start_load_access(std::uint32_t slot, cycle_t now)
     dcache_->accept(request);
     entry.txn = request.id;
     entry.issued_at = now;
-    pending_loads_[request.id] = slot;
-    counters_.inc("loads_issued");
+    pending_loads_.emplace_back(request.id, slot);
+    counters_.inc(h_loads_issued_);
 }
 
 bool ooo_core::store_forwards(const instruction& load) const
@@ -303,11 +341,12 @@ bool ooo_core::store_forwards(const instruction& load) const
     for (const auto& sb : store_buffer_)
         if (overlaps(sb.addr, sb.size))
             return true;
-    // Older in-flight stores with computed addresses.
-    for (std::uint32_t n = 0; n < rob_count_; ++n) {
-        const rob_entry& e = rob_[(rob_head_ + n) % rob_.size()];
-        if (e.inst.op == op_class::store &&
-            (e.state == entry_state::issued || e.state == entry_state::done) &&
+    // Older in-flight stores with computed addresses. Only store-holding
+    // ROB slots are tracked (rob_store_slots_), so a load does not walk the
+    // whole ROB; overlap is a pure any-of, so slot order is irrelevant.
+    for (const std::uint32_t slot : rob_store_slots_) {
+        const rob_entry& e = rob_[slot];
+        if ((e.state == entry_state::issued || e.state == entry_state::done) &&
             overlaps(e.inst.addr, e.inst.size))
             return true;
     }
@@ -316,9 +355,15 @@ bool ooo_core::store_forwards(const instruction& load) const
 
 void ooo_core::issue(cycle_t now)
 {
+    if (ready_count_ == 0)
+        return; // nothing to scan: the ROB walk below is the core's hottest loop
     unsigned int_mem_issued = 0;
     unsigned fp_issued = 0;
-    for (std::uint32_t n = 0; n < rob_count_; ++n) {
+    // Visit ready entries oldest-first and stop as soon as every entry that
+    // was ready at scan start has been seen - the tail of a mostly-stalled
+    // ROB never gets walked.
+    unsigned remaining = ready_count_;
+    for (std::uint32_t n = 0; remaining > 0 && n < rob_count_; ++n) {
         if (int_mem_issued >= config_.int_mem_issue_width &&
             fp_issued >= config_.fp_issue_width)
             break;
@@ -326,6 +371,7 @@ void ooo_core::issue(cycle_t now)
         rob_entry& entry = rob_[slot];
         if (entry.state != entry_state::ready)
             continue;
+        --remaining;
 
         const bool fp = is_fp(entry.inst.op);
         if (fp) {
@@ -341,7 +387,7 @@ void ooo_core::issue(cycle_t now)
 
         switch (entry.inst.op) {
         case op_class::load: {
-            counters_.inc("loads");
+            counters_.inc(h_loads_);
             if (!dtlb_.access(entry.inst.addr)) {
                 counters_.inc("dtlb_misses");
                 delayed_mem_.push(now + config_.tlb_miss_latency, slot);
@@ -355,7 +401,7 @@ void ooo_core::issue(cycle_t now)
             break;
         }
         case op_class::store: {
-            counters_.inc("stores");
+            counters_.inc(h_stores_);
             cycle_t extra = 0;
             if (!dtlb_.access(entry.inst.addr)) {
                 counters_.inc("dtlb_misses");
@@ -396,13 +442,20 @@ void ooo_core::dispatch(cycle_t now)
         const fetched item = fetch_queue_.front();
         fetch_queue_.pop_front();
         if (now > item.ready_at)
-            counters_.inc("dispatch_wait_cycles", now - item.ready_at);
+            counters_.inc(h_dispatch_wait_, now - item.ready_at);
 
         const std::uint32_t slot =
             std::uint32_t((rob_head_ + rob_count_) % rob_.size());
         rob_entry& entry = rob_[slot];
-        entry = rob_entry{};
+        // Reset in place: re-assigning a fresh rob_entry would discard the
+        // dependents vector's capacity and re-allocate it on the next wake
+        // registration.
+        entry.dependents.clear();
         entry.inst = item.inst;
+        entry.state = entry_state::waiting;
+        entry.deps = 0;
+        entry.issued_at = no_cycle;
+        entry.txn = 0;
         entry.seq = next_seq_++;
         entry.mispredicted = item.mispredicted;
         entry.in_window = true;
@@ -411,6 +464,8 @@ void ooo_core::dispatch(cycle_t now)
         if (is_mem(item.inst.op)) {
             ++mem_used_;
             ++lsq_used_;
+            if (item.inst.op == op_class::store)
+                rob_store_slots_.push_back(slot);
         } else if (is_fp(item.inst.op)) {
             ++fp_used_;
         } else {
@@ -465,7 +520,7 @@ void ooo_core::fetch(cycle_t now)
         }
         fetch_queue_.push_back({now + config_.fetch_to_dispatch, inst,
                                 mispredicted});
-        counters_.inc("fetched");
+        counters_.inc(h_fetched_);
         if (mispredicted) {
             // Stop fetching until this branch resolves.
             fetch_blocked_ = true;
@@ -501,7 +556,7 @@ void ooo_core::drain_store_buffer(cycle_t now)
         sb.txn = request.id;
         sb.issued = true;
         --sb_unissued_;
-        counters_.inc("stores_issued");
+        counters_.inc(h_stores_issued_);
         return; // one per cycle
     }
 }

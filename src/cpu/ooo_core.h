@@ -16,6 +16,7 @@
 #pragma once
 
 #include "src/common/histogram.h"
+#include "src/common/ring_queue.h"
 #include "src/common/stats.h"
 #include "src/cpu/branch_predictor.h"
 #include "src/cpu/instruction.h"
@@ -24,8 +25,7 @@
 #include "src/sim/ticked.h"
 #include "src/sim/timed_queue.h"
 
-#include <deque>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace lnuca::cpu {
@@ -110,6 +110,8 @@ private:
         entry_state state = entry_state::waiting;
         unsigned deps = 0;                     ///< outstanding producers
         std::vector<std::uint32_t> dependents; ///< rob slots I wake
+                                               ///< (capacity recycled with
+                                               ///< the slot; see dispatch)
         cycle_t issued_at = no_cycle;
         txn_id_t txn = 0;
         bool mispredicted = false;
@@ -159,7 +161,7 @@ private:
         instruction inst;
         bool mispredicted;
     };
-    std::deque<fetched> fetch_queue_;
+    ring_queue<fetched> fetch_queue_;
     bool fetch_blocked_ = false;        ///< mispredict in flight
     std::uint64_t fetch_block_seq_ = 0; ///< branch that blocks fetch
     cycle_t fetch_stalled_until_ = 0;   ///< redirect penalty window
@@ -177,10 +179,16 @@ private:
 
     sim::timed_queue<std::uint32_t> completions_; ///< rob slots finishing
     sim::timed_queue<std::uint32_t> delayed_mem_; ///< TLB-miss / port retry
-    std::unordered_map<txn_id_t, std::uint32_t> pending_loads_;
+    /// In-flight demand loads (txn -> rob slot). Bounded by the LSQ, so a
+    /// flat array + linear scan beats a node-allocating hash map.
+    std::vector<std::pair<txn_id_t, std::uint32_t>> pending_loads_;
     sim::timed_queue<mem::mem_response> responses_;
 
-    std::deque<store_buffer_entry> store_buffer_;
+    ring_queue<store_buffer_entry> store_buffer_;
+    std::vector<std::uint32_t> retry_scratch_; ///< writeback() tick scratch
+    /// ROB slots currently holding stores (store_forwards() scans only
+    /// these instead of the whole ROB).
+    std::vector<std::uint32_t> rob_store_slots_;
 
     std::uint64_t limit_ = ~std::uint64_t{0};
     std::uint64_t committed_ = 0;
@@ -189,6 +197,15 @@ private:
     cycle_t cycles_base_ = 0;       ///< engine cycle the stats window began
 
     counter_set counters_;
+    // Handles for the per-instruction hot counters (see counter_set::inc).
+    counter_set::handle h_fetched_ = 0;
+    counter_set::handle h_loads_ = 0;
+    counter_set::handle h_loads_issued_ = 0;
+    counter_set::handle h_loads_completed_ = 0;
+    counter_set::handle h_stores_ = 0;
+    counter_set::handle h_stores_issued_ = 0;
+    counter_set::handle h_branches_ = 0;
+    counter_set::handle h_dispatch_wait_ = 0;
     histogram load_latency_{256};
     std::vector<std::uint64_t> served_by_level_;
     std::vector<std::uint64_t> served_by_fabric_level_;

@@ -26,8 +26,28 @@ dnuca_cache::dnuca_cache(const dnuca_config& config, mem::txn_id_source& ids)
             tc.policy = config.policy;
             tc.seed = config.seed + row * 97 + col;
             b.tags = std::make_unique<mem::tag_array>(tc);
+            b.probes.reserve(16);
+            b.write_probes.reserve(16);
+            b.outbox.queue.reserve(64);
+            b.lookups.reserve(8);
         }
     }
+    counters_.preregister(
+        {"read_probes", "write_probes", "writes_coalesced", "writes_filtered",
+         "mshr_merge", "inject_stall", "flits_injected", "bank_lookups",
+         "bank_read_hits", "bank_write_hits", "bank_writes", "promotions",
+         "promotion_spills", "migrations_delivered", "tail_evictions",
+         "read_hits", "read_misses", "write_installs", "fills_from_memory",
+         "untracked_response", "orphan_reply", "unexpected_bank_flit",
+         "unexpected_controller_flit"});
+    // Pre-size the controller-side queues: a probe set is `rows` flits and
+    // a data reply is flits_for_block(), so these bounds cover steady state
+    // without reallocation (growth stays possible for pathological bursts).
+    controller_outbox_.queue.reserve(256);
+    controller_write_outbox_.queue.reserve(512);
+    memory_queue_.reserve(128);
+    memory_responses_.reserve(config.mshr_entries + 8);
+    written_lines_.reserve(64);
 }
 
 bool dnuca_cache::can_accept(const mem::mem_request& request) const
@@ -39,7 +59,7 @@ bool dnuca_cache::can_accept(const mem::mem_request& request) const
     if (request.kind == mem::access_kind::read && request.needs_response) {
         const addr_t block = request.addr & ~addr_t(config_.block_bytes - 1);
         if (const auto* entry = mshrs_.find(block))
-            return entry->targets.size() < config_.mshr_secondary;
+            return entry->target_count < config_.mshr_secondary;
         return mshrs_.can_allocate();
     }
     return true;
@@ -55,15 +75,16 @@ void dnuca_cache::accept(const mem::mem_request& request)
         request.kind == mem::access_kind::read && request.needs_response;
 
     if (demand_read) {
-        if (mshrs_.find(block) != nullptr) {
-            mshrs_.merge(block, {request.id, request.addr, request.kind,
-                                 request.created_at});
+        if (mem::mshr_entry* entry = mshrs_.find(block)) {
+            mshrs_.add_target(*entry, {request.id, request.addr, request.kind,
+                                       request.created_at});
             counters_.inc("mshr_merge");
             return;
         }
         auto& entry = mshrs_.allocate(block, now);
-        entry.targets.push_back(
-            {request.id, request.addr, request.kind, request.created_at});
+        mshrs_.add_target(entry,
+                          {request.id, request.addr, request.kind,
+                           request.created_at});
     } else {
         // Coalesce write traffic per 128B line: the probe set in flight
         // already carries this line's update.
@@ -132,7 +153,7 @@ void dnuca_cache::send_packet(injector& from, noc::packet_kind kind,
         f.seq = std::uint16_t(s);
         f.count = std::uint16_t(flit_count);
         f.injected_at = now;
-        from.queue.push_back(f);
+        from.queue.push_back(std::move(f));
     }
 }
 
@@ -255,11 +276,12 @@ void dnuca_cache::process_memory_responses(cycle_t now)
         outstanding_memory_.erase(it);
 
         install_at_tail(now, block, /*dirty=*/false);
-        auto entry = mshrs_.release(block);
+        const auto entry = mshrs_.release(block);
         if (!entry)
             continue;
         if (upstream_ != nullptr) {
-            for (const auto& target : entry->targets) {
+            for (std::uint32_t t = 0; t < entry.target_count; ++t) {
+                const auto& target = entry.targets[t];
                 mem::mem_response up;
                 up.id = target.id;
                 up.addr = target.addr;
@@ -343,8 +365,7 @@ void dnuca_cache::run_banks(cycle_t now)
             if (b.busy_until <= now &&
                 (!b.probes.empty() || !b.write_probes.empty())) {
                 auto& queue = b.probes.empty() ? b.write_probes : b.probes;
-                const noc::flit probe = queue.front();
-                queue.pop_front();
+                const noc::flit probe = queue.take_front();
                 b.busy_until = now + config_.bank_initiation;
                 const cycle_t done = now + config_.bank_latency;
                 b.lookups.push(done > 0 ? done - 1 : 0, probe);
@@ -411,9 +432,10 @@ void dnuca_cache::controller_flit(cycle_t now, const noc::flit& f)
         if (f.count > 1) {
             // Data reply for a demand read.
             state.satisfied = true;
-            auto entry = mshrs_.release(state.block);
+            const auto entry = mshrs_.release(state.block);
             if (entry && upstream_ != nullptr) {
-                for (const auto& target : entry->targets) {
+                for (std::uint32_t t = 0; t < entry.target_count; ++t) {
+                    const auto& target = entry.targets[t];
                     mem::mem_response up;
                     up.id = target.id;
                     up.addr = target.addr;

@@ -15,6 +15,7 @@
 // exactly the structural bottleneck the L-NUCA paper criticises.
 #pragma once
 
+#include "src/common/ring_queue.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/mshr.h"
@@ -24,7 +25,6 @@
 #include "src/sim/ticked.h"
 #include "src/sim/timed_queue.h"
 
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -86,15 +86,15 @@ private:
     /// Flit source with wormhole injection state: flits of one packet stay
     /// on one VC, and packets never interleave within a queue.
     struct injector {
-        std::deque<noc::flit> queue;
+        ring_queue<noc::flit> queue;
         std::uint32_t vc = 0;
         bool mid_packet = false;
     };
 
     struct bank {
         std::unique_ptr<mem::tag_array> tags;
-        std::deque<noc::flit> probes;       ///< read probes awaiting the array
-        std::deque<noc::flit> write_probes; ///< writes yield to reads
+        ring_queue<noc::flit> probes;       ///< read probes awaiting the array
+        ring_queue<noc::flit> write_probes; ///< writes yield to reads
         cycle_t busy_until = 0;
         injector outbox;                ///< flits waiting to inject
         sim::timed_queue<noc::flit> lookups; ///< probes inside the array
@@ -164,7 +164,7 @@ private:
     std::vector<bank> banks_;
     injector controller_outbox_;        ///< read probes (priority)
     injector controller_write_outbox_;  ///< write probes (background)
-    std::deque<mem::mem_request> memory_queue_; ///< misses + writebacks out
+    ring_queue<mem::mem_request> memory_queue_; ///< misses + writebacks out
     mem::mshr_file mshrs_;
     std::unordered_map<std::uint64_t, request_state> requests_; ///< by group id
     /// Write probes in flight by block: later stores to the same 128B line

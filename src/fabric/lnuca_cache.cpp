@@ -3,6 +3,8 @@
 #include "src/common/log.h"
 
 #include <algorithm>
+#include <array>
+#include <stdexcept>
 
 namespace lnuca::fabric {
 
@@ -23,6 +25,7 @@ lnuca_cache::lnuca_cache(const fabric_config& config, mem::txn_id_source& ids)
       ids_(ids),
       geo_(config.levels),
       mshrs_(config.mshr_entries, config.mshr_secondary),
+      search_by_slot_(config.mshr_entries),
       rng_(config.seed),
       level_read_hits_(config.levels + 1, 0)
 {
@@ -49,19 +52,59 @@ lnuca_cache::lnuca_cache(const fabric_config& config, mem::txn_id_source& ids)
             else
                 d_out_[i].push_back({t, position_of(geo_.transport_inputs(t), i)});
         }
+        if (d_out_[i].size() > max_links)
+            throw std::logic_error("tile transport fan-out exceeds link mask");
     }
 
     // Replacement wiring. The r-tile's link lands in the extra (last) slot.
     u_out_.resize(geo_.tile_count());
-    for (tile_index i = 0; i < geo_.tile_count(); ++i)
+    for (tile_index i = 0; i < geo_.tile_count(); ++i) {
         for (const tile_index t : geo_.replacement_outputs(i))
             u_out_[i].push_back({t, position_of(geo_.replacement_inputs(t), i)});
+        if (u_out_[i].size() > max_links)
+            throw std::logic_error("tile replacement fan-out exceeds link mask");
+    }
     for (const tile_index t : geo_.root_replacement_outputs())
         root_u_out_.push_back(
             {t, std::uint32_t(geo_.replacement_inputs(t).size())});
 
     root_arrivals_.assign(geo_.root_transport_inputs().size(),
                           noc::sync_fifo<transport_msg>(config.tile.buffer_depth));
+
+    counters_.preregister(
+        {"evictions_in", "root_ubuffer_hit", "read_hit", "store_merged",
+         "mshr_merge", "searches_requested", "searches_injected",
+         "search_broadcast_hops", "tile_tag_lookups", "tile_hits",
+         "tile_data_reads", "tile_data_writes", "ubuffer_hits",
+         "store_hits_in_place", "store_hits_in_transit",
+         "transport_contention", "transport_hops", "transport_blocked",
+         "replacement_hops", "replacement_blocked", "install_conflicts",
+         "eviction_inject_blocked", "evictions_injected",
+         "miss_line_gathers", "search_restarts", "global_misses",
+         "false_global_misses", "exit_snoop_hits", "write_misses_out",
+         "blocks_delivered", "fills_from_next_level", "untracked_response",
+         "untracked_arrival", "orphan_search", "clean_exits_dropped",
+         "dirty_exits_written_back"});
+    h_tile_tag_lookups_ = counters_.handle_of("tile_tag_lookups");
+    h_search_broadcast_hops_ = counters_.handle_of("search_broadcast_hops");
+    h_transport_hops_ = counters_.handle_of("transport_hops");
+    h_transport_blocked_ = counters_.handle_of("transport_blocked");
+    h_tile_hits_ = counters_.handle_of("tile_hits");
+    h_tile_data_reads_ = counters_.handle_of("tile_data_reads");
+    h_tile_data_writes_ = counters_.handle_of("tile_data_writes");
+    h_replacement_hops_ = counters_.handle_of("replacement_hops");
+    h_searches_requested_ = counters_.handle_of("searches_requested");
+    h_searches_injected_ = counters_.handle_of("searches_injected");
+    h_miss_line_gathers_ = counters_.handle_of("miss_line_gathers");
+    h_global_misses_ = counters_.handle_of("global_misses");
+    h_blocks_delivered_ = counters_.handle_of("blocks_delivered");
+    // Pre-size the rings and the refill heap for their structural bounds so
+    // steady-state cycles never touch the allocator.
+    inject_queue_.reserve(config.inject_queue_depth + config.mshr_entries);
+    evict_queue_.reserve(config.evict_queue_depth);
+    exit_queue_.reserve(config.exit_queue_depth);
+    downstream_queue_.reserve(config.mshr_entries + config.exit_queue_depth + 16);
+    refills_.reserve(config.mshr_entries + 8);
 }
 
 bool lnuca_cache::can_accept(const mem::mem_request& request) const
@@ -71,16 +114,14 @@ bool lnuca_cache::can_accept(const mem::mem_request& request) const
 
     const addr_t block = request.addr & ~addr_t(config_.tile.block_bytes - 1);
     if (const auto* entry = mshrs_.find(block)) {
-        const auto state_it = searches_.find(block);
-        const bool pure_write =
-            state_it != searches_.end() && state_it->second.is_write;
+        const bool pure_write = state_of(*entry).is_write;
         if (!request.needs_response)
             return true; // stores absorb into the entry as a dirty merge
         // A demand access cannot merge into a fire-and-forget write search
         // (it would never be answered); it waits until that search drains.
         if (pure_write)
             return false;
-        return entry->targets.size() < config_.mshr_secondary;
+        return entry->target_count < config_.mshr_secondary;
     }
     return mshrs_.can_allocate() &&
            inject_queue_.size() < config_.inject_queue_depth;
@@ -102,59 +143,60 @@ void lnuca_cache::accept(const mem::mem_request& request)
     // The r-tile's output buffers (the eviction queue) are searched before
     // launching a network search, avoiding false misses for blocks that
     // just left the L1.
-    for (auto it = evict_queue_.begin(); it != evict_queue_.end(); ++it) {
-        if (it->block == block) {
-            counters_.inc("root_ubuffer_hit");
-            if (fire_and_forget) {
-                it->dirty = true;
-                return;
-            }
-            const bool dirty = it->dirty;
-            evict_queue_.erase(it);
-            counters_.inc("read_hit");
-            level_read_hits_[2] += request.kind == mem::access_kind::read;
-            if (upstream_ != nullptr) {
-                mem::mem_response response;
-                response.id = request.id;
-                response.addr = request.addr;
-                response.ready_at = now + 1;
-                response.served_by = mem::service_level::lnuca_tile;
-                response.fabric_level = 2;
-                response.dirty = dirty;
-                upstream_->respond(response);
-            }
+    for (std::size_t qi = 0; qi < evict_queue_.size(); ++qi) {
+        replace_msg& victim = evict_queue_[qi];
+        if (victim.block != block)
+            continue;
+        counters_.inc("root_ubuffer_hit");
+        if (fire_and_forget) {
+            victim.dirty = true;
             return;
         }
+        const bool dirty = victim.dirty;
+        evict_queue_.erase_at(qi);
+        counters_.inc("read_hit");
+        level_read_hits_[2] += request.kind == mem::access_kind::read;
+        if (upstream_ != nullptr) {
+            mem::mem_response response;
+            response.id = request.id;
+            response.addr = request.addr;
+            response.ready_at = now + 1;
+            response.served_by = mem::service_level::lnuca_tile;
+            response.fabric_level = 2;
+            response.dirty = dirty;
+            upstream_->respond(response);
+        }
+        return;
     }
 
-    if (mshrs_.find(block) != nullptr) {
-        auto& state = searches_[block];
+    if (mem::mshr_entry* entry = mshrs_.find(block)) {
+        search_state& state = state_of(*entry);
         if (fire_and_forget) {
             state.write_merged = true;
             counters_.inc("store_merged");
             return;
         }
-        mshrs_.merge(block, {request.id, request.addr, request.kind,
-                             request.created_at});
+        mshrs_.add_target(*entry, {request.id, request.addr, request.kind,
+                                   request.created_at});
         counters_.inc("mshr_merge");
         return;
     }
 
     auto& entry = mshrs_.allocate(block, now);
     if (!fire_and_forget)
-        entry.targets.push_back(
-            {request.id, request.addr, request.kind, request.created_at});
+        mshrs_.add_target(entry,
+                          {request.id, request.addr, request.kind,
+                           request.created_at});
 
-    search_state state;
-    state.block = block;
+    search_state& state = state_of(entry);
+    state = search_state{};
     state.is_write = fire_and_forget;
-    searches_[block] = state;
 
     search_msg msg;
     msg.block = block;
     msg.is_write = fire_and_forget;
     inject_queue_.push_back(msg);
-    counters_.inc("searches_requested");
+    counters_.inc(h_searches_requested_);
 }
 
 void lnuca_cache::respond(const mem::mem_response& response)
@@ -202,9 +244,12 @@ cycle_t lnuca_cache::next_event(cycle_t now) const
     // gather fires on exact cycle equality, so its bound must be included
     // even though the search wave itself has already left the tiles).
     cycle_t next = refills_.next_ready();
-    for (const auto& [block, state] : searches_)
+    for (const auto* e = mshrs_.first_live(); e != nullptr;
+         e = mshrs_.next_live(*e)) {
+        const search_state& state = state_of(*e);
         if (state.active)
             next = std::min(next, std::max(now, state.gather_at));
+    }
     return next;
 }
 
@@ -235,35 +280,36 @@ std::uint64_t lnuca_cache::state_digest() const
         for (const auto& fifo : t.u_in)
             h.mix(fifo.total_size());
     }
-    for (const auto& [block, state] : searches_)
-        h.mix_unordered(block + (state.active ? 1 : 0) +
+    for (const auto* e = mshrs_.first_live(); e != nullptr;
+         e = mshrs_.next_live(*e)) {
+        const search_state& state = state_of(*e);
+        h.mix_unordered(e->block_addr + (state.active ? 1 : 0) +
                         (state.hit ? 2 : 0) + (state.marked ? 4 : 0) +
                         state.gather_at * 8);
-    for (const auto& [txn, block] : outstanding_downstream_)
-        h.mix_unordered(txn * 0x9e3779b97f4a7c15ULL + block);
+        if (state.downstream_txn != 0)
+            h.mix_unordered(state.downstream_txn * 0x9e3779b97f4a7c15ULL +
+                            e->block_addr);
+    }
     return h.value();
 }
 
 void lnuca_cache::process_downstream_responses(cycle_t now)
 {
     while (auto response = refills_.pop_ready(now)) {
-        const auto it = outstanding_downstream_.find(response->id);
-        if (it == outstanding_downstream_.end()) {
+        // Downstream reads are issued block-aligned, so the response's addr
+        // names the block; the per-slot txn id validates the match (the old
+        // txn->block hash map, without the per-miss node churn).
+        mem::mshr_entry* entry = mshrs_.find(response->addr);
+        if (entry == nullptr ||
+            state_of(*entry).downstream_txn != response->id) {
             counters_.inc("untracked_response");
             continue;
         }
-        const addr_t block = it->second;
-        outstanding_downstream_.erase(it);
-
-        auto entry = mshrs_.release(block);
-        if (!entry)
-            continue;
-        const auto state_it = searches_.find(block);
-        const bool merged_dirty =
-            state_it != searches_.end() && state_it->second.write_merged;
-        respond_to_targets(now, *entry, response->served_by, 0,
+        const bool merged_dirty = state_of(*entry).write_merged;
+        const auto released = mshrs_.release(response->addr);
+        respond_to_targets(now, released.targets, released.target_count,
+                           response->served_by, 0,
                            response->dirty || merged_dirty);
-        searches_.erase(block);
         counters_.inc("fills_from_next_level");
     }
 }
@@ -276,19 +322,18 @@ void lnuca_cache::process_root_arrivals(cycle_t now)
             continue;
         transport_actual_ += now - msg->hit_cycle;
         transport_min_ += msg->min_hops;
-        counters_.inc("blocks_delivered");
+        counters_.inc(h_blocks_delivered_);
 
-        auto entry = mshrs_.release(msg->block);
-        if (!entry) {
+        mem::mshr_entry* entry = mshrs_.find(msg->block);
+        if (entry == nullptr) {
             counters_.inc("untracked_arrival");
             continue;
         }
-        const auto state_it = searches_.find(msg->block);
-        const bool merged_dirty =
-            state_it != searches_.end() && state_it->second.write_merged;
-        respond_to_targets(now, *entry, mem::service_level::lnuca_tile,
-                           msg->level, msg->dirty || merged_dirty);
-        searches_.erase(msg->block);
+        const bool merged_dirty = state_of(*entry).write_merged;
+        const auto released = mshrs_.release(msg->block);
+        respond_to_targets(now, released.targets, released.target_count,
+                           mem::service_level::lnuca_tile, msg->level,
+                           msg->dirty || merged_dirty);
     }
 }
 
@@ -296,10 +341,16 @@ void lnuca_cache::inject_searches(cycle_t now)
 {
     if (inject_queue_.empty())
         return;
-    const search_msg msg = inject_queue_.front();
-    inject_queue_.pop_front();
+    const search_msg msg = inject_queue_.take_front();
 
-    auto& state = searches_[msg.block];
+    mem::mshr_entry* entry = mshrs_.find(msg.block);
+    if (entry == nullptr) {
+        // The miss was satisfied while the search waited (cannot happen by
+        // construction; counted defensively).
+        counters_.inc("orphan_search");
+        return;
+    }
+    search_state& state = state_of(*entry);
     state.active = true;
     state.hit = false;
     state.marked = false;
@@ -307,9 +358,9 @@ void lnuca_cache::inject_searches(cycle_t now)
 
     for (const tile_index child : geo_.root_search_children()) {
         tiles_[child].ma_next = msg;
-        counters_.inc("search_broadcast_hops");
+        counters_.inc(h_search_broadcast_hops_);
     }
-    counters_.inc("searches_injected");
+    counters_.inc(h_searches_injected_);
 }
 
 std::size_t lnuca_cache::pick_output(std::size_t available)
@@ -319,11 +370,11 @@ std::size_t lnuca_cache::pick_output(std::size_t available)
     return config_.random_routing ? std::size_t(rng_.below(available)) : 0;
 }
 
-bool lnuca_cache::any_transport_output_free(
-    tile_index i, const std::vector<bool>& used_outputs) const
+bool lnuca_cache::any_transport_output_free(tile_index i,
+                                            link_mask used_outputs) const
 {
     for (std::size_t k = 0; k < d_out_[i].size(); ++k) {
-        if (used_outputs[k])
+        if (used_outputs & (link_mask(1) << k))
             continue;
         const link& l = d_out_[i][k];
         const bool on = l.target == root_index
@@ -336,36 +387,37 @@ bool lnuca_cache::any_transport_output_free(
 }
 
 bool lnuca_cache::push_transport(cycle_t, tile_index i, const transport_msg& msg,
-                                 std::vector<bool>& used_outputs)
+                                 link_mask& used_outputs)
 {
-    std::vector<std::size_t> candidates;
+    std::array<std::uint32_t, max_links> candidates;
+    std::size_t n = 0;
     for (std::size_t k = 0; k < d_out_[i].size(); ++k) {
-        if (used_outputs[k])
+        if (used_outputs & (link_mask(1) << k))
             continue;
         const link& l = d_out_[i][k];
         const bool on = l.target == root_index
                             ? root_arrivals_[l.slot].on()
                             : tiles_[l.target].d_in[l.slot].on();
         if (on)
-            candidates.push_back(k);
+            candidates[n++] = std::uint32_t(k);
     }
-    if (candidates.empty())
+    if (n == 0)
         return false;
-    const std::size_t k = candidates[pick_output(candidates.size())];
+    const std::size_t k = candidates[pick_output(n)];
     const link& l = d_out_[i][k];
     if (l.target == root_index)
         root_arrivals_[l.slot].push(msg);
     else
         tiles_[l.target].d_in[l.slot].push(msg);
-    used_outputs[k] = true;
-    counters_.inc("transport_hops");
+    used_outputs |= link_mask(1) << k;
+    counters_.inc(h_transport_hops_);
     return true;
 }
 
 void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
 {
     tile& t = tiles_[i];
-    std::vector<bool> used_outputs(d_out_[i].size(), false);
+    link_mask used_outputs = 0;
     const bool had_search = t.ma.has_value();
 
     // --- Search operation: cache access + one-hop routing, one cycle ----
@@ -373,13 +425,12 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
         const search_msg msg = *t.ma;
         t.ma.reset();
         bool stop_propagation = false;
-        auto state_of = [&](addr_t block) -> search_state& {
-            return searches_[block]; // created by accept(); guarded below
-        };
-        const bool state_known = searches_.find(msg.block) != searches_.end();
+        mem::mshr_entry* search_entry = mshrs_.find(msg.block);
+        const bool state_known = search_entry != nullptr;
+        auto state = [&]() -> search_state& { return state_of(*search_entry); };
 
         if (!msg.marked && state_known) {
-            counters_.inc("tile_tag_lookups");
+            counters_.inc(h_tile_tag_lookups_);
             const unsigned level = geo_.level_of(geo_.coord_of(i));
 
             // U-buffer comparators catch blocks in replacement transit.
@@ -395,7 +446,7 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
                     });
                     if (found) {
                         u_hit = true;
-                        state_of(msg.block).hit = true;
+                        state().hit = true;
                         counters_.inc("store_hits_in_transit");
                     }
                 } else if (fifo.find([&](const replace_msg& r) {
@@ -413,19 +464,19 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
                         out.hit_cycle = now;
                         out.min_hops = geo_.transport_distance(geo_.coord_of(i));
                         push_transport(now, i, out, used_outputs);
-                        state_of(msg.block).hit = true;
+                        state().hit = true;
                         counters_.inc("ubuffer_hits");
                         level_read_hits_[level]++;
                         u_hit = true;
                     } else {
-                        state_of(msg.block).marked = true;
+                        state().marked = true;
                         counters_.inc("transport_contention");
                         // Re-emit marked so the miss line sees the restart.
                         search_msg marked = msg;
                         marked.marked = true;
                         for (const tile_index child : geo_.search_children(i)) {
                             tiles_[child].ma_next = marked;
-                            counters_.inc("search_broadcast_hops");
+                            counters_.inc(h_search_broadcast_hops_);
                         }
                         u_hit = true;
                     }
@@ -440,7 +491,7 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
                 if (msg.is_write) {
                     t.cache.lookup(msg.block); // refresh recency
                     t.cache.set_dirty(msg.block, true);
-                    state_of(msg.block).hit = true;
+                    state().hit = true;
                     counters_.inc("store_hits_in_place");
                     stop_propagation = true;
                 } else if (any_transport_output_free(i, used_outputs)) {
@@ -452,19 +503,19 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
                     out.hit_cycle = now;
                     out.min_hops = geo_.transport_distance(geo_.coord_of(i));
                     push_transport(now, i, out, used_outputs);
-                    state_of(msg.block).hit = true;
-                    counters_.inc("tile_hits");
-                    counters_.inc("tile_data_reads");
+                    state().hit = true;
+                    counters_.inc(h_tile_hits_);
+                    counters_.inc(h_tile_data_reads_);
                     level_read_hits_[level]++;
                     stop_propagation = true;
                 } else {
-                    state_of(msg.block).marked = true;
+                    state().marked = true;
                     counters_.inc("transport_contention");
                     search_msg marked = msg;
                     marked.marked = true;
                     for (const tile_index child : geo_.search_children(i)) {
                         tiles_[child].ma_next = marked;
-                        counters_.inc("search_broadcast_hops");
+                        counters_.inc(h_search_broadcast_hops_);
                     }
                     stop_propagation = true; // marked copy already forwarded
                 }
@@ -474,7 +525,7 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
         if (!stop_propagation) {
             for (const tile_index child : geo_.search_children(i)) {
                 tiles_[child].ma_next = msg;
-                counters_.inc("search_broadcast_hops");
+                counters_.inc(h_search_broadcast_hops_);
             }
         }
     }
@@ -489,7 +540,7 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
         if (push_transport(now, i, *head, used_outputs))
             fifo.pop();
         else
-            counters_.inc("transport_blocked");
+            counters_.inc(h_transport_blocked_);
     }
 
     // --- Replacement operation: only during search-idle cycles ----------
@@ -518,7 +569,7 @@ void lnuca_cache::run_replacement(cycle_t now, tile_index i)
             exit_queue_.push_back(replace_msg{displaced->block_addr,
                                               displaced->dirty});
         }
-        counters_.inc("tile_data_writes");
+        counters_.inc(h_tile_data_writes_);
         t.phase = tile::repl_phase::idle;
         return;
     }
@@ -543,29 +594,30 @@ void lnuca_cache::run_replacement(cycle_t now, tile_index i)
     if (!room) {
         // Choose an On output U channel (or the exit path on corner tiles)
         // and read the victim out; the incoming block lands next idle cycle.
-        std::vector<std::size_t> candidates;
+        std::array<std::uint32_t, max_links> candidates;
+        std::size_t n_candidates = 0;
         for (std::size_t k = 0; k < u_out_[i].size(); ++k) {
             const link& l = u_out_[i][k];
             if (tiles_[l.target].u_in[l.slot].on())
-                candidates.push_back(k);
+                candidates[n_candidates++] = std::uint32_t(k);
         }
         const bool exit_ok = geo_.is_exit_tile(i) &&
                              exit_queue_.size() < config_.exit_queue_depth;
-        if (candidates.empty() && !exit_ok) {
+        if (n_candidates == 0 && !exit_ok) {
             counters_.inc("replacement_blocked");
             return;
         }
         const auto victim = t.cache.evict_victim(head->block);
-        counters_.inc("tile_data_reads");
-        if (!candidates.empty()) {
-            const std::size_t k = candidates[pick_output(candidates.size())];
+        counters_.inc(h_tile_data_reads_);
+        if (n_candidates != 0) {
+            const std::size_t k = candidates[pick_output(n_candidates)];
             const link& l = u_out_[i][k];
             tiles_[l.target].u_in[l.slot].push(
                 replace_msg{victim.block_addr, victim.dirty});
         } else {
             exit_queue_.push_back(replace_msg{victim.block_addr, victim.dirty});
         }
-        counters_.inc("replacement_hops");
+        counters_.inc(h_replacement_hops_);
     }
 
     t.phase = tile::repl_phase::write_pending;
@@ -577,41 +629,47 @@ void lnuca_cache::inject_evictions(cycle_t)
 {
     if (evict_queue_.empty())
         return;
-    std::vector<std::size_t> candidates;
+    std::array<std::uint32_t, max_links> candidates;
+    std::size_t n_candidates = 0;
     for (std::size_t k = 0; k < root_u_out_.size(); ++k) {
         const link& l = root_u_out_[k];
         if (tiles_[l.target].u_in[l.slot].on())
-            candidates.push_back(k);
+            candidates[n_candidates++] = std::uint32_t(k);
     }
-    if (candidates.empty()) {
+    if (n_candidates == 0) {
         counters_.inc("eviction_inject_blocked");
         return;
     }
-    const replace_msg msg = evict_queue_.front();
-    evict_queue_.pop_front();
-    const std::size_t k = candidates[pick_output(candidates.size())];
+    const replace_msg msg = evict_queue_.take_front();
+    const std::size_t k = candidates[pick_output(n_candidates)];
     const link& l = root_u_out_[k];
     tiles_[l.target].u_in[l.slot].push(msg);
-    counters_.inc("replacement_hops");
+    counters_.inc(h_replacement_hops_);
     counters_.inc("evictions_injected");
 }
 
 void lnuca_cache::evaluate_global_misses(cycle_t now)
 {
-    std::vector<addr_t> to_erase;
-    for (auto& [block, state] : searches_) {
-        if (!state.active || state.gather_at != now)
+    // Live MSHR entries iterate in allocation order; an entry releasing
+    // itself is safe because the successor is fetched first (the slab keeps
+    // links intact for the released node's neighbours).
+    for (mem::mshr_entry* e = mshrs_.first_live(); e != nullptr;) {
+        mem::mshr_entry* next = mshrs_.next_live(*e);
+        search_state& state = state_of(*e);
+        const addr_t block = e->block_addr;
+        if (!state.active || state.gather_at != now) {
+            e = next;
             continue;
+        }
         state.active = false;
-        counters_.inc("miss_line_gathers");
+        counters_.inc(h_miss_line_gathers_);
 
         if (state.hit) {
             // Reads: the block is in transport; the MSHR is released when it
             // reaches the r-tile. Pure stores landed in place: finish here.
-            if (state.is_write) {
+            if (state.is_write)
                 mshrs_.release(block);
-                to_erase.push_back(block);
-            }
+            e = next;
             continue;
         }
 
@@ -623,36 +681,39 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
             msg.is_write = state.is_write;
             inject_queue_.push_back(msg);
             counters_.inc("search_restarts");
+            e = next;
             continue;
         }
 
         // Global miss. The block may be sitting in the exit path.
         bool found_in_exit = false;
-        for (auto it = exit_queue_.begin(); it != exit_queue_.end(); ++it) {
-            if (it->block == block) {
-                found_in_exit = true;
-                const bool dirty = it->dirty || state.write_merged;
-                if (state.is_write) {
-                    it->dirty = true;
-                    mshrs_.release(block);
-                    to_erase.push_back(block);
-                    break;
-                }
-                exit_queue_.erase(it);
-                auto entry = mshrs_.release(block);
-                if (entry)
-                    respond_to_targets(now, *entry,
-                                       mem::service_level::lnuca_tile,
-                                       std::uint8_t(config_.levels), dirty);
-                to_erase.push_back(block);
-                counters_.inc("exit_snoop_hits");
+        for (std::size_t qi = 0; qi < exit_queue_.size(); ++qi) {
+            replace_msg& exiting = exit_queue_[qi];
+            if (exiting.block != block)
+                continue;
+            found_in_exit = true;
+            const bool dirty = exiting.dirty || state.write_merged;
+            if (state.is_write) {
+                exiting.dirty = true;
+                mshrs_.release(block);
                 break;
             }
+            exit_queue_.erase_at(qi);
+            const auto released = mshrs_.release(block);
+            if (released)
+                respond_to_targets(now, released.targets,
+                                   released.target_count,
+                                   mem::service_level::lnuca_tile,
+                                   std::uint8_t(config_.levels), dirty);
+            counters_.inc("exit_snoop_hits");
+            break;
         }
-        if (found_in_exit)
+        if (found_in_exit) {
+            e = next;
             continue;
+        }
 
-        counters_.inc("global_misses");
+        counters_.inc(h_global_misses_);
         // A global miss for a block actually present in the fabric would be
         // a search correctness bug; exclusion makes this impossible, so it
         // is counted defensively rather than tolerated silently.
@@ -669,8 +730,8 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
             write.needs_response = false;
             downstream_queue_.push_back(write);
             mshrs_.release(block);
-            to_erase.push_back(block);
             counters_.inc("write_misses_out");
+            e = next;
             continue;
         }
 
@@ -681,12 +742,10 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
         read.kind = mem::access_kind::read;
         read.created_at = now;
         downstream_queue_.push_back(read);
-        outstanding_downstream_[read.id] = block;
-        if (auto* entry = mshrs_.find(block))
-            entry->issued = true;
+        state.downstream_txn = read.id;
+        mshrs_.mark_issued(*e);
+        e = next;
     }
-    for (const addr_t block : to_erase)
-        searches_.erase(block);
 }
 
 void lnuca_cache::drain_downstream_queues(cycle_t now)
@@ -737,13 +796,16 @@ void lnuca_cache::commit_cycle()
         fifo.commit();
 }
 
-void lnuca_cache::respond_to_targets(cycle_t now, const mem::mshr_entry& entry,
+void lnuca_cache::respond_to_targets(cycle_t now,
+                                     const mem::mshr_target* targets,
+                                     std::uint32_t count,
                                      mem::service_level origin,
                                      std::uint8_t level, bool dirty)
 {
     if (upstream_ == nullptr)
         return;
-    for (const auto& target : entry.targets) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const mem::mshr_target& target = targets[i];
         mem::mem_response response;
         response.id = target.id;
         response.addr = target.addr;
@@ -806,9 +868,10 @@ unsigned lnuca_cache::copies_of(addr_t block) const
 
 bool lnuca_cache::quiescent() const
 {
+    // An empty MSHR slab implies no active searches and no outstanding
+    // downstream reads (both live in the per-slot state).
     if (!inject_queue_.empty() || !evict_queue_.empty() || !exit_queue_.empty() ||
-        !downstream_queue_.empty() || !refills_.empty() || !mshrs_.empty() ||
-        !searches_.empty() || !outstanding_downstream_.empty())
+        !downstream_queue_.empty() || !refills_.empty() || !mshrs_.empty())
         return false;
     for (const auto& fifo : root_arrivals_)
         if (!fifo.empty())

@@ -18,8 +18,14 @@
 // Every tile performs its cache access plus one-hop routing in one cycle;
 // transport and replacement use two-entry On/Off link buffers and random
 // distributed routing over output links that are all valid by construction.
+//
+// Hot-path storage contract: per-search state lives in a slab slot shared
+// with the MSHR entry (no hash-map node churn), link-arbitration scratch is
+// a bitmask plus a stack array, and every queue is a pre-sized ring — an
+// executed cycle performs no heap allocation in steady state.
 #pragma once
 
+#include "src/common/ring_queue.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/fabric/geometry.h"
@@ -29,8 +35,6 @@
 #include "src/sim/ticked.h"
 #include "src/sim/timed_queue.h"
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 namespace lnuca::fabric {
@@ -103,15 +107,25 @@ private:
         std::uint32_t slot = 0; ///< input fifo index at the target
     };
 
+    /// Per-search bookkeeping. Lives in a slab slot parallel to the MSHR
+    /// entry of the same block (see mshr_file::slot_of), so search state is
+    /// allocated, found and recycled with the entry — no hash-map nodes.
     struct search_state {
-        addr_t block = no_addr;
         bool is_write = false;     ///< pure fire-and-forget store miss
         bool write_merged = false; ///< a store merged while in flight
         bool hit = false;
         bool marked = false;
         cycle_t gather_at = 0;
         bool active = false;
+        /// txn id of the downstream read issued for this block's global
+        /// miss (0 = none outstanding); responses are validated against it.
+        txn_id_t downstream_txn = 0;
     };
+
+    /// Output-link arbitration scratch: bitmask over a tile's output links
+    /// (wiring degree is tiny — 2-4 links; 32 is a hard structural bound).
+    using link_mask = std::uint32_t;
+    static constexpr std::size_t max_links = 32;
 
     void process_downstream_responses(cycle_t now);
     void process_root_arrivals(cycle_t now);
@@ -123,13 +137,21 @@ private:
     void drain_downstream_queues(cycle_t now);
     void commit_cycle();
     bool push_transport(cycle_t now, tile_index i, const transport_msg& msg,
-                        std::vector<bool>& used_outputs);
-    bool any_transport_output_free(tile_index i,
-                                   const std::vector<bool>& used_outputs) const;
+                        link_mask& used_outputs);
+    bool any_transport_output_free(tile_index i, link_mask used_outputs) const;
 
-    void respond_to_targets(cycle_t now, const mem::mshr_entry& entry,
-                            mem::service_level origin, std::uint8_t level,
-                            bool dirty);
+    search_state& state_of(const mem::mshr_entry& entry)
+    {
+        return search_by_slot_[mshrs_.slot_of(entry)];
+    }
+    const search_state& state_of(const mem::mshr_entry& entry) const
+    {
+        return search_by_slot_[mshrs_.slot_of(entry)];
+    }
+
+    void respond_to_targets(cycle_t now, const mem::mshr_target* targets,
+                            std::uint32_t count, mem::service_level origin,
+                            std::uint8_t level, bool dirty);
     std::size_t pick_output(std::size_t available);
 
     fabric_config config_;
@@ -137,7 +159,21 @@ private:
     geometry geo_;
     std::vector<tile> tiles_;
     mem::mshr_file mshrs_;
+    std::vector<search_state> search_by_slot_; ///< parallel to the MSHR slab
     counter_set counters_;
+    counter_set::handle h_tile_tag_lookups_ = 0;
+    counter_set::handle h_search_broadcast_hops_ = 0;
+    counter_set::handle h_transport_hops_ = 0;
+    counter_set::handle h_transport_blocked_ = 0;
+    counter_set::handle h_tile_hits_ = 0;
+    counter_set::handle h_tile_data_reads_ = 0;
+    counter_set::handle h_tile_data_writes_ = 0;
+    counter_set::handle h_replacement_hops_ = 0;
+    counter_set::handle h_searches_requested_ = 0;
+    counter_set::handle h_searches_injected_ = 0;
+    counter_set::handle h_miss_line_gathers_ = 0;
+    counter_set::handle h_global_misses_ = 0;
+    counter_set::handle h_blocks_delivered_ = 0;
     rng rng_;
 
     mem::mem_client* upstream_ = nullptr;
@@ -149,15 +185,12 @@ private:
     std::vector<link> root_u_out_; ///< r-tile eviction targets
     std::vector<noc::sync_fifo<transport_msg>> root_arrivals_;
 
-    // Request-side queues.
-    std::deque<search_msg> inject_queue_;
-    std::deque<replace_msg> evict_queue_;          ///< r-tile victims entering
-    std::deque<replace_msg> exit_queue_;           ///< corner victims leaving
-    std::deque<mem::mem_request> downstream_queue_; ///< global misses / writes
+    // Request-side queues (pre-sized rings; see constructor).
+    ring_queue<search_msg> inject_queue_;
+    ring_queue<replace_msg> evict_queue_;          ///< r-tile victims entering
+    ring_queue<replace_msg> exit_queue_;           ///< corner victims leaving
+    ring_queue<mem::mem_request> downstream_queue_; ///< global misses / writes
     sim::timed_queue<mem::mem_response> refills_;
-
-    std::unordered_map<addr_t, search_state> searches_; ///< by block address
-    std::unordered_map<txn_id_t, addr_t> outstanding_downstream_;
 
     std::vector<std::uint64_t> level_read_hits_; ///< indexed by L-NUCA level
     std::uint64_t transport_actual_ = 0;

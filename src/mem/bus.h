@@ -23,7 +23,10 @@ struct bus_config {
 
 class bus final : public sim::ticked, public mem_port, public mem_client {
 public:
-    explicit bus(const bus_config& config) : config_(config) {}
+    explicit bus(const bus_config& config) : config_(config)
+    {
+        counters_.preregister({"down_transfers", "down_stall", "up_transfers"});
+    }
 
     void set_upstream(mem_client* client) { upstream_ = client; }
     void set_downstream(mem_port* port) { downstream_ = port; }

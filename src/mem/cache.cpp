@@ -15,6 +15,23 @@ conventional_cache::conventional_cache(const cache_config& config, txn_id_source
       wb_(config.write_buffer_entries, config.block_bytes),
       port_free_(std::size_t(config.ports) * std::max(1u, config.banks), 0)
 {
+    counters_.preregister(
+        {"accesses", "reads", "writes", "read_hit", "write_hit", "read_miss",
+         "write_miss", "wb_hit", "mshr_merge", "mshr_secondary_stall",
+         "mshr_full_stall", "miss_issued", "fills", "evictions",
+         "writeback_in", "writeback_out", "write_through_out", "wb_drained",
+         "wb_full_stall", "refill_wb_stall", "untracked_response"});
+    h_accesses_ = counters_.handle_of("accesses");
+    h_reads_ = counters_.handle_of("reads");
+    h_writes_ = counters_.handle_of("writes");
+    h_read_hit_ = counters_.handle_of("read_hit");
+    h_write_hit_ = counters_.handle_of("write_hit");
+    h_wb_hit_ = counters_.handle_of("wb_hit");
+    // Pre-size the hot-path queues so steady-state ticks never allocate.
+    input_writes_.reserve(config.write_buffer_entries);
+    lookups_.reserve(std::size_t(config.write_buffer_entries) +
+                     config.mshr_entries + 8);
+    refills_.reserve(config.mshr_entries + 8);
 }
 
 std::size_t conventional_cache::bank_of(addr_t addr) const
@@ -43,7 +60,7 @@ bool conventional_cache::can_accept(const mem_request& request) const
 
 void conventional_cache::accept(const mem_request& request)
 {
-    counters_.inc("accesses");
+    counters_.inc(h_accesses_);
     if (request.kind != access_kind::read) {
         input_writes_.push_back(pending_access{request, request.needs_response,
                                                false});
@@ -155,7 +172,7 @@ void conventional_cache::handle_read_like(cycle_t now, pending_access access)
     const mem_request& req = access.request;
     const bool is_write = req.kind == access_kind::write;
     if (!access.counted) {
-        counters_.inc(is_write ? "writes" : "reads");
+        counters_.inc(is_write ? h_writes_ : h_reads_);
         access.counted = true;
     }
 
@@ -171,8 +188,8 @@ void conventional_cache::handle_read_like(cycle_t now, pending_access access)
             }
     }
     if (buffered) {
-        counters_.inc("wb_hit");
-        counters_.inc("read_hit");
+        counters_.inc(h_wb_hit_);
+        counters_.inc(h_read_hit_);
         if (access.needs_response)
             respond_up(now, {req.id, req.addr, req.kind, req.created_at},
                        config_.level_tag, 0);
@@ -180,7 +197,7 @@ void conventional_cache::handle_read_like(cycle_t now, pending_access access)
     }
 
     if (tags_.lookup(req.addr)) {
-        counters_.inc(is_write ? "write_hit" : "read_hit");
+        counters_.inc(is_write ? h_write_hit_ : h_read_hit_);
         if (is_write)
             tags_.set_dirty(req.addr, true);
         if (access.needs_response)
@@ -193,11 +210,10 @@ void conventional_cache::handle_read_like(cycle_t now, pending_access access)
     const addr_t block = tags_.block_of(req.addr);
     const mshr_target target{req.id, req.addr, req.kind, req.created_at};
     if (mshr_entry* entry = mshrs_.find(block)) {
-        if (entry->targets.size() <
-            std::size_t(config_.mshr_secondary)) {
+        if (entry->target_count < config_.mshr_secondary) {
             counters_.inc("mshr_merge");
             if (access.needs_response)
-                mshrs_.merge(block, target);
+                mshrs_.add_target(*entry, target);
             return;
         }
         counters_.inc("mshr_secondary_stall");
@@ -211,7 +227,7 @@ void conventional_cache::handle_read_like(cycle_t now, pending_access access)
     }
     auto& entry = mshrs_.allocate(block, now);
     if (access.needs_response)
-        entry.targets.push_back(target);
+        mshrs_.add_target(entry, target);
 }
 
 void conventional_cache::handle_write_through_store(cycle_t now,
@@ -219,11 +235,11 @@ void conventional_cache::handle_write_through_store(cycle_t now,
 {
     const mem_request& req = access.request;
     if (!access.counted) {
-        counters_.inc("writes");
+        counters_.inc(h_writes_);
         access.counted = true;
     }
     if (tags_.lookup(req.addr)) {
-        counters_.inc("write_hit");
+        counters_.inc(h_write_hit_);
         if (!config_.write_through) {
             // Copy-back no-write-allocate (the r-tile): a store hit dirties
             // the line in place and produces no downstream traffic.
@@ -269,10 +285,12 @@ void conventional_cache::handle_incoming_writeback(cycle_t now,
 
 void conventional_cache::issue_misses(cycle_t now)
 {
-    for (mshr_entry* entry : mshrs_.unissued()) {
+    for (mshr_entry* entry = mshrs_.first_unissued(); entry != nullptr;) {
         if (downstream_ == nullptr) {
             LNUCA_ERROR(config_.name, ": miss with no downstream level");
-            entry->issued = true;
+            mshr_entry* next = mshrs_.next_unissued(*entry);
+            mshrs_.mark_issued(*entry);
+            entry = next;
             continue;
         }
         mem_request miss;
@@ -285,7 +303,7 @@ void conventional_cache::issue_misses(cycle_t now)
         if (!downstream_->can_accept(miss))
             break; // retry next cycle, preserve order
         downstream_->accept(miss);
-        entry->issued = true;
+        mshrs_.mark_issued(*entry);
         counters_.inc("miss_issued");
         break; // one new miss per cycle
     }
@@ -327,7 +345,7 @@ void conventional_cache::process_refills(cycle_t now)
             return;
         }
 
-        auto entry = mshrs_.release(block);
+        const auto entry = mshrs_.release(block);
         if (!entry) {
             // Response for a transaction we do not track (e.g. an ack for
             // drained write traffic); nothing to fill.
@@ -337,15 +355,16 @@ void conventional_cache::process_refills(cycle_t now)
 
         bool fill_dirty = response->dirty;
         if (!config_.write_through)
-            for (const auto& t : entry->targets)
-                fill_dirty |= t.kind == access_kind::write;
+            for (std::uint32_t t = 0; t < entry.target_count; ++t)
+                fill_dirty |= entry.targets[t].kind == access_kind::write;
 
         if (auto victim = tags_.install(block, fill_dirty))
             queue_victim(now, *victim);
         counters_.inc("fills");
 
-        for (const auto& target : entry->targets)
-            respond_up(now, target, response->served_by, response->fabric_level);
+        for (std::uint32_t t = 0; t < entry.target_count; ++t)
+            respond_up(now, entry.targets[t], response->served_by,
+                       response->fabric_level);
     }
 }
 

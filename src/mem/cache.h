@@ -9,6 +9,7 @@
 // load-to-use latency exactly `completion_latency`.
 #pragma once
 
+#include "src/common/ring_queue.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/mshr.h"
@@ -18,9 +19,7 @@
 #include "src/sim/ticked.h"
 #include "src/sim/timed_queue.h"
 
-#include <memory>
 #include <string>
-#include <unordered_set>
 
 namespace lnuca::mem {
 
@@ -103,6 +102,12 @@ private:
     mshr_file mshrs_;
     write_buffer wb_;
     counter_set counters_;
+    counter_set::handle h_accesses_ = 0;
+    counter_set::handle h_reads_ = 0;
+    counter_set::handle h_writes_ = 0;
+    counter_set::handle h_read_hit_ = 0;
+    counter_set::handle h_write_hit_ = 0;
+    counter_set::handle h_wb_hit_ = 0;
 
     mem_client* upstream_ = nullptr;
     mem_port* downstream_ = nullptr;
@@ -113,7 +118,7 @@ private:
     /// Incoming writes/writebacks wait here (Table I write buffers) and
     /// drain into the array only when a port is otherwise idle; reads
     /// snoop this queue so buffered data is visible.
-    std::deque<pending_access> input_writes_;
+    ring_queue<pending_access> input_writes_;
     cycle_t now_ = 0; ///< cycle of the current/last tick (for can_accept)
 };
 

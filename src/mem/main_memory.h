@@ -2,13 +2,13 @@
 // additional 16-byte chunk, bursts serialised on the data wires.
 #pragma once
 
+#include "src/common/ring_queue.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/mem/request.h"
 #include "src/sim/ticked.h"
 #include "src/sim/timed_queue.h"
 
-#include <deque>
 
 namespace lnuca::mem {
 
@@ -21,7 +21,11 @@ struct main_memory_config {
 
 class main_memory final : public sim::ticked, public mem_port {
 public:
-    explicit main_memory(const main_memory_config& config) : config_(config) {}
+    explicit main_memory(const main_memory_config& config) : config_(config)
+    {
+        queue_.reserve(config.queue_depth);
+        counters_.preregister({"reads", "writes", "transfers"});
+    }
 
     void set_upstream(mem_client* client) { upstream_ = client; }
 
@@ -46,7 +50,7 @@ private:
     main_memory_config config_;
     mem_client* upstream_ = nullptr;
     counter_set counters_;
-    std::deque<mem_request> queue_;
+    ring_queue<mem_request> queue_;
     cycle_t wires_free_at_ = 0;
 };
 

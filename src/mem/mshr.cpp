@@ -1,68 +1,257 @@
 #include "src/mem/mshr.h"
 
+#include "src/common/ring_queue.h" // pow2_at_least
+
+#include <algorithm>
+#include <stdexcept>
+
 namespace lnuca::mem {
+
+namespace {
+
+std::uint64_t mix_addr(addr_t block_addr)
+{
+    std::uint64_t h = block_addr;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+} // namespace
+
+mshr_file::mshr_file(std::uint32_t entries, std::uint32_t max_targets)
+    : capacity_(entries),
+      max_targets_(max_targets),
+      target_stride_(std::max(1u, max_targets))
+{
+    if (entries == 0)
+        throw std::invalid_argument("mshr_file needs at least one entry");
+    slab_.resize(entries);
+    target_pool_.resize(std::size_t(entries) * target_stride_);
+    free_.reserve(entries);
+    for (std::uint32_t i = 0; i < entries; ++i)
+        free_.push_back(entries - 1 - i); // pop_back hands out slot 0 first
+    table_.assign(pow2_at_least(std::size_t(entries) * 2), 0);
+}
+
+std::size_t mshr_file::home_bucket(addr_t block_addr) const
+{
+    return std::size_t(mix_addr(block_addr)) & (table_.size() - 1);
+}
+
+std::int32_t mshr_file::find_slot(addr_t block_addr) const
+{
+    const std::size_t mask = table_.size() - 1;
+    std::size_t b = home_bucket(block_addr);
+    while (table_[b] != 0) {
+        const std::uint32_t slot = table_[b] - 1;
+        if (slab_[slot].block_addr == block_addr)
+            return std::int32_t(slot);
+        b = (b + 1) & mask;
+    }
+    return -1;
+}
+
+void mshr_file::index_insert(addr_t block_addr, std::uint32_t slot)
+{
+    const std::size_t mask = table_.size() - 1;
+    std::size_t b = home_bucket(block_addr);
+    while (table_[b] != 0)
+        b = (b + 1) & mask;
+    table_[b] = slot + 1;
+}
+
+void mshr_file::index_erase(addr_t block_addr)
+{
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = home_bucket(block_addr);
+    while (table_[i] != 0 && slab_[table_[i] - 1].block_addr != block_addr)
+        i = (i + 1) & mask;
+    if (table_[i] == 0)
+        return; // not present (release of an absent block is a no-op)
+
+    // Classic linear-probe backward shift: close the hole without leaving
+    // a tombstone, keeping every remaining key reachable from its home.
+    table_[i] = 0;
+    std::size_t j = i;
+    for (;;) {
+        j = (j + 1) & mask;
+        if (table_[j] == 0)
+            return;
+        const std::size_t home = home_bucket(slab_[table_[j] - 1].block_addr);
+        // Move table_[j] into the hole unless its home lies in (i, j].
+        const bool cyclically_between =
+            i <= j ? (i < home && home <= j)
+                   : (i < home || home <= j);
+        if (!cyclically_between) {
+            table_[i] = table_[j];
+            table_[j] = 0;
+            i = j;
+        }
+    }
+}
 
 mshr_entry* mshr_file::find(addr_t block_addr)
 {
-    for (auto& e : entries_)
-        if (e.block_addr == block_addr)
-            return &e;
-    return nullptr;
+    const std::int32_t slot = find_slot(block_addr);
+    return slot < 0 ? nullptr : &slab_[std::size_t(slot)];
 }
 
 const mshr_entry* mshr_file::find(addr_t block_addr) const
 {
-    for (const auto& e : entries_)
-        if (e.block_addr == block_addr)
-            return &e;
-    return nullptr;
+    const std::int32_t slot = find_slot(block_addr);
+    return slot < 0 ? nullptr : &slab_[std::size_t(slot)];
 }
 
 bool mshr_file::can_merge(addr_t block_addr) const
 {
     const mshr_entry* e = find(block_addr);
-    return e != nullptr && e->targets.size() < max_targets_;
+    return e != nullptr && e->target_count < max_targets_;
 }
 
 mshr_entry& mshr_file::allocate(addr_t block_addr, cycle_t now)
 {
-    entries_.push_back(mshr_entry{block_addr, false, now, {}});
-    return entries_.back();
+    if (free_.empty())
+        throw std::logic_error("mshr_file::allocate without can_allocate");
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+
+    mshr_entry& e = slab_[slot];
+    e.block_addr = block_addr;
+    e.issued = false;
+    e.allocated_at = now;
+    e.target_count = 0;
+
+    // Tail of the live list: allocation order.
+    e.prev_live = tail_live_;
+    e.next_live = -1;
+    if (tail_live_ != -1)
+        slab_[std::size_t(tail_live_)].next_live = std::int32_t(slot);
+    else
+        head_live_ = std::int32_t(slot);
+    tail_live_ = std::int32_t(slot);
+
+    // Tail of the unissued FIFO.
+    e.prev_unissued = tail_unissued_;
+    e.next_unissued = -1;
+    if (tail_unissued_ != -1)
+        slab_[std::size_t(tail_unissued_)].next_unissued = std::int32_t(slot);
+    else
+        head_unissued_ = std::int32_t(slot);
+    tail_unissued_ = std::int32_t(slot);
+
+    index_insert(block_addr, slot);
+    return e;
 }
 
-void mshr_file::merge(addr_t block_addr, const mshr_target& target)
+void mshr_file::add_target(mshr_entry& entry, const mshr_target& target)
+{
+    if (entry.target_count >= target_stride_)
+        throw std::logic_error("mshr entry target overflow");
+    target_pool_[std::size_t(slot_of(entry)) * target_stride_ +
+                 entry.target_count] = target;
+    ++entry.target_count;
+}
+
+const mshr_target* mshr_file::targets(const mshr_entry& entry) const
+{
+    return target_pool_.data() + std::size_t(slot_of(entry)) * target_stride_;
+}
+
+bool mshr_file::merge(addr_t block_addr, const mshr_target& target)
 {
     mshr_entry* e = find(block_addr);
-    e->targets.push_back(target);
+    if (e == nullptr || e->target_count >= max_targets_)
+        return false;
+    add_target(*e, target);
+    return true;
 }
 
-std::optional<mshr_entry> mshr_file::release(addr_t block_addr)
+void mshr_file::mark_issued(mshr_entry& entry)
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (entries_[i].block_addr == block_addr) {
-            mshr_entry out = std::move(entries_[i]);
-            entries_.erase(entries_.begin() + std::ptrdiff_t(i));
-            return out;
-        }
-    }
-    return std::nullopt;
+    if (entry.issued)
+        return;
+    entry.issued = true;
+    if (entry.prev_unissued != -1)
+        slab_[std::size_t(entry.prev_unissued)].next_unissued =
+            entry.next_unissued;
+    else
+        head_unissued_ = entry.next_unissued;
+    if (entry.next_unissued != -1)
+        slab_[std::size_t(entry.next_unissued)].prev_unissued =
+            entry.prev_unissued;
+    else
+        tail_unissued_ = entry.prev_unissued;
+    entry.prev_unissued = -1;
+    entry.next_unissued = -1;
 }
 
-bool mshr_file::any_unissued() const
+mshr_file::released_entry mshr_file::release(addr_t block_addr)
 {
-    for (const auto& e : entries_)
-        if (!e.issued)
-            return true;
-    return false;
-}
+    const std::int32_t sslot = find_slot(block_addr);
+    if (sslot < 0)
+        return {};
+    const std::uint32_t slot = std::uint32_t(sslot);
+    mshr_entry& e = slab_[slot];
 
-std::vector<mshr_entry*> mshr_file::unissued()
-{
-    std::vector<mshr_entry*> out;
-    for (auto& e : entries_)
-        if (!e.issued)
-            out.push_back(&e);
+    released_entry out;
+    out.valid = true;
+    out.block_addr = e.block_addr;
+    out.issued = e.issued;
+    out.allocated_at = e.allocated_at;
+    out.targets = target_pool_.data() + std::size_t(slot) * target_stride_;
+    out.target_count = e.target_count;
+
+    // Unlink from the live list.
+    if (e.prev_live != -1)
+        slab_[std::size_t(e.prev_live)].next_live = e.next_live;
+    else
+        head_live_ = e.next_live;
+    if (e.next_live != -1)
+        slab_[std::size_t(e.next_live)].prev_live = e.prev_live;
+    else
+        tail_live_ = e.prev_live;
+
+    // Unlink from the unissued FIFO if still queued.
+    if (!e.issued)
+        mark_issued(e); // reuses the unlink; issued flag dies with the entry
+
+    index_erase(block_addr);
+    e = mshr_entry{};
+    free_.push_back(slot);
     return out;
+}
+
+mshr_entry* mshr_file::first_unissued()
+{
+    return head_unissued_ == -1 ? nullptr : &slab_[std::size_t(head_unissued_)];
+}
+
+mshr_entry* mshr_file::next_unissued(const mshr_entry& entry)
+{
+    return entry.next_unissued == -1 ? nullptr
+                                     : &slab_[std::size_t(entry.next_unissued)];
+}
+
+mshr_entry* mshr_file::first_live()
+{
+    return head_live_ == -1 ? nullptr : &slab_[std::size_t(head_live_)];
+}
+
+mshr_entry* mshr_file::next_live(const mshr_entry& entry)
+{
+    return entry.next_live == -1 ? nullptr : &slab_[std::size_t(entry.next_live)];
+}
+
+const mshr_entry* mshr_file::first_live() const
+{
+    return head_live_ == -1 ? nullptr : &slab_[std::size_t(head_live_)];
+}
+
+const mshr_entry* mshr_file::next_live(const mshr_entry& entry) const
+{
+    return entry.next_live == -1 ? nullptr : &slab_[std::size_t(entry.next_live)];
 }
 
 } // namespace lnuca::mem

@@ -10,11 +10,6 @@ void lru_policy::resize(std::uint32_t sets, std::uint32_t ways)
     last_use_.assign(std::size_t(sets) * ways, 0);
 }
 
-void lru_policy::touch(std::uint32_t set, std::uint32_t way)
-{
-    last_use_[std::size_t(set) * ways_ + way] = ++stamp_;
-}
-
 std::uint32_t lru_policy::victim(std::uint32_t set)
 {
     const std::size_t base = std::size_t(set) * ways_;
@@ -52,15 +47,15 @@ std::uint32_t fifo_policy::victim(std::uint32_t set)
     return way;
 }
 
-std::unique_ptr<replacement_policy> make_replacement_policy(const std::string& name,
-                                                            std::uint64_t seed)
+replacement_policy make_replacement_policy(const std::string& name,
+                                           std::uint64_t seed)
 {
     if (name == "lru")
-        return std::make_unique<lru_policy>();
+        return replacement_policy(lru_policy{});
     if (name == "random")
-        return std::make_unique<random_policy>(seed);
+        return replacement_policy(random_policy(seed));
     if (name == "fifo")
-        return std::make_unique<fifo_policy>();
+        return replacement_policy(fifo_policy{});
     throw std::invalid_argument("unknown replacement policy: " + name);
 }
 

@@ -3,40 +3,33 @@
 // The policy owns per-set recency state; the tag array calls it on every
 // touch/install and asks it for victims. All caches in the paper use LRU;
 // random and FIFO are provided for the ablation benches.
+//
+// The policies are concrete value types dispatched through a tagged
+// std::variant rather than virtual calls: touch()/victim() sit on every
+// cache access of every tile and bank, and the variant lets the LRU fast
+// path inline straight into tag_array::lookup/install instead of paying an
+// indirect call per access.
 #pragma once
 
 #include "src/common/rng.h"
 
 #include <cstdint>
-#include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 namespace lnuca::mem {
 
-class replacement_policy {
-public:
-    virtual ~replacement_policy() = default;
-
-    /// Called once: `sets` x `ways` geometry.
-    virtual void resize(std::uint32_t sets, std::uint32_t ways) = 0;
-
-    /// A way in `set` was accessed (hit or fill).
-    virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
-
-    /// Choose the way to evict from `set` (all ways valid).
-    virtual std::uint32_t victim(std::uint32_t set) = 0;
-
-    virtual std::string name() const = 0;
-};
-
 /// True LRU via per-set recency stamps.
-class lru_policy final : public replacement_policy {
+class lru_policy {
 public:
-    void resize(std::uint32_t sets, std::uint32_t ways) override;
-    void touch(std::uint32_t set, std::uint32_t way) override;
-    std::uint32_t victim(std::uint32_t set) override;
-    std::string name() const override { return "lru"; }
+    void resize(std::uint32_t sets, std::uint32_t ways);
+    void touch(std::uint32_t set, std::uint32_t way)
+    {
+        last_use_[std::size_t(set) * ways_ + way] = ++stamp_;
+    }
+    std::uint32_t victim(std::uint32_t set);
+    std::string name() const { return "lru"; }
 
 private:
     std::uint32_t ways_ = 0;
@@ -45,14 +38,14 @@ private:
 };
 
 /// Uniform-random victim.
-class random_policy final : public replacement_policy {
+class random_policy {
 public:
     explicit random_policy(std::uint64_t seed = 0x5eed) : rng_(seed) {}
 
-    void resize(std::uint32_t sets, std::uint32_t ways) override;
-    void touch(std::uint32_t, std::uint32_t) override {}
-    std::uint32_t victim(std::uint32_t set) override;
-    std::string name() const override { return "random"; }
+    void resize(std::uint32_t sets, std::uint32_t ways);
+    void touch(std::uint32_t, std::uint32_t) {}
+    std::uint32_t victim(std::uint32_t set);
+    std::string name() const { return "random"; }
 
 private:
     std::uint32_t ways_ = 0;
@@ -60,20 +53,60 @@ private:
 };
 
 /// FIFO: evicts in fill order, ignores hits.
-class fifo_policy final : public replacement_policy {
+class fifo_policy {
 public:
-    void resize(std::uint32_t sets, std::uint32_t ways) override;
-    void touch(std::uint32_t, std::uint32_t) override {}
-    std::uint32_t victim(std::uint32_t set) override;
-    std::string name() const override { return "fifo"; }
+    void resize(std::uint32_t sets, std::uint32_t ways);
+    void touch(std::uint32_t, std::uint32_t) {}
+    std::uint32_t victim(std::uint32_t set);
+    std::string name() const { return "fifo"; }
 
 private:
     std::uint32_t ways_ = 0;
     std::vector<std::uint32_t> next_; // per-set round-robin pointer
 };
 
+/// Tagged-dispatch wrapper: the devirtualized replacement for the old
+/// abstract base. LRU (the common case, checked first) inlines; the other
+/// policies go through one variant visit.
+class replacement_policy {
+public:
+    replacement_policy() : impl_(lru_policy{}) {}
+    explicit replacement_policy(lru_policy p) : impl_(std::move(p)) {}
+    explicit replacement_policy(random_policy p) : impl_(std::move(p)) {}
+    explicit replacement_policy(fifo_policy p) : impl_(std::move(p)) {}
+
+    void resize(std::uint32_t sets, std::uint32_t ways)
+    {
+        std::visit([&](auto& p) { p.resize(sets, ways); }, impl_);
+    }
+
+    void touch(std::uint32_t set, std::uint32_t way)
+    {
+        if (auto* lru = std::get_if<lru_policy>(&impl_)) {
+            lru->touch(set, way);
+            return;
+        }
+        std::visit([&](auto& p) { p.touch(set, way); }, impl_);
+    }
+
+    std::uint32_t victim(std::uint32_t set)
+    {
+        if (auto* lru = std::get_if<lru_policy>(&impl_))
+            return lru->victim(set);
+        return std::visit([&](auto& p) { return p.victim(set); }, impl_);
+    }
+
+    std::string name() const
+    {
+        return std::visit([](const auto& p) { return p.name(); }, impl_);
+    }
+
+private:
+    std::variant<lru_policy, random_policy, fifo_policy> impl_;
+};
+
 /// Factory by name ("lru" | "random" | "fifo").
-std::unique_ptr<replacement_policy> make_replacement_policy(const std::string& name,
-                                                            std::uint64_t seed = 0x5eed);
+replacement_policy make_replacement_policy(const std::string& name,
+                                           std::uint64_t seed = 0x5eed);
 
 } // namespace lnuca::mem

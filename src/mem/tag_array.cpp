@@ -18,7 +18,7 @@ tag_array::tag_array(const tag_array_config& config)
     if (!is_pow2(sets_))
         throw std::invalid_argument("set count must be a power of two");
     lines_.assign(std::size_t(sets_) * ways_, cache_line{});
-    policy_->resize(sets_, ways_);
+    policy_.resize(sets_, ways_);
 }
 
 std::optional<hit_info> tag_array::probe(addr_t addr) const
@@ -37,7 +37,7 @@ std::optional<hit_info> tag_array::lookup(addr_t addr)
 {
     auto hit = probe(addr);
     if (hit)
-        policy_->touch(hit->set, hit->way);
+        policy_.touch(hit->set, hit->way);
     return hit;
 }
 
@@ -59,7 +59,7 @@ std::optional<evicted_line> tag_array::install(addr_t addr, bool dirty)
         cache_line& l = line_ref(set, w);
         if (l.valid && l.tag == block) {
             l.dirty = l.dirty || dirty;
-            policy_->touch(set, w);
+            policy_.touch(set, w);
             return std::nullopt;
         }
     }
@@ -69,17 +69,17 @@ std::optional<evicted_line> tag_array::install(addr_t addr, bool dirty)
         cache_line& l = line_ref(set, w);
         if (!l.valid) {
             l = cache_line{block, true, dirty};
-            policy_->touch(set, w);
+            policy_.touch(set, w);
             return std::nullopt;
         }
     }
 
     // Displace the policy victim.
-    const std::uint32_t victim_way = policy_->victim(set);
+    const std::uint32_t victim_way = policy_.victim(set);
     cache_line& l = line_ref(set, victim_way);
     const evicted_line displaced{l.tag, l.dirty};
     l = cache_line{block, true, dirty};
-    policy_->touch(set, victim_way);
+    policy_.touch(set, victim_way);
     return displaced;
 }
 
@@ -110,7 +110,7 @@ std::optional<evicted_line> tag_array::extract(addr_t addr)
 evicted_line tag_array::evict_victim(addr_t addr)
 {
     const std::uint32_t set = set_of(addr);
-    const std::uint32_t way = policy_->victim(set);
+    const std::uint32_t way = policy_.victim(set);
     cache_line& l = line_ref(set, way);
     const evicted_line out{l.tag, l.dirty};
     l = cache_line{};

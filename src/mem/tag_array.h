@@ -5,7 +5,6 @@
 #include "src/common/types.h"
 #include "src/mem/replacement.h"
 
-#include <memory>
 #include <optional>
 #include <vector>
 
@@ -103,7 +102,7 @@ private:
     std::uint32_t ways_;
     std::uint32_t block_bytes_;
     std::vector<cache_line> lines_;
-    std::unique_ptr<replacement_policy> policy_;
+    replacement_policy policy_; ///< value type: LRU touch/victim inline here
 };
 
 } // namespace lnuca::mem

@@ -7,9 +7,9 @@
 // owning cache (handled by the cache, which calls contains()).
 #pragma once
 
+#include "src/common/ring_queue.h"
 #include "src/common/types.h"
 
-#include <deque>
 #include <optional>
 
 namespace lnuca::mem {
@@ -19,6 +19,7 @@ public:
     write_buffer(std::uint32_t entries, std::uint32_t block_bytes)
         : capacity_(entries), block_bytes_(block_bytes)
     {
+        queue_.reserve(entries); // steady-state pushes never allocate
     }
 
     bool full() const { return queue_.size() >= capacity_; }
@@ -54,7 +55,7 @@ private:
 
     std::uint32_t capacity_;
     std::uint32_t block_bytes_;
-    std::deque<entry> queue_;
+    ring_queue<entry> queue_;
 };
 
 } // namespace lnuca::mem

@@ -6,51 +6,72 @@
 // capacity of two this reproduces the paper's two-entry On/Off buffers
 // (capacity covers the two-cycle On/Off round trip, so no message is ever
 // dropped).
+//
+// Storage is a fixed-capacity ring held inline in the fifo object (no
+// std::deque chunk churn): committed entries occupy [head, head+committed)
+// and staged entries follow at [head+committed, head+committed+staged), so
+// commit() is a counter update — O(1), no element moves, no allocation.
+// The inline small-buffer covers the common capacities (the paper's
+// two-entry On/Off buffers and the 4-deep router VCs); larger capacities
+// (the buffer-depth ablation's upper range is 8) fall back to one heap
+// block allocated at construction; no operation allocates after that.
 #pragma once
 
+#include <array>
 #include <cstddef>
-#include <deque>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 namespace lnuca::noc {
 
-template <typename T>
+template <typename T, std::size_t InlineCapacity = 4>
 class sync_fifo {
 public:
-    explicit sync_fifo(std::size_t capacity = 2) : capacity_(capacity) {}
+    explicit sync_fifo(std::size_t capacity = 2) : capacity_(capacity)
+    {
+        if (capacity_ == 0)
+            throw std::invalid_argument("sync_fifo capacity must be positive");
+        if (capacity_ > InlineCapacity)
+            overflow_.resize(capacity_);
+    }
 
     std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return committed_.size(); }
-    bool empty() const { return committed_.empty(); }
+    std::size_t size() const { return committed_; }
+    bool empty() const { return committed_ == 0; }
 
     /// Nothing visible *or* staged: safe-to-sleep test for idle-skip
     /// scheduling (a staged entry forces a commit, hence a tick, next cycle).
-    bool idle() const { return committed_.empty() && staged_.empty(); }
-    std::size_t total_size() const { return committed_.size() + staged_.size(); }
+    bool idle() const { return committed_ + staged_ == 0; }
+    std::size_t total_size() const { return committed_ + staged_; }
 
     /// On/Off back-pressure as seen by the upstream tile this cycle:
     /// Off (false) when committed + staged occupancy has reached capacity.
-    bool on() const { return committed_.size() + staged_.size() < capacity_; }
+    bool on() const { return committed_ + staged_ < capacity_; }
 
     /// Stage a message for delivery next cycle. Caller must check on().
-    void push(T value) { staged_.push_back(std::move(value)); }
+    void push(T value)
+    {
+        if (committed_ + staged_ == capacity_)
+            throw std::logic_error("sync_fifo overflow: push without on()");
+        slot(committed_ + staged_) = std::move(value);
+        ++staged_;
+    }
 
     /// Front of the committed (visible) entries.
-    const T* front() const { return committed_.empty() ? nullptr : &committed_.front(); }
+    const T* front() const { return committed_ == 0 ? nullptr : &slot(0); }
 
     /// Pop the visible head.
     std::optional<T> pop()
     {
-        if (committed_.empty())
+        if (committed_ == 0)
             return std::nullopt;
-        T out = std::move(committed_.front());
-        committed_.pop_front();
+        T out = std::move(slot(0));
+        slot(0) = T{};
+        head_ = wrap(head_ + 1);
+        --committed_;
         return out;
     }
-
-    /// Iterate visible entries (U-buffer address comparators do this).
-    const std::deque<T>& visible() const { return committed_; }
 
     /// Find an entry (visible or staged) matching `pred`; the L-NUCA search
     /// operation compares addresses against in-transit replacement blocks,
@@ -58,12 +79,9 @@ public:
     template <typename Pred>
     const T* find(Pred pred) const
     {
-        for (const auto& v : committed_)
-            if (pred(v))
-                return &v;
-        for (const auto& v : staged_)
-            if (pred(v))
-                return &v;
+        for (std::size_t i = 0; i < committed_ + staged_; ++i)
+            if (pred(slot(i)))
+                return &slot(i);
         return nullptr;
     }
 
@@ -72,19 +90,19 @@ public:
     template <typename Pred>
     std::optional<T> extract(Pred pred)
     {
-        for (auto it = committed_.begin(); it != committed_.end(); ++it) {
-            if (pred(*it)) {
-                T out = std::move(*it);
-                committed_.erase(it);
-                return out;
-            }
-        }
-        for (auto it = staged_.begin(); it != staged_.end(); ++it) {
-            if (pred(*it)) {
-                T out = std::move(*it);
-                staged_.erase(it);
-                return out;
-            }
+        const std::size_t total = committed_ + staged_;
+        for (std::size_t i = 0; i < total; ++i) {
+            if (!pred(slot(i)))
+                continue;
+            T out = std::move(slot(i));
+            for (std::size_t k = i + 1; k < total; ++k)
+                slot(k - 1) = std::move(slot(k));
+            slot(total - 1) = T{};
+            if (i < committed_)
+                --committed_;
+            else
+                --staged_;
+            return out;
         }
         return std::nullopt;
     }
@@ -93,30 +111,45 @@ public:
     template <typename Fn>
     void for_each(Fn fn)
     {
-        for (auto& v : committed_)
-            fn(v);
-        for (auto& v : staged_)
-            fn(v);
+        for (std::size_t i = 0; i < committed_ + staged_; ++i)
+            fn(slot(i));
     }
 
-    /// Make staged pushes visible; call once per simulated cycle.
+    /// Make staged pushes visible; call once per simulated cycle. O(1).
     void commit()
     {
-        for (auto& v : staged_)
-            committed_.push_back(std::move(v));
-        staged_.clear();
+        committed_ += staged_;
+        staged_ = 0;
     }
 
     void clear()
     {
-        committed_.clear();
-        staged_.clear();
+        for (std::size_t i = 0; i < committed_ + staged_; ++i)
+            slot(i) = T{};
+        head_ = 0;
+        committed_ = 0;
+        staged_ = 0;
     }
 
 private:
+    T* data() { return capacity_ > InlineCapacity ? overflow_.data() : inline_.data(); }
+    const T* data() const
+    {
+        return capacity_ > InlineCapacity ? overflow_.data() : inline_.data();
+    }
+
+    /// `i` is always < 2 * capacity_ here, so one conditional wraps.
+    std::size_t wrap(std::size_t i) const { return i >= capacity_ ? i - capacity_ : i; }
+
+    T& slot(std::size_t i) { return data()[wrap(head_ + i)]; }
+    const T& slot(std::size_t i) const { return data()[wrap(head_ + i)]; }
+
     std::size_t capacity_;
-    std::deque<T> committed_;
-    std::vector<T> staged_;
+    std::size_t head_ = 0;      ///< ring position of the oldest committed entry
+    std::size_t committed_ = 0; ///< visible entries
+    std::size_t staged_ = 0;    ///< entries latched this cycle, visible next
+    std::array<T, InlineCapacity> inline_{};
+    std::vector<T> overflow_; ///< only used when capacity_ > InlineCapacity
 };
 
 } // namespace lnuca::noc

@@ -16,6 +16,8 @@ vc_router::vc_router(const router_config& config, coord position)
         c.assign(config_.virtual_channels, config_.vc_depth);
     for (auto& o : vc_owner_)
         o.assign(config_.virtual_channels, -1);
+    counters_.preregister(
+        {"injected", "ejected", "forwarded", "credit_stall", "vc_alloc_stall"});
 }
 
 bool vc_router::local_can_accept(std::uint32_t vc) const
@@ -33,9 +35,7 @@ std::optional<flit> vc_router::local_eject()
 {
     if (ejected_.empty())
         return std::nullopt;
-    flit out = ejected_.front();
-    ejected_.erase(ejected_.begin());
-    return out;
+    return ejected_.take_front();
 }
 
 bool vc_router::quiescent() const

@@ -4,6 +4,7 @@
 // control, round-robin switch allocation, one cycle per hop.
 #pragma once
 
+#include "src/common/ring_queue.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/noc/fifo.h"
@@ -76,7 +77,7 @@ private:
     // (Switch-allocation round-robin rotates by cycle number - see
     // mesh_network::step - so routers hold no per-cycle arbitration state.)
     std::array<std::vector<std::int32_t>, port_count> vc_owner_;
-    std::vector<flit> ejected_;
+    ring_queue<flit> ejected_;
     counter_set counters_;
 };
 

@@ -168,7 +168,13 @@ TEST(stats, counter_set_insertion_order_and_get)
     ASSERT_EQ(c.items().size(), 2u);
     EXPECT_EQ(c.items()[0].first, "b");
     c.reset();
-    EXPECT_TRUE(c.items().empty());
+    // reset() zeroes values but keeps names (stable counter handles).
+    ASSERT_EQ(c.items().size(), 2u);
+    EXPECT_EQ(c.get("b"), 0u);
+    EXPECT_EQ(c.get("a"), 0u);
+    const counter_set::handle hb = c.handle_of("b");
+    c.inc(hb, 5);
+    EXPECT_EQ(c.get("b"), 5u);
 }
 
 TEST(histogram, counts_and_overflow)

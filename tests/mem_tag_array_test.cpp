@@ -131,9 +131,9 @@ TEST(tag_array, evict_victim_frees_way)
 
 TEST(replacement, factory_names)
 {
-    EXPECT_EQ(make_replacement_policy("lru")->name(), "lru");
-    EXPECT_EQ(make_replacement_policy("random")->name(), "random");
-    EXPECT_EQ(make_replacement_policy("fifo")->name(), "fifo");
+    EXPECT_EQ(make_replacement_policy("lru").name(), "lru");
+    EXPECT_EQ(make_replacement_policy("random").name(), "random");
+    EXPECT_EQ(make_replacement_policy("fifo").name(), "fifo");
     EXPECT_THROW(make_replacement_policy("plru"), std::invalid_argument);
 }
 

@@ -81,6 +81,113 @@ TEST(sync_fifo, for_each_mutates)
     EXPECT_EQ(*f.front(), 20);
 }
 
+TEST(sync_fifo, capacity_edge_push_without_on_throws)
+{
+    sync_fifo<int> f(2);
+    f.push(1);
+    f.push(2);
+    EXPECT_FALSE(f.on());
+    // The push contract is "caller checked on()"; the ring enforces it
+    // loudly instead of silently growing like the old deque.
+    EXPECT_THROW(f.push(3), std::logic_error);
+    f.commit();
+    EXPECT_THROW(f.push(3), std::logic_error); // committed occupancy counts
+    f.pop();
+    f.push(3); // freed slot is usable again
+    EXPECT_FALSE(f.on());
+}
+
+TEST(sync_fifo, capacity_one_ring_wraps)
+{
+    sync_fifo<int> f(1);
+    for (int v = 0; v < 5; ++v) {
+        EXPECT_TRUE(f.on());
+        f.push(v);
+        EXPECT_FALSE(f.on());
+        EXPECT_TRUE(f.empty()); // staged, not visible
+        f.commit();
+        ASSERT_NE(f.front(), nullptr);
+        EXPECT_EQ(*f.front(), v);
+        EXPECT_EQ(*f.pop(), v);
+    }
+    EXPECT_TRUE(f.idle());
+}
+
+TEST(sync_fifo, staged_commit_visibility_across_wrap)
+{
+    // Interleave pops and staged pushes so the ring head wraps repeatedly;
+    // visibility must match the old deque semantics exactly.
+    sync_fifo<int> f(2);
+    int next_value = 0;
+    int expected_head = next_value;
+    f.push(next_value++);
+    f.commit();
+    for (int round = 0; round < 7; ++round) {
+        f.push(next_value); // staged behind the visible head
+        EXPECT_EQ(f.size(), 1u);
+        EXPECT_EQ(f.total_size(), 2u);
+        EXPECT_EQ(*f.pop(), expected_head); // only the committed entry pops
+        EXPECT_FALSE(f.pop().has_value());  // staged one is not visible yet
+        f.commit();
+        expected_head = next_value++;
+        ASSERT_NE(f.front(), nullptr);
+        EXPECT_EQ(*f.front(), expected_head);
+    }
+}
+
+TEST(sync_fifo, on_off_backpressure_parity_with_deque_semantics)
+{
+    // The On/Off signal counts committed + staged occupancy, exactly as the
+    // deque-backed version did.
+    sync_fifo<int> f(2);
+    EXPECT_TRUE(f.on());
+    f.push(1);
+    EXPECT_TRUE(f.on()); // 1 staged of 2
+    f.push(2);
+    EXPECT_FALSE(f.on()); // staged occupancy counts
+    f.commit();
+    EXPECT_FALSE(f.on());
+    f.pop();
+    EXPECT_TRUE(f.on());
+    f.push(3);
+    EXPECT_FALSE(f.on()); // 1 committed + 1 staged
+    EXPECT_EQ(f.size(), 1u);
+    EXPECT_EQ(f.total_size(), 2u);
+}
+
+TEST(sync_fifo, heap_fallback_beyond_inline_slots)
+{
+    // Capacities above the inline small-buffer threshold still work (one
+    // construction-time allocation, same semantics).
+    sync_fifo<int> f(12);
+    for (int v = 0; v < 12; ++v)
+        f.push(v);
+    EXPECT_FALSE(f.on());
+    f.commit();
+    for (int v = 0; v < 12; ++v)
+        EXPECT_EQ(*f.pop(), v);
+    EXPECT_TRUE(f.idle());
+}
+
+TEST(sync_fifo, extract_from_staged_region_after_wrap)
+{
+    sync_fifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.commit();
+    f.pop(); // head advances: ring reads now wrap
+    f.push(3);
+    f.push(4);
+    const auto got = f.extract([](int v) { return v == 3; }); // staged
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 3);
+    EXPECT_EQ(f.size(), 1u);       // 2 still visible
+    EXPECT_EQ(f.total_size(), 2u); // 4 still staged
+    f.commit();
+    EXPECT_EQ(*f.pop(), 2);
+    EXPECT_EQ(*f.pop(), 4);
+}
+
 flit make_flit(std::uint64_t packet, coord src, coord dst, std::uint16_t seq,
                std::uint16_t count)
 {
