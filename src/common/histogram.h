@@ -36,6 +36,10 @@ public:
         return total_ == 0 ? 0.0 : double(weighted_sum_) / double(total_);
     }
 
+    /// Exact sum of value*weight (accumulating means across windows
+    /// without double-rounding drift).
+    std::uint64_t weighted_sum() const { return weighted_sum_; }
+
     /// Smallest value v such that at least `fraction` of mass is <= v.
     /// Overflowed observations count as "beyond any bucket".
     std::uint64_t percentile(double fraction) const

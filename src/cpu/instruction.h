@@ -52,6 +52,12 @@ public:
     virtual ~instruction_stream() = default;
 
     virtual instruction next() = 0;
+
+    /// Fast-forward variant (sampled simulation): must return the same
+    /// op/address/branch content as next() and leave the stream in exactly
+    /// the same state, but may skip fields only the detailed pipeline reads
+    /// (dependency distances). Default: identical to next().
+    virtual instruction warm_next() { return next(); }
 };
 
 } // namespace lnuca::cpu

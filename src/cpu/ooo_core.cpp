@@ -30,6 +30,12 @@ ooo_core::ooo_core(const core_config& config, instruction_stream& stream,
     h_stores_issued_ = counters_.handle_of("stores_issued");
     h_branches_ = counters_.handle_of("branches");
     h_dispatch_wait_ = counters_.handle_of("dispatch_wait_cycles");
+    h_branch_mispredicts_ = counters_.handle_of("branch_mispredicts");
+    h_l1_port_retry_ = counters_.handle_of("l1_port_retry");
+    h_dtlb_misses_ = counters_.handle_of("dtlb_misses");
+    h_orphan_responses_ = counters_.handle_of("orphan_responses");
+    h_sb_full_stall_ = counters_.handle_of("sb_full_stall");
+    h_store_forwards_ = counters_.handle_of("store_forwards");
     // Pre-size every hot-path container for its structural bound so
     // steady-state ticks never allocate.
     fetch_queue_.reserve(4 * config.fetch_width + config.fetch_width);
@@ -209,7 +215,7 @@ void ooo_core::process_responses(cycle_t now)
             }
         }
         if (!matched)
-            counters_.inc("orphan_responses");
+            counters_.inc(h_orphan_responses_);
     }
 }
 
@@ -222,7 +228,7 @@ void ooo_core::commit(cycle_t now)
             break;
         if (head.inst.op == op_class::store) {
             if (store_buffer_.size() >= config_.store_buffer_size) {
-                counters_.inc("sb_full_stall");
+                counters_.inc(h_sb_full_stall_);
                 break;
             }
             store_buffer_.push_back({head.inst.addr, head.inst.size, 0, false,
@@ -241,7 +247,7 @@ void ooo_core::commit(cycle_t now)
         } else if (head.inst.op == op_class::branch) {
             counters_.inc(h_branches_);
             if (head.mispredicted)
-                counters_.inc("branch_mispredicts");
+                counters_.inc(h_branch_mispredicts_);
         }
         head.dependents.clear();
         rob_head_ = std::uint32_t((rob_head_ + 1) % rob_.size());
@@ -305,7 +311,7 @@ void ooo_core::start_load_access(std::uint32_t slot, cycle_t now)
         completions_.push(now + config_.lat_store_forward, slot);
         // Model the forward as an L1-class service for statistics.
         ++served_by_level_[std::size_t(mem::service_level::l1)];
-        counters_.inc("store_forwards");
+        counters_.inc(h_store_forwards_);
         counters_.inc(h_loads_completed_);
         // Completion via the execution path; mark as normal op finishing.
         // (wake and state transition happen in writeback.)
@@ -319,7 +325,7 @@ void ooo_core::start_load_access(std::uint32_t slot, cycle_t now)
     request.kind = mem::access_kind::read;
     request.created_at = now;
     if (dcache_ == nullptr || !dcache_->can_accept(request)) {
-        counters_.inc("l1_port_retry");
+        counters_.inc(h_l1_port_retry_);
         delayed_mem_.push(now + 1, slot);
         return;
     }
@@ -389,7 +395,7 @@ void ooo_core::issue(cycle_t now)
         case op_class::load: {
             counters_.inc(h_loads_);
             if (!dtlb_.access(entry.inst.addr)) {
-                counters_.inc("dtlb_misses");
+                counters_.inc(h_dtlb_misses_);
                 delayed_mem_.push(now + config_.tlb_miss_latency, slot);
             } else {
                 start_load_access(slot, now);
@@ -404,7 +410,7 @@ void ooo_core::issue(cycle_t now)
             counters_.inc(h_stores_);
             cycle_t extra = 0;
             if (!dtlb_.access(entry.inst.addr)) {
-                counters_.inc("dtlb_misses");
+                counters_.inc(h_dtlb_misses_);
                 extra = config_.tlb_miss_latency;
             }
             completions_.push(now + latency_of(entry.inst.op) + extra, slot);
@@ -558,6 +564,34 @@ void ooo_core::drain_store_buffer(cycle_t now)
         --sb_unissued_;
         counters_.inc(h_stores_issued_);
         return; // one per cycle
+    }
+}
+
+void ooo_core::warm_retire(std::uint64_t count)
+{
+    for (std::uint64_t n = 0; n < count; ++n) {
+        const instruction inst = stream_.warm_next();
+        switch (inst.op) {
+        case op_class::branch:
+            // update() trains all predictor components and the global
+            // history with the same state the fetch path would use.
+            predictor_.update(inst.pc, inst.taken);
+            break;
+        case op_class::load:
+            dtlb_.access(inst.addr);
+            if (dcache_ != nullptr)
+                dcache_->warm_access(
+                    {inst.addr, mem::access_kind::read, false});
+            break;
+        case op_class::store:
+            dtlb_.access(inst.addr);
+            if (dcache_ != nullptr)
+                dcache_->warm_access(
+                    {inst.addr, mem::access_kind::write, false});
+            break;
+        default:
+            break;
+        }
     }
 }
 

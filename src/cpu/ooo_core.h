@@ -69,6 +69,25 @@ public:
     void set_instruction_limit(std::uint64_t limit) { limit_ = limit; }
     bool done() const { return committed_ >= limit_; }
 
+    /// Functional fast-forward (sampled simulation): consume `count`
+    /// instructions from the stream without simulating timing, while
+    /// keeping every predictive structure warm - the branch predictor
+    /// trains, the DTLB is touched, and loads/stores walk the hierarchy's
+    /// warm_access() path (tags/LRU/migration state). Statistics, the ROB
+    /// and all timing queues are untouched; the caller must only invoke
+    /// this while the pipeline is drained (quiescent()).
+    void warm_retire(std::uint64_t count);
+
+    /// No instruction in flight anywhere in the core (drain detection
+    /// between detailed windows and functional fast-forward).
+    bool quiescent() const
+    {
+        return rob_count_ == 0 && fetch_queue_.empty() &&
+               store_buffer_.empty() && pending_loads_.empty() &&
+               completions_.empty() && delayed_mem_.empty() &&
+               responses_.empty();
+    }
+
     // mem_client
     void respond(const mem::mem_response& response) override;
 
@@ -206,6 +225,12 @@ private:
     counter_set::handle h_stores_issued_ = 0;
     counter_set::handle h_branches_ = 0;
     counter_set::handle h_dispatch_wait_ = 0;
+    counter_set::handle h_branch_mispredicts_ = 0;
+    counter_set::handle h_l1_port_retry_ = 0;
+    counter_set::handle h_dtlb_misses_ = 0;
+    counter_set::handle h_orphan_responses_ = 0;
+    counter_set::handle h_sb_full_stall_ = 0;
+    counter_set::handle h_store_forwards_ = 0;
     histogram load_latency_{256};
     std::vector<std::uint64_t> served_by_level_;
     std::vector<std::uint64_t> served_by_fabric_level_;

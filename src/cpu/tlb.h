@@ -1,7 +1,14 @@
 // Data TLB: fully-associative LRU over pages; misses add a fixed page-walk
 // latency to the access (Table I: 30 cycles).
+//
+// Lookup goes through an open-addressed page index (linear probing,
+// backward-shift deletion) instead of scanning the entry array, so the
+// common hit costs O(1) - this sits on both the detailed issue path and the
+// sampled fast-forward path. Replacement decisions are unchanged: the LRU
+// victim scan only runs on a miss.
 #pragma once
 
+#include "src/common/rng.h"
 #include "src/common/types.h"
 
 #include <cstdint>
@@ -15,6 +22,10 @@ public:
         : page_bytes_(page_bytes), entries_(entries, no_addr),
           last_use_(entries, 0)
     {
+        std::size_t buckets = 8;
+        while (buckets < entries * 4)
+            buckets <<= 1;
+        index_.assign(buckets, 0);
     }
 
     /// Touch the page containing `addr`; returns true on a TLB hit.
@@ -22,20 +33,22 @@ public:
     {
         const addr_t page = addr / page_bytes_;
         ++stamp_;
-        for (std::size_t i = 0; i < entries_.size(); ++i) {
-            if (entries_[i] == page) {
-                last_use_[i] = stamp_;
-                ++hits_;
-                return true;
-            }
+        const std::size_t bucket = find_bucket(page);
+        if (index_[bucket] != 0) {
+            last_use_[index_[bucket] - 1] = stamp_;
+            ++hits_;
+            return true;
         }
         // Miss: replace the LRU entry.
         std::size_t victim = 0;
         for (std::size_t i = 1; i < entries_.size(); ++i)
             if (last_use_[i] < last_use_[victim])
                 victim = i;
+        if (entries_[victim] != no_addr)
+            erase(entries_[victim]);
         entries_[victim] = page;
         last_use_[victim] = stamp_;
+        index_[find_bucket(page)] = std::uint32_t(victim + 1);
         ++misses_;
         return false;
     }
@@ -44,9 +57,39 @@ public:
     std::uint64_t misses() const { return misses_; }
 
 private:
+    std::size_t mask() const { return index_.size() - 1; }
+
+    /// Bucket holding `page`, or the empty bucket where it would insert.
+    std::size_t find_bucket(addr_t page) const
+    {
+        std::size_t b = std::size_t(hash64(page)) & mask();
+        while (index_[b] != 0 && entries_[index_[b] - 1] != page)
+            b = (b + 1) & mask();
+        return b;
+    }
+
+    void erase(addr_t page)
+    {
+        std::size_t b = find_bucket(page);
+        if (index_[b] == 0)
+            return;
+        index_[b] = 0;
+        // Backward-shift deletion: re-place the probe cluster behind the
+        // hole so later lookups never stop early at a stale gap.
+        std::size_t i = (b + 1) & mask();
+        while (index_[i] != 0) {
+            const std::uint32_t v = index_[i];
+            index_[i] = 0;
+            index_[find_bucket(entries_[v - 1])] = v;
+            i = (i + 1) & mask();
+        }
+    }
+
     std::uint64_t page_bytes_;
     std::vector<addr_t> entries_;
     std::vector<std::uint64_t> last_use_;
+    /// Page -> entry index + 1; 0 = empty (power-of-two, linear probing).
+    std::vector<std::uint32_t> index_;
     std::uint64_t stamp_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

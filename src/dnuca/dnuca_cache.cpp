@@ -40,6 +40,27 @@ dnuca_cache::dnuca_cache(const dnuca_config& config, mem::txn_id_source& ids)
          "read_hits", "read_misses", "write_installs", "fills_from_memory",
          "untracked_response", "orphan_reply", "unexpected_bank_flit",
          "unexpected_controller_flit"});
+    h_bank_lookups_ = counters_.handle_of("bank_lookups");
+    h_bank_read_hits_ = counters_.handle_of("bank_read_hits");
+    h_bank_write_hits_ = counters_.handle_of("bank_write_hits");
+    h_bank_writes_ = counters_.handle_of("bank_writes");
+    h_fills_from_memory_ = counters_.handle_of("fills_from_memory");
+    h_flits_injected_ = counters_.handle_of("flits_injected");
+    h_inject_stall_ = counters_.handle_of("inject_stall");
+    h_migrations_delivered_ = counters_.handle_of("migrations_delivered");
+    h_mshr_merge_ = counters_.handle_of("mshr_merge");
+    h_orphan_reply_ = counters_.handle_of("orphan_reply");
+    h_promotion_spills_ = counters_.handle_of("promotion_spills");
+    h_promotions_ = counters_.handle_of("promotions");
+    h_read_hits_ = counters_.handle_of("read_hits");
+    h_read_misses_ = counters_.handle_of("read_misses");
+    h_tail_evictions_ = counters_.handle_of("tail_evictions");
+    h_unexpected_bank_flit_ = counters_.handle_of("unexpected_bank_flit");
+    h_unexpected_controller_flit_ = counters_.handle_of("unexpected_controller_flit");
+    h_untracked_response_ = counters_.handle_of("untracked_response");
+    h_write_installs_ = counters_.handle_of("write_installs");
+    h_writes_coalesced_ = counters_.handle_of("writes_coalesced");
+    h_writes_filtered_ = counters_.handle_of("writes_filtered");
     // Pre-size the controller-side queues: a probe set is `rows` flits and
     // a data reply is flits_for_block(), so these bounds cover steady state
     // without reallocation (growth stays possible for pathological bursts).
@@ -78,7 +99,7 @@ void dnuca_cache::accept(const mem::mem_request& request)
         if (mem::mshr_entry* entry = mshrs_.find(block)) {
             mshrs_.add_target(*entry, {request.id, request.addr, request.kind,
                                        request.created_at});
-            counters_.inc("mshr_merge");
+            counters_.inc(h_mshr_merge_);
             return;
         }
         auto& entry = mshrs_.allocate(block, now);
@@ -93,7 +114,7 @@ void dnuca_cache::accept(const mem::mem_request& request)
             auto rit = requests_.find(it->second);
             if (rit != requests_.end()) {
                 rit->second.dirty = true;
-                counters_.inc("writes_coalesced");
+                counters_.inc(h_writes_coalesced_);
                 return;
             }
             active_writes_.erase(it);
@@ -101,7 +122,7 @@ void dnuca_cache::accept(const mem::mem_request& request)
         // Lines recently confirmed dirty absorb stores with no probe.
         for (const addr_t line : written_lines_) {
             if (line == block) {
-                counters_.inc("writes_filtered");
+                counters_.inc(h_writes_filtered_);
                 return;
             }
         }
@@ -176,11 +197,11 @@ void dnuca_cache::inject_from(injector& from, noc::coord at)
             }
         }
         if (!found) {
-            counters_.inc("inject_stall");
+            counters_.inc(h_inject_stall_);
             return;
         }
     } else if (!router.local_can_accept(from.vc)) {
-        counters_.inc("inject_stall");
+        counters_.inc(h_inject_stall_);
         return;
     }
 
@@ -189,7 +210,7 @@ void dnuca_cache::inject_from(injector& from, noc::coord at)
     if (head.tail())
         from.vc = (from.vc + 1) % config_.router.virtual_channels;
     from.queue.pop_front();
-    counters_.inc("flits_injected");
+    counters_.inc(h_flits_injected_);
 }
 
 cycle_t dnuca_cache::next_event(cycle_t now) const
@@ -269,7 +290,7 @@ void dnuca_cache::process_memory_responses(cycle_t now)
     while (auto response = memory_responses_.pop_ready(now)) {
         const auto it = outstanding_memory_.find(response->id);
         if (it == outstanding_memory_.end()) {
-            counters_.inc("untracked_response");
+            counters_.inc(h_untracked_response_);
             continue;
         }
         const addr_t block = it->second;
@@ -290,7 +311,7 @@ void dnuca_cache::process_memory_responses(cycle_t now)
                 upstream_->respond(up);
             }
         }
-        counters_.inc("fills_from_memory");
+        counters_.inc(h_fills_from_memory_);
     }
 }
 
@@ -317,10 +338,10 @@ void dnuca_cache::eject_and_handle(cycle_t now)
                 // Functional swap already applied; the packet models the
                 // traffic. Nothing to do at arrival.
                 if (f->tail())
-                    counters_.inc("migrations_delivered");
+                    counters_.inc(h_migrations_delivered_);
                 break;
             default:
-                counters_.inc("unexpected_bank_flit");
+                counters_.inc(h_unexpected_bank_flit_);
                 break;
             }
         }
@@ -336,13 +357,13 @@ void dnuca_cache::run_banks(cycle_t now)
             // Finish lookups whose completion time arrived.
             while (auto probe = b.lookups.pop_ready(now)) {
                 const addr_t block = to_bank_addr(probe->addr);
-                counters_.inc("bank_lookups");
+                counters_.inc(h_bank_lookups_);
                 const bool is_write_probe =
                     probe->kind == noc::packet_kind::writeback;
                 const auto hit = b.tags->lookup(block);
                 if (hit && !is_write_probe) {
                     row_hits_[row]++;
-                    counters_.inc("bank_read_hits");
+                    counters_.inc(h_bank_read_hits_);
                     send_packet(b.outbox, noc::packet_kind::reply,
                                 bank_coord(col, row), {0, 0}, probe->addr,
                                 probe->txn, flits_for_block(), now);
@@ -350,7 +371,7 @@ void dnuca_cache::run_banks(cycle_t now)
                         promote(now, col, row, block);
                 } else if (hit && is_write_probe) {
                     b.tags->set_dirty(block, true);
-                    counters_.inc("bank_write_hits");
+                    counters_.inc(h_bank_write_hits_);
                     send_packet(b.outbox, noc::packet_kind::reply,
                                 bank_coord(col, row), {0, 0}, probe->addr,
                                 probe->txn, 1, now); // write ack
@@ -403,10 +424,10 @@ void dnuca_cache::promote(cycle_t now, unsigned column, unsigned row,
             writeback.dirty = re->dirty;
             if (re->dirty)
                 memory_queue_.push_back(writeback);
-            counters_.inc("promotion_spills");
+            counters_.inc(h_promotion_spills_);
         }
     }
-    counters_.inc("promotions");
+    counters_.inc(h_promotions_);
 
     send_packet(lower.outbox, noc::packet_kind::migrate,
                 bank_coord(column, row), bank_coord(column, row - 1), block,
@@ -423,7 +444,7 @@ void dnuca_cache::controller_flit(cycle_t now, const noc::flit& f)
 
     const auto it = requests_.find(f.txn);
     if (it == requests_.end()) {
-        counters_.inc("orphan_reply");
+        counters_.inc(h_orphan_reply_);
         return;
     }
     request_state& state = it->second;
@@ -444,7 +465,7 @@ void dnuca_cache::controller_flit(cycle_t now, const noc::flit& f)
                     upstream_->respond(up);
                 }
             }
-            counters_.inc("read_hits");
+            counters_.inc(h_read_hits_);
             requests_.erase(it);
         } else {
             // Write probe absorbed by a bank: remember the line so
@@ -462,7 +483,7 @@ void dnuca_cache::controller_flit(cycle_t now, const noc::flit& f)
     }
 
     if (f.kind != noc::packet_kind::nack) {
-        counters_.inc("unexpected_controller_flit");
+        counters_.inc(h_unexpected_controller_flit_);
         return;
     }
 
@@ -471,7 +492,7 @@ void dnuca_cache::controller_flit(cycle_t now, const noc::flit& f)
 
     // All banks of the set missed.
     if (state.is_demand_read) {
-        counters_.inc("read_misses");
+        counters_.inc(h_read_misses_);
         mem::mem_request read;
         read.id = ids_.next();
         read.addr = state.block;
@@ -483,7 +504,7 @@ void dnuca_cache::controller_flit(cycle_t now, const noc::flit& f)
         requests_.erase(it);
     } else {
         // Word write or writeback that found no copy: install at the tail.
-        counters_.inc("write_installs");
+        counters_.inc(h_write_installs_);
         install_at_tail(now, state.block, state.dirty);
         active_writes_.erase(state.block);
         requests_.erase(it);
@@ -495,9 +516,9 @@ void dnuca_cache::install_at_tail(cycle_t now, addr_t block, bool dirty)
     (void)now;
     const unsigned column = column_of(block);
     bank& tail = bank_at(column, config_.rows);
-    counters_.inc("bank_writes");
+    counters_.inc(h_bank_writes_);
     if (auto victim = tail.tags->install(to_bank_addr(block), dirty)) {
-        counters_.inc("tail_evictions");
+        counters_.inc(h_tail_evictions_);
         if (victim->dirty) {
             mem::mem_request writeback;
             writeback.id = ids_.next();
@@ -521,6 +542,71 @@ void dnuca_cache::drain_memory_queue(cycle_t now)
         downstream_->accept(request);
         memory_queue_.pop_front();
     }
+}
+
+bool dnuca_cache::warm_access(const mem::warm_request& request)
+{
+    // Functional twin of the probe/promotion/insertion policies (see the
+    // warm_access() contract in src/mem/request.h): simple column mapping,
+    // LRU within a bank, one-row generational promotion on read hits,
+    // tail insertion with zero-copy replacement.
+    const addr_t block = request.addr & ~addr_t(config_.block_bytes - 1);
+    const unsigned column = column_of(block);
+    const addr_t local = to_bank_addr(block);
+
+    switch (request.kind) {
+    case mem::access_kind::read:
+        for (unsigned row = 1; row <= config_.rows; ++row) {
+            bank& b = bank_at(column, row);
+            if (b.tags->lookup(local)) {
+                if (row > 1) {
+                    // The promotion swap of promote(), arrays only.
+                    const auto moving = b.tags->extract(local);
+                    bank& upper = bank_at(column, row - 1);
+                    if (const auto displaced =
+                            upper.tags->install(local, moving && moving->dirty))
+                        b.tags->install(displaced->block_addr,
+                                        displaced->dirty);
+                }
+                // The timing reply never carries dirtiness (the bank keeps
+                // its dirty copy; the upper level installs clean).
+                return false;
+            }
+        }
+        // Miss: the memory fill installs at the tail row.
+        warm_install_at_tail(block, false);
+        return false;
+    case mem::access_kind::write:
+        for (unsigned row = 1; row <= config_.rows; ++row) {
+            bank& b = bank_at(column, row);
+            if (b.tags->lookup(local)) {
+                b.tags->set_dirty(local, true);
+                return false;
+            }
+        }
+        warm_install_at_tail(block, true); // write miss installs at the tail
+        return false;
+    case mem::access_kind::writeback:
+        for (unsigned row = 1; row <= config_.rows; ++row) {
+            bank& b = bank_at(column, row);
+            if (b.tags->lookup(local)) {
+                if (request.dirty)
+                    b.tags->set_dirty(local, true);
+                return false;
+            }
+        }
+        warm_install_at_tail(block, request.dirty);
+        return false;
+    }
+    return false;
+}
+
+void dnuca_cache::warm_install_at_tail(addr_t block, bool dirty)
+{
+    // Tail victims leave the cache (zero-copy replacement); main memory
+    // holds no warmable state, so the victim writeback simply vanishes.
+    bank_at(column_of(block), config_.rows)
+        .tags->install(to_bank_addr(block), dirty);
 }
 
 void dnuca_cache::prewarm(addr_t addr)

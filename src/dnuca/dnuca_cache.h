@@ -57,6 +57,7 @@ public:
     // mem_port
     bool can_accept(const mem::mem_request& request) const override;
     void accept(const mem::mem_request& request) override;
+    bool warm_access(const mem::warm_request& request) override;
 
     // mem_client (memory side)
     void respond(const mem::mem_response& response) override;
@@ -147,6 +148,7 @@ private:
     void controller_flit(cycle_t now, const noc::flit& f);
     void install_at_tail(cycle_t now, addr_t block, bool dirty);
     void promote(cycle_t now, unsigned column, unsigned row, addr_t block);
+    void warm_install_at_tail(addr_t block, bool dirty);
     void inject_from(injector& from, noc::coord at);
     void drain_memory_queue(cycle_t now);
     void send_packet(injector& from, noc::packet_kind kind, noc::coord src,
@@ -156,6 +158,27 @@ private:
     dnuca_config config_;
     mem::txn_id_source& ids_;
     counter_set counters_;
+    counter_set::handle h_bank_lookups_ = 0;
+    counter_set::handle h_bank_read_hits_ = 0;
+    counter_set::handle h_bank_write_hits_ = 0;
+    counter_set::handle h_bank_writes_ = 0;
+    counter_set::handle h_fills_from_memory_ = 0;
+    counter_set::handle h_flits_injected_ = 0;
+    counter_set::handle h_inject_stall_ = 0;
+    counter_set::handle h_migrations_delivered_ = 0;
+    counter_set::handle h_mshr_merge_ = 0;
+    counter_set::handle h_orphan_reply_ = 0;
+    counter_set::handle h_promotion_spills_ = 0;
+    counter_set::handle h_promotions_ = 0;
+    counter_set::handle h_read_hits_ = 0;
+    counter_set::handle h_read_misses_ = 0;
+    counter_set::handle h_tail_evictions_ = 0;
+    counter_set::handle h_unexpected_bank_flit_ = 0;
+    counter_set::handle h_unexpected_controller_flit_ = 0;
+    counter_set::handle h_untracked_response_ = 0;
+    counter_set::handle h_write_installs_ = 0;
+    counter_set::handle h_writes_coalesced_ = 0;
+    counter_set::handle h_writes_filtered_ = 0;
 
     mem::mem_client* upstream_ = nullptr;
     mem::mem_port* downstream_ = nullptr;

@@ -54,6 +54,15 @@ app_options parse_app_options(const cli_args& args)
                      "unknown --engine '%s' (dense|skip|paranoid); using "
                      "idle-skip\n",
                      engine.c_str());
+    const std::string sampling = args.get_string("sampling", "off");
+    if (const auto parsed = hier::parse_sampling_spec(sampling)) {
+        opt.sampling = *parsed;
+    } else {
+        std::fprintf(stderr,
+                     "unknown --sampling '%s' (off|periodic:<detail>:<period>"
+                     "[:<warmup>]); sampling stays off\n",
+                     sampling.c_str());
+    }
     if (const auto shard = args.value("shard")) {
         if (!parse_shard(*shard, opt.shard_index, opt.shard_count)) {
             std::fprintf(stderr,
@@ -74,8 +83,10 @@ int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
     const cli_args args(argc, argv);
     const app_options opt = parse_app_options(args);
 
-    for (auto& config : configs)
+    for (auto& config : configs) {
         config.engine_mode = opt.engine_mode;
+        config.sampling = opt.sampling;
+    }
 
     sweep s;
     s.add_configs(configs)

@@ -11,6 +11,10 @@
 //   --csv PATH         write CSV results ("-" = stdout)
 //   --engine MODE      dense | skip | paranoid (default: skip; bit-identical
 //                      schedules, see src/sim/engine.h)
+//   --sampling SPEC    off (default) | periodic:<detail>:<period>[:<warmup>]
+//                      sampled execution: functional fast-forward plus
+//                      periodic detailed windows; results carry a 95% CI
+//                      (run_result::ipc_ci95) and estimated counts
 //   --quiet            skip the paper-style rendered tables and the
 //                      throughput summary
 //
@@ -42,6 +46,7 @@ struct app_options {
     std::string csv_path;
     bool quiet = false;
     sim::schedule_mode engine_mode = sim::schedule_mode::idle_skip;
+    hier::sampling_config sampling; ///< disabled unless --sampling given
 };
 
 /// Parse the shared options; unknown options are left for the caller.

@@ -2,6 +2,7 @@
 
 #include "src/common/table.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,6 +66,10 @@ void table_sink::consume(const job& j, const hier::run_result& r)
 {
     rows_.push_back({r.config_name, r.workload_name,
                      std::to_string(j.key.replicate), text_table::num(r.ipc, 3),
+                     // ASCII on purpose: text_table widths count bytes.
+                     r.sampled ? "+-" + text_table::num(r.ipc_ci95, 3) + " (" +
+                                     std::to_string(r.sampled_windows) + "w)"
+                               : "measured",
                      std::to_string(r.cycles),
                      text_table::num(r.avg_load_latency, 1),
                      text_table::num(r.energy.total() * 1e3, 3),
@@ -75,8 +80,8 @@ void table_sink::consume(const job& j, const hier::run_result& r)
 void table_sink::finish()
 {
     text_table t("Run log");
-    t.set_header({"config", "workload", "rep", "IPC", "cycles", "load lat.",
-                  "energy (mJ)", "host s", "Mcyc/s"});
+    t.set_header({"config", "workload", "rep", "IPC", "IPC est.", "cycles",
+                  "load lat.", "energy (mJ)", "host s", "Mcyc/s"});
     for (auto& row : rows_)
         t.add_row(std::move(row));
     out_ << t.render();
@@ -90,7 +95,8 @@ void table_sink::finish()
 void csv_sink::begin(std::size_t)
 {
     out_ << "config,workload,config_index,workload_index,replicate,flat,seed,"
-            "floating_point,instructions,cycles,ipc,l2_read_hits,"
+            "floating_point,instructions,cycles,ipc,sampled,sampled_windows,"
+            "measured_instructions,ipc_ci95,l2_read_hits,"
             "transport_actual,transport_min,search_restarts,searches,"
             "loads_l1,loads_fabric,loads_l2,loads_l3,loads_dnuca,"
             "loads_memory,avg_load_latency,energy_dynamic_j,"
@@ -105,7 +111,10 @@ void csv_sink::consume(const job& j, const hier::run_result& r)
          << ',' << j.key.config << ',' << j.key.workload << ','
          << j.key.replicate << ',' << j.key.flat << ',' << j.seed << ','
          << (r.floating_point ? 1 : 0) << ',' << r.instructions << ','
-         << r.cycles << ',' << fmt_double(r.ipc) << ',' << r.l2_read_hits
+         << r.cycles << ',' << fmt_double(r.ipc) << ','
+         << (r.sampled ? 1 : 0) << ',' << r.sampled_windows << ','
+         << r.measured_instructions << ',' << fmt_double(r.ipc_ci95) << ','
+         << r.l2_read_hits
          << ',' << r.transport_actual << ',' << r.transport_min << ','
          << r.search_restarts << ',' << r.searches << ',' << r.loads_l1 << ','
          << r.loads_fabric << ',' << r.loads_l2 << ',' << r.loads_l3 << ','
@@ -164,6 +173,10 @@ std::string encode_json_line(const job& j, const hier::run_result& r)
     u64("instructions", r.instructions);
     u64("cycles", r.cycles);
     dbl("ipc", r.ipc);
+    line += r.sampled ? "\"sampled\":true," : "\"sampled\":false,";
+    u64("sampled_windows", r.sampled_windows);
+    u64("measured_instructions", r.measured_instructions);
+    dbl("ipc_ci95", r.ipc_ci95);
     u64("l2_read_hits", r.l2_read_hits);
     line += "\"fabric_read_hits\":[";
     for (std::size_t i = 0; i < r.fabric_read_hits.size(); ++i) {
@@ -197,9 +210,43 @@ std::string encode_json_line(const job& j, const hier::run_result& r)
     return line;
 }
 
+jsonl_sink::jsonl_sink(std::ostream& out, std::size_t flush_rows)
+    : out_(out), flush_rows_(flush_rows == 0 ? 1 : flush_rows)
+{
+}
+
+jsonl_sink::~jsonl_sink()
+{
+    flush();
+}
+
+void jsonl_sink::begin(std::size_t job_count)
+{
+    // Pre-size for a full batch (a row is a few hundred bytes).
+    buffer_.reserve(512 * std::min(flush_rows_, std::max(job_count,
+                                                         std::size_t(1))));
+}
+
 void jsonl_sink::consume(const job& j, const hier::run_result& r)
 {
-    out_ << encode_json_line(j, r) << '\n';
+    buffer_ += encode_json_line(j, r);
+    buffer_ += '\n';
+    if (++buffered_rows_ >= flush_rows_)
+        flush();
+}
+
+void jsonl_sink::finish()
+{
+    flush();
+}
+
+void jsonl_sink::flush()
+{
+    if (buffer_.empty())
+        return;
+    out_.write(buffer_.data(), std::streamsize(buffer_.size()));
+    buffer_.clear();
+    buffered_rows_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -475,6 +522,14 @@ std::optional<decoded_run> decode_json_line(const std::string& line)
             ok = c.parse_u64(r.cycles);
         else if (key == "ipc")
             ok = c.parse_double(r.ipc);
+        else if (key == "sampled")
+            ok = c.parse_bool(r.sampled);
+        else if (key == "sampled_windows")
+            ok = c.parse_u64(r.sampled_windows);
+        else if (key == "measured_instructions")
+            ok = c.parse_u64(r.measured_instructions);
+        else if (key == "ipc_ci95")
+            ok = c.parse_double(r.ipc_ci95);
         else if (key == "l2_read_hits")
             ok = c.parse_u64(r.l2_read_hits);
         else if (key == "fabric_read_hits")

@@ -61,14 +61,27 @@ private:
     std::ostream& out_;
 };
 
-/// JSON-lines, one object per run.
+/// JSON-lines, one object per run. Rows are batched through a pre-sized
+/// string buffer and flushed to the stream every `flush_rows` rows plus once
+/// from finish()/the destructor - one stream write per batch instead of a
+/// formatted write per row (visible in --shard sweeps, where thousands of
+/// rows append to one file).
 class jsonl_sink final : public sink {
 public:
-    explicit jsonl_sink(std::ostream& out) : out_(out) {}
+    explicit jsonl_sink(std::ostream& out, std::size_t flush_rows = 64);
+    ~jsonl_sink() override;
+
+    void begin(std::size_t job_count) override;
     void consume(const job& j, const hier::run_result& r) override;
+    void finish() override;
 
 private:
+    void flush();
+
     std::ostream& out_;
+    std::size_t flush_rows_;
+    std::size_t buffered_rows_ = 0;
+    std::string buffer_;
 };
 
 /// Broadcasts to several sinks (non-owning).

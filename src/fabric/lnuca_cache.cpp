@@ -98,6 +98,29 @@ lnuca_cache::lnuca_cache(const fabric_config& config, mem::txn_id_source& ids)
     h_miss_line_gathers_ = counters_.handle_of("miss_line_gathers");
     h_global_misses_ = counters_.handle_of("global_misses");
     h_blocks_delivered_ = counters_.handle_of("blocks_delivered");
+    h_clean_exits_dropped_ = counters_.handle_of("clean_exits_dropped");
+    h_dirty_exits_written_back_ = counters_.handle_of("dirty_exits_written_back");
+    h_eviction_inject_blocked_ = counters_.handle_of("eviction_inject_blocked");
+    h_evictions_in_ = counters_.handle_of("evictions_in");
+    h_evictions_injected_ = counters_.handle_of("evictions_injected");
+    h_exit_snoop_hits_ = counters_.handle_of("exit_snoop_hits");
+    h_false_global_misses_ = counters_.handle_of("false_global_misses");
+    h_fills_from_next_level_ = counters_.handle_of("fills_from_next_level");
+    h_install_conflicts_ = counters_.handle_of("install_conflicts");
+    h_mshr_merge_ = counters_.handle_of("mshr_merge");
+    h_orphan_search_ = counters_.handle_of("orphan_search");
+    h_read_hit_ = counters_.handle_of("read_hit");
+    h_replacement_blocked_ = counters_.handle_of("replacement_blocked");
+    h_root_ubuffer_hit_ = counters_.handle_of("root_ubuffer_hit");
+    h_search_restarts_ = counters_.handle_of("search_restarts");
+    h_store_hits_in_place_ = counters_.handle_of("store_hits_in_place");
+    h_store_hits_in_transit_ = counters_.handle_of("store_hits_in_transit");
+    h_store_merged_ = counters_.handle_of("store_merged");
+    h_transport_contention_ = counters_.handle_of("transport_contention");
+    h_ubuffer_hits_ = counters_.handle_of("ubuffer_hits");
+    h_untracked_arrival_ = counters_.handle_of("untracked_arrival");
+    h_untracked_response_ = counters_.handle_of("untracked_response");
+    h_write_misses_out_ = counters_.handle_of("write_misses_out");
     // Pre-size the rings and the refill heap for their structural bounds so
     // steady-state cycles never touch the allocator.
     inject_queue_.reserve(config.inject_queue_depth + config.mshr_entries);
@@ -105,6 +128,71 @@ lnuca_cache::lnuca_cache(const fabric_config& config, mem::txn_id_source& ids)
     exit_queue_.reserve(config.exit_queue_depth);
     downstream_queue_.reserve(config.mshr_entries + config.exit_queue_depth + 16);
     refills_.reserve(config.mshr_entries + 8);
+
+    tiles_by_level_.resize(config.levels + 1);
+    for (unsigned level = 2; level <= config.levels; ++level)
+        tiles_by_level_[level] = geo_.tiles_in_level(level);
+    warm_rotate_.assign(config.levels + 1, 0);
+
+    const std::uint64_t fabric_lines =
+        std::uint64_t(geo_.tile_count()) *
+        (config.tile.size_bytes / config.tile.block_bytes);
+    std::size_t buckets = 8;
+    while (buckets < fabric_lines * 2)
+        buckets <<= 1;
+    warm_slots_.assign(buckets, {no_addr, 0});
+    warm_mask_ = buckets - 1;
+}
+
+std::size_t lnuca_cache::warm_find(addr_t block) const
+{
+    std::size_t b = std::size_t(hash64(block)) & warm_mask_;
+    while (warm_slots_[b].first != no_addr) {
+        if (warm_slots_[b].first == block)
+            return b;
+        b = (b + 1) & warm_mask_;
+    }
+    return ~std::size_t{0};
+}
+
+void lnuca_cache::warm_index_insert(addr_t block, tile_index holder)
+{
+    std::size_t b = std::size_t(hash64(block)) & warm_mask_;
+    while (warm_slots_[b].first != no_addr && warm_slots_[b].first != block)
+        b = (b + 1) & warm_mask_;
+    warm_slots_[b] = {block, holder};
+}
+
+void lnuca_cache::warm_index_erase(addr_t block)
+{
+    std::size_t b = warm_find(block);
+    if (b == ~std::size_t{0})
+        return;
+    warm_slots_[b].first = no_addr;
+    // Backward-shift: re-place the probe cluster behind the hole.
+    std::size_t i = (b + 1) & warm_mask_;
+    while (warm_slots_[i].first != no_addr) {
+        const auto entry = warm_slots_[i];
+        warm_slots_[i].first = no_addr;
+        warm_index_insert(entry.first, entry.second);
+        i = (i + 1) & warm_mask_;
+    }
+}
+
+void lnuca_cache::warm_index_rebuild()
+{
+    for (auto& slot : warm_slots_)
+        slot.first = no_addr;
+    for (tile_index i = 0; i < tile_index(tiles_.size()); ++i) {
+        const mem::tag_array& tags = tiles_[i].cache;
+        for (std::uint32_t set = 0; set < tags.sets(); ++set)
+            for (std::uint32_t way = 0; way < tags.ways(); ++way) {
+                const mem::cache_line& line = tags.line(set, way);
+                if (line.valid)
+                    warm_index_insert(line.tag, i);
+            }
+    }
+    warm_index_stale_ = false;
 }
 
 bool lnuca_cache::can_accept(const mem::mem_request& request) const
@@ -132,7 +220,7 @@ void lnuca_cache::accept(const mem::mem_request& request)
     const cycle_t now = request.created_at;
 
     if (request.kind == mem::access_kind::writeback) {
-        counters_.inc("evictions_in");
+        counters_.inc(h_evictions_in_);
         evict_queue_.push_back(replace_msg{request.addr, request.dirty});
         return;
     }
@@ -147,14 +235,14 @@ void lnuca_cache::accept(const mem::mem_request& request)
         replace_msg& victim = evict_queue_[qi];
         if (victim.block != block)
             continue;
-        counters_.inc("root_ubuffer_hit");
+        counters_.inc(h_root_ubuffer_hit_);
         if (fire_and_forget) {
             victim.dirty = true;
             return;
         }
         const bool dirty = victim.dirty;
         evict_queue_.erase_at(qi);
-        counters_.inc("read_hit");
+        counters_.inc(h_read_hit_);
         level_read_hits_[2] += request.kind == mem::access_kind::read;
         if (upstream_ != nullptr) {
             mem::mem_response response;
@@ -173,12 +261,12 @@ void lnuca_cache::accept(const mem::mem_request& request)
         search_state& state = state_of(*entry);
         if (fire_and_forget) {
             state.write_merged = true;
-            counters_.inc("store_merged");
+            counters_.inc(h_store_merged_);
             return;
         }
         mshrs_.add_target(*entry, {request.id, request.addr, request.kind,
                                    request.created_at});
-        counters_.inc("mshr_merge");
+        counters_.inc(h_mshr_merge_);
         return;
     }
 
@@ -206,6 +294,8 @@ void lnuca_cache::respond(const mem::mem_response& response)
 
 void lnuca_cache::tick(cycle_t now)
 {
+    // The detailed path moves blocks without maintaining the warm index.
+    warm_index_stale_ = true;
     process_downstream_responses(now);
     process_root_arrivals(now);
     inject_evictions(now);
@@ -302,7 +392,7 @@ void lnuca_cache::process_downstream_responses(cycle_t now)
         mem::mshr_entry* entry = mshrs_.find(response->addr);
         if (entry == nullptr ||
             state_of(*entry).downstream_txn != response->id) {
-            counters_.inc("untracked_response");
+            counters_.inc(h_untracked_response_);
             continue;
         }
         const bool merged_dirty = state_of(*entry).write_merged;
@@ -310,7 +400,7 @@ void lnuca_cache::process_downstream_responses(cycle_t now)
         respond_to_targets(now, released.targets, released.target_count,
                            response->served_by, 0,
                            response->dirty || merged_dirty);
-        counters_.inc("fills_from_next_level");
+        counters_.inc(h_fills_from_next_level_);
     }
 }
 
@@ -326,7 +416,7 @@ void lnuca_cache::process_root_arrivals(cycle_t now)
 
         mem::mshr_entry* entry = mshrs_.find(msg->block);
         if (entry == nullptr) {
-            counters_.inc("untracked_arrival");
+            counters_.inc(h_untracked_arrival_);
             continue;
         }
         const bool merged_dirty = state_of(*entry).write_merged;
@@ -347,7 +437,7 @@ void lnuca_cache::inject_searches(cycle_t now)
     if (entry == nullptr) {
         // The miss was satisfied while the search waited (cannot happen by
         // construction; counted defensively).
-        counters_.inc("orphan_search");
+        counters_.inc(h_orphan_search_);
         return;
     }
     search_state& state = state_of(*entry);
@@ -447,7 +537,7 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
                     if (found) {
                         u_hit = true;
                         state().hit = true;
-                        counters_.inc("store_hits_in_transit");
+                        counters_.inc(h_store_hits_in_transit_);
                     }
                 } else if (fifo.find([&](const replace_msg& r) {
                                return r.block == msg.block;
@@ -465,12 +555,12 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
                         out.min_hops = geo_.transport_distance(geo_.coord_of(i));
                         push_transport(now, i, out, used_outputs);
                         state().hit = true;
-                        counters_.inc("ubuffer_hits");
+                        counters_.inc(h_ubuffer_hits_);
                         level_read_hits_[level]++;
                         u_hit = true;
                     } else {
                         state().marked = true;
-                        counters_.inc("transport_contention");
+                        counters_.inc(h_transport_contention_);
                         // Re-emit marked so the miss line sees the restart.
                         search_msg marked = msg;
                         marked.marked = true;
@@ -492,7 +582,7 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
                     t.cache.lookup(msg.block); // refresh recency
                     t.cache.set_dirty(msg.block, true);
                     state().hit = true;
-                    counters_.inc("store_hits_in_place");
+                    counters_.inc(h_store_hits_in_place_);
                     stop_propagation = true;
                 } else if (any_transport_output_free(i, used_outputs)) {
                     const auto line = t.cache.extract(msg.block);
@@ -510,7 +600,7 @@ void lnuca_cache::evaluate_tile(cycle_t now, tile_index i)
                     stop_propagation = true;
                 } else {
                     state().marked = true;
-                    counters_.inc("transport_contention");
+                    counters_.inc(h_transport_contention_);
                     search_msg marked = msg;
                     marked.marked = true;
                     for (const tile_index child : geo_.search_children(i)) {
@@ -565,7 +655,7 @@ void lnuca_cache::run_replacement(cycle_t now, tile_index i)
         if (auto displaced = t.cache.install(msg.block, msg.dirty)) {
             // A way was freed in phase one; this indicates a logic error.
             LNUCA_ERROR("tile install displaced a line unexpectedly");
-            counters_.inc("install_conflicts");
+            counters_.inc(h_install_conflicts_);
             exit_queue_.push_back(replace_msg{displaced->block_addr,
                                               displaced->dirty});
         }
@@ -604,7 +694,7 @@ void lnuca_cache::run_replacement(cycle_t now, tile_index i)
         const bool exit_ok = geo_.is_exit_tile(i) &&
                              exit_queue_.size() < config_.exit_queue_depth;
         if (n_candidates == 0 && !exit_ok) {
-            counters_.inc("replacement_blocked");
+            counters_.inc(h_replacement_blocked_);
             return;
         }
         const auto victim = t.cache.evict_victim(head->block);
@@ -637,7 +727,7 @@ void lnuca_cache::inject_evictions(cycle_t)
             candidates[n_candidates++] = std::uint32_t(k);
     }
     if (n_candidates == 0) {
-        counters_.inc("eviction_inject_blocked");
+        counters_.inc(h_eviction_inject_blocked_);
         return;
     }
     const replace_msg msg = evict_queue_.take_front();
@@ -645,7 +735,7 @@ void lnuca_cache::inject_evictions(cycle_t)
     const link& l = root_u_out_[k];
     tiles_[l.target].u_in[l.slot].push(msg);
     counters_.inc(h_replacement_hops_);
-    counters_.inc("evictions_injected");
+    counters_.inc(h_evictions_injected_);
 }
 
 void lnuca_cache::evaluate_global_misses(cycle_t now)
@@ -680,7 +770,7 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
             msg.block = block;
             msg.is_write = state.is_write;
             inject_queue_.push_back(msg);
-            counters_.inc("search_restarts");
+            counters_.inc(h_search_restarts_);
             e = next;
             continue;
         }
@@ -705,7 +795,7 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
                                    released.target_count,
                                    mem::service_level::lnuca_tile,
                                    std::uint8_t(config_.levels), dirty);
-            counters_.inc("exit_snoop_hits");
+            counters_.inc(h_exit_snoop_hits_);
             break;
         }
         if (found_in_exit) {
@@ -718,7 +808,7 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
         // a search correctness bug; exclusion makes this impossible, so it
         // is counted defensively rather than tolerated silently.
         if (copies_of(block) != 0)
-            counters_.inc("false_global_misses");
+            counters_.inc(h_false_global_misses_);
         if (state.is_write) {
             // Fire-and-forget store miss leaves towards the next level.
             mem::mem_request write;
@@ -730,7 +820,7 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
             write.needs_response = false;
             downstream_queue_.push_back(write);
             mshrs_.release(block);
-            counters_.inc("write_misses_out");
+            counters_.inc(h_write_misses_out_);
             e = next;
             continue;
         }
@@ -769,7 +859,7 @@ void lnuca_cache::drain_downstream_queues(cycle_t now)
         const replace_msg victim = exit_queue_.front();
         if (!victim.dirty) {
             exit_queue_.pop_front();
-            counters_.inc("clean_exits_dropped");
+            counters_.inc(h_clean_exits_dropped_);
         } else {
             mem::mem_request writeback;
             writeback.id = ids_.next();
@@ -782,7 +872,7 @@ void lnuca_cache::drain_downstream_queues(cycle_t now)
             if (downstream_->can_accept(writeback)) {
                 downstream_->accept(writeback);
                 exit_queue_.pop_front();
-                counters_.inc("dirty_exits_written_back");
+                counters_.inc(h_dirty_exits_written_back_);
             }
         }
     }
@@ -825,6 +915,92 @@ std::uint64_t lnuca_cache::read_hits_in_level(unsigned level) const
 std::uint64_t lnuca_cache::tile_capacity_bytes() const
 {
     return std::uint64_t(geo_.tile_count()) * config_.tile.size_bytes;
+}
+
+bool lnuca_cache::warm_access(const mem::warm_request& request)
+{
+    // Functional twin of the search/replacement/store paths (see the
+    // warm_access() contract in src/mem/request.h). Content exclusion is
+    // preserved: a read hit extracts the block (it moves into the r-tile,
+    // whose warm path installs it), evictions enter via the replacement
+    // network stand-in warm_install().
+    const addr_t block = request.addr & ~addr_t(config_.tile.block_bytes - 1);
+    if (warm_index_stale_)
+        warm_index_rebuild();
+    switch (request.kind) {
+    case mem::access_kind::read: {
+        const std::size_t slot = warm_find(block);
+        if (slot != ~std::size_t{0}) {
+            const tile_index holder = warm_slots_[slot].second;
+            const auto line = tiles_[holder].cache.extract(block);
+            warm_index_erase(block);
+            return line && line->dirty;
+        }
+        // Global miss: fetch from the next level; the fill travels straight
+        // to the r-tile (the fabric only fills through evictions).
+        return downstream_ != nullptr &&
+               downstream_->warm_access({block, mem::access_kind::read, false});
+    }
+    case mem::access_kind::write: {
+        const std::size_t slot = warm_find(block);
+        if (slot != ~std::size_t{0}) {
+            mem::tag_array& tags = tiles_[warm_slots_[slot].second].cache;
+            tags.lookup(block); // store hit in place: recency + dirty
+            tags.set_dirty(block, true);
+            return false;
+        }
+        // Store miss: fire-and-forget towards the next level.
+        if (downstream_ != nullptr)
+            downstream_->warm_access({block, mem::access_kind::write, false});
+        return false;
+    }
+    case mem::access_kind::writeback:
+        warm_install(block, request.dirty);
+        return false;
+    }
+    return false;
+}
+
+void lnuca_cache::warm_install(addr_t block, bool dirty)
+{
+    // An r-tile victim entering the replacement network. Exclusion check
+    // first: a copy already in a tile absorbs the eviction in place.
+    const std::size_t slot = warm_find(block);
+    if (slot != ~std::size_t{0}) {
+        mem::tag_array& tags = tiles_[warm_slots_[slot].second].cache;
+        tags.lookup(block);
+        if (dirty)
+            tags.set_dirty(block, true);
+        return;
+    }
+    // Free way closest-first, like the timing-path domino settles.
+    for (unsigned level = 2; level <= config_.levels; ++level) {
+        for (const tile_index i : tiles_by_level_[level]) {
+            if (tiles_[i].cache.set_has_free_way(block)) {
+                tiles_[i].cache.install(block, dirty);
+                warm_index_insert(block, i);
+                return;
+            }
+        }
+    }
+    // All candidate sets full: domino one victim per level outwards,
+    // rotating the tile choice to mirror distributed routing's spread.
+    addr_t moving = block;
+    bool moving_dirty = dirty;
+    for (unsigned level = 2; level <= config_.levels; ++level) {
+        const auto& tiles = tiles_by_level_[level];
+        const tile_index i = tiles[warm_rotate_[level]++ % tiles.size()];
+        const auto victim = tiles_[i].cache.install(moving, moving_dirty);
+        warm_index_insert(moving, i);
+        if (!victim)
+            return;
+        warm_index_erase(victim->block_addr);
+        moving = victim->block_addr;
+        moving_dirty = victim->dirty;
+    }
+    // Victim leaves through the exit tiles; clean exits are dropped.
+    if (moving_dirty && downstream_ != nullptr)
+        downstream_->warm_access({moving, mem::access_kind::writeback, true});
 }
 
 bool lnuca_cache::prewarm(addr_t addr)

@@ -62,6 +62,7 @@ public:
     // mem_port (r-tile side)
     bool can_accept(const mem::mem_request& request) const override;
     void accept(const mem::mem_request& request) override;
+    bool warm_access(const mem::warm_request& request) override;
 
     // mem_client (next-level side)
     void respond(const mem::mem_response& response) override;
@@ -153,6 +154,7 @@ private:
                             std::uint32_t count, mem::service_level origin,
                             std::uint8_t level, bool dirty);
     std::size_t pick_output(std::size_t available);
+    void warm_install(addr_t block, bool dirty);
 
     fabric_config config_;
     mem::txn_id_source& ids_;
@@ -174,6 +176,29 @@ private:
     counter_set::handle h_miss_line_gathers_ = 0;
     counter_set::handle h_global_misses_ = 0;
     counter_set::handle h_blocks_delivered_ = 0;
+    counter_set::handle h_clean_exits_dropped_ = 0;
+    counter_set::handle h_dirty_exits_written_back_ = 0;
+    counter_set::handle h_eviction_inject_blocked_ = 0;
+    counter_set::handle h_evictions_in_ = 0;
+    counter_set::handle h_evictions_injected_ = 0;
+    counter_set::handle h_exit_snoop_hits_ = 0;
+    counter_set::handle h_false_global_misses_ = 0;
+    counter_set::handle h_fills_from_next_level_ = 0;
+    counter_set::handle h_install_conflicts_ = 0;
+    counter_set::handle h_mshr_merge_ = 0;
+    counter_set::handle h_orphan_search_ = 0;
+    counter_set::handle h_read_hit_ = 0;
+    counter_set::handle h_replacement_blocked_ = 0;
+    counter_set::handle h_root_ubuffer_hit_ = 0;
+    counter_set::handle h_search_restarts_ = 0;
+    counter_set::handle h_store_hits_in_place_ = 0;
+    counter_set::handle h_store_hits_in_transit_ = 0;
+    counter_set::handle h_store_merged_ = 0;
+    counter_set::handle h_transport_contention_ = 0;
+    counter_set::handle h_ubuffer_hits_ = 0;
+    counter_set::handle h_untracked_arrival_ = 0;
+    counter_set::handle h_untracked_response_ = 0;
+    counter_set::handle h_write_misses_out_ = 0;
     rng rng_;
 
     mem::mem_client* upstream_ = nullptr;
@@ -195,6 +220,27 @@ private:
     std::vector<std::uint64_t> level_read_hits_; ///< indexed by L-NUCA level
     std::uint64_t transport_actual_ = 0;
     std::uint64_t transport_min_ = 0;
+
+    // Warm-path state: per-level tile lists in deterministic closest-first
+    // order and a rotation pointer spreading warm installs across a full
+    // level (the functional stand-in for random distributed routing).
+    std::vector<std::vector<tile_index>> tiles_by_level_; ///< index: level
+    std::vector<std::size_t> warm_rotate_;
+
+    // Warm-path block index: block -> holding tile (content exclusion
+    // guarantees at most one copy). Open addressing with backward-shift
+    // deletion, sized for every fabric line; makes a warm search O(1)
+    // instead of probing every tile. The detailed path mutates tiles
+    // without maintaining the index, so any tick marks it stale and the
+    // next warm access rebuilds it from the tag arrays.
+    std::size_t warm_find(addr_t block) const; ///< slot, or npos when absent
+    void warm_index_insert(addr_t block, tile_index holder);
+    void warm_index_erase(addr_t block);
+    void warm_index_rebuild();
+
+    std::vector<std::pair<addr_t, tile_index>> warm_slots_;
+    std::size_t warm_mask_ = 0;
+    bool warm_index_stale_ = true;
 };
 
 } // namespace lnuca::fabric

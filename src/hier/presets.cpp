@@ -129,6 +129,49 @@ system_config lnuca_dnuca(unsigned levels)
 
 } // namespace presets
 
+std::optional<sampling_config> parse_sampling_spec(const std::string& spec)
+{
+    if (spec == "off")
+        return sampling_config{};
+    const std::string prefix = "periodic:";
+    if (spec.rfind(prefix, 0) != 0)
+        return std::nullopt;
+    std::vector<std::uint64_t> fields;
+    std::size_t pos = prefix.size();
+    while (pos <= spec.size()) {
+        const std::size_t sep = spec.find(':', pos);
+        const std::string field =
+            spec.substr(pos, sep == std::string::npos ? sep : sep - pos);
+        if (field.empty())
+            return std::nullopt;
+        // Digits only: stoull would silently wrap "-6000" and accept "+5".
+        for (const char ch : field)
+            if (ch < '0' || ch > '9')
+                return std::nullopt;
+        try {
+            std::size_t used = 0;
+            fields.push_back(std::stoull(field, &used));
+            if (used != field.size())
+                return std::nullopt;
+        } catch (...) {
+            return std::nullopt;
+        }
+        if (sep == std::string::npos)
+            break;
+        pos = sep + 1;
+    }
+    if (fields.size() < 2 || fields.size() > 3)
+        return std::nullopt;
+    sampling_config sc;
+    sc.enabled = true;
+    sc.detail_instructions = fields[0];
+    sc.period_instructions = fields[1];
+    sc.detail_warmup = fields.size() == 3 ? fields[2] : fields[0] / 2;
+    if (sc.detail_instructions == 0 || sc.period_instructions == 0)
+        return std::nullopt;
+    return sc;
+}
+
 std::string lnuca_config_name(unsigned levels)
 {
     const fabric::geometry geo(levels);

@@ -16,6 +16,7 @@
 #include "src/mem/main_memory.h"
 #include "src/sim/engine.h"
 
+#include <optional>
 #include <string>
 
 namespace lnuca::hier {
@@ -26,6 +27,27 @@ enum class hierarchy_kind {
     dnuca,        ///< L1 + D-NUCA
     lnuca_dnuca,  ///< r-tile + L-NUCA + D-NUCA
 };
+
+/// SMARTS-style sampled simulation: functional fast-forward at warm state
+/// punctuated by periodically placed detailed-timing windows whose IPC and
+/// energy measurements extrapolate to the whole run with a 95% confidence
+/// interval (see DESIGN.md, "Sampling and statistical confidence").
+struct sampling_config {
+    bool enabled = false;
+    /// Measured detailed instructions per window.
+    std::uint64_t detail_instructions = 2000;
+    /// Detailed (discarded) warm-up instructions preceding each window,
+    /// re-establishing pipeline/MSHR/queue occupancy after fast-forward.
+    std::uint64_t detail_warmup = 1000;
+    /// Window spacing in instructions; the detail fraction
+    /// (detail_warmup + detail_instructions) / period bounds the cost.
+    std::uint64_t period_instructions = 40'000;
+};
+
+/// Parse a --sampling spec: "off" or "periodic:<detail>:<period>[:<warmup>]"
+/// (instruction counts; warmup defaults to detail / 2). Returns nullopt on
+/// malformed input.
+std::optional<sampling_config> parse_sampling_spec(const std::string& spec);
 
 struct system_config {
     std::string name = "L2-256KB";
@@ -50,6 +72,10 @@ struct system_config {
     /// times faster on idle-heavy hierarchies; paranoid cross-checks the
     /// skip schedule while stepping densely (tests/CI).
     sim::schedule_mode engine_mode = sim::schedule_mode::idle_skip;
+    /// Sampled execution fidelity. Disabled by default: the run is then
+    /// bit-identical to the pre-sampling driver (enforced by
+    /// tests/sampling_test.cpp).
+    sampling_config sampling;
 };
 
 namespace presets {

@@ -2,13 +2,15 @@
 
 #include "src/common/log.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 namespace lnuca::hier {
 
 system::system(const system_config& config, const wl::workload_profile& workload,
                std::uint64_t seed)
-    : config_(config)
+    : config_(config), seed_(seed)
 {
     engine_.set_mode(config.engine_mode);
     stream_ = wl::make_stream(workload, hash64(seed ^ hash64(0x5770)));
@@ -158,15 +160,136 @@ std::uint64_t counter_delta(const counter_set& counters, const std::string& name
 
 } // namespace
 
+/// Snapshot/delta accumulator for detailed measurement: the exact path
+/// harvests one segment covering the whole run, the sampled path sums many
+/// windows (plus per-window CPI samples for the confidence interval).
+struct system::window_totals {
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::vector<double> window_cpi; ///< one sample per window (CI input)
+
+    std::uint64_t l2_read_hits = 0;
+    std::vector<std::uint64_t> fabric_read_hits;
+    std::uint64_t transport_actual = 0;
+    std::uint64_t transport_min = 0;
+    std::uint64_t search_restarts = 0;
+    std::uint64_t searches = 0;
+    std::uint64_t loads_l1 = 0;
+    std::uint64_t loads_fabric = 0;
+    std::uint64_t loads_l2 = 0;
+    std::uint64_t loads_l3 = 0;
+    std::uint64_t loads_dnuca = 0;
+    std::uint64_t loads_memory = 0;
+    std::uint64_t load_latency_weighted = 0; ///< exact Σ latency (histogram)
+    std::uint64_t load_latency_count = 0;
+    power::energy_inputs energy; ///< event counts summed over windows
+                                 ///< (cycles overwritten with the estimate
+                                 ///< before compute_energy)
+};
+
 run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
 {
+    // A zero-instruction request has no windows to place; the exact path
+    // handles it as a degenerate (empty) measurement.
+    if (config_.sampling.enabled && instructions > 0)
+        return run_sampled(instructions, warmup);
+
     const cycle_t max_cycles = 400 * (instructions + warmup) + 2'000'000;
 
     // Warm-up window.
     core_->set_instruction_limit(warmup);
     engine_.run_until([&] { return core_->done(); }, max_cycles);
 
-    // Snapshot counters whose deltas we report.
+    // Measurement window: the same snapshot/delta harvest the sampled
+    // driver uses per window (one window covering the whole run).
+    const auto host_start = std::chrono::steady_clock::now();
+    window_totals totals;
+    detailed_segment(instructions, max_cycles, &totals);
+    const double host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
+
+    run_result r;
+    r.config_name = config_.name;
+    r.workload_name = stream_->profile().name;
+    r.floating_point = stream_->profile().floating_point;
+    r.instructions = totals.instructions;
+    r.cycles = totals.cycles;
+    r.ipc = r.cycles == 0 ? 0.0 : double(r.instructions) / double(r.cycles);
+    r.host_seconds = host_seconds;
+    r.sim_cycles_per_second =
+        host_seconds > 0.0 ? double(r.cycles) / host_seconds : 0.0;
+    r.sim_instructions_per_second =
+        host_seconds > 0.0 ? double(r.instructions) / host_seconds : 0.0;
+
+    r.l2_read_hits = totals.l2_read_hits;
+    r.fabric_read_hits = totals.fabric_read_hits;
+    r.transport_actual = totals.transport_actual;
+    r.transport_min = totals.transport_min;
+    r.search_restarts = totals.search_restarts;
+    r.searches = totals.searches;
+    r.loads_l1 = totals.loads_l1;
+    r.loads_fabric = totals.loads_fabric;
+    r.loads_l2 = totals.loads_l2;
+    r.loads_l3 = totals.loads_l3;
+    r.loads_dnuca = totals.loads_dnuca;
+    r.loads_memory = totals.loads_memory;
+    r.avg_load_latency =
+        totals.load_latency_count == 0
+            ? 0.0
+            : totals.load_latency_weighted / double(totals.load_latency_count);
+
+    power::energy_inputs in = totals.energy;
+    in.cycles = r.cycles;
+    r.energy = power::compute_energy(in);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Sampled execution (SMARTS-style): functional fast-forward punctuated by
+// periodically placed detailed windows. See DESIGN.md, "Sampling and
+// statistical confidence".
+// ---------------------------------------------------------------------------
+
+bool system::quiescent() const
+{
+    return core_->quiescent() && l1_->quiescent() &&
+           (!l1_l2_bus_ || l1_l2_bus_->quiescent()) &&
+           (!l2_ || l2_->quiescent()) && (!l3_ || l3_->quiescent()) &&
+           (!fabric_ || fabric_->quiescent()) &&
+           (!dnuca_ || dnuca_->quiescent()) && memory_->quiescent();
+}
+
+void system::drain(cycle_t max_cycles)
+{
+    if (!engine_.run_until([&] { return quiescent(); }, max_cycles))
+        LNUCA_WARN("sampled run: hierarchy failed to drain within ",
+                   max_cycles, " cycles; fast-forwarding anyway");
+}
+
+void system::fast_forward(std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    core_->warm_retire(count);
+    // The clock advances at a nominal CPI of 1: reported cycles come from
+    // the window estimate, so the rate only keeps timestamps monotone.
+    engine_.advance(count);
+}
+
+void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
+                              window_totals* totals)
+{
+    core_->reset_stats();
+    if (totals == nullptr) {
+        // Warm segment: re-establish pipeline/queue/MSHR occupancy under
+        // full timing; measurements are discarded.
+        core_->set_instruction_limit(instructions);
+        engine_.run_until([&] { return core_->done(); }, max_cycles);
+        return;
+    }
+
     const counter_set l1_snap = l1_->counters();
     const counter_set l2_snap = l2_ ? l2_->counters() : counter_set{};
     const counter_set l3_snap = l3_ ? l3_->counters() : counter_set{};
@@ -184,90 +307,219 @@ run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
         transport_min_snap = fabric_->transport_min_cycles();
     }
 
-    core_->reset_stats();
-    const cycle_t measure_start = engine_.now();
-    const auto host_start = std::chrono::steady_clock::now();
-
+    const cycle_t start = engine_.now();
     core_->set_instruction_limit(instructions);
     const bool finished =
         engine_.run_until([&] { return core_->done(); }, max_cycles);
     if (!finished)
-        LNUCA_WARN("run hit the cycle ceiling before committing ",
-                   instructions, " instructions");
+        LNUCA_WARN("measurement window hit the cycle ceiling before "
+                   "committing ", instructions, " instructions");
+
+    const std::uint64_t instr = core_->committed();
+    const std::uint64_t cycles = engine_.now() - start;
+    totals->instructions += instr;
+    totals->cycles += cycles;
+    totals->window_cpi.push_back(instr == 0 ? 0.0
+                                            : double(cycles) / double(instr));
+
+    if (l2_)
+        totals->l2_read_hits +=
+            counter_delta(l2_->counters(), "read_hit", l2_snap);
+    if (fabric_) {
+        if (totals->fabric_read_hits.empty())
+            totals->fabric_read_hits.assign(config_.fabric.levels + 1, 0);
+        for (unsigned level = 2; level <= config_.fabric.levels; ++level)
+            totals->fabric_read_hits[level] +=
+                fabric_->read_hits_in_level(level) - fab_hits_snap[level];
+        totals->transport_actual +=
+            fabric_->transport_actual_cycles() - transport_actual_snap;
+        totals->transport_min +=
+            fabric_->transport_min_cycles() - transport_min_snap;
+        totals->search_restarts +=
+            counter_delta(fabric_->counters(), "search_restarts", fab_snap);
+        totals->searches +=
+            counter_delta(fabric_->counters(), "searches_injected", fab_snap);
+    }
+
+    totals->loads_l1 += core_->loads_served_by(mem::service_level::l1);
+    totals->loads_fabric +=
+        core_->loads_served_by(mem::service_level::lnuca_tile);
+    totals->loads_l2 += core_->loads_served_by(mem::service_level::l2);
+    totals->loads_l3 += core_->loads_served_by(mem::service_level::l3);
+    totals->loads_dnuca += core_->loads_served_by(mem::service_level::dnuca);
+    totals->loads_memory += core_->loads_served_by(mem::service_level::memory);
+    totals->load_latency_weighted += core_->load_latency().weighted_sum();
+    totals->load_latency_count += core_->load_latency().total();
+
+    power::energy_inputs& in = totals->energy;
+    in.l1_accesses += counter_delta(l1_->counters(), "accesses", l1_snap);
+    if (l2_) {
+        in.has_l2 = true;
+        in.l2_accesses += counter_delta(l2_->counters(), "accesses", l2_snap);
+    }
+    if (fabric_) {
+        const auto& fc = fabric_->counters();
+        in.fabric_tiles = fabric_->geo().tile_count();
+        in.tile_tag_lookups += counter_delta(fc, "tile_tag_lookups", fab_snap);
+        in.tile_data_accesses +=
+            counter_delta(fc, "tile_data_reads", fab_snap) +
+            counter_delta(fc, "tile_data_writes", fab_snap);
+        in.transport_hops += counter_delta(fc, "transport_hops", fab_snap);
+        in.replacement_hops += counter_delta(fc, "replacement_hops", fab_snap);
+        in.search_hops += counter_delta(fc, "search_broadcast_hops", fab_snap);
+    }
+    if (l3_) {
+        in.has_l3 = true;
+        in.l3_accesses += counter_delta(l3_->counters(), "accesses", l3_snap);
+    }
+    if (dnuca_) {
+        in.dnuca_banks = config_.dnuca.bank_sets * config_.dnuca.rows;
+        in.bank_accesses +=
+            counter_delta(dnuca_->counters(), "bank_lookups", dn_snap) +
+            counter_delta(dnuca_->counters(), "bank_writes", dn_snap);
+        in.dnuca_flit_hops += dnuca_->mesh().flit_hops() - dn_hops_snap;
+    }
+    in.memory_transfers +=
+        counter_delta(memory_->counters(), "transfers", memory_snap);
+}
+
+run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
+{
+    const sampling_config& sc = config_.sampling;
+    const auto host_start = std::chrono::steady_clock::now();
+    // Generous per-segment ceiling: segments are short, runaways are bugs.
+    const cycle_t segment_budget =
+        400 * (sc.detail_instructions + sc.detail_warmup) + 2'000'000;
+
+    // The run-level warm-up executes functionally: large-structure warmth
+    // comes from prewarm() plus the warm_access() path, timing warmth from
+    // each window's detailed warm-up segment.
+    fast_forward(warmup);
+
+    const std::uint64_t detail =
+        std::min(std::max<std::uint64_t>(sc.detail_instructions, 1),
+                 std::max<std::uint64_t>(instructions, 1));
+    const std::uint64_t window_warmup =
+        std::min(sc.detail_warmup,
+                 instructions > detail ? instructions - detail : 0);
+    const std::uint64_t period =
+        std::max(sc.period_instructions, detail + window_warmup);
+    const std::uint64_t windows =
+        std::max<std::uint64_t>(1, instructions / period);
+    const std::uint64_t base_span = std::max<std::uint64_t>(
+        instructions / windows, detail + window_warmup);
+
+    // Deterministic systematic placement: each window sits at an
+    // independent random offset within its period, derived from the run
+    // seed alone - thread count and shard layout cannot move a window.
+    rng placement(rng::split(seed_, 0x5a3b11d6ULL, windows, 0));
+
+    window_totals totals;
+    std::uint64_t retired = 0;
+    for (std::uint64_t k = 0; k < windows; ++k) {
+        const std::uint64_t span = k + 1 == windows
+                                       ? instructions - (windows - 1) * base_span
+                                       : base_span;
+        const std::uint64_t slack = span - detail - window_warmup;
+        const std::uint64_t offset = placement.below(slack + 1);
+
+        fast_forward(offset);
+        std::uint64_t used = offset;
+        if (window_warmup > 0) {
+            detailed_segment(window_warmup, segment_budget, nullptr);
+            used += core_->committed();
+        }
+        detailed_segment(detail, segment_budget, &totals);
+        used += core_->committed();
+        drain(segment_budget);
+        fast_forward(span > used ? span - used : 0);
+        retired += std::max(span, used);
+    }
+
     const double host_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)
             .count();
 
+    // Point estimate and confidence interval. Windows are (near) equal
+    // size, so the run's CPI estimate is the plain mean of per-window CPI;
+    // the 95% CI uses the normal approximation (SMARTS' large-n regime) and
+    // transforms to IPC with the delta method.
+    const std::size_t n = totals.window_cpi.size();
+    double mean_cpi = 0.0;
+    for (const double cpi : totals.window_cpi)
+        mean_cpi += cpi;
+    mean_cpi = n == 0 ? 0.0 : mean_cpi / double(n);
+    double ci_cpi = 0.0;
+    if (n >= 2) {
+        double ss = 0.0;
+        for (const double cpi : totals.window_cpi)
+            ss += (cpi - mean_cpi) * (cpi - mean_cpi);
+        const double stddev = std::sqrt(ss / double(n - 1));
+        ci_cpi = 1.96 * stddev / std::sqrt(double(n));
+    }
+
     run_result r;
     r.config_name = config_.name;
     r.workload_name = stream_->profile().name;
     r.floating_point = stream_->profile().floating_point;
-    r.instructions = core_->committed();
-    r.cycles = engine_.now() - measure_start;
-    r.ipc = r.cycles == 0 ? 0.0 : double(r.instructions) / double(r.cycles);
+    r.sampled = true;
+    r.sampled_windows = n;
+    r.measured_instructions = totals.instructions;
+    r.instructions = retired;
+    r.ipc = mean_cpi > 0.0 ? 1.0 / mean_cpi : 0.0;
+    r.ipc_ci95 = mean_cpi > 0.0 ? ci_cpi / (mean_cpi * mean_cpi) : 0.0;
+    r.cycles = cycle_t(std::llround(double(retired) * mean_cpi));
     r.host_seconds = host_seconds;
     r.sim_cycles_per_second =
         host_seconds > 0.0 ? double(r.cycles) / host_seconds : 0.0;
     r.sim_instructions_per_second =
         host_seconds > 0.0 ? double(r.instructions) / host_seconds : 0.0;
 
-    if (l2_)
-        r.l2_read_hits = counter_delta(l2_->counters(), "read_hit", l2_snap);
+    // Extrapolate measured event counts to the whole run.
+    const double factor = totals.instructions == 0
+                              ? 0.0
+                              : double(retired) / double(totals.instructions);
+    const auto scaled = [factor](std::uint64_t v) {
+        return std::uint64_t(std::llround(double(v) * factor));
+    };
+    r.l2_read_hits = scaled(totals.l2_read_hits);
     if (fabric_) {
         r.fabric_read_hits.assign(config_.fabric.levels + 1, 0);
         for (unsigned level = 2; level <= config_.fabric.levels; ++level)
             r.fabric_read_hits[level] =
-                fabric_->read_hits_in_level(level) - fab_hits_snap[level];
-        r.transport_actual =
-            fabric_->transport_actual_cycles() - transport_actual_snap;
-        r.transport_min = fabric_->transport_min_cycles() - transport_min_snap;
-        r.search_restarts =
-            counter_delta(fabric_->counters(), "search_restarts", fab_snap);
-        r.searches =
-            counter_delta(fabric_->counters(), "searches_injected", fab_snap);
+                level < totals.fabric_read_hits.size()
+                    ? scaled(totals.fabric_read_hits[level])
+                    : 0;
     }
+    r.transport_actual = scaled(totals.transport_actual);
+    r.transport_min = scaled(totals.transport_min);
+    r.search_restarts = scaled(totals.search_restarts);
+    r.searches = scaled(totals.searches);
+    r.loads_l1 = scaled(totals.loads_l1);
+    r.loads_fabric = scaled(totals.loads_fabric);
+    r.loads_l2 = scaled(totals.loads_l2);
+    r.loads_l3 = scaled(totals.loads_l3);
+    r.loads_dnuca = scaled(totals.loads_dnuca);
+    r.loads_memory = scaled(totals.loads_memory);
+    r.avg_load_latency =
+        totals.load_latency_count == 0
+            ? 0.0
+            : totals.load_latency_weighted / double(totals.load_latency_count);
 
-    r.loads_l1 = core_->loads_served_by(mem::service_level::l1);
-    r.loads_fabric = core_->loads_served_by(mem::service_level::lnuca_tile);
-    r.loads_l2 = core_->loads_served_by(mem::service_level::l2);
-    r.loads_l3 = core_->loads_served_by(mem::service_level::l3);
-    r.loads_dnuca = core_->loads_served_by(mem::service_level::dnuca);
-    r.loads_memory = core_->loads_served_by(mem::service_level::memory);
-    r.avg_load_latency = core_->load_latency().mean();
-
-    // Energy over the measurement window.
-    power::energy_inputs in;
+    power::energy_inputs in = totals.energy;
     in.cycles = r.cycles;
-    in.l1_accesses = counter_delta(l1_->counters(), "accesses", l1_snap);
-    if (l2_) {
-        in.has_l2 = true;
-        in.l2_accesses = counter_delta(l2_->counters(), "accesses", l2_snap);
-    }
-    if (fabric_) {
-        const auto& fc = fabric_->counters();
-        in.fabric_tiles = fabric_->geo().tile_count();
-        in.tile_tag_lookups = counter_delta(fc, "tile_tag_lookups", fab_snap);
-        in.tile_data_accesses =
-            counter_delta(fc, "tile_data_reads", fab_snap) +
-            counter_delta(fc, "tile_data_writes", fab_snap);
-        in.transport_hops = counter_delta(fc, "transport_hops", fab_snap);
-        in.replacement_hops = counter_delta(fc, "replacement_hops", fab_snap);
-        in.search_hops = counter_delta(fc, "search_broadcast_hops", fab_snap);
-    }
-    if (l3_) {
-        in.has_l3 = true;
-        in.l3_accesses = counter_delta(l3_->counters(), "accesses", l3_snap);
-    }
-    if (dnuca_) {
-        in.dnuca_banks = config_.dnuca.bank_sets * config_.dnuca.rows;
-        in.bank_accesses =
-            counter_delta(dnuca_->counters(), "bank_lookups", dn_snap) +
-            counter_delta(dnuca_->counters(), "bank_writes", dn_snap);
-        in.dnuca_flit_hops = dnuca_->mesh().flit_hops() - dn_hops_snap;
-    }
-    in.memory_transfers =
-        counter_delta(memory_->counters(), "transfers", memory_snap);
+    in.l1_accesses = scaled(in.l1_accesses);
+    in.l2_accesses = scaled(in.l2_accesses);
+    in.tile_tag_lookups = scaled(in.tile_tag_lookups);
+    in.tile_data_accesses = scaled(in.tile_data_accesses);
+    in.transport_hops = scaled(in.transport_hops);
+    in.replacement_hops = scaled(in.replacement_hops);
+    in.search_hops = scaled(in.search_hops);
+    in.l3_accesses = scaled(in.l3_accesses);
+    in.bank_accesses = scaled(in.bank_accesses);
+    in.dnuca_flit_hops = scaled(in.dnuca_flit_hops);
+    in.memory_transfers = scaled(in.memory_transfers);
     r.energy = power::compute_energy(in);
     return r;
 }

@@ -52,6 +52,15 @@ struct run_result {
     std::uint64_t loads_memory = 0;
     double avg_load_latency = 0.0;
 
+    // Sampled execution (see sampling_config). When `sampled` is true,
+    // cycles/ipc/energy/loads are statistical estimates extrapolated from
+    // the measured windows; when false they are exact measurements and the
+    // sampling fields below are zero.
+    bool sampled = false;
+    std::uint64_t sampled_windows = 0;      ///< detailed windows measured
+    std::uint64_t measured_instructions = 0; ///< instructions inside windows
+    double ipc_ci95 = 0.0; ///< half-width of the 95% CI around `ipc`
+
     // Host-side throughput of the measurement window. These are the only
     // fields that are *not* deterministic - exclude them from bit-identity
     // comparisons (exp_test/hier_test do).
@@ -66,6 +75,9 @@ public:
            std::uint64_t seed);
 
     /// Run `warmup` instructions (discarded), then `instructions` measured.
+    /// When config.sampling.enabled, the measured span executes as
+    /// fast-forward + periodic detailed windows and the result carries
+    /// statistical estimates (run_result::sampled).
     run_result run(std::uint64_t instructions, std::uint64_t warmup);
 
     cpu::ooo_core& core() { return *core_; }
@@ -79,9 +91,23 @@ public:
     sim::engine& engine() { return engine_; }
 
 private:
+    struct window_totals;
+
     void prewarm();
+    run_result run_sampled(std::uint64_t instructions, std::uint64_t warmup);
+    /// All components idle (nothing in flight anywhere).
+    bool quiescent() const;
+    /// Run detailed until quiescent (pre-fast-forward drain).
+    void drain(cycle_t max_cycles);
+    /// Fast-forward `count` instructions functionally and advance the clock.
+    void fast_forward(std::uint64_t count);
+    /// One detailed segment of `instructions`; when `totals` is non-null the
+    /// segment is measured into it (otherwise it only re-warms timing state).
+    void detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
+                          window_totals* totals);
 
     system_config config_;
+    std::uint64_t seed_ = 1;
     mem::txn_id_source ids_;
     std::unique_ptr<wl::synthetic_stream> stream_;
     std::unique_ptr<cpu::ooo_core> core_;

@@ -55,10 +55,10 @@ void bus::tick(cycle_t now)
                     now + (request->kind == access_kind::read
                                ? 1
                                : transfer_cycles(request->size));
-                counters_.inc("down_transfers");
+                counters_.inc(h_down_transfers_);
             } else {
                 down_.push(now + 1, *request); // target busy: retry
-                counters_.inc("down_stall");
+                counters_.inc(h_down_stall_);
             }
         }
     }
@@ -72,7 +72,7 @@ void bus::tick(cycle_t now)
                 upstream_->respond(forwarded);
             }
             up_free_at_ = now + transfer;
-            counters_.inc("up_transfers");
+            counters_.inc(h_up_transfers_);
         }
     }
 }

@@ -25,7 +25,15 @@ class bus final : public sim::ticked, public mem_port, public mem_client {
 public:
     explicit bus(const bus_config& config) : config_(config)
     {
+        // Occupancy is bounded by the upstream cache's MSHRs + write
+        // buffer; pre-size so steady-state accept() never allocates (the
+        // micro_hotpath zero-allocation gate covers this path).
+        down_.reserve(128);
+        up_.reserve(128);
         counters_.preregister({"down_transfers", "down_stall", "up_transfers"});
+        h_down_transfers_ = counters_.handle_of("down_transfers");
+        h_down_stall_ = counters_.handle_of("down_stall");
+        h_up_transfers_ = counters_.handle_of("up_transfers");
     }
 
     void set_upstream(mem_client* client) { upstream_ = client; }
@@ -34,6 +42,12 @@ public:
     // Upper side: requests travelling down.
     bool can_accept(const mem_request& request) const override;
     void accept(const mem_request& request) override;
+
+    /// Warming is transparent to the bus: no tags, no state to warm.
+    bool warm_access(const warm_request& request) override
+    {
+        return downstream_ != nullptr && downstream_->warm_access(request);
+    }
 
     // Lower side: responses travelling up.
     void respond(const mem_response& response) override;
@@ -56,6 +70,9 @@ private:
     mem_client* upstream_ = nullptr;
     mem_port* downstream_ = nullptr;
     counter_set counters_;
+    counter_set::handle h_down_transfers_ = 0;
+    counter_set::handle h_down_stall_ = 0;
+    counter_set::handle h_up_transfers_ = 0;
     sim::timed_queue<mem_request> down_;
     sim::timed_queue<mem_response> up_;
     cycle_t down_free_at_ = 0;

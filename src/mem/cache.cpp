@@ -27,6 +27,21 @@ conventional_cache::conventional_cache(const cache_config& config, txn_id_source
     h_read_hit_ = counters_.handle_of("read_hit");
     h_write_hit_ = counters_.handle_of("write_hit");
     h_wb_hit_ = counters_.handle_of("wb_hit");
+    h_read_miss_ = counters_.handle_of("read_miss");
+    h_write_miss_ = counters_.handle_of("write_miss");
+    h_mshr_merge_ = counters_.handle_of("mshr_merge");
+    h_mshr_secondary_stall_ = counters_.handle_of("mshr_secondary_stall");
+    h_mshr_full_stall_ = counters_.handle_of("mshr_full_stall");
+    h_miss_issued_ = counters_.handle_of("miss_issued");
+    h_fills_ = counters_.handle_of("fills");
+    h_evictions_ = counters_.handle_of("evictions");
+    h_writeback_in_ = counters_.handle_of("writeback_in");
+    h_writeback_out_ = counters_.handle_of("writeback_out");
+    h_write_through_out_ = counters_.handle_of("write_through_out");
+    h_wb_drained_ = counters_.handle_of("wb_drained");
+    h_wb_full_stall_ = counters_.handle_of("wb_full_stall");
+    h_refill_wb_stall_ = counters_.handle_of("refill_wb_stall");
+    h_untracked_response_ = counters_.handle_of("untracked_response");
     // Pre-size the hot-path queues so steady-state ticks never allocate.
     input_writes_.reserve(config.write_buffer_entries);
     lookups_.reserve(std::size_t(config.write_buffer_entries) +
@@ -118,6 +133,7 @@ std::uint64_t conventional_cache::state_digest() const
 void conventional_cache::tick(cycle_t now)
 {
     now_ = now;
+    warm_state_stale_ = true;
     while (auto access = lookups_.pop_ready(now))
         process_lookup(now, *access);
     drain_input_writes(now);
@@ -206,22 +222,22 @@ void conventional_cache::handle_read_like(cycle_t now, pending_access access)
         return;
     }
 
-    counters_.inc(is_write ? "write_miss" : "read_miss");
+    counters_.inc(is_write ? h_write_miss_ : h_read_miss_);
     const addr_t block = tags_.block_of(req.addr);
     const mshr_target target{req.id, req.addr, req.kind, req.created_at};
     if (mshr_entry* entry = mshrs_.find(block)) {
         if (entry->target_count < config_.mshr_secondary) {
-            counters_.inc("mshr_merge");
+            counters_.inc(h_mshr_merge_);
             if (access.needs_response)
                 mshrs_.add_target(*entry, target);
             return;
         }
-        counters_.inc("mshr_secondary_stall");
+        counters_.inc(h_mshr_secondary_stall_);
         lookups_.push(now + 1, access); // retry until a target slot frees
         return;
     }
     if (!mshrs_.can_allocate()) {
-        counters_.inc("mshr_full_stall");
+        counters_.inc(h_mshr_full_stall_);
         lookups_.push(now + 1, access);
         return;
     }
@@ -252,15 +268,15 @@ void conventional_cache::handle_write_through_store(cycle_t now,
         // Write-through: line updated in place, stays clean; fall through
         // to forward the word downstream.
     } else {
-        counters_.inc("write_miss"); // no allocation on either policy
+        counters_.inc(h_write_miss_); // no allocation on either policy
     }
 
     if (!wb_.push(req.addr, /*writeback=*/false, /*dirty=*/false)) {
-        counters_.inc("wb_full_stall");
+        counters_.inc(h_wb_full_stall_);
         lookups_.push(now + 1, access);
         return;
     }
-    counters_.inc("write_through_out");
+    counters_.inc(h_write_through_out_);
     if (access.needs_response)
         respond_up(now, {req.id, req.addr, req.kind, req.created_at},
                    config_.level_tag, 0);
@@ -270,12 +286,12 @@ void conventional_cache::handle_incoming_writeback(cycle_t now,
                                                    const pending_access& access)
 {
     const mem_request& req = access.request;
-    counters_.inc("writeback_in");
+    counters_.inc(h_writeback_in_);
 
     // Full block arrives from above: install without fetch. Hold off when
     // a displaced victim could not be buffered.
     if (!tags_.set_has_free_way(req.addr) && !tags_.probe(req.addr) && wb_.full()) {
-        counters_.inc("refill_wb_stall");
+        counters_.inc(h_refill_wb_stall_);
         lookups_.push(now + 1, access);
         return;
     }
@@ -304,7 +320,7 @@ void conventional_cache::issue_misses(cycle_t now)
             break; // retry next cycle, preserve order
         downstream_->accept(miss);
         mshrs_.mark_issued(*entry);
-        counters_.inc("miss_issued");
+        counters_.inc(h_miss_issued_);
         break; // one new miss per cycle
     }
 }
@@ -326,7 +342,7 @@ void conventional_cache::drain_write_buffer(cycle_t now)
         return;
     downstream_->accept(write);
     wb_.pop();
-    counters_.inc("wb_drained");
+    counters_.inc(h_wb_drained_);
 }
 
 void conventional_cache::process_refills(cycle_t now)
@@ -340,7 +356,7 @@ void conventional_cache::process_refills(cycle_t now)
 
         // A displaced dirty victim needs write-buffer space; wait if full.
         if (!tags_.set_has_free_way(block) && !tags_.probe(block) && wb_.full()) {
-            counters_.inc("refill_wb_stall");
+            counters_.inc(h_refill_wb_stall_);
             refills_.push(now + 1, *response);
             return;
         }
@@ -349,7 +365,7 @@ void conventional_cache::process_refills(cycle_t now)
         if (!entry) {
             // Response for a transaction we do not track (e.g. an ack for
             // drained write traffic); nothing to fill.
-            counters_.inc("untracked_response");
+            counters_.inc(h_untracked_response_);
             continue;
         }
 
@@ -360,7 +376,7 @@ void conventional_cache::process_refills(cycle_t now)
 
         if (auto victim = tags_.install(block, fill_dirty))
             queue_victim(now, *victim);
-        counters_.inc("fills");
+        counters_.inc(h_fills_);
 
         for (std::uint32_t t = 0; t < entry.target_count; ++t)
             respond_up(now, entry.targets[t], response->served_by,
@@ -385,12 +401,111 @@ void conventional_cache::respond_up(cycle_t now, const mshr_target& target,
 void conventional_cache::queue_victim(cycle_t now, const evicted_line& victim)
 {
     (void)now;
-    counters_.inc("evictions");
+    counters_.inc(h_evictions_);
     if (!victim.dirty && !config_.writeback_clean)
         return;
-    counters_.inc("writeback_out");
+    counters_.inc(h_writeback_out_);
     // Capacity was checked before install; push cannot fail here.
     wb_.push(victim.block_addr, /*writeback=*/true, victim.dirty);
+}
+
+bool conventional_cache::warm_access(const warm_request& request)
+{
+    // Functional twin of process_lookup(): identical allocation, recency,
+    // dirtiness and propagation decisions, zero timing state (see the
+    // warm_access() contract in src/mem/request.h).
+    if (warm_state_stale_) {
+        // Detailed execution ran since the last warm access: the elision
+        // block may have been evicted and the real write buffer drained.
+        warm_last_block_ = no_addr;
+        warm_wb_.clear();
+        warm_wb_pos_ = 0;
+        warm_state_stale_ = false;
+    }
+    if (request.kind != access_kind::writeback) {
+        const addr_t block = tags_.block_of(request.addr);
+        if (block == warm_last_block_ && request.kind == warm_last_kind_)
+            return false; // consecutive repeat: hit on the MRU block, no-op
+        warm_last_block_ = block;
+        warm_last_kind_ = request.kind;
+    }
+    switch (request.kind) {
+    case access_kind::read: {
+        // Snoop order matches handle_read_like(): a write-buffer hit is
+        // served without touching tag recency at all.
+        if (warm_wb_contains(tags_.block_of(request.addr)))
+            return false; // write-buffer snoop hit: served, no install
+        if (tags_.lookup(request.addr))
+            return false; // hit: recency refreshed, block stays put
+        bool dirty = false;
+        if (downstream_ != nullptr)
+            dirty = downstream_->warm_access(
+                {request.addr, access_kind::read, false});
+        warm_install(request.addr, dirty);
+        return dirty;
+    }
+    case access_kind::write:
+        if (config_.write_through || !config_.write_allocate) {
+            if (!config_.write_through && tags_.lookup(request.addr)) {
+                // Copy-back no-write-allocate (the r-tile): a store hit
+                // dirties in place and produces no downstream traffic.
+                tags_.set_dirty(request.addr, true);
+                return false;
+            }
+            if (config_.write_through)
+                tags_.lookup(request.addr); // hit refreshes recency, stays clean
+            // Write-through traffic and r-tile store misses forward below,
+            // coalescing per block like the outgoing write buffer.
+            const addr_t block = tags_.block_of(request.addr);
+            if (downstream_ != nullptr && !warm_wb_contains(block)) {
+                warm_wb_remember(block);
+                downstream_->warm_access(
+                    {request.addr, access_kind::write, false});
+            }
+            return false;
+        }
+        // Copy-back write-allocate: a store miss fetches and dirties.
+        if (tags_.lookup(request.addr)) {
+            tags_.set_dirty(request.addr, true);
+            return false;
+        }
+        if (downstream_ != nullptr)
+            downstream_->warm_access({request.addr, access_kind::read, false});
+        warm_install(request.addr, true);
+        return false;
+    case access_kind::writeback:
+        warm_install(request.addr, request.dirty);
+        return false;
+    }
+    return false;
+}
+
+bool conventional_cache::warm_wb_contains(addr_t block) const
+{
+    for (const addr_t b : warm_wb_)
+        if (b == block)
+            return true;
+    return false;
+}
+
+void conventional_cache::warm_wb_remember(addr_t block)
+{
+    if (warm_wb_.size() < config_.write_buffer_entries) {
+        warm_wb_.push_back(block);
+        return;
+    }
+    warm_wb_[warm_wb_pos_] = block;
+    warm_wb_pos_ = (warm_wb_pos_ + 1) % warm_wb_.size();
+}
+
+void conventional_cache::warm_install(addr_t addr, bool dirty)
+{
+    if (auto victim = tags_.install(addr, dirty)) {
+        if (downstream_ != nullptr &&
+            (victim->dirty || config_.writeback_clean))
+            downstream_->warm_access(
+                {victim->block_addr, access_kind::writeback, victim->dirty});
+    }
 }
 
 bool conventional_cache::quiescent() const

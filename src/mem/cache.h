@@ -61,6 +61,7 @@ public:
     // mem_port (upper side)
     bool can_accept(const mem_request& request) const override;
     void accept(const mem_request& request) override;
+    bool warm_access(const warm_request& request) override;
 
     // mem_client (lower side)
     void respond(const mem_response& response) override;
@@ -95,6 +96,7 @@ private:
     void respond_up(cycle_t now, const mshr_target& target, service_level origin,
                     std::uint8_t fabric_level);
     void queue_victim(cycle_t now, const evicted_line& victim);
+    void warm_install(addr_t addr, bool dirty);
 
     cache_config config_;
     txn_id_source& ids_;
@@ -108,6 +110,22 @@ private:
     counter_set::handle h_read_hit_ = 0;
     counter_set::handle h_write_hit_ = 0;
     counter_set::handle h_wb_hit_ = 0;
+    // Cold-site handles: same preregistered names, no per-event hashing.
+    counter_set::handle h_read_miss_ = 0;
+    counter_set::handle h_write_miss_ = 0;
+    counter_set::handle h_mshr_merge_ = 0;
+    counter_set::handle h_mshr_secondary_stall_ = 0;
+    counter_set::handle h_mshr_full_stall_ = 0;
+    counter_set::handle h_miss_issued_ = 0;
+    counter_set::handle h_fills_ = 0;
+    counter_set::handle h_evictions_ = 0;
+    counter_set::handle h_writeback_in_ = 0;
+    counter_set::handle h_writeback_out_ = 0;
+    counter_set::handle h_write_through_out_ = 0;
+    counter_set::handle h_wb_drained_ = 0;
+    counter_set::handle h_wb_full_stall_ = 0;
+    counter_set::handle h_refill_wb_stall_ = 0;
+    counter_set::handle h_untracked_response_ = 0;
 
     mem_client* upstream_ = nullptr;
     mem_port* downstream_ = nullptr;
@@ -120,6 +138,27 @@ private:
     /// snoop this queue so buffered data is visible.
     ring_queue<pending_access> input_writes_;
     cycle_t now_ = 0; ///< cycle of the current/last tick (for can_accept)
+
+    // Consecutive-duplicate elision on the warm path: sequential runs touch
+    // the same block several times in a row, and repeating a hit on the MRU
+    // block (or re-dirtying a just-dirtied one) is a state no-op - skipping
+    // exact consecutive repeats is lossless, not an approximation.
+    addr_t warm_last_block_ = no_addr;
+    access_kind warm_last_kind_ = access_kind::writeback;
+    // Warm-path stand-in for the outgoing write buffer's per-block
+    // coalescing: a store whose block was among the last
+    // `write_buffer_entries` forwarded store blocks coalesces (no second
+    // downstream write), and a read to such a block is a buffer hit (served
+    // without touching tags, like the detailed wb snoop). Without this, the
+    // warm path over-weights store blocks in the next level's recency.
+    bool warm_wb_contains(addr_t block) const;
+    void warm_wb_remember(addr_t block);
+    std::vector<addr_t> warm_wb_;
+    std::size_t warm_wb_pos_ = 0;
+    /// Set by tick(): the detailed path moved lines / drained the real
+    /// write buffer, so the warm-path caches above are invalid until the
+    /// next warm access resets them.
+    bool warm_state_stale_ = false;
 };
 
 } // namespace lnuca::mem

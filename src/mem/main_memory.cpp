@@ -12,7 +12,7 @@ bool main_memory::can_accept(const mem_request&) const
 void main_memory::accept(const mem_request& request)
 {
     queue_.push_back(request);
-    counters_.inc(request.kind == access_kind::read ? "reads" : "writes");
+    counters_.inc(request.kind == access_kind::read ? h_reads_ : h_writes_);
 }
 
 cycle_t main_memory::unloaded_latency(std::uint32_t bytes) const
@@ -62,7 +62,7 @@ void main_memory::tick(cycle_t now)
         response.served_by = service_level::memory;
         upstream_->respond(response);
     }
-    counters_.inc("transfers");
+    counters_.inc(h_transfers_);
 }
 
 } // namespace lnuca::mem

@@ -25,6 +25,9 @@ public:
     {
         queue_.reserve(config.queue_depth);
         counters_.preregister({"reads", "writes", "transfers"});
+        h_reads_ = counters_.handle_of("reads");
+        h_writes_ = counters_.handle_of("writes");
+        h_transfers_ = counters_.handle_of("transfers");
     }
 
     void set_upstream(mem_client* client) { upstream_ = client; }
@@ -50,6 +53,9 @@ private:
     main_memory_config config_;
     mem_client* upstream_ = nullptr;
     counter_set counters_;
+    counter_set::handle h_reads_ = 0;
+    counter_set::handle h_writes_ = 0;
+    counter_set::handle h_transfers_ = 0;
     ring_queue<mem_request> queue_;
     cycle_t wires_free_at_ = 0;
 };

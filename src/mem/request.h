@@ -58,6 +58,16 @@ struct mem_response {
     bool dirty = false;
 };
 
+/// A functional warming access (the sampled-simulation fast-forward path).
+/// Carries no transaction id and expects no response: the access updates
+/// stateful structures only.
+struct warm_request {
+    addr_t addr = no_addr;
+    access_kind kind = access_kind::read;
+    /// For writeback kind: block carries modified data.
+    bool dirty = false;
+};
+
 /// Upstream-facing interface: a component the level above pushes requests
 /// into. Callers must check can_accept in the same cycle before accept.
 class mem_port {
@@ -66,6 +76,24 @@ public:
 
     virtual bool can_accept(const mem_request& request) const = 0;
     virtual void accept(const mem_request& request) = 0;
+
+    /// Functional warming contract (see DESIGN.md, "Sampling"): update every
+    /// stateful structure the access would touch under detailed timing -
+    /// tags, recency, dirtiness, allocation/migration decisions, and the
+    /// same propagation down the hierarchy (miss fetches, victim
+    /// writebacks) - while touching *no* timing state: no queues, no MSHRs,
+    /// no port schedules, no counters, no responses. May only be called
+    /// while the component is quiescent (nothing in flight), which the
+    /// sampled driver guarantees by draining between detailed windows.
+    /// Returns true iff a read pulled up a block carrying modified data
+    /// (the caller's install must preserve dirtiness, exactly like the
+    /// `dirty` flag of a timing-path mem_response); false for other kinds.
+    /// Default: warm-transparent (main memory holds no warmable state).
+    virtual bool warm_access(const warm_request& request)
+    {
+        (void)request;
+        return false;
+    }
 };
 
 /// Downstream-facing interface: receives responses for requests this

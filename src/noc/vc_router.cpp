@@ -18,6 +18,11 @@ vc_router::vc_router(const router_config& config, coord position)
         o.assign(config_.virtual_channels, -1);
     counters_.preregister(
         {"injected", "ejected", "forwarded", "credit_stall", "vc_alloc_stall"});
+    h_credit_stall_ = counters_.handle_of("credit_stall");
+    h_ejected_ = counters_.handle_of("ejected");
+    h_forwarded_ = counters_.handle_of("forwarded");
+    h_injected_ = counters_.handle_of("injected");
+    h_vc_alloc_stall_ = counters_.handle_of("vc_alloc_stall");
 }
 
 bool vc_router::local_can_accept(std::uint32_t vc) const
@@ -28,7 +33,7 @@ bool vc_router::local_can_accept(std::uint32_t vc) const
 void vc_router::local_inject(std::uint32_t vc, const flit& f)
 {
     inputs_[std::size_t(port_dir::local)].vcs[vc].buffer.push(f);
-    counters_.inc("injected");
+    counters_.inc(h_injected_);
 }
 
 std::optional<flit> vc_router::local_eject()
@@ -130,7 +135,7 @@ void mesh_network::step(cycle_t now)
                     }
                 }
                 if (!ivc.routed)
-                    r.counters_.inc("vc_alloc_stall");
+                    r.counters_.inc(r.h_vc_alloc_stall_);
             }
         }
     }
@@ -157,14 +162,14 @@ void mesh_network::step(cycle_t now)
                     continue;
                 if (ivc.out != port_dir::local &&
                     r.credits_[out][ivc.out_vc] == 0) {
-                    r.counters_.inc("credit_stall");
+                    r.counters_.inc(r.h_credit_stall_);
                     continue;
                 }
 
                 const flit moving = *ivc.buffer.pop();
                 if (ivc.out == port_dir::local) {
                     r.ejected_.push_back(moving);
-                    r.counters_.inc("ejected");
+                    r.counters_.inc(r.h_ejected_);
                 } else {
                     const coord nc = neighbour(r.position_, ivc.out);
                     vc_router& next = at(nc);
@@ -173,7 +178,7 @@ void mesh_network::step(cycle_t now)
                         .buffer.push(moving);
                     r.credits_[out][ivc.out_vc]--;
                     ++flit_hops_;
-                    r.counters_.inc("forwarded");
+                    r.counters_.inc(r.h_forwarded_);
                 }
 
                 // Return a credit to whoever feeds this input port.

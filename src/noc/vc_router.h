@@ -79,6 +79,11 @@ private:
     std::array<std::vector<std::int32_t>, port_count> vc_owner_;
     ring_queue<flit> ejected_;
     counter_set counters_;
+    counter_set::handle h_credit_stall_ = 0;
+    counter_set::handle h_ejected_ = 0;
+    counter_set::handle h_forwarded_ = 0;
+    counter_set::handle h_injected_ = 0;
+    counter_set::handle h_vc_alloc_stall_ = 0;
 };
 
 /// A width x height mesh of vc_routers with neighbour wiring. Call step()

@@ -60,6 +60,21 @@ public:
     /// Cycles on which components were actually ticked.
     cycle_t cycles_executed() const { return executed_; }
 
+    /// Cycles jumped by functional fast-forward (sampled simulation).
+    cycle_t cycles_fast_forwarded() const { return fast_forwarded_; }
+
+    /// Jump the clock `cycles` forward without ticking anyone. Only valid
+    /// while every component is quiescent (no pending timed events): the
+    /// sampled driver drains the system before fast-forwarding, so there is
+    /// no event in (now, now + cycles) to miss. Overdue schedule anchors
+    /// (port-free times, stall windows) are in the past either way and mean
+    /// "free now", so jumping past them is safe.
+    void advance(cycle_t cycles)
+    {
+        now_ += cycles;
+        fast_forwarded_ += cycles;
+    }
+
     /// Run exactly `cycles` cycles.
     void run(cycle_t cycles);
 
@@ -84,6 +99,7 @@ private:
     cycle_t now_ = 0;
     cycle_t skipped_ = 0;
     cycle_t executed_ = 0;
+    cycle_t fast_forwarded_ = 0;
     schedule_mode mode_ = schedule_mode::dense;
 };
 

@@ -11,11 +11,13 @@ constexpr std::uint32_t k_block_bytes = 32;
 
 synthetic_stream::synthetic_stream(const workload_profile& profile,
                                    std::uint64_t seed)
-    : profile_(profile), rng_(seed)
+    : profile_(profile), rng_(seed), dep_rng_(hash64(seed ^ 0xde9d15ULL))
 {
     // The working set pre-exists: a real program has long allocated its
     // data when the measured region starts. p_new_block keeps sliding it.
     frontier_ = profile_.footprint_blocks;
+    footprint_mask_ =
+        is_pow2(profile_.footprint_blocks) ? profile_.footprint_blocks - 1 : 0;
     const instruction_mix& m = profile_.mix;
     const double parts[8] = {m.load,    m.store,  m.branch,  m.int_alu,
                              m.int_mul, m.fp_add, m.fp_mul,  m.fp_div};
@@ -59,14 +61,19 @@ cpu::op_class synthetic_stream::pick_op()
 
 addr_t synthetic_stream::new_block()
 {
-    const std::uint64_t index = frontier_++ % profile_.footprint_blocks;
+    const std::uint64_t raw = frontier_++;
+    const std::uint64_t index = footprint_mask_ != 0
+                                    ? (raw & footprint_mask_)
+                                    : raw % profile_.footprint_blocks;
     return region_base_ + index * k_block_bytes;
 }
 
 addr_t synthetic_stream::block_at(std::uint64_t backward_index) const
 {
-    const std::uint64_t index =
-        (frontier_ - 1 - backward_index) % profile_.footprint_blocks;
+    const std::uint64_t raw = frontier_ - 1 - backward_index;
+    const std::uint64_t index = footprint_mask_ != 0
+                                    ? (raw & footprint_mask_)
+                                    : raw % profile_.footprint_blocks;
     return region_base_ + index * k_block_bytes;
 }
 
@@ -110,6 +117,16 @@ addr_t synthetic_stream::pick_address()
 
 cpu::instruction synthetic_stream::next()
 {
+    return emit(/*full_fidelity=*/true);
+}
+
+cpu::instruction synthetic_stream::warm_next()
+{
+    return emit(/*full_fidelity=*/false);
+}
+
+cpu::instruction synthetic_stream::emit(bool full_fidelity)
+{
     ++instr_count_;
     ++last_load_distance_;
     pc_ += 4;
@@ -118,9 +135,12 @@ cpu::instruction synthetic_stream::next()
     inst.op = pick_op();
     inst.pc = pc_;
 
+    // Dependency distances only matter to the detailed pipeline and draw
+    // from dep_rng_, so fast-forward skips them (and their per-instruction
+    // log()) entirely while the main lane stays bit-identically positioned.
     auto geometric_dep = [&]() -> std::uint32_t {
         const double draw =
-            -profile_.mean_dep_distance * std::log(1.0 - rng_.uniform());
+            -profile_.mean_dep_distance * std::log(1.0 - dep_rng_.uniform());
         return std::uint32_t(std::clamp(draw, 1.0, 64.0));
     };
 
@@ -128,32 +148,39 @@ cpu::instruction synthetic_stream::next()
     case cpu::op_class::load:
         inst.addr = pick_address();
         inst.size = 8;
-        if (profile_.pointer_chase > 0 && rng_.chance(profile_.pointer_chase) &&
-            last_load_distance_ < 64 && instr_count_ > last_load_distance_) {
-            // Address depends on the previous load (pointer chasing).
-            inst.dep[0] = std::uint32_t(last_load_distance_);
-        } else {
-            inst.dep[0] = geometric_dep();
+        if (full_fidelity) {
+            if (profile_.pointer_chase > 0 &&
+                dep_rng_.chance(profile_.pointer_chase) &&
+                last_load_distance_ < 64 && instr_count_ > last_load_distance_) {
+                // Address depends on the previous load (pointer chasing).
+                inst.dep[0] = std::uint32_t(last_load_distance_);
+            } else {
+                inst.dep[0] = geometric_dep();
+            }
         }
         last_load_distance_ = 0;
         break;
     case cpu::op_class::store:
         inst.addr = pick_address();
         inst.size = 8;
-        inst.dep[0] = geometric_dep(); // data being stored
+        if (full_fidelity)
+            inst.dep[0] = geometric_dep(); // data being stored
         break;
     case cpu::op_class::branch: {
         const auto& [pc, p_taken] =
             branch_sites_[rng_.below(branch_sites_.size())];
         inst.pc = pc;
         inst.taken = rng_.chance(p_taken);
-        inst.dep[0] = geometric_dep(); // condition operand
+        if (full_fidelity)
+            inst.dep[0] = geometric_dep(); // condition operand
         break;
     }
     default:
-        inst.dep[0] = geometric_dep();
-        if (rng_.chance(profile_.second_operand))
-            inst.dep[1] = geometric_dep();
+        if (full_fidelity) {
+            inst.dep[0] = geometric_dep();
+            if (dep_rng_.chance(profile_.second_operand))
+                inst.dep[1] = geometric_dep();
+        }
         break;
     }
     return inst;

@@ -24,6 +24,10 @@ public:
     synthetic_stream(const workload_profile& profile, std::uint64_t seed);
 
     cpu::instruction next() override;
+    /// Same stream content and rng consumption as next(), minus the
+    /// per-instruction log() of the dependency-distance transform (unused
+    /// during fast-forward) - about 2x faster, bit-exact stream positioning.
+    cpu::instruction warm_next() override;
 
     const workload_profile& profile() const { return profile_; }
 
@@ -37,14 +41,23 @@ private:
     addr_t new_block();
     addr_t block_at(std::uint64_t backward_index) const;
     cpu::op_class pick_op();
+    cpu::instruction emit(bool full_fidelity);
 
     workload_profile profile_;
     rng rng_;
+    /// Dependency-distance draws live on their own lane: only the detailed
+    /// pipeline reads them, so warm_next() skips them entirely without
+    /// desynchronising the address/op/branch sequence of the main lane.
+    rng dep_rng_;
 
     // Cumulative mix thresholds for O(1) op-class selection.
     double cum_[8] = {};
 
     std::uint64_t frontier_ = 0; ///< blocks allocated so far (slides the WS)
+    /// footprint_blocks - 1 when the footprint is a power of two (every
+    /// shipped profile): index wrap becomes a mask instead of a 64-bit
+    /// divide on the per-access path. 0 selects the modulo fallback.
+    std::uint64_t footprint_mask_ = 0;
     addr_t region_base_ = 0x10000000;
 
     // Sequential-run state.

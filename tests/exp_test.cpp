@@ -217,6 +217,10 @@ hier::run_result synthetic_result()
     r.loads_dnuca = 55;
     r.loads_memory = 66;
     r.avg_load_latency = 7.0999999999999996;
+    r.sampled = true;
+    r.sampled_windows = 12;
+    r.measured_instructions = 24000;
+    r.ipc_ci95 = 0.0031999999999999997;
     r.host_seconds = 0.12345678901234567;
     r.sim_cycles_per_second = 8.0012345678901234e9;
     r.sim_instructions_per_second = 1.0000000000000002e9;
@@ -262,6 +266,7 @@ TEST(jsonl, sink_emits_one_line_per_run_and_rejects_garbage)
     jsonl_sink sink(out);
     sink.consume(synthetic_job(), synthetic_result());
     sink.consume(synthetic_job(), synthetic_result());
+    sink.finish(); // rows are batched; finish() flushes the tail
     std::istringstream in(out.str());
     std::string line;
     std::size_t lines = 0;
@@ -279,6 +284,37 @@ TEST(jsonl, sink_emits_one_line_per_run_and_rejects_garbage)
     // cleanly, not scan past the end of the buffer.
     EXPECT_FALSE(decode_json_line("{\"x\":[\"\\").has_value());
     EXPECT_FALSE(decode_json_line("{\"x\":{\"y\":\"\\").has_value());
+}
+
+TEST(jsonl, batches_rows_and_flushes_on_threshold_finish_and_destruction)
+{
+    const job j = synthetic_job();
+    const hier::run_result r = synthetic_result();
+    const std::string line = encode_json_line(j, r) + "\n";
+
+    // Below the threshold nothing reaches the stream until finish().
+    std::ostringstream out;
+    jsonl_sink sink(out, /*flush_rows=*/3);
+    sink.begin(5);
+    sink.consume(j, r);
+    sink.consume(j, r);
+    EXPECT_TRUE(out.str().empty());
+    // The third row completes a batch: exactly one write of three rows.
+    sink.consume(j, r);
+    EXPECT_EQ(out.str(), line + line + line);
+    sink.consume(j, r);
+    EXPECT_EQ(out.str(), line + line + line);
+    sink.finish();
+    EXPECT_EQ(out.str(), line + line + line + line);
+
+    // An abandoned sink (no finish(), e.g. early exit) flushes on
+    // destruction so the JSON-lines file never silently loses rows.
+    std::ostringstream leftover;
+    {
+        jsonl_sink abandoned(leftover, 100);
+        abandoned.consume(j, r);
+    }
+    EXPECT_EQ(leftover.str(), line);
 }
 
 TEST(csv, header_plus_one_row_per_run)

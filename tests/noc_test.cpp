@@ -113,6 +113,89 @@ TEST(sync_fifo, capacity_one_ring_wraps)
     EXPECT_TRUE(f.idle());
 }
 
+// ---------------------------------------------------------------------------
+// Heap-fallback path: capacities above the inline small-buffer store their
+// ring in one heap block. The buffer-depth ablation reaches depth 8 and the
+// exit queue reaches 16, so the fallback is a real configuration - these
+// tests pin down push/pop/commit ordering and the overflow throw on it.
+// ---------------------------------------------------------------------------
+
+TEST(sync_fifo, heap_fallback_push_pop_commit_ordering)
+{
+    sync_fifo<int> f(12); // > InlineCapacity (4): heap-backed ring
+    EXPECT_EQ(f.capacity(), 12u);
+
+    // Fill beyond the inline capacity in two staged batches; order must be
+    // strict FIFO across the commit boundaries.
+    for (int v = 0; v < 7; ++v)
+        f.push(v);
+    EXPECT_TRUE(f.empty()); // staged only
+    f.commit();
+    EXPECT_EQ(f.size(), 7u);
+    for (int v = 7; v < 12; ++v)
+        f.push(v);
+    EXPECT_EQ(f.size(), 7u);        // second batch still staged
+    EXPECT_EQ(f.total_size(), 12u); // but occupies capacity
+    EXPECT_FALSE(f.on());
+    f.commit();
+    for (int v = 0; v < 12; ++v) {
+        ASSERT_NE(f.front(), nullptr);
+        EXPECT_EQ(*f.front(), v);
+        EXPECT_EQ(*f.pop(), v);
+    }
+    EXPECT_TRUE(f.idle());
+
+    // Wrap the heap ring several times over interleaved push/commit/pop.
+    int pushed = 0, popped = 0;
+    for (int round = 0; round < 9; ++round) {
+        while (f.on())
+            f.push(pushed++);
+        f.commit();
+        for (int n = 0; n < 5; ++n)
+            EXPECT_EQ(*f.pop(), popped++);
+    }
+    f.commit();
+    while (!f.empty())
+        EXPECT_EQ(*f.pop(), popped++);
+    EXPECT_EQ(popped, pushed);
+}
+
+TEST(sync_fifo, heap_fallback_push_without_on_throws)
+{
+    sync_fifo<int> f(12);
+    for (int v = 0; v < 12; ++v)
+        f.push(v);
+    EXPECT_FALSE(f.on());
+    EXPECT_THROW(f.push(99), std::logic_error); // staged occupancy counts
+    f.commit();
+    EXPECT_THROW(f.push(99), std::logic_error); // committed occupancy counts
+    f.pop();
+    f.push(99); // freed slot usable again, still heap-backed
+    EXPECT_FALSE(f.on());
+    f.commit();
+    // FIFO order preserved around the overflow attempts.
+    EXPECT_EQ(*f.pop(), 1);
+}
+
+TEST(sync_fifo, heap_fallback_find_and_extract)
+{
+    sync_fifo<int> f(10);
+    for (int v = 0; v < 6; ++v)
+        f.push(v * 10);
+    f.commit();
+    f.push(60);
+    f.push(70); // staged
+    ASSERT_NE(f.find([](int v) { return v == 70; }), nullptr); // sees staged
+    const auto got = f.extract([](int v) { return v == 30; });
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 30);
+    f.commit();
+    // Remaining committed order is preserved after the mid-ring extract.
+    for (const int expect : {0, 10, 20, 40, 50, 60, 70})
+        EXPECT_EQ(*f.pop(), expect);
+    EXPECT_TRUE(f.idle());
+}
+
 TEST(sync_fifo, staged_commit_visibility_across_wrap)
 {
     // Interleave pops and staged pushes so the ring head wraps repeatedly;

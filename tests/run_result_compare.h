@@ -38,6 +38,10 @@ inline void expect_sim_fields_identical(const hier::run_result& a,
     EXPECT_EQ(a.loads_dnuca, b.loads_dnuca);
     EXPECT_EQ(a.loads_memory, b.loads_memory);
     EXPECT_EQ(a.avg_load_latency, b.avg_load_latency);
+    EXPECT_EQ(a.sampled, b.sampled);
+    EXPECT_EQ(a.sampled_windows, b.sampled_windows);
+    EXPECT_EQ(a.measured_instructions, b.measured_instructions);
+    EXPECT_EQ(a.ipc_ci95, b.ipc_ci95);
 }
 
 } // namespace lnuca

@@ -1,0 +1,264 @@
+// Sampled simulation: spec parsing, warm_access() functional contract,
+// bit-identity of the non-sampled path, and sampled-run determinism across
+// serial/parallel runner execution.
+#include "src/exp/runner.h"
+#include "src/exp/sweep.h"
+#include "src/fabric/lnuca_cache.h"
+#include "src/hier/presets.h"
+#include "src/hier/system.h"
+#include "src/mem/cache.h"
+#include "src/workloads/spec2006.h"
+#include "tests/run_result_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lnuca {
+namespace {
+
+// ---------------------------------------------------------------------------
+// --sampling spec parsing.
+// ---------------------------------------------------------------------------
+
+TEST(sampling_spec, parses_off_and_periodic)
+{
+    const auto off = hier::parse_sampling_spec("off");
+    ASSERT_TRUE(off.has_value());
+    EXPECT_FALSE(off->enabled);
+
+    const auto p = hier::parse_sampling_spec("periodic:2000:50000");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->enabled);
+    EXPECT_EQ(p->detail_instructions, 2000u);
+    EXPECT_EQ(p->period_instructions, 50000u);
+    EXPECT_EQ(p->detail_warmup, 1000u); // defaults to detail / 2
+
+    const auto q = hier::parse_sampling_spec("periodic:1500:30000:600");
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->detail_instructions, 1500u);
+    EXPECT_EQ(q->period_instructions, 30000u);
+    EXPECT_EQ(q->detail_warmup, 600u);
+}
+
+TEST(sampling_spec, rejects_malformed_input)
+{
+    EXPECT_FALSE(hier::parse_sampling_spec("").has_value());
+    EXPECT_FALSE(hier::parse_sampling_spec("on").has_value());
+    EXPECT_FALSE(hier::parse_sampling_spec("periodic").has_value());
+    EXPECT_FALSE(hier::parse_sampling_spec("periodic:").has_value());
+    EXPECT_FALSE(hier::parse_sampling_spec("periodic:2000").has_value());
+    EXPECT_FALSE(hier::parse_sampling_spec("periodic:0:50000").has_value());
+    EXPECT_FALSE(hier::parse_sampling_spec("periodic:2000:0").has_value());
+    EXPECT_FALSE(hier::parse_sampling_spec("periodic:2000:1x").has_value());
+    EXPECT_FALSE(
+        hier::parse_sampling_spec("periodic:1:2:3:4").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// warm_access(): the functional twin of the timing paths.
+// ---------------------------------------------------------------------------
+
+TEST(warm_access, conventional_cache_installs_and_refreshes)
+{
+    mem::txn_id_source ids;
+    mem::cache_config cfg;
+    cfg.size_bytes = 1_KiB;
+    cfg.ways = 2;
+    cfg.block_bytes = 32;
+    cfg.write_through = false;
+    cfg.write_allocate = true;
+    mem::conventional_cache cache(cfg, ids);
+
+    cache.warm_access({0x1000, mem::access_kind::read, false});
+    EXPECT_TRUE(cache.tags().probe(0x1000).has_value());
+    // A warm store miss on a write-allocate cache installs dirty.
+    cache.warm_access({0x2000, mem::access_kind::write, false});
+    const auto hit = cache.tags().probe(0x2000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->was_dirty);
+    // Warming touches no counters and no timing state.
+    EXPECT_EQ(cache.counters().get("accesses"), 0u);
+    EXPECT_TRUE(cache.quiescent());
+}
+
+TEST(warm_access, dirty_victims_propagate_downstream)
+{
+    mem::txn_id_source ids;
+    mem::cache_config l1c;
+    l1c.size_bytes = 64; // one set, two ways of 32B: evicts immediately
+    l1c.ways = 2;
+    l1c.block_bytes = 32;
+    l1c.write_through = false;
+    l1c.write_allocate = true;
+    mem::cache_config l2c;
+    l2c.size_bytes = 1_KiB;
+    l2c.ways = 4;
+    l2c.block_bytes = 32;
+    mem::conventional_cache l1(l1c, ids), l2(l2c, ids);
+    l1.set_downstream(&l2);
+
+    l1.warm_access({0x0, mem::access_kind::write, false});   // dirty in L1
+    l1.warm_access({0x400, mem::access_kind::read, false});  // same set
+    l1.warm_access({0x800, mem::access_kind::read, false});  // evicts 0x0
+    EXPECT_FALSE(l1.tags().probe(0x0).has_value());
+    // The dirty victim was warm-written back and installed below. (The two
+    // read misses also warmed the L2 on their way down.)
+    const auto below = l2.tags().probe(0x0);
+    ASSERT_TRUE(below.has_value());
+    EXPECT_TRUE(below->was_dirty);
+    EXPECT_TRUE(l2.tags().probe(0x400).has_value());
+}
+
+TEST(warm_access, fabric_read_hit_preserves_content_exclusion)
+{
+    mem::txn_id_source ids;
+    fabric::fabric_config fc;
+    fc.levels = 3;
+    fabric::lnuca_cache fabric(fc, ids);
+
+    // A warm eviction installs the block into exactly one tile.
+    fabric.warm_access({0x5000, mem::access_kind::writeback, true});
+    EXPECT_EQ(fabric.copies_of(0x5000), 1u);
+    // A warm read hit extracts it (the block moves up to the r-tile).
+    fabric.warm_access({0x5000, mem::access_kind::read, false});
+    EXPECT_EQ(fabric.copies_of(0x5000), 0u);
+    EXPECT_EQ(fabric.counters().get("tile_tag_lookups"), 0u);
+    EXPECT_TRUE(fabric.quiescent());
+}
+
+TEST(warm_access, fabric_full_level_dominoes_outwards)
+{
+    mem::txn_id_source ids;
+    fabric::fabric_config fc;
+    fc.levels = 2; // one ring of 5 tiles
+    fc.tile.size_bytes = 64; // 2 sets x 1 way... keep ways=2: 1 set
+    fc.tile.ways = 2;
+    fc.tile.block_bytes = 32;
+    fabric::lnuca_cache fabric(fc, ids);
+
+    // 5 tiles x 2 ways of one set: 10 blocks fill the level; further
+    // evictions must still land (dominoed victims leave the fabric).
+    for (addr_t a = 0; a < 12; ++a)
+        fabric.warm_access({a * 32, mem::access_kind::writeback, false});
+    std::uint64_t resident = 0;
+    for (addr_t a = 0; a < 12; ++a)
+        resident += fabric.copies_of(a * 32);
+    EXPECT_EQ(resident, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// The non-sampled path is bit-identical to the pre-sampling driver: with
+// sampling off (explicitly or by default), every preset x workload produces
+// exactly the idle_skip results.
+// ---------------------------------------------------------------------------
+
+std::vector<hier::system_config> all_presets()
+{
+    using namespace hier::presets;
+    return {l2_256kb(),     lnuca_l3(2),    lnuca_l3(3), lnuca_l3(4),
+            dnuca_4x8(),    lnuca_dnuca(2), lnuca_dnuca(3),
+            lnuca_dnuca(4)};
+}
+
+TEST(sampling_off, bit_identical_to_idle_skip_on_every_preset)
+{
+    const char* workloads[] = {"456.hmmer", "429.mcf", "470.lbm", "433.milc"};
+    for (const auto& preset : all_presets()) {
+        for (const char* name : workloads) {
+            const auto workload = *wl::find_spec2006(name);
+            hier::system_config base = preset; // sampling defaults to off
+            const auto plain = run_one(base, workload, 2500, 500, 7);
+
+            hier::system_config off = preset;
+            off.sampling = *hier::parse_sampling_spec("off");
+            const auto explicit_off = run_one(off, workload, 2500, 500, 7);
+
+            expect_sim_fields_identical(plain, explicit_off);
+            EXPECT_FALSE(explicit_off.sampled) << preset.name << "/" << name;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sampled runs: determinism and basic statistical sanity.
+// ---------------------------------------------------------------------------
+
+hier::system_config sampled_config(hier::system_config config)
+{
+    config.sampling = *hier::parse_sampling_spec("periodic:1000:8000:400");
+    return config;
+}
+
+TEST(sampled_run, reports_windows_and_confidence_interval)
+{
+    const auto workload = *wl::find_spec2006("429.mcf");
+    const auto r = run_one(sampled_config(hier::presets::lnuca_l3(3)),
+                           workload, 64000, 8000, 5);
+    EXPECT_TRUE(r.sampled);
+    EXPECT_EQ(r.sampled_windows, 8u);
+    EXPECT_GE(r.measured_instructions, 8u * 1000u);
+    EXPECT_GE(r.instructions, 64000u);
+    EXPECT_GT(r.ipc, 0.05);
+    EXPECT_LT(r.ipc, 4.0);
+    EXPECT_GT(r.ipc_ci95, 0.0);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.energy.total(), 0.0);
+    // Estimated load counts extrapolate the measured windows: roughly the
+    // workload's load fraction of the full run, so far above the window
+    // total alone.
+    EXPECT_GT(r.loads_l1 + r.loads_fabric + r.loads_l3 + r.loads_memory,
+              r.measured_instructions / 8);
+}
+
+TEST(sampled_run, same_seed_is_bit_identical_and_seeds_differ)
+{
+    const auto workload = *wl::find_spec2006("401.bzip2");
+    const auto config = sampled_config(hier::presets::l2_256kb());
+    const auto a = run_one(config, workload, 32000, 4000, 42);
+    const auto b = run_one(config, workload, 32000, 4000, 42);
+    expect_sim_fields_identical(a, b);
+    const auto c = run_one(config, workload, 32000, 4000, 43);
+    EXPECT_NE(a.cycles, c.cycles); // window placement + stream move together
+}
+
+TEST(sampled_run, serial_and_parallel_runner_agree)
+{
+    exp::sweep s;
+    s.add_config(sampled_config(hier::presets::l2_256kb()))
+        .add_config(sampled_config(hier::presets::lnuca_l3(2)))
+        .add_config(sampled_config(hier::presets::dnuca_4x8()))
+        .add_config(sampled_config(hier::presets::lnuca_dnuca(2)))
+        .add_workload(*wl::find_spec2006("456.hmmer"))
+        .add_workload(*wl::find_spec2006("470.lbm"))
+        .instructions(24000)
+        .warmup(3000)
+        .base_seed(11);
+    const exp::report serial = exp::run_sweep(s, {1});
+    const exp::report parallel = exp::run_sweep(s, {8});
+    ASSERT_EQ(serial.results.size(), 8u);
+    ASSERT_EQ(parallel.results.size(), 8u);
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        EXPECT_TRUE(serial.results[i].sampled);
+        expect_sim_fields_identical(serial.results[i], parallel.results[i]);
+    }
+}
+
+TEST(sampled_run, ipc_tracks_the_full_fidelity_reference)
+{
+    // Statistical smoke test (the tight 3% gate lives in micro_sampling):
+    // on a stationary workload the sampled estimate lands near the
+    // full-fidelity IPC.
+    const auto workload = *wl::find_spec2006("456.hmmer");
+    const auto reference =
+        run_one(hier::presets::l2_256kb(), workload, 60000, 10000, 3);
+    auto config = hier::presets::l2_256kb();
+    config.sampling = *hier::parse_sampling_spec("periodic:2000:10000:1000");
+    const auto sampled = run_one(config, workload, 60000, 10000, 3);
+    EXPECT_TRUE(sampled.sampled);
+    EXPECT_LT(std::abs(sampled.ipc - reference.ipc) / reference.ipc, 0.10)
+        << "sampled " << sampled.ipc << " vs reference " << reference.ipc;
+}
+
+} // namespace
+} // namespace lnuca
