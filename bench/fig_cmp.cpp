@@ -1,0 +1,214 @@
+// CMP scaling: cores x shared-fabric backends (conventional L2, L-NUCA,
+// D-NUCA), reporting per-core IPC and multiprogrammed weighted speedup
+// against each backend's single-core baseline.
+//
+// The sweep runs every (backend, cores) preset over a 4-proxy mix set
+// through the exp runner, then post-fills run_result::weighted_speedup
+// from the in-sweep cores=1 baselines before replaying the rows into the
+// requested sinks - so the JSON-lines/CSV trajectories carry WS, not just
+// the rendered tables.
+#include "src/lnuca.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+using namespace lnuca;
+
+namespace {
+
+constexpr unsigned k_core_counts[] = {1, 2, 4};
+
+std::vector<wl::workload_profile> cmp_workloads()
+{
+    // Two integer and two floating-point proxies spanning cache-friendly
+    // to memory-bound behaviour.
+    std::vector<wl::workload_profile> out;
+    for (const char* name :
+         {"456.hmmer", "429.mcf", "433.milc", "470.lbm"})
+        if (const auto profile = wl::find_spec2006(name))
+            out.push_back(*profile);
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const cli_args args(argc, argv);
+    const exp::app_options opt = exp::parse_app_options(args);
+
+    std::vector<hier::system_config> configs;
+    std::vector<std::string> backend_names;
+    for (const auto& base :
+         {hier::presets::l2_256kb(), hier::presets::lnuca_l3(2),
+          hier::presets::lnuca_l3(3), hier::presets::lnuca_l3(4),
+          hier::presets::dnuca_4x8()}) {
+        backend_names.push_back(base.name);
+        for (const unsigned cores : k_core_counts)
+            configs.push_back(cores == 1 ? base
+                                         : hier::presets::cmp(base, cores));
+    }
+    for (auto& config : configs) {
+        config.engine_mode = opt.engine_mode;
+        config.sampling = opt.sampling;
+    }
+    const std::size_t per_backend = std::size(k_core_counts);
+
+    exp::sweep s;
+    s.add_configs(configs)
+        .add_workloads(cmp_workloads())
+        .replicates(opt.replicates)
+        .instructions(opt.instructions)
+        .warmup(opt.warmup)
+        .base_seed(opt.seed)
+        .shard(opt.shard_index, opt.shard_count);
+
+    const exp::report rep = exp::run_sweep(s, {opt.threads});
+
+    // Weighted speedup: each CMP row against its backend's cores=1
+    // baseline on the same workload/replicate. Sharded runs may lack the
+    // baseline cell; those rows keep WS = 0.
+    std::vector<hier::run_result> results = rep.results;
+    bool missing_baseline = false;
+    for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
+        const exp::job& j = rep.jobs[i];
+        if (configs[j.key.config].cores <= 1)
+            continue;
+        const std::size_t base_config =
+            (j.key.config / per_backend) * per_backend;
+        const hier::run_result* base =
+            rep.find(base_config, j.key.workload, j.key.replicate);
+        if (base == nullptr) {
+            missing_baseline = true;
+            continue;
+        }
+        results[i].weighted_speedup =
+            hier::weighted_speedup(results[i], *base);
+    }
+    if (missing_baseline)
+        std::fprintf(stderr,
+                     "fig_cmp: some cores=1 baseline cells fell outside "
+                     "this shard; their rows carry weighted_speedup=0\n");
+
+    // Replay the post-filled rows into the requested sinks (same wiring
+    // and path semantics as exp::run_app: JSONL appends, CSV truncates).
+    std::vector<exp::sink*> sinks;
+    std::unique_ptr<std::ofstream> json_file, csv_file;
+    std::unique_ptr<exp::jsonl_sink> json;
+    std::unique_ptr<exp::csv_sink> csv;
+    std::unique_ptr<exp::table_sink> table;
+    if (!opt.json_path.empty()) {
+        if (opt.json_path == "-") {
+            json = std::make_unique<exp::jsonl_sink>(std::cout);
+        } else {
+            json_file = std::make_unique<std::ofstream>(opt.json_path,
+                                                        std::ios::app);
+            if (!*json_file) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n",
+                             opt.json_path.c_str());
+                return 1;
+            }
+            json = std::make_unique<exp::jsonl_sink>(*json_file);
+        }
+        sinks.push_back(json.get());
+    }
+    if (!opt.csv_path.empty()) {
+        if (opt.csv_path == "-") {
+            csv = std::make_unique<exp::csv_sink>(std::cout);
+        } else {
+            csv_file = std::make_unique<std::ofstream>(opt.csv_path);
+            if (!*csv_file) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n",
+                             opt.csv_path.c_str());
+                return 1;
+            }
+            csv = std::make_unique<exp::csv_sink>(*csv_file);
+        }
+        sinks.push_back(csv.get());
+    }
+    if (!opt.quiet) {
+        table = std::make_unique<exp::table_sink>(std::cout);
+        sinks.push_back(table.get());
+    }
+    for (exp::sink* sink : sinks)
+        sink->begin(rep.jobs.size());
+    for (std::size_t i = 0; i < rep.jobs.size(); ++i)
+        for (exp::sink* sink : sinks)
+            sink->consume(rep.jobs[i], results[i]);
+    for (exp::sink* sink : sinks)
+        sink->finish();
+
+    if (opt.quiet || opt.shard_count > 1) {
+        if (opt.shard_count > 1)
+            std::printf("shard %zu/%zu: summary tables suppressed - merge "
+                        "the per-shard JSON-lines outputs\n",
+                        opt.shard_index, opt.shard_count);
+        return 0;
+    }
+
+    // Summary: per backend x core count, harmonic-mean IPC over the mix
+    // set, mean per-core IPC, and mean weighted speedup.
+    const std::size_t workload_count = rep.workload_count;
+    text_table t("CMP scaling: cores x shared-fabric backend");
+    t.set_header({"backend", "cores", "HM IPC", "mean IPC/core",
+                  "weighted speedup", "peer-L1 loads"});
+    for (std::size_t b = 0; b < backend_names.size(); ++b) {
+        for (std::size_t k = 0; k < per_backend; ++k) {
+            const std::size_t c = b * per_backend + k;
+            std::vector<double> ipcs;
+            double per_core_sum = 0.0, ws_sum = 0.0;
+            std::uint64_t peer_loads = 0;
+            std::size_t rows = 0;
+            for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
+                const exp::job& j = rep.jobs[i];
+                if (j.key.config != c || j.key.replicate != 0)
+                    continue;
+                const hier::run_result& r = results[i];
+                ipcs.push_back(r.ipc);
+                double pc = r.ipc;
+                if (!r.per_core_ipc.empty()) {
+                    pc = 0.0;
+                    for (const double v : r.per_core_ipc)
+                        pc += v;
+                    pc /= double(r.per_core_ipc.size());
+                }
+                per_core_sum += pc;
+                ws_sum += r.weighted_speedup;
+                peer_loads += r.loads_peer;
+                ++rows;
+            }
+            if (rows == 0)
+                continue;
+            const unsigned cores = k_core_counts[k];
+            t.add_row({backend_names[b], std::to_string(cores),
+                       text_table::num(harmonic_mean(ipcs), 3),
+                       text_table::num(per_core_sum / double(rows), 3),
+                       cores == 1 ? "1.00 (def)"
+                                  : text_table::num(ws_sum / double(rows), 2),
+                       std::to_string(peer_loads)});
+        }
+    }
+    t.print();
+
+    // Per-workload weighted speedup at the largest core count.
+    text_table d("Weighted speedup per workload (4 cores)");
+    std::vector<std::string> header{"backend"};
+    for (std::size_t w = 0; w < workload_count; ++w)
+        if (const auto* r = rep.find(0, w))
+            header.push_back(r->workload_name);
+    d.set_header(std::move(header));
+    for (std::size_t b = 0; b < backend_names.size(); ++b) {
+        const std::size_t c = b * per_backend + (per_backend - 1);
+        std::vector<std::string> row{backend_names[b]};
+        for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
+            const exp::job& j = rep.jobs[i];
+            if (j.key.config == c && j.key.replicate == 0)
+                row.push_back(text_table::num(results[i].weighted_speedup, 2));
+        }
+        d.add_row(std::move(row));
+    }
+    d.print();
+    return 0;
+}

@@ -118,6 +118,12 @@ std::vector<hotpath_case> saturated_cases()
     std::vector<hotpath_case> cases;
     cases.push_back({"L2-256KB", hier::presets::l2_256kb()});
     cases.push_back({"LN3-144KB", hier::presets::lnuca_l3(3)});
+    // CMP: the coherence hub (directory, snoops, c2c forwards) joins the
+    // executed cycle and must obey the same zero-allocation contract.
+    cases.push_back(
+        {"L2-256KB-2c", hier::presets::cmp(hier::presets::l2_256kb(), 2)});
+    cases.push_back(
+        {"LN3-144KB-2c", hier::presets::cmp(hier::presets::lnuca_l3(3), 2)});
     for (auto& c : cases)
         c.config.engine_mode = sim::schedule_mode::dense; // every cycle executes
     return cases;
@@ -134,9 +140,17 @@ const wl::workload_profile& saturated_workload()
 cycle_t run_more(hier::system& sys, std::uint64_t instructions)
 {
     const cycle_t start = sys.engine().now();
-    sys.core().set_instruction_limit(sys.core().committed() + instructions);
-    sys.engine().run_until([&] { return sys.core().done(); },
-                           start + 400 * instructions + 2'000'000);
+    for (unsigned i = 0; i < sys.cores(); ++i)
+        sys.core(i).set_instruction_limit(sys.core(i).committed() +
+                                          instructions);
+    sys.engine().run_until(
+        [&] {
+            for (unsigned i = 0; i < sys.cores(); ++i)
+                if (!sys.core(i).done())
+                    return false;
+            return true;
+        },
+        start + 400 * instructions + 2'000'000);
     return sys.engine().now() - start;
 }
 
@@ -207,8 +221,16 @@ void bm_saturated_lnuca(benchmark::State& s)
     bm_hotpath(s, config);
 }
 
+void bm_saturated_cmp2(benchmark::State& s)
+{
+    auto config = hier::presets::cmp(hier::presets::l2_256kb(), 2);
+    config.engine_mode = sim::schedule_mode::dense;
+    bm_hotpath(s, config);
+}
+
 BENCHMARK(bm_saturated_conventional)->Unit(benchmark::kMillisecond);
 BENCHMARK(bm_saturated_lnuca)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_saturated_cmp2)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,529 @@
+#include "src/coh/coherence_hub.h"
+
+#include "src/common/log.h"
+
+#include <string>
+
+namespace lnuca::coh {
+
+coherence_hub::coherence_hub(const coherence_config& config,
+                             mem::txn_id_source& ids)
+    : config_(config),
+      ids_(ids),
+      dir_(config.directory_entries != 0 ? config.directory_entries
+                                         : config.cores * 8192),
+      l1s_(config.cores, nullptr),
+      txns_(std::size_t(config.cores) * 32)
+{
+    if (config_.cores < 2 || config_.cores > mem::max_cores)
+        throw std::invalid_argument("coherence hub needs 2..32 cores");
+    counters_.preregister(
+        {"reads", "rfos", "upgrades", "writebacks_in", "invalidations_sent",
+         "downgrades_sent", "snoop_retries", "c2c_transfers", "c2c_dirty",
+         "fetches_below", "writebacks_below", "busy_retries",
+         "owner_rerequests", "race_fallbacks", "untracked_below_response"});
+    h_reads_ = counters_.handle_of("reads");
+    h_rfos_ = counters_.handle_of("rfos");
+    h_upgrades_ = counters_.handle_of("upgrades");
+    h_writebacks_in_ = counters_.handle_of("writebacks_in");
+    h_inv_sent_ = counters_.handle_of("invalidations_sent");
+    h_downgrades_sent_ = counters_.handle_of("downgrades_sent");
+    h_snoop_retries_ = counters_.handle_of("snoop_retries");
+    h_c2c_ = counters_.handle_of("c2c_transfers");
+    h_c2c_dirty_ = counters_.handle_of("c2c_dirty");
+    h_fetches_below_ = counters_.handle_of("fetches_below");
+    h_writebacks_below_ = counters_.handle_of("writebacks_below");
+    h_busy_retries_ = counters_.handle_of("busy_retries");
+    h_owner_rerequests_ = counters_.handle_of("owner_rerequests");
+    h_race_fallbacks_ = counters_.handle_of("race_fallbacks");
+    h_untracked_below_ = counters_.handle_of("untracked_below_response");
+
+    txn_free_.reserve(txns_.size());
+    for (std::size_t slot = txns_.size(); slot-- > 0;)
+        txn_free_.push_back(std::int32_t(slot));
+    const std::size_t req_bound = std::size_t(config_.cores) * 64;
+    reqs_.reserve(2 * req_bound);
+    snoops_.reserve(req_bound);
+    below_resp_.reserve(req_bound);
+    down_pending_.reserve(2 * req_bound);
+    wb_in_transit_.reserve(req_bound);
+}
+
+void coherence_hub::attach_l1(mem::core_id_t core,
+                              mem::conventional_cache* l1)
+{
+    if (core >= l1s_.size())
+        throw std::invalid_argument("attach_l1: core id out of range");
+    l1s_[core] = l1;
+}
+
+bool coherence_hub::can_accept(const mem::mem_request& request) const
+{
+    (void)request;
+    return reqs_.size() < std::size_t(config_.cores) * 64;
+}
+
+void coherence_hub::accept(const mem::mem_request& request)
+{
+    if (request.kind == mem::access_kind::writeback)
+        wb_in_transit_.emplace_back(request.core, block_of(request.addr));
+    reqs_.push(request.created_at + config_.request_latency, request);
+}
+
+bool coherence_hub::warm_access(const mem::warm_request& request)
+{
+    // CMP runs execute fully detailed in this revision (hier::system forces
+    // sampling off for cores > 1); warming stays a straight pass-through so
+    // shared structures can still be pre-heated.
+    return downstream_ != nullptr && downstream_->warm_access(request);
+}
+
+void coherence_hub::respond(const mem::mem_response& response)
+{
+    below_resp_.push(response.ready_at, response);
+}
+
+cycle_t coherence_hub::next_event(cycle_t now) const
+{
+    // A queued downstream hand-off retries every cycle until space frees.
+    if (!down_pending_.empty())
+        return now;
+    cycle_t next = reqs_.next_ready();
+    if (snoops_.next_ready() < next)
+        next = snoops_.next_ready();
+    if (below_resp_.next_ready() < next)
+        next = below_resp_.next_ready();
+    return next < now ? now : next;
+}
+
+std::uint64_t coherence_hub::state_digest() const
+{
+    sim::state_hash h;
+    h.mix(counters_.digest());
+    h.mix(reqs_.size());
+    h.mix(reqs_.next_ready());
+    h.mix(snoops_.size());
+    h.mix(snoops_.next_ready());
+    h.mix(below_resp_.size());
+    h.mix(below_resp_.next_ready());
+    h.mix(down_pending_.size());
+    h.mix(wb_in_transit_.size());
+    h.mix(dir_.version());
+    h.mix(in_flight_);
+    return h.value();
+}
+
+bool coherence_hub::quiescent() const
+{
+    return reqs_.empty() && snoops_.empty() && below_resp_.empty() &&
+           down_pending_.empty() && in_flight_ == 0;
+}
+
+void coherence_hub::tick(cycle_t now)
+{
+    process_below_responses(now);
+    process_snoops(now);
+    process_requests(now);
+    drain_downstream(now);
+    if (paranoid_)
+        check_invariants();
+}
+
+std::int32_t coherence_hub::allocate_txn()
+{
+    const std::int32_t slot = txn_free_.back();
+    txn_free_.pop_back();
+    txns_[std::size_t(slot)] = txn{};
+    txns_[std::size_t(slot)].live = true;
+    ++in_flight_;
+    return slot;
+}
+
+coherence_hub::txn* coherence_hub::txn_by_down_id(txn_id_t id)
+{
+    for (txn& t : txns_)
+        if (t.live && t.waiting_below && t.down_id == id)
+            return &t;
+    return nullptr;
+}
+
+void coherence_hub::send_snoop(cycle_t now, std::int32_t slot,
+                               mem::core_id_t core, bool invalidate)
+{
+    counters_.inc(invalidate ? h_inv_sent_ : h_downgrades_sent_);
+    snoops_.push(now + config_.snoop_latency,
+                 snoop_msg{core, txns_[std::size_t(slot)].block, invalidate,
+                           slot});
+    ++txns_[std::size_t(slot)].pending_snoops;
+}
+
+void coherence_hub::fetch_below(cycle_t now, std::int32_t slot)
+{
+    txn& t = txns_[std::size_t(slot)];
+    mem::mem_request fetch;
+    fetch.id = ids_.next();
+    fetch.addr = t.block;
+    fetch.size = config_.block_bytes;
+    fetch.kind = mem::access_kind::read;
+    fetch.created_at = now;
+    fetch.needs_response = true;
+    fetch.core = t.requester;
+    fetch.exclusive = t.rfo;
+    t.waiting_below = true;
+    t.down_id = fetch.id;
+    counters_.inc(h_fetches_below_);
+    down_pending_.push_back(fetch);
+}
+
+void coherence_hub::push_writeback_below(cycle_t now, addr_t block, bool dirty,
+                                         mem::core_id_t core)
+{
+    mem::mem_request wb;
+    wb.id = ids_.next();
+    wb.addr = block;
+    wb.size = config_.block_bytes;
+    wb.kind = mem::access_kind::writeback;
+    wb.created_at = now;
+    wb.needs_response = false;
+    wb.dirty = dirty;
+    wb.core = core;
+    counters_.inc(h_writebacks_below_);
+    down_pending_.push_back(wb);
+}
+
+void coherence_hub::drain_downstream(cycle_t now)
+{
+    (void)now;
+    while (!down_pending_.empty() && downstream_ != nullptr &&
+           downstream_->can_accept(down_pending_.front())) {
+        downstream_->accept(down_pending_.front());
+        down_pending_.pop_front();
+    }
+}
+
+void coherence_hub::process_requests(cycle_t now)
+{
+    while (auto request = reqs_.pop_ready(now)) {
+        if (request->kind == mem::access_kind::writeback)
+            process_writeback(now, *request);
+        else
+            process_read(now, *request);
+    }
+}
+
+void coherence_hub::process_read(cycle_t now, const mem::mem_request& request)
+{
+    const addr_t block = block_of(request.addr);
+    dir_entry* existing = dir_.find(block);
+    if ((existing != nullptr && existing->busy()) || txn_free_.empty()) {
+        // Transactions serialise per block; wait for the one in flight.
+        counters_.inc(h_busy_retries_);
+        reqs_.push(now + 1, request);
+        return;
+    }
+    counters_.inc(request.exclusive ? h_rfos_ : h_reads_);
+
+    dir_entry& e = dir_.get_or_create(block);
+    const std::uint32_t me = 1u << request.core;
+    const std::int32_t slot = allocate_txn();
+    txn& t = txns_[std::size_t(slot)];
+    t.block = block;
+    t.requester = request.core;
+    t.up_id = request.id;
+    t.up_addr = request.addr;
+    t.rfo = request.exclusive;
+    e.txn = slot;
+
+    if (request.exclusive) {
+        const bool upgrade = (e.sharers & me) != 0;
+        if (upgrade)
+            counters_.inc(h_upgrades_);
+        if (e.state == dir_state::exclusive_modified &&
+            e.owner != request.core) {
+            // Recall the owner; the (possibly dirty) line migrates
+            // cache-to-cache without touching the shared level.
+            send_snoop(now, slot, e.owner, /*invalidate=*/true);
+            t.data_pending = true;
+        } else {
+            for (unsigned j = 0; j < config_.cores; ++j)
+                if (j != request.core && (e.sharers & (1u << j)) != 0)
+                    send_snoop(now, slot, mem::core_id_t(j),
+                               /*invalidate=*/true);
+            if (!upgrade)
+                fetch_below(now, slot);
+        }
+        if (e.state == dir_state::exclusive_modified &&
+            e.owner == request.core)
+            counters_.inc(h_owner_rerequests_);
+    } else {
+        switch (e.state) {
+        case dir_state::invalid:
+        case dir_state::shared:
+            // Data lives in (or below) the shared level.
+            fetch_below(now, slot);
+            break;
+        case dir_state::exclusive_modified:
+            if (e.owner == request.core) {
+                // Stale self-request (ownership raced an eviction
+                // notification): re-grant from the directory itself.
+                counters_.inc(h_owner_rerequests_);
+            } else {
+                // Owner downgrades to S; modified data flushes to the
+                // shared level and the line forwards cache-to-cache.
+                send_snoop(now, slot, e.owner, /*invalidate=*/false);
+                t.data_pending = true;
+            }
+            break;
+        }
+    }
+    e.sharers |= me;
+    dir_.touch();
+    maybe_finish(now, slot);
+}
+
+void coherence_hub::process_writeback(cycle_t now,
+                                      const mem::mem_request& request)
+{
+    const addr_t block = block_of(request.addr);
+    counters_.inc(h_writebacks_in_);
+    for (std::size_t i = 0; i < wb_in_transit_.size(); ++i) {
+        if (wb_in_transit_[i].first == request.core &&
+            wb_in_transit_[i].second == block) {
+            wb_in_transit_[i] = wb_in_transit_.back();
+            wb_in_transit_.pop_back();
+            break;
+        }
+    }
+
+    if (dir_entry* e = dir_.find(block)) {
+        // An eviction notification can trail the same core's re-fetch of
+        // the block (upgrade raced a capacity eviction; the fill is in -
+        // or has landed from - the MSHR). The copy the directory tracks
+        // is then the new one: the sharer bit must survive, or the entry
+        // would vanish under a live (possibly E/M) cached line. The
+        // mirror ordering - re-request arriving while the directory still
+        // shows ownership - is the stale-self-request path in
+        // process_read().
+        const bool still_backed =
+            l1s_[request.core] != nullptr &&
+            l1s_[request.core]->holds_or_in_flight(block);
+        if (!still_backed) {
+            e->sharers &= ~(1u << request.core);
+            if (e->owner == request.core) {
+                e->owner = mem::no_core;
+                if (e->state == dir_state::exclusive_modified)
+                    e->state = e->sharers == 0 ? dir_state::invalid
+                                               : dir_state::shared;
+            }
+            if (e->sharers == 0 && !e->busy())
+                e->state = dir_state::invalid;
+        }
+        dir_.touch();
+        if (e->busy()) {
+            // The requester of the in-flight transaction just evicted its
+            // own copy (upgrade raced a capacity eviction): the data it
+            // assumed local is gone, so fetch it from the shared level.
+            txn& t = txns_[std::size_t(e->txn)];
+            if (t.requester == request.core && t.rfo && !t.peer_data &&
+                !t.data_pending && !t.waiting_below) {
+                counters_.inc(h_race_fallbacks_);
+                fetch_below(now, e->txn);
+            }
+        } else {
+            dir_.release_if_idle(*e);
+        }
+    }
+
+    if (request.dirty || config_.forward_clean_victims)
+        push_writeback_below(now, block, request.dirty, request.core);
+}
+
+void coherence_hub::process_snoops(cycle_t now)
+{
+    while (auto msg = snoops_.pop_ready(now)) {
+        mem::conventional_cache* l1 = l1s_[msg->core];
+        const mem::snoop_result result =
+            msg->invalidate ? l1->snoop_invalidate(msg->block)
+                            : l1->snoop_downgrade(msg->block);
+        if (result == mem::snoop_result::retry) {
+            counters_.inc(h_snoop_retries_);
+            snoops_.push(now + 1, *msg);
+            continue;
+        }
+
+        txn& t = txns_[std::size_t(msg->txn)];
+        dir_entry* e = dir_.find(t.block);
+        // A transaction sends at most one data-sourcing snoop (the EM
+        // recall/downgrade), and sends it alone - so if one is pending,
+        // this is it.
+        const bool data_source = t.data_pending;
+        if (msg->invalidate) {
+            e->sharers &= ~(1u << msg->core);
+            if (e->owner == msg->core) {
+                // Mirror process_writeback: an EM entry never carries
+                // owner = no_core, even transiently (check_invariants
+                // asserts the shape on every paranoid tick).
+                e->owner = mem::no_core;
+                if (e->state == dir_state::exclusive_modified)
+                    e->state = e->sharers == 0 ? dir_state::invalid
+                                               : dir_state::shared;
+            }
+            if (result != mem::snoop_result::not_present && data_source) {
+                t.peer_data = true;
+                t.peer_dirty = result == mem::snoop_result::applied_dirty;
+            }
+        } else {
+            // Downgrade: the owner keeps a Shared copy; modified data
+            // flushes into the shared level so every copy is clean.
+            if (e->owner == msg->core)
+                e->owner = mem::no_core;
+            if (e->state == dir_state::exclusive_modified)
+                e->state = dir_state::shared;
+            if (result != mem::snoop_result::not_present) {
+                if (result == mem::snoop_result::applied_dirty)
+                    push_writeback_below(now, t.block, true, msg->core);
+                t.peer_data = true;
+            } else {
+                // The owner evicted the line; its writeback already left
+                // (or is about to leave) for the shared level.
+                e->sharers &= ~(1u << msg->core);
+            }
+        }
+        dir_.touch();
+        if (data_source) {
+            t.data_pending = false;
+            if (!t.peer_data && !t.waiting_below) {
+                // Race: the copy we counted on vanished. The data is in
+                // (or en route to) the shared level - fetch it there.
+                counters_.inc(h_race_fallbacks_);
+                fetch_below(now, msg->txn);
+            }
+        }
+        --t.pending_snoops;
+        maybe_finish(now, msg->txn);
+    }
+}
+
+void coherence_hub::process_below_responses(cycle_t now)
+{
+    while (auto response = below_resp_.pop_ready(now)) {
+        txn* t = txn_by_down_id(response->id);
+        if (t == nullptr) {
+            counters_.inc(h_untracked_below_);
+            continue;
+        }
+        t->waiting_below = false;
+        t->below_served_by = response->served_by;
+        t->below_fabric_level = response->fabric_level;
+        t->below_dirty = response->dirty;
+        maybe_finish(now, std::int32_t(t - txns_.data()));
+    }
+}
+
+void coherence_hub::maybe_finish(cycle_t now, std::int32_t slot)
+{
+    txn& t = txns_[std::size_t(slot)];
+    if (!t.live || t.pending_snoops != 0 || t.waiting_below)
+        return;
+
+    dir_entry* e = dir_.find(t.block);
+    const std::uint32_t me = 1u << t.requester;
+    e->sharers |= me;
+    const bool exclusive = t.rfo || e->sharers == me;
+    e->state = exclusive ? dir_state::exclusive_modified : dir_state::shared;
+    e->owner = exclusive ? t.requester : mem::no_core;
+    e->txn = -1;
+    dir_.touch();
+
+    mem::mem_response r;
+    r.id = t.up_id;
+    r.addr = t.up_addr;
+    r.ready_at =
+        now + (t.peer_data ? config_.c2c_latency : config_.response_latency);
+    if (t.peer_data) {
+        counters_.inc(h_c2c_);
+        if (t.peer_dirty)
+            counters_.inc(h_c2c_dirty_);
+        r.served_by = mem::service_level::peer_l1;
+    } else if (t.below_served_by != mem::service_level::none) {
+        r.served_by = t.below_served_by;
+        r.fabric_level = t.below_fabric_level;
+    } else {
+        // Pure upgrade: the data never moved - it was already local.
+        r.served_by = mem::service_level::l1;
+    }
+    r.dirty = t.peer_dirty || t.below_dirty;
+    r.exclusive = exclusive;
+    r.core = t.requester;
+    l1s_[t.requester]->respond(r);
+
+    t = txn{};
+    txn_free_.push_back(slot);
+    --in_flight_;
+}
+
+void coherence_hub::check_invariants() const
+{
+    const auto fail = [](const std::string& what) {
+        throw coherence_error("coherence invariant violated: " + what);
+    };
+
+    dir_.for_each([&](const dir_entry& e) {
+        if (e.state == dir_state::exclusive_modified) {
+            if (e.owner == mem::no_core || e.owner >= config_.cores)
+                fail("EM entry without a valid owner");
+            if (!e.busy() && e.sharers != (1u << e.owner))
+                fail("EM entry whose sharer mask is not exactly the owner");
+            if ((e.sharers & (1u << e.owner)) == 0)
+                fail("EM owner missing from its own sharer mask");
+        }
+        if (e.state == dir_state::shared) {
+            if (e.owner != mem::no_core)
+                fail("Shared entry with an owner");
+            if (!e.busy() && e.sharers == 0)
+                fail("Shared entry with an empty mask");
+        }
+        if (e.state == dir_state::invalid && !e.busy())
+            fail("idle invalid entry not released");
+
+        unsigned exclusive_copies = 0;
+        for (unsigned i = 0; i < config_.cores; ++i) {
+            if (l1s_[i] != nullptr && l1s_[i]->tags().is_exclusive(e.block))
+                ++exclusive_copies;
+            if ((e.sharers & (1u << i)) == 0)
+                continue;
+            bool backed =
+                l1s_[i] != nullptr && l1s_[i]->holds_or_in_flight(e.block);
+            if (!backed)
+                for (const auto& [core, block] : wb_in_transit_)
+                    if (core == i && block == e.block) {
+                        backed = true;
+                        break;
+                    }
+            if (!backed)
+                fail("sharer bit set for a core that holds nothing");
+        }
+        if (exclusive_copies > 1)
+            fail("more than one L1 holds the block with E/M permission");
+    });
+
+
+    // Reverse containment: no L1 caches a block the directory ignores.
+    for (unsigned i = 0; i < config_.cores; ++i) {
+        if (l1s_[i] == nullptr)
+            continue;
+        const mem::tag_array& tags = l1s_[i]->tags();
+        for (std::uint32_t set = 0; set < tags.sets(); ++set) {
+            for (std::uint32_t way = 0; way < tags.ways(); ++way) {
+                const mem::cache_line& line = tags.line(set, way);
+                if (!line.valid)
+                    continue;
+                const dir_entry* e = dir_.find(block_of(line.tag));
+                if (e == nullptr || (e->sharers & (1u << i)) == 0)
+                    fail("L1 caches a block with no directory sharer bit");
+            }
+        }
+    }
+}
+
+} // namespace lnuca::coh

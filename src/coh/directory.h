@@ -1,0 +1,183 @@
+// MESI directory for the CMP coherence hub (src/coh/coherence_hub.h).
+//
+// One entry per block cached by any private L1: a sharer bitmask, the
+// owner when the block is held exclusively, and a busy latch while a
+// coherence transaction for the block is in flight. Conceptually the
+// entry rides in the shared level's tags (sharer bits + owner id widen
+// each tag; see DESIGN.md, "Coherence and the shared fabric"); the
+// simulator keeps it in a dedicated structure so the same directory
+// serves the conventional-L2, L-NUCA and D-NUCA shared backends without
+// touching three tag pipelines.
+//
+// Storage follows the mem::mshr_file recipe: a fixed slab recycled
+// through a free stack plus an open-addressed block index with
+// backward-shift deletion - sized once at construction, never allocating
+// afterwards (the executed-cycle zero-allocation gate covers the hub).
+#pragma once
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/mem/request.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace lnuca::coh {
+
+/// Directory-visible line state. E and M collapse into one state
+/// (`exclusive_modified`): the owner upgrades E to M silently, which the
+/// directory cannot observe - the classic EM encoding.
+enum class dir_state : std::uint8_t {
+    invalid,           ///< entry exists only while a transaction is in flight
+    shared,            ///< >= 1 clean copies, no write permission anywhere
+    exclusive_modified ///< exactly one copy, owner may have dirtied it
+};
+
+struct dir_entry {
+    addr_t block = no_addr;
+    std::uint32_t sharers = 0; ///< bit i: core i's L1 holds (or is fetching)
+    mem::core_id_t owner = mem::no_core; ///< valid in exclusive_modified
+    dir_state state = dir_state::invalid;
+    std::int32_t txn = -1; ///< in-flight transaction slot; -1 = not busy
+    bool live = false;
+
+    bool busy() const { return txn >= 0; }
+};
+
+class directory {
+public:
+    explicit directory(std::uint32_t capacity) : capacity_(capacity)
+    {
+        std::uint64_t buckets = 16;
+        while (buckets < 2 * std::uint64_t(capacity))
+            buckets *= 2;
+        slab_.assign(capacity, dir_entry{});
+        table_.assign(std::size_t(buckets), 0);
+        free_.reserve(capacity);
+        for (std::uint32_t slot = capacity; slot-- > 0;)
+            free_.push_back(slot);
+    }
+
+    dir_entry* find(addr_t block)
+    {
+        const std::int32_t slot = find_slot(block);
+        return slot < 0 ? nullptr : &slab_[std::size_t(slot)];
+    }
+
+    const dir_entry* find(addr_t block) const
+    {
+        const std::int32_t slot = find_slot(block);
+        return slot < 0 ? nullptr : &slab_[std::size_t(slot)];
+    }
+
+    /// Entry for `block`, creating an invalid one if absent. The capacity
+    /// is sized from the L1s' reach (coherence_hub), so exhaustion is a
+    /// logic error, not an operating condition.
+    dir_entry& get_or_create(addr_t block)
+    {
+        if (dir_entry* e = find(block))
+            return *e;
+        if (free_.empty())
+            throw std::logic_error("coh::directory capacity exhausted");
+        const std::uint32_t slot = free_.back();
+        free_.pop_back();
+        dir_entry& e = slab_[slot];
+        e = dir_entry{};
+        e.block = block;
+        e.live = true;
+        index_insert(block, slot);
+        ++version_;
+        return e;
+    }
+
+    /// Free an entry that tracks no sharer and no transaction.
+    void release_if_idle(dir_entry& e)
+    {
+        if (!e.live || e.busy() || e.sharers != 0)
+            return;
+        index_erase(e.block);
+        free_.push_back(std::uint32_t(&e - slab_.data()));
+        e = dir_entry{};
+        ++version_;
+    }
+
+    /// Bump on every mutation a caller performs in place (state/sharer
+    /// edits); folded into the hub's state_digest so paranoid mode sees
+    /// directory changes without hashing the whole slab.
+    void touch() { ++version_; }
+    std::uint64_t version() const { return version_; }
+
+    std::size_t in_use() const { return slab_.size() - free_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /// Iterate live entries (invariant checker, tests).
+    template <typename F> void for_each(F&& f) const
+    {
+        for (const dir_entry& e : slab_)
+            if (e.live)
+                f(e);
+    }
+
+private:
+    std::size_t home_bucket(addr_t block) const
+    {
+        return std::size_t(hash64(block)) & (table_.size() - 1);
+    }
+
+    std::int32_t find_slot(addr_t block) const
+    {
+        const std::size_t mask = table_.size() - 1;
+        std::size_t b = home_bucket(block);
+        while (table_[b] != 0) {
+            const std::uint32_t slot = table_[b] - 1;
+            if (slab_[slot].block == block)
+                return std::int32_t(slot);
+            b = (b + 1) & mask;
+        }
+        return -1;
+    }
+
+    void index_insert(addr_t block, std::uint32_t slot)
+    {
+        const std::size_t mask = table_.size() - 1;
+        std::size_t b = home_bucket(block);
+        while (table_[b] != 0)
+            b = (b + 1) & mask;
+        table_[b] = slot + 1;
+    }
+
+    void index_erase(addr_t block)
+    {
+        const std::size_t mask = table_.size() - 1;
+        std::size_t i = home_bucket(block);
+        while (table_[i] != 0 && slab_[table_[i] - 1].block != block)
+            i = (i + 1) & mask;
+        if (table_[i] == 0)
+            return;
+        // Linear-probe backward shift (no tombstones); see mem::mshr_file.
+        table_[i] = 0;
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask;
+            if (table_[j] == 0)
+                return;
+            const std::size_t home = home_bucket(slab_[table_[j] - 1].block);
+            const bool cyclically_between =
+                i <= j ? (i < home && home <= j) : (i < home || home <= j);
+            if (!cyclically_between) {
+                table_[i] = table_[j];
+                table_[j] = 0;
+                i = j;
+            }
+        }
+    }
+
+    std::uint32_t capacity_;
+    std::vector<dir_entry> slab_;
+    std::vector<std::uint32_t> free_; ///< free slot stack
+    std::vector<std::uint32_t> table_; ///< slot + 1, 0 = empty
+    std::uint64_t version_ = 0;
+};
+
+} // namespace lnuca::coh

@@ -221,7 +221,6 @@ void ooo_core::process_responses(cycle_t now)
 
 void ooo_core::commit(cycle_t now)
 {
-    (void)now;
     for (unsigned n = 0; n < config_.commit_width && rob_count_ > 0; ++n) {
         rob_entry& head = rob_[rob_head_];
         if (head.state != entry_state::done)
@@ -253,6 +252,8 @@ void ooo_core::commit(cycle_t now)
         rob_head_ = std::uint32_t((rob_head_ + 1) % rob_.size());
         --rob_count_;
         ++committed_;
+        if (committed_ >= limit_ && finished_at_ == no_cycle)
+            finished_at_ = now;
     }
 }
 
@@ -610,6 +611,7 @@ std::uint64_t ooo_core::loads_served_by_fabric_level(unsigned level) const
 void ooo_core::reset_stats()
 {
     committed_ = 0;
+    finished_at_ = no_cycle;
     cycles_ = 0;
     cycles_base_ = last_tick_ == no_cycle ? 0 : last_tick_ + 1;
     counters_.reset();

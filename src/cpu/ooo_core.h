@@ -69,6 +69,12 @@ public:
     void set_instruction_limit(std::uint64_t limit) { limit_ = limit; }
     bool done() const { return committed_ >= limit_; }
 
+    /// Cycle at which the instruction limit was reached (no_cycle while
+    /// still running). Recorded at the committing tick itself, so it is
+    /// identical under dense and idle-skip scheduling - the CMP driver
+    /// derives per-core IPC from it.
+    cycle_t finished_at() const { return finished_at_; }
+
     /// Functional fast-forward (sampled simulation): consume `count`
     /// instructions from the stream without simulating timing, while
     /// keeping every predictive structure warm - the branch predictor
@@ -211,6 +217,7 @@ private:
 
     std::uint64_t limit_ = ~std::uint64_t{0};
     std::uint64_t committed_ = 0;
+    cycle_t finished_at_ = no_cycle;
     std::uint64_t cycles_ = 0;
     cycle_t last_tick_ = no_cycle;  ///< cycle of the most recent tick
     cycle_t cycles_base_ = 0;       ///< engine cycle the stats window began

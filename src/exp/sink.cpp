@@ -64,8 +64,22 @@ std::string csv_quote(const std::string& s)
 
 void table_sink::consume(const job& j, const hier::run_result& r)
 {
+    std::string per_core = "-";
+    if (r.cores > 1) {
+        per_core.clear();
+        for (std::size_t i = 0; i < r.per_core_ipc.size(); ++i) {
+            if (i != 0)
+                per_core += '/';
+            per_core += text_table::num(r.per_core_ipc[i], 2);
+        }
+    }
     rows_.push_back({r.config_name, r.workload_name,
-                     std::to_string(j.key.replicate), text_table::num(r.ipc, 3),
+                     std::to_string(j.key.replicate),
+                     std::to_string(r.cores), text_table::num(r.ipc, 3),
+                     per_core,
+                     r.weighted_speedup > 0.0
+                         ? text_table::num(r.weighted_speedup, 2)
+                         : "-",
                      // ASCII on purpose: text_table widths count bytes.
                      r.sampled ? "+-" + text_table::num(r.ipc_ci95, 3) + " (" +
                                      std::to_string(r.sampled_windows) + "w)"
@@ -80,8 +94,9 @@ void table_sink::consume(const job& j, const hier::run_result& r)
 void table_sink::finish()
 {
     text_table t("Run log");
-    t.set_header({"config", "workload", "rep", "IPC", "IPC est.", "cycles",
-                  "load lat.", "energy (mJ)", "host s", "Mcyc/s"});
+    t.set_header({"config", "workload", "rep", "cores", "IPC", "IPC/core",
+                  "WS", "IPC est.", "cycles", "load lat.", "energy (mJ)",
+                  "host s", "Mcyc/s"});
     for (auto& row : rows_)
         t.add_row(std::move(row));
     out_ << t.render();
@@ -95,11 +110,12 @@ void table_sink::finish()
 void csv_sink::begin(std::size_t)
 {
     out_ << "config,workload,config_index,workload_index,replicate,flat,seed,"
-            "floating_point,instructions,cycles,ipc,sampled,sampled_windows,"
+            "floating_point,cores,instructions,cycles,ipc,per_core_ipc,"
+            "weighted_speedup,sampled,sampled_windows,"
             "measured_instructions,ipc_ci95,l2_read_hits,"
             "transport_actual,transport_min,search_restarts,searches,"
             "loads_l1,loads_fabric,loads_l2,loads_l3,loads_dnuca,"
-            "loads_memory,avg_load_latency,energy_dynamic_j,"
+            "loads_memory,loads_peer,avg_load_latency,energy_dynamic_j,"
             "energy_static_l1_j,energy_static_storage_j,energy_static_l3_j,"
             "energy_total_j,host_seconds,sim_cycles_per_second,"
             "sim_instructions_per_second\n";
@@ -107,19 +123,28 @@ void csv_sink::begin(std::size_t)
 
 void csv_sink::consume(const job& j, const hier::run_result& r)
 {
+    // per_core_ipc packs as a semicolon-joined list in one CSV field.
+    std::string per_core;
+    for (std::size_t i = 0; i < r.per_core_ipc.size(); ++i) {
+        if (i != 0)
+            per_core += ';';
+        per_core += fmt_double(r.per_core_ipc[i]);
+    }
     out_ << csv_quote(r.config_name) << ',' << csv_quote(r.workload_name)
          << ',' << j.key.config << ',' << j.key.workload << ','
          << j.key.replicate << ',' << j.key.flat << ',' << j.seed << ','
-         << (r.floating_point ? 1 : 0) << ',' << r.instructions << ','
-         << r.cycles << ',' << fmt_double(r.ipc) << ','
+         << (r.floating_point ? 1 : 0) << ',' << r.cores << ','
+         << r.instructions << ','
+         << r.cycles << ',' << fmt_double(r.ipc) << ',' << per_core << ','
+         << fmt_double(r.weighted_speedup) << ','
          << (r.sampled ? 1 : 0) << ',' << r.sampled_windows << ','
          << r.measured_instructions << ',' << fmt_double(r.ipc_ci95) << ','
          << r.l2_read_hits
          << ',' << r.transport_actual << ',' << r.transport_min << ','
          << r.search_restarts << ',' << r.searches << ',' << r.loads_l1 << ','
          << r.loads_fabric << ',' << r.loads_l2 << ',' << r.loads_l3 << ','
-         << r.loads_dnuca << ',' << r.loads_memory << ','
-         << fmt_double(r.avg_load_latency) << ','
+         << r.loads_dnuca << ',' << r.loads_memory << ',' << r.loads_peer
+         << ',' << fmt_double(r.avg_load_latency) << ','
          << fmt_double(r.energy.dynamic_j) << ','
          << fmt_double(r.energy.static_l1_j) << ','
          << fmt_double(r.energy.static_storage_j) << ','
@@ -173,6 +198,15 @@ std::string encode_json_line(const job& j, const hier::run_result& r)
     u64("instructions", r.instructions);
     u64("cycles", r.cycles);
     dbl("ipc", r.ipc);
+    u64("cores", r.cores);
+    line += "\"per_core_ipc\":[";
+    for (std::size_t i = 0; i < r.per_core_ipc.size(); ++i) {
+        if (i != 0)
+            line += ',';
+        line += fmt_double(r.per_core_ipc[i]);
+    }
+    line += "],";
+    dbl("weighted_speedup", r.weighted_speedup);
     line += r.sampled ? "\"sampled\":true," : "\"sampled\":false,";
     u64("sampled_windows", r.sampled_windows);
     u64("measured_instructions", r.measured_instructions);
@@ -195,6 +229,7 @@ std::string encode_json_line(const job& j, const hier::run_result& r)
     u64("loads_l3", r.loads_l3);
     u64("loads_dnuca", r.loads_dnuca);
     u64("loads_memory", r.loads_memory);
+    u64("loads_peer", r.loads_peer);
     dbl("avg_load_latency", r.avg_load_latency);
     dbl("host_seconds", r.host_seconds);
     dbl("sim_cycles_per_second", r.sim_cycles_per_second);
@@ -440,6 +475,25 @@ struct cursor {
                 return false;
         }
     }
+
+    bool parse_double_array(std::vector<double>& out)
+    {
+        if (!consume('['))
+            return false;
+        out.clear();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            double v;
+            if (!parse_double(v))
+                return false;
+            out.push_back(v);
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
 };
 
 bool parse_energy(cursor& c, power::energy_breakdown& e)
@@ -522,6 +576,14 @@ std::optional<decoded_run> decode_json_line(const std::string& line)
             ok = c.parse_u64(r.cycles);
         else if (key == "ipc")
             ok = c.parse_double(r.ipc);
+        else if (key == "cores") {
+            std::uint64_t v;
+            ok = c.parse_u64(v);
+            r.cores = std::uint32_t(v);
+        } else if (key == "per_core_ipc")
+            ok = c.parse_double_array(r.per_core_ipc);
+        else if (key == "weighted_speedup")
+            ok = c.parse_double(r.weighted_speedup);
         else if (key == "sampled")
             ok = c.parse_bool(r.sampled);
         else if (key == "sampled_windows")
@@ -554,6 +616,8 @@ std::optional<decoded_run> decode_json_line(const std::string& line)
             ok = c.parse_u64(r.loads_dnuca);
         else if (key == "loads_memory")
             ok = c.parse_u64(r.loads_memory);
+        else if (key == "loads_peer")
+            ok = c.parse_u64(r.loads_peer);
         else if (key == "avg_load_latency")
             ok = c.parse_double(r.avg_load_latency);
         else if (key == "host_seconds")

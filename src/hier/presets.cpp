@@ -127,6 +127,56 @@ system_config lnuca_dnuca(unsigned levels)
     return s;
 }
 
+system_config cmp(const system_config& base, unsigned cores)
+{
+    system_config s = base;
+    s.cores = cores;
+    s.name = base.name + "-" + std::to_string(cores) + "c";
+
+    // Private L1s are copy-back write-allocate (MESI needs an M state to
+    // live somewhere) and notify the directory of every eviction - clean
+    // victims included - so the sharer masks track L1 contents exactly.
+    s.l1.write_through = false;
+    s.l1.write_allocate = true;
+    s.l1.writeback_clean = true;
+    s.l1.coherent = true;
+
+    coh::coherence_config& c = s.coherence;
+    c.cores = cores;
+    c.block_bytes = s.l1.block_bytes;
+    switch (s.kind) {
+    case hierarchy_kind::conventional:
+        // Coherence messages cross the same narrow shared bus the L2
+        // refills ride (two arbitration cycles each way; a forwarded line
+        // streams over 16B wires).
+        c.request_latency = 2;
+        c.response_latency = 2;
+        c.snoop_latency = 2;
+        c.c2c_latency = 8;
+        c.forward_clean_victims = false;
+        break;
+    case hierarchy_kind::lnuca_l3:
+    case hierarchy_kind::lnuca_dnuca:
+        // Abutted message-wide links: one hop in, one hop out. Clean
+        // victims keep feeding the fabric - evictions are its fill path.
+        c.request_latency = 1;
+        c.response_latency = 1;
+        c.snoop_latency = 2;
+        c.c2c_latency = 4;
+        c.forward_clean_victims = true;
+        break;
+    case hierarchy_kind::dnuca:
+        // Mesh entry/exit plus a couple of switch traversals.
+        c.request_latency = 2;
+        c.response_latency = 2;
+        c.snoop_latency = 2;
+        c.c2c_latency = 6;
+        c.forward_clean_victims = false;
+        break;
+    }
+    return s;
+}
+
 } // namespace presets
 
 std::optional<sampling_config> parse_sampling_spec(const std::string& spec)

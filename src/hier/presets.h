@@ -8,6 +8,7 @@
 // All parameters follow Table I.
 #pragma once
 
+#include "src/coh/coherence_hub.h"
 #include "src/cpu/ooo_core.h"
 #include "src/dnuca/dnuca_cache.h"
 #include "src/fabric/lnuca_cache.h"
@@ -74,8 +75,17 @@ struct system_config {
     sim::schedule_mode engine_mode = sim::schedule_mode::idle_skip;
     /// Sampled execution fidelity. Disabled by default: the run is then
     /// bit-identical to the pre-sampling driver (enforced by
-    /// tests/sampling_test.cpp).
+    /// tests/sampling_test.cpp). CMP runs (cores > 1) force detailed
+    /// execution in this revision (see ROADMAP open items).
     sampling_config sampling;
+    /// CMP mode: number of cores, each with a private L1I/L1D pair (the
+    /// I-side is ideal - instruction fetch is perfect in this core model),
+    /// attached to the shared level through a coh::coherence_hub. 1 keeps
+    /// the single-core wiring byte-for-byte (no hub is built at all).
+    unsigned cores = 1;
+    /// Hub/directory parameters for cores > 1 (presets::cmp fills the
+    /// latencies to match the backend's transport character).
+    coh::coherence_config coherence;
 };
 
 namespace presets {
@@ -91,6 +101,14 @@ system_config dnuca_4x8();
 
 /// L-NUCA between the L1 and the D-NUCA.
 system_config lnuca_dnuca(unsigned levels);
+
+/// N-core CMP over any single-core preset: private copy-back L1s (MESI,
+/// eviction-notifying) per core, the base hierarchy's shared level behind
+/// a coherence hub whose message latencies match the backend (narrow bus
+/// for the conventional L2, abutted links for the L-NUCA fabric, mesh
+/// hops for the D-NUCA). `base` must be one of the presets above;
+/// `cores` in [2, 32]. Name becomes e.g. "L2-256KB-4c".
+system_config cmp(const system_config& base, unsigned cores);
 
 } // namespace presets
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 namespace lnuca::hier {
 
@@ -13,82 +14,103 @@ system::system(const system_config& config, const wl::workload_profile& workload
     : config_(config), seed_(seed)
 {
     engine_.set_mode(config.engine_mode);
-    stream_ = wl::make_stream(workload, hash64(seed ^ hash64(0x5770)));
-    core_ = std::make_unique<cpu::ooo_core>(config.core, *stream_, ids_);
+    if (config_.cores > 1)
+        build_cmp({workload});
+    else
+        build_single(workload);
+}
 
-    mem::cache_config l1c = config.l1;
-    l1c.seed = hash64(seed ^ 0x11);
-    l1_ = std::make_unique<mem::conventional_cache>(l1c, ids_);
+system::system(const system_config& config,
+               const std::vector<wl::workload_profile>& workloads,
+               std::uint64_t seed)
+    : config_(config), seed_(seed)
+{
+    if (workloads.empty())
+        throw std::invalid_argument("system: no workloads");
+    engine_.set_mode(config.engine_mode);
+    if (config_.cores > 1)
+        build_cmp(workloads);
+    else
+        build_single(workloads.front());
+}
 
-    memory_ = std::make_unique<mem::main_memory>(config.memory);
+system::level_set system::levels() const
+{
+    level_set l;
+    l.fabric = config_.kind == hierarchy_kind::lnuca_l3 ||
+               config_.kind == hierarchy_kind::lnuca_dnuca;
+    l.l2 = config_.kind == hierarchy_kind::conventional;
+    l.l3 = config_.kind == hierarchy_kind::conventional ||
+           config_.kind == hierarchy_kind::lnuca_l3;
+    l.dnuca = config_.kind == hierarchy_kind::dnuca ||
+              config_.kind == hierarchy_kind::lnuca_dnuca;
+    return l;
+}
 
-    const bool with_fabric = config.kind == hierarchy_kind::lnuca_l3 ||
-                             config.kind == hierarchy_kind::lnuca_dnuca;
-    const bool with_l2 = config.kind == hierarchy_kind::conventional;
-    const bool with_l3 = config.kind == hierarchy_kind::conventional ||
-                         config.kind == hierarchy_kind::lnuca_l3;
-    const bool with_dnuca = config.kind == hierarchy_kind::dnuca ||
-                            config.kind == hierarchy_kind::lnuca_dnuca;
+void system::build_shared_components()
+{
+    memory_ = std::make_unique<mem::main_memory>(config_.memory);
+
+    const auto [with_fabric, with_l2, with_l3, with_dnuca] = levels();
 
     if (with_fabric) {
-        fabric::fabric_config fc = config.fabric;
-        fc.seed = hash64(seed ^ 0xfab);
-        fc.tile.seed = hash64(seed ^ 0x711e);
+        fabric::fabric_config fc = config_.fabric;
+        fc.seed = hash64(seed_ ^ 0xfab);
+        fc.tile.seed = hash64(seed_ ^ 0x711e);
         fabric_ = std::make_unique<fabric::lnuca_cache>(fc, ids_);
     }
     if (with_l2) {
-        mem::cache_config l2c = config.l2;
-        l2c.seed = hash64(seed ^ 0x22);
+        mem::cache_config l2c = config_.l2;
+        l2c.seed = hash64(seed_ ^ 0x22);
         l2_ = std::make_unique<mem::conventional_cache>(l2c, ids_);
     }
     if (with_l3) {
-        mem::cache_config l3c = config.l3;
-        l3c.seed = hash64(seed ^ 0x33);
+        mem::cache_config l3c = config_.l3;
+        l3c.seed = hash64(seed_ ^ 0x33);
         l3_ = std::make_unique<mem::conventional_cache>(l3c, ids_);
     }
     if (with_dnuca) {
-        dnuca::dnuca_config dc = config.dnuca;
-        dc.seed = hash64(seed ^ 0xd0ca);
+        dnuca::dnuca_config dc = config_.dnuca;
+        dc.seed = hash64(seed_ ^ 0xd0ca);
         dnuca_ = std::make_unique<dnuca::dnuca_cache>(dc, ids_);
     }
+}
 
-    // Wire top-down. Registration order is the timing contract: producers
-    // tick before the consumers beneath them (see sim/engine.h).
-    core_->set_dcache(l1_.get());
-    engine_.add(*core_);
+// Wire the constructed shared level beneath `above` - the lone L1 in
+// single-core mode, the coherence hub in CMP mode - preserving the
+// producers-before-consumers registration order (see sim/engine.h):
+// fabric-or-(bus, L2), then L3-or-D-NUCA, then memory.
+mem::mem_port* system::wire_shared_level(mem::mem_client* above)
+{
+    const auto [with_fabric, with_l2, with_l3, with_dnuca] = levels();
 
-    mem::mem_port* below_l1 = nullptr;
-
-    engine_.add(*l1_);
+    mem::mem_port* below = nullptr;
     if (with_fabric) {
-        below_l1 = fabric_.get();
-        fabric_->set_upstream(l1_.get());
+        below = fabric_.get();
+        fabric_->set_upstream(above);
         engine_.add(*fabric_);
     } else if (with_l2) {
-        // L1 -> bus -> L2: the inter-cache hop the L-NUCA eliminates.
-        l1_l2_bus_ = std::make_unique<mem::bus>(config.l1_l2_bus);
-        below_l1 = l1_l2_bus_.get();
-        l1_l2_bus_->set_upstream(l1_.get());
+        // The narrow shared bus to the L2: the inter-cache hop the L-NUCA
+        // eliminates.
+        l1_l2_bus_ = std::make_unique<mem::bus>(config_.l1_l2_bus);
+        below = l1_l2_bus_.get();
+        l1_l2_bus_->set_upstream(above);
         l1_l2_bus_->set_downstream(l2_.get());
         l2_->set_upstream(l1_l2_bus_.get());
         engine_.add(*l1_l2_bus_);
         engine_.add(*l2_);
     }
 
-    l1_->set_upstream(core_.get());
-    if (below_l1 == nullptr) {
-        // D-NUCA directly under the L1 (Fig. 1(c)).
-        below_l1 = dnuca_.get();
-        dnuca_->set_upstream(l1_.get());
+    if (below == nullptr) {
+        // D-NUCA directly beneath `above` (Fig. 1(c)).
+        below = dnuca_.get();
+        dnuca_->set_upstream(above);
         engine_.add(*dnuca_);
         dnuca_->set_downstream(memory_.get());
         memory_->set_upstream(dnuca_.get());
-        l1_->set_downstream(below_l1);
         engine_.add(*memory_);
-        prewarm();
-        return;
+        return below;
     }
-    l1_->set_downstream(below_l1);
 
     if (with_l3) {
         l3_->set_upstream(static_cast<mem::mem_client*>(
@@ -110,43 +132,149 @@ system::system(const system_config& config, const wl::workload_profile& workload
         memory_->set_upstream(dnuca_.get());
     }
     engine_.add(*memory_);
+    return below;
+}
+
+// The single-core assembly is byte-for-byte the pre-CMP wiring: same
+// derived seeds, same registration order - the cores=1 bit-identity
+// guard in tests/coh_test.cpp depends on it.
+void system::build_single(const wl::workload_profile& workload)
+{
+    streams_.push_back(
+        wl::make_stream(workload, hash64(seed_ ^ hash64(0x5770))));
+    cores_.push_back(std::make_unique<cpu::ooo_core>(config_.core,
+                                                     *streams_.back(), ids_));
+    cpu::ooo_core* core = cores_.back().get();
+
+    mem::cache_config l1c = config_.l1;
+    l1c.seed = hash64(seed_ ^ 0x11);
+    l1s_.push_back(std::make_unique<mem::conventional_cache>(l1c, ids_));
+    mem::conventional_cache* l1 = l1s_.back().get();
+
+    build_shared_components();
+
+    // Wire top-down. Registration order is the timing contract: producers
+    // tick before the consumers beneath them (see sim/engine.h).
+    core->set_dcache(l1);
+    engine_.add(*core);
+    engine_.add(*l1);
+    l1->set_upstream(core);
+    l1->set_downstream(wire_shared_level(l1));
+    prewarm();
+}
+
+// CMP assembly: N private cores/L1s above the coherence hub, the same
+// shared level beneath it. Each core's workload lane derives from
+// rng::split(seed, lane-tag, core) with a disjoint data region, so mixes
+// are multiprogrammed (no shared data between cores; sharing is exercised
+// by tests/coh_test.cpp through direct hub workloads).
+void system::build_cmp(const std::vector<wl::workload_profile>& workloads)
+{
+    const unsigned n = config_.cores;
+    if (n > mem::max_cores)
+        throw std::invalid_argument("system: cores > 32 unsupported");
+
+    for (unsigned i = 0; i < n; ++i) {
+        const wl::workload_profile& profile = workloads[i % workloads.size()];
+        const addr_t region = 0x10000000 + addr_t(i) * 0x40000000ULL;
+        streams_.push_back(wl::make_stream(
+            profile, rng::split(seed_, 0x5770c0ULL, i), region));
+        cores_.push_back(std::make_unique<cpu::ooo_core>(
+            config_.core, *streams_.back(), ids_));
+
+        mem::cache_config l1c = config_.l1;
+        l1c.name = "L1#" + std::to_string(i);
+        l1c.seed = rng::split(seed_, 0x11c0ULL, i);
+        // MESI structurally requires copy-back write-allocate L1s that
+        // notify the directory of every eviction; normalise here (same
+        // settings presets::cmp applies) so setting `cores` directly on a
+        // stock preset cannot silently break coherence - a write-through
+        // L1 would drain stores as access_kind::write, which the hub has
+        // no transition for.
+        l1c.write_through = false;
+        l1c.write_allocate = true;
+        l1c.writeback_clean = true;
+        l1c.coherent = true;
+        l1c.core_id = mem::core_id_t(i);
+        l1s_.push_back(std::make_unique<mem::conventional_cache>(l1c, ids_));
+    }
+
+    coh::coherence_config cc = config_.coherence;
+    cc.cores = n;
+    cc.block_bytes = config_.l1.block_bytes;
+    if (cc.directory_entries == 0) {
+        // Inclusive over the L1s: size for every line every L1 can hold
+        // plus in-flight fills/evictions, doubled for the open-addressed
+        // index's load factor - overflow becomes structurally impossible.
+        const std::uint32_t l1_lines =
+            std::uint32_t(config_.l1.size_bytes / config_.l1.block_bytes);
+        cc.directory_entries = n * (l1_lines + config_.l1.mshr_entries +
+                                    config_.l1.write_buffer_entries + 64);
+    }
+    hub_ = std::make_unique<coh::coherence_hub>(cc, ids_);
+    hub_->set_paranoid(config_.engine_mode == sim::schedule_mode::paranoid);
+
+    build_shared_components();
+
+    // Registration order: cores, private L1s, hub, shared level, memory -
+    // the same producers-before-consumers contract as the single-core
+    // wiring, with the hub standing where the lone L1's downstream was.
+    for (unsigned i = 0; i < n; ++i) {
+        cores_[i]->set_dcache(l1s_[i].get());
+        engine_.add(*cores_[i]);
+    }
+    for (unsigned i = 0; i < n; ++i) {
+        l1s_[i]->set_upstream(cores_[i].get());
+        l1s_[i]->set_downstream(hub_.get());
+        hub_->attach_l1(mem::core_id_t(i), l1s_[i].get());
+        engine_.add(*l1s_[i]);
+    }
+    engine_.add(*hub_);
+    hub_->set_downstream(wire_shared_level(hub_.get()));
     prewarm();
 }
 
 void system::prewarm()
 {
-    // Functionally install the workload's hot window into the large arrays
-    // before measurement, substituting for the paper's 200M-instruction
-    // warm-up, which scaled-down runs cannot afford. Smaller structures
-    // (L1, L-NUCA tiles, conventional L2) warm naturally during the
-    // simulated warm-up window; the L2 is included here because its 4K
-    // lines are borderline at short windows.
+    // Functionally install the workloads' hot windows into the large
+    // arrays before measurement, substituting for the paper's
+    // 200M-instruction warm-up, which scaled-down runs cannot afford.
+    // Smaller structures (L1, L-NUCA tiles, conventional L2) warm
+    // naturally during the simulated warm-up window; the L2 is included
+    // here because its 4K lines are borderline at short windows. With N
+    // cores the capacity splits evenly across the per-core streams (each
+    // stream owns a disjoint region, so the shares cannot collide).
+    const std::uint64_t n = streams_.size();
     auto warm_cache = [&](mem::conventional_cache* cache) {
         if (cache == nullptr)
             return;
         const std::uint64_t lines =
             cache->tags().size_bytes() / cache->tags().block_bytes();
         const std::uint64_t window =
-            lines * cache->tags().block_bytes() / 32; // generator blocks
-        for (std::uint64_t j = window; j-- > 0;)
-            cache->tags().install(stream_->warm_block(j), false);
+            lines * cache->tags().block_bytes() / 32 / n; // generator blocks
+        for (const auto& stream : streams_)
+            for (std::uint64_t j = window; j-- > 0;)
+                cache->tags().install(stream->warm_block(j), false);
     };
     warm_cache(l3_.get());
     warm_cache(l2_.get());
     if (dnuca_) {
-        const std::uint64_t window = dnuca_->size_bytes() / 32;
-        for (std::uint64_t j = window; j-- > 0;)
-            dnuca_->prewarm(stream_->warm_block(j));
+        const std::uint64_t window = dnuca_->size_bytes() / 32 / n;
+        for (const auto& stream : streams_)
+            for (std::uint64_t j = window; j-- > 0;)
+                dnuca_->prewarm(stream->warm_block(j));
     }
     if (fabric_) {
         // The fabric holds the recency window just beyond the L1's 1024
         // blocks; the L1 itself warms naturally within the warm-up window.
         const std::uint64_t l1_blocks = config_.l1.size_bytes / 32;
-        const std::uint64_t capacity = fabric_->tile_capacity_bytes() / 32;
-        std::uint64_t installed = 0;
-        for (std::uint64_t j = l1_blocks;
-             installed < capacity && j < l1_blocks + 2 * capacity; ++j)
-            installed += fabric_->prewarm(stream_->warm_block(j)) ? 1 : 0;
+        const std::uint64_t capacity = fabric_->tile_capacity_bytes() / 32 / n;
+        for (const auto& stream : streams_) {
+            std::uint64_t installed = 0;
+            for (std::uint64_t j = l1_blocks;
+                 installed < capacity && j < l1_blocks + 2 * capacity; ++j)
+                installed += fabric_->prewarm(stream->warm_block(j)) ? 1 : 0;
+        }
     }
 }
 
@@ -189,16 +317,25 @@ struct system::window_totals {
 
 run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
 {
+    if (cores_.size() > 1) {
+        if (config_.sampling.enabled)
+            LNUCA_WARN("sampled execution is single-core only in this "
+                       "revision (see ROADMAP); running ",
+                       cores_.size(), " cores fully detailed");
+        return run_cmp(instructions, warmup);
+    }
+
     // A zero-instruction request has no windows to place; the exact path
     // handles it as a degenerate (empty) measurement.
     if (config_.sampling.enabled && instructions > 0)
         return run_sampled(instructions, warmup);
 
+    cpu::ooo_core* core = cores_.front().get();
     const cycle_t max_cycles = 400 * (instructions + warmup) + 2'000'000;
 
     // Warm-up window.
-    core_->set_instruction_limit(warmup);
-    engine_.run_until([&] { return core_->done(); }, max_cycles);
+    core->set_instruction_limit(warmup);
+    engine_.run_until([&] { return core->done(); }, max_cycles);
 
     // Measurement window: the same snapshot/delta harvest the sampled
     // driver uses per window (one window covering the whole run).
@@ -212,8 +349,8 @@ run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
 
     run_result r;
     r.config_name = config_.name;
-    r.workload_name = stream_->profile().name;
-    r.floating_point = stream_->profile().floating_point;
+    r.workload_name = streams_.front()->profile().name;
+    r.floating_point = streams_.front()->profile().floating_point;
     r.instructions = totals.instructions;
     r.cycles = totals.cycles;
     r.ipc = r.cycles == 0 ? 0.0 : double(r.instructions) / double(r.cycles);
@@ -247,50 +384,39 @@ run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
 }
 
 // ---------------------------------------------------------------------------
-// Sampled execution (SMARTS-style): functional fast-forward punctuated by
-// periodically placed detailed windows. See DESIGN.md, "Sampling and
-// statistical confidence".
+// CMP execution: run every core to its committed-instruction target under
+// full detail, derive per-core IPC from each core's own finish cycle
+// (schedule-independent: recorded at the committing tick), and aggregate
+// the shared-level deltas exactly like the single-core harvest.
 // ---------------------------------------------------------------------------
 
-bool system::quiescent() const
+run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
 {
-    return core_->quiescent() && l1_->quiescent() &&
-           (!l1_l2_bus_ || l1_l2_bus_->quiescent()) &&
-           (!l2_ || l2_->quiescent()) && (!l3_ || l3_->quiescent()) &&
-           (!fabric_ || fabric_->quiescent()) &&
-           (!dnuca_ || dnuca_->quiescent()) && memory_->quiescent();
-}
+    const cycle_t max_cycles =
+        600 * (instructions + warmup) + 2'000'000;
+    const auto all_done = [&] {
+        for (const auto& core : cores_)
+            if (!core->done())
+                return false;
+        return true;
+    };
 
-void system::drain(cycle_t max_cycles)
-{
-    if (!engine_.run_until([&] { return quiescent(); }, max_cycles))
-        LNUCA_WARN("sampled run: hierarchy failed to drain within ",
-                   max_cycles, " cycles; fast-forwarding anyway");
-}
+    // Warm-up: every core runs its warm-up quota; early finishers idle
+    // (standard fixed-instruction multiprogrammed methodology).
+    for (auto& core : cores_)
+        core->set_instruction_limit(warmup);
+    engine_.run_until(all_done, max_cycles);
 
-void system::fast_forward(std::uint64_t count)
-{
-    if (count == 0)
-        return;
-    core_->warm_retire(count);
-    // The clock advances at a nominal CPI of 1: reported cycles come from
-    // the window estimate, so the rate only keeps timestamps monotone.
-    engine_.advance(count);
-}
-
-void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
-                              window_totals* totals)
-{
-    core_->reset_stats();
-    if (totals == nullptr) {
-        // Warm segment: re-establish pipeline/queue/MSHR occupancy under
-        // full timing; measurements are discarded.
-        core_->set_instruction_limit(instructions);
-        engine_.run_until([&] { return core_->done(); }, max_cycles);
-        return;
+    const auto host_start = std::chrono::steady_clock::now();
+    for (auto& core : cores_) {
+        core->reset_stats();
+        core->set_instruction_limit(instructions);
     }
 
-    const counter_set l1_snap = l1_->counters();
+    std::vector<counter_set> l1_snaps;
+    l1_snaps.reserve(l1s_.size());
+    for (const auto& l1 : l1s_)
+        l1_snaps.push_back(l1->counters());
     const counter_set l2_snap = l2_ ? l2_->counters() : counter_set{};
     const counter_set l3_snap = l3_ ? l3_->counters() : counter_set{};
     const counter_set fab_snap = fabric_ ? fabric_->counters() : counter_set{};
@@ -308,14 +434,199 @@ void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
     }
 
     const cycle_t start = engine_.now();
-    core_->set_instruction_limit(instructions);
+    const bool finished = engine_.run_until(all_done, max_cycles);
+    if (!finished)
+        LNUCA_WARN("CMP measurement hit the cycle ceiling before every "
+                   "core committed ", instructions, " instructions");
+    const double host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
+
+    run_result r;
+    r.config_name = config_.name;
+    r.floating_point = streams_.front()->profile().floating_point;
+    r.cores = std::uint32_t(cores_.size());
+
+    // Workload label: the mix's distinct names, first-appearance order.
+    std::vector<std::string> seen;
+    for (const auto& stream : streams_) {
+        const std::string& name = stream->profile().name;
+        if (std::find(seen.begin(), seen.end(), name) == seen.end())
+            seen.push_back(name);
+    }
+    r.workload_name = seen.front();
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        r.workload_name += "+" + seen[i];
+
+    std::uint64_t load_latency_weighted = 0;
+    std::uint64_t load_latency_count = 0;
+    cycle_t last_finish = start;
+    for (auto& core : cores_) {
+        const cycle_t fin =
+            core->finished_at() == no_cycle ? engine_.now()
+                                            : core->finished_at();
+        const cycle_t cycles_i = fin + 1 - start;
+        last_finish = std::max(last_finish, fin);
+        r.per_core_ipc.push_back(
+            cycles_i == 0 ? 0.0
+                          : double(core->committed()) / double(cycles_i));
+        r.instructions += core->committed();
+        r.loads_l1 += core->loads_served_by(mem::service_level::l1);
+        r.loads_fabric +=
+            core->loads_served_by(mem::service_level::lnuca_tile);
+        r.loads_l2 += core->loads_served_by(mem::service_level::l2);
+        r.loads_l3 += core->loads_served_by(mem::service_level::l3);
+        r.loads_dnuca += core->loads_served_by(mem::service_level::dnuca);
+        r.loads_memory += core->loads_served_by(mem::service_level::memory);
+        r.loads_peer += core->loads_served_by(mem::service_level::peer_l1);
+        load_latency_weighted += core->load_latency().weighted_sum();
+        load_latency_count += core->load_latency().total();
+    }
+    r.cycles = last_finish + 1 - start;
+    r.ipc = r.cycles == 0 ? 0.0 : double(r.instructions) / double(r.cycles);
+    r.avg_load_latency =
+        load_latency_count == 0
+            ? 0.0
+            : load_latency_weighted / double(load_latency_count);
+    r.host_seconds = host_seconds;
+    r.sim_cycles_per_second =
+        host_seconds > 0.0 ? double(r.cycles) / host_seconds : 0.0;
+    r.sim_instructions_per_second =
+        host_seconds > 0.0 ? double(r.instructions) / host_seconds : 0.0;
+
+    if (l2_)
+        r.l2_read_hits = counter_delta(l2_->counters(), "read_hit", l2_snap);
+    if (fabric_) {
+        r.fabric_read_hits.assign(config_.fabric.levels + 1, 0);
+        for (unsigned level = 2; level <= config_.fabric.levels; ++level)
+            r.fabric_read_hits[level] =
+                fabric_->read_hits_in_level(level) - fab_hits_snap[level];
+        r.transport_actual =
+            fabric_->transport_actual_cycles() - transport_actual_snap;
+        r.transport_min =
+            fabric_->transport_min_cycles() - transport_min_snap;
+        r.search_restarts =
+            counter_delta(fabric_->counters(), "search_restarts", fab_snap);
+        r.searches =
+            counter_delta(fabric_->counters(), "searches_injected", fab_snap);
+    }
+
+    power::energy_inputs in;
+    in.cycles = r.cycles;
+    for (std::size_t i = 0; i < l1s_.size(); ++i)
+        in.l1_accesses +=
+            counter_delta(l1s_[i]->counters(), "accesses", l1_snaps[i]);
+    if (l2_) {
+        in.has_l2 = true;
+        in.l2_accesses = counter_delta(l2_->counters(), "accesses", l2_snap);
+    }
+    if (fabric_) {
+        const auto& fc = fabric_->counters();
+        in.fabric_tiles = fabric_->geo().tile_count();
+        in.tile_tag_lookups = counter_delta(fc, "tile_tag_lookups", fab_snap);
+        in.tile_data_accesses =
+            counter_delta(fc, "tile_data_reads", fab_snap) +
+            counter_delta(fc, "tile_data_writes", fab_snap);
+        in.transport_hops = counter_delta(fc, "transport_hops", fab_snap);
+        in.replacement_hops = counter_delta(fc, "replacement_hops", fab_snap);
+        in.search_hops = counter_delta(fc, "search_broadcast_hops", fab_snap);
+    }
+    if (l3_) {
+        in.has_l3 = true;
+        in.l3_accesses = counter_delta(l3_->counters(), "accesses", l3_snap);
+    }
+    if (dnuca_) {
+        in.dnuca_banks = config_.dnuca.bank_sets * config_.dnuca.rows;
+        in.bank_accesses =
+            counter_delta(dnuca_->counters(), "bank_lookups", dn_snap) +
+            counter_delta(dnuca_->counters(), "bank_writes", dn_snap);
+        in.dnuca_flit_hops = dnuca_->mesh().flit_hops() - dn_hops_snap;
+    }
+    in.memory_transfers =
+        counter_delta(memory_->counters(), "transfers", memory_snap);
+    r.energy = power::compute_energy(in);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Sampled execution (SMARTS-style): functional fast-forward punctuated by
+// periodically placed detailed windows. See DESIGN.md, "Sampling and
+// statistical confidence".
+// ---------------------------------------------------------------------------
+
+bool system::quiescent() const
+{
+    for (const auto& core : cores_)
+        if (!core->quiescent())
+            return false;
+    for (const auto& l1 : l1s_)
+        if (!l1->quiescent())
+            return false;
+    return (!hub_ || hub_->quiescent()) &&
+           (!l1_l2_bus_ || l1_l2_bus_->quiescent()) &&
+           (!l2_ || l2_->quiescent()) && (!l3_ || l3_->quiescent()) &&
+           (!fabric_ || fabric_->quiescent()) &&
+           (!dnuca_ || dnuca_->quiescent()) && memory_->quiescent();
+}
+
+void system::drain(cycle_t max_cycles)
+{
+    if (!engine_.run_until([&] { return quiescent(); }, max_cycles))
+        LNUCA_WARN("sampled run: hierarchy failed to drain within ",
+                   max_cycles, " cycles; fast-forwarding anyway");
+}
+
+void system::fast_forward(std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    cores_.front()->warm_retire(count);
+    // The clock advances at a nominal CPI of 1: reported cycles come from
+    // the window estimate, so the rate only keeps timestamps monotone.
+    engine_.advance(count);
+}
+
+void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
+                              window_totals* totals)
+{
+    cpu::ooo_core* core = cores_.front().get();
+    mem::conventional_cache* l1 = l1s_.front().get();
+    core->reset_stats();
+    if (totals == nullptr) {
+        // Warm segment: re-establish pipeline/queue/MSHR occupancy under
+        // full timing; measurements are discarded.
+        core->set_instruction_limit(instructions);
+        engine_.run_until([&] { return core->done(); }, max_cycles);
+        return;
+    }
+
+    const counter_set l1_snap = l1->counters();
+    const counter_set l2_snap = l2_ ? l2_->counters() : counter_set{};
+    const counter_set l3_snap = l3_ ? l3_->counters() : counter_set{};
+    const counter_set fab_snap = fabric_ ? fabric_->counters() : counter_set{};
+    const counter_set dn_snap = dnuca_ ? dnuca_->counters() : counter_set{};
+    const counter_set memory_snap = memory_->counters();
+    const std::uint64_t dn_hops_snap = dnuca_ ? dnuca_->mesh().flit_hops() : 0;
+    std::vector<std::uint64_t> fab_hits_snap;
+    std::uint64_t transport_actual_snap = 0;
+    std::uint64_t transport_min_snap = 0;
+    if (fabric_) {
+        for (unsigned level = 0; level <= config_.fabric.levels; ++level)
+            fab_hits_snap.push_back(fabric_->read_hits_in_level(level));
+        transport_actual_snap = fabric_->transport_actual_cycles();
+        transport_min_snap = fabric_->transport_min_cycles();
+    }
+
+    const cycle_t start = engine_.now();
+    core->set_instruction_limit(instructions);
     const bool finished =
-        engine_.run_until([&] { return core_->done(); }, max_cycles);
+        engine_.run_until([&] { return core->done(); }, max_cycles);
     if (!finished)
         LNUCA_WARN("measurement window hit the cycle ceiling before "
                    "committing ", instructions, " instructions");
 
-    const std::uint64_t instr = core_->committed();
+    const std::uint64_t instr = core->committed();
     const std::uint64_t cycles = engine_.now() - start;
     totals->instructions += instr;
     totals->cycles += cycles;
@@ -341,18 +652,18 @@ void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
             counter_delta(fabric_->counters(), "searches_injected", fab_snap);
     }
 
-    totals->loads_l1 += core_->loads_served_by(mem::service_level::l1);
+    totals->loads_l1 += core->loads_served_by(mem::service_level::l1);
     totals->loads_fabric +=
-        core_->loads_served_by(mem::service_level::lnuca_tile);
-    totals->loads_l2 += core_->loads_served_by(mem::service_level::l2);
-    totals->loads_l3 += core_->loads_served_by(mem::service_level::l3);
-    totals->loads_dnuca += core_->loads_served_by(mem::service_level::dnuca);
-    totals->loads_memory += core_->loads_served_by(mem::service_level::memory);
-    totals->load_latency_weighted += core_->load_latency().weighted_sum();
-    totals->load_latency_count += core_->load_latency().total();
+        core->loads_served_by(mem::service_level::lnuca_tile);
+    totals->loads_l2 += core->loads_served_by(mem::service_level::l2);
+    totals->loads_l3 += core->loads_served_by(mem::service_level::l3);
+    totals->loads_dnuca += core->loads_served_by(mem::service_level::dnuca);
+    totals->loads_memory += core->loads_served_by(mem::service_level::memory);
+    totals->load_latency_weighted += core->load_latency().weighted_sum();
+    totals->load_latency_count += core->load_latency().total();
 
     power::energy_inputs& in = totals->energy;
-    in.l1_accesses += counter_delta(l1_->counters(), "accesses", l1_snap);
+    in.l1_accesses += counter_delta(l1->counters(), "accesses", l1_snap);
     if (l2_) {
         in.has_l2 = true;
         in.l2_accesses += counter_delta(l2_->counters(), "accesses", l2_snap);
@@ -385,6 +696,7 @@ void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
 
 run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
 {
+    cpu::ooo_core* core = cores_.front().get();
     const sampling_config& sc = config_.sampling;
     const auto host_start = std::chrono::steady_clock::now();
     // Generous per-segment ceiling: segments are short, runaways are bugs.
@@ -427,10 +739,10 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
         std::uint64_t used = offset;
         if (window_warmup > 0) {
             detailed_segment(window_warmup, segment_budget, nullptr);
-            used += core_->committed();
+            used += core->committed();
         }
         detailed_segment(detail, segment_budget, &totals);
-        used += core_->committed();
+        used += core->committed();
         drain(segment_budget);
         fast_forward(span > used ? span - used : 0);
         retired += std::max(span, used);
@@ -461,8 +773,8 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
 
     run_result r;
     r.config_name = config_.name;
-    r.workload_name = stream_->profile().name;
-    r.floating_point = stream_->profile().floating_point;
+    r.workload_name = streams_.front()->profile().name;
+    r.floating_point = streams_.front()->profile().floating_point;
     r.sampled = true;
     r.sampled_windows = n;
     r.measured_instructions = totals.instructions;
@@ -531,6 +843,17 @@ run_result run_one(const system_config& config,
 {
     system sys(config, workload, seed);
     return sys.run(instructions, warmup);
+}
+
+double weighted_speedup(const run_result& cmp_result,
+                        const run_result& single_core_baseline)
+{
+    if (single_core_baseline.ipc <= 0.0)
+        return 0.0;
+    double ws = 0.0;
+    for (const double ipc : cmp_result.per_core_ipc)
+        ws += ipc / single_core_baseline.ipc;
+    return ws;
 }
 
 // run_matrix lives in src/exp/runner.cpp: it is a thin wrapper over the

@@ -2,6 +2,7 @@
 // run driver (warm-up, measurement window, statistics harvesting).
 #pragma once
 
+#include "src/coh/coherence_hub.h"
 #include "src/cpu/ooo_core.h"
 #include "src/dnuca/dnuca_cache.h"
 #include "src/fabric/lnuca_cache.h"
@@ -50,7 +51,17 @@ struct run_result {
     std::uint64_t loads_l3 = 0;
     std::uint64_t loads_dnuca = 0;
     std::uint64_t loads_memory = 0;
+    std::uint64_t loads_peer = 0; ///< CMP: cache-to-cache from a peer L1
     double avg_load_latency = 0.0;
+
+    // CMP mode (cores > 1): per-core committed-instruction IPC in core
+    // order, and - when the caller supplies a single-core baseline (see
+    // weighted_speedup()) - the multiprogrammed weighted speedup
+    // sum_i(IPC_i / IPC_single_i). Single-core runs leave cores == 1,
+    // per_core_ipc empty and weighted_speedup 0.
+    std::uint32_t cores = 1;
+    std::vector<double> per_core_ipc;
+    double weighted_speedup = 0.0;
 
     // Sampled execution (see sampling_config). When `sampled` is true,
     // cycles/ipc/energy/loads are statistical estimates extrapolated from
@@ -74,26 +85,59 @@ public:
     system(const system_config& config, const wl::workload_profile& workload,
            std::uint64_t seed);
 
+    /// CMP construction: core i runs workloads[i % workloads.size()] on
+    /// its own rng::split lane with a disjoint address region (a
+    /// multiprogrammed mix). A single profile replicates into a
+    /// rate-style homogeneous mix. cores == 1 ignores all but the first
+    /// profile and builds the exact single-core wiring.
+    system(const system_config& config,
+           const std::vector<wl::workload_profile>& workloads,
+           std::uint64_t seed);
+
     /// Run `warmup` instructions (discarded), then `instructions` measured.
     /// When config.sampling.enabled, the measured span executes as
     /// fast-forward + periodic detailed windows and the result carries
-    /// statistical estimates (run_result::sampled).
+    /// statistical estimates (run_result::sampled). CMP runs (cores > 1)
+    /// run every core for `instructions` committed instructions under full
+    /// detail (sampling is forced off with a warning - see ROADMAP) and
+    /// report per-core IPC.
     run_result run(std::uint64_t instructions, std::uint64_t warmup);
 
-    cpu::ooo_core& core() { return *core_; }
+    unsigned cores() const { return unsigned(cores_.size()); }
+    cpu::ooo_core& core() { return *cores_.front(); }
+    cpu::ooo_core& core(unsigned i) { return *cores_[i]; }
     fabric::lnuca_cache* fabric() { return fabric_.get(); }
     dnuca::dnuca_cache* dnuca() { return dnuca_.get(); }
-    mem::conventional_cache& l1() { return *l1_; }
+    mem::conventional_cache& l1() { return *l1s_.front(); }
+    mem::conventional_cache& l1(unsigned i) { return *l1s_[i]; }
     mem::conventional_cache* l2() { return l2_.get(); }
     mem::conventional_cache* l3() { return l3_.get(); }
     mem::main_memory& memory() { return *memory_; }
     mem::bus* l1_l2_bus() { return l1_l2_bus_.get(); }
+    coh::coherence_hub* hub() { return hub_.get(); }
     sim::engine& engine() { return engine_; }
 
 private:
     struct window_totals;
 
+    /// Which shared-level components this hierarchy kind carries.
+    struct level_set {
+        bool fabric = false;
+        bool l2 = false;
+        bool l3 = false;
+        bool dnuca = false;
+    };
+    level_set levels() const;
+
+    void build_single(const wl::workload_profile& workload);
+    void build_cmp(const std::vector<wl::workload_profile>& workloads);
+    /// Construct the shared level + memory (canonical seed derivations).
+    void build_shared_components();
+    /// Wire and register the shared level beneath `above` (the lone L1 or
+    /// the coherence hub) and return its entry port. Registers memory.
+    mem::mem_port* wire_shared_level(mem::mem_client* above);
     void prewarm();
+    run_result run_cmp(std::uint64_t instructions, std::uint64_t warmup);
     run_result run_sampled(std::uint64_t instructions, std::uint64_t warmup);
     /// All components idle (nothing in flight anywhere).
     bool quiescent() const;
@@ -109,9 +153,12 @@ private:
     system_config config_;
     std::uint64_t seed_ = 1;
     mem::txn_id_source ids_;
-    std::unique_ptr<wl::synthetic_stream> stream_;
-    std::unique_ptr<cpu::ooo_core> core_;
-    std::unique_ptr<mem::conventional_cache> l1_;
+    // Per-core front end: exactly one element in single-core mode (the
+    // construction there is byte-for-byte the pre-CMP wiring).
+    std::vector<std::unique_ptr<wl::synthetic_stream>> streams_;
+    std::vector<std::unique_ptr<cpu::ooo_core>> cores_;
+    std::vector<std::unique_ptr<mem::conventional_cache>> l1s_;
+    std::unique_ptr<coh::coherence_hub> hub_; ///< cores > 1 only
     std::unique_ptr<mem::bus> l1_l2_bus_;
     std::unique_ptr<mem::conventional_cache> l2_;
     std::unique_ptr<mem::conventional_cache> l3_;
@@ -120,6 +167,12 @@ private:
     std::unique_ptr<mem::main_memory> memory_;
     sim::engine engine_;
 };
+
+/// Multiprogrammed weighted speedup of a homogeneous-mix CMP run against
+/// its single-core baseline on the same hierarchy:
+/// sum_i(IPC_i / IPC_single). Returns 0 when the baseline is degenerate.
+double weighted_speedup(const run_result& cmp_result,
+                        const run_result& single_core_baseline);
 
 /// Run one (config, workload) pair in a fresh system.
 run_result run_one(const system_config& config,

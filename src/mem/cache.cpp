@@ -20,7 +20,9 @@ conventional_cache::conventional_cache(const cache_config& config, txn_id_source
          "write_miss", "wb_hit", "mshr_merge", "mshr_secondary_stall",
          "mshr_full_stall", "miss_issued", "fills", "evictions",
          "writeback_in", "writeback_out", "write_through_out", "wb_drained",
-         "wb_full_stall", "refill_wb_stall", "untracked_response"});
+         "wb_full_stall", "refill_wb_stall", "untracked_response",
+         "upgrade_miss", "snoop_inv", "snoop_inv_dirty", "snoop_downgrade",
+         "snoop_retry"});
     h_accesses_ = counters_.handle_of("accesses");
     h_reads_ = counters_.handle_of("reads");
     h_writes_ = counters_.handle_of("writes");
@@ -42,11 +44,18 @@ conventional_cache::conventional_cache(const cache_config& config, txn_id_source
     h_wb_full_stall_ = counters_.handle_of("wb_full_stall");
     h_refill_wb_stall_ = counters_.handle_of("refill_wb_stall");
     h_untracked_response_ = counters_.handle_of("untracked_response");
+    h_upgrade_miss_ = counters_.handle_of("upgrade_miss");
+    h_snoop_inv_ = counters_.handle_of("snoop_inv");
+    h_snoop_inv_dirty_ = counters_.handle_of("snoop_inv_dirty");
+    h_snoop_downgrade_ = counters_.handle_of("snoop_downgrade");
+    h_snoop_retry_ = counters_.handle_of("snoop_retry");
     // Pre-size the hot-path queues so steady-state ticks never allocate.
     input_writes_.reserve(config.write_buffer_entries);
     lookups_.reserve(std::size_t(config.write_buffer_entries) +
                      config.mshr_entries + 8);
     refills_.reserve(config.mshr_entries + 8);
+    if (config.coherent)
+        pending_fill_blocks_.reserve(config.mshr_entries + 8);
 }
 
 std::size_t conventional_cache::bank_of(addr_t addr) const
@@ -99,6 +108,27 @@ void conventional_cache::accept(const mem_request& request)
 void conventional_cache::respond(const mem_response& response)
 {
     refills_.push(response.ready_at, response);
+    if (config_.coherent)
+        pending_fill_blocks_.push_back(tags_.block_of(response.addr));
+}
+
+bool conventional_cache::pending_fill(addr_t block) const
+{
+    for (const addr_t b : pending_fill_blocks_)
+        if (b == block)
+            return true;
+    return false;
+}
+
+void conventional_cache::pending_fill_remove(addr_t block)
+{
+    for (std::size_t i = 0; i < pending_fill_blocks_.size(); ++i) {
+        if (pending_fill_blocks_[i] == block) {
+            pending_fill_blocks_[i] = pending_fill_blocks_.back();
+            pending_fill_blocks_.pop_back();
+            return;
+        }
+    }
 }
 
 cycle_t conventional_cache::next_event(cycle_t now) const
@@ -213,21 +243,39 @@ void conventional_cache::handle_read_like(cycle_t now, pending_access access)
     }
 
     if (tags_.lookup(req.addr)) {
-        counters_.inc(is_write ? h_write_hit_ : h_read_hit_);
-        if (is_write)
-            tags_.set_dirty(req.addr, true);
-        if (access.needs_response)
-            respond_up(now, {req.id, req.addr, req.kind, req.created_at},
-                       config_.level_tag, 0);
-        return;
+        // MESI: a store may only dirty a line it holds with write
+        // permission (E/M). A hit on a Shared line falls through to the
+        // miss path as an upgrade (read-for-ownership without data need).
+        const bool upgrade = is_write && config_.coherent &&
+                             !tags_.is_exclusive(req.addr);
+        if (!upgrade) {
+            counters_.inc(is_write ? h_write_hit_ : h_read_hit_);
+            if (is_write)
+                tags_.set_dirty(req.addr, true);
+            if (access.needs_response)
+                respond_up(now, {req.id, req.addr, req.kind, req.created_at},
+                           config_.level_tag, 0);
+            return;
+        }
+        counters_.inc(h_upgrade_miss_);
     }
 
     counters_.inc(is_write ? h_write_miss_ : h_read_miss_);
     const addr_t block = tags_.block_of(req.addr);
     const mshr_target target{req.id, req.addr, req.kind, req.created_at};
     if (mshr_entry* entry = mshrs_.find(block)) {
+        // A write may not piggyback on a plain read already sent
+        // downstream: the fill would arrive without ownership. Wait for
+        // the entry to release, then miss again as an RFO.
+        if (config_.coherent && is_write && entry->issued &&
+            !entry->for_write) {
+            counters_.inc(h_mshr_secondary_stall_);
+            lookups_.push(now + 1, access);
+            return;
+        }
         if (entry->target_count < config_.mshr_secondary) {
             counters_.inc(h_mshr_merge_);
+            entry->for_write = entry->for_write || is_write;
             if (access.needs_response)
                 mshrs_.add_target(*entry, target);
             return;
@@ -242,6 +290,7 @@ void conventional_cache::handle_read_like(cycle_t now, pending_access access)
         return;
     }
     auto& entry = mshrs_.allocate(block, now);
+    entry.for_write = is_write;
     if (access.needs_response)
         mshrs_.add_target(entry, target);
 }
@@ -316,6 +365,8 @@ void conventional_cache::issue_misses(cycle_t now)
         miss.kind = access_kind::read;
         miss.created_at = now;
         miss.needs_response = true;
+        miss.core = config_.core_id;
+        miss.exclusive = config_.coherent && entry->for_write;
         if (!downstream_->can_accept(miss))
             break; // retry next cycle, preserve order
         downstream_->accept(miss);
@@ -338,6 +389,7 @@ void conventional_cache::drain_write_buffer(cycle_t now)
     write.created_at = now;
     write.needs_response = false;
     write.dirty = wb_.head_is_dirty();
+    write.core = config_.core_id;
     if (!downstream_->can_accept(write))
         return;
     downstream_->accept(write);
@@ -353,11 +405,15 @@ void conventional_cache::process_refills(cycle_t now)
             return;
 
         const addr_t block = tags_.block_of(response->addr);
+        if (config_.coherent)
+            pending_fill_remove(block);
 
         // A displaced dirty victim needs write-buffer space; wait if full.
         if (!tags_.set_has_free_way(block) && !tags_.probe(block) && wb_.full()) {
             counters_.inc(h_refill_wb_stall_);
             refills_.push(now + 1, *response);
+            if (config_.coherent)
+                pending_fill_blocks_.push_back(block);
             return;
         }
 
@@ -376,6 +432,8 @@ void conventional_cache::process_refills(cycle_t now)
 
         if (auto victim = tags_.install(block, fill_dirty))
             queue_victim(now, *victim);
+        if (config_.coherent)
+            tags_.set_exclusive(block, response->exclusive || fill_dirty);
         counters_.inc(h_fills_);
 
         for (std::uint32_t t = 0; t < entry.target_count; ++t)
@@ -512,6 +570,67 @@ bool conventional_cache::quiescent() const
 {
     return lookups_.empty() && refills_.empty() && mshrs_.empty() &&
            wb_.empty() && input_writes_.empty();
+}
+
+snoop_result conventional_cache::snoop_invalidate(addr_t addr)
+{
+    const addr_t block = tags_.block_of(addr);
+    // A granted fill is on its way in: the directory already promised this
+    // cache the line (possibly exclusively), so the snoop must land on the
+    // installed copy, not on a stale tags entry the fill would silently
+    // resurrect with E/M permission.
+    if (pending_fill(block)) {
+        counters_.inc(h_snoop_retry_);
+        return snoop_result::retry;
+    }
+    if (tags_.probe(block)) {
+        // Present: drop the copy. A store already queued for this block
+        // simply misses afterwards and re-requests ownership.
+        const auto line = tags_.extract(block);
+        warm_state_stale_ = true;
+        counters_.inc(h_snoop_inv_);
+        if (line->dirty) {
+            counters_.inc(h_snoop_inv_dirty_);
+            return snoop_result::applied_dirty;
+        }
+        return snoop_result::applied_clean;
+    }
+    // A fill on its way in, or an eviction writeback on its way out: let it
+    // land first (the hub re-delivers the snoop next cycle).
+    if (mshrs_.find(block) != nullptr || wb_.contains(block)) {
+        counters_.inc(h_snoop_retry_);
+        return snoop_result::retry;
+    }
+    return snoop_result::not_present;
+}
+
+snoop_result conventional_cache::snoop_downgrade(addr_t addr)
+{
+    const addr_t block = tags_.block_of(addr);
+    if (pending_fill(block)) {
+        counters_.inc(h_snoop_retry_);
+        return snoop_result::retry;
+    }
+    if (const auto hit = tags_.probe(block)) {
+        const bool was_dirty = hit->was_dirty;
+        tags_.set_dirty(block, false);
+        tags_.set_exclusive(block, false);
+        counters_.inc(h_snoop_downgrade_);
+        return was_dirty ? snoop_result::applied_dirty
+                         : snoop_result::applied_clean;
+    }
+    if (mshrs_.find(block) != nullptr || wb_.contains(block)) {
+        counters_.inc(h_snoop_retry_);
+        return snoop_result::retry;
+    }
+    return snoop_result::not_present;
+}
+
+bool conventional_cache::holds_or_in_flight(addr_t addr) const
+{
+    const addr_t block = tags_.block_of(addr);
+    return tags_.probe(block).has_value() || mshrs_.find(block) != nullptr ||
+           wb_.contains(block);
 }
 
 } // namespace lnuca::mem

@@ -46,6 +46,22 @@ struct cache_config {
     std::string policy = "lru";
     std::uint64_t seed = 0x5eed;
     service_level level_tag = service_level::l2;
+    /// CMP mode (private L1 under a coh::coherence_hub): track MESI
+    /// permission per line, issue read-for-ownership on store misses and
+    /// upgrades on store hits to Shared lines, and answer snoops. Off for
+    /// every single-core hierarchy — the timing paths are then untouched.
+    bool coherent = false;
+    /// Which core this private cache belongs to (stamped on every
+    /// downstream request so the hub can route and bookkeep).
+    core_id_t core_id = 0;
+};
+
+/// Outcome of a hub-initiated snoop (invalidate / downgrade).
+enum class snoop_result : std::uint8_t {
+    not_present,   ///< no copy here (possibly already evicted)
+    applied_clean, ///< copy dropped/downgraded; it was clean
+    applied_dirty, ///< copy dropped/downgraded; it carried modified data
+    retry,         ///< transient (fill or writeback in flight) - retry
 };
 
 class conventional_cache final : public sim::ticked, public mem_port, public mem_client {
@@ -76,6 +92,19 @@ public:
     const tag_array& tags() const { return tags_; }
     tag_array& tags() { return tags_; }
     bool quiescent() const; ///< no in-flight work (drain detection)
+
+    /// Coherence snoops (hub-initiated, coherent caches only). Invalidate
+    /// drops the line; downgrade strips write permission and cleans it
+    /// (MESI M/E -> S), reporting whether modified data was flushed. Both
+    /// ask for a retry while a fill or an eviction writeback for the block
+    /// is in flight - the hub re-delivers next cycle.
+    snoop_result snoop_invalidate(addr_t addr);
+    snoop_result snoop_downgrade(addr_t addr);
+
+    /// Coherence invariant probe: the directory may list this cache as a
+    /// sharer iff the block is resident or still moving through the fill /
+    /// eviction machinery (see coh::coherence_hub::check_invariants).
+    bool holds_or_in_flight(addr_t addr) const;
 
 private:
     struct pending_access {
@@ -126,9 +155,25 @@ private:
     counter_set::handle h_wb_full_stall_ = 0;
     counter_set::handle h_refill_wb_stall_ = 0;
     counter_set::handle h_untracked_response_ = 0;
+    // Coherence (coherent mode only; preregistered either way).
+    counter_set::handle h_upgrade_miss_ = 0;
+    counter_set::handle h_snoop_inv_ = 0;
+    counter_set::handle h_snoop_inv_dirty_ = 0;
+    counter_set::handle h_snoop_downgrade_ = 0;
+    counter_set::handle h_snoop_retry_ = 0;
+
+    bool pending_fill(addr_t block) const;
+    void pending_fill_remove(addr_t block);
 
     mem_client* upstream_ = nullptr;
     mem_port* downstream_ = nullptr;
+
+    /// Coherent mode: blocks whose fill response has been granted (sits in
+    /// refills_) but not yet installed. A snoop landing in that window
+    /// must wait for the install - the grant already promised this cache
+    /// the line - or the fill would re-install E/M behind the directory's
+    /// back (see snoop_invalidate). Empty for non-coherent caches.
+    std::vector<addr_t> pending_fill_blocks_;
 
     std::vector<cycle_t> port_free_; ///< per-port next-free cycle
     sim::timed_queue<pending_access> lookups_;

@@ -120,6 +120,7 @@ mshr_entry& mshr_file::allocate(addr_t block_addr, cycle_t now)
     mshr_entry& e = slab_[slot];
     e.block_addr = block_addr;
     e.issued = false;
+    e.for_write = false;
     e.allocated_at = now;
     e.target_count = 0;
 

@@ -42,6 +42,7 @@ struct mshr_entry {
     addr_t block_addr = no_addr;
     bool issued = false; ///< miss request sent downstream yet? Flip only
                          ///< through mshr_file::mark_issued (list upkeep).
+    bool for_write = false; ///< coherent caches: miss needs ownership (RFO)
     cycle_t allocated_at = 0;
     std::uint32_t target_count = 0;
 

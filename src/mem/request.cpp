@@ -12,6 +12,7 @@ std::string to_string(service_level level)
     case service_level::l3: return "L3";
     case service_level::dnuca: return "D-NUCA";
     case service_level::memory: return "memory";
+    case service_level::peer_l1: return "peer-L1";
     }
     return "?";
 }

@@ -29,7 +29,14 @@ enum class service_level : std::uint8_t {
     l3,          ///< conventional L3
     dnuca,       ///< a D-NUCA bank
     memory,      ///< main memory
+    peer_l1,     ///< another core's private L1 (cache-to-cache forward)
 };
+
+/// Core id carried by CMP-mode requests. Single-core systems leave it 0.
+using core_id_t = std::uint8_t;
+inline constexpr core_id_t no_core = 0xff;
+/// Sharer bitmasks (coh::directory) bound the core count to 32.
+inline constexpr unsigned max_cores = 32;
 
 std::string to_string(service_level level);
 
@@ -45,6 +52,12 @@ struct mem_request {
     /// For writeback kind: does the block carry modified data? Clean
     /// victims circulate in exclusive/victim hierarchies (L-NUCA).
     bool dirty = false;
+    /// CMP mode: which core's private hierarchy issued this request. The
+    /// coherence hub keys directory updates and response routing on it.
+    core_id_t core = 0;
+    /// Read-for-ownership (MESI): the requester wants write permission, so
+    /// every other cached copy must be invalidated before the response.
+    bool exclusive = false;
 };
 
 struct mem_response {
@@ -56,6 +69,11 @@ struct mem_response {
     std::uint8_t fabric_level = 0;
     /// Block carries modified data (migrating dirty line must stay dirty).
     bool dirty = false;
+    /// CMP mode: no other core holds a copy, so the line installs E (or M
+    /// when dirty). Always granted for read-for-ownership responses.
+    bool exclusive = false;
+    /// CMP mode: the core whose private hierarchy this response serves.
+    core_id_t core = 0;
 };
 
 /// A functional warming access (the sampled-simulation fast-forward path).

@@ -49,6 +49,20 @@ void tag_array::set_dirty(addr_t addr, bool dirty)
     line_ref(hit->set, hit->way).dirty = dirty;
 }
 
+void tag_array::set_exclusive(addr_t addr, bool exclusive)
+{
+    auto hit = probe(addr);
+    if (!hit)
+        return;
+    line_ref(hit->set, hit->way).exclusive = exclusive;
+}
+
+bool tag_array::is_exclusive(addr_t addr) const
+{
+    const auto hit = probe(addr);
+    return hit && line(hit->set, hit->way).exclusive;
+}
+
 std::optional<evicted_line> tag_array::install(addr_t addr, bool dirty)
 {
     const addr_t block = block_of(addr);

@@ -14,6 +14,9 @@ struct cache_line {
     addr_t tag = no_addr; ///< block-aligned address (full address, not shifted)
     bool valid = false;
     bool dirty = false;
+    /// MESI write permission (coherent private caches): E or M. A dirty
+    /// line is always exclusive. Non-coherent caches never read it.
+    bool exclusive = false;
 };
 
 struct tag_array_config {
@@ -65,6 +68,10 @@ public:
 
     /// Mark an existing line dirty (store hit on a copy-back cache).
     void set_dirty(addr_t addr, bool dirty);
+
+    /// MESI permission bit of an existing line (coherent caches only).
+    void set_exclusive(addr_t addr, bool exclusive);
+    bool is_exclusive(addr_t addr) const;
 
     /// Install the block containing `addr`. If the set is full, the policy's
     /// victim is displaced and returned. Installing a block that is already

@@ -10,9 +10,10 @@ constexpr std::uint32_t k_block_bytes = 32;
 } // namespace
 
 synthetic_stream::synthetic_stream(const workload_profile& profile,
-                                   std::uint64_t seed)
+                                   std::uint64_t seed, addr_t region_base)
     : profile_(profile), rng_(seed), dep_rng_(hash64(seed ^ 0xde9d15ULL))
 {
+    region_base_ = region_base;
     // The working set pre-exists: a real program has long allocated its
     // data when the measured region starts. p_new_block keeps sliding it.
     frontier_ = profile_.footprint_blocks;
@@ -187,9 +188,10 @@ cpu::instruction synthetic_stream::emit(bool full_fidelity)
 }
 
 std::unique_ptr<synthetic_stream> make_stream(const workload_profile& profile,
-                                              std::uint64_t seed)
+                                              std::uint64_t seed,
+                                              addr_t region_base)
 {
-    return std::make_unique<synthetic_stream>(profile, seed);
+    return std::make_unique<synthetic_stream>(profile, seed, region_base);
 }
 
 } // namespace lnuca::wl

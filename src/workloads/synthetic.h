@@ -21,7 +21,11 @@ namespace lnuca::wl {
 
 class synthetic_stream final : public cpu::instruction_stream {
 public:
-    synthetic_stream(const workload_profile& profile, std::uint64_t seed);
+    /// `region_base` places the workload's data region. Multiprogrammed
+    /// CMP runs give each core a disjoint base (private address spaces);
+    /// the default matches every single-core caller.
+    synthetic_stream(const workload_profile& profile, std::uint64_t seed,
+                     addr_t region_base = 0x10000000);
 
     cpu::instruction next() override;
     /// Same stream content and rng consumption as next(), minus the
@@ -74,6 +78,7 @@ private:
 
 /// Convenience factory.
 std::unique_ptr<synthetic_stream> make_stream(const workload_profile& profile,
-                                              std::uint64_t seed);
+                                              std::uint64_t seed,
+                                              addr_t region_base = 0x10000000);
 
 } // namespace lnuca::wl

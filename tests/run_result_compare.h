@@ -37,7 +37,11 @@ inline void expect_sim_fields_identical(const hier::run_result& a,
     EXPECT_EQ(a.loads_l3, b.loads_l3);
     EXPECT_EQ(a.loads_dnuca, b.loads_dnuca);
     EXPECT_EQ(a.loads_memory, b.loads_memory);
+    EXPECT_EQ(a.loads_peer, b.loads_peer);
     EXPECT_EQ(a.avg_load_latency, b.avg_load_latency);
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_EQ(a.per_core_ipc, b.per_core_ipc);
+    EXPECT_EQ(a.weighted_speedup, b.weighted_speedup);
     EXPECT_EQ(a.sampled, b.sampled);
     EXPECT_EQ(a.sampled_windows, b.sampled_windows);
     EXPECT_EQ(a.measured_instructions, b.measured_instructions);

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff fresh BENCH_*.json files against the last
+baseline artifact from main.
+
+Understands two shapes:
+
+* google-benchmark JSON (BENCH_engine.json, BENCH_hotpath.json): compares
+  per-benchmark throughput (items_per_second, i.e. instructions or cycles
+  retired per wall second) when present, else real_time.
+* micro_sampling JSON (BENCH_sampling.json): compares median_speedup and
+  per-run sampled wall seconds.
+
+A metric regressing by more than --threshold (default 15%) fails the gate
+(exit 1). A missing baseline file - first run on a branch, expired
+artifact - only warns (exit 0): the gate needs history to bite, and the
+fresh run uploads the new baseline either way.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def pct(new, old):
+    return 100.0 * (new - old) / old if old else 0.0
+
+
+def compare_google_benchmark(base, fresh, threshold):
+    """Yield (name, metric, old, new, regression_pct) tuples."""
+    base_by_name = {
+        b["name"]: b
+        for b in base.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+    for bench in fresh.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        ref = base_by_name.get(bench["name"])
+        if ref is None:
+            continue
+        if "items_per_second" in bench and "items_per_second" in ref:
+            old, new = ref["items_per_second"], bench["items_per_second"]
+            if old > 0 and new < old * (1.0 - threshold):
+                yield bench["name"], "items_per_second", old, new
+        elif "real_time" in bench and "real_time" in ref:
+            old, new = ref["real_time"], bench["real_time"]
+            if old > 0 and new > old * (1.0 + threshold):
+                yield bench["name"], "real_time", old, new
+
+
+def compare_sampling(base, fresh, threshold):
+    old, new = base.get("median_speedup", 0), fresh.get("median_speedup", 0)
+    if old > 0 and new < old * (1.0 - threshold):
+        yield "micro_sampling", "median_speedup", old, new
+    base_runs = {
+        (r["config"], r["workload"]): r for r in base.get("runs", [])
+    }
+    for run in fresh.get("runs", []):
+        ref = base_runs.get((run["config"], run["workload"]))
+        if ref is None:
+            continue
+        old = ref.get("sampled_seconds", 0)
+        new = run.get("sampled_seconds", 0)
+        if old > 0 and new > old * (1.0 + threshold):
+            yield (f"{run['config']}/{run['workload']}", "sampled_seconds",
+                   old, new)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the main-branch artifact")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="fractional regression that fails (default .15)")
+    parser.add_argument("files", nargs="*",
+                        help="file names to compare (default: BENCH_*.json "
+                             "present in --fresh-dir)")
+    args = parser.parse_args()
+
+    names = args.files or sorted(
+        f for f in os.listdir(args.fresh_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not names:
+        print("bench_compare: no BENCH_*.json in", args.fresh_dir)
+        return 0
+
+    regressions = []
+    compared = 0
+    for name in names:
+        fresh_path = os.path.join(args.fresh_dir, name)
+        base_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(fresh_path):
+            print(f"bench_compare: {name}: missing fresh file, skipping")
+            continue
+        if not os.path.exists(base_path):
+            # Baseline artifacts live inside subdirectories when fetched
+            # with `gh run download` without -n; look one level deep.
+            nested = [
+                os.path.join(args.baseline_dir, d, name)
+                for d in (os.listdir(args.baseline_dir)
+                          if os.path.isdir(args.baseline_dir) else [])
+            ]
+            base_path = next((p for p in nested if os.path.exists(p)), None)
+        if base_path is None or not os.path.exists(base_path):
+            print(f"bench_compare: {name}: no baseline from main yet - "
+                  f"warn-only (the fresh artifact becomes the baseline)")
+            continue
+
+        base, fresh = load(base_path), load(fresh_path)
+        compared += 1
+        compare = (compare_google_benchmark
+                   if "benchmarks" in fresh else compare_sampling)
+        for bench, metric, old, new in compare(base, fresh, args.threshold):
+            regressions.append((name, bench, metric, old, new))
+
+    for name, bench, metric, old, new in regressions:
+        print(f"REGRESSION {name} {bench}: {metric} "
+              f"{old:.4g} -> {new:.4g} ({pct(new, old):+.1f}%)")
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{100 * args.threshold:.0f}% - failing the gate")
+        return 1
+    print(f"bench_compare: {compared} file(s) compared, no regression "
+          f"beyond {100 * args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

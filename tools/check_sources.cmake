@@ -1,0 +1,52 @@
+# Source-listing lint: every source file on disk must be wired into the
+# build, so a forgotten add_executable / library entry fails CI instead of
+# silently shipping dead code.
+#
+#   cmake -P tools/check_sources.cmake
+#
+# Rules:
+#   src/**/*.cpp        must appear verbatim in the lnuca_core sources
+#   bench/*.cpp         stem must appear in LNUCA_BENCHES or an explicit
+#                       add_executable
+#   tests/*.cpp         stem must appear in LNUCA_TESTS
+#   examples/*.cpp      stem must appear in LNUCA_EXAMPLES
+cmake_minimum_required(VERSION 3.16)
+
+get_filename_component(repo_root "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+file(READ "${repo_root}/CMakeLists.txt" cmakelists)
+
+set(missing "")
+
+file(GLOB_RECURSE core_sources RELATIVE "${repo_root}" "${repo_root}/src/*.cpp")
+foreach(source IN LISTS core_sources)
+  string(FIND "${cmakelists}" "${source}" found)
+  if(found EQUAL -1)
+    list(APPEND missing "${source} (expected in lnuca_core sources)")
+  endif()
+endforeach()
+
+foreach(pair "bench;LNUCA_BENCHES" "tests;LNUCA_TESTS" "examples;LNUCA_EXAMPLES")
+  list(GET pair 0 dir)
+  list(GET pair 1 listname)
+  file(GLOB dir_sources RELATIVE "${repo_root}" "${repo_root}/${dir}/*.cpp")
+  foreach(source IN LISTS dir_sources)
+    get_filename_component(stem "${source}" NAME_WE)
+    # The stem must appear as a standalone word: a list-variable entry, a
+    # direct add_executable(<stem> ...), or a foreach over targets (the
+    # google-benchmark micros) all satisfy this.
+    string(REGEX MATCH "[ (;\n]${stem}[ );\n]" in_build "${cmakelists}")
+    if(in_build STREQUAL "")
+      list(APPEND missing "${source} (expected in ${listname} or add_executable)")
+    endif()
+  endforeach()
+endforeach()
+
+if(missing)
+  list(LENGTH missing n)
+  message(STATUS "check_sources: ${n} file(s) not wired into the build:")
+  foreach(entry IN LISTS missing)
+    message(STATUS "  ${entry}")
+  endforeach()
+  message(FATAL_ERROR "check_sources failed")
+endif()
+message(STATUS "check_sources: every source file is wired into the build")
