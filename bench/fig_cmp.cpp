@@ -10,9 +10,6 @@
 #include "src/lnuca.h"
 
 #include <cstdio>
-#include <fstream>
-#include <iostream>
-#include <memory>
 
 using namespace lnuca;
 
@@ -58,7 +55,8 @@ int main(int argc, char** argv)
 
     exp::sweep s;
     s.add_configs(configs)
-        .add_workloads(cmp_workloads())
+        .add_workloads(opt.workload_override.empty() ? cmp_workloads()
+                                                     : opt.workload_override)
         .replicates(opt.replicates)
         .instructions(opt.instructions)
         .warmup(opt.warmup)
@@ -93,51 +91,17 @@ int main(int argc, char** argv)
                      "this shard; their rows carry weighted_speedup=0\n");
 
     // Replay the post-filled rows into the requested sinks (same wiring
-    // and path semantics as exp::run_app: JSONL appends, CSV truncates).
-    std::vector<exp::sink*> sinks;
-    std::unique_ptr<std::ofstream> json_file, csv_file;
-    std::unique_ptr<exp::jsonl_sink> json;
-    std::unique_ptr<exp::csv_sink> csv;
-    std::unique_ptr<exp::table_sink> table;
-    if (!opt.json_path.empty()) {
-        if (opt.json_path == "-") {
-            json = std::make_unique<exp::jsonl_sink>(std::cout);
-        } else {
-            json_file = std::make_unique<std::ofstream>(opt.json_path,
-                                                        std::ios::app);
-            if (!*json_file) {
-                std::fprintf(stderr, "cannot open '%s' for writing\n",
-                             opt.json_path.c_str());
-                return 1;
-            }
-            json = std::make_unique<exp::jsonl_sink>(*json_file);
-        }
-        sinks.push_back(json.get());
-    }
-    if (!opt.csv_path.empty()) {
-        if (opt.csv_path == "-") {
-            csv = std::make_unique<exp::csv_sink>(std::cout);
-        } else {
-            csv_file = std::make_unique<std::ofstream>(opt.csv_path);
-            if (!*csv_file) {
-                std::fprintf(stderr, "cannot open '%s' for writing\n",
-                             opt.csv_path.c_str());
-                return 1;
-            }
-            csv = std::make_unique<exp::csv_sink>(*csv_file);
-        }
-        sinks.push_back(csv.get());
-    }
-    if (!opt.quiet) {
-        table = std::make_unique<exp::table_sink>(std::cout);
-        sinks.push_back(table.get());
-    }
-    for (exp::sink* sink : sinks)
+    // and path semantics as exp::run_app: JSONL appends, CSV truncates),
+    // plus a rendered table unless --quiet.
+    exp::sink_set sinks = exp::make_sinks(opt, !opt.quiet);
+    if (!sinks.ok)
+        return 1;
+    for (exp::sink* sink : sinks.sinks)
         sink->begin(rep.jobs.size());
     for (std::size_t i = 0; i < rep.jobs.size(); ++i)
-        for (exp::sink* sink : sinks)
+        for (exp::sink* sink : sinks.sinks)
             sink->consume(rep.jobs[i], results[i]);
-    for (exp::sink* sink : sinks)
+    for (exp::sink* sink : sinks.sinks)
         sink->finish();
 
     if (opt.quiet || opt.shard_count > 1) {

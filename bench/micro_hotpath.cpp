@@ -111,28 +111,55 @@ using namespace lnuca;
 struct hotpath_case {
     const char* name;
     hier::system_config config;
+    wl::workload_profile workload;
 };
-
-std::vector<hotpath_case> saturated_cases()
-{
-    std::vector<hotpath_case> cases;
-    cases.push_back({"L2-256KB", hier::presets::l2_256kb()});
-    cases.push_back({"LN3-144KB", hier::presets::lnuca_l3(3)});
-    // CMP: the coherence hub (directory, snoops, c2c forwards) joins the
-    // executed cycle and must obey the same zero-allocation contract.
-    cases.push_back(
-        {"L2-256KB-2c", hier::presets::cmp(hier::presets::l2_256kb(), 2)});
-    cases.push_back(
-        {"LN3-144KB-2c", hier::presets::cmp(hier::presets::lnuca_l3(3), 2)});
-    for (auto& c : cases)
-        c.config.engine_mode = sim::schedule_mode::dense; // every cycle executes
-    return cases;
-}
 
 const wl::workload_profile& saturated_workload()
 {
     static const wl::workload_profile w = *wl::find_spec2006("456.hmmer");
     return w;
+}
+
+/// Trace-replay front end: the scenario generates in-memory lanes at
+/// construction; the measurement window then runs the trace_stream decoder
+/// (and, for the CMP case, its coherence traffic) under the gate. The
+/// scenario must stay fabric-resident like the hmmer proxy - "saturated"
+/// means the core acts every cycle, not that misses stream to the next
+/// level (a store-streaming producer lane would instead measure the
+/// fabric's overflow-queue growth).
+wl::workload_profile trace_workload(const char* scenario)
+{
+    wl::workload_profile w;
+    w.name = std::string("scenario:") + scenario;
+    w.scenario = scenario;
+    return w;
+}
+
+std::vector<hotpath_case> saturated_cases()
+{
+    std::vector<hotpath_case> cases;
+    cases.push_back({"L2-256KB", hier::presets::l2_256kb(),
+                     saturated_workload()});
+    cases.push_back({"LN3-144KB", hier::presets::lnuca_l3(3),
+                     saturated_workload()});
+    // CMP: the coherence hub (directory, snoops, c2c forwards) joins the
+    // executed cycle and must obey the same zero-allocation contract.
+    cases.push_back({"L2-256KB-2c",
+                     hier::presets::cmp(hier::presets::l2_256kb(), 2),
+                     saturated_workload()});
+    cases.push_back({"LN3-144KB-2c",
+                     hier::presets::cmp(hier::presets::lnuca_l3(3), 2),
+                     saturated_workload()});
+    // Trace-driven streams: the mmap/in-memory record decoder replaces the
+    // synthetic generator and must be equally allocation-free.
+    cases.push_back({"LN3-trace", hier::presets::lnuca_l3(3),
+                     trace_workload("ping_pong")});
+    cases.push_back({"LN3-trace-2c",
+                     hier::presets::cmp(hier::presets::lnuca_l3(3), 2),
+                     trace_workload("producer_consumer")});
+    for (auto& c : cases)
+        c.config.engine_mode = sim::schedule_mode::dense; // every cycle executes
+    return cases;
 }
 
 /// Run `instructions` more committed instructions without resetting stats
@@ -165,7 +192,7 @@ int run_gate()
 {
     int failures = 0;
     for (const hotpath_case& c : saturated_cases()) {
-        hier::system sys(c.config, saturated_workload(), 1);
+        hier::system sys(c.config, c.workload, 1);
         run_more(sys, gate_warmup_instructions); // reach steady state
 
         const std::uint64_t before = g_allocations.load();
@@ -175,7 +202,7 @@ int run_gate()
         g_trap.store(false);
         const std::uint64_t allocations = g_allocations.load() - before;
 
-        std::printf("hotpath gate: %-10s %10llu cycles, %llu allocations "
+        std::printf("hotpath gate: %-12s %10llu cycles, %llu allocations "
                     "(%.6f/cycle) -> %s\n",
                     c.name, (unsigned long long)cycles,
                     (unsigned long long)allocations,

@@ -1,13 +1,11 @@
 #include "src/exp/run_app.h"
 
 #include "src/common/stats.h"
-#include "src/exp/sink.h"
+#include "src/trace/workload_spec.h"
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <memory>
 
 namespace lnuca::exp {
 
@@ -73,7 +71,62 @@ app_options parse_app_options(const cli_args& args)
             opt.shard_count = 1;
         }
     }
+    if (const auto workloads = args.value("workload")) {
+        std::string bad;
+        opt.workload_override = trace::parse_workload_list(*workloads, &bad);
+        if (opt.workload_override.empty())
+            std::fprintf(stderr,
+                         "unknown --workload spec '%s' (expected a SPEC "
+                         "proxy name, trace:<file>, or scenario:<name>); "
+                         "keeping the default workload set\n",
+                         bad.c_str());
+    }
+    opt.capture_path = args.get_string("capture", "");
     return opt;
+}
+
+sink_set make_sinks(const app_options& opt, bool with_table)
+{
+    // "-" streams to stdout. The JSON-lines file opens in append mode (as
+    // documented: successive runs/shards accumulate into one trajectory);
+    // the CSV file truncates, since its header row only makes sense once.
+    sink_set set;
+    if (!opt.json_path.empty()) {
+        if (opt.json_path == "-") {
+            set.json = std::make_unique<jsonl_sink>(std::cout);
+        } else {
+            set.json_file =
+                std::make_unique<std::ofstream>(opt.json_path, std::ios::app);
+            if (!*set.json_file) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n",
+                             opt.json_path.c_str());
+                set.ok = false;
+                return set;
+            }
+            set.json = std::make_unique<jsonl_sink>(*set.json_file);
+        }
+        set.sinks.push_back(set.json.get());
+    }
+    if (!opt.csv_path.empty()) {
+        if (opt.csv_path == "-") {
+            set.csv = std::make_unique<csv_sink>(std::cout);
+        } else {
+            set.csv_file = std::make_unique<std::ofstream>(opt.csv_path);
+            if (!*set.csv_file) {
+                std::fprintf(stderr, "cannot open '%s' for writing\n",
+                             opt.csv_path.c_str());
+                set.ok = false;
+                return set;
+            }
+            set.csv = std::make_unique<csv_sink>(*set.csv_file);
+        }
+        set.sinks.push_back(set.csv.get());
+    }
+    if (with_table) {
+        set.table = std::make_unique<table_sink>(std::cout);
+        set.sinks.push_back(set.table.get());
+    }
+    return set;
 }
 
 int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
@@ -83,9 +136,26 @@ int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
     const cli_args args(argc, argv);
     const app_options opt = parse_app_options(args);
 
+    if (!opt.workload_override.empty())
+        workloads = opt.workload_override;
+
     for (auto& config : configs) {
         config.engine_mode = opt.engine_mode;
         config.sampling = opt.sampling;
+    }
+    if (!opt.capture_path.empty()) {
+        // One capture file holds one run's lanes; a multi-job sweep would
+        // overwrite it per job (and concurrently, with threads > 1).
+        if (configs.size() * workloads.size() * opt.replicates != 1 ||
+            opt.shard_count != 1) {
+            std::fprintf(stderr,
+                         "--capture requires a single-job sweep (1 config x "
+                         "1 workload, replicates=1, no shard); got %zu x %zu "
+                         "x %zu\n",
+                         configs.size(), workloads.size(), opt.replicates);
+            return 1;
+        }
+        configs.front().capture_path = opt.capture_path;
     }
 
     sweep s;
@@ -97,46 +167,12 @@ int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
         .base_seed(opt.seed)
         .shard(opt.shard_index, opt.shard_count);
 
-    // Sinks. "-" streams to stdout. The JSON-lines file opens in append
-    // mode (as documented: successive runs/shards accumulate into one
-    // trajectory); the CSV file truncates, since its header row only makes
-    // sense once.
-    std::vector<sink*> sinks;
-    std::unique_ptr<std::ofstream> json_file, csv_file;
-    std::unique_ptr<jsonl_sink> json;
-    std::unique_ptr<csv_sink> csv;
-    if (!opt.json_path.empty()) {
-        if (opt.json_path == "-") {
-            json = std::make_unique<jsonl_sink>(std::cout);
-        } else {
-            json_file = std::make_unique<std::ofstream>(opt.json_path,
-                                                        std::ios::app);
-            if (!*json_file) {
-                std::fprintf(stderr, "cannot open '%s' for writing\n",
-                             opt.json_path.c_str());
-                return 1;
-            }
-            json = std::make_unique<jsonl_sink>(*json_file);
-        }
-        sinks.push_back(json.get());
-    }
-    if (!opt.csv_path.empty()) {
-        if (opt.csv_path == "-") {
-            csv = std::make_unique<csv_sink>(std::cout);
-        } else {
-            csv_file = std::make_unique<std::ofstream>(opt.csv_path);
-            if (!*csv_file) {
-                std::fprintf(stderr, "cannot open '%s' for writing\n",
-                             opt.csv_path.c_str());
-                return 1;
-            }
-            csv = std::make_unique<csv_sink>(*csv_file);
-        }
-        sinks.push_back(csv.get());
-    }
+    sink_set sinks = make_sinks(opt);
+    if (!sinks.ok)
+        return 1;
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const report rep = run_sweep(s, {opt.threads}, sinks);
+    const report rep = run_sweep(s, {opt.threads}, sinks.sinks);
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)

@@ -15,6 +15,13 @@
 //                      sampled execution: functional fast-forward plus
 //                      periodic detailed windows; results carry a 95% CI
 //                      (run_result::ipc_ci95) and estimated counts
+//   --workload LIST    replace the bench's default workload set with a
+//                      comma-separated spec list: SPEC proxy names,
+//                      trace:<file> (binary trace replay), or
+//                      scenario:<name> (shared-memory scenario library)
+//   --capture PATH     serialise the run's instruction stream(s) to a
+//                      binary trace file; requires a single-job sweep
+//                      (one config x one workload, replicates=1)
 //   --quiet            skip the paper-style rendered tables and the
 //                      throughput summary
 //
@@ -27,8 +34,11 @@
 
 #include "src/common/cli.h"
 #include "src/exp/runner.h"
+#include "src/exp/sink.h"
 
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,10 +57,35 @@ struct app_options {
     bool quiet = false;
     sim::schedule_mode engine_mode = sim::schedule_mode::idle_skip;
     hier::sampling_config sampling; ///< disabled unless --sampling given
+    /// --workload: when non-empty, replaces the bench's default workload
+    /// set (already parsed into profiles; trace/scenario specs carry their
+    /// source in workload_profile::trace_path / scenario).
+    std::vector<wl::workload_profile> workload_override;
+    std::string capture_path; ///< --capture: binary trace output file
 };
 
 /// Parse the shared options; unknown options are left for the caller.
 app_options parse_app_options(const cli_args& args);
+
+/// The JSONL/CSV (and optional rendered-table) sinks an app_options asks
+/// for, with their backing streams - one owner movable across the sweep.
+/// `ok` is false when an output file could not be opened (already
+/// reported to stderr); callers should exit non-zero.
+struct sink_set {
+    std::vector<sink*> sinks;
+    bool ok = true;
+
+    // Owned plumbing behind `sinks` (order matters: streams before sinks).
+    std::unique_ptr<std::ofstream> json_file, csv_file;
+    std::unique_ptr<jsonl_sink> json;
+    std::unique_ptr<csv_sink> csv;
+    std::unique_ptr<table_sink> table;
+};
+
+/// Wire the sinks requested by `opt` ("-" streams to stdout; the
+/// JSON-lines file appends, the CSV truncates). `with_table` adds a
+/// rendered table_sink on stdout (fig_cmp-style row replay).
+sink_set make_sinks(const app_options& opt, bool with_table = false);
 
 /// Render callback: the completed (unsharded) report plus the options.
 using render_fn = std::function<void(const report&, const app_options&)>;

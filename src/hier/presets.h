@@ -86,6 +86,12 @@ struct system_config {
     /// Hub/directory parameters for cores > 1 (presets::cmp fills the
     /// latencies to match the backend's transport character).
     coh::coherence_config coherence;
+    /// When non-empty, every instruction the front end hands out (next()
+    /// and warm_next() alike) plus each stream's pre-warm table is
+    /// serialised to this binary trace file when the system is destroyed;
+    /// replaying it via a workload_profile::trace_path reproduces the run
+    /// bit-identically. See src/trace/format.h.
+    std::string capture_path;
 };
 
 namespace presets {

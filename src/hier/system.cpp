@@ -1,6 +1,9 @@
 #include "src/hier/system.h"
 
 #include "src/common/log.h"
+#include "src/trace/scenarios.h"
+#include "src/trace/trace_stream.h"
+#include "src/trace/trace_writer.h"
 
 #include <algorithm>
 #include <chrono>
@@ -9,29 +12,108 @@
 
 namespace lnuca::hier {
 
+namespace {
+
+std::vector<lane_spec>
+to_lane_specs(const std::vector<wl::workload_profile>& workloads)
+{
+    std::vector<lane_spec> lanes;
+    lanes.reserve(workloads.size());
+    for (const auto& profile : workloads)
+        lanes.push_back({profile, 0});
+    return lanes;
+}
+
+} // namespace
+
 system::system(const system_config& config, const wl::workload_profile& workload,
                std::uint64_t seed)
-    : config_(config), seed_(seed)
+    : system(config, std::vector<lane_spec>{{workload, 0}}, seed)
 {
-    engine_.set_mode(config.engine_mode);
-    if (config_.cores > 1)
-        build_cmp({workload});
-    else
-        build_single(workload);
 }
 
 system::system(const system_config& config,
                const std::vector<wl::workload_profile>& workloads,
                std::uint64_t seed)
+    : system(config, to_lane_specs(workloads), seed)
+{
+}
+
+system::system(const system_config& config, const std::vector<lane_spec>& lanes,
+               std::uint64_t seed)
     : config_(config), seed_(seed)
 {
-    if (workloads.empty())
+    if (lanes.empty())
         throw std::invalid_argument("system: no workloads");
     engine_.set_mode(config.engine_mode);
+    if (!config_.capture_path.empty())
+        capture_ = std::make_unique<trace::trace_writer>(
+            config_.capture_path, lanes.front().profile.name,
+            lanes.front().profile.floating_point,
+            std::max(1u, config_.cores));
     if (config_.cores > 1)
-        build_cmp(workloads);
+        build_cmp(lanes);
     else
-        build_single(workloads.front());
+        build_single(lanes.front());
+}
+
+system::~system()
+{
+    if (capture_) {
+        capture_->set_workload(streams_.front()->profile().name,
+                               streams_.front()->profile().floating_point);
+        capture_->write();
+    }
+}
+
+std::shared_ptr<const trace::trace_data>
+system::trace_source(const wl::workload_profile& profile)
+{
+    const std::string key = !profile.trace_path.empty()
+                                ? "trace:" + profile.trace_path
+                                : "scenario:" + profile.scenario;
+    for (const auto& [cached_key, cached] : trace_cache_)
+        if (cached_key == key)
+            return cached;
+    std::shared_ptr<const trace::trace_data> data;
+    if (!profile.trace_path.empty()) {
+        data = trace::trace_data::open(profile.trace_path);
+    } else {
+        trace::scenario_params params;
+        params.cores = std::max(1u, config_.cores);
+        params.seed = seed_;
+        data = trace::make_scenario(profile.scenario, params);
+    }
+    trace_cache_.emplace_back(key, data);
+    return data;
+}
+
+std::unique_ptr<wl::workload_stream>
+system::make_lane_stream(const lane_spec& spec, unsigned lane)
+{
+    std::unique_ptr<wl::workload_stream> stream;
+    if (!spec.profile.trace_path.empty() || !spec.profile.scenario.empty()) {
+        stream =
+            std::make_unique<trace::trace_stream>(trace_source(spec.profile),
+                                                  lane);
+    } else {
+        // The synthetic seed/region derivations are the frozen pre-trace
+        // formulas: single-core and CMP bit-identity guards depend on them.
+        const addr_t region =
+            spec.region_base != 0
+                ? spec.region_base
+                : 0x10000000 + addr_t(config_.cores > 1 ? lane : 0) *
+                      0x40000000ULL;
+        const std::uint64_t stream_seed =
+            config_.cores > 1 ? rng::split(seed_, 0x5770c0ULL, lane)
+                              : hash64(seed_ ^ hash64(0x5770));
+        stream = std::make_unique<wl::synthetic_stream>(spec.profile,
+                                                        stream_seed, region);
+    }
+    if (capture_)
+        stream = std::make_unique<trace::capture_stream>(std::move(stream),
+                                                         *capture_, lane);
+    return stream;
 }
 
 system::level_set system::levels() const
@@ -138,10 +220,9 @@ mem::mem_port* system::wire_shared_level(mem::mem_client* above)
 // The single-core assembly is byte-for-byte the pre-CMP wiring: same
 // derived seeds, same registration order - the cores=1 bit-identity
 // guard in tests/coh_test.cpp depends on it.
-void system::build_single(const wl::workload_profile& workload)
+void system::build_single(const lane_spec& lane)
 {
-    streams_.push_back(
-        wl::make_stream(workload, hash64(seed_ ^ hash64(0x5770))));
+    streams_.push_back(make_lane_stream(lane, 0));
     cores_.push_back(std::make_unique<cpu::ooo_core>(config_.core,
                                                      *streams_.back(), ids_));
     cpu::ooo_core* core = cores_.back().get();
@@ -168,17 +249,14 @@ void system::build_single(const wl::workload_profile& workload)
 // rng::split(seed, lane-tag, core) with a disjoint data region, so mixes
 // are multiprogrammed (no shared data between cores; sharing is exercised
 // by tests/coh_test.cpp through direct hub workloads).
-void system::build_cmp(const std::vector<wl::workload_profile>& workloads)
+void system::build_cmp(const std::vector<lane_spec>& lanes)
 {
     const unsigned n = config_.cores;
     if (n > mem::max_cores)
         throw std::invalid_argument("system: cores > 32 unsupported");
 
     for (unsigned i = 0; i < n; ++i) {
-        const wl::workload_profile& profile = workloads[i % workloads.size()];
-        const addr_t region = 0x10000000 + addr_t(i) * 0x40000000ULL;
-        streams_.push_back(wl::make_stream(
-            profile, rng::split(seed_, 0x5770c0ULL, i), region));
+        streams_.push_back(make_lane_stream(lanes[i % lanes.size()], i));
         cores_.push_back(std::make_unique<cpu::ooo_core>(
             config_.core, *streams_.back(), ids_));
 
@@ -244,6 +322,9 @@ void system::prewarm()
     // here because its 4K lines are borderline at short windows. With N
     // cores the capacity splits evenly across the per-core streams (each
     // stream owns a disjoint region, so the shares cannot collide).
+    // Streams with no warm table (scenario lanes, traces captured from
+    // them) skip pre-warm: their working sets are small enough to warm
+    // naturally, and there is no hot-window structure to install.
     const std::uint64_t n = streams_.size();
     auto warm_cache = [&](mem::conventional_cache* cache) {
         if (cache == nullptr)
@@ -252,17 +333,23 @@ void system::prewarm()
             cache->tags().size_bytes() / cache->tags().block_bytes();
         const std::uint64_t window =
             lines * cache->tags().block_bytes() / 32 / n; // generator blocks
-        for (const auto& stream : streams_)
+        for (const auto& stream : streams_) {
+            if (stream->warm_block_count() == 0)
+                continue;
             for (std::uint64_t j = window; j-- > 0;)
                 cache->tags().install(stream->warm_block(j), false);
+        }
     };
     warm_cache(l3_.get());
     warm_cache(l2_.get());
     if (dnuca_) {
         const std::uint64_t window = dnuca_->size_bytes() / 32 / n;
-        for (const auto& stream : streams_)
+        for (const auto& stream : streams_) {
+            if (stream->warm_block_count() == 0)
+                continue;
             for (std::uint64_t j = window; j-- > 0;)
                 dnuca_->prewarm(stream->warm_block(j));
+        }
     }
     if (fabric_) {
         // The fabric holds the recency window just beyond the L1's 1024
@@ -270,6 +357,8 @@ void system::prewarm()
         const std::uint64_t l1_blocks = config_.l1.size_bytes / 32;
         const std::uint64_t capacity = fabric_->tile_capacity_bytes() / 32 / n;
         for (const auto& stream : streams_) {
+            if (stream->warm_block_count() == 0)
+                continue;
             std::uint64_t installed = 0;
             for (std::uint64_t j = l1_blocks;
                  installed < capacity && j < l1_blocks + 2 * capacity; ++j)
@@ -308,12 +397,147 @@ struct system::window_totals {
     std::uint64_t loads_l3 = 0;
     std::uint64_t loads_dnuca = 0;
     std::uint64_t loads_memory = 0;
+    std::uint64_t loads_peer = 0;
     std::uint64_t load_latency_weighted = 0; ///< exact Σ latency (histogram)
     std::uint64_t load_latency_count = 0;
     power::energy_inputs energy; ///< event counts summed over windows
                                  ///< (cycles overwritten with the estimate
                                  ///< before compute_energy)
 };
+
+/// Baseline counter values for one measured span; harvest_levels() turns
+/// the snapshot and the post-span counters into window_totals deltas. One
+/// snapshot/delta implementation serves the exact, sampled and CMP drivers.
+struct system::level_snapshot {
+    std::vector<counter_set> l1;
+    counter_set l2, l3, fabric, dnuca, memory;
+    std::uint64_t dn_hops = 0;
+    std::vector<std::uint64_t> fab_hits;
+    std::uint64_t transport_actual = 0;
+    std::uint64_t transport_min = 0;
+};
+
+system::level_snapshot system::snap_levels() const
+{
+    level_snapshot snap;
+    snap.l1.reserve(l1s_.size());
+    for (const auto& l1 : l1s_)
+        snap.l1.push_back(l1->counters());
+    if (l2_)
+        snap.l2 = l2_->counters();
+    if (l3_)
+        snap.l3 = l3_->counters();
+    if (fabric_) {
+        snap.fabric = fabric_->counters();
+        for (unsigned level = 0; level <= config_.fabric.levels; ++level)
+            snap.fab_hits.push_back(fabric_->read_hits_in_level(level));
+        snap.transport_actual = fabric_->transport_actual_cycles();
+        snap.transport_min = fabric_->transport_min_cycles();
+    }
+    if (dnuca_) {
+        snap.dnuca = dnuca_->counters();
+        snap.dn_hops = dnuca_->mesh().flit_hops();
+    }
+    snap.memory = memory_->counters();
+    return snap;
+}
+
+void system::harvest_levels(const level_snapshot& snap, window_totals& totals)
+{
+    if (l2_)
+        totals.l2_read_hits +=
+            counter_delta(l2_->counters(), "read_hit", snap.l2);
+    if (fabric_) {
+        if (totals.fabric_read_hits.empty())
+            totals.fabric_read_hits.assign(config_.fabric.levels + 1, 0);
+        for (unsigned level = 2; level <= config_.fabric.levels; ++level)
+            totals.fabric_read_hits[level] +=
+                fabric_->read_hits_in_level(level) - snap.fab_hits[level];
+        totals.transport_actual +=
+            fabric_->transport_actual_cycles() - snap.transport_actual;
+        totals.transport_min +=
+            fabric_->transport_min_cycles() - snap.transport_min;
+        totals.search_restarts +=
+            counter_delta(fabric_->counters(), "search_restarts", snap.fabric);
+        totals.searches += counter_delta(fabric_->counters(),
+                                         "searches_injected", snap.fabric);
+    }
+
+    power::energy_inputs& in = totals.energy;
+    for (std::size_t i = 0; i < l1s_.size(); ++i)
+        in.l1_accesses +=
+            counter_delta(l1s_[i]->counters(), "accesses", snap.l1[i]);
+    if (l2_) {
+        in.has_l2 = true;
+        in.l2_accesses += counter_delta(l2_->counters(), "accesses", snap.l2);
+    }
+    if (fabric_) {
+        const auto& fc = fabric_->counters();
+        in.fabric_tiles = fabric_->geo().tile_count();
+        in.tile_tag_lookups +=
+            counter_delta(fc, "tile_tag_lookups", snap.fabric);
+        in.tile_data_accesses +=
+            counter_delta(fc, "tile_data_reads", snap.fabric) +
+            counter_delta(fc, "tile_data_writes", snap.fabric);
+        in.transport_hops += counter_delta(fc, "transport_hops", snap.fabric);
+        in.replacement_hops +=
+            counter_delta(fc, "replacement_hops", snap.fabric);
+        in.search_hops +=
+            counter_delta(fc, "search_broadcast_hops", snap.fabric);
+    }
+    if (l3_) {
+        in.has_l3 = true;
+        in.l3_accesses += counter_delta(l3_->counters(), "accesses", snap.l3);
+    }
+    if (dnuca_) {
+        in.dnuca_banks = config_.dnuca.bank_sets * config_.dnuca.rows;
+        in.bank_accesses +=
+            counter_delta(dnuca_->counters(), "bank_lookups", snap.dnuca) +
+            counter_delta(dnuca_->counters(), "bank_writes", snap.dnuca);
+        in.dnuca_flit_hops += dnuca_->mesh().flit_hops() - snap.dn_hops;
+    }
+    in.memory_transfers +=
+        counter_delta(memory_->counters(), "transfers", snap.memory);
+}
+
+void system::harvest_core(cpu::ooo_core& core, window_totals& totals) const
+{
+    totals.loads_l1 += core.loads_served_by(mem::service_level::l1);
+    totals.loads_fabric +=
+        core.loads_served_by(mem::service_level::lnuca_tile);
+    totals.loads_l2 += core.loads_served_by(mem::service_level::l2);
+    totals.loads_l3 += core.loads_served_by(mem::service_level::l3);
+    totals.loads_dnuca += core.loads_served_by(mem::service_level::dnuca);
+    totals.loads_memory += core.loads_served_by(mem::service_level::memory);
+    totals.loads_peer += core.loads_served_by(mem::service_level::peer_l1);
+    totals.load_latency_weighted += core.load_latency().weighted_sum();
+    totals.load_latency_count += core.load_latency().total();
+}
+
+void system::apply_totals(run_result& r, const window_totals& totals) const
+{
+    r.l2_read_hits = totals.l2_read_hits;
+    r.fabric_read_hits = totals.fabric_read_hits;
+    r.transport_actual = totals.transport_actual;
+    r.transport_min = totals.transport_min;
+    r.search_restarts = totals.search_restarts;
+    r.searches = totals.searches;
+    r.loads_l1 = totals.loads_l1;
+    r.loads_fabric = totals.loads_fabric;
+    r.loads_l2 = totals.loads_l2;
+    r.loads_l3 = totals.loads_l3;
+    r.loads_dnuca = totals.loads_dnuca;
+    r.loads_memory = totals.loads_memory;
+    r.loads_peer = totals.loads_peer;
+    r.avg_load_latency =
+        totals.load_latency_count == 0
+            ? 0.0
+            : totals.load_latency_weighted / double(totals.load_latency_count);
+
+    power::energy_inputs in = totals.energy;
+    in.cycles = r.cycles;
+    r.energy = power::compute_energy(in);
+}
 
 run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
 {
@@ -360,26 +584,7 @@ run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
     r.sim_instructions_per_second =
         host_seconds > 0.0 ? double(r.instructions) / host_seconds : 0.0;
 
-    r.l2_read_hits = totals.l2_read_hits;
-    r.fabric_read_hits = totals.fabric_read_hits;
-    r.transport_actual = totals.transport_actual;
-    r.transport_min = totals.transport_min;
-    r.search_restarts = totals.search_restarts;
-    r.searches = totals.searches;
-    r.loads_l1 = totals.loads_l1;
-    r.loads_fabric = totals.loads_fabric;
-    r.loads_l2 = totals.loads_l2;
-    r.loads_l3 = totals.loads_l3;
-    r.loads_dnuca = totals.loads_dnuca;
-    r.loads_memory = totals.loads_memory;
-    r.avg_load_latency =
-        totals.load_latency_count == 0
-            ? 0.0
-            : totals.load_latency_weighted / double(totals.load_latency_count);
-
-    power::energy_inputs in = totals.energy;
-    in.cycles = r.cycles;
-    r.energy = power::compute_energy(in);
+    apply_totals(r, totals);
     return r;
 }
 
@@ -413,25 +618,7 @@ run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
         core->set_instruction_limit(instructions);
     }
 
-    std::vector<counter_set> l1_snaps;
-    l1_snaps.reserve(l1s_.size());
-    for (const auto& l1 : l1s_)
-        l1_snaps.push_back(l1->counters());
-    const counter_set l2_snap = l2_ ? l2_->counters() : counter_set{};
-    const counter_set l3_snap = l3_ ? l3_->counters() : counter_set{};
-    const counter_set fab_snap = fabric_ ? fabric_->counters() : counter_set{};
-    const counter_set dn_snap = dnuca_ ? dnuca_->counters() : counter_set{};
-    const counter_set memory_snap = memory_->counters();
-    const std::uint64_t dn_hops_snap = dnuca_ ? dnuca_->mesh().flit_hops() : 0;
-    std::vector<std::uint64_t> fab_hits_snap;
-    std::uint64_t transport_actual_snap = 0;
-    std::uint64_t transport_min_snap = 0;
-    if (fabric_) {
-        for (unsigned level = 0; level <= config_.fabric.levels; ++level)
-            fab_hits_snap.push_back(fabric_->read_hits_in_level(level));
-        transport_actual_snap = fabric_->transport_actual_cycles();
-        transport_min_snap = fabric_->transport_min_cycles();
-    }
+    const level_snapshot snap = snap_levels();
 
     const cycle_t start = engine_.now();
     const bool finished = engine_.run_until(all_done, max_cycles);
@@ -459,8 +646,7 @@ run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
     for (std::size_t i = 1; i < seen.size(); ++i)
         r.workload_name += "+" + seen[i];
 
-    std::uint64_t load_latency_weighted = 0;
-    std::uint64_t load_latency_count = 0;
+    window_totals totals;
     cycle_t last_finish = start;
     for (auto& core : cores_) {
         const cycle_t fin =
@@ -472,80 +658,18 @@ run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
             cycles_i == 0 ? 0.0
                           : double(core->committed()) / double(cycles_i));
         r.instructions += core->committed();
-        r.loads_l1 += core->loads_served_by(mem::service_level::l1);
-        r.loads_fabric +=
-            core->loads_served_by(mem::service_level::lnuca_tile);
-        r.loads_l2 += core->loads_served_by(mem::service_level::l2);
-        r.loads_l3 += core->loads_served_by(mem::service_level::l3);
-        r.loads_dnuca += core->loads_served_by(mem::service_level::dnuca);
-        r.loads_memory += core->loads_served_by(mem::service_level::memory);
-        r.loads_peer += core->loads_served_by(mem::service_level::peer_l1);
-        load_latency_weighted += core->load_latency().weighted_sum();
-        load_latency_count += core->load_latency().total();
+        harvest_core(*core, totals);
     }
     r.cycles = last_finish + 1 - start;
     r.ipc = r.cycles == 0 ? 0.0 : double(r.instructions) / double(r.cycles);
-    r.avg_load_latency =
-        load_latency_count == 0
-            ? 0.0
-            : load_latency_weighted / double(load_latency_count);
     r.host_seconds = host_seconds;
     r.sim_cycles_per_second =
         host_seconds > 0.0 ? double(r.cycles) / host_seconds : 0.0;
     r.sim_instructions_per_second =
         host_seconds > 0.0 ? double(r.instructions) / host_seconds : 0.0;
 
-    if (l2_)
-        r.l2_read_hits = counter_delta(l2_->counters(), "read_hit", l2_snap);
-    if (fabric_) {
-        r.fabric_read_hits.assign(config_.fabric.levels + 1, 0);
-        for (unsigned level = 2; level <= config_.fabric.levels; ++level)
-            r.fabric_read_hits[level] =
-                fabric_->read_hits_in_level(level) - fab_hits_snap[level];
-        r.transport_actual =
-            fabric_->transport_actual_cycles() - transport_actual_snap;
-        r.transport_min =
-            fabric_->transport_min_cycles() - transport_min_snap;
-        r.search_restarts =
-            counter_delta(fabric_->counters(), "search_restarts", fab_snap);
-        r.searches =
-            counter_delta(fabric_->counters(), "searches_injected", fab_snap);
-    }
-
-    power::energy_inputs in;
-    in.cycles = r.cycles;
-    for (std::size_t i = 0; i < l1s_.size(); ++i)
-        in.l1_accesses +=
-            counter_delta(l1s_[i]->counters(), "accesses", l1_snaps[i]);
-    if (l2_) {
-        in.has_l2 = true;
-        in.l2_accesses = counter_delta(l2_->counters(), "accesses", l2_snap);
-    }
-    if (fabric_) {
-        const auto& fc = fabric_->counters();
-        in.fabric_tiles = fabric_->geo().tile_count();
-        in.tile_tag_lookups = counter_delta(fc, "tile_tag_lookups", fab_snap);
-        in.tile_data_accesses =
-            counter_delta(fc, "tile_data_reads", fab_snap) +
-            counter_delta(fc, "tile_data_writes", fab_snap);
-        in.transport_hops = counter_delta(fc, "transport_hops", fab_snap);
-        in.replacement_hops = counter_delta(fc, "replacement_hops", fab_snap);
-        in.search_hops = counter_delta(fc, "search_broadcast_hops", fab_snap);
-    }
-    if (l3_) {
-        in.has_l3 = true;
-        in.l3_accesses = counter_delta(l3_->counters(), "accesses", l3_snap);
-    }
-    if (dnuca_) {
-        in.dnuca_banks = config_.dnuca.bank_sets * config_.dnuca.rows;
-        in.bank_accesses =
-            counter_delta(dnuca_->counters(), "bank_lookups", dn_snap) +
-            counter_delta(dnuca_->counters(), "bank_writes", dn_snap);
-        in.dnuca_flit_hops = dnuca_->mesh().flit_hops() - dn_hops_snap;
-    }
-    in.memory_transfers =
-        counter_delta(memory_->counters(), "transfers", memory_snap);
-    r.energy = power::compute_energy(in);
+    harvest_levels(snap, totals);
+    apply_totals(r, totals);
     return r;
 }
 
@@ -591,7 +715,6 @@ void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
                               window_totals* totals)
 {
     cpu::ooo_core* core = cores_.front().get();
-    mem::conventional_cache* l1 = l1s_.front().get();
     core->reset_stats();
     if (totals == nullptr) {
         // Warm segment: re-establish pipeline/queue/MSHR occupancy under
@@ -601,22 +724,7 @@ void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
         return;
     }
 
-    const counter_set l1_snap = l1->counters();
-    const counter_set l2_snap = l2_ ? l2_->counters() : counter_set{};
-    const counter_set l3_snap = l3_ ? l3_->counters() : counter_set{};
-    const counter_set fab_snap = fabric_ ? fabric_->counters() : counter_set{};
-    const counter_set dn_snap = dnuca_ ? dnuca_->counters() : counter_set{};
-    const counter_set memory_snap = memory_->counters();
-    const std::uint64_t dn_hops_snap = dnuca_ ? dnuca_->mesh().flit_hops() : 0;
-    std::vector<std::uint64_t> fab_hits_snap;
-    std::uint64_t transport_actual_snap = 0;
-    std::uint64_t transport_min_snap = 0;
-    if (fabric_) {
-        for (unsigned level = 0; level <= config_.fabric.levels; ++level)
-            fab_hits_snap.push_back(fabric_->read_hits_in_level(level));
-        transport_actual_snap = fabric_->transport_actual_cycles();
-        transport_min_snap = fabric_->transport_min_cycles();
-    }
+    const level_snapshot snap = snap_levels();
 
     const cycle_t start = engine_.now();
     core->set_instruction_limit(instructions);
@@ -633,65 +741,8 @@ void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
     totals->window_cpi.push_back(instr == 0 ? 0.0
                                             : double(cycles) / double(instr));
 
-    if (l2_)
-        totals->l2_read_hits +=
-            counter_delta(l2_->counters(), "read_hit", l2_snap);
-    if (fabric_) {
-        if (totals->fabric_read_hits.empty())
-            totals->fabric_read_hits.assign(config_.fabric.levels + 1, 0);
-        for (unsigned level = 2; level <= config_.fabric.levels; ++level)
-            totals->fabric_read_hits[level] +=
-                fabric_->read_hits_in_level(level) - fab_hits_snap[level];
-        totals->transport_actual +=
-            fabric_->transport_actual_cycles() - transport_actual_snap;
-        totals->transport_min +=
-            fabric_->transport_min_cycles() - transport_min_snap;
-        totals->search_restarts +=
-            counter_delta(fabric_->counters(), "search_restarts", fab_snap);
-        totals->searches +=
-            counter_delta(fabric_->counters(), "searches_injected", fab_snap);
-    }
-
-    totals->loads_l1 += core->loads_served_by(mem::service_level::l1);
-    totals->loads_fabric +=
-        core->loads_served_by(mem::service_level::lnuca_tile);
-    totals->loads_l2 += core->loads_served_by(mem::service_level::l2);
-    totals->loads_l3 += core->loads_served_by(mem::service_level::l3);
-    totals->loads_dnuca += core->loads_served_by(mem::service_level::dnuca);
-    totals->loads_memory += core->loads_served_by(mem::service_level::memory);
-    totals->load_latency_weighted += core->load_latency().weighted_sum();
-    totals->load_latency_count += core->load_latency().total();
-
-    power::energy_inputs& in = totals->energy;
-    in.l1_accesses += counter_delta(l1->counters(), "accesses", l1_snap);
-    if (l2_) {
-        in.has_l2 = true;
-        in.l2_accesses += counter_delta(l2_->counters(), "accesses", l2_snap);
-    }
-    if (fabric_) {
-        const auto& fc = fabric_->counters();
-        in.fabric_tiles = fabric_->geo().tile_count();
-        in.tile_tag_lookups += counter_delta(fc, "tile_tag_lookups", fab_snap);
-        in.tile_data_accesses +=
-            counter_delta(fc, "tile_data_reads", fab_snap) +
-            counter_delta(fc, "tile_data_writes", fab_snap);
-        in.transport_hops += counter_delta(fc, "transport_hops", fab_snap);
-        in.replacement_hops += counter_delta(fc, "replacement_hops", fab_snap);
-        in.search_hops += counter_delta(fc, "search_broadcast_hops", fab_snap);
-    }
-    if (l3_) {
-        in.has_l3 = true;
-        in.l3_accesses += counter_delta(l3_->counters(), "accesses", l3_snap);
-    }
-    if (dnuca_) {
-        in.dnuca_banks = config_.dnuca.bank_sets * config_.dnuca.rows;
-        in.bank_accesses +=
-            counter_delta(dnuca_->counters(), "bank_lookups", dn_snap) +
-            counter_delta(dnuca_->counters(), "bank_writes", dn_snap);
-        in.dnuca_flit_hops += dnuca_->mesh().flit_hops() - dn_hops_snap;
-    }
-    in.memory_transfers +=
-        counter_delta(memory_->counters(), "transfers", memory_snap);
+    harvest_levels(snap, *totals);
+    harvest_core(*core, *totals);
 }
 
 run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
@@ -814,6 +865,7 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
     r.loads_l3 = scaled(totals.loads_l3);
     r.loads_dnuca = scaled(totals.loads_dnuca);
     r.loads_memory = scaled(totals.loads_memory);
+    r.loads_peer = scaled(totals.loads_peer);
     r.avg_load_latency =
         totals.load_latency_count == 0
             ? 0.0

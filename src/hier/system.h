@@ -17,6 +17,11 @@
 #include <memory>
 #include <vector>
 
+namespace lnuca::trace {
+class trace_data;
+class trace_writer;
+} // namespace lnuca::trace
+
 namespace lnuca::hier {
 
 /// Everything a bench/table needs from one (config, workload) run.
@@ -80,6 +85,18 @@ struct run_result {
     double sim_instructions_per_second = 0.0;
 };
 
+/// One core's front-end assignment: what to run and where its data lives.
+/// Scenario/trace profiles carry their own addresses and ignore
+/// region_base; synthetic lanes use it to place the data region - two
+/// lanes may name the same base (shared-region overlap), which the
+/// default disjoint layout cannot express.
+struct lane_spec {
+    wl::workload_profile profile;
+    /// 0 selects the default disjoint per-core slot
+    /// (0x10000000 + core * 0x40000000).
+    addr_t region_base = 0;
+};
+
 class system {
 public:
     system(const system_config& config, const wl::workload_profile& workload,
@@ -93,6 +110,15 @@ public:
     system(const system_config& config,
            const std::vector<wl::workload_profile>& workloads,
            std::uint64_t seed);
+
+    /// Full-control construction: core i runs lanes[i % lanes.size()].
+    /// The profile-based constructors forward here with region_base = 0
+    /// (default disjoint layout), so private-lane callers are untouched.
+    system(const system_config& config, const std::vector<lane_spec>& lanes,
+           std::uint64_t seed);
+
+    /// Writes the capture file (config.capture_path), if one was recorded.
+    ~system();
 
     /// Run `warmup` instructions (discarded), then `instructions` measured.
     /// When config.sampling.enabled, the measured span executes as
@@ -119,6 +145,7 @@ public:
 
 private:
     struct window_totals;
+    struct level_snapshot;
 
     /// Which shared-level components this hierarchy kind carries.
     struct level_set {
@@ -129,8 +156,15 @@ private:
     };
     level_set levels() const;
 
-    void build_single(const wl::workload_profile& workload);
-    void build_cmp(const std::vector<wl::workload_profile>& workloads);
+    void build_single(const lane_spec& lane);
+    void build_cmp(const std::vector<lane_spec>& lanes);
+    /// Realise one lane's stream: synthetic generator, trace replay, or
+    /// scenario lane - wrapped for capture when config.capture_path is set.
+    std::unique_ptr<wl::workload_stream> make_lane_stream(const lane_spec& spec,
+                                                          unsigned lane);
+    /// Open/generate (and cache) the trace behind a trace/scenario profile.
+    std::shared_ptr<const trace::trace_data>
+    trace_source(const wl::workload_profile& profile);
     /// Construct the shared level + memory (canonical seed derivations).
     void build_shared_components();
     /// Wire and register the shared level beneath `above` (the lone L1 or
@@ -149,13 +183,26 @@ private:
     /// segment is measured into it (otherwise it only re-warms timing state).
     void detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
                           window_totals* totals);
+    // Counter-snapshot/harvest plumbing shared by the exact, sampled and
+    // CMP drivers (one implementation of the delta arithmetic each).
+    level_snapshot snap_levels() const;
+    void harvest_levels(const level_snapshot& snap, window_totals& totals);
+    void harvest_core(cpu::ooo_core& core, window_totals& totals) const;
+    /// Copy the harvested totals (hit distribution, transport, load service
+    /// levels, latency, energy) into `r`; r.cycles must already be set.
+    void apply_totals(run_result& r, const window_totals& totals) const;
 
     system_config config_;
     std::uint64_t seed_ = 1;
     mem::txn_id_source ids_;
     // Per-core front end: exactly one element in single-core mode (the
     // construction there is byte-for-byte the pre-CMP wiring).
-    std::vector<std::unique_ptr<wl::synthetic_stream>> streams_;
+    std::vector<std::unique_ptr<wl::workload_stream>> streams_;
+    /// Trace/scenario sources behind streams_, keyed by spec - lanes of one
+    /// trace share a single mapping/generation.
+    std::vector<std::pair<std::string, std::shared_ptr<const trace::trace_data>>>
+        trace_cache_;
+    std::unique_ptr<trace::trace_writer> capture_; ///< capture_path only
     std::vector<std::unique_ptr<cpu::ooo_core>> cores_;
     std::vector<std::unique_ptr<mem::conventional_cache>> l1s_;
     std::unique_ptr<coh::coherence_hub> hub_; ///< cores > 1 only

@@ -1,0 +1,96 @@
+// Binary trace format (mmap-able, versioned).
+//
+// Layout (little-endian, all offsets from the start of the file):
+//
+//   file_header              64 bytes: magic, version, record size, lane
+//                            count, flags, workload name
+//   lane_entry[lane_count]   32 bytes each: record/warm-table extents
+//   per-lane payloads        8-byte aligned: trace_record[count] and
+//                            addr_t warm_table[warm_count]
+//
+// A record is a fixed 24-byte image of one cpu::instruction - fixed size
+// keeps the decoder a single load+copy (no varint branches) and lets a
+// lane be mmap-ed and indexed directly. The warm table is the stream's
+// pre-warm address sequence (workload_stream::warm_block), captured so a
+// replay pre-warms the large arrays with exactly the addresses the live
+// run used (bit-identical replay depends on it; see DESIGN.md, "Trace
+// format and scenario library").
+#pragma once
+
+#include "src/common/types.h"
+#include "src/cpu/instruction.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace lnuca::trace {
+
+inline constexpr char k_magic[8] = {'L', 'N', 'T', 'R', 'A', 'C', 'E', '1'};
+inline constexpr std::uint32_t k_version = 1;
+inline constexpr std::uint32_t k_name_bytes = 40;
+inline constexpr std::uint32_t k_max_lanes = 1024;
+
+/// Header flag bits.
+inline constexpr std::uint32_t k_flag_floating_point = 1u << 0;
+
+struct file_header {
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t record_bytes;
+    std::uint32_t lane_count;
+    std::uint32_t flags;
+    char name[k_name_bytes]; ///< NUL-padded workload name
+};
+static_assert(sizeof(file_header) == 64, "trace header layout drifted");
+
+struct lane_entry {
+    std::uint64_t record_offset; ///< bytes from file start, 8-aligned
+    std::uint64_t record_count;  ///< >= 1 (streams are infinite via wrap)
+    std::uint64_t warm_offset;   ///< 0 when warm_count == 0
+    std::uint64_t warm_count;    ///< pre-warm addresses (may be 0)
+};
+static_assert(sizeof(lane_entry) == 32, "trace lane entry layout drifted");
+
+/// One instruction, packed. Natural alignment, no padding surprises: the
+/// decoder reads fields straight out of the mapped file.
+struct trace_record {
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint16_t dep0;
+    std::uint16_t dep1;
+    std::uint8_t op;   ///< cpu::op_class value (validated <= 7 at open)
+    std::uint8_t size; ///< access bytes (loads/stores)
+    std::uint8_t taken;
+    std::uint8_t pad;
+};
+static_assert(sizeof(trace_record) == 24, "trace record layout drifted");
+
+inline trace_record encode(const cpu::instruction& inst)
+{
+    trace_record r;
+    r.pc = inst.pc;
+    r.addr = inst.addr;
+    r.dep0 = std::uint16_t(inst.dep[0]);
+    r.dep1 = std::uint16_t(inst.dep[1]);
+    r.op = std::uint8_t(inst.op);
+    r.size = inst.size;
+    r.taken = inst.taken ? 1 : 0;
+    r.pad = 0;
+    return r;
+}
+
+/// Branch-light decode: straight field copies, no lookups.
+inline cpu::instruction decode(const trace_record& r)
+{
+    cpu::instruction inst;
+    inst.op = cpu::op_class(r.op);
+    inst.pc = r.pc;
+    inst.addr = r.addr;
+    inst.size = r.size;
+    inst.taken = r.taken != 0;
+    inst.dep[0] = r.dep0;
+    inst.dep[1] = r.dep1;
+    return inst;
+}
+
+} // namespace lnuca::trace

@@ -1,0 +1,286 @@
+#include "src/trace/scenarios.h"
+
+#include "src/common/rng.h"
+
+#include <stdexcept>
+
+namespace lnuca::trace {
+
+namespace {
+
+constexpr std::uint32_t k_block_bytes = 32;
+
+addr_t block_addr(addr_t base, std::uint64_t block)
+{
+    return base + block * k_block_bytes;
+}
+
+/// Builds one lane: shared-region touches interleaved with filler
+/// instructions (ALU with geometric-ish dependences, biased branches, and
+/// private-region memory operations) so the cores have real pipeline work
+/// between coherence events.
+class lane_builder {
+public:
+    lane_builder(const scenario_params& params, unsigned lane)
+        : params_(params), rng_(rng::split(params.seed, 0x5ce9a0ULL, lane)),
+          private_base_(0x10000000 + addr_t(lane) * 0x04000000ULL)
+    {
+    }
+
+    void load(addr_t addr) { memory_op(cpu::op_class::load, addr); }
+    void store(addr_t addr) { memory_op(cpu::op_class::store, addr); }
+
+    void load_shared(std::uint64_t block)
+    {
+        load(block_addr(params_.shared_base,
+                        block % params_.shared_blocks));
+    }
+
+    void store_shared(std::uint64_t block)
+    {
+        store(block_addr(params_.shared_base,
+                         block % params_.shared_blocks));
+    }
+
+    /// `count` filler instructions: think-time between shared touches.
+    void filler(std::uint64_t count)
+    {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (rng_.chance(params_.private_fraction)) {
+                const addr_t addr = block_addr(
+                    private_base_, rng_.below(params_.private_blocks));
+                memory_op(rng_.chance(0.25) ? cpu::op_class::store
+                                            : cpu::op_class::load,
+                          addr + 8 * rng_.below(k_block_bytes / 8));
+            } else if (rng_.chance(0.15)) {
+                cpu::instruction inst;
+                inst.op = cpu::op_class::branch;
+                inst.pc = 0x400000 + 4 * 64 * (1 + rng_.below(16));
+                inst.taken = rng_.chance(0.9);
+                inst.dep[0] = dep();
+                push(inst);
+            } else {
+                cpu::instruction inst;
+                inst.op = cpu::op_class::int_alu;
+                inst.dep[0] = dep();
+                if (rng_.chance(0.35))
+                    inst.dep[1] = dep();
+                push(inst);
+            }
+        }
+    }
+
+    std::uint64_t size() const { return records_.size(); }
+    std::vector<trace_record> take() { return std::move(records_); }
+
+private:
+    void memory_op(cpu::op_class op, addr_t addr)
+    {
+        cpu::instruction inst;
+        inst.op = op;
+        inst.addr = addr;
+        inst.size = 8;
+        inst.dep[0] = dep();
+        push(inst);
+    }
+
+    std::uint32_t dep() { return std::uint32_t(1 + rng_.below(8)); }
+
+    void push(cpu::instruction inst)
+    {
+        pc_ += 4;
+        if (inst.pc == 0)
+            inst.pc = pc_;
+        records_.push_back(encode(inst));
+    }
+
+    const scenario_params& params_;
+    rng rng_;
+    addr_t private_base_;
+    addr_t pc_ = 0x400000;
+    std::vector<trace_record> records_;
+};
+
+/// Pad every lane with filler to the longest lane's length, keeping the
+/// relative interleave stable when lanes wrap (streams are infinite).
+std::vector<std::vector<trace_record>>
+equalise(std::vector<lane_builder>& lanes)
+{
+    std::uint64_t longest = 0;
+    for (const lane_builder& lane : lanes)
+        longest = std::max(longest, lane.size());
+    std::vector<std::vector<trace_record>> out;
+    for (lane_builder& lane : lanes) {
+        lane.filler(longest - lane.size());
+        out.push_back(lane.take());
+    }
+    return out;
+}
+
+std::vector<lane_builder> make_builders(const scenario_params& params)
+{
+    std::vector<lane_builder> lanes;
+    lanes.reserve(params.cores);
+    for (unsigned i = 0; i < params.cores; ++i)
+        lanes.emplace_back(params, i);
+    return lanes;
+}
+
+/// Lane 0 writes a phase_len-block chunk per round; every other lane reads
+/// the chunk the producer finished one round earlier - the hand-off keeps
+/// consumer loads landing on peer-dirty lines (c2c forwards, loads_peer).
+std::vector<std::vector<trace_record>>
+producer_consumer(const scenario_params& params)
+{
+    auto lanes = make_builders(params);
+    // One produced round of lead time, so a consumer reaches chunk k while
+    // the producer is already writing chunk k+1 (not racing chunk k).
+    const std::uint64_t round_len =
+        params.phase_len * (1 + params.gap / params.phase_len);
+    for (unsigned lane = 1; lane < params.cores; ++lane)
+        lanes[lane].filler(round_len);
+    for (std::uint64_t round = 0; round < params.rounds; ++round) {
+        const std::uint64_t chunk = std::uint64_t(round) * params.phase_len;
+        for (unsigned b = 0; b < params.phase_len; ++b) {
+            lanes[0].store_shared(chunk + b);
+            lanes[0].filler(params.gap / params.phase_len);
+        }
+        if (round == 0)
+            continue; // nothing produced yet for the consumers
+        const std::uint64_t behind = chunk - params.phase_len;
+        for (unsigned lane = 1; lane < params.cores; ++lane) {
+            for (unsigned b = 0; b < params.phase_len; ++b) {
+                lanes[lane].load_shared(behind + b);
+                lanes[lane].filler(params.gap / params.phase_len);
+            }
+        }
+    }
+    return equalise(lanes);
+}
+
+/// One lock line bounces between cores: each round is acquire (load),
+/// update (store), think time. Lanes are staggered so the line is in a
+/// peer's Modified state at almost every acquire - the canonical
+/// invalidation + cache-to-cache ping-pong.
+std::vector<std::vector<trace_record>>
+ping_pong(const scenario_params& params)
+{
+    auto lanes = make_builders(params);
+    for (unsigned lane = 0; lane < params.cores; ++lane)
+        lanes[lane].filler(std::uint64_t(lane) * params.gap / params.cores);
+    for (std::uint64_t round = 0; round < params.rounds; ++round) {
+        for (unsigned lane = 0; lane < params.cores; ++lane) {
+            lanes[lane].load_shared(0);
+            lanes[lane].store_shared(0);
+            lanes[lane].filler(params.gap);
+        }
+    }
+    return equalise(lanes);
+}
+
+/// Independent per-core counters that happen to share one 32-byte line:
+/// core i read-modify-writes word (i mod 4) of block 0. No data is shared,
+/// yet every store upgrades/invalidates - coherence traffic with zero true
+/// communication.
+std::vector<std::vector<trace_record>>
+false_sharing(const scenario_params& params)
+{
+    auto lanes = make_builders(params);
+    for (unsigned lane = 0; lane < params.cores; ++lane)
+        lanes[lane].filler(std::uint64_t(lane) * params.gap / params.cores);
+    for (std::uint64_t round = 0; round < params.rounds; ++round) {
+        for (unsigned lane = 0; lane < params.cores; ++lane) {
+            const addr_t word =
+                params.shared_base + 8 * (lane % (k_block_bytes / 8));
+            lanes[lane].load(word);
+            lanes[lane].store(word);
+            lanes[lane].filler(params.gap);
+        }
+    }
+    return equalise(lanes);
+}
+
+/// A phase_len-block data structure traverses the cores in turn, each
+/// read-modify-writing every block - migratory ownership, all misses
+/// served dirty cache-to-cache once warmed.
+std::vector<std::vector<trace_record>>
+migratory(const scenario_params& params)
+{
+    auto lanes = make_builders(params);
+    for (unsigned lane = 0; lane < params.cores; ++lane)
+        lanes[lane].filler(std::uint64_t(lane) * params.gap);
+    for (std::uint64_t round = 0; round < params.rounds; ++round) {
+        for (unsigned lane = 0; lane < params.cores; ++lane) {
+            for (unsigned b = 0; b < params.phase_len; ++b) {
+                lanes[lane].load_shared(b);
+                lanes[lane].store_shared(b);
+            }
+            lanes[lane].filler(params.gap);
+        }
+    }
+    return equalise(lanes);
+}
+
+/// Read-only sharing: every core streams loads over the same shared
+/// region. Lines settle into Shared everywhere; the hub serves peer reads
+/// without invalidations - the control case against false_sharing.
+std::vector<std::vector<trace_record>>
+shared_read(const scenario_params& params)
+{
+    auto lanes = make_builders(params);
+    for (unsigned lane = 0; lane < params.cores; ++lane)
+        lanes[lane].filler(std::uint64_t(lane) * params.gap / params.cores);
+    for (std::uint64_t round = 0; round < params.rounds; ++round) {
+        for (unsigned lane = 0; lane < params.cores; ++lane) {
+            for (unsigned b = 0; b < params.phase_len; ++b)
+                lanes[lane].load_shared(round * params.phase_len + b);
+            lanes[lane].filler(params.gap);
+        }
+    }
+    return equalise(lanes);
+}
+
+} // namespace
+
+const std::vector<std::string>& scenario_names()
+{
+    static const std::vector<std::string> names = {
+        "producer_consumer", "ping_pong", "false_sharing", "migratory",
+        "shared_read",
+    };
+    return names;
+}
+
+bool is_scenario(const std::string& name)
+{
+    for (const std::string& candidate : scenario_names())
+        if (candidate == name)
+            return true;
+    return false;
+}
+
+std::shared_ptr<trace_data> make_scenario(const std::string& name,
+                                          const scenario_params& params)
+{
+    if (params.cores == 0 || params.rounds == 0 || params.phase_len == 0 ||
+        params.shared_blocks == 0)
+        throw std::invalid_argument(
+            "scenario: cores/rounds/phase_len/shared_blocks must be >= 1");
+    std::vector<std::vector<trace_record>> lanes;
+    if (name == "producer_consumer")
+        lanes = producer_consumer(params);
+    else if (name == "ping_pong")
+        lanes = ping_pong(params);
+    else if (name == "false_sharing")
+        lanes = false_sharing(params);
+    else if (name == "migratory")
+        lanes = migratory(params);
+    else if (name == "shared_read")
+        lanes = shared_read(params);
+    else
+        throw std::invalid_argument("unknown scenario '" + name + "'");
+    return trace_data::from_lanes("scenario:" + name, /*floating_point=*/false,
+                                  std::move(lanes));
+}
+
+} // namespace lnuca::trace

@@ -1,0 +1,142 @@
+#include "src/trace/trace_data.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace lnuca::trace {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what)
+{
+    throw std::runtime_error("trace '" + path + "': " + what);
+}
+
+} // namespace
+
+std::shared_ptr<trace_data> trace_data::open(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fail(path, "cannot open");
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < off_t(sizeof(file_header))) {
+        ::close(fd);
+        fail(path, "not a trace file (too small)");
+    }
+    const std::size_t bytes = std::size_t(st.st_size);
+    void* map = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (map == MAP_FAILED)
+        fail(path, "mmap failed");
+
+    auto data = std::shared_ptr<trace_data>(new trace_data);
+    data->map_ = map;
+    data->map_bytes_ = bytes;
+
+    const char* base = static_cast<const char*>(map);
+    file_header header;
+    std::memcpy(&header, base, sizeof header);
+    if (std::memcmp(header.magic, k_magic, sizeof k_magic) != 0)
+        fail(path, "bad magic");
+    if (header.version != k_version)
+        fail(path, "unsupported version " + std::to_string(header.version));
+    if (header.record_bytes != sizeof(trace_record))
+        fail(path, "record size mismatch");
+    if (header.lane_count == 0 || header.lane_count > k_max_lanes)
+        fail(path, "lane count " + std::to_string(header.lane_count) +
+                       " out of range");
+    header.name[k_name_bytes - 1] = '\0';
+    data->name_ = header.name;
+    data->floating_point_ = (header.flags & k_flag_floating_point) != 0;
+
+    const std::size_t table_end =
+        sizeof(file_header) + std::size_t(header.lane_count) * sizeof(lane_entry);
+    if (table_end > bytes)
+        fail(path, "truncated lane table");
+
+    for (std::uint32_t i = 0; i < header.lane_count; ++i) {
+        lane_entry entry;
+        std::memcpy(&entry, base + sizeof(file_header) + i * sizeof(lane_entry),
+                    sizeof entry);
+        const std::string lane_tag = "lane " + std::to_string(i);
+        if (entry.record_count == 0)
+            fail(path, lane_tag + " is empty");
+        if (entry.record_offset % alignof(trace_record) != 0 ||
+            entry.record_offset < table_end ||
+            entry.record_offset + entry.record_count * sizeof(trace_record) >
+                bytes)
+            fail(path, lane_tag + " records out of bounds");
+        if (entry.warm_count != 0 &&
+            (entry.warm_offset % alignof(addr_t) != 0 ||
+             entry.warm_offset < table_end ||
+             entry.warm_offset + entry.warm_count * sizeof(addr_t) > bytes))
+            fail(path, lane_tag + " warm table out of bounds");
+
+        lane_view view;
+        view.records = reinterpret_cast<const trace_record*>(
+            base + entry.record_offset);
+        view.record_count = entry.record_count;
+        if (entry.warm_count != 0) {
+            view.warm = reinterpret_cast<const addr_t*>(base + entry.warm_offset);
+            view.warm_count = entry.warm_count;
+        }
+        // Validate every op code once here so decode stays branch-light.
+        for (std::uint64_t r = 0; r < view.record_count; ++r)
+            if (view.records[r].op > std::uint8_t(cpu::op_class::branch))
+                fail(path, lane_tag + " record " + std::to_string(r) +
+                               " has invalid op " +
+                               std::to_string(view.records[r].op));
+        data->lanes_.push_back(view);
+    }
+    return data;
+}
+
+std::shared_ptr<trace_data>
+trace_data::from_lanes(std::string name, bool floating_point,
+                       std::vector<std::vector<trace_record>> lanes,
+                       std::vector<std::vector<addr_t>> warm)
+{
+    if (lanes.empty())
+        throw std::invalid_argument("trace_data: no lanes");
+    auto data = std::shared_ptr<trace_data>(new trace_data);
+    data->name_ = std::move(name);
+    data->floating_point_ = floating_point;
+    data->owned_ = std::move(lanes);
+    data->owned_warm_ = std::move(warm);
+    for (std::size_t i = 0; i < data->owned_.size(); ++i) {
+        const auto& records = data->owned_[i];
+        if (records.empty())
+            throw std::invalid_argument("trace_data: lane " +
+                                        std::to_string(i) + " is empty");
+        lane_view view;
+        view.records = records.data();
+        view.record_count = records.size();
+        if (i < data->owned_warm_.size() && !data->owned_warm_[i].empty()) {
+            view.warm = data->owned_warm_[i].data();
+            view.warm_count = data->owned_warm_[i].size();
+        }
+        data->lanes_.push_back(view);
+    }
+    return data;
+}
+
+trace_data::~trace_data()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, map_bytes_);
+}
+
+std::uint64_t trace_data::total_records() const
+{
+    std::uint64_t total = 0;
+    for (const lane_view& lane : lanes_)
+        total += lane.record_count;
+    return total;
+}
+
+} // namespace lnuca::trace

@@ -1,0 +1,59 @@
+// Immutable, validated trace storage: either an mmap-ed trace file or an
+// in-memory lane set (scenario generator output, tests). trace_stream
+// views index straight into this storage - opening validates the whole
+// file once so the per-instruction decode path carries no checks.
+#pragma once
+
+#include "src/trace/format.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lnuca::trace {
+
+class trace_data {
+public:
+    struct lane_view {
+        const trace_record* records = nullptr;
+        std::uint64_t record_count = 0;
+        const addr_t* warm = nullptr;
+        std::uint64_t warm_count = 0;
+    };
+
+    /// mmap `path` and validate header, lane table, bounds, and every
+    /// record's op code. Throws std::runtime_error naming the defect.
+    static std::shared_ptr<trace_data> open(const std::string& path);
+
+    /// Adopt in-memory lanes (scenario generator, tests). `warm` may be
+    /// empty or per-lane; every lane needs at least one record.
+    static std::shared_ptr<trace_data>
+    from_lanes(std::string name, bool floating_point,
+               std::vector<std::vector<trace_record>> lanes,
+               std::vector<std::vector<addr_t>> warm = {});
+
+    ~trace_data();
+    trace_data(const trace_data&) = delete;
+    trace_data& operator=(const trace_data&) = delete;
+
+    unsigned lane_count() const { return unsigned(lanes_.size()); }
+    const lane_view& lane(unsigned i) const { return lanes_[i]; }
+    const std::string& name() const { return name_; }
+    bool floating_point() const { return floating_point_; }
+    std::uint64_t total_records() const;
+
+private:
+    trace_data() = default;
+
+    std::string name_;
+    bool floating_point_ = false;
+    std::vector<lane_view> lanes_;
+
+    // Backing storage: exactly one of the two is populated.
+    void* map_ = nullptr; ///< mmap base (file-backed)
+    std::size_t map_bytes_ = 0;
+    std::vector<std::vector<trace_record>> owned_; ///< in-memory lanes
+    std::vector<std::vector<addr_t>> owned_warm_;
+};
+
+} // namespace lnuca::trace

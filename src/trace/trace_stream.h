@@ -1,0 +1,69 @@
+// Zero-allocation trace replay stream. Construction pins one lane of a
+// validated trace_data and synthesises a workload_profile from the file
+// header; after that, next() is a single indexed load + field copy (the
+// whole file was validated at open, so the executed-cycle path carries no
+// checks and no allocation - the micro_hotpath gate holds it to that).
+#pragma once
+
+#include "src/trace/trace_data.h"
+#include "src/workloads/stream.h"
+
+#include <memory>
+#include <utility>
+
+namespace lnuca::trace {
+
+class trace_stream final : public wl::workload_stream {
+public:
+    /// Replay lane `lane` of `data`. Lane indices wrap modulo the lane
+    /// count, so a 2-lane trace drives a 4-core system (cores 2 and 3
+    /// re-run lanes 0 and 1 from their own private position).
+    trace_stream(std::shared_ptr<const trace_data> data, unsigned lane)
+        : data_(std::move(data))
+    {
+        const trace_data::lane_view& view =
+            data_->lane(lane % data_->lane_count());
+        records_ = view.records;
+        count_ = view.record_count;
+        warm_ = view.warm;
+        warm_count_ = view.warm_count;
+        profile_.name = data_->name();
+        profile_.floating_point = data_->floating_point();
+    }
+
+    /// Streams are infinite: the lane wraps at its end.
+    cpu::instruction next() override
+    {
+        const trace_record& r = records_[pos_];
+        if (++pos_ == count_)
+            pos_ = 0;
+        return decode(r);
+    }
+
+    /// Every field is already materialised in the record, so the
+    /// fast-forward variant is the full decode - trivially bit-exact
+    /// positioning.
+    cpu::instruction warm_next() override { return next(); }
+
+    const wl::workload_profile& profile() const override { return profile_; }
+
+    addr_t warm_block(std::uint64_t backward) const override
+    {
+        return warm_count_ != 0 ? warm_[backward % warm_count_] : 0;
+    }
+
+    std::uint64_t warm_block_count() const override { return warm_count_; }
+
+    std::uint64_t position() const { return pos_; }
+
+private:
+    std::shared_ptr<const trace_data> data_; ///< keeps the mapping alive
+    const trace_record* records_ = nullptr;
+    std::uint64_t count_ = 0;
+    std::uint64_t pos_ = 0;
+    const addr_t* warm_ = nullptr;
+    std::uint64_t warm_count_ = 0;
+    wl::workload_profile profile_;
+};
+
+} // namespace lnuca::trace

@@ -1,0 +1,89 @@
+#include "src/trace/trace_writer.h"
+
+#include "src/common/log.h"
+
+#include <cstdio>
+
+namespace lnuca::trace {
+
+namespace {
+
+constexpr std::uint64_t align8(std::uint64_t offset)
+{
+    return (offset + 7) & ~std::uint64_t(7);
+}
+
+} // namespace
+
+trace_writer::trace_writer(std::string path, std::string name,
+                           bool floating_point, unsigned lane_count)
+    : path_(std::move(path)), name_(std::move(name)),
+      floating_point_(floating_point), lanes_(lane_count), warm_(lane_count)
+{
+}
+
+bool trace_writer::write() const
+{
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        if (lanes_[i].empty()) {
+            LNUCA_WARN("trace capture '", path_, "': lane ", i,
+                       " captured no instructions; not writing");
+            return false;
+        }
+    }
+
+    file_header header = {};
+    std::memcpy(header.magic, k_magic, sizeof k_magic);
+    header.version = k_version;
+    header.record_bytes = sizeof(trace_record);
+    header.lane_count = std::uint32_t(lanes_.size());
+    header.flags = floating_point_ ? k_flag_floating_point : 0;
+    std::snprintf(header.name, k_name_bytes, "%s", name_.c_str());
+
+    std::vector<lane_entry> table(lanes_.size());
+    std::uint64_t offset =
+        sizeof(file_header) + lanes_.size() * sizeof(lane_entry);
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        offset = align8(offset);
+        table[i].record_offset = offset;
+        table[i].record_count = lanes_[i].size();
+        offset += lanes_[i].size() * sizeof(trace_record);
+        offset = align8(offset);
+        table[i].warm_offset = warm_[i].empty() ? 0 : offset;
+        table[i].warm_count = warm_[i].size();
+        offset += warm_[i].size() * sizeof(addr_t);
+    }
+
+    std::FILE* file = std::fopen(path_.c_str(), "wb");
+    if (file == nullptr) {
+        LNUCA_WARN("trace capture: cannot open '", path_, "' for writing");
+        return false;
+    }
+    bool ok = std::fwrite(&header, sizeof header, 1, file) == 1 &&
+              std::fwrite(table.data(), sizeof(lane_entry), table.size(),
+                          file) == table.size();
+    std::uint64_t written =
+        sizeof(file_header) + lanes_.size() * sizeof(lane_entry);
+    const std::uint64_t zero = 0;
+    for (std::size_t i = 0; ok && i < lanes_.size(); ++i) {
+        const std::uint64_t pad = align8(written) - written;
+        ok = ok && (pad == 0 || std::fwrite(&zero, 1, pad, file) == pad);
+        ok = ok && std::fwrite(lanes_[i].data(), sizeof(trace_record),
+                               lanes_[i].size(), file) == lanes_[i].size();
+        written = align8(written) + lanes_[i].size() * sizeof(trace_record);
+        if (!warm_[i].empty()) {
+            const std::uint64_t wpad = align8(written) - written;
+            ok = ok &&
+                 (wpad == 0 || std::fwrite(&zero, 1, wpad, file) == wpad);
+            ok = ok && std::fwrite(warm_[i].data(), sizeof(addr_t),
+                                   warm_[i].size(), file) == warm_[i].size();
+            written = align8(written) + warm_[i].size() * sizeof(addr_t);
+        }
+    }
+    ok = std::fclose(file) == 0 && ok;
+    if (!ok)
+        LNUCA_WARN("trace capture: short write to '", path_, "'");
+    return ok;
+}
+
+} // namespace lnuca::trace

@@ -1,0 +1,126 @@
+// Trace capture: trace_writer accumulates per-lane records and emits the
+// binary format of format.h; capture_stream is a transparent decorator that
+// records every instruction a live stream hands out (next() and warm_next()
+// alike, so a capture under sampled execution still serialises the exact
+// consumed sequence) plus the stream's pre-warm table, snapshotted at
+// construction - the state a replay needs to pre-warm bit-identically.
+#pragma once
+
+#include "src/trace/format.h"
+#include "src/workloads/stream.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lnuca::trace {
+
+/// Cap on the captured pre-warm table. Larger than the deepest backward
+/// index any shipped hierarchy pre-warms (8 MB / 32 B = 2^18 blocks), so
+/// truncation never changes a replay; bounds the table for the huge
+/// synthetic footprints, whose warm sequence wraps with exactly this
+/// modulo anyway (warm_block_count() is the period).
+inline constexpr std::uint64_t k_max_warm_entries = 1ull << 19;
+
+class trace_writer {
+public:
+    trace_writer(std::string path, std::string name, bool floating_point,
+                 unsigned lane_count);
+
+    void append(unsigned lane, const cpu::instruction& inst)
+    {
+        lanes_[lane].push_back(encode(inst));
+    }
+
+    /// Copy an already-encoded record (trace_tool gen: serialising an
+    /// in-memory scenario lane set without a decode/encode round trip).
+    void append_raw(unsigned lane, const trace_record& record)
+    {
+        lanes_[lane].push_back(record);
+    }
+
+    void set_warm_table(unsigned lane, std::vector<addr_t> warm)
+    {
+        warm_[lane] = std::move(warm);
+    }
+
+    /// Re-label the capture once the lanes' resolved profiles are known
+    /// (the replay takes name/floating_point from the header, so run
+    /// labels match the captured run).
+    void set_workload(std::string name, bool floating_point)
+    {
+        name_ = std::move(name);
+        floating_point_ = floating_point;
+    }
+
+    /// Emit the file. Returns false (after LNUCA_WARN) on I/O failure or if
+    /// any lane captured no records - a trace with an empty lane could not
+    /// replay (streams are infinite via wrap).
+    bool write() const;
+
+    const std::string& path() const { return path_; }
+    std::uint64_t records(unsigned lane) const { return lanes_[lane].size(); }
+
+private:
+    std::string path_;
+    std::string name_;
+    bool floating_point_ = false;
+    std::vector<std::vector<trace_record>> lanes_;
+    std::vector<std::vector<addr_t>> warm_;
+};
+
+/// Wraps the stream a core consumes and mirrors everything into `writer`
+/// lane `lane`. The writer must outlive the stream.
+class capture_stream final : public wl::workload_stream {
+public:
+    capture_stream(std::unique_ptr<wl::workload_stream> inner,
+                   trace_writer& writer, unsigned lane)
+        : inner_(std::move(inner)), writer_(writer), lane_(lane)
+    {
+        const std::uint64_t count =
+            std::min(inner_->warm_block_count(), k_max_warm_entries);
+        if (count != 0) {
+            std::vector<addr_t> warm(count);
+            for (std::uint64_t j = 0; j < count; ++j)
+                warm[j] = inner_->warm_block(j);
+            writer_.set_warm_table(lane_, std::move(warm));
+        }
+    }
+
+    cpu::instruction next() override
+    {
+        const cpu::instruction inst = inner_->next();
+        writer_.append(lane_, inst);
+        return inst;
+    }
+
+    cpu::instruction warm_next() override
+    {
+        const cpu::instruction inst = inner_->warm_next();
+        writer_.append(lane_, inst);
+        return inst;
+    }
+
+    const wl::workload_profile& profile() const override
+    {
+        return inner_->profile();
+    }
+
+    addr_t warm_block(std::uint64_t backward) const override
+    {
+        return inner_->warm_block(backward);
+    }
+
+    std::uint64_t warm_block_count() const override
+    {
+        return inner_->warm_block_count();
+    }
+
+private:
+    std::unique_ptr<wl::workload_stream> inner_;
+    trace_writer& writer_;
+    unsigned lane_;
+};
+
+} // namespace lnuca::trace

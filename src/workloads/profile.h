@@ -39,6 +39,15 @@ struct workload_profile {
     std::string name;
     bool floating_point = false;
 
+    // --- Source override ---------------------------------------------------
+    /// When either is non-empty the profile is realised by trace replay
+    /// instead of the synthetic generator: `trace_path` replays a captured
+    /// binary trace file, `scenario` generates the named shared-memory
+    /// scenario (src/trace/scenarios.h). The generator knobs below are
+    /// then ignored; name/floating_point come from the trace itself.
+    std::string trace_path;
+    std::string scenario;
+
     instruction_mix mix;
 
     // --- Temporal locality -------------------------------------------------

@@ -1,0 +1,37 @@
+// Workload-facing extension of cpu::instruction_stream: every front-end
+// source the hierarchy driver can run (synthetic generators, binary trace
+// replays, scenario lanes) exposes its profile and an optional pre-warm
+// address table, so hier::system composes with any of them - including the
+// PR 4 sampled fidelity, whose fast-forward path calls warm_next().
+#pragma once
+
+#include "src/common/types.h"
+#include "src/cpu/instruction.h"
+#include "src/workloads/profile.h"
+
+#include <cstdint>
+
+namespace lnuca::wl {
+
+class workload_stream : public cpu::instruction_stream {
+public:
+    /// The profile this stream realises (name/floating_point label the run;
+    /// trace streams synthesise one from the file header).
+    virtual const workload_profile& profile() const = 0;
+
+    /// Address of the block `backward` distinct allocations behind the hot
+    /// end of the working set - hier::system::prewarm() installs these into
+    /// the large arrays, substituting for the paper's 200M-instruction
+    /// warm-up. The sequence is periodic in `backward` with period
+    /// warm_block_count(), so a capture of one period replays any prewarm
+    /// depth exactly (src/trace/trace_writer.h).
+    virtual addr_t warm_block(std::uint64_t backward) const = 0;
+
+    /// Period of the pre-warm sequence. 0 disables pre-warm for this stream
+    /// (scenario lanes and hand-built traces warm naturally); synthetic
+    /// generators return their footprint (the sliding window wraps modulo
+    /// it).
+    virtual std::uint64_t warm_block_count() const = 0;
+};
+
+} // namespace lnuca::wl

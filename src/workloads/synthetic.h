@@ -11,15 +11,15 @@
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
-#include "src/cpu/instruction.h"
 #include "src/workloads/profile.h"
+#include "src/workloads/stream.h"
 
 #include <memory>
 #include <vector>
 
 namespace lnuca::wl {
 
-class synthetic_stream final : public cpu::instruction_stream {
+class synthetic_stream final : public workload_stream {
 public:
     /// `region_base` places the workload's data region. Multiprogrammed
     /// CMP runs give each core a disjoint base (private address spaces);
@@ -33,12 +33,23 @@ public:
     /// during fast-forward) - about 2x faster, bit-exact stream positioning.
     cpu::instruction warm_next() override;
 
-    const workload_profile& profile() const { return profile_; }
+    const workload_profile& profile() const override { return profile_; }
 
     /// Address of the block `backward` distinct allocations behind the
     /// current frontier; lets a system pre-warm large arrays with the hot
     /// window (substituting for the paper's 200M-instruction warm-up).
-    addr_t warm_block(std::uint64_t backward) const { return block_at(backward); }
+    addr_t warm_block(std::uint64_t backward) const override
+    {
+        return block_at(backward);
+    }
+
+    /// The warm sequence is periodic with the footprint: block_at wraps
+    /// modulo footprint_blocks, so a table of this many entries reproduces
+    /// warm_block(j) for every j (trace capture relies on it).
+    std::uint64_t warm_block_count() const override
+    {
+        return profile_.footprint_blocks;
+    }
 
 private:
     addr_t pick_address();

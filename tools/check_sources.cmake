@@ -10,6 +10,7 @@
 #                       add_executable
 #   tests/*.cpp         stem must appear in LNUCA_TESTS
 #   examples/*.cpp      stem must appear in LNUCA_EXAMPLES
+#   tools/*.cpp         stem must appear in LNUCA_TOOLS
 cmake_minimum_required(VERSION 3.16)
 
 get_filename_component(repo_root "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
@@ -25,7 +26,8 @@ foreach(source IN LISTS core_sources)
   endif()
 endforeach()
 
-foreach(pair "bench;LNUCA_BENCHES" "tests;LNUCA_TESTS" "examples;LNUCA_EXAMPLES")
+foreach(pair "bench;LNUCA_BENCHES" "tests;LNUCA_TESTS" "examples;LNUCA_EXAMPLES"
+             "tools;LNUCA_TOOLS")
   list(GET pair 0 dir)
   list(GET pair 1 listname)
   file(GLOB dir_sources RELATIVE "${repo_root}" "${repo_root}/${dir}/*.cpp")
