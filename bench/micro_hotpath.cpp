@@ -210,6 +210,24 @@ int run_gate()
                     allocations == 0 ? "OK" : "FAIL");
         if (allocations != 0)
             ++failures;
+
+        // The fabric's downstream overflow ring is pre-sized from config;
+        // reaching the configured depth means the ring would have regrown
+        // (a hot-path allocation) before the backpressure bound landed.
+        // Gate the high-water mark strictly below the depth in steady
+        // state, alongside the allocation count it protects.
+        if (const fabric::lnuca_cache* fab = sys.fabric()) {
+            const std::uint64_t high_water =
+                fab->counters().get("downstream_queue_high_water");
+            const std::uint64_t depth = fab->config().downstream_queue_depth;
+            std::printf("hotpath gate: %-12s downstream queue high-water "
+                        "%llu / depth %llu -> %s\n",
+                        c.name, (unsigned long long)high_water,
+                        (unsigned long long)depth,
+                        high_water < depth ? "OK" : "FAIL");
+            if (high_water >= depth)
+                ++failures;
+        }
     }
     return failures;
 }

@@ -11,6 +11,15 @@
 // |IPC error| exceeds --max-error-pct (default 3%) or the median speedup
 // falls below --min-speedup (default 5x). This is a plain binary (no
 // google-benchmark) so the gate runs everywhere.
+//
+// A second section gates sampled CMP the same way: cores {2,4} x
+// {L2-256KB, LN3} against the dense CMP reference, over both the private
+// "mix" lanes and the sharing-heavy scenario:producer_consumer lane set
+// (warm MESI must keep directory/permission state exact for the latter to
+// estimate well). CMP rows run a shorter per-core budget (--cmp-
+// instructions) with a denser window spec (--cmp-sampling) and report
+// median_abs_error_pct_cmp / median_speedup_cmp, gated against
+// --cmp-max-error-pct / --cmp-min-speedup.
 #include "src/lnuca.h"
 
 #include <algorithm>
@@ -64,6 +73,7 @@ wl::workload_profile stream_profile()
 struct sample_point {
     std::string config;
     std::string workload;
+    unsigned cores = 1;
     double reference_ipc = 0.0;
     double sampled_ipc = 0.0;
     double ipc_ci95 = 0.0;
@@ -114,10 +124,25 @@ int main(int argc, char** argv)
         args.get_string("sampling", "periodic:6000:625000:3000");
     const double max_error_pct = args.get_double("max-error-pct", 3.0);
     const double min_speedup = args.get_double("min-speedup", 5.0);
+    // CMP section: shorter per-core budget (every core retires it, and the
+    // dense reference pays cores x the single-core cost) with a
+    // proportionally denser window spec (~13 windows).
+    const std::uint64_t cmp_instructions =
+        args.get_u64("cmp-instructions", 2'000'000);
+    const std::string cmp_spec =
+        args.get_string("cmp-sampling", "periodic:6000:150000:3000");
+    const double cmp_max_error_pct = args.get_double("cmp-max-error-pct", 3.0);
+    const double cmp_min_speedup = args.get_double("cmp-min-speedup", 5.0);
 
     const auto sampling = hier::parse_sampling_spec(spec);
     if (!sampling || !sampling->enabled) {
         std::fprintf(stderr, "invalid --sampling spec '%s'\n", spec.c_str());
+        return 2;
+    }
+    const auto cmp_sampling = hier::parse_sampling_spec(cmp_spec);
+    if (!cmp_sampling || !cmp_sampling->enabled) {
+        std::fprintf(stderr, "invalid --cmp-sampling spec '%s'\n",
+                     cmp_spec.c_str());
         return 2;
     }
 
@@ -195,22 +220,109 @@ int main(int argc, char** argv)
                 median_error, max_error_pct, median_speedup, min_speedup,
                 covered, points.size());
 
+    // --- Sampled CMP: warm MESI fast-forward vs the dense CMP reference. ---
+    const std::vector<hier::system_config> cmp_bases{
+        hier::presets::l2_256kb(), hier::presets::lnuca_l3(3)};
+    const unsigned cmp_core_counts[] = {2, 4};
+    std::vector<wl::workload_profile> cmp_workloads{mix_profile()};
+    {
+        // Sharing-heavy lane set: each core runs its lane of the scenario,
+        // so the fast-forward path exercises real invalidation/downgrade
+        // traffic between windows.
+        auto pc = trace::parse_workload_spec("scenario:producer_consumer");
+        if (!pc) {
+            std::fprintf(stderr,
+                         "scenario:producer_consumer unavailable\n");
+            return 2;
+        }
+        cmp_workloads.push_back(*pc);
+    }
+
+    std::vector<sample_point> cmp_points;
+    std::size_t cmp_cell = 0;
+    for (const auto& base : cmp_bases) {
+        for (const unsigned n_cores : cmp_core_counts) {
+            const hier::system_config cmp_base =
+                hier::presets::cmp(base, n_cores);
+            for (const auto& workload : cmp_workloads) {
+                sample_point p;
+                p.config = cmp_base.name;
+                p.workload = workload.name;
+                p.cores = n_cores;
+                // Seed lanes disjoint from the single-core cells above
+                // (plane 1 vs plane 0).
+                const std::uint64_t cell_seed =
+                    rng::split(seed, cmp_cell++, 0, 1);
+
+                hier::system_config reference = cmp_base;
+                reference.engine_mode = sim::schedule_mode::dense;
+                hier::run_result ref;
+                p.reference_seconds =
+                    timed_run(reference, workload, cmp_instructions, warmup,
+                              cell_seed, ref);
+                p.reference_ipc = ref.ipc;
+
+                hier::system_config sampled = cmp_base; // idle_skip windows
+                sampled.sampling = *cmp_sampling;
+                hier::run_result est;
+                p.sampled_seconds = timed_run(sampled, workload,
+                                              cmp_instructions, warmup,
+                                              cell_seed, est);
+                hier::run_result est2;
+                p.sampled_seconds =
+                    std::min(p.sampled_seconds,
+                             timed_run(sampled, workload, cmp_instructions,
+                                       warmup, cell_seed, est2));
+                p.sampled_ipc = est.ipc;
+                p.ipc_ci95 = est.ipc_ci95;
+                p.windows = est.sampled_windows;
+                p.abs_error_pct =
+                    ref.ipc == 0.0
+                        ? 0.0
+                        : 100.0 * std::abs(est.ipc - ref.ipc) / ref.ipc;
+                p.ci_covers_reference =
+                    std::abs(est.ipc - ref.ipc) <= est.ipc_ci95;
+                p.speedup = p.sampled_seconds > 0.0
+                                ? p.reference_seconds / p.sampled_seconds
+                                : 0.0;
+                cmp_points.push_back(p);
+
+                std::printf(
+                    "%-13s %-17s ref %.3f  sampled %.3f ±%.3f (%2" PRIu64
+                    "w)  |err| %5.2f%%  ci %s  speedup %6.1fx\n",
+                    p.config.c_str(), p.workload.c_str(), p.reference_ipc,
+                    p.sampled_ipc, p.ipc_ci95, p.windows, p.abs_error_pct,
+                    p.ci_covers_reference ? "covers" : "MISSES", p.speedup);
+            }
+        }
+    }
+
+    std::vector<double> cmp_errors, cmp_speedups;
+    std::size_t cmp_covered = 0;
+    for (const auto& p : cmp_points) {
+        cmp_errors.push_back(p.abs_error_pct);
+        cmp_speedups.push_back(p.speedup);
+        cmp_covered += p.ci_covers_reference ? 1 : 0;
+    }
+    const double median_error_cmp = median(cmp_errors);
+    const double median_speedup_cmp = median(cmp_speedups);
+    std::printf("CMP: median |IPC error| %.2f%% (gate %.0f%%), median "
+                "speedup %.1fx (gate %.0fx), CI covers reference in "
+                "%zu/%zu runs\n",
+                median_error_cmp, cmp_max_error_pct, median_speedup_cmp,
+                cmp_min_speedup, cmp_covered, cmp_points.size());
+
     std::ofstream out(out_path);
     if (!out) {
         std::fprintf(stderr, "cannot open '%s' for writing\n",
                      out_path.c_str());
         return 2;
     }
-    out << "{\"sampling\":\"" << spec << "\",\"instructions\":" << instructions
-        << ",\"warmup\":" << warmup << ",\"seed\":" << seed
-        << ",\"median_abs_error_pct\":" << median_error
-        << ",\"median_speedup\":" << median_speedup
-        << ",\"ci_covered\":" << covered << ",\"runs\":[";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const auto& p = points[i];
-        out << (i == 0 ? "" : ",") << "{\"config\":\"" << p.config
+    const auto write_run = [&out](const sample_point& p, bool first) {
+        out << (first ? "" : ",") << "{\"config\":\"" << p.config
             << "\",\"workload\":\"" << p.workload
-            << "\",\"reference_ipc\":" << p.reference_ipc
+            << "\",\"cores\":" << p.cores
+            << ",\"reference_ipc\":" << p.reference_ipc
             << ",\"sampled_ipc\":" << p.sampled_ipc
             << ",\"ipc_ci95\":" << p.ipc_ci95
             << ",\"abs_error_pct\":" << p.abs_error_pct
@@ -220,16 +332,39 @@ int main(int argc, char** argv)
             << ",\"sampled_seconds\":" << p.sampled_seconds
             << ",\"speedup\":" << p.speedup << ",\"windows\":" << p.windows
             << "}";
-    }
+    };
+    out << "{\"sampling\":\"" << spec << "\",\"instructions\":" << instructions
+        << ",\"warmup\":" << warmup << ",\"seed\":" << seed
+        << ",\"median_abs_error_pct\":" << median_error
+        << ",\"median_speedup\":" << median_speedup
+        << ",\"ci_covered\":" << covered
+        << ",\"cmp_sampling\":\"" << cmp_spec
+        << "\",\"cmp_instructions\":" << cmp_instructions
+        << ",\"median_abs_error_pct_cmp\":" << median_error_cmp
+        << ",\"median_speedup_cmp\":" << median_speedup_cmp
+        << ",\"cmp_ci_covered\":" << cmp_covered << ",\"runs\":[";
+    for (std::size_t i = 0; i < points.size(); ++i)
+        write_run(points[i], i == 0);
+    out << "],\"cmp_runs\":[";
+    for (std::size_t i = 0; i < cmp_points.size(); ++i)
+        write_run(cmp_points[i], i == 0);
     out << "]}\n";
 
     const bool error_ok = median_error <= max_error_pct;
     const bool speedup_ok = median_speedup >= min_speedup;
+    const bool cmp_error_ok = median_error_cmp <= cmp_max_error_pct;
+    const bool cmp_speedup_ok = median_speedup_cmp >= cmp_min_speedup;
     if (!error_ok)
         std::fprintf(stderr, "FAIL: median |IPC error| %.2f%% > %.0f%%\n",
                      median_error, max_error_pct);
     if (!speedup_ok)
         std::fprintf(stderr, "FAIL: median speedup %.1fx < %.0fx\n",
                      median_speedup, min_speedup);
-    return error_ok && speedup_ok ? 0 : 1;
+    if (!cmp_error_ok)
+        std::fprintf(stderr, "FAIL: CMP median |IPC error| %.2f%% > %.0f%%\n",
+                     median_error_cmp, cmp_max_error_pct);
+    if (!cmp_speedup_ok)
+        std::fprintf(stderr, "FAIL: CMP median speedup %.1fx < %.0fx\n",
+                     median_speedup_cmp, cmp_min_speedup);
+    return error_ok && speedup_ok && cmp_error_ok && cmp_speedup_ok ? 0 : 1;
 }

@@ -70,12 +70,141 @@ void coherence_hub::accept(const mem::mem_request& request)
     reqs_.push(request.created_at + config_.request_latency, request);
 }
 
-bool coherence_hub::warm_access(const mem::warm_request& request)
+mem::warm_result coherence_hub::warm_access(const mem::warm_request& request)
 {
-    // CMP runs execute fully detailed in this revision (hier::system forces
-    // sampling off for cores > 1); warming stays a straight pass-through so
-    // shared structures can still be pre-heated.
-    return downstream_ != nullptr && downstream_->warm_access(request);
+    // Functional twin of process_read() / process_writeback() /
+    // process_snoops(): identical directory transitions and the same
+    // propagation into the shared level, with snoops applied synchronously -
+    // the warm contract guarantees a quiescent machine, so nothing is in
+    // flight, nothing races, and `retry` cannot occur. Zero timing state:
+    // no transactions, no queues, no counters.
+    const addr_t block = block_of(request.addr);
+    const mem::core_id_t core = request.core;
+    const std::uint32_t me = 1u << core;
+
+    if (request.kind == mem::access_kind::writeback) {
+        // process_writeback() minus the in-flight races (impossible warm).
+        // still_backed mirrors the eviction-vs-refetch guard: a warm
+        // re-fetch for the block cannot be outstanding, but the check keeps
+        // the two paths textually parallel and costs one tag probe.
+        if (dir_entry* e = dir_.find(block)) {
+            const bool still_backed =
+                l1s_[core] != nullptr && l1s_[core]->holds_or_in_flight(block);
+            if (!still_backed) {
+                e->sharers &= ~me;
+                if (e->owner == core) {
+                    e->owner = mem::no_core;
+                    if (e->state == dir_state::exclusive_modified)
+                        e->state = e->sharers == 0 ? dir_state::invalid
+                                                   : dir_state::shared;
+                }
+                if (e->sharers == 0)
+                    e->state = dir_state::invalid;
+            }
+            dir_.touch();
+            dir_.release_if_idle(*e);
+        }
+        if ((request.dirty || config_.forward_clean_victims) &&
+            downstream_ != nullptr)
+            downstream_->warm_access({block, mem::access_kind::writeback,
+                                      request.dirty, false, core});
+        return {};
+    }
+
+    dir_entry& e = dir_.get_or_create(block);
+    mem::warm_result result;
+    // A plain warm write can only come from a non-coherent upper level;
+    // treat it as a read-for-ownership so the directory stays sound.
+    const bool rfo =
+        request.exclusive || request.kind == mem::access_kind::write;
+
+    if (rfo) {
+        // RFO / upgrade: every other copy invalidates. An EM owner's line
+        // migrates cache-to-cache - dirty data transfers to the requester
+        // without touching the shared level, exactly like the detailed
+        // recall (t.peer_dirty -> response.dirty -> requester installs M).
+        const bool upgrade = (e.sharers & me) != 0;
+        bool peer_data = false;
+        if (e.state == dir_state::exclusive_modified && e.owner != core) {
+            const mem::core_id_t owner = e.owner;
+            const mem::snoop_result s =
+                l1s_[owner]->warm_snoop_invalidate(block);
+            e.sharers &= ~(1u << owner);
+            if (s != mem::snoop_result::not_present) {
+                peer_data = true;
+                result.dirty = s == mem::snoop_result::applied_dirty;
+            }
+        } else {
+            for (unsigned j = 0; j < config_.cores; ++j)
+                if (j != core && (e.sharers & (1u << j)) != 0) {
+                    l1s_[j]->warm_snoop_invalidate(block);
+                    e.sharers &= ~(1u << j);
+                }
+        }
+        // Upgrades move no data; a vanished owner copy (defensive - warm
+        // evictions notify synchronously) falls back to the shared level,
+        // mirroring the detailed race fallback.
+        if (!upgrade && !peer_data && downstream_ != nullptr)
+            result.dirty = downstream_
+                               ->warm_access({block, mem::access_kind::read,
+                                              false, true, core})
+                               .dirty;
+        e.sharers = me;
+        e.state = dir_state::exclusive_modified;
+        e.owner = core;
+        result.exclusive = true;
+    } else {
+        switch (e.state) {
+        case dir_state::invalid:
+        case dir_state::shared:
+            // Data lives in (or below) the shared level.
+            if (downstream_ != nullptr)
+                result.dirty =
+                    downstream_
+                        ->warm_access({block, mem::access_kind::read, false,
+                                       false, core})
+                        .dirty;
+            break;
+        case dir_state::exclusive_modified:
+            if (e.owner != core) {
+                // Owner downgrades to S; modified data flushes into the
+                // shared level and the requester installs clean (the
+                // detailed downgrade path never sets peer_dirty).
+                const mem::core_id_t owner = e.owner;
+                const mem::snoop_result s =
+                    l1s_[owner]->warm_snoop_downgrade(block);
+                e.owner = mem::no_core;
+                e.state = dir_state::shared;
+                if (s == mem::snoop_result::applied_dirty &&
+                    downstream_ != nullptr)
+                    downstream_->warm_access({block,
+                                              mem::access_kind::writeback,
+                                              true, false, owner});
+                if (s == mem::snoop_result::not_present) {
+                    // The owner evicted the line (defensive, as above):
+                    // fetch from the shared level instead.
+                    e.sharers &= ~(1u << owner);
+                    if (downstream_ != nullptr)
+                        result.dirty = downstream_
+                                           ->warm_access(
+                                               {block, mem::access_kind::read,
+                                                false, false, core})
+                                           .dirty;
+                }
+            }
+            // owner == core: stale self-request shape - the directory
+            // re-grants below without moving data.
+            break;
+        }
+        e.sharers |= me;
+        const bool exclusive = e.sharers == me;
+        e.state = exclusive ? dir_state::exclusive_modified
+                            : dir_state::shared;
+        e.owner = exclusive ? core : mem::no_core;
+        result.exclusive = exclusive;
+    }
+    dir_.touch();
+    return result;
 }
 
 void coherence_hub::respond(const mem::mem_response& response)

@@ -81,7 +81,15 @@ public:
     // mem_port (L1 side)
     bool can_accept(const mem::mem_request& request) const override;
     void accept(const mem::mem_request& request) override;
-    bool warm_access(const mem::warm_request& request) override;
+    /// Functional twin of the MESI transaction machinery for the sampled
+    /// fast-forward path: applies the same directory transitions and the
+    /// same remote-copy invalidations/downgrades synchronously (the warm
+    /// contract guarantees a quiescent machine, so snoops cannot race or
+    /// retry), then falls through to the shared backend's warm_access.
+    /// Returns the E/M grant and migrated dirtiness exactly like the
+    /// detailed response fields the L1's refill path reads. See DESIGN.md,
+    /// "Sampling and statistical confidence" for the transition table.
+    mem::warm_result warm_access(const mem::warm_request& request) override;
 
     // mem_client (shared-level side)
     void respond(const mem::mem_response& response) override;

@@ -544,7 +544,7 @@ void dnuca_cache::drain_memory_queue(cycle_t now)
     }
 }
 
-bool dnuca_cache::warm_access(const mem::warm_request& request)
+mem::warm_result dnuca_cache::warm_access(const mem::warm_request& request)
 {
     // Functional twin of the probe/promotion/insertion policies (see the
     // warm_access() contract in src/mem/request.h): simple column mapping,
@@ -570,35 +570,35 @@ bool dnuca_cache::warm_access(const mem::warm_request& request)
                 }
                 // The timing reply never carries dirtiness (the bank keeps
                 // its dirty copy; the upper level installs clean).
-                return false;
+                return {};
             }
         }
         // Miss: the memory fill installs at the tail row.
         warm_install_at_tail(block, false);
-        return false;
+        return {};
     case mem::access_kind::write:
         for (unsigned row = 1; row <= config_.rows; ++row) {
             bank& b = bank_at(column, row);
             if (b.tags->lookup(local)) {
                 b.tags->set_dirty(local, true);
-                return false;
+                return {};
             }
         }
         warm_install_at_tail(block, true); // write miss installs at the tail
-        return false;
+        return {};
     case mem::access_kind::writeback:
         for (unsigned row = 1; row <= config_.rows; ++row) {
             bank& b = bank_at(column, row);
             if (b.tags->lookup(local)) {
                 if (request.dirty)
                     b.tags->set_dirty(local, true);
-                return false;
+                return {};
             }
         }
         warm_install_at_tail(block, request.dirty);
-        return false;
+        return {};
     }
-    return false;
+    return {};
 }
 
 void dnuca_cache::warm_install_at_tail(addr_t block, bool dirty)

@@ -57,7 +57,7 @@ public:
     // mem_port
     bool can_accept(const mem::mem_request& request) const override;
     void accept(const mem::mem_request& request) override;
-    bool warm_access(const mem::warm_request& request) override;
+    mem::warm_result warm_access(const mem::warm_request& request) override;
 
     // mem_client (memory side)
     void respond(const mem::mem_response& response) override;

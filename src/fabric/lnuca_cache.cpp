@@ -84,7 +84,8 @@ lnuca_cache::lnuca_cache(const fabric_config& config, mem::txn_id_source& ids)
          "false_global_misses", "exit_snoop_hits", "write_misses_out",
          "blocks_delivered", "fills_from_next_level", "untracked_response",
          "untracked_arrival", "orphan_search", "clean_exits_dropped",
-         "dirty_exits_written_back"});
+         "dirty_exits_written_back", "downstream_backpressure",
+         "downstream_queue_high_water"});
     h_tile_tag_lookups_ = counters_.handle_of("tile_tag_lookups");
     h_search_broadcast_hops_ = counters_.handle_of("search_broadcast_hops");
     h_transport_hops_ = counters_.handle_of("transport_hops");
@@ -121,12 +122,15 @@ lnuca_cache::lnuca_cache(const fabric_config& config, mem::txn_id_source& ids)
     h_untracked_arrival_ = counters_.handle_of("untracked_arrival");
     h_untracked_response_ = counters_.handle_of("untracked_response");
     h_write_misses_out_ = counters_.handle_of("write_misses_out");
+    h_downstream_backpressure_ = counters_.handle_of("downstream_backpressure");
+    h_downstream_queue_high_water_ =
+        counters_.handle_of("downstream_queue_high_water");
     // Pre-size the rings and the refill heap for their structural bounds so
     // steady-state cycles never touch the allocator.
     inject_queue_.reserve(config.inject_queue_depth + config.mshr_entries);
     evict_queue_.reserve(config.evict_queue_depth);
     exit_queue_.reserve(config.exit_queue_depth);
-    downstream_queue_.reserve(config.mshr_entries + config.exit_queue_depth + 16);
+    downstream_queue_.reserve(config.downstream_queue_depth);
     refills_.reserve(config.mshr_entries + 8);
 
     tiles_by_level_.resize(config.levels + 1);
@@ -803,6 +807,18 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
             continue;
         }
 
+        // Bounded next-level ring: at the configured depth the miss line
+        // re-arms the gather for the next cycle instead of letting the ring
+        // regrow (zero-allocation hot path). next_event() already bounds on
+        // active gather_at, so idle-skip stays honest across the stall.
+        if (downstream_queue_.size() >= config_.downstream_queue_depth) {
+            state.active = true;
+            state.gather_at = now + 1;
+            counters_.inc(h_downstream_backpressure_);
+            e = next;
+            continue;
+        }
+
         counters_.inc(h_global_misses_);
         // A global miss for a block actually present in the fabric would be
         // a search correctness bug; exclusion makes this impossible, so it
@@ -819,6 +835,7 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
             write.created_at = now;
             write.needs_response = false;
             downstream_queue_.push_back(write);
+            note_downstream_high_water();
             mshrs_.release(block);
             counters_.inc(h_write_misses_out_);
             e = next;
@@ -832,9 +849,19 @@ void lnuca_cache::evaluate_global_misses(cycle_t now)
         read.kind = mem::access_kind::read;
         read.created_at = now;
         downstream_queue_.push_back(read);
+        note_downstream_high_water();
         state.downstream_txn = read.id;
         mshrs_.mark_issued(*e);
         e = next;
+    }
+}
+
+void lnuca_cache::note_downstream_high_water()
+{
+    if (downstream_queue_.size() > downstream_queue_high_water_) {
+        counters_.inc(h_downstream_queue_high_water_,
+                      downstream_queue_.size() - downstream_queue_high_water_);
+        downstream_queue_high_water_ = downstream_queue_.size();
     }
 }
 
@@ -917,7 +944,7 @@ std::uint64_t lnuca_cache::tile_capacity_bytes() const
     return std::uint64_t(geo_.tile_count()) * config_.tile.size_bytes;
 }
 
-bool lnuca_cache::warm_access(const mem::warm_request& request)
+mem::warm_result lnuca_cache::warm_access(const mem::warm_request& request)
 {
     // Functional twin of the search/replacement/store paths (see the
     // warm_access() contract in src/mem/request.h). Content exclusion is
@@ -934,12 +961,16 @@ bool lnuca_cache::warm_access(const mem::warm_request& request)
             const tile_index holder = warm_slots_[slot].second;
             const auto line = tiles_[holder].cache.extract(block);
             warm_index_erase(block);
-            return line && line->dirty;
+            return {line && line->dirty, false};
         }
         // Global miss: fetch from the next level; the fill travels straight
         // to the r-tile (the fabric only fills through evictions).
-        return downstream_ != nullptr &&
-               downstream_->warm_access({block, mem::access_kind::read, false});
+        if (downstream_ != nullptr)
+            return {downstream_
+                        ->warm_access({block, mem::access_kind::read, false})
+                        .dirty,
+                    false};
+        return {};
     }
     case mem::access_kind::write: {
         const std::size_t slot = warm_find(block);
@@ -947,18 +978,18 @@ bool lnuca_cache::warm_access(const mem::warm_request& request)
             mem::tag_array& tags = tiles_[warm_slots_[slot].second].cache;
             tags.lookup(block); // store hit in place: recency + dirty
             tags.set_dirty(block, true);
-            return false;
+            return {};
         }
         // Store miss: fire-and-forget towards the next level.
         if (downstream_ != nullptr)
             downstream_->warm_access({block, mem::access_kind::write, false});
-        return false;
+        return {};
     }
     case mem::access_kind::writeback:
         warm_install(block, request.dirty);
-        return false;
+        return {};
     }
-    return false;
+    return {};
 }
 
 void lnuca_cache::warm_install(addr_t block, bool dirty)

@@ -47,6 +47,12 @@ struct fabric_config {
     std::uint32_t inject_queue_depth = 8;
     std::uint32_t evict_queue_depth = 8;
     std::uint32_t exit_queue_depth = 16;
+    /// Bound on the next-level request ring (global read misses + fire-and-
+    /// forget store misses). Store-streaming lanes can outpace the 1/cycle
+    /// drain; at the bound the miss line re-arms the gather for the next
+    /// cycle instead of letting the ring regrow (allocation on the hot
+    /// path). High-water and backpressure events are surfaced as counters.
+    std::uint32_t downstream_queue_depth = 256;
     bool random_routing = true; ///< false: always pick the first output link
                                 ///< (dimension-order-like, for the ablation)
     std::uint64_t seed = 0xfab;
@@ -62,7 +68,7 @@ public:
     // mem_port (r-tile side)
     bool can_accept(const mem::mem_request& request) const override;
     void accept(const mem::mem_request& request) override;
-    bool warm_access(const mem::warm_request& request) override;
+    mem::warm_result warm_access(const mem::warm_request& request) override;
 
     // mem_client (next-level side)
     void respond(const mem::mem_response& response) override;
@@ -155,6 +161,7 @@ private:
                             std::uint8_t level, bool dirty);
     std::size_t pick_output(std::size_t available);
     void warm_install(addr_t block, bool dirty);
+    void note_downstream_high_water();
 
     fabric_config config_;
     mem::txn_id_source& ids_;
@@ -199,6 +206,11 @@ private:
     counter_set::handle h_untracked_arrival_ = 0;
     counter_set::handle h_untracked_response_ = 0;
     counter_set::handle h_write_misses_out_ = 0;
+    counter_set::handle h_downstream_backpressure_ = 0;
+    counter_set::handle h_downstream_queue_high_water_ = 0;
+    /// Peak downstream_queue_ occupancy (mirrored into the high-water
+    /// counter via delta increments - counter_set is inc-only).
+    std::size_t downstream_queue_high_water_ = 0;
     rng rng_;
 
     mem::mem_client* upstream_ = nullptr;

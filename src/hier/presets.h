@@ -75,8 +75,9 @@ struct system_config {
     sim::schedule_mode engine_mode = sim::schedule_mode::idle_skip;
     /// Sampled execution fidelity. Disabled by default: the run is then
     /// bit-identical to the pre-sampling driver (enforced by
-    /// tests/sampling_test.cpp). CMP runs (cores > 1) force detailed
-    /// execution in this revision (see ROADMAP open items).
+    /// tests/sampling_test.cpp). CMP runs (cores > 1) sample through the
+    /// warm MESI fast-forward path (requires the coherence hub and
+    /// coherent private L1s; hier::system::run throws otherwise).
     sampling_config sampling;
     /// CMP mode: number of cores, each with a private L1I/L1D pair (the
     /// I-side is ideal - instruction fetch is perfect in this core model),

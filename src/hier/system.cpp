@@ -542,10 +542,8 @@ void system::apply_totals(run_result& r, const window_totals& totals) const
 run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
 {
     if (cores_.size() > 1) {
-        if (config_.sampling.enabled)
-            LNUCA_WARN("sampled execution is single-core only in this "
-                       "revision (see ROADMAP); running ",
-                       cores_.size(), " cores fully detailed");
+        if (config_.sampling.enabled && instructions > 0)
+            return run_cmp_sampled(instructions, warmup);
         return run_cmp(instructions, warmup);
     }
 
@@ -705,36 +703,109 @@ void system::fast_forward(std::uint64_t count)
 {
     if (count == 0)
         return;
-    cores_.front()->warm_retire(count);
+    if (cores_.size() == 1) {
+        cores_.front()->warm_retire(count);
+    } else {
+        // Round-robin functional retirement in small chunks so the lanes'
+        // warm accesses interleave at a fine grain: coherence behaviour
+        // (invalidations, downgrades, cache-to-cache migration) depends on
+        // the interleave, and retiring whole lanes back-to-back would let
+        // one lane monopolise every contended line before the next starts.
+        constexpr std::uint64_t chunk = 64;
+        for (std::uint64_t done = 0; done < count; done += chunk) {
+            const std::uint64_t n = std::min(chunk, count - done);
+            for (auto& core : cores_)
+                core->warm_retire(n);
+        }
+        // The warm MESI transitions must leave the directory sound after
+        // every functional segment; paranoid runs assert it.
+        if (hub_ && config_.engine_mode == sim::schedule_mode::paranoid)
+            hub_->check_invariants();
+    }
     // The clock advances at a nominal CPI of 1: reported cycles come from
     // the window estimate, so the rate only keeps timestamps monotone.
+    engine_.advance(count);
+}
+
+void system::fast_forward_rated(std::uint64_t count,
+                                const std::vector<double>& rates)
+{
+    if (count == 0)
+        return;
+    // Per-lane quota proportional to the lane's measured rate, normalised
+    // to the mean so sum(quota) == count * cores: the aggregate accounting
+    // (retired instructions, clock advance) is unchanged while the lane
+    // *positions* drift apart exactly as they do under the dense schedule.
+    const std::size_t n_cores = cores_.size();
+    double sum = 0.0;
+    for (const double r : rates)
+        sum += std::max(r, 1e-6);
+    std::vector<std::uint64_t> remaining(n_cores);
+    std::vector<std::uint64_t> chunk(n_cores);
+    for (std::size_t i = 0; i < n_cores; ++i) {
+        const double share =
+            std::max(rates[i], 1e-6) * double(n_cores) / sum;
+        remaining[i] = std::uint64_t(std::llround(double(count) * share));
+        // Fine-grained proportional interleave (see fast_forward): each
+        // round hands lane i ~64 * share instructions.
+        chunk[i] = std::max<std::uint64_t>(
+            1, std::uint64_t(std::llround(64.0 * share)));
+    }
+    bool any = true;
+    while (any) {
+        any = false;
+        for (std::size_t i = 0; i < n_cores; ++i) {
+            const std::uint64_t n = std::min(chunk[i], remaining[i]);
+            if (n == 0)
+                continue;
+            cores_[i]->warm_retire(n);
+            remaining[i] -= n;
+            any = any || remaining[i] > 0;
+        }
+    }
+    if (hub_ && config_.engine_mode == sim::schedule_mode::paranoid)
+        hub_->check_invariants();
     engine_.advance(count);
 }
 
 void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
                               window_totals* totals)
 {
-    cpu::ooo_core* core = cores_.front().get();
-    core->reset_stats();
+    // One implementation for both drivers: with a single core this is
+    // byte-for-byte the original single-core segment; with several, every
+    // lane gets the same committed-instruction quota and the window CPI is
+    // the aggregate (total instructions over wall cycles), matching
+    // run_cmp's aggregate-IPC convention.
+    const auto all_done = [&] {
+        for (const auto& core : cores_)
+            if (!core->done())
+                return false;
+        return true;
+    };
+    for (auto& core : cores_)
+        core->reset_stats();
     if (totals == nullptr) {
         // Warm segment: re-establish pipeline/queue/MSHR occupancy under
         // full timing; measurements are discarded.
-        core->set_instruction_limit(instructions);
-        engine_.run_until([&] { return core->done(); }, max_cycles);
+        for (auto& core : cores_)
+            core->set_instruction_limit(instructions);
+        engine_.run_until(all_done, max_cycles);
         return;
     }
 
     const level_snapshot snap = snap_levels();
 
     const cycle_t start = engine_.now();
-    core->set_instruction_limit(instructions);
-    const bool finished =
-        engine_.run_until([&] { return core->done(); }, max_cycles);
+    for (auto& core : cores_)
+        core->set_instruction_limit(instructions);
+    const bool finished = engine_.run_until(all_done, max_cycles);
     if (!finished)
         LNUCA_WARN("measurement window hit the cycle ceiling before "
                    "committing ", instructions, " instructions");
 
-    const std::uint64_t instr = core->committed();
+    std::uint64_t instr = 0;
+    for (const auto& core : cores_)
+        instr += core->committed();
     const std::uint64_t cycles = engine_.now() - start;
     totals->instructions += instr;
     totals->cycles += cycles;
@@ -742,7 +813,8 @@ void system::detailed_segment(std::uint64_t instructions, cycle_t max_cycles,
                                             : double(cycles) / double(instr));
 
     harvest_levels(snap, *totals);
-    harvest_core(*core, *totals);
+    for (auto& core : cores_)
+        harvest_core(*core, *totals);
 }
 
 run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
@@ -804,6 +876,18 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
                                       host_start)
             .count();
 
+    run_result r;
+    r.config_name = config_.name;
+    r.workload_name = streams_.front()->profile().name;
+    r.floating_point = streams_.front()->profile().floating_point;
+    assemble_sampled(r, totals, retired, host_seconds);
+    return r;
+}
+
+void system::assemble_sampled(run_result& r, const window_totals& totals,
+                              std::uint64_t retired,
+                              double host_seconds) const
+{
     // Point estimate and confidence interval. Windows are (near) equal
     // size, so the run's CPI estimate is the plain mean of per-window CPI;
     // the 95% CI uses the normal approximation (SMARTS' large-n regime) and
@@ -822,10 +906,6 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
         ci_cpi = 1.96 * stddev / std::sqrt(double(n));
     }
 
-    run_result r;
-    r.config_name = config_.name;
-    r.workload_name = streams_.front()->profile().name;
-    r.floating_point = streams_.front()->profile().floating_point;
     r.sampled = true;
     r.sampled_windows = n;
     r.measured_instructions = totals.instructions;
@@ -885,6 +965,151 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
     in.dnuca_flit_hops = scaled(in.dnuca_flit_hops);
     in.memory_transfers = scaled(in.memory_transfers);
     r.energy = power::compute_energy(in);
+}
+
+run_result system::run_cmp_sampled(std::uint64_t instructions,
+                                   std::uint64_t warmup)
+{
+    // Sampled fast-forward is only coherence-correct through the hub's
+    // warm MESI path: without it, functional retirement would desync the
+    // private L1s' permission state from the directory.
+    if (!hub_)
+        throw std::runtime_error(
+            "sampled CMP execution requires the coherence hub; this "
+            "hierarchy cannot honor the CMP warm_access contract "
+            "(run with --sampling off)");
+    for (const auto& l1 : l1s_)
+        if (!l1->config().coherent)
+            throw std::runtime_error(
+                "sampled CMP execution requires coherent private L1s; "
+                "this hierarchy cannot honor the CMP warm_access contract "
+                "(run with --sampling off)");
+
+    const sampling_config& sc = config_.sampling;
+    const auto host_start = std::chrono::steady_clock::now();
+    // Same generous per-segment ceiling as run_cmp's (contended lanes run
+    // slower than a lone core, so the single-core 400 factor is too tight).
+    const cycle_t segment_budget =
+        600 * (sc.detail_instructions + sc.detail_warmup) + 2'000'000;
+
+    // Run-level warm-up executes functionally on every lane (see
+    // fast_forward: round-robin chunks through the warm MESI path).
+    fast_forward(warmup);
+
+    // Window arithmetic is per lane - every core retires `instructions` -
+    // and identical to run_sampled's, so the single-core and CMP drivers
+    // place windows the same way for the same spec.
+    const std::uint64_t detail =
+        std::min(std::max<std::uint64_t>(sc.detail_instructions, 1),
+                 std::max<std::uint64_t>(instructions, 1));
+    const std::uint64_t window_warmup =
+        std::min(sc.detail_warmup,
+                 instructions > detail ? instructions - detail : 0);
+    const std::uint64_t period =
+        std::max(sc.period_instructions, detail + window_warmup);
+    const std::uint64_t windows =
+        std::max<std::uint64_t>(1, instructions / period);
+    const std::uint64_t base_span = std::max<std::uint64_t>(
+        instructions / windows, detail + window_warmup);
+
+    rng placement(rng::split(seed_, 0x5a3b11d6ULL, windows, 0));
+
+    const std::size_t n_cores = cores_.size();
+    window_totals totals;
+    std::uint64_t retired_per_lane = 0;
+    std::vector<std::uint64_t> core_instr(n_cores, 0);
+    std::vector<std::uint64_t> core_cycles(n_cores, 0);
+    // Per-lane retirement rate measured in the most recent detailed
+    // window, fed back into the fast-forward (see fast_forward_rated):
+    // dense CMP execution lets fast lanes drift ahead of slow ones, and
+    // sharing-heavy lane sets (producer/consumer hand-offs) see a very
+    // different coherence pattern at zero lag than at the dense lag. The
+    // first fast-forward runs in lockstep (no measurement yet).
+    std::vector<double> rates(n_cores, 1.0);
+    bool rates_known = false;
+    const auto ff = [&](std::uint64_t count) {
+        if (rates_known)
+            fast_forward_rated(count, rates);
+        else
+            fast_forward(count);
+    };
+    const auto max_committed = [&] {
+        std::uint64_t m = 0;
+        for (const auto& core : cores_)
+            m = std::max(m, core->committed());
+        return m;
+    };
+
+    for (std::uint64_t k = 0; k < windows; ++k) {
+        const std::uint64_t span = k + 1 == windows
+                                       ? instructions - (windows - 1) * base_span
+                                       : base_span;
+        const std::uint64_t slack = span - detail - window_warmup;
+        const std::uint64_t offset = placement.below(slack + 1);
+
+        ff(offset);
+        // `used` tracks the furthest lane's position inside the window;
+        // slower lanes drift a few instructions behind the nominal
+        // placement, which the estimate absorbs (sampling is statistical).
+        std::uint64_t used = offset;
+        if (window_warmup > 0) {
+            detailed_segment(window_warmup, segment_budget, nullptr);
+            used += max_committed();
+        }
+        const cycle_t seg_start = engine_.now();
+        detailed_segment(detail, segment_budget, &totals);
+        for (std::size_t i = 0; i < n_cores; ++i) {
+            // Per-core cycles from each core's own finish cycle, exactly
+            // like run_cmp: early finishers stop accruing.
+            const cycle_t fin = cores_[i]->finished_at() == no_cycle
+                                    ? engine_.now()
+                                    : cores_[i]->finished_at();
+            core_instr[i] += cores_[i]->committed();
+            core_cycles[i] += fin + 1 - seg_start;
+            const cycle_t window_cycles = fin + 1 - seg_start;
+            rates[i] = window_cycles == 0
+                           ? 1.0
+                           : double(cores_[i]->committed()) /
+                                 double(window_cycles);
+        }
+        rates_known = true;
+        used += max_committed();
+        drain(segment_budget);
+        ff(span > used ? span - used : 0);
+        retired_per_lane += std::max(span, used);
+    }
+
+    const double host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
+
+    run_result r;
+    r.config_name = config_.name;
+    r.floating_point = streams_.front()->profile().floating_point;
+    r.cores = std::uint32_t(n_cores);
+
+    // Workload label: the mix's distinct names, first-appearance order
+    // (same convention as run_cmp).
+    std::vector<std::string> seen;
+    for (const auto& stream : streams_) {
+        const std::string& name = stream->profile().name;
+        if (std::find(seen.begin(), seen.end(), name) == seen.end())
+            seen.push_back(name);
+    }
+    r.workload_name = seen.front();
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        r.workload_name += "+" + seen[i];
+
+    // The window CPI series is aggregate (total instructions over wall
+    // cycles), so the assembled ipc/cycles estimate run_cmp's aggregate
+    // IPC and wall cycles for the whole-run lane length.
+    assemble_sampled(r, totals, retired_per_lane * n_cores, host_seconds);
+    for (std::size_t i = 0; i < n_cores; ++i)
+        r.per_core_ipc.push_back(core_cycles[i] == 0
+                                     ? 0.0
+                                     : double(core_instr[i]) /
+                                           double(core_cycles[i]));
     return r;
 }
 

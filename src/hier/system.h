@@ -124,9 +124,11 @@ public:
     /// When config.sampling.enabled, the measured span executes as
     /// fast-forward + periodic detailed windows and the result carries
     /// statistical estimates (run_result::sampled). CMP runs (cores > 1)
-    /// run every core for `instructions` committed instructions under full
-    /// detail (sampling is forced off with a warning - see ROADMAP) and
-    /// report per-core IPC.
+    /// sample too: functional retirement round-robins across the lanes and
+    /// the coherence hub applies warm MESI transitions, so directory and
+    /// L1 permission state stay exact across fast-forward (requires the
+    /// coherence hub - a hierarchy without one cannot honor the CMP warm
+    /// contract and run() throws).
     run_result run(std::uint64_t instructions, std::uint64_t warmup);
 
     unsigned cores() const { return unsigned(cores_.size()); }
@@ -173,12 +175,33 @@ private:
     void prewarm();
     run_result run_cmp(std::uint64_t instructions, std::uint64_t warmup);
     run_result run_sampled(std::uint64_t instructions, std::uint64_t warmup);
+    /// Sampled CMP: run_sampled's window placement and statistics with
+    /// per-lane functional retirement (see fast_forward) and per-core IPC
+    /// measured inside the detailed windows.
+    run_result run_cmp_sampled(std::uint64_t instructions,
+                               std::uint64_t warmup);
+    /// Shared tail of the sampled drivers: mean-CPI point estimate +
+    /// delta-method 95% CI from the per-window series, extrapolation of the
+    /// measured event counts to `retired` instructions. Fills every
+    /// run_result field except the identity ones (names, cores,
+    /// per_core_ipc).
+    void assemble_sampled(run_result& r, const window_totals& totals,
+                          std::uint64_t retired, double host_seconds) const;
     /// All components idle (nothing in flight anywhere).
     bool quiescent() const;
     /// Run detailed until quiescent (pre-fast-forward drain).
     void drain(cycle_t max_cycles);
     /// Fast-forward `count` instructions functionally and advance the clock.
     void fast_forward(std::uint64_t count);
+    /// CMP fast-forward with rate matching: lane i advances by
+    /// count * rates[i] / mean(rates) (mean-normalised, so the aggregate
+    /// retirement still equals count * cores). Dense CMP execution lets
+    /// fast lanes drift ahead of slow ones; feeding back the per-lane IPC
+    /// measured in the previous detailed window reproduces that drift, so
+    /// windows observe the same lane alignment (and hence the same
+    /// sharing/migration pattern) the dense reference reaches.
+    void fast_forward_rated(std::uint64_t count,
+                            const std::vector<double>& rates);
     /// One detailed segment of `instructions`; when `totals` is non-null the
     /// segment is measured into it (otherwise it only re-warms timing state).
     void detailed_segment(std::uint64_t instructions, cycle_t max_cycles,

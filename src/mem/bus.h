@@ -44,9 +44,10 @@ public:
     void accept(const mem_request& request) override;
 
     /// Warming is transparent to the bus: no tags, no state to warm.
-    bool warm_access(const warm_request& request) override
+    warm_result warm_access(const warm_request& request) override
     {
-        return downstream_ != nullptr && downstream_->warm_access(request);
+        return downstream_ != nullptr ? downstream_->warm_access(request)
+                                      : warm_result{};
     }
 
     // Lower side: responses travelling up.

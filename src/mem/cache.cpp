@@ -467,11 +467,14 @@ void conventional_cache::queue_victim(cycle_t now, const evicted_line& victim)
     wb_.push(victim.block_addr, /*writeback=*/true, victim.dirty);
 }
 
-bool conventional_cache::warm_access(const warm_request& request)
+warm_result conventional_cache::warm_access(const warm_request& request)
 {
     // Functional twin of process_lookup(): identical allocation, recency,
     // dirtiness and propagation decisions, zero timing state (see the
-    // warm_access() contract in src/mem/request.h).
+    // warm_access() contract in src/mem/request.h). Coherent caches
+    // additionally mirror the MESI decisions of handle_read_like() and
+    // process_refills(): upgrades on store hits to Shared lines, RFO
+    // fetches on store misses, and the exclusive bit of every install.
     if (warm_state_stale_) {
         // Detailed execution ran since the last warm access: the elision
         // block may have been evicted and the real write buffer drained.
@@ -483,7 +486,7 @@ bool conventional_cache::warm_access(const warm_request& request)
     if (request.kind != access_kind::writeback) {
         const addr_t block = tags_.block_of(request.addr);
         if (block == warm_last_block_ && request.kind == warm_last_kind_)
-            return false; // consecutive repeat: hit on the MRU block, no-op
+            return {}; // consecutive repeat: hit on the MRU block, no-op
         warm_last_block_ = block;
         warm_last_kind_ = request.kind;
     }
@@ -492,15 +495,19 @@ bool conventional_cache::warm_access(const warm_request& request)
         // Snoop order matches handle_read_like(): a write-buffer hit is
         // served without touching tag recency at all.
         if (warm_wb_contains(tags_.block_of(request.addr)))
-            return false; // write-buffer snoop hit: served, no install
+            return {}; // write-buffer snoop hit: served, no install
         if (tags_.lookup(request.addr))
-            return false; // hit: recency refreshed, block stays put
-        bool dirty = false;
+            return {}; // hit: recency refreshed, block stays put
+        warm_result below;
         if (downstream_ != nullptr)
-            dirty = downstream_->warm_access(
-                {request.addr, access_kind::read, false});
-        warm_install(request.addr, dirty);
-        return dirty;
+            below = downstream_->warm_access({request.addr, access_kind::read,
+                                              false, false, config_.core_id});
+        warm_install(request.addr, below.dirty);
+        if (config_.coherent)
+            // Mirror process_refills(): install E when the hub granted
+            // sole ownership, M when the block migrated dirty.
+            tags_.set_exclusive(request.addr, below.exclusive || below.dirty);
+        return {below.dirty, false};
     }
     case access_kind::write:
         if (config_.write_through || !config_.write_allocate) {
@@ -508,7 +515,7 @@ bool conventional_cache::warm_access(const warm_request& request)
                 // Copy-back no-write-allocate (the r-tile): a store hit
                 // dirties in place and produces no downstream traffic.
                 tags_.set_dirty(request.addr, true);
-                return false;
+                return {};
             }
             if (config_.write_through)
                 tags_.lookup(request.addr); // hit refreshes recency, stays clean
@@ -517,25 +524,39 @@ bool conventional_cache::warm_access(const warm_request& request)
             const addr_t block = tags_.block_of(request.addr);
             if (downstream_ != nullptr && !warm_wb_contains(block)) {
                 warm_wb_remember(block);
-                downstream_->warm_access(
-                    {request.addr, access_kind::write, false});
+                downstream_->warm_access({request.addr, access_kind::write,
+                                          false, false, config_.core_id});
             }
-            return false;
+            return {};
         }
         // Copy-back write-allocate: a store miss fetches and dirties.
         if (tags_.lookup(request.addr)) {
+            if (config_.coherent && !tags_.is_exclusive(request.addr)) {
+                // Store hit on a Shared line: warm upgrade. The hub
+                // functionally invalidates every other copy; no data moves
+                // (mirrors handle_read_like()'s h_upgrade_miss_ path).
+                if (downstream_ != nullptr)
+                    downstream_->warm_access({request.addr, access_kind::read,
+                                              false, true, config_.core_id});
+                tags_.set_exclusive(request.addr, true);
+            }
             tags_.set_dirty(request.addr, true);
-            return false;
+            return {};
         }
         if (downstream_ != nullptr)
-            downstream_->warm_access({request.addr, access_kind::read, false});
+            // Coherent store miss is a read-for-ownership (mirrors
+            // issue_misses(): miss.exclusive = coherent && for_write).
+            downstream_->warm_access({request.addr, access_kind::read, false,
+                                      config_.coherent, config_.core_id});
         warm_install(request.addr, true);
-        return false;
+        if (config_.coherent)
+            tags_.set_exclusive(request.addr, true); // RFO installs M
+        return {};
     case access_kind::writeback:
         warm_install(request.addr, request.dirty);
-        return false;
+        return {};
     }
-    return false;
+    return {};
 }
 
 bool conventional_cache::warm_wb_contains(addr_t block) const
@@ -561,8 +582,9 @@ void conventional_cache::warm_install(addr_t addr, bool dirty)
     if (auto victim = tags_.install(addr, dirty)) {
         if (downstream_ != nullptr &&
             (victim->dirty || config_.writeback_clean))
-            downstream_->warm_access(
-                {victim->block_addr, access_kind::writeback, victim->dirty});
+            downstream_->warm_access({victim->block_addr,
+                                      access_kind::writeback, victim->dirty,
+                                      false, config_.core_id});
     }
 }
 
@@ -622,6 +644,38 @@ snoop_result conventional_cache::snoop_downgrade(addr_t addr)
     if (mshrs_.find(block) != nullptr || wb_.contains(block)) {
         counters_.inc(h_snoop_retry_);
         return snoop_result::retry;
+    }
+    return snoop_result::not_present;
+}
+
+snoop_result conventional_cache::warm_snoop_invalidate(addr_t addr)
+{
+    // Tags-only twin of snoop_invalidate(): the machine is quiescent, so
+    // nothing is in flight and `retry` cannot occur. No counters - the warm
+    // path is statistics-free by contract.
+    const addr_t block = tags_.block_of(addr);
+    if (block == warm_last_block_)
+        warm_last_block_ = no_addr;
+    if (const auto line = tags_.extract(block))
+        return line->dirty ? snoop_result::applied_dirty
+                           : snoop_result::applied_clean;
+    return snoop_result::not_present;
+}
+
+snoop_result conventional_cache::warm_snoop_downgrade(addr_t addr)
+{
+    const addr_t block = tags_.block_of(addr);
+    // Drop the elision cache even though the line stays resident: a later
+    // warm store to this block must not be elided, or it would skip
+    // re-acquiring write permission through the hub.
+    if (block == warm_last_block_)
+        warm_last_block_ = no_addr;
+    if (const auto hit = tags_.probe(block)) {
+        const bool was_dirty = hit->was_dirty;
+        tags_.set_dirty(block, false);
+        tags_.set_exclusive(block, false);
+        return was_dirty ? snoop_result::applied_dirty
+                         : snoop_result::applied_clean;
     }
     return snoop_result::not_present;
 }

@@ -77,7 +77,7 @@ public:
     // mem_port (upper side)
     bool can_accept(const mem_request& request) const override;
     void accept(const mem_request& request) override;
-    bool warm_access(const warm_request& request) override;
+    warm_result warm_access(const warm_request& request) override;
 
     // mem_client (lower side)
     void respond(const mem_response& response) override;
@@ -100,6 +100,15 @@ public:
     /// is in flight - the hub re-delivers next cycle.
     snoop_result snoop_invalidate(addr_t addr);
     snoop_result snoop_downgrade(addr_t addr);
+
+    /// Functional twins of the snoops for the coherence hub's warm path:
+    /// tags-only mutation (extract / clean + strip write permission), no
+    /// counters, never `retry` - the warm path runs only while the whole
+    /// machine is quiescent, so nothing can be in flight. Both also drop
+    /// the warm-path elision caches when they cover the block, or a later
+    /// warm access would wrongly skip re-acquiring permission.
+    snoop_result warm_snoop_invalidate(addr_t addr);
+    snoop_result warm_snoop_downgrade(addr_t addr);
 
     /// Coherence invariant probe: the directory may list this cache as a
     /// sharer iff the block is resident or still moving through the fill /

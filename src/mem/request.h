@@ -84,6 +84,27 @@ struct warm_request {
     access_kind kind = access_kind::read;
     /// For writeback kind: block carries modified data.
     bool dirty = false;
+    /// Write intent (MESI read-for-ownership / upgrade): the requester
+    /// needs write permission, so the coherence hub must functionally
+    /// invalidate every other cached copy. Single-core hierarchies and
+    /// non-coherent levels ignore it.
+    bool exclusive = false;
+    /// CMP mode: which core's private hierarchy issued this access. The
+    /// coherence hub keys its warm directory updates on it (mirrors
+    /// mem_request::core). Single-core systems leave it 0.
+    core_id_t core = 0;
+};
+
+/// What a warm read pulled up - the functional twin of the mem_response
+/// fields an install decision depends on.
+struct warm_result {
+    /// The block carries modified data (the caller's install must preserve
+    /// dirtiness, exactly like mem_response::dirty).
+    bool dirty = false;
+    /// CMP mode: no other core holds a copy, so a coherent L1 installs the
+    /// line E/M (mirrors mem_response::exclusive). Levels below the
+    /// coherence hub never grant it; the hub decides from its directory.
+    bool exclusive = false;
 };
 
 /// Upstream-facing interface: a component the level above pushes requests
@@ -97,20 +118,22 @@ public:
 
     /// Functional warming contract (see DESIGN.md, "Sampling"): update every
     /// stateful structure the access would touch under detailed timing -
-    /// tags, recency, dirtiness, allocation/migration decisions, and the
-    /// same propagation down the hierarchy (miss fetches, victim
-    /// writebacks) - while touching *no* timing state: no queues, no MSHRs,
-    /// no port schedules, no counters, no responses. May only be called
-    /// while the component is quiescent (nothing in flight), which the
-    /// sampled driver guarantees by draining between detailed windows.
-    /// Returns true iff a read pulled up a block carrying modified data
-    /// (the caller's install must preserve dirtiness, exactly like the
-    /// `dirty` flag of a timing-path mem_response); false for other kinds.
+    /// tags, recency, dirtiness, allocation/migration decisions, MESI
+    /// permission and directory sharer/owner state, and the same
+    /// propagation down the hierarchy (miss fetches, victim writebacks,
+    /// invalidation/downgrade of remote copies) - while touching *no*
+    /// timing state: no queues, no MSHRs, no port schedules, no counters,
+    /// no responses. May only be called while the component is quiescent
+    /// (nothing in flight), which the sampled driver guarantees by
+    /// draining between detailed windows.
+    /// warm_result::dirty is set iff a read pulled up a block carrying
+    /// modified data; warm_result::exclusive mirrors the coherence hub's
+    /// E/M grant (see warm_result). Writes and writebacks return {}.
     /// Default: warm-transparent (main memory holds no warmable state).
-    virtual bool warm_access(const warm_request& request)
+    virtual warm_result warm_access(const warm_request& request)
     {
         (void)request;
-        return false;
+        return {};
     }
 };
 

@@ -1,18 +1,23 @@
 // Sampled simulation: spec parsing, warm_access() functional contract,
 // bit-identity of the non-sampled path, and sampled-run determinism across
 // serial/parallel runner execution.
+#include "src/coh/coherence_hub.h"
+#include "src/coh/directory.h"
 #include "src/exp/runner.h"
 #include "src/exp/sweep.h"
 #include "src/fabric/lnuca_cache.h"
 #include "src/hier/presets.h"
 #include "src/hier/system.h"
 #include "src/mem/cache.h"
+#include "src/trace/workload_spec.h"
 #include "src/workloads/spec2006.h"
 #include "tests/run_result_compare.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <vector>
 
 namespace lnuca {
 namespace {
@@ -242,6 +247,188 @@ TEST(sampled_run, serial_and_parallel_runner_agree)
         EXPECT_TRUE(serial.results[i].sampled);
         expect_sim_fields_identical(serial.results[i], parallel.results[i]);
     }
+}
+
+// ---------------------------------------------------------------------------
+// CMP warm coherence: the warm path applies the same MESI transitions the
+// detailed transaction machinery would, synchronously and timing-free.
+// ---------------------------------------------------------------------------
+
+struct warm_cmp_harness {
+    mem::txn_id_source ids;
+    std::unique_ptr<coh::coherence_hub> hub;
+    std::vector<std::unique_ptr<mem::conventional_cache>> l1s;
+    std::unique_ptr<mem::conventional_cache> l2;
+
+    warm_cmp_harness()
+    {
+        coh::coherence_config cc;
+        cc.cores = 2;
+        cc.block_bytes = 32;
+        cc.directory_entries = 1024;
+        hub = std::make_unique<coh::coherence_hub>(cc, ids);
+        for (unsigned i = 0; i < 2; ++i) {
+            mem::cache_config c;
+            c.size_bytes = 1_KiB;
+            c.ways = 2;
+            c.block_bytes = 32;
+            c.write_through = false;
+            c.write_allocate = true;
+            c.writeback_clean = true;
+            c.coherent = true;
+            c.core_id = mem::core_id_t(i);
+            l1s.push_back(std::make_unique<mem::conventional_cache>(c, ids));
+            l1s.back()->set_downstream(hub.get());
+            hub->attach_l1(mem::core_id_t(i), l1s.back().get());
+        }
+        mem::cache_config l2c;
+        l2c.size_bytes = 8_KiB;
+        l2c.ways = 4;
+        l2c.block_bytes = 32;
+        l2 = std::make_unique<mem::conventional_cache>(l2c, ids);
+        hub->set_downstream(l2.get());
+    }
+
+    mem::conventional_cache& l1(unsigned i) { return *l1s[i]; }
+};
+
+TEST(warm_cmp, warm_write_invalidates_remote_sharers)
+{
+    warm_cmp_harness h;
+    // Both cores warm-read the block: S in both, directory tracks both.
+    h.l1(0).warm_access({0x1000, mem::access_kind::read, false});
+    h.l1(1).warm_access({0x1000, mem::access_kind::read, false});
+    ASSERT_TRUE(h.l1(0).tags().probe(0x1000).has_value());
+    ASSERT_TRUE(h.l1(1).tags().probe(0x1000).has_value());
+    EXPECT_FALSE(h.l1(0).tags().is_exclusive(0x1000));
+    h.hub->check_invariants();
+
+    // Core 0 warm-writes: the remote copy must functionally invalidate and
+    // the directory must record core 0 as the exclusive/modified owner.
+    h.l1(0).warm_access({0x1000, mem::access_kind::write, false});
+    EXPECT_FALSE(h.l1(1).tags().probe(0x1000).has_value());
+    const auto hit = h.l1(0).tags().probe(0x1000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->was_dirty);
+    EXPECT_TRUE(h.l1(0).tags().is_exclusive(0x1000));
+    const coh::dir_entry* e = h.hub->dir().find(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, coh::dir_state::exclusive_modified);
+    EXPECT_EQ(e->owner, mem::core_id_t(0));
+    EXPECT_EQ(e->sharers, 1u);
+    h.hub->check_invariants();
+}
+
+TEST(warm_cmp, warm_read_downgrades_owner_and_flushes_dirty_data)
+{
+    warm_cmp_harness h;
+    // Core 0 warm-writes: M in core 0's L1. The RFO's backend fetch
+    // warm-installed a clean copy in the shared level on the way.
+    h.l1(0).warm_access({0x2000, mem::access_kind::write, false});
+    EXPECT_TRUE(h.l1(0).tags().is_exclusive(0x2000));
+    {
+        const auto staged = h.l2->tags().probe(0x2000);
+        ASSERT_TRUE(staged.has_value());
+        EXPECT_FALSE(staged->was_dirty);
+    }
+
+    // Core 1 warm-reads: the owner downgrades to S (clean, no write
+    // permission), the modified data flushes into the shared level, and
+    // the requester installs a clean copy.
+    h.l1(1).warm_access({0x2000, mem::access_kind::read, false});
+    const auto owner = h.l1(0).tags().probe(0x2000);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_FALSE(owner->was_dirty);
+    EXPECT_FALSE(h.l1(0).tags().is_exclusive(0x2000));
+    const auto requester = h.l1(1).tags().probe(0x2000);
+    ASSERT_TRUE(requester.has_value());
+    EXPECT_FALSE(requester->was_dirty);
+    EXPECT_FALSE(h.l1(1).tags().is_exclusive(0x2000));
+    const auto below = h.l2->tags().probe(0x2000);
+    ASSERT_TRUE(below.has_value());
+    EXPECT_TRUE(below->was_dirty);
+    const coh::dir_entry* e = h.hub->dir().find(0x2000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, coh::dir_state::shared);
+    EXPECT_EQ(e->sharers, 3u);
+    h.hub->check_invariants();
+}
+
+TEST(warm_cmp, warm_writeback_releases_directory_state)
+{
+    warm_cmp_harness h;
+    h.l1(0).warm_access({0x3000, mem::access_kind::write, false});
+    // Conflicting fills in the same set evict 0x3000 (2-way, 1KiB, 32B:
+    // set stride 0x400); the warm victim writeback must clear the sharer
+    // bit and ownership so the directory never leaks entries.
+    h.l1(0).warm_access({0x3400, mem::access_kind::read, false});
+    h.l1(0).warm_access({0x3800, mem::access_kind::read, false});
+    EXPECT_FALSE(h.l1(0).tags().probe(0x3000).has_value());
+    const coh::dir_entry* e = h.hub->dir().find(0x3000);
+    EXPECT_TRUE(e == nullptr || e->sharers == 0u);
+    const auto below = h.l2->tags().probe(0x3000);
+    ASSERT_TRUE(below.has_value());
+    EXPECT_TRUE(below->was_dirty);
+    h.hub->check_invariants();
+}
+
+// ---------------------------------------------------------------------------
+// Sampled CMP runs: dispatch, determinism, paranoid invariants.
+// ---------------------------------------------------------------------------
+
+hier::system_config cmp_sampled_config()
+{
+    auto config = hier::presets::cmp(hier::presets::l2_256kb(), 2);
+    config.sampling = *hier::parse_sampling_spec("periodic:1000:8000:400");
+    return config;
+}
+
+TEST(sampled_cmp, reports_windows_and_per_core_ipc)
+{
+    const auto workload =
+        *trace::parse_workload_spec("scenario:producer_consumer");
+    const auto r = run_one(cmp_sampled_config(), workload, 32000, 4000, 5);
+    EXPECT_TRUE(r.sampled);
+    EXPECT_EQ(r.cores, 2u);
+    ASSERT_EQ(r.per_core_ipc.size(), 2u);
+    EXPECT_GT(r.per_core_ipc[0], 0.0);
+    EXPECT_GT(r.per_core_ipc[1], 0.0);
+    EXPECT_GT(r.sampled_windows, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.ipc_ci95, 0.0);
+}
+
+TEST(sampled_cmp, same_seed_is_bit_identical)
+{
+    const auto workload = *wl::find_spec2006("429.mcf");
+    const auto config = cmp_sampled_config();
+    const auto a = run_one(config, workload, 24000, 3000, 42);
+    const auto b = run_one(config, workload, 24000, 3000, 42);
+    expect_sim_fields_identical(a, b);
+}
+
+TEST(sampled_cmp, sampling_off_matches_the_default_cmp_driver)
+{
+    const auto workload = *wl::find_spec2006("456.hmmer");
+    const auto preset = hier::presets::cmp(hier::presets::lnuca_l3(3), 2);
+    const auto plain = run_one(preset, workload, 2500, 500, 7);
+    auto off = preset;
+    off.sampling = *hier::parse_sampling_spec("off");
+    const auto explicit_off = run_one(off, workload, 2500, 500, 7);
+    expect_sim_fields_identical(plain, explicit_off);
+    EXPECT_FALSE(explicit_off.sampled);
+}
+
+TEST(sampled_cmp, paranoid_engine_validates_every_warm_segment)
+{
+    // The paranoid schedule re-checks directory invariants after every
+    // functional fast-forward; a warm MESI bug fails loudly here.
+    auto config = cmp_sampled_config();
+    config.engine_mode = sim::schedule_mode::paranoid;
+    const auto workload = *trace::parse_workload_spec("scenario:ping_pong");
+    const auto r = run_one(config, workload, 24000, 3000, 9);
+    EXPECT_TRUE(r.sampled);
+    EXPECT_EQ(r.cores, 2u);
 }
 
 TEST(sampled_run, ipc_tracks_the_full_fidelity_reference)

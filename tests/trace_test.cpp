@@ -223,6 +223,37 @@ TEST(trace_capture, replay_is_bit_identical_under_sampling)
     std::remove(path.c_str());
 }
 
+TEST(trace_capture, replay_is_bit_identical_under_cmp_sampling)
+{
+    const std::string path = temp_path("cap_cmp_sampled.trace");
+    hier::system_config config =
+        hier::presets::cmp(hier::presets::lnuca_l3(3), 2);
+    const auto sampling = hier::parse_sampling_spec("periodic:1000:8000:400");
+    ASSERT_TRUE(sampling.has_value());
+    config.sampling = *sampling;
+    config.capture_path = path;
+    const auto live_profile =
+        trace::parse_workload_spec("scenario:producer_consumer");
+    ASSERT_TRUE(live_profile.has_value());
+    const hier::run_result live =
+        hier::run_one(config, *live_profile, 32'000, 4'000, 13);
+    ASSERT_TRUE(live.sampled);
+    ASSERT_EQ(live.cores, 2u);
+
+    // Every lane's capture wrapped warm_next() too, so the serialised
+    // lanes are exactly what the rate-matched fast-forward and the
+    // detailed windows consumed (including the lanes' unequal warm
+    // retirement); replaying under the same sampling plan must reproduce
+    // the estimates and the per-core IPCs bit-for-bit.
+    config.capture_path.clear();
+    const auto replay_profile = trace::parse_workload_spec("trace:" + path);
+    ASSERT_TRUE(replay_profile.has_value());
+    const hier::run_result replay =
+        hier::run_one(config, *replay_profile, 32'000, 4'000, 13);
+    expect_sim_fields_identical(live, replay);
+    std::remove(path.c_str());
+}
+
 // Two cores alternate stores to one shared block, G serialised ALU fillers
 // apart (G dwarfs every coherence and memory latency, so ownership strictly
 // alternates); lane 1 starts G/2 fillers later to fix the interleave. Every

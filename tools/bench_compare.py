@@ -55,21 +55,26 @@ def compare_google_benchmark(base, fresh, threshold):
 
 
 def compare_sampling(base, fresh, threshold):
-    old, new = base.get("median_speedup", 0), fresh.get("median_speedup", 0)
-    if old > 0 and new < old * (1.0 - threshold):
-        yield "micro_sampling", "median_speedup", old, new
-    base_runs = {
-        (r["config"], r["workload"]): r for r in base.get("runs", [])
-    }
-    for run in fresh.get("runs", []):
-        ref = base_runs.get((run["config"], run["workload"]))
-        if ref is None:
-            continue
-        old = ref.get("sampled_seconds", 0)
-        new = run.get("sampled_seconds", 0)
-        if old > 0 and new > old * (1.0 + threshold):
-            yield (f"{run['config']}/{run['workload']}", "sampled_seconds",
-                   old, new)
+    # Single-core and CMP sections carry independent medians and run
+    # lists; compare whichever the baseline already has (older baselines
+    # predate the CMP rows and must stay warn-free).
+    for metric in ("median_speedup", "median_speedup_cmp"):
+        old, new = base.get(metric, 0), fresh.get(metric, 0)
+        if old > 0 and new < old * (1.0 - threshold):
+            yield "micro_sampling", metric, old, new
+    for key in ("runs", "cmp_runs"):
+        base_runs = {
+            (r["config"], r["workload"]): r for r in base.get(key, [])
+        }
+        for run in fresh.get(key, []):
+            ref = base_runs.get((run["config"], run["workload"]))
+            if ref is None:
+                continue
+            old = ref.get("sampled_seconds", 0)
+            new = run.get("sampled_seconds", 0)
+            if old > 0 and new > old * (1.0 + threshold):
+                yield (f"{run['config']}/{run['workload']}",
+                       "sampled_seconds", old, new)
 
 
 def main():
