@@ -3,10 +3,12 @@
 // against each backend's single-core baseline.
 //
 // The sweep runs every (backend, cores) preset over a 4-proxy mix set
-// through the exp runner, then post-fills run_result::weighted_speedup
-// from the in-sweep cores=1 baselines before replaying the rows into the
-// requested sinks - so the JSON-lines/CSV trajectories carry WS, not just
-// the rendered tables.
+// through the exp runner. run_result::weighted_speedup is filled by a
+// row hook *during* the sweep: the cores=1 baseline of a backend always
+// has a lower flat index than its CMP rows, so by the time a CMP row is
+// emitted (in flat order) its baseline is final — the JSON-lines/CSV
+// trajectories carry WS while keeping the runner's streaming crash
+// safety (--resume works on sharded fig_cmp sweeps).
 #include "src/lnuca.h"
 
 #include <cstdio>
@@ -35,6 +37,10 @@ int main(int argc, char** argv)
 {
     const cli_args args(argc, argv);
     const exp::app_options opt = exp::parse_app_options(args);
+    if (opt.cli_error) {
+        std::fprintf(stderr, "%s\n", opt.cli_error_text.c_str());
+        return exp::exit_cli_error;
+    }
 
     std::vector<hier::system_config> configs;
     std::vector<std::string> backend_names;
@@ -63,53 +69,62 @@ int main(int argc, char** argv)
         .base_seed(opt.seed)
         .shard(opt.shard_index, opt.shard_count);
 
-    const exp::report rep = exp::run_sweep(s, {opt.threads});
+    exp::resume_scan scan;
+    if (opt.resume && !exp::scan_resume_file(opt, s, scan))
+        return exp::exit_cli_error;
+    if (opt.resume && !opt.quiet)
+        std::fprintf(stderr,
+                     "resume: %zu rows on disk, %zu reusable, %zu failed "
+                     "rows will re-run%s\n",
+                     scan.rows, scan.completed.size(), scan.rerun_failed,
+                     scan.truncated_tail ? "; torn trailing line removed"
+                                         : "");
 
-    // Weighted speedup: each CMP row against its backend's cores=1
-    // baseline on the same workload/replicate. Sharded runs may lack the
-    // baseline cell; those rows keep WS = 0.
-    std::vector<hier::run_result> results = rep.results;
+    exp::sink_set sinks = exp::make_sinks(opt, !opt.quiet);
+    if (!sinks.ok)
+        return exp::exit_cli_error;
+
+    // Weighted speedup, filled in-stream: each CMP row against its
+    // backend's cores=1 baseline on the same workload/replicate. Sharded
+    // runs may lack the baseline cell; those rows keep WS = 0. Resumed
+    // rows already carry the WS computed when they were first written.
     bool missing_baseline = false;
-    for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
-        const exp::job& j = rep.jobs[i];
+    exp::run_options ro =
+        exp::make_run_options(opt, opt.resume ? &scan : nullptr);
+    ro.row_hook = [&](const exp::job& j, hier::run_result& r,
+                      const exp::report& rep) {
+        if (r.status != hier::run_status::ok)
+            return;
         if (configs[j.key.config].cores <= 1)
-            continue;
+            return;
         const std::size_t base_config =
             (j.key.config / per_backend) * per_backend;
         const hier::run_result* base =
             rep.find(base_config, j.key.workload, j.key.replicate);
-        if (base == nullptr) {
+        if (base == nullptr || (base->status != hier::run_status::ok &&
+                                base->status !=
+                                    hier::run_status::skipped_resumed)) {
             missing_baseline = true;
-            continue;
+            return;
         }
-        results[i].weighted_speedup =
-            hier::weighted_speedup(results[i], *base);
-    }
+        r.weighted_speedup = hier::weighted_speedup(r, *base);
+    };
+
+    const exp::report rep = exp::run_sweep(s, ro, sinks.sinks);
     if (missing_baseline)
         std::fprintf(stderr,
                      "fig_cmp: some cores=1 baseline cells fell outside "
-                     "this shard; their rows carry weighted_speedup=0\n");
-
-    // Replay the post-filled rows into the requested sinks (same wiring
-    // and path semantics as exp::run_app: JSONL appends, CSV truncates),
-    // plus a rendered table unless --quiet.
-    exp::sink_set sinks = exp::make_sinks(opt, !opt.quiet);
-    if (!sinks.ok)
-        return 1;
-    for (exp::sink* sink : sinks.sinks)
-        sink->begin(rep.jobs.size());
-    for (std::size_t i = 0; i < rep.jobs.size(); ++i)
-        for (exp::sink* sink : sinks.sinks)
-            sink->consume(rep.jobs[i], results[i]);
-    for (exp::sink* sink : sinks.sinks)
-        sink->finish();
+                     "this shard or failed; their rows carry "
+                     "weighted_speedup=0\n");
+    if (exp::report_failures(rep) > 0)
+        return exp::exit_job_failure;
 
     if (opt.quiet || opt.shard_count > 1) {
         if (opt.shard_count > 1)
             std::printf("shard %zu/%zu: summary tables suppressed - merge "
                         "the per-shard JSON-lines outputs\n",
                         opt.shard_index, opt.shard_count);
-        return 0;
+        return exp::exit_ok;
     }
 
     // Summary: per backend x core count, harmonic-mean IPC over the mix
@@ -129,7 +144,7 @@ int main(int argc, char** argv)
                 const exp::job& j = rep.jobs[i];
                 if (j.key.config != c || j.key.replicate != 0)
                     continue;
-                const hier::run_result& r = results[i];
+                const hier::run_result& r = rep.results[i];
                 ipcs.push_back(r.ipc);
                 double pc = r.ipc;
                 if (!r.per_core_ipc.empty()) {
@@ -169,10 +184,11 @@ int main(int argc, char** argv)
         for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
             const exp::job& j = rep.jobs[i];
             if (j.key.config == c && j.key.replicate == 0)
-                row.push_back(text_table::num(results[i].weighted_speedup, 2));
+                row.push_back(
+                    text_table::num(rep.results[i].weighted_speedup, 2));
         }
         d.add_row(std::move(row));
     }
     d.print();
-    return 0;
+    return exp::exit_ok;
 }

@@ -1,0 +1,112 @@
+#include "src/exp/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace lnuca::exp {
+
+namespace {
+
+// Split "a:b:c" on ':'; empty fields are preserved (and rejected later).
+std::vector<std::string> split_fields(const std::string& spec)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t sep = spec.find(':', pos);
+        out.push_back(spec.substr(
+            pos, sep == std::string::npos ? std::string::npos : sep - pos));
+        if (sep == std::string::npos)
+            return out;
+        pos = sep + 1;
+    }
+}
+
+bool parse_size(const std::string& field, std::size_t& out)
+{
+    if (field.empty())
+        return false;
+    for (const char ch : field)
+        if (ch < '0' || ch > '9')
+            return false;
+    char* after = nullptr;
+    out = std::size_t(std::strtoull(field.c_str(), &after, 10));
+    return after == field.c_str() + field.size();
+}
+
+bool parse_seconds(const std::string& field, double& out)
+{
+    if (field.empty())
+        return false;
+    char* after = nullptr;
+    out = std::strtod(field.c_str(), &after);
+    return after == field.c_str() + field.size() && out >= 0.0;
+}
+
+} // namespace
+
+std::optional<fault_plan> fault_plan::parse(const std::string& spec)
+{
+    const std::vector<std::string> f = split_fields(spec);
+    fault_plan plan;
+    if (f[0] == "throw") {
+        plan.action = kind::throw_error;
+        if (f.size() < 2 || f.size() > 3 || !parse_size(f[1], plan.flat))
+            return std::nullopt;
+        if (f.size() == 3 &&
+            (!parse_size(f[2], plan.attempts) || plan.attempts == 0))
+            return std::nullopt;
+        return plan;
+    }
+    if (f[0] == "stall") {
+        plan.action = kind::stall;
+        if (f.size() < 3 || f.size() > 4 || !parse_size(f[1], plan.flat) ||
+            !parse_seconds(f[2], plan.stall_seconds))
+            return std::nullopt;
+        if (f.size() == 4 &&
+            (!parse_size(f[3], plan.attempts) || plan.attempts == 0))
+            return std::nullopt;
+        return plan;
+    }
+    if (f[0] == "exit") {
+        plan.action = kind::hard_exit;
+        if (f.size() < 2 || f.size() > 3 || !parse_size(f[1], plan.flat))
+            return std::nullopt;
+        if (f.size() == 3) {
+            std::size_t code = 0;
+            if (!parse_size(f[2], code) || code > 255)
+                return std::nullopt;
+            plan.exit_code = int(code);
+        }
+        return plan;
+    }
+    return std::nullopt;
+}
+
+void fault_plan::apply(std::size_t job_flat, std::size_t attempt) const
+{
+    if (action == kind::none || job_flat != flat || attempt >= attempts)
+        return;
+    switch (action) {
+    case kind::throw_error:
+        throw std::runtime_error("injected fault: job " +
+                                 std::to_string(job_flat) + " attempt " +
+                                 std::to_string(attempt));
+    case kind::stall:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(stall_seconds));
+        return; // the job then runs normally (slowly)
+    case kind::hard_exit:
+        // No unwinding, no atexit, no stream flushes: the closest portable
+        // stand-in for SIGKILL, so crash-safety tests see exactly the bytes
+        // the sinks had already written.
+        std::_Exit(exit_code);
+    case kind::none:
+        return;
+    }
+}
+
+} // namespace lnuca::exp

@@ -1,0 +1,49 @@
+// Test-only fault injection for the experiment runner.
+//
+// A fault_plan names one job of a sweep (by flat index) and an action to
+// take when that job starts an attempt: throw, stall, or hard-kill the
+// process. It exists so tests and CI can deterministically exercise the
+// fault-isolation, timeout/retry, and kill-and-resume machinery
+// (tests/exp_fault_test.cpp, the CI kill-and-resume smoke job) — it is
+// wired through `--fault SPEC` / the LNUCA_FAULT environment variable and
+// is inert unless one of those is set.
+//
+// Spec grammar (one action per plan):
+//   throw:<flat>[:<attempts>]     throw std::runtime_error at the start of
+//                                 the first <attempts> attempts (default 1)
+//                                 of job <flat> — with --retries >= attempts
+//                                 the retry then succeeds bit-identically
+//   stall:<flat>:<seconds>[:<attempts>]
+//                                 sleep <seconds> before running job <flat>
+//                                 (trips a --timeout shorter than the stall)
+//   exit:<flat>[:<code>]          std::_Exit(<code>, default 137 = SIGKILL
+//                                 convention) when job <flat> starts — a
+//                                 deterministic stand-in for kill -9
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace lnuca::exp {
+
+struct fault_plan {
+    enum class kind { none, throw_error, stall, hard_exit };
+
+    kind action = kind::none;
+    std::size_t flat = 0;       ///< target job (flat sweep index)
+    std::size_t attempts = 1;   ///< trigger on the first N attempts
+    double stall_seconds = 0.0; ///< stall: sleep before running the job
+    int exit_code = 137;        ///< hard_exit: process exit status
+
+    /// Parse a spec string (see grammar above); std::nullopt on error.
+    static std::optional<fault_plan> parse(const std::string& spec);
+
+    /// Called at the start of job attempt (flat, attempt). No-op unless the
+    /// plan targets this attempt; otherwise throws (throw_error), sleeps
+    /// (stall — the job then runs normally), or exits the process without
+    /// unwinding (hard_exit).
+    void apply(std::size_t job_flat, std::size_t attempt) const;
+};
+
+} // namespace lnuca::exp

@@ -1,6 +1,9 @@
 #include "src/exp/pool.h"
 
+#include "src/common/log.h"
+
 #include <algorithm>
+#include <chrono>
 
 namespace lnuca::exp {
 
@@ -8,46 +11,45 @@ pool::pool(unsigned threads)
 {
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
-    queues_.reserve(threads);
+    ctl_ = std::make_shared<control>();
+    ctl_->queues.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)
-        queues_.push_back(std::make_unique<worker_queue>());
+        ctl_->queues.push_back(std::make_unique<worker_queue>());
+    ctl_->exited.assign(threads, 0);
+    ctl_->in_task.assign(threads, 0);
+    ctl_->live_workers = threads;
     workers_.reserve(threads);
     for (unsigned t = 0; t < threads; ++t)
-        workers_.emplace_back([this, t] { worker_loop(t); });
+        workers_.emplace_back([ctl = ctl_, t] { worker_loop(ctl, t); });
 }
 
 pool::~pool()
 {
-    wait();
-    {
-        std::lock_guard<std::mutex> lock(control_mutex_);
-        stopping_ = true;
-    }
-    work_ready_.notify_all();
-    for (auto& w : workers_)
-        w.join();
+    shutdown(0.0);
 }
 
 void pool::submit(task t)
 {
+    control& ctl = *ctl_;
     std::size_t target;
     {
-        std::lock_guard<std::mutex> lock(control_mutex_);
-        target = next_queue_++ % queues_.size();
-        ++queued_;
-        ++outstanding_;
+        std::lock_guard<std::mutex> lock(ctl.mutex);
+        target = ctl.next_queue++ % ctl.queues.size();
+        ++ctl.queued;
+        ++ctl.outstanding;
     }
     {
-        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-        queues_[target]->tasks.push_back(std::move(t));
+        std::lock_guard<std::mutex> lock(ctl.queues[target]->mutex);
+        ctl.queues[target]->tasks.push_back(std::move(t));
     }
-    work_ready_.notify_one();
+    ctl.work_ready.notify_one();
 }
 
 void pool::wait()
 {
-    std::unique_lock<std::mutex> lock(control_mutex_);
-    all_done_.wait(lock, [this] { return outstanding_ == 0; });
+    control& ctl = *ctl_;
+    std::unique_lock<std::mutex> lock(ctl.mutex);
+    ctl.all_done.wait(lock, [&] { return ctl.outstanding == 0; });
 }
 
 void pool::parallel_for(std::size_t n,
@@ -58,13 +60,83 @@ void pool::parallel_for(std::size_t n,
     wait();
 }
 
-bool pool::try_take(unsigned self, task& out)
+std::size_t pool::shutdown(double deadline_seconds)
+{
+    if (shut_down_)
+        return 0;
+    shut_down_ = true;
+    control& ctl = *ctl_;
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(deadline_seconds, 0.0)));
+    const bool bounded = deadline_seconds > 0.0;
+
+    {
+        std::unique_lock<std::mutex> lock(ctl.mutex);
+        if (bounded)
+            ctl.all_done.wait_until(lock, deadline,
+                                    [&] { return ctl.outstanding == 0; });
+        else
+            ctl.all_done.wait(lock, [&] { return ctl.outstanding == 0; });
+        ctl.stopping = true;
+        if (bounded && ctl.outstanding != 0)
+            ctl.abandoning = true; // zombie workers must not start new tasks
+    }
+    ctl.work_ready.notify_all();
+
+    if (!bounded) {
+        for (auto& w : workers_)
+            w.join();
+        return 0;
+    }
+
+    // Exit phase, with its own grace period: an *idle* worker only needs
+    // to wake, observe `stopping`, and return — it must never be counted
+    // as stuck just because the drain wait above consumed the deadline.
+    // Only workers still inside t() (in_task) are waited out and then
+    // abandoned.
+    const auto exit_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadline_seconds));
+    std::vector<char> exited_copy;
+    {
+        std::unique_lock<std::mutex> lock(ctl.mutex);
+        ctl.worker_exited.wait_until(lock, exit_deadline, [&] {
+            std::size_t stuck = 0;
+            for (const char busy : ctl.in_task)
+                stuck += busy != 0;
+            return ctl.live_workers == stuck; // every idle worker has left
+        });
+        if (ctl.live_workers != 0)
+            ctl.abandoning = true;
+        exited_copy = ctl.exited;
+    }
+
+    std::size_t abandoned = 0;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (exited_copy[i]) {
+            workers_[i].join();
+        } else {
+            LNUCA_WARN("pool shutdown: worker ", i,
+                       " still stuck in a task after ", deadline_seconds,
+                       "s deadline; abandoning it");
+            workers_[i].detach();
+            ++abandoned;
+        }
+    }
+    return abandoned;
+}
+
+bool pool::try_take(control& ctl, unsigned self, task& out)
 {
     // Own queue first (front: oldest of our share), then steal from the
     // back of the other queues, starting just after ourselves so stealers
     // spread out instead of mobbing worker 0.
     {
-        auto& own = *queues_[self];
+        auto& own = *ctl.queues[self];
         std::lock_guard<std::mutex> lock(own.mutex);
         if (!own.tasks.empty()) {
             out = std::move(own.tasks.front());
@@ -72,51 +144,68 @@ bool pool::try_take(unsigned self, task& out)
             return true;
         }
     }
-    const std::size_t n = queues_.size();
+    const std::size_t n = ctl.queues.size();
     for (std::size_t hop = 1; hop < n; ++hop) {
-        auto& victim = *queues_[(self + hop) % n];
+        auto& victim = *ctl.queues[(self + hop) % n];
         std::lock_guard<std::mutex> lock(victim.mutex);
         if (!victim.tasks.empty()) {
             out = std::move(victim.tasks.back());
             victim.tasks.pop_back();
-            std::lock_guard<std::mutex> control(control_mutex_);
-            ++steals_;
+            std::lock_guard<std::mutex> control_lock(ctl.mutex);
+            ++ctl.steals;
             return true;
         }
     }
     return false;
 }
 
-void pool::worker_loop(unsigned self)
+void pool::worker_loop(std::shared_ptr<control> ctl_ptr, unsigned self)
 {
+    control& ctl = *ctl_ptr;
     for (;;) {
+        bool done = false;
+        {
+            std::lock_guard<std::mutex> lock(ctl.mutex);
+            if (ctl.abandoning)
+                done = true; // bounded shutdown gave up: start nothing new
+        }
         task t;
-        if (try_take(self, t)) {
+        if (!done && try_take(ctl, self, t)) {
             {
-                std::lock_guard<std::mutex> lock(control_mutex_);
-                --queued_;
+                std::lock_guard<std::mutex> lock(ctl.mutex);
+                --ctl.queued;
+                ctl.in_task[self] = 1;
             }
             t();
             bool drained;
             {
-                std::lock_guard<std::mutex> lock(control_mutex_);
-                drained = --outstanding_ == 0;
+                std::lock_guard<std::mutex> lock(ctl.mutex);
+                ctl.in_task[self] = 0;
+                drained = --ctl.outstanding == 0;
             }
             if (drained)
-                all_done_.notify_all();
+                ctl.all_done.notify_all();
             continue;
         }
-        std::unique_lock<std::mutex> lock(control_mutex_);
-        work_ready_.wait(lock, [this] { return stopping_ || queued_ > 0; });
-        if (stopping_ && queued_ == 0)
+        std::unique_lock<std::mutex> lock(ctl.mutex);
+        if (!done)
+            ctl.work_ready.wait(lock, [&] {
+                return ctl.stopping || ctl.abandoning || ctl.queued > 0;
+            });
+        if (ctl.abandoning || (ctl.stopping && ctl.queued == 0)) {
+            ctl.exited[self] = 1;
+            --ctl.live_workers;
+            lock.unlock();
+            ctl.worker_exited.notify_all();
             return;
+        }
     }
 }
 
 std::uint64_t pool::steal_count() const
 {
-    std::lock_guard<std::mutex> lock(control_mutex_);
-    return steals_;
+    std::lock_guard<std::mutex> lock(ctl_->mutex);
+    return ctl_->steals;
 }
 
 } // namespace lnuca::exp

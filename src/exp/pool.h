@@ -7,8 +7,18 @@
 // the pool makes no ordering promises, which is why the experiment runner
 // has every task write into its own preallocated result slot and replays
 // sinks in flat job order afterwards.
+//
+// Shutdown robustness: all queue/counter state lives in a shared control
+// block that every worker keeps alive through a shared_ptr, so shutdown()
+// can *abandon* (detach) a worker stuck inside a stalled task after a
+// deadline instead of deadlocking the harness — the zombie worker's later
+// accesses to pool state remain valid even after the pool object is gone.
+// The abandoned task itself must not reference state owned by the caller
+// that a bounded shutdown will free (the experiment runner's per-job soft
+// timeouts keep its tasks short precisely so this path stays last-resort).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -28,7 +38,9 @@ public:
     /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
     explicit pool(unsigned threads = 0);
 
-    /// Drains outstanding work before joining the workers.
+    /// Equivalent to shutdown(0): drains outstanding work, then joins every
+    /// worker (unbounded — call shutdown(deadline) first when a task may be
+    /// stuck and the harness must survive).
     ~pool();
 
     pool(const pool&) = delete;
@@ -43,6 +55,16 @@ public:
     /// Run fn(0) .. fn(n-1) across the pool and wait for all of them.
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+    /// Bounded shutdown. deadline_seconds <= 0 drains and joins unbounded
+    /// (the historical destructor behaviour). A positive deadline waits at
+    /// most that long for outstanding work, then grants the same again as
+    /// an exit grace: only workers still stuck *inside a task* are reported
+    /// (LNUCA_WARN, naming the worker) and detached rather than joined —
+    /// an idle worker that merely has not woken yet is always joined — and
+    /// no further queued tasks are started. Returns the number of abandoned
+    /// workers. Idempotent; the destructor becomes a no-op afterwards.
+    std::size_t shutdown(double deadline_seconds = 0.0);
+
     unsigned thread_count() const { return unsigned(workers_.size()); }
 
     /// Tasks a worker obtained from another worker's deque (load-balance
@@ -55,20 +77,32 @@ private:
         std::deque<task> tasks;
     };
 
-    void worker_loop(unsigned self);
-    bool try_take(unsigned self, task& out);
+    // Shared by the pool object and every worker thread; outlives the pool
+    // when a worker is abandoned at shutdown.
+    struct control {
+        std::vector<std::unique_ptr<worker_queue>> queues;
 
-    std::vector<std::unique_ptr<worker_queue>> queues_;
+        std::mutex mutex;
+        std::condition_variable work_ready;
+        std::condition_variable all_done;
+        std::condition_variable worker_exited;
+        std::size_t queued = 0;      ///< submitted, not yet picked up
+        std::size_t outstanding = 0; ///< submitted, not yet finished
+        std::uint64_t steals = 0;
+        std::size_t next_queue = 0;  ///< round-robin submit cursor
+        std::size_t live_workers = 0;
+        bool stopping = false;
+        bool abandoning = false; ///< bounded shutdown gave up: take no more
+        std::vector<char> exited;  ///< per-worker: worker_loop returned
+        std::vector<char> in_task; ///< per-worker: currently inside t()
+    };
+
+    static void worker_loop(std::shared_ptr<control> ctl, unsigned self);
+    static bool try_take(control& ctl, unsigned self, task& out);
+
+    std::shared_ptr<control> ctl_;
     std::vector<std::thread> workers_;
-
-    mutable std::mutex control_mutex_;
-    std::condition_variable work_ready_;
-    std::condition_variable all_done_;
-    std::size_t queued_ = 0;      ///< submitted, not yet picked up
-    std::size_t outstanding_ = 0; ///< submitted, not yet finished
-    std::uint64_t steals_ = 0;
-    std::size_t next_queue_ = 0;  ///< round-robin submit cursor
-    bool stopping_ = false;
+    bool shut_down_ = false;
 };
 
 } // namespace lnuca::exp

@@ -3,28 +3,42 @@
 #include "src/common/stats.h"
 #include "src/trace/workload_spec.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 namespace lnuca::exp {
 
 namespace {
 
-// "--shard i/n" -> (i, n). Accepts "i:n" too.
+// "--shard i/n" -> (i, n). Accepts "i:n" too. Digits only — no silent
+// partial parses ("--shard 0x1/2" is a typo, not shard 0).
 bool parse_shard(const std::string& text, std::size_t& index,
                  std::size_t& count)
 {
     const std::size_t sep = text.find_first_of("/:");
     if (sep == std::string::npos || sep == 0 || sep + 1 >= text.size())
         return false;
-    try {
-        index = std::stoull(text.substr(0, sep));
-        count = std::stoull(text.substr(sep + 1));
-    } catch (...) {
-        return false;
-    }
+    const std::string left = text.substr(0, sep);
+    const std::string right = text.substr(sep + 1);
+    for (const std::string& part : {left, right})
+        for (char c : part)
+            if (c < '0' || c > '9')
+                return false;
+    index = std::size_t(std::strtoull(left.c_str(), nullptr, 10));
+    count = std::size_t(std::strtoull(right.c_str(), nullptr, 10));
     return count > 0 && index < count;
+}
+
+void set_cli_error(app_options& opt, std::string text)
+{
+    if (!opt.cli_error) { // keep the first error; it is the root cause
+        opt.cli_error = true;
+        opt.cli_error_text = std::move(text);
+    }
 }
 
 } // namespace
@@ -62,14 +76,12 @@ app_options parse_app_options(const cli_args& args)
                      sampling.c_str());
     }
     if (const auto shard = args.value("shard")) {
-        if (!parse_shard(*shard, opt.shard_index, opt.shard_count)) {
-            std::fprintf(stderr,
-                         "invalid --shard '%s' (expected i/n with i < n); "
-                         "running the full sweep\n",
-                         shard->c_str());
-            opt.shard_index = 0;
-            opt.shard_count = 1;
-        }
+        // A mistyped shard used to fall back to the *full* sweep — the
+        // worst possible recovery for a fleet driver, which would then run
+        // N copies of everything. It is a hard CLI error now.
+        if (!parse_shard(*shard, opt.shard_index, opt.shard_count))
+            set_cli_error(opt, "invalid --shard '" + *shard +
+                                   "' (expected i/n with i < n)");
     }
     if (const auto workloads = args.value("workload")) {
         std::string bad;
@@ -82,28 +94,55 @@ app_options parse_app_options(const cli_args& args)
                          bad.c_str());
     }
     opt.capture_path = args.get_string("capture", "");
+
+    opt.timeout_seconds = args.get_double("timeout", 0.0);
+    if (opt.timeout_seconds < 0.0)
+        set_cli_error(opt, "--timeout must be >= 0 seconds");
+    opt.retries = std::size_t(args.get_u64("retries", 0));
+    opt.resume = args.has_flag("resume");
+    opt.durable_rows = std::size_t(args.get_u64("durable", 0));
+
+    // Fault injection: the flag wins over the LNUCA_FAULT environment
+    // variable (the env var exists so CI can crash a binary it did not
+    // build the command line of).
+    std::string fault_spec = args.get_string("fault", "");
+    if (fault_spec.empty())
+        if (const char* env = std::getenv("LNUCA_FAULT"))
+            fault_spec = env;
+    if (!fault_spec.empty()) {
+        if (const auto plan = fault_plan::parse(fault_spec))
+            opt.fault = *plan;
+        else
+            set_cli_error(opt,
+                          "invalid fault spec '" + fault_spec +
+                              "' (throw:<flat>[:<attempts>] | "
+                              "stall:<flat>:<seconds>[:<attempts>] | "
+                              "exit:<flat>[:<code>])");
+    }
     return opt;
 }
 
 sink_set make_sinks(const app_options& opt, bool with_table)
 {
-    // "-" streams to stdout. The JSON-lines file opens in append mode (as
-    // documented: successive runs/shards accumulate into one trajectory);
-    // the CSV file truncates, since its header row only makes sense once.
+    // "-" streams to stdout. The JSON-lines file opens O_APPEND (as
+    // documented: successive runs/shards/resumes accumulate into one
+    // trajectory, and appends are newline-atomic for crash safety); the
+    // CSV file truncates, since its header row only makes sense once.
     sink_set set;
     if (!opt.json_path.empty()) {
         if (opt.json_path == "-") {
             set.json = std::make_unique<jsonl_sink>(std::cout);
         } else {
-            set.json_file =
-                std::make_unique<std::ofstream>(opt.json_path, std::ios::app);
-            if (!*set.json_file) {
+            // --durable N: write every row immediately, fsync every N.
+            const std::size_t flush_rows = opt.durable_rows > 0 ? 1 : 64;
+            set.json = std::make_unique<jsonl_sink>(opt.json_path, flush_rows,
+                                                    opt.durable_rows);
+            if (!set.json->ok()) {
                 std::fprintf(stderr, "cannot open '%s' for writing\n",
                              opt.json_path.c_str());
                 set.ok = false;
                 return set;
             }
-            set.json = std::make_unique<jsonl_sink>(*set.json_file);
         }
         set.sinks.push_back(set.json.get());
     }
@@ -129,12 +168,124 @@ sink_set make_sinks(const app_options& opt, bool with_table)
     return set;
 }
 
-int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
+bool scan_resume_file(const app_options& opt, const sweep& s, resume_scan& out)
+{
+    out = resume_scan{};
+    if (opt.json_path.empty() || opt.json_path == "-") {
+        std::fprintf(stderr,
+                     "--resume requires --json FILE (the file to scan and "
+                     "extend)\n");
+        return false;
+    }
+
+    std::string content;
+    {
+        std::ifstream in(opt.json_path, std::ios::binary);
+        if (!in)
+            return true; // nothing written yet: resume of a fresh shard
+        content.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+    }
+
+    // The unsharded job list: rows from sibling shards of the same sweep
+    // may share the file and must verify (and be ignored) too.
+    sweep full = s;
+    full.shard(0, 1);
+    const std::vector<job> jobs = full.build();
+
+    std::size_t line_start = 0;
+    std::size_t line_no = 0;
+    while (line_start < content.size()) {
+        std::size_t newline = content.find('\n', line_start);
+        const bool terminated = newline != std::string::npos;
+        if (!terminated)
+            newline = content.size();
+        const std::string line =
+            content.substr(line_start, newline - line_start);
+        const std::size_t next = terminated ? newline + 1 : content.size();
+        ++line_no;
+
+        if (line.empty()) {
+            line_start = next;
+            continue;
+        }
+        const auto decoded = decode_json_line(line);
+        if (!decoded) {
+            // A torn tail from a mid-write kill can only be the *last*
+            // line. Anywhere else the file is corrupt, and silently
+            // skipping a row would un-resume it into a duplicate.
+            if (next < content.size()) {
+                std::fprintf(stderr,
+                             "--resume: '%s' line %zu is malformed and not "
+                             "the trailing line; refusing to resume from a "
+                             "corrupt file\n",
+                             opt.json_path.c_str(), line_no);
+                return false;
+            }
+            if (::truncate(opt.json_path.c_str(), off_t(line_start)) != 0) {
+                std::fprintf(stderr,
+                             "--resume: cannot truncate torn tail of '%s'\n",
+                             opt.json_path.c_str());
+                return false;
+            }
+            out.truncated_tail = true;
+            break;
+        }
+
+        // Every decodable row must belong to *this* sweep: same flat
+        // coordinates, the same derived seed and the same run length.
+        // Anything else means the file holds a different experiment and
+        // resuming would silently mix the two.
+        const std::size_t flat = decoded->key.flat;
+        if (flat >= jobs.size() || !(jobs[flat].key == decoded->key) ||
+            jobs[flat].seed != decoded->seed ||
+            jobs[flat].instructions != decoded->instructions_requested ||
+            jobs[flat].warmup != decoded->warmup) {
+            std::fprintf(stderr,
+                         "--resume: '%s' line %zu does not match this sweep "
+                         "(flat %zu, seed %llu); was the file produced by a "
+                         "different command line?\n",
+                         opt.json_path.c_str(), line_no, flat,
+                         (unsigned long long)decoded->seed);
+            return false;
+        }
+
+        ++out.rows;
+        const hier::run_status st = decoded->result.status;
+        if (st == hier::run_status::ok ||
+            st == hier::run_status::skipped_resumed) {
+            out.completed[flat] = decoded->result; // last row wins
+        } else {
+            ++out.rerun_failed;
+            out.completed.erase(flat); // an earlier ok row cannot shadow it
+        }
+        line_start = next;
+    }
+    return true;
+}
+
+run_options make_run_options(const app_options& opt, const resume_scan* scan)
+{
+    run_options ro;
+    ro.threads = opt.threads;
+    ro.job_timeout_seconds = opt.timeout_seconds;
+    ro.job_retries = opt.retries;
+    ro.fault = opt.fault ? &*opt.fault : nullptr;
+    ro.resume = scan != nullptr ? &scan->completed : nullptr;
+    return ro;
+}
+
+int run_app(int argc, const char* const* argv,
+            std::vector<hier::system_config> configs,
             std::vector<wl::workload_profile> workloads,
             const render_fn& render)
 {
     const cli_args args(argc, argv);
     const app_options opt = parse_app_options(args);
+    if (opt.cli_error) {
+        std::fprintf(stderr, "%s\n", opt.cli_error_text.c_str());
+        return exit_cli_error;
+    }
 
     if (!opt.workload_override.empty())
         workloads = opt.workload_override;
@@ -153,7 +304,7 @@ int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
                          "1 workload, replicates=1, no shard); got %zu x %zu "
                          "x %zu\n",
                          configs.size(), workloads.size(), opt.replicates);
-            return 1;
+            return exit_cli_error;
         }
         configs.front().capture_path = opt.capture_path;
     }
@@ -167,12 +318,26 @@ int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
         .base_seed(opt.seed)
         .shard(opt.shard_index, opt.shard_count);
 
+    resume_scan scan;
+    if (opt.resume) {
+        if (!scan_resume_file(opt, s, scan))
+            return exit_cli_error;
+        if (!opt.quiet)
+            std::fprintf(stderr,
+                         "resume: %zu rows on disk, %zu reusable, %zu failed "
+                         "rows will re-run%s\n",
+                         scan.rows, scan.completed.size(), scan.rerun_failed,
+                         scan.truncated_tail ? "; torn trailing line removed"
+                                             : "");
+    }
+
     sink_set sinks = make_sinks(opt);
     if (!sinks.ok)
-        return 1;
+        return exit_cli_error;
 
     const auto wall_start = std::chrono::steady_clock::now();
-    const report rep = run_sweep(s, {opt.threads}, sinks.sinks);
+    const run_options ro = make_run_options(opt, opt.resume ? &scan : nullptr);
+    const report rep = run_sweep(s, ro, sinks.sinks);
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
@@ -192,17 +357,23 @@ int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
                     safe_ratio(total_instructions, job_seconds) * 1e-6);
     }
 
+    // Failures: every job still produced a row (fault isolation), but the
+    // matrix is not trustworthy — name the failures, skip the tables, and
+    // exit non-zero so drivers re-run (or --resume) the shard.
+    if (report_failures(rep) > 0)
+        return exit_job_failure;
+
     if (opt.shard_count > 1) {
         std::printf("shard %zu/%zu: ran %zu of %zu jobs; tables suppressed — "
                     "merge the per-shard JSON-lines outputs for the full "
                     "matrix\n",
                     opt.shard_index, opt.shard_count, rep.jobs.size(),
                     s.total_jobs());
-        return 0;
+        return exit_ok;
     }
     if (!opt.quiet && render)
         render(rep, opt);
-    return 0;
+    return exit_ok;
 }
 
 } // namespace lnuca::exp

@@ -22,6 +22,24 @@
 //   --capture PATH     serialise the run's instruction stream(s) to a
 //                      binary trace file; requires a single-job sweep
 //                      (one config x one workload, replicates=1)
+//   --timeout S        per-job soft timeout in seconds (0 = off): a stalled
+//                      job becomes a timed_out row instead of hanging the
+//                      sweep (its attempt thread is abandoned)
+//   --retries N        extra attempts for a failed/timed-out job; retries
+//                      re-derive the identical rng::split seed, so a
+//                      successful retry is bit-identical to a clean run
+//   --resume           scan the --json file, skip every (config, workload,
+//                      replicate) already completed there (failed rows and
+//                      one trailing truncated line are re-run/repaired),
+//                      and append only the missing rows — an interrupted
+//                      shard re-invoked with the same command line
+//                      converges to the uninterrupted run's byte content
+//                      (modulo host-timing fields)
+//   --durable N        crash-durable JSON-lines: write every row
+//                      immediately and fsync every N rows
+//   --fault SPEC       test-only fault injection (also: LNUCA_FAULT env
+//                      var; flag wins): throw:<flat>[:<attempts>] |
+//                      stall:<flat>:<sec>[:<attempts>] | exit:<flat>[:<code>]
 //   --quiet            skip the paper-style rendered tables and the
 //                      throughput summary
 //
@@ -30,19 +48,32 @@
 // for unsharded runs — calls render with the completed report. Sharded runs
 // suppress rendering (the matrix is partial by construction) and tell the
 // operator to merge the JSON-lines shards instead.
+//
+// Exit codes: 0 on success, exit_job_failure (1) when any job failed or
+// timed out (the failure summary on stderr names each one), and
+// exit_cli_error (2) for command-line/configuration errors — so fleet
+// drivers can tell "re-run the failed rows" from "fix the invocation".
 #pragma once
 
 #include "src/common/cli.h"
+#include "src/exp/fault.h"
 #include "src/exp/runner.h"
 #include "src/exp/sink.h"
 
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace lnuca::exp {
+
+/// Process exit codes shared by run_app and the self-driving benches.
+inline constexpr int exit_ok = 0;
+inline constexpr int exit_job_failure = 1; ///< >= 1 job failed / timed out
+inline constexpr int exit_cli_error = 2;   ///< bad flags / unusable files
 
 struct app_options {
     std::uint64_t instructions = hier::default_instructions;
@@ -62,6 +93,19 @@ struct app_options {
     /// source in workload_profile::trace_path / scenario).
     std::vector<wl::workload_profile> workload_override;
     std::string capture_path; ///< --capture: binary trace output file
+
+    // Fault tolerance / resume (see the flag table above).
+    double timeout_seconds = 0.0;     ///< --timeout
+    std::size_t retries = 0;          ///< --retries
+    bool resume = false;              ///< --resume
+    std::size_t durable_rows = 0;     ///< --durable (0 = batched, no fsync)
+    std::optional<fault_plan> fault;  ///< --fault / LNUCA_FAULT
+
+    /// Set by parse_app_options on an unusable command line (bad --shard,
+    /// bad --fault, ...). Callers must print cli_error_text and exit with
+    /// exit_cli_error instead of running a half-configured sweep.
+    bool cli_error = false;
+    std::string cli_error_text;
 };
 
 /// Parse the shared options; unknown options are left for the caller.
@@ -70,29 +114,56 @@ app_options parse_app_options(const cli_args& args);
 /// The JSONL/CSV (and optional rendered-table) sinks an app_options asks
 /// for, with their backing streams - one owner movable across the sweep.
 /// `ok` is false when an output file could not be opened (already
-/// reported to stderr); callers should exit non-zero.
+/// reported to stderr); callers should exit with exit_cli_error.
 struct sink_set {
     std::vector<sink*> sinks;
     bool ok = true;
 
     // Owned plumbing behind `sinks` (order matters: streams before sinks).
-    std::unique_ptr<std::ofstream> json_file, csv_file;
+    std::unique_ptr<std::ofstream> csv_file;
     std::unique_ptr<jsonl_sink> json;
     std::unique_ptr<csv_sink> csv;
     std::unique_ptr<table_sink> table;
 };
 
-/// Wire the sinks requested by `opt` ("-" streams to stdout; the
-/// JSON-lines file appends, the CSV truncates). `with_table` adds a
-/// rendered table_sink on stdout (fig_cmp-style row replay).
+/// Wire the sinks requested by `opt` ("-" streams to stdout). The
+/// JSON-lines file appends (O_APPEND; --durable N adds write-per-row +
+/// fsync-every-N), the CSV truncates. `with_table` adds a rendered
+/// table_sink on stdout (fig_cmp-style row replay).
 sink_set make_sinks(const app_options& opt, bool with_table = false);
+
+/// Result of scanning an existing JSON-lines file for --resume.
+struct resume_scan {
+    /// flat job index -> decoded result for rows that completed (status
+    /// ok); failed/timed-out rows are deliberately absent so they re-run.
+    std::map<std::size_t, hier::run_result> completed;
+    std::size_t rows = 0;         ///< decodable rows seen (any status)
+    std::size_t rerun_failed = 0; ///< failed/timed-out rows that will re-run
+    bool truncated_tail = false;  ///< one partial trailing line was removed
+};
+
+/// Scan opt.json_path against the sweep for --resume. Rules: every decoded
+/// row must match the sweep's job at its flat index (same coordinates,
+/// seed, instructions, warmup — otherwise the file belongs to a different
+/// sweep and resuming would silently mix experiments); rows for other
+/// shards of the same sweep are accepted and ignored; exactly one
+/// undecodable *trailing* line is tolerated as a kill-torn tail and
+/// truncated off the file; an undecodable line anywhere else poisons the
+/// file. Returns false (message on stderr) when resume cannot proceed.
+bool scan_resume_file(const app_options& opt, const sweep& s,
+                      resume_scan& out);
+
+/// run_options wired from the app flags (+ the resume scan, which must
+/// outlive the run_sweep call, as must `opt` itself for --fault).
+run_options make_run_options(const app_options& opt, const resume_scan* scan);
 
 /// Render callback: the completed (unsharded) report plus the options.
 using render_fn = std::function<void(const report&, const app_options&)>;
 
 /// Run a (configs x workloads) sweep under the shared command line.
-/// Returns the process exit code.
-int run_app(int argc, char** argv, std::vector<hier::system_config> configs,
+/// Returns the process exit code (see exit_* above).
+int run_app(int argc, const char* const* argv,
+            std::vector<hier::system_config> configs,
             std::vector<wl::workload_profile> workloads,
             const render_fn& render);
 

@@ -3,7 +3,13 @@
 #include "src/common/log.h"
 #include "src/exp/pool.h"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace lnuca::exp {
 
@@ -44,6 +50,166 @@ std::vector<std::vector<hier::run_result>> report::matrix() const
     return out;
 }
 
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point start)
+{
+    return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+/// A zeroed result carrying the job's identity plus the failure state —
+/// what the sinks see for a job that threw or stalled.
+hier::run_result failure_result(const job& j, hier::run_status status,
+                                std::string error)
+{
+    hier::run_result r;
+    r.config_name = j.config.name;
+    r.workload_name = j.workload.name;
+    r.floating_point = j.workload.floating_point;
+    r.status = status;
+    r.error = std::move(error);
+    return r;
+}
+
+/// One attempt, run inline on the calling thread. Exceptions — from fault
+/// injection or the simulation itself — become failed rows; everything
+/// else keeps status ok.
+hier::run_result run_attempt_inline(const job& j, const fault_plan* fault,
+                                    std::size_t attempt)
+{
+    const auto start = clock::now();
+    try {
+        if (fault != nullptr)
+            fault->apply(j.key.flat, attempt); // may throw / stall / _Exit
+        return j.run();
+    } catch (const std::exception& e) {
+        hier::run_result r = failure_result(j, hier::run_status::failed,
+                                            e.what());
+        r.host_seconds = seconds_since(start);
+        return r;
+    } catch (...) {
+        hier::run_result r = failure_result(
+            j, hier::run_status::failed, "unknown exception (not derived "
+                                         "from std::exception)");
+        r.host_seconds = seconds_since(start);
+        return r;
+    }
+}
+
+/// One attempt under a soft timeout: the attempt runs on its own thread
+/// writing into a heap slot; on deadline the waiter abandons (detaches)
+/// the thread and reports timed_out. The slot is shared_ptr-owned, so the
+/// zombie's eventual write is safe; the job is copied into the thread for
+/// the same reason.
+hier::run_result run_attempt_with_timeout(const job& j, const run_options& opt,
+                                          std::size_t attempt)
+{
+    struct attempt_slot {
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        bool done = false;
+        hier::run_result result;
+    };
+    auto slot = std::make_shared<attempt_slot>();
+    const fault_plan fault = opt.fault != nullptr ? *opt.fault : fault_plan{};
+
+    std::thread worker([slot, j, fault, attempt] {
+        hier::run_result r = run_attempt_inline(j, &fault, attempt);
+        {
+            std::lock_guard<std::mutex> lock(slot->mutex);
+            slot->result = std::move(r);
+            slot->done = true;
+        }
+        slot->done_cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lock(slot->mutex);
+    const bool finished = slot->done_cv.wait_for(
+        lock, std::chrono::duration<double>(opt.job_timeout_seconds),
+        [&] { return slot->done; });
+    if (finished) {
+        hier::run_result r = std::move(slot->result);
+        lock.unlock();
+        worker.join();
+        return r;
+    }
+    lock.unlock();
+    worker.detach();
+    hier::run_result r = failure_result(
+        j, hier::run_status::timed_out,
+        "exceeded " + std::to_string(opt.job_timeout_seconds) +
+            "s soft timeout; attempt thread abandoned");
+    r.host_seconds = opt.job_timeout_seconds;
+    return r;
+}
+
+} // namespace
+
+hier::run_result execute_job(const job& j, const run_options& opt)
+{
+    const std::size_t attempts = 1 + opt.job_retries;
+    hier::run_result r;
+    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+        r = opt.job_timeout_seconds > 0.0
+                ? run_attempt_with_timeout(j, opt, attempt)
+                : run_attempt_inline(j, opt.fault, attempt);
+        // A retry reconstructs the run from the same rng::split(base, c, w,
+        // r) seed, so a success here is bit-identical to a first-try one.
+        if (r.status == hier::run_status::ok)
+            return r;
+    }
+    if (attempts > 1)
+        r.error += " (after " + std::to_string(attempts) + " attempts)";
+    return r;
+}
+
+std::size_t count_failures(const report& rep)
+{
+    std::size_t failures = 0;
+    for (const auto& r : rep.results)
+        if (r.status == hier::run_status::failed ||
+            r.status == hier::run_status::timed_out)
+            ++failures;
+    return failures;
+}
+
+std::size_t report_failures(const report& rep)
+{
+    std::size_t counts[4] = {0, 0, 0, 0};
+    for (const auto& r : rep.results)
+        ++counts[std::size_t(r.status)];
+    const std::size_t failures =
+        counts[std::size_t(hier::run_status::failed)] +
+        counts[std::size_t(hier::run_status::timed_out)];
+    if (failures == 0)
+        return 0;
+    for (std::size_t i = 0; i < rep.jobs.size(); ++i) {
+        const hier::run_result& r = rep.results[i];
+        if (r.status != hier::run_status::failed &&
+            r.status != hier::run_status::timed_out)
+            continue;
+        const job& j = rep.jobs[i];
+        std::fprintf(stderr,
+                     "FAILED job: %s x %s (config %zu, workload %zu, "
+                     "replicate %zu, flat %zu, seed %llu): %s: %s\n",
+                     r.config_name.c_str(), r.workload_name.c_str(),
+                     j.key.config, j.key.workload, j.key.replicate,
+                     j.key.flat, (unsigned long long)j.seed,
+                     to_string(r.status), r.error.c_str());
+    }
+    std::fprintf(stderr,
+                 "sweep finished with failures: %zu ok, %zu failed, %zu "
+                 "timed out, %zu resumed (of %zu jobs)\n",
+                 counts[std::size_t(hier::run_status::ok)],
+                 counts[std::size_t(hier::run_status::failed)],
+                 counts[std::size_t(hier::run_status::timed_out)],
+                 counts[std::size_t(hier::run_status::skipped_resumed)],
+                 rep.jobs.size());
+    return failures;
+}
+
 report run_sweep(const sweep& s, const run_options& opt,
                  const std::vector<sink*>& sinks)
 {
@@ -53,26 +219,57 @@ report run_sweep(const sweep& s, const run_options& opt,
     rep.workload_count = s.workloads().size();
     rep.replicate_count = s.replicate_count();
     rep.results.resize(rep.jobs.size());
+    const std::size_t n = rep.jobs.size();
 
-    if (opt.threads == 1 || rep.jobs.size() <= 1) {
-        for (std::size_t i = 0; i < rep.jobs.size(); ++i)
-            rep.results[i] = rep.jobs[i].run();
-    } else {
-        pool workers(opt.threads);
-        workers.parallel_for(rep.jobs.size(), [&](std::size_t i) {
-            rep.results[i] = rep.jobs[i].run();
-        });
-    }
-
-    // Sinks replay in flat-job order: deterministic bytes out, independent
-    // of which worker finished first.
     for (sink* sk : sinks)
         if (sk != nullptr)
-            sk->begin(rep.jobs.size());
-    for (std::size_t i = 0; i < rep.jobs.size(); ++i)
-        for (sink* sk : sinks)
-            if (sk != nullptr)
-                sk->consume(rep.jobs[i], rep.results[i]);
+            sk->begin(n);
+
+    // In-order streaming emission: rows reach the sinks in flat-job order
+    // — deterministic bytes out, independent of which worker finished
+    // first — but *during* the sweep, as soon as every earlier-flat job is
+    // done, so a killed process leaves a durable prefix instead of losing
+    // every finished row.
+    std::mutex emit_mutex;
+    std::vector<char> done(n, 0);
+    std::size_t cursor = 0;
+    auto complete = [&](std::size_t i) {
+        std::lock_guard<std::mutex> lock(emit_mutex);
+        done[i] = 1;
+        while (cursor < n && done[cursor]) {
+            if (opt.row_hook)
+                opt.row_hook(rep.jobs[cursor], rep.results[cursor], rep);
+            for (sink* sk : sinks)
+                if (sk != nullptr)
+                    sk->consume(rep.jobs[cursor], rep.results[cursor]);
+            ++cursor;
+        }
+    };
+
+    auto run_job = [&](std::size_t i) {
+        const job& j = rep.jobs[i];
+        bool resumed = false;
+        if (opt.resume != nullptr) {
+            const auto it = opt.resume->find(j.key.flat);
+            if (it != opt.resume->end()) {
+                rep.results[i] = it->second;
+                rep.results[i].status = hier::run_status::skipped_resumed;
+                resumed = true;
+            }
+        }
+        if (!resumed)
+            rep.results[i] = execute_job(j, opt);
+        complete(i);
+    };
+
+    if (opt.threads == 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            run_job(i);
+    } else {
+        pool workers(opt.threads);
+        workers.parallel_for(n, run_job);
+    }
+
     for (sink* sk : sinks)
         if (sk != nullptr)
             sk->finish();

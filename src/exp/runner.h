@@ -1,26 +1,80 @@
 // Sweep execution: expand a sweep, run every job on the work-stealing pool,
-// and replay the results into sinks in deterministic flat-job order.
+// and stream the results into sinks in deterministic flat-job order.
 //
 // Determinism contract: results are written into preallocated slots keyed by
 // job index, so the thread count and steal pattern change only wall-clock
 // time — run_sweep(s, {1}) and run_sweep(s, {8}) return bit-identical
 // reports, and sinks observe the same byte stream either way.
+//
+// Fault isolation: a job that throws no longer kills the sweep — its slot
+// becomes a structured failure row (run_status::failed + the exception text)
+// and every other job still runs. Optional per-job soft timeouts mark
+// stalled jobs timed_out (the stuck attempt thread is abandoned), and
+// bounded retry re-runs a failed job with the *same* rng::split-derived
+// seed — the seed is a pure function of (base seed, coordinates), so a
+// successful retry is bit-identical to a first-try success.
+//
+// Crash safety: sinks consume rows *during* the sweep, in flat order, as
+// soon as every earlier-flat job has finished (an in-order emission cursor
+// under a mutex). Combined with jsonl_sink's append-only file mode, a
+// killed sweep leaves a prefix of whole rows on disk that --resume can
+// extend to the exact byte content of an uninterrupted run.
 #pragma once
 
 #include "src/common/stats.h"
+#include "src/exp/fault.h"
 #include "src/exp/job.h"
 #include "src/exp/sink.h"
 #include "src/exp/sweep.h"
 
 #include <cstddef>
+#include <functional>
+#include <map>
 #include <vector>
 
 namespace lnuca::exp {
 
+struct report;
+
+/// Called under the emission lock, in flat order, after every earlier-flat
+/// result is final and before the row reaches the sinks. Lets a bench
+/// derive cross-job fields (e.g. fig_cmp's weighted speedup against the
+/// earlier-flat single-core baseline) without losing streaming crash
+/// safety. Must be deterministic; earlier rows of `rep` are complete.
+using row_hook_fn =
+    std::function<void(const job&, hier::run_result&, const report&)>;
+
 struct run_options {
+    run_options() = default;
+    /// Shorthand for the common "just pick a thread count" case, keeping
+    /// run_sweep(s, {4}) call sites valid now that there are more fields.
+    run_options(unsigned thread_count) : threads(thread_count) {}
+
     /// Worker threads; 0 = one per hardware thread, 1 = serial in the
     /// calling thread (no pool is built).
     unsigned threads = 0;
+
+    /// Per-job soft timeout in seconds; 0 disables. A timed-out job yields
+    /// a run_status::timed_out row and its attempt thread is abandoned (it
+    /// only touches its own heap slot, so this is safe — but the zombie
+    /// keeps burning a core until the simulation returns).
+    double job_timeout_seconds = 0.0;
+
+    /// Extra attempts after a failed/timed-out attempt. Retries re-derive
+    /// the identical rng::split seed, so a retried success is bit-identical
+    /// to a first-try success (fault injection only targets early attempts).
+    std::size_t job_retries = 0;
+
+    /// Test-only fault injection (non-owning; see src/exp/fault.h).
+    const fault_plan* fault = nullptr;
+
+    /// --resume: jobs whose flat index appears here are not executed; the
+    /// mapped result (decoded from the existing output) is used with
+    /// status rewritten to skipped_resumed. Non-owning.
+    const std::map<std::size_t, hier::run_result>* resume = nullptr;
+
+    /// Optional per-row post-processing before the sinks (see row_hook_fn).
+    row_hook_fn row_hook;
 };
 
 /// Results of one sweep execution. jobs[i] produced results[i].
@@ -47,9 +101,24 @@ struct report {
     std::vector<std::vector<hier::run_result>> matrix() const;
 };
 
-/// Expand and run a sweep. Sinks (may be empty) see jobs in flat order.
+/// Expand and run a sweep. Sinks (may be empty) see jobs in flat order,
+/// streamed during execution (crash-safe; see the header comment).
 report run_sweep(const sweep& s, const run_options& opt = {},
                  const std::vector<sink*>& sinks = {});
+
+/// Run one job under the fault-isolation contract: exceptions become
+/// run_status::failed rows, opt.job_timeout_seconds bounds each attempt,
+/// opt.job_retries re-runs failures with the identical derived seed, and
+/// opt.fault injects test faults. Never throws.
+hier::run_result execute_job(const job& j, const run_options& opt);
+
+/// Count of rows whose status is failed or timed_out.
+std::size_t count_failures(const report& rep);
+
+/// Print one stderr line per failed/timed-out job — config and workload
+/// names, (config, workload, replicate) coordinates, the derived seed, and
+/// the error text — plus a status tally. Returns count_failures(rep).
+std::size_t report_failures(const report& rep);
 
 // ---------------------------------------------------------------------------
 // Paper-style aggregation over one config's row (previously duplicated in

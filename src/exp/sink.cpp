@@ -3,9 +3,13 @@
 #include "src/common/table.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace lnuca::exp {
 
@@ -74,7 +78,7 @@ void table_sink::consume(const job& j, const hier::run_result& r)
         }
     }
     rows_.push_back({r.config_name, r.workload_name,
-                     std::to_string(j.key.replicate),
+                     std::to_string(j.key.replicate), to_string(r.status),
                      std::to_string(r.cores), text_table::num(r.ipc, 3),
                      per_core,
                      r.weighted_speedup > 0.0
@@ -94,7 +98,8 @@ void table_sink::consume(const job& j, const hier::run_result& r)
 void table_sink::finish()
 {
     text_table t("Run log");
-    t.set_header({"config", "workload", "rep", "cores", "IPC", "IPC/core",
+    t.set_header({"config", "workload", "rep", "status", "cores", "IPC",
+                  "IPC/core",
                   "WS", "IPC est.", "cycles", "load lat.", "energy (mJ)",
                   "host s", "Mcyc/s"});
     for (auto& row : rows_)
@@ -110,6 +115,7 @@ void table_sink::finish()
 void csv_sink::begin(std::size_t)
 {
     out_ << "config,workload,config_index,workload_index,replicate,flat,seed,"
+            "status,error,"
             "floating_point,cores,instructions,cycles,ipc,per_core_ipc,"
             "weighted_speedup,sampled,sampled_windows,"
             "measured_instructions,ipc_ci95,l2_read_hits,"
@@ -133,6 +139,7 @@ void csv_sink::consume(const job& j, const hier::run_result& r)
     out_ << csv_quote(r.config_name) << ',' << csv_quote(r.workload_name)
          << ',' << j.key.config << ',' << j.key.workload << ','
          << j.key.replicate << ',' << j.key.flat << ',' << j.seed << ','
+         << to_string(r.status) << ',' << csv_quote(r.error) << ','
          << (r.floating_point ? 1 : 0) << ',' << r.cores << ','
          << r.instructions << ','
          << r.cycles << ',' << fmt_double(r.ipc) << ',' << per_core << ','
@@ -193,6 +200,9 @@ std::string encode_json_line(const job& j, const hier::run_result& r)
     u64("seed", j.seed);
     u64("instructions_requested", j.instructions);
     u64("warmup", j.warmup);
+    str("status", to_string(r.status));
+    if (r.status != hier::run_status::ok)
+        str("error", r.error);
     line += r.floating_point ? "\"floating_point\":true,"
                              : "\"floating_point\":false,";
     u64("instructions", r.instructions);
@@ -246,13 +256,24 @@ std::string encode_json_line(const job& j, const hier::run_result& r)
 }
 
 jsonl_sink::jsonl_sink(std::ostream& out, std::size_t flush_rows)
-    : out_(out), flush_rows_(flush_rows == 0 ? 1 : flush_rows)
+    : out_(&out), flush_rows_(flush_rows == 0 ? 1 : flush_rows)
 {
+}
+
+jsonl_sink::jsonl_sink(const std::string& path, std::size_t flush_rows,
+                       std::size_t fsync_rows)
+    : flush_rows_(flush_rows == 0 ? 1 : flush_rows), fsync_rows_(fsync_rows)
+{
+    // O_APPEND: every flush is one atomically-positioned write of whole
+    // lines, even when several shards append to the same file.
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
 }
 
 jsonl_sink::~jsonl_sink()
 {
     flush();
+    if (fd_ >= 0)
+        ::close(fd_);
 }
 
 void jsonl_sink::begin(std::size_t job_count)
@@ -264,8 +285,11 @@ void jsonl_sink::begin(std::size_t job_count)
 
 void jsonl_sink::consume(const job& j, const hier::run_result& r)
 {
+    if (r.status == hier::run_status::skipped_resumed)
+        return; // already durable in this file (see class comment)
     buffer_ += encode_json_line(j, r);
     buffer_ += '\n';
+    ++rows_since_fsync_;
     if (++buffered_rows_ >= flush_rows_)
         flush();
 }
@@ -273,15 +297,37 @@ void jsonl_sink::consume(const job& j, const hier::run_result& r)
 void jsonl_sink::finish()
 {
     flush();
+    if (fd_ >= 0 && fsync_rows_ > 0 && rows_since_fsync_ > 0) {
+        ::fsync(fd_);
+        rows_since_fsync_ = 0;
+    }
 }
 
 void jsonl_sink::flush()
 {
-    if (buffer_.empty())
-        return;
-    out_.write(buffer_.data(), std::streamsize(buffer_.size()));
-    buffer_.clear();
-    buffered_rows_ = 0;
+    if (!buffer_.empty()) {
+        if (fd_ >= 0) {
+            const char* p = buffer_.data();
+            std::size_t left = buffer_.size();
+            while (left > 0) {
+                const ssize_t n = ::write(fd_, p, left);
+                if (n < 0 && errno == EINTR)
+                    continue;
+                if (n <= 0)
+                    break; // full disk / EIO: drop the batch, keep running
+                p += n;
+                left -= std::size_t(n);
+            }
+        } else if (out_ != nullptr) {
+            out_->write(buffer_.data(), std::streamsize(buffer_.size()));
+        }
+        buffer_.clear();
+        buffered_rows_ = 0;
+    }
+    if (fd_ >= 0 && fsync_rows_ > 0 && rows_since_fsync_ >= fsync_rows_) {
+        ::fsync(fd_);
+        rows_since_fsync_ = 0;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -496,6 +542,19 @@ struct cursor {
     }
 };
 
+std::optional<hier::run_status> run_status_from_string(const std::string& s)
+{
+    if (s == "ok")
+        return hier::run_status::ok;
+    if (s == "failed")
+        return hier::run_status::failed;
+    if (s == "timed_out")
+        return hier::run_status::timed_out;
+    if (s == "skipped_resumed")
+        return hier::run_status::skipped_resumed;
+    return std::nullopt;
+}
+
 bool parse_energy(cursor& c, power::energy_breakdown& e)
 {
     if (!c.consume('{'))
@@ -568,6 +627,17 @@ std::optional<decoded_run> decode_json_line(const std::string& line)
             ok = c.parse_u64(out.instructions_requested);
         else if (key == "warmup")
             ok = c.parse_u64(out.warmup);
+        else if (key == "status") {
+            std::string text;
+            ok = c.parse_string(text);
+            if (ok) {
+                const auto status = run_status_from_string(text);
+                if (!status.has_value())
+                    return std::nullopt;
+                r.status = *status;
+            }
+        } else if (key == "error")
+            ok = c.parse_string(r.error);
         else if (key == "floating_point")
             ok = c.parse_bool(r.floating_point);
         else if (key == "instructions")

@@ -62,14 +62,34 @@ private:
 };
 
 /// JSON-lines, one object per run. Rows are batched through a pre-sized
-/// string buffer and flushed to the stream every `flush_rows` rows plus once
-/// from finish()/the destructor - one stream write per batch instead of a
-/// formatted write per row (visible in --shard sweeps, where thousands of
-/// rows append to one file).
+/// string buffer and flushed every `flush_rows` rows plus once from
+/// finish()/the destructor - one write per batch instead of a formatted
+/// write per row (visible in --shard sweeps, where thousands of rows append
+/// to one file).
+///
+/// Crash-safety contract (file mode): the file opens with O_APPEND and a
+/// flush writes only whole lines in one write(2), so the sink never leaves
+/// a partial record *of its own making* mid-file — after any flush boundary
+/// the file ends at a newline. A kill between flushes loses at most the
+/// buffered rows (whole rows, recoverable by --resume), and a torn tail
+/// from a mid-write crash is at most one trailing truncated line, which the
+/// resume scan tolerates and truncates away. `fsync_rows > 0` additionally
+/// fsyncs every N rows (and once from finish()) so rows survive a host
+/// crash, not just a process kill.
+///
+/// Rows with status == skipped_resumed are *not* written: they were loaded
+/// from this very file by --resume and re-appending them would duplicate
+/// records, breaking the byte-identical-convergence guarantee.
 class jsonl_sink final : public sink {
 public:
     explicit jsonl_sink(std::ostream& out, std::size_t flush_rows = 64);
+    /// Append-only file mode (see the crash-safety contract above).
+    jsonl_sink(const std::string& path, std::size_t flush_rows,
+               std::size_t fsync_rows);
     ~jsonl_sink() override;
+
+    /// File mode: false when the file could not be opened.
+    bool ok() const { return out_ != nullptr || fd_ >= 0; }
 
     void begin(std::size_t job_count) override;
     void consume(const job& j, const hier::run_result& r) override;
@@ -78,9 +98,12 @@ public:
 private:
     void flush();
 
-    std::ostream& out_;
+    std::ostream* out_ = nullptr; ///< stream mode (stdout / tests)
+    int fd_ = -1;                 ///< file mode (O_APPEND + optional fsync)
     std::size_t flush_rows_;
+    std::size_t fsync_rows_ = 0;  ///< 0 = never fsync
     std::size_t buffered_rows_ = 0;
+    std::size_t rows_since_fsync_ = 0;
     std::string buffer_;
 };
 
@@ -106,10 +129,15 @@ struct decoded_run {
 };
 
 /// Serialise one run the way jsonl_sink does (doubles keep full precision,
-/// so decode_json_line() round-trips bit-exactly).
+/// so decode_json_line() round-trips bit-exactly). `status` is always
+/// emitted; `error` only when status != ok.
 std::string encode_json_line(const job& j, const hier::run_result& r);
 
-/// Parse an encode_json_line() line; std::nullopt on malformed input.
+/// Parse an encode_json_line() line. Returns std::nullopt — never UB or a
+/// partially-filled struct presented as valid — on any malformed input:
+/// truncation mid-string/mid-number/mid-escape, a missing closing brace, a
+/// non-numeric value for a numeric key, or an unknown status string. Lines
+/// from older writers without status/error decode with status == ok.
 std::optional<decoded_run> decode_json_line(const std::string& line);
 
 } // namespace lnuca::exp

@@ -24,11 +24,40 @@ class trace_writer;
 
 namespace lnuca::hier {
 
+/// Outcome of one experiment job. `ok` rows carry real measurements; the
+/// failure states carry a zeroed result plus run_result::error, so a sweep
+/// with a crashing or stalled job still produces one structured row per
+/// job instead of aborting (src/exp/runner.cpp threads these through the
+/// report, every sink, and decode_json_line).
+enum class run_status : std::uint8_t {
+    ok = 0,          ///< measured normally
+    failed,          ///< the job threw; error holds the exception text
+    timed_out,       ///< exceeded the per-job soft timeout (worker abandoned)
+    skipped_resumed, ///< --resume: row reloaded from the existing output
+};
+
+constexpr const char* to_string(run_status s)
+{
+    switch (s) {
+    case run_status::ok: return "ok";
+    case run_status::failed: return "failed";
+    case run_status::timed_out: return "timed_out";
+    case run_status::skipped_resumed: return "skipped_resumed";
+    }
+    return "unknown";
+}
+
 /// Everything a bench/table needs from one (config, workload) run.
 struct run_result {
     std::string config_name;
     std::string workload_name;
     bool floating_point = false;
+
+    // Job outcome (see run_status). Failure rows keep the identity fields
+    // and host_seconds but zero every measurement; `error` is empty unless
+    // status is failed/timed_out.
+    run_status status = run_status::ok;
+    std::string error;
 
     std::uint64_t instructions = 0;
     std::uint64_t cycles = 0;

@@ -286,6 +286,59 @@ TEST(jsonl, sink_emits_one_line_per_run_and_rejects_garbage)
     EXPECT_FALSE(decode_json_line("{\"x\":{\"y\":\"\\").has_value());
 }
 
+TEST(jsonl, truncated_lines_decode_to_nullopt_never_partial_structs)
+{
+    // A kill mid-write can tear a line anywhere. Cut a real encoded line
+    // at every byte: each prefix must decode to nullopt (never UB, never a
+    // partially-filled struct presented as valid).
+    const std::string line = encode_json_line(synthetic_job(),
+                                              synthetic_result());
+    for (std::size_t cut = 0; cut < line.size(); ++cut)
+        EXPECT_FALSE(decode_json_line(line.substr(0, cut)).has_value())
+            << "prefix of " << cut << " bytes decoded";
+
+    // The named torn shapes from the resume contract, explicitly: cut
+    // mid-string, cut mid-number, missing closing brace.
+    const std::size_t mid_string = line.find("429.m") + 3;
+    EXPECT_FALSE(decode_json_line(line.substr(0, mid_string)).has_value());
+    const std::size_t mid_number = line.find("987654321") + 4;
+    EXPECT_FALSE(decode_json_line(line.substr(0, mid_number)).has_value());
+    EXPECT_FALSE(
+        decode_json_line(line.substr(0, line.size() - 1)).has_value());
+}
+
+TEST(jsonl, status_and_error_round_trip)
+{
+    const job j = synthetic_job();
+    hier::run_result r = synthetic_result();
+    r.status = hier::run_status::failed;
+    r.error = "injected fault: job 71 attempt 0, with \"quotes\"\\slashes";
+
+    const std::string line = encode_json_line(j, r);
+    const auto decoded = decode_json_line(line);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->result.status, hier::run_status::failed);
+    EXPECT_EQ(decoded->result.error, r.error);
+    EXPECT_EQ(encode_json_line(j, decoded->result), line);
+
+    // Lines from pre-status writers decode with status == ok ...
+    std::string old_line = encode_json_line(j, synthetic_result());
+    const std::string status_field = ",\"status\":\"ok\"";
+    const std::size_t at = old_line.find(status_field);
+    ASSERT_NE(at, std::string::npos);
+    old_line.erase(at, status_field.size());
+    const auto old_decoded = decode_json_line(old_line);
+    ASSERT_TRUE(old_decoded.has_value());
+    EXPECT_EQ(old_decoded->result.status, hier::run_status::ok);
+
+    // ... but an unknown status string is a malformed row, not ok.
+    std::string mangled = encode_json_line(j, r);
+    const std::size_t st = mangled.find("\"status\":\"failed\"");
+    ASSERT_NE(st, std::string::npos);
+    mangled.replace(st, 17, "\"status\":\"maybe?\"");
+    EXPECT_FALSE(decode_json_line(mangled).has_value());
+}
+
 TEST(jsonl, batches_rows_and_flushes_on_threshold_finish_and_destruction)
 {
     const job j = synthetic_job();
@@ -395,13 +448,39 @@ TEST(run_app_options, engine_defaults_to_idle_skip)
               sim::schedule_mode::dense);
 }
 
-TEST(run_app_options, bad_shard_falls_back_to_full_sweep)
+TEST(run_app_options, bad_shard_is_a_cli_error_not_a_full_sweep)
 {
-    const char* argv[] = {"bench", "--shard", "5/5"};
-    const cli_args args(3, argv);
+    // A mistyped shard must never silently run the full sweep (a fleet
+    // would then run N copies of every job). It is a hard CLI error.
+    for (const char* bad : {"5/5", "2", "a/4", "0x1/4", "/4", "3/", "-1/4"}) {
+        const char* argv[] = {"bench", "--shard", bad};
+        const app_options opt = parse_app_options(cli_args(3, argv));
+        EXPECT_TRUE(opt.cli_error) << "--shard " << bad;
+        EXPECT_NE(opt.cli_error_text.find("--shard"), std::string::npos);
+    }
+    const char* good[] = {"bench", "--shard", "4/5"};
+    EXPECT_FALSE(parse_app_options(cli_args(3, good)).cli_error);
+}
+
+TEST(run_app_options, parses_fault_tolerance_flags)
+{
+    const char* argv[] = {"bench",     "--timeout", "2.5",  "--retries",
+                          "3",         "--resume",  "--durable", "16",
+                          "--fault",   "throw:7:2"};
+    const cli_args args(int(sizeof argv / sizeof *argv), argv);
     const app_options opt = parse_app_options(args);
-    EXPECT_EQ(opt.shard_index, 0u);
-    EXPECT_EQ(opt.shard_count, 1u);
+    ASSERT_FALSE(opt.cli_error) << opt.cli_error_text;
+    EXPECT_EQ(opt.timeout_seconds, 2.5);
+    EXPECT_EQ(opt.retries, 3u);
+    EXPECT_TRUE(opt.resume);
+    EXPECT_EQ(opt.durable_rows, 16u);
+    ASSERT_TRUE(opt.fault.has_value());
+    EXPECT_EQ(opt.fault->action, fault_plan::kind::throw_error);
+    EXPECT_EQ(opt.fault->flat, 7u);
+    EXPECT_EQ(opt.fault->attempts, 2u);
+
+    const char* bad[] = {"bench", "--fault", "explode:1"};
+    EXPECT_TRUE(parse_app_options(cli_args(3, bad)).cli_error);
 }
 
 } // namespace

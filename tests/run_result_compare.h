@@ -46,6 +46,8 @@ inline void expect_sim_fields_identical(const hier::run_result& a,
     EXPECT_EQ(a.sampled_windows, b.sampled_windows);
     EXPECT_EQ(a.measured_instructions, b.measured_instructions);
     EXPECT_EQ(a.ipc_ci95, b.ipc_ci95);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.error, b.error);
 }
 
 } // namespace lnuca
