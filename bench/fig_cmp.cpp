@@ -80,6 +80,9 @@ int main(int argc, char** argv)
                      scan.truncated_tail ? "; torn trailing line removed"
                                          : "");
 
+    if (!exp::setup_checkpoints(opt))
+        return exp::exit_cli_error;
+
     exp::sink_set sinks = exp::make_sinks(opt, !opt.quiet);
     if (!sinks.ok)
         return exp::exit_cli_error;
@@ -116,6 +119,8 @@ int main(int argc, char** argv)
                      "fig_cmp: some cores=1 baseline cells fell outside "
                      "this shard or failed; their rows carry "
                      "weighted_speedup=0\n");
+    if (const int rc = exp::finish_sweep(rep); rc >= 0)
+        return rc;
     if (exp::report_failures(rep) > 0)
         return exp::exit_job_failure;
 

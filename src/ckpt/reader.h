@@ -1,0 +1,63 @@
+// Checkpoint reader: loads the whole file into memory and validates it
+// eagerly at open - magic, version, endian tag, file size, header CRC and
+// every section CRC - so restore code downstream never sees torn data. Any
+// defect throws ckpt_error, which restore paths translate into a warning
+// plus a cold start.
+#pragma once
+
+#include "src/ckpt/format.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lnuca::ckpt {
+
+class reader {
+public:
+    /// Open + fully validate. Throws ckpt_error on any defect.
+    explicit reader(const std::string& path);
+
+    std::uint64_t config_hash() const { return header_.config_hash; }
+    const std::string& path() const { return path_; }
+    const std::vector<section_entry>& sections() const { return entries_; }
+
+    bool has_section(section_id id, std::uint32_t index = 0) const;
+
+    /// Position the cursor at the start of section (id, index). Throws
+    /// ckpt_error if absent or if another section is still open.
+    void open_section(section_id id, std::uint32_t index = 0);
+    /// End the current section; throws ckpt_error unless the payload was
+    /// consumed exactly (a size mismatch means reader/writer code drifted).
+    void close_section();
+
+    /// Raw payload bytes of a section (for ckpt_tool dumps).
+    const std::uint8_t* section_payload(const section_entry& entry) const
+    {
+        return data_.data() + entry.offset;
+    }
+
+    void get_bytes(void* out, std::size_t size);
+    std::uint8_t get_u8();
+    std::uint16_t get_u16();
+    std::uint32_t get_u32();
+    std::uint64_t get_u64();
+    bool get_bool() { return get_u8() != 0; }
+    double get_double();
+    std::string get_string();
+
+private:
+    const section_entry* find(section_id id, std::uint32_t index) const;
+
+    std::string path_;
+    std::vector<std::uint8_t> data_;
+    file_header header_{};
+    std::vector<section_entry> entries_;
+
+    bool open_ = false;
+    std::size_t cursor_ = 0; ///< absolute offset into data_
+    std::size_t limit_ = 0;  ///< one past the open section's payload
+    const section_entry* current_ = nullptr;
+};
+
+} // namespace lnuca::ckpt

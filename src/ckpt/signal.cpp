@@ -1,0 +1,43 @@
+#include "src/ckpt/signal.h"
+
+#include <csignal>
+
+namespace lnuca::ckpt {
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void latch(int signum)
+{
+    g_signal = signum;
+}
+
+} // namespace
+
+void install_signal_handlers()
+{
+    struct sigaction action {};
+    action.sa_handler = latch;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: let blocking syscalls wake up
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+}
+
+bool interrupt_requested()
+{
+    return g_signal != 0;
+}
+
+int interrupt_signal()
+{
+    return int(g_signal);
+}
+
+void clear_interrupt()
+{
+    g_signal = 0;
+}
+
+} // namespace lnuca::ckpt

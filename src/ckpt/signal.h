@@ -1,0 +1,21 @@
+// Async-signal-safe SIGTERM/SIGINT latch. run_app installs the handlers
+// only when checkpointing is enabled; the run drivers poll the latch at
+// chunk/window boundaries, save a checkpoint, and throw ckpt::interrupted.
+// Termination latency is therefore bounded by one checkpoint interval.
+#pragma once
+
+namespace lnuca::ckpt {
+
+/// Install SIGTERM + SIGINT handlers that latch a flag (no other action).
+void install_signal_handlers();
+
+/// True once SIGTERM or SIGINT has been received.
+bool interrupt_requested();
+
+/// The latched signal number (0 if none).
+int interrupt_signal();
+
+/// Reset the latch (tests only).
+void clear_interrupt();
+
+} // namespace lnuca::ckpt

@@ -1,0 +1,159 @@
+#include "src/ckpt/writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace lnuca::ckpt {
+
+namespace {
+
+std::string parent_dir(const std::string& path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path)
+{
+    throw ckpt_error("checkpoint save: " + what + " '" + path +
+                     "': " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* data, std::size_t size,
+               const std::string& path)
+{
+    const char* p = static_cast<const char*>(data);
+    std::size_t left = size;
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            io_fail("cannot write", path);
+        p += n;
+        left -= std::size_t(n);
+    }
+}
+
+} // namespace
+
+void writer::begin_section(section_id id, std::uint32_t index)
+{
+    if (open_)
+        throw ckpt_error("checkpoint writer: begin_section inside an open "
+                         "section (sections cannot nest)");
+    open_ = true;
+    sections_.push_back(section{id, index, {}});
+}
+
+void writer::end_section()
+{
+    if (!open_)
+        throw ckpt_error("checkpoint writer: end_section without a section");
+    open_ = false;
+}
+
+void writer::put_bytes(const void* data, std::size_t size)
+{
+    if (!open_)
+        throw ckpt_error("checkpoint writer: put outside a section");
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    sections_.back().payload.insert(sections_.back().payload.end(), p,
+                                    p + size);
+}
+
+void writer::put_double(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v, "double is not 64-bit");
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(bits);
+}
+
+void writer::put_string(const std::string& s)
+{
+    put_u32(std::uint32_t(s.size()));
+    put_bytes(s.data(), s.size());
+}
+
+void writer::finalize(const std::string& path,
+                      std::uint64_t config_hash) const
+{
+    if (open_)
+        throw ckpt_error("checkpoint writer: finalize with an open section");
+
+    // Assemble the whole image in memory first: header, table, 8-aligned
+    // payloads. Checkpoints are at most a few MB (tag arrays dominate), so
+    // one buffered image keeps the I/O a single write + fsync.
+    std::vector<section_entry> table(sections_.size());
+    std::uint64_t offset = sizeof(file_header) +
+                           sizeof(section_entry) * sections_.size();
+    offset = (offset + 7) & ~std::uint64_t(7);
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+        const section& s = sections_[i];
+        table[i].id = std::uint32_t(s.id);
+        table[i].index = s.index;
+        table[i].offset = offset;
+        table[i].size = s.payload.size();
+        table[i].crc = crc32(s.payload.data(), s.payload.size());
+        table[i].pad = 0;
+        offset = (offset + s.payload.size() + 7) & ~std::uint64_t(7);
+    }
+
+    file_header header{};
+    std::memcpy(header.magic, k_magic, sizeof k_magic);
+    header.version = k_version;
+    header.endian = k_endian_tag;
+    header.section_count = std::uint32_t(sections_.size());
+    header.file_bytes = offset;
+    header.config_hash = config_hash;
+    header.header_crc = 0;
+    header.header_crc = crc32(&header, sizeof header);
+
+    std::vector<std::uint8_t> image(offset, 0);
+    std::memcpy(image.data(), &header, sizeof header);
+    std::memcpy(image.data() + sizeof header, table.data(),
+                sizeof(section_entry) * table.size());
+    for (std::size_t i = 0; i < sections_.size(); ++i)
+        std::memcpy(image.data() + table[i].offset,
+                    sections_[i].payload.data(), sections_[i].payload.size());
+
+    // tmp + fsync + rename + fsync(dir): the rename installs a fully
+    // durable file or nothing.
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        io_fail("cannot open", tmp);
+    try {
+        write_all(fd, image.data(), image.size(), tmp);
+        if (::fsync(fd) != 0)
+            io_fail("cannot fsync", tmp);
+    } catch (...) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        io_fail("cannot close", tmp);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        io_fail("cannot rename into place", path);
+    }
+    const int dir_fd = ::open(parent_dir(path).c_str(),
+                              O_RDONLY | O_DIRECTORY);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd); // best effort: the rename itself already happened
+        ::close(dir_fd);
+    }
+}
+
+} // namespace lnuca::ckpt

@@ -1,0 +1,50 @@
+// Checkpoint writer: sections are accumulated in memory and written out
+// atomically - tmp file + fsync + rename + fsync of the containing
+// directory - so a crash mid-save leaves either the previous complete
+// checkpoint or none, never a torn one.
+#pragma once
+
+#include "src/ckpt/format.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lnuca::ckpt {
+
+class writer {
+public:
+    /// Open a section. Sections cannot nest; every begin_section must be
+    /// paired with end_section before the next begin or finalize.
+    void begin_section(section_id id, std::uint32_t index = 0);
+    void end_section();
+
+    void put_bytes(const void* data, std::size_t size);
+    void put_u8(std::uint8_t v) { put_bytes(&v, 1); }
+    void put_u16(std::uint16_t v) { put_bytes(&v, 2); }
+    void put_u32(std::uint32_t v) { put_bytes(&v, 4); }
+    void put_u64(std::uint64_t v) { put_bytes(&v, 8); }
+    void put_bool(bool v) { put_u8(v ? 1 : 0); }
+    void put_double(double v);
+    /// Length-prefixed (u32) byte string.
+    void put_string(const std::string& s);
+
+    std::size_t section_count() const { return sections_.size(); }
+
+    /// Write header + section table + payloads to `path` atomically.
+    /// Throws ckpt_error on any I/O failure (callers warn and carry on -
+    /// a failed save must never kill the run it is protecting).
+    void finalize(const std::string& path, std::uint64_t config_hash) const;
+
+private:
+    struct section {
+        section_id id;
+        std::uint32_t index;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::vector<section> sections_;
+    bool open_ = false;
+};
+
+} // namespace lnuca::ckpt

@@ -1,5 +1,6 @@
 #include "src/coh/coherence_hub.h"
 
+#include "src/ckpt/archive.h"
 #include "src/common/log.h"
 
 #include <string>
@@ -653,6 +654,21 @@ void coherence_hub::check_invariants() const
             }
         }
     }
+}
+
+void coherence_hub::save_state(ckpt::writer& w) const
+{
+    if (!quiescent())
+        throw ckpt::ckpt_error(
+            "coherence_hub: checkpoint requested while transactions are live");
+    ckpt::saver ar(w);
+    const_cast<coherence_hub*>(this)->serialize(ar);
+}
+
+void coherence_hub::load_state(ckpt::reader& r)
+{
+    ckpt::loader ar(r);
+    serialize(ar);
 }
 
 } // namespace lnuca::coh

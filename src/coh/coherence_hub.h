@@ -115,6 +115,28 @@ public:
     /// Throws coherence_error naming the violation.
     void check_invariants() const;
 
+    /// Checkpoint hooks (quiescent-only; hier::system owns the section).
+    void save_state(ckpt::writer& w) const override;
+    void load_state(ckpt::reader& r) override;
+
+    /// Persistent-at-quiescence state: the directory, stats and the
+    /// transaction-slot free stack (its order decides future slot
+    /// allocation). The txn slab, queues and in-transit writeback list are
+    /// empty by the quiesce contract.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        dir_.serialize(ar);
+        ar.counters(counters_);
+        std::uint64_t free_count = txn_free_.size();
+        ar(free_count);
+        txn_free_.resize(std::size_t(free_count));
+        for (std::int32_t& slot : txn_free_) {
+            std::uint32_t bits = std::uint32_t(slot);
+            ar(bits);
+            slot = std::int32_t(bits);
+        }
+    }
+
 private:
     struct txn {
         bool live = false;

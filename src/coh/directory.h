@@ -43,6 +43,18 @@ struct dir_entry {
     bool live = false;
 
     bool busy() const { return txn >= 0; }
+
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(block);
+        ar(sharers);
+        ar(owner);
+        ar(state);
+        std::uint32_t txn_bits = std::uint32_t(txn);
+        ar(txn_bits);
+        txn = std::int32_t(txn_bits);
+        ar(live);
+    }
 };
 
 class directory {
@@ -117,6 +129,17 @@ public:
         for (const dir_entry& e : slab_)
             if (e.live)
                 f(e);
+    }
+
+    /// Checkpoint support. The slab, free stack and probe table all
+    /// round-trip verbatim so slot recycling (and thus every later
+    /// allocation decision) continues exactly as the uninterrupted run's.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(slab_);
+        ar(free_);
+        ar(table_);
+        ar(version_);
     }
 
 private:

@@ -63,6 +63,17 @@ public:
         weighted_sum_ = 0;
     }
 
+    /// Checkpoint support. Bucket count is configuration, but the vector
+    /// round-trips it anyway so a mismatch surfaces as a digest difference
+    /// rather than silent truncation.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(counts_);
+        ar(overflow_);
+        ar(total_);
+        ar(weighted_sum_);
+    }
+
 private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t overflow_ = 0;

@@ -108,6 +108,13 @@ public:
         return lo + below(hi - lo + 1);
     }
 
+    /// Checkpoint support: the four state words are the entire generator.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        for (auto& word : state_)
+            ar(word);
+    }
+
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k)
     {

@@ -120,6 +120,14 @@ public:
     /// Read a counter; absent counters read as zero.
     std::uint64_t get(std::string_view name) const;
 
+    /// Overwrite a counter's value (creating it if absent). Checkpoint
+    /// restore rebuilds counters by name through this, so a save/load
+    /// round-trip is insensitive to registration order drift.
+    void set(std::string_view name, std::uint64_t value)
+    {
+        items_[slot_of(name)].second = value;
+    }
+
     /// All counters in insertion order.
     const std::vector<std::pair<std::string, std::uint64_t>>& items() const
     {

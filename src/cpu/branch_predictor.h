@@ -32,6 +32,8 @@ public:
             --c;
     }
 
+    template <class Ar> void serialize(Ar& ar) { ar(table_); }
+
 private:
     std::vector<std::uint8_t> table_;
 };
@@ -53,6 +55,8 @@ public:
     bool predict(addr_t pc) override { return table_.predict(index(pc)); }
     void update(addr_t pc, bool taken) override { table_.update(index(pc), taken); }
     std::string name() const override { return "bimodal"; }
+
+    template <class Ar> void serialize(Ar& ar) { ar(table_); }
 
 private:
     std::size_t index(addr_t pc) const { return (pc >> 2) & (table_.size() - 1); }
@@ -78,6 +82,14 @@ public:
     }
 
     std::string name() const override { return "gshare"; }
+
+    template <class Ar> void serialize(Ar& ar)
+    {
+        std::uint64_t history = history_;
+        ar(history);
+        history_ = std::size_t(history);
+        ar(table_);
+    }
 
 private:
     std::size_t index(addr_t pc) const
@@ -120,6 +132,13 @@ public:
     }
 
     std::string name() const override { return "combined"; }
+
+    template <class Ar> void serialize(Ar& ar)
+    {
+        bimodal_.serialize(ar);
+        gshare_.serialize(ar);
+        chooser_.serialize(ar);
+    }
 
 private:
     std::size_t chooser_index(addr_t pc) const

@@ -1,5 +1,6 @@
 #include "src/cpu/ooo_core.h"
 
+#include "src/ckpt/archive.h"
 #include "src/common/log.h"
 
 #include <algorithm>
@@ -618,6 +619,21 @@ void ooo_core::reset_stats()
     load_latency_.reset();
     served_by_level_.assign(served_by_level_.size(), 0);
     served_by_fabric_level_.assign(served_by_fabric_level_.size(), 0);
+}
+
+void ooo_core::save_state(ckpt::writer& w) const
+{
+    if (!quiescent())
+        throw ckpt::ckpt_error(
+            "ooo_core: checkpoint requested while instructions are in flight");
+    ckpt::saver ar(w);
+    const_cast<ooo_core*>(this)->serialize(ar);
+}
+
+void ooo_core::load_state(ckpt::reader& r)
+{
+    ckpt::loader ar(r);
+    serialize(ar);
 }
 
 } // namespace lnuca::cpu

@@ -126,6 +126,34 @@ public:
     /// Zero statistics after warm-up; microarchitectural state persists.
     void reset_stats();
 
+    /// Checkpoint hooks (quiescent-only; hier::system owns the section).
+    void save_state(ckpt::writer& w) const override;
+    void load_state(ckpt::reader& r) override;
+
+    /// Persistent-at-quiescence state: predictive structures, allocation
+    /// cursors, stats. ROB contents, queues and in-flight loads are empty
+    /// by the quiesce-before-snapshot contract and not serialized.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        predictor_.serialize(ar);
+        dtlb_.serialize(ar);
+        ar(rob_head_);
+        ar(next_seq_);
+        ar(fetch_blocked_);
+        ar(fetch_block_seq_);
+        ar(fetch_stalled_until_);
+        ar(limit_);
+        ar(committed_);
+        ar(finished_at_);
+        ar(cycles_);
+        ar(last_tick_);
+        ar(cycles_base_);
+        ar.counters(counters_);
+        load_latency_.serialize(ar);
+        ar(served_by_level_);
+        ar(served_by_fabric_level_);
+    }
+
 private:
     enum class entry_state : std::uint8_t { waiting, ready, issued, done };
 

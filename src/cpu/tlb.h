@@ -56,6 +56,19 @@ public:
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /// Checkpoint support. The probe index is derivable from entries_, but
+    /// round-tripping it keeps the exact probe-cluster layout (and thus
+    /// state identical to the uninterrupted run, not merely equivalent).
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(entries_);
+        ar(last_use_);
+        ar(index_);
+        ar(stamp_);
+        ar(hits_);
+        ar(misses_);
+    }
+
 private:
     std::size_t mask() const { return index_.size() - 1; }
 

@@ -1,5 +1,6 @@
 #include "src/dnuca/dnuca_cache.h"
 
+#include "src/ckpt/archive.h"
 #include "src/common/log.h"
 
 #include <algorithm>
@@ -240,7 +241,9 @@ std::uint64_t dnuca_cache::state_digest() const
     sim::state_hash h;
     h.mix(counters_.digest());
     h.mix(controller_outbox_.queue.size());
+    h.mix(controller_outbox_.vc);
     h.mix(controller_write_outbox_.queue.size());
+    h.mix(controller_write_outbox_.vc);
     h.mix(memory_queue_.size());
     h.mix(requests_.size());
     h.mix(mshrs_.in_use());
@@ -253,6 +256,7 @@ std::uint64_t dnuca_cache::state_digest() const
         h.mix(b.probes.size());
         h.mix(b.write_probes.size());
         h.mix(b.outbox.queue.size());
+        h.mix(b.outbox.vc);
         h.mix(b.busy_until);
         h.mix(b.lookups.size());
         h.mix(b.lookups.next_ready());
@@ -639,6 +643,21 @@ bool dnuca_cache::quiescent() const
             !b.outbox.queue.empty() || !b.lookups.empty())
             return false;
     return mesh_->quiescent();
+}
+
+void dnuca_cache::save_state(ckpt::writer& w) const
+{
+    if (!quiescent())
+        throw ckpt::ckpt_error(
+            "dnuca_cache: checkpoint requested while packets are in flight");
+    ckpt::saver ar(w);
+    const_cast<dnuca_cache*>(this)->serialize(ar);
+}
+
+void dnuca_cache::load_state(ckpt::reader& r)
+{
+    ckpt::loader ar(r);
+    serialize(ar);
 }
 
 } // namespace lnuca::dnuca

@@ -83,6 +83,36 @@ public:
     /// the arrays before measurement. Spreads lines round-robin over rows.
     void prewarm(addr_t addr);
 
+    /// Checkpoint hooks (quiescent-only; hier::system owns the section).
+    void save_state(ckpt::writer& w) const override;
+    void load_state(ckpt::reader& r) override;
+
+    /// Persistent-at-quiescence state: bank tags + schedule anchors, stats,
+    /// the write-combining filter, packet/group id cursors, the mesh
+    /// counters and every injector's VC rotation cursor (it advances per
+    /// packet and keeps its position between packets, so it survives an
+    /// empty queue). Request tracking maps, probes and flit buffers are
+    /// empty by the quiesce contract.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        for (bank& b : banks_) {
+            b.tags->serialize(ar);
+            ar(b.busy_until);
+            ar(b.outbox.vc);
+        }
+        ar.counters(counters_);
+        mesh_->serialize(ar);
+        ar(written_lines_);
+        std::uint64_t cursor = written_cursor_;
+        ar(cursor);
+        written_cursor_ = std::size_t(cursor);
+        ar(next_packet_);
+        ar(next_group_);
+        ar(row_hits_);
+        ar(controller_outbox_.vc);
+        ar(controller_write_outbox_.vc);
+    }
+
 private:
     /// Flit source with wormhole injection state: flits of one packet stay
     /// on one VC, and packets never interleave within a queue.

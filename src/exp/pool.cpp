@@ -127,6 +127,7 @@ std::size_t pool::shutdown(double deadline_seconds)
             ++abandoned;
         }
     }
+    abandoned_ += abandoned;
     return abandoned;
 }
 

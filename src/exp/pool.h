@@ -71,6 +71,11 @@ public:
     /// telemetry; identical results either way).
     std::uint64_t steal_count() const;
 
+    /// Workers detached by shutdown() over the pool's lifetime (0 on every
+    /// clean run). run_sweep surfaces this in report::abandoned_workers so
+    /// a leaked zombie thread is visible instead of silent.
+    std::size_t abandoned_workers() const { return abandoned_; }
+
 private:
     struct worker_queue {
         std::mutex mutex;
@@ -103,6 +108,7 @@ private:
     std::shared_ptr<control> ctl_;
     std::vector<std::thread> workers_;
     bool shut_down_ = false;
+    std::size_t abandoned_ = 0; ///< see abandoned_workers()
 };
 
 } // namespace lnuca::exp

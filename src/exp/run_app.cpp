@@ -1,10 +1,13 @@
 #include "src/exp/run_app.h"
 
+#include "src/ckpt/signal.h"
 #include "src/common/stats.h"
 #include "src/trace/workload_spec.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -101,6 +104,21 @@ app_options parse_app_options(const cli_args& args)
     opt.retries = std::size_t(args.get_u64("retries", 0));
     opt.resume = args.has_flag("resume");
     opt.durable_rows = std::size_t(args.get_u64("durable", 0));
+
+    opt.checkpoint_every = args.get_u64("checkpoint-every", 0);
+    opt.checkpoint_dir = args.get_string("checkpoint-dir", "");
+    if (opt.checkpoint_every != 0 && opt.checkpoint_dir.empty()) {
+        // Default the snapshot directory next to the JSON-lines output, so
+        // --resume finds both halves of an interrupted run in one place.
+        opt.checkpoint_dir = !opt.json_path.empty() && opt.json_path != "-"
+                                 ? opt.json_path + ".ckpt.d"
+                                 : "checkpoints";
+    }
+    if (opt.checkpoint_every != 0 && !opt.capture_path.empty())
+        set_cli_error(opt,
+                      "--checkpoint-every and --capture are mutually "
+                      "exclusive (a restored capture would re-emit only the "
+                      "post-restore suffix, truncating the trace)");
 
     // Fault injection: the flag wins over the LNUCA_FAULT environment
     // variable (the env var exists so CI can crash a binary it did not
@@ -272,7 +290,57 @@ run_options make_run_options(const app_options& opt, const resume_scan* scan)
     ro.job_retries = opt.retries;
     ro.fault = opt.fault ? &*opt.fault : nullptr;
     ro.resume = scan != nullptr ? &scan->completed : nullptr;
+    if (opt.checkpoint_every != 0) {
+        ro.checkpoint_dir = opt.checkpoint_dir;
+        ro.checkpoint_every = opt.checkpoint_every;
+        ro.checkpoint_resume = opt.resume;
+    }
     return ro;
+}
+
+bool setup_checkpoints(const app_options& opt)
+{
+    if (opt.checkpoint_every == 0)
+        return true;
+    if (::mkdir(opt.checkpoint_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        std::fprintf(stderr, "cannot create checkpoint dir '%s'\n",
+                     opt.checkpoint_dir.c_str());
+        return false;
+    }
+    // SIGTERM/SIGINT now latch instead of killing: each running job saves
+    // a final snapshot at its next boundary and finish_sweep() reports
+    // 128+signum, resumable with --resume.
+    ckpt::install_signal_handlers();
+    return true;
+}
+
+int finish_sweep(const report& rep)
+{
+    // Harness-health tally: both counters are 0 on every clean sweep, and
+    // a non-zero value means work or rows were lost in a way the status
+    // column cannot show.
+    if (rep.abandoned_workers != 0)
+        std::fprintf(stderr, "WARNING: %zu pool worker(s) abandoned at "
+                             "shutdown (stuck tasks leaked)\n",
+                     rep.abandoned_workers);
+    if (rep.sink_failures != 0)
+        std::fprintf(stderr, "WARNING: %zu sink(s) failed mid-sweep; the "
+                             "output files are incomplete\n",
+                     rep.sink_failures);
+
+    // A latched SIGTERM/SIGINT preempted the sweep after each running job
+    // saved a checkpoint: distinct exit code (128+signum, the shell kill
+    // convention) so drivers re-run with --resume instead of triaging the
+    // "failed" rows.
+    if (ckpt::interrupt_requested()) {
+        report_failures(rep);
+        std::fprintf(stderr,
+                     "sweep interrupted by signal %d after checkpointing; "
+                     "re-run the same command with --resume to continue\n",
+                     ckpt::interrupt_signal());
+        return 128 + ckpt::interrupt_signal();
+    }
+    return -1;
 }
 
 int run_app(int argc, const char* const* argv,
@@ -331,6 +399,9 @@ int run_app(int argc, const char* const* argv,
                                              : "");
     }
 
+    if (!setup_checkpoints(opt))
+        return exit_cli_error;
+
     sink_set sinks = make_sinks(opt);
     if (!sinks.ok)
         return exit_cli_error;
@@ -357,11 +428,16 @@ int run_app(int argc, const char* const* argv,
                     safe_ratio(total_instructions, job_seconds) * 1e-6);
     }
 
+    if (const int rc = finish_sweep(rep); rc >= 0)
+        return rc;
+
     // Failures: every job still produced a row (fault isolation), but the
     // matrix is not trustworthy — name the failures, skip the tables, and
     // exit non-zero so drivers re-run (or --resume) the shard.
     if (report_failures(rep) > 0)
         return exit_job_failure;
+    if (rep.sink_failures != 0)
+        return exit_job_failure; // rows were lost even though jobs passed
 
     if (opt.shard_count > 1) {
         std::printf("shard %zu/%zu: ran %zu of %zu jobs; tables suppressed — "

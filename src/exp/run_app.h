@@ -37,6 +37,18 @@
 //                      (modulo host-timing fields)
 //   --durable N        crash-durable JSON-lines: write every row
 //                      immediately and fsync every N rows
+//   --checkpoint-every N
+//                      mid-run checkpointing (src/ckpt/): every job
+//                      snapshots its full simulator state every N retired
+//                      instructions and on SIGTERM/SIGINT (the run then
+//                      exits 128+signum after saving). With --resume, a
+//                      job's valid snapshot restores and the run continues
+//                      bit-identically to an uninterrupted one; a corrupt
+//                      or mismatched snapshot falls back to a cold start.
+//                      Mutually exclusive with --capture.
+//   --checkpoint-dir D directory for the per-job snapshot files
+//                      (job_<flat>.ckpt); defaults to <json path>.ckpt.d
+//                      next to --json FILE, or "checkpoints" without one
 //   --fault SPEC       test-only fault injection (also: LNUCA_FAULT env
 //                      var; flag wins): throw:<flat>[:<attempts>] |
 //                      stall:<flat>:<sec>[:<attempts>] | exit:<flat>[:<code>]
@@ -100,6 +112,8 @@ struct app_options {
     bool resume = false;              ///< --resume
     std::size_t durable_rows = 0;     ///< --durable (0 = batched, no fsync)
     std::optional<fault_plan> fault;  ///< --fault / LNUCA_FAULT
+    std::uint64_t checkpoint_every = 0; ///< --checkpoint-every (0 = off)
+    std::string checkpoint_dir;         ///< --checkpoint-dir (defaulted)
 
     /// Set by parse_app_options on an unusable command line (bad --shard,
     /// bad --fault, ...). Callers must print cli_error_text and exit with
@@ -156,6 +170,23 @@ bool scan_resume_file(const app_options& opt, const sweep& s,
 /// run_options wired from the app flags (+ the resume scan, which must
 /// outlive the run_sweep call, as must `opt` itself for --fault).
 run_options make_run_options(const app_options& opt, const resume_scan* scan);
+
+/// Checkpoint prologue, shared with benches that own their main instead
+/// of delegating to run_app (fig_cmp): when --checkpoint-every is active,
+/// create the checkpoint directory and latch SIGTERM/SIGINT so each
+/// running job saves a final snapshot at its next quiescent boundary
+/// instead of dying mid-window. No-op when checkpointing is off. Returns
+/// false (message on stderr) when the directory cannot be created.
+bool setup_checkpoints(const app_options& opt);
+
+/// Post-sweep harness tally, the other half of setup_checkpoints():
+/// prints the abandoned-worker / failed-sink warnings (both 0 on every
+/// clean sweep), then returns 128+signum when a latched SIGTERM/SIGINT
+/// preempted the sweep after checkpointing (the shell kill convention, so
+/// drivers re-run with --resume instead of triaging "failed" rows), or -1
+/// when the sweep ran to completion and the caller's normal exit path
+/// applies.
+int finish_sweep(const report& rep);
 
 /// Render callback: the completed (unsharded) report plus the options.
 using render_fn = std::function<void(const report&, const app_options&)>;

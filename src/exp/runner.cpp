@@ -1,5 +1,7 @@
 #include "src/exp/runner.h"
 
+#include "src/ckpt/format.h"
+#include "src/ckpt/signal.h"
 #include "src/common/log.h"
 #include "src/exp/pool.h"
 
@@ -84,6 +86,31 @@ hier::run_result run_attempt_inline(const job& j, const fault_plan* fault,
         if (fault != nullptr)
             fault->apply(j.key.flat, attempt); // may throw / stall / _Exit
         return j.run();
+    } catch (const ckpt::interrupted& e) {
+        // Not a failure: the job was preempted by SIGTERM/SIGINT after its
+        // checkpoint was durably saved. The row records why the sweep is
+        // incomplete; --resume restores the snapshot and finishes the job.
+        hier::run_result r = failure_result(j, hier::run_status::failed,
+                                            e.what());
+        r.host_seconds = seconds_since(start);
+        return r;
+    } catch (const ckpt::ckpt_error& e) {
+        // A restore that failed after state was partially loaded (the only
+        // ckpt_error that escapes hier::system). The polluted system object
+        // is already destroyed, so rebuild cold — this preserves the job's
+        // result at the cost of re-running it from the start.
+        LNUCA_WARN("job ", j.key.flat, ": ", e.what(),
+                   "; re-running from a cold start");
+        job cold = j;
+        cold.config.checkpoint.resume = false;
+        try {
+            return cold.run();
+        } catch (const std::exception& e2) {
+            hier::run_result r = failure_result(j, hier::run_status::failed,
+                                                e2.what());
+            r.host_seconds = seconds_since(start);
+            return r;
+        }
     } catch (const std::exception& e) {
         hier::run_result r = failure_result(j, hier::run_status::failed,
                                             e.what());
@@ -149,16 +176,37 @@ hier::run_result run_attempt_with_timeout(const job& j, const run_options& opt,
 
 hier::run_result execute_job(const job& j, const run_options& opt)
 {
+    const bool checkpointing =
+        !opt.checkpoint_dir.empty() && opt.checkpoint_every != 0;
     const std::size_t attempts = 1 + opt.job_retries;
     hier::run_result r;
     for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+        if (ckpt::interrupt_requested())
+            return failure_result(
+                j, hier::run_status::failed,
+                "interrupted by signal before the job started; re-run "
+                "with --resume");
+        job stamped = j;
+        if (checkpointing) {
+            stamped.config.checkpoint.path = opt.checkpoint_dir + "/job_" +
+                                             std::to_string(j.key.flat) +
+                                             ".ckpt";
+            stamped.config.checkpoint.every = opt.checkpoint_every;
+            // Only the first attempt restores: a snapshot implicated in a
+            // failed attempt must not poison every retry (retries keep the
+            // bit-identical cold contract of the header comment).
+            stamped.config.checkpoint.resume =
+                opt.checkpoint_resume && attempt == 0;
+        }
         r = opt.job_timeout_seconds > 0.0
-                ? run_attempt_with_timeout(j, opt, attempt)
-                : run_attempt_inline(j, opt.fault, attempt);
+                ? run_attempt_with_timeout(stamped, opt, attempt)
+                : run_attempt_inline(stamped, opt.fault, attempt);
         // A retry reconstructs the run from the same rng::split(base, c, w,
         // r) seed, so a success here is bit-identical to a first-try one.
         if (r.status == hier::run_status::ok)
             return r;
+        if (ckpt::interrupt_requested())
+            return r; // a latched signal would preempt every retry too
     }
     if (attempts > 1)
         r.error += " (after " + std::to_string(attempts) + " attempts)";
@@ -232,16 +280,33 @@ report run_sweep(const sweep& s, const run_options& opt,
     // every finished row.
     std::mutex emit_mutex;
     std::vector<char> done(n, 0);
+    // A sink whose write/fsync failed (sink_error) is disabled for the rest
+    // of the sweep instead of repeating the throw on every row: complete()
+    // runs inside a pool task, where an escaped exception would terminate
+    // the process and lose every other job's work.
+    std::vector<char> sink_down(sinks.size(), 0);
     std::size_t cursor = 0;
+    auto consume_guarded = [&](std::size_t s, const job& j,
+                               const hier::run_result& r) {
+        if (sinks[s] == nullptr || sink_down[s])
+            return;
+        try {
+            sinks[s]->consume(j, r);
+        } catch (const sink_error& e) {
+            sink_down[s] = 1;
+            ++rep.sink_failures;
+            LNUCA_WARN("sink ", s, " disabled for the rest of the sweep: ",
+                       e.what());
+        }
+    };
     auto complete = [&](std::size_t i) {
         std::lock_guard<std::mutex> lock(emit_mutex);
         done[i] = 1;
         while (cursor < n && done[cursor]) {
             if (opt.row_hook)
                 opt.row_hook(rep.jobs[cursor], rep.results[cursor], rep);
-            for (sink* sk : sinks)
-                if (sk != nullptr)
-                    sk->consume(rep.jobs[cursor], rep.results[cursor]);
+            for (std::size_t s = 0; s < sinks.size(); ++s)
+                consume_guarded(s, rep.jobs[cursor], rep.results[cursor]);
             ++cursor;
         }
     };
@@ -268,11 +333,22 @@ report run_sweep(const sweep& s, const run_options& opt,
     } else {
         pool workers(opt.threads);
         workers.parallel_for(n, run_job);
+        // Explicit shutdown (the destructor's would be equivalent) so the
+        // abandoned-worker count lands in the report instead of vanishing.
+        workers.shutdown();
+        rep.abandoned_workers = workers.abandoned_workers();
     }
 
-    for (sink* sk : sinks)
-        if (sk != nullptr)
-            sk->finish();
+    for (std::size_t s = 0; s < sinks.size(); ++s) {
+        if (sinks[s] == nullptr || sink_down[s])
+            continue;
+        try {
+            sinks[s]->finish();
+        } catch (const sink_error& e) {
+            ++rep.sink_failures;
+            LNUCA_WARN("sink ", s, " failed to finish: ", e.what());
+        }
+    }
     return rep;
 }
 

@@ -75,12 +75,32 @@ struct run_options {
 
     /// Optional per-row post-processing before the sinks (see row_hook_fn).
     row_hook_fn row_hook;
+
+    /// Mid-run checkpointing (src/ckpt/): when checkpoint_dir is non-empty
+    /// and checkpoint_every > 0, every job snapshots its full simulator
+    /// state to <checkpoint_dir>/job_<flat>.ckpt every N retired
+    /// instructions (and on SIGTERM/SIGINT once the latch is installed).
+    /// checkpoint_resume restores a job's first attempt from its file when
+    /// present and valid; retries always start cold so a corrupt snapshot
+    /// cannot poison every attempt. A completed job deletes its file.
+    std::string checkpoint_dir;
+    std::uint64_t checkpoint_every = 0;
+    bool checkpoint_resume = false;
 };
 
 /// Results of one sweep execution. jobs[i] produced results[i].
 struct report {
     std::vector<job> jobs;
     std::vector<hier::run_result> results;
+
+    /// Workers the pool's bounded shutdown had to detach (0 on every clean
+    /// sweep; see exp::pool). Surfaced so a sweep that silently leaked a
+    /// stuck thread is visible in the exit tally.
+    std::size_t abandoned_workers = 0;
+
+    /// Sinks disabled mid-sweep after a sink_error (failed write/fsync).
+    /// The sweep itself keeps running; the exit tally reports the loss.
+    std::size_t sink_failures = 0;
 
     // Dimensions of the full sweep (before shard filtering).
     std::size_t config_count = 0;

@@ -1,5 +1,6 @@
 #include "src/exp/sink.h"
 
+#include "src/common/log.h"
 #include "src/common/table.h"
 
 #include <algorithm>
@@ -271,7 +272,13 @@ jsonl_sink::jsonl_sink(const std::string& path, std::size_t flush_rows,
 
 jsonl_sink::~jsonl_sink()
 {
-    flush();
+    // The destructor must not throw; normal shutdown goes through finish(),
+    // which does, so losses are only ever swallowed on an abnormal exit.
+    try {
+        flush();
+    } catch (const sink_error& e) {
+        LNUCA_WARN("jsonl sink: ", e.what());
+    }
     if (fd_ >= 0)
         ::close(fd_);
 }
@@ -287,6 +294,7 @@ void jsonl_sink::consume(const job& j, const hier::run_result& r)
 {
     if (r.status == hier::run_status::skipped_resumed)
         return; // already durable in this file (see class comment)
+    ++consumed_rows_;
     buffer_ += encode_json_line(j, r);
     buffer_ += '\n';
     ++rows_since_fsync_;
@@ -298,7 +306,10 @@ void jsonl_sink::finish()
 {
     flush();
     if (fd_ >= 0 && fsync_rows_ > 0 && rows_since_fsync_ > 0) {
-        ::fsync(fd_);
+        if (::fsync(fd_) != 0)
+            throw sink_error("jsonl sink: final fsync failed after row " +
+                             std::to_string(consumed_rows_) + ": " +
+                             std::strerror(errno));
         rows_since_fsync_ = 0;
     }
 }
@@ -309,12 +320,25 @@ void jsonl_sink::flush()
         if (fd_ >= 0) {
             const char* p = buffer_.data();
             std::size_t left = buffer_.size();
+            const std::size_t batch = buffered_rows_;
             while (left > 0) {
                 const ssize_t n = ::write(fd_, p, left);
                 if (n < 0 && errno == EINTR)
                     continue;
-                if (n <= 0)
-                    break; // full disk / EIO: drop the batch, keep running
+                if (n <= 0) {
+                    // Full disk / EIO / closed fd: the batch is lost either
+                    // way, so clear it (the destructor's last flush must
+                    // not re-throw) and report exactly which rows are gone
+                    // instead of pretending they reached the file.
+                    const int err = n < 0 ? errno : EIO;
+                    const std::size_t first = consumed_rows_ - batch;
+                    buffer_.clear();
+                    buffered_rows_ = 0;
+                    throw sink_error(
+                        "jsonl sink: write failed at row " +
+                        std::to_string(first) + " (" + std::to_string(batch) +
+                        " buffered rows lost): " + std::strerror(err));
+                }
                 p += n;
                 left -= std::size_t(n);
             }
@@ -325,7 +349,10 @@ void jsonl_sink::flush()
         buffered_rows_ = 0;
     }
     if (fd_ >= 0 && fsync_rows_ > 0 && rows_since_fsync_ >= fsync_rows_) {
-        ::fsync(fd_);
+        if (::fsync(fd_) != 0)
+            throw sink_error("jsonl sink: fsync failed after row " +
+                             std::to_string(consumed_rows_) + ": " +
+                             std::strerror(errno));
         rows_since_fsync_ = 0;
     }
 }

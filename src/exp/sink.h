@@ -19,10 +19,22 @@
 
 #include <optional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace lnuca::exp {
+
+/// Thrown by jsonl_sink when a write(2) or fsync(2) fails: rows the caller
+/// believes durable would otherwise be silently lost (a sweep "completing"
+/// with an empty output file). The message names the flat row index where
+/// the loss starts. run_sweep catches it, disables that sink for the rest
+/// of the sweep and counts it in report::sink_failures — the simulation
+/// results themselves survive in the in-memory report.
+class sink_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
 
 class sink {
 public:
@@ -96,6 +108,9 @@ public:
     void finish() override;
 
 private:
+    /// Throws sink_error on a failed/short write(2) or failed fsync(2)
+    /// (file mode). The buffer is cleared first so the destructor's final
+    /// flush cannot re-throw the same loss.
     void flush();
 
     std::ostream* out_ = nullptr; ///< stream mode (stdout / tests)
@@ -104,6 +119,7 @@ private:
     std::size_t fsync_rows_ = 0;  ///< 0 = never fsync
     std::size_t buffered_rows_ = 0;
     std::size_t rows_since_fsync_ = 0;
+    std::size_t consumed_rows_ = 0; ///< rows seen; names the loss point
     std::string buffer_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/fabric/lnuca_cache.h"
 
+#include "src/ckpt/archive.h"
 #include "src/common/log.h"
 
 #include <algorithm>
@@ -653,6 +654,8 @@ void lnuca_cache::run_replacement(cycle_t now, tile_index i)
         if (head == nullptr || head->block != t.pending_block) {
             // The search operation extracted the in-transit block.
             t.phase = tile::repl_phase::idle;
+            t.pending_u = 0;
+            t.pending_block = no_addr;
             return;
         }
         const replace_msg msg = *fifo.pop();
@@ -665,6 +668,8 @@ void lnuca_cache::run_replacement(cycle_t now, tile_index i)
         }
         counters_.inc(h_tile_data_writes_);
         t.phase = tile::repl_phase::idle;
+        t.pending_u = 0;
+        t.pending_block = no_addr;
         return;
     }
 
@@ -1095,6 +1100,21 @@ bool lnuca_cache::quiescent() const
                 return false;
     }
     return true;
+}
+
+void lnuca_cache::save_state(ckpt::writer& w) const
+{
+    if (!quiescent())
+        throw ckpt::ckpt_error(
+            "lnuca_cache: checkpoint requested while searches are in flight");
+    ckpt::saver ar(w);
+    const_cast<lnuca_cache*>(this)->serialize(ar);
+}
+
+void lnuca_cache::load_state(ckpt::reader& r)
+{
+    ckpt::loader ar(r);
+    serialize(ar);
 }
 
 } // namespace lnuca::fabric

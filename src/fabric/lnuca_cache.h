@@ -108,6 +108,43 @@ public:
     /// Returns false when every candidate set is full.
     bool prewarm(addr_t addr);
 
+    /// Checkpoint hooks (quiescent-only; hier::system owns the section).
+    void save_state(ckpt::writer& w) const override;
+    void load_state(ckpt::reader& r) override;
+
+    /// Persistent-at-quiescence state: tile tags/recency, stats, the
+    /// routing RNG and the warm-path rotation pointers. Searches, link
+    /// buffers and queues are empty by the quiesce contract; the warm
+    /// block index is derivable and rebuilt lazily after load.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        for (tile& t : tiles_)
+            t.serialize(ar);
+        ar.counters(counters_);
+        ar(rng_);
+        ar(level_read_hits_);
+        ar(transport_actual_);
+        ar(transport_min_);
+        std::uint64_t high_water = downstream_queue_high_water_;
+        ar(high_water);
+        downstream_queue_high_water_ = std::size_t(high_water);
+        std::uint64_t rotate_count = warm_rotate_.size();
+        ar(rotate_count);
+        warm_rotate_.resize(std::size_t(rotate_count));
+        for (std::size_t& r : warm_rotate_) {
+            std::uint64_t v = r;
+            ar(v);
+            r = std::size_t(v);
+        }
+        // Stale on BOTH directions: tiles can hold transient duplicate
+        // copies of a block at quiescence (exclusion is best-effort in the
+        // detailed path), so the incrementally-maintained warm index and a
+        // fresh rebuild may disagree about the holder. Rebuilding from the
+        // (serialized, identical) tags on each side keeps a checkpointed
+        // run and its restored twin bit-identical.
+        warm_index_stale_ = true;
+    }
+
 private:
     struct link {
         tile_index target = 0; ///< root_index = the r-tile

@@ -66,12 +66,25 @@ public:
     std::vector<noc::sync_fifo<transport_msg>> d_in;
     std::vector<noc::sync_fifo<replace_msg>> u_in;
 
-    /// Two-cycle replacement operation state (Section III-C(c)).
+    /// Two-cycle replacement operation state (Section III-C(c)). The
+    /// fabric resets pending_u/pending_block whenever phase returns to
+    /// idle so the quiescent image is canonical (state digests would
+    /// otherwise see stale values a checkpoint restore cannot reproduce).
     enum class repl_phase : std::uint8_t { idle, write_pending };
     repl_phase phase = repl_phase::idle;
     std::size_t pending_u = 0; ///< which u_in fifo the pending install reads
     addr_t pending_block = no_addr;
     std::size_t repl_rotate = 0; ///< fairness pointer over u_in fifos
+
+    /// Checkpoint support: tags + the fairness pointer. MA registers, link
+    /// buffers and the replacement phase are empty/idle at quiescence.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        cache.serialize(ar);
+        std::uint64_t rotate = repl_rotate;
+        ar(rotate);
+        repl_rotate = std::size_t(rotate);
+    }
 };
 
 } // namespace lnuca::fabric

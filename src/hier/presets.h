@@ -50,6 +50,24 @@ struct sampling_config {
 /// malformed input.
 std::optional<sampling_config> parse_sampling_spec(const std::string& spec);
 
+/// Mid-run checkpoint/restore (src/ckpt/). Enabled when `path` is set and
+/// `every` > 0: the run drivers drain to quiescence and snapshot the full
+/// simulator state every `every` retired instructions (and on
+/// SIGTERM/SIGINT, once run_app has installed the latch). A run executed
+/// with checkpointing enabled is bit-identical whether or not it is killed
+/// and resumed at any of those points.
+struct checkpoint_config {
+    std::string path;         ///< checkpoint file ("" = disabled)
+    std::uint64_t every = 0;  ///< instructions between snapshots (0 = off)
+    bool resume = false;      ///< restore from `path` if present and valid
+    /// Test hook: after the Nth successful save, throw ckpt::interrupted
+    /// exactly as a signal would (0 = off). Lets tests exercise the
+    /// kill+resume path deterministically in-process.
+    std::uint64_t halt_after = 0;
+
+    bool enabled() const { return !path.empty() && every != 0; }
+};
+
 struct system_config {
     std::string name = "L2-256KB";
     hierarchy_kind kind = hierarchy_kind::conventional;
@@ -93,6 +111,9 @@ struct system_config {
     /// replaying it via a workload_profile::trace_path reproduces the run
     /// bit-identically. See src/trace/format.h.
     std::string capture_path;
+    /// Mid-run checkpoint/restore (mutually exclusive with capture_path;
+    /// exp::run_app rejects the combination).
+    checkpoint_config checkpoint;
 };
 
 namespace presets {

@@ -1,5 +1,7 @@
 #include "src/hier/system.h"
 
+#include "src/ckpt/archive.h"
+#include "src/ckpt/signal.h"
 #include "src/common/log.h"
 #include "src/trace/scenarios.h"
 #include "src/trace/trace_stream.h"
@@ -8,7 +10,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+
+#include <unistd.h>
 
 namespace lnuca::hier {
 
@@ -403,6 +408,31 @@ struct system::window_totals {
     power::energy_inputs energy; ///< event counts summed over windows
                                  ///< (cycles overwritten with the estimate
                                  ///< before compute_energy)
+
+    /// The accumulated measurement travels inside the checkpoint's `driver`
+    /// section, so a resumed run continues summing into the same totals.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(instructions);
+        ar(cycles);
+        ar(window_cpi);
+        ar(l2_read_hits);
+        ar(fabric_read_hits);
+        ar(transport_actual);
+        ar(transport_min);
+        ar(search_restarts);
+        ar(searches);
+        ar(loads_l1);
+        ar(loads_fabric);
+        ar(loads_l2);
+        ar(loads_l3);
+        ar(loads_dnuca);
+        ar(loads_memory);
+        ar(loads_peer);
+        ar(load_latency_weighted);
+        ar(load_latency_count);
+        ar(energy);
+    }
 };
 
 /// Baseline counter values for one measured span; harvest_levels() turns
@@ -539,6 +569,369 @@ void system::apply_totals(run_result& r, const window_totals& totals) const
     r.energy = power::compute_energy(in);
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint/restore orchestration. The system owns the section layout -
+// every component's save_state/load_state runs inside a section the system
+// opens for it - so the file structure is decided in exactly one place and
+// the reader's exact-consumption check catches any reader/writer drift per
+// component instead of smearing it across the file.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v)
+{
+    return hash64(h ^ hash64(v));
+}
+
+std::uint64_t mix_str(std::uint64_t h, const std::string& s)
+{
+    for (const char c : s)
+        h = mix(h, std::uint64_t(std::uint8_t(c)));
+    return mix(h, s.size());
+}
+
+} // namespace
+
+std::uint64_t system::ckpt_config_hash() const
+{
+    // Everything that decides which driver runs, which sections exist and
+    // how the components are sized. Deliberately not every tuning knob: the
+    // per-component payloads carry their own structure (vector sizes), so a
+    // resized cache fails the section load loudly even if the hash passed.
+    std::uint64_t h = 0x4c4e4b50'54310001ULL;
+    h = mix_str(h, config_.name);
+    h = mix(h, std::uint64_t(config_.kind));
+    h = mix(h, config_.cores);
+    h = mix(h, seed_);
+    h = mix(h, std::uint64_t(config_.engine_mode));
+    h = mix(h, config_.sampling.enabled ? 1 : 0);
+    h = mix(h, config_.sampling.detail_instructions);
+    h = mix(h, config_.sampling.detail_warmup);
+    h = mix(h, config_.sampling.period_instructions);
+    h = mix(h, config_.l1.size_bytes);
+    h = mix(h, config_.l2.size_bytes);
+    h = mix(h, config_.l3.size_bytes);
+    h = mix(h, config_.fabric.levels);
+    h = mix(h, config_.dnuca.bank_sets);
+    h = mix(h, config_.dnuca.rows);
+    for (const auto& stream : streams_)
+        h = mix_str(h, stream->profile().name);
+    return h;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+system::component_digests() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> digests;
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        digests.emplace_back("core" + std::to_string(i),
+                             cores_[i]->state_digest());
+    for (std::size_t i = 0; i < l1s_.size(); ++i)
+        digests.emplace_back("l1#" + std::to_string(i),
+                             l1s_[i]->state_digest());
+    if (hub_)
+        digests.emplace_back("hub", hub_->state_digest());
+    if (l1_l2_bus_)
+        digests.emplace_back("bus", l1_l2_bus_->state_digest());
+    if (l2_)
+        digests.emplace_back("l2", l2_->state_digest());
+    if (l3_)
+        digests.emplace_back("l3", l3_->state_digest());
+    if (fabric_)
+        digests.emplace_back("fabric", fabric_->state_digest());
+    if (dnuca_)
+        digests.emplace_back("dnuca", dnuca_->state_digest());
+    digests.emplace_back("memory", memory_->state_digest());
+    return digests;
+}
+
+void system::save_checkpoint(
+    std::uint64_t run_instructions, std::uint64_t run_warmup,
+    const std::function<void(ckpt::writer&)>& driver_save)
+{
+    using ckpt::section_id;
+    try {
+        ckpt::writer w;
+
+        // meta: pure run identity, validated on restore before any state
+        // is touched (so a mismatch is always a safe cold start).
+        w.begin_section(section_id::meta);
+        {
+            ckpt::saver ar(w);
+            ar(run_instructions);
+            ar(run_warmup);
+            ar(seed_);
+            std::uint64_t lanes = streams_.size();
+            std::uint64_t n_cores = cores_.size();
+            ar(lanes);
+            ar(n_cores);
+        }
+        w.end_section();
+
+        w.begin_section(section_id::engine);
+        {
+            ckpt::saver ar(w);
+            engine_.serialize(ar);
+            ar(ids_);
+        }
+        w.end_section();
+
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            w.begin_section(section_id::core, std::uint32_t(i));
+            cores_[i]->save_state(w);
+            w.end_section();
+        }
+        for (std::size_t i = 0; i < l1s_.size(); ++i) {
+            w.begin_section(section_id::l1, std::uint32_t(i));
+            l1s_[i]->save_state(w);
+            w.end_section();
+        }
+        if (hub_) {
+            w.begin_section(section_id::hub);
+            hub_->save_state(w);
+            w.end_section();
+        }
+        if (l1_l2_bus_) {
+            w.begin_section(section_id::bus);
+            l1_l2_bus_->save_state(w);
+            w.end_section();
+        }
+        if (l2_) {
+            w.begin_section(section_id::l2);
+            l2_->save_state(w);
+            w.end_section();
+        }
+        if (l3_) {
+            w.begin_section(section_id::l3);
+            l3_->save_state(w);
+            w.end_section();
+        }
+        if (fabric_) {
+            w.begin_section(section_id::fabric);
+            fabric_->save_state(w);
+            w.end_section();
+        }
+        if (dnuca_) {
+            w.begin_section(section_id::dnuca);
+            dnuca_->save_state(w);
+            w.end_section();
+        }
+        w.begin_section(section_id::memory);
+        memory_->save_state(w);
+        w.end_section();
+
+        for (std::size_t i = 0; i < streams_.size(); ++i) {
+            w.begin_section(section_id::stream, std::uint32_t(i));
+            streams_[i]->save_state(w);
+            w.end_section();
+        }
+
+        w.begin_section(section_id::driver);
+        driver_save(w);
+        w.end_section();
+
+        // Digest values in component_digests() order; restore recomputes
+        // and compares, so a load that "succeeded" into the wrong state is
+        // caught before the run resumes.
+        w.begin_section(section_id::digests);
+        {
+            ckpt::saver ar(w);
+            for (const auto& [name, digest] : component_digests())
+                ar(digest);
+        }
+        w.end_section();
+
+        w.finalize(config_.checkpoint.path, ckpt_config_hash());
+    } catch (const ckpt::ckpt_error& e) {
+        // A failed save must never kill the run it protects; the previous
+        // snapshot (if any) is still intact thanks to the atomic replace.
+        LNUCA_WARN("checkpoint save failed (", e.what(),
+                   "); continuing without a snapshot");
+    }
+}
+
+bool system::try_load_checkpoint(
+    std::uint64_t run_instructions, std::uint64_t run_warmup,
+    const std::function<void(ckpt::reader&)>& driver_load)
+{
+    using ckpt::section_id;
+    const checkpoint_config& cc = config_.checkpoint;
+    if (!cc.resume || cc.path.empty())
+        return false;
+    if (::access(cc.path.c_str(), F_OK) != 0)
+        return false; // no snapshot yet: the normal first-run cold start
+
+    bool mutated = false;
+    try {
+        ckpt::reader r(cc.path);
+        if (r.config_hash() != ckpt_config_hash())
+            throw ckpt::ckpt_error(
+                cc.path +
+                ": checkpoint belongs to a different run (config hash "
+                "mismatch)");
+
+        r.open_section(section_id::meta);
+        {
+            ckpt::loader ar(r);
+            std::uint64_t instr = 0, wu = 0, seed = 0, lanes = 0, n_cores = 0;
+            ar(instr);
+            ar(wu);
+            ar(seed);
+            ar(lanes);
+            ar(n_cores);
+            if (instr != run_instructions || wu != run_warmup)
+                throw ckpt::ckpt_error(
+                    cc.path + ": run length mismatch (checkpointed " +
+                    std::to_string(instr) + "+" + std::to_string(wu) +
+                    ", requested " + std::to_string(run_instructions) + "+" +
+                    std::to_string(run_warmup) + ")");
+            if (seed != seed_ || lanes != streams_.size() ||
+                n_cores != cores_.size())
+                throw ckpt::ckpt_error(cc.path +
+                                       ": seed or topology mismatch");
+        }
+        r.close_section();
+
+        // Everything below mutates live state: a failure past this point
+        // leaves the system neither cold nor restored, so it escalates to
+        // the caller (which rebuilds from scratch) instead of silently
+        // "falling back" on polluted state.
+        mutated = true;
+
+        r.open_section(section_id::engine);
+        {
+            ckpt::loader ar(r);
+            engine_.serialize(ar);
+            ar(ids_);
+        }
+        r.close_section();
+
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            r.open_section(section_id::core, std::uint32_t(i));
+            cores_[i]->load_state(r);
+            r.close_section();
+        }
+        for (std::size_t i = 0; i < l1s_.size(); ++i) {
+            r.open_section(section_id::l1, std::uint32_t(i));
+            l1s_[i]->load_state(r);
+            r.close_section();
+        }
+        if (hub_) {
+            r.open_section(section_id::hub);
+            hub_->load_state(r);
+            r.close_section();
+        }
+        if (l1_l2_bus_) {
+            r.open_section(section_id::bus);
+            l1_l2_bus_->load_state(r);
+            r.close_section();
+        }
+        if (l2_) {
+            r.open_section(section_id::l2);
+            l2_->load_state(r);
+            r.close_section();
+        }
+        if (l3_) {
+            r.open_section(section_id::l3);
+            l3_->load_state(r);
+            r.close_section();
+        }
+        if (fabric_) {
+            r.open_section(section_id::fabric);
+            fabric_->load_state(r);
+            r.close_section();
+        }
+        if (dnuca_) {
+            r.open_section(section_id::dnuca);
+            dnuca_->load_state(r);
+            r.close_section();
+        }
+        r.open_section(section_id::memory);
+        memory_->load_state(r);
+        r.close_section();
+
+        for (std::size_t i = 0; i < streams_.size(); ++i) {
+            r.open_section(section_id::stream, std::uint32_t(i));
+            streams_[i]->load_state(r);
+            r.close_section();
+        }
+
+        r.open_section(section_id::driver);
+        driver_load(r);
+        r.close_section();
+
+        // Digest verification: the save-time digests must match the values
+        // the restored components compute now.
+        r.open_section(section_id::digests);
+        {
+            ckpt::loader ar(r);
+            for (const auto& [name, digest] : component_digests()) {
+                std::uint64_t stored = 0;
+                ar(stored);
+                if (stored != digest)
+                    throw ckpt::ckpt_error(
+                        cc.path + ": state digest mismatch after restore (" +
+                        name + ")");
+            }
+        }
+        r.close_section();
+
+        // Paranoid fidelity additionally proves the restored directory
+        // sound before a single post-restore cycle executes.
+        if (config_.engine_mode == sim::schedule_mode::paranoid && hub_)
+            hub_->check_invariants();
+
+        LNUCA_INFO("resumed from checkpoint ", cc.path, " at cycle ",
+                   engine_.now());
+        return true;
+    } catch (const ckpt::ckpt_error& e) {
+        if (!mutated) {
+            LNUCA_WARN("ignoring checkpoint (", e.what(), "); cold start");
+            return false;
+        }
+        throw ckpt::ckpt_error(
+            std::string("checkpoint restore failed after state was "
+                        "partially loaded (") +
+            e.what() + "); rebuild the system and run cold");
+    }
+}
+
+void system::checkpoint_boundary(
+    std::uint64_t retired, std::uint64_t run_instructions,
+    std::uint64_t run_warmup,
+    const std::function<void(ckpt::writer&)>& driver_save)
+{
+    const checkpoint_config& cc = config_.checkpoint;
+    if (!cc.enabled())
+        return;
+    const bool signalled = ckpt::interrupt_requested();
+    if (!signalled && retired - ckpt_last_save_ < cc.every)
+        return;
+
+    save_checkpoint(run_instructions, run_warmup, driver_save);
+    ckpt_last_save_ = retired;
+    ++ckpt_saves_;
+
+    // CI crash hook: simulate a SIGKILL a bounded number of saves into the
+    // run (the fault harness cannot aim a real KILL at a quiescent point).
+    if (const char* env = std::getenv("LNUCA_CKPT_EXIT_AFTER")) {
+        const std::uint64_t n = std::strtoull(env, nullptr, 10);
+        if (n != 0 && ckpt_saves_ >= n)
+            std::_Exit(137);
+    }
+    if (signalled || (cc.halt_after != 0 && ckpt_saves_ >= cc.halt_after))
+        throw ckpt::interrupted(cc.path);
+}
+
+void system::checkpoint_complete()
+{
+    // A finished run's snapshot must not survive: resuming it would replay
+    // the final chunk of an already-reported job.
+    if (config_.checkpoint.enabled())
+        ::unlink(config_.checkpoint.path.c_str());
+}
+
 run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
 {
     if (cores_.size() > 1) {
@@ -555,15 +948,57 @@ run_result system::run(std::uint64_t instructions, std::uint64_t warmup)
     cpu::ooo_core* core = cores_.front().get();
     const cycle_t max_cycles = 400 * (instructions + warmup) + 2'000'000;
 
-    // Warm-up window.
-    core->set_instruction_limit(warmup);
-    engine_.run_until([&] { return core->done(); }, max_cycles);
-
-    // Measurement window: the same snapshot/delta harvest the sampled
-    // driver uses per window (one window covering the whole run).
-    const auto host_start = std::chrono::steady_clock::now();
+    // Measurement cursor + accumulated totals: together the exact driver's
+    // entire progress state, so they are what the `driver` section carries.
     window_totals totals;
-    detailed_segment(instructions, max_cycles, &totals);
+    std::uint64_t done = 0;
+
+    const bool restored =
+        try_load_checkpoint(instructions, warmup, [&](ckpt::reader& r) {
+            ckpt::loader ar(r);
+            ar(done);
+            ar(totals);
+        });
+    if (restored) {
+        ckpt_last_save_ = done;
+    } else {
+        // Warm-up window. Not checkpointed: a kill during warm-up restarts
+        // cold, losing at most the warm-up itself.
+        core->set_instruction_limit(warmup);
+        engine_.run_until([&] { return core->done(); }, max_cycles);
+    }
+
+    // Measurement: the same snapshot/delta harvest the sampled driver uses
+    // per window. Without checkpointing this is one segment covering the
+    // whole run (byte-for-byte the pre-checkpoint driver); with it, the run
+    // chops into checkpoint.every-instruction chunks separated by a drain
+    // (excluded from the measured cycles) and a quiescent snapshot.
+    const auto host_start = std::chrono::steady_clock::now();
+    const std::uint64_t chunk_size =
+        config_.checkpoint.enabled() ? config_.checkpoint.every : 0;
+    // `first` keeps the degenerate zero-instruction run on the historical
+    // path: one empty measured segment, not zero segments.
+    bool first = !restored;
+    while (first || done < instructions) {
+        first = false;
+        const std::uint64_t chunk =
+            chunk_size == 0 ? instructions - done
+                            : std::min(chunk_size, instructions - done);
+        detailed_segment(chunk, max_cycles, &totals);
+        done += core->committed();
+        if (core->committed() < chunk)
+            break; // cycle ceiling hit; mirror the single-segment bail-out
+        if (done < instructions && config_.checkpoint.enabled()) {
+            drain(max_cycles);
+            checkpoint_boundary(done, instructions, warmup,
+                                [&](ckpt::writer& w) {
+                                    ckpt::saver ar(w);
+                                    ar(done);
+                                    ar(totals);
+                                });
+        }
+    }
+    checkpoint_complete();
     const double host_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)
@@ -597,6 +1032,7 @@ run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
 {
     const cycle_t max_cycles =
         600 * (instructions + warmup) + 2'000'000;
+    const std::size_t n_cores = cores_.size();
     const auto all_done = [&] {
         for (const auto& core : cores_)
             if (!core->done())
@@ -604,25 +1040,82 @@ run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
         return true;
     };
 
-    // Warm-up: every core runs its warm-up quota; early finishers idle
-    // (standard fixed-instruction multiprogrammed methodology).
-    for (auto& core : cores_)
-        core->set_instruction_limit(warmup);
-    engine_.run_until(all_done, max_cycles);
+    // Progress state for the `driver` checkpoint section: per-lane cursor,
+    // accumulated measurement totals, per-core instruction/cycle sums and
+    // the wall-cycle sum. One chunk covering the whole run reproduces the
+    // pre-checkpoint arithmetic exactly (per-core cycles are measured from
+    // each core's own committing tick relative to the segment start).
+    window_totals totals;
+    std::uint64_t done = 0;
+    std::uint64_t wall_cycles = 0;
+    std::vector<std::uint64_t> core_instr(n_cores, 0);
+    std::vector<std::uint64_t> core_cycles(n_cores, 0);
 
-    const auto host_start = std::chrono::steady_clock::now();
-    for (auto& core : cores_) {
-        core->reset_stats();
-        core->set_instruction_limit(instructions);
+    const bool restored =
+        try_load_checkpoint(instructions, warmup, [&](ckpt::reader& r) {
+            ckpt::loader ar(r);
+            ar(done);
+            ar(wall_cycles);
+            ar(core_instr);
+            ar(core_cycles);
+            ar(totals);
+        });
+    if (restored) {
+        ckpt_last_save_ = done;
+    } else {
+        // Warm-up: every core runs its warm-up quota; early finishers idle
+        // (standard fixed-instruction multiprogrammed methodology). Not
+        // checkpointed - a kill during warm-up restarts cold.
+        for (auto& core : cores_)
+            core->set_instruction_limit(warmup);
+        engine_.run_until(all_done, max_cycles);
     }
 
-    const level_snapshot snap = snap_levels();
-
-    const cycle_t start = engine_.now();
-    const bool finished = engine_.run_until(all_done, max_cycles);
-    if (!finished)
-        LNUCA_WARN("CMP measurement hit the cycle ceiling before every "
-                   "core committed ", instructions, " instructions");
+    const auto host_start = std::chrono::steady_clock::now();
+    const std::uint64_t chunk_size =
+        config_.checkpoint.enabled() ? config_.checkpoint.every : 0;
+    bool ceiling_hit = false;
+    // `first` keeps the degenerate zero-instruction run on the historical
+    // path: one empty measured segment, not zero segments.
+    bool first = !restored;
+    while (first || (done < instructions && !ceiling_hit)) {
+        first = false;
+        const std::uint64_t chunk =
+            chunk_size == 0 ? instructions - done
+                            : std::min(chunk_size, instructions - done);
+        const cycle_t seg_start = engine_.now();
+        detailed_segment(chunk, max_cycles, &totals);
+        cycle_t last_finish = seg_start;
+        for (std::size_t i = 0; i < n_cores; ++i) {
+            // Per-core cycles from each core's own finish cycle
+            // (schedule-independent: recorded at the committing tick).
+            const cycle_t fin = cores_[i]->finished_at() == no_cycle
+                                    ? engine_.now()
+                                    : cores_[i]->finished_at();
+            last_finish = std::max(last_finish, fin);
+            core_instr[i] += cores_[i]->committed();
+            core_cycles[i] += fin + 1 - seg_start;
+            ceiling_hit = ceiling_hit || cores_[i]->committed() < chunk;
+        }
+        wall_cycles += last_finish + 1 - seg_start;
+        done += chunk;
+        if (ceiling_hit)
+            LNUCA_WARN("CMP measurement hit the cycle ceiling before every "
+                       "core committed ", chunk, " instructions");
+        else if (done < instructions && config_.checkpoint.enabled()) {
+            drain(max_cycles);
+            checkpoint_boundary(done, instructions, warmup,
+                                [&](ckpt::writer& w) {
+                                    ckpt::saver ar(w);
+                                    ar(done);
+                                    ar(wall_cycles);
+                                    ar(core_instr);
+                                    ar(core_cycles);
+                                    ar(totals);
+                                });
+        }
+    }
+    checkpoint_complete();
     const double host_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)
@@ -631,7 +1124,7 @@ run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
     run_result r;
     r.config_name = config_.name;
     r.floating_point = streams_.front()->profile().floating_point;
-    r.cores = std::uint32_t(cores_.size());
+    r.cores = std::uint32_t(n_cores);
 
     // Workload label: the mix's distinct names, first-appearance order.
     std::vector<std::string> seen;
@@ -644,21 +1137,14 @@ run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
     for (std::size_t i = 1; i < seen.size(); ++i)
         r.workload_name += "+" + seen[i];
 
-    window_totals totals;
-    cycle_t last_finish = start;
-    for (auto& core : cores_) {
-        const cycle_t fin =
-            core->finished_at() == no_cycle ? engine_.now()
-                                            : core->finished_at();
-        const cycle_t cycles_i = fin + 1 - start;
-        last_finish = std::max(last_finish, fin);
-        r.per_core_ipc.push_back(
-            cycles_i == 0 ? 0.0
-                          : double(core->committed()) / double(cycles_i));
-        r.instructions += core->committed();
-        harvest_core(*core, totals);
+    for (std::size_t i = 0; i < n_cores; ++i) {
+        r.per_core_ipc.push_back(core_cycles[i] == 0
+                                     ? 0.0
+                                     : double(core_instr[i]) /
+                                           double(core_cycles[i]));
+        r.instructions += core_instr[i];
     }
-    r.cycles = last_finish + 1 - start;
+    r.cycles = wall_cycles;
     r.ipc = r.cycles == 0 ? 0.0 : double(r.instructions) / double(r.cycles);
     r.host_seconds = host_seconds;
     r.sim_cycles_per_second =
@@ -666,7 +1152,6 @@ run_result system::run_cmp(std::uint64_t instructions, std::uint64_t warmup)
     r.sim_instructions_per_second =
         host_seconds > 0.0 ? double(r.instructions) / host_seconds : 0.0;
 
-    harvest_levels(snap, totals);
     apply_totals(r, totals);
     return r;
 }
@@ -826,11 +1311,6 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
     const cycle_t segment_budget =
         400 * (sc.detail_instructions + sc.detail_warmup) + 2'000'000;
 
-    // The run-level warm-up executes functionally: large-structure warmth
-    // comes from prewarm() plus the warm_access() path, timing warmth from
-    // each window's detailed warm-up segment.
-    fast_forward(warmup);
-
     const std::uint64_t detail =
         std::min(std::max<std::uint64_t>(sc.detail_instructions, 1),
                  std::max<std::uint64_t>(instructions, 1));
@@ -849,9 +1329,29 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
     // seed alone - thread count and shard layout cannot move a window.
     rng placement(rng::split(seed_, 0x5a3b11d6ULL, windows, 0));
 
+    // Driver checkpoint state: next window index, retired cursor, totals
+    // and the placement rng (already advanced past the restored windows).
     window_totals totals;
     std::uint64_t retired = 0;
-    for (std::uint64_t k = 0; k < windows; ++k) {
+    std::uint64_t first_window = 0;
+
+    const bool restored =
+        try_load_checkpoint(instructions, warmup, [&](ckpt::reader& r) {
+            ckpt::loader ar(r);
+            ar(first_window);
+            ar(retired);
+            ar(placement);
+            ar(totals);
+        });
+    if (restored)
+        ckpt_last_save_ = retired;
+    else
+        // The run-level warm-up executes functionally: large-structure
+        // warmth comes from prewarm() plus the warm_access() path, timing
+        // warmth from each window's detailed warm-up segment.
+        fast_forward(warmup);
+
+    for (std::uint64_t k = first_window; k < windows; ++k) {
         const std::uint64_t span = k + 1 == windows
                                        ? instructions - (windows - 1) * base_span
                                        : base_span;
@@ -869,7 +1369,22 @@ run_result system::run_sampled(std::uint64_t instructions, std::uint64_t warmup)
         drain(segment_budget);
         fast_forward(span > used ? span - used : 0);
         retired += std::max(span, used);
+
+        // Window boundaries are already quiescent (drain + functional
+        // fast-forward), so the sampled snapshot costs no extra drain and
+        // perturbs nothing.
+        if (k + 1 < windows)
+            checkpoint_boundary(retired, instructions, warmup,
+                                [&, k](ckpt::writer& w) {
+                                    ckpt::saver ar(w);
+                                    std::uint64_t next = k + 1;
+                                    ar(next);
+                                    ar(retired);
+                                    ar(placement);
+                                    ar(totals);
+                                });
     }
+    checkpoint_complete();
 
     const double host_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -992,10 +1507,6 @@ run_result system::run_cmp_sampled(std::uint64_t instructions,
     const cycle_t segment_budget =
         600 * (sc.detail_instructions + sc.detail_warmup) + 2'000'000;
 
-    // Run-level warm-up executes functionally on every lane (see
-    // fast_forward: round-robin chunks through the warm MESI path).
-    fast_forward(warmup);
-
     // Window arithmetic is per lane - every core retires `instructions` -
     // and identical to run_sampled's, so the single-core and CMP drivers
     // place windows the same way for the same spec.
@@ -1017,6 +1528,7 @@ run_result system::run_cmp_sampled(std::uint64_t instructions,
     const std::size_t n_cores = cores_.size();
     window_totals totals;
     std::uint64_t retired_per_lane = 0;
+    std::uint64_t first_window = 0;
     std::vector<std::uint64_t> core_instr(n_cores, 0);
     std::vector<std::uint64_t> core_cycles(n_cores, 0);
     // Per-lane retirement rate measured in the most recent detailed
@@ -1027,6 +1539,26 @@ run_result system::run_cmp_sampled(std::uint64_t instructions,
     // first fast-forward runs in lockstep (no measurement yet).
     std::vector<double> rates(n_cores, 1.0);
     bool rates_known = false;
+
+    const bool restored =
+        try_load_checkpoint(instructions, warmup, [&](ckpt::reader& r) {
+            ckpt::loader ar(r);
+            ar(first_window);
+            ar(retired_per_lane);
+            ar(placement);
+            ar(core_instr);
+            ar(core_cycles);
+            ar(rates);
+            ar(rates_known);
+            ar(totals);
+        });
+    if (restored)
+        ckpt_last_save_ = retired_per_lane;
+    else
+        // Run-level warm-up executes functionally on every lane (see
+        // fast_forward: round-robin chunks through the warm MESI path).
+        fast_forward(warmup);
+
     const auto ff = [&](std::uint64_t count) {
         if (rates_known)
             fast_forward_rated(count, rates);
@@ -1040,12 +1572,13 @@ run_result system::run_cmp_sampled(std::uint64_t instructions,
         return m;
     };
 
-    for (std::uint64_t k = 0; k < windows; ++k) {
+    for (std::uint64_t k = first_window; k < windows; ++k) {
         const std::uint64_t span = k + 1 == windows
                                        ? instructions - (windows - 1) * base_span
                                        : base_span;
         const std::uint64_t slack = span - detail - window_warmup;
         const std::uint64_t offset = placement.below(slack + 1);
+
 
         ff(offset);
         // `used` tracks the furthest lane's position inside the window;
@@ -1077,7 +1610,26 @@ run_result system::run_cmp_sampled(std::uint64_t instructions,
         drain(segment_budget);
         ff(span > used ? span - used : 0);
         retired_per_lane += std::max(span, used);
+
+        // Quiescent window boundary; cadence runs on the per-lane cursor
+        // (checkpoint.every is per-lane instructions, like run_cmp's
+        // chunks).
+        if (k + 1 < windows)
+            checkpoint_boundary(retired_per_lane, instructions, warmup,
+                                [&, k](ckpt::writer& w) {
+                                    ckpt::saver ar(w);
+                                    std::uint64_t next = k + 1;
+                                    ar(next);
+                                    ar(retired_per_lane);
+                                    ar(placement);
+                                    ar(core_instr);
+                                    ar(core_cycles);
+                                    ar(rates);
+                                    ar(rates_known);
+                                    ar(totals);
+                                });
     }
+    checkpoint_complete();
 
     const double host_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -14,7 +14,10 @@
 #include "src/sim/engine.h"
 #include "src/workloads/synthetic.h"
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace lnuca::trace {
@@ -244,6 +247,49 @@ private:
     /// levels, latency, energy) into `r`; r.cycles must already be set.
     void apply_totals(run_result& r, const window_totals& totals) const;
 
+    // --- checkpoint/restore (src/ckpt/) --------------------------------
+    // The drivers call checkpoint_boundary() at every quiescent chunk or
+    // window boundary; save_checkpoint/try_load_checkpoint own the section
+    // layout (one section per component, see ckpt::section_id), while the
+    // driver-specific progress cursor travels through the save/load
+    // callbacks into the `driver` section.
+
+    /// Identity hash stored in the file header: config name/kind/cores,
+    /// seed, engine mode, sampling spec, lane profiles and the major
+    /// capacity parameters. A checkpoint from any other run is rejected
+    /// before a single byte of state is restored.
+    std::uint64_t ckpt_config_hash() const;
+    /// Component digest list in the fixed section order (save writes it
+    /// into the `digests` section; restore recomputes and compares).
+    std::vector<std::pair<std::string, std::uint64_t>> component_digests() const;
+    /// Serialize the complete simulator state and atomically replace
+    /// config_.checkpoint.path. Never throws: a failed save warns and the
+    /// run it protects carries on.
+    void save_checkpoint(std::uint64_t run_instructions,
+                         std::uint64_t run_warmup,
+                         const std::function<void(ckpt::writer&)>& driver_save);
+    /// Restore from config_.checkpoint.path when checkpoint.resume is set.
+    /// Returns false on the normal cold starts (resume off, no file yet) and
+    /// on any defect detected before state is touched (CRC, version, config
+    /// hash, meta mismatch - after an LNUCA_WARN). Throws ckpt::ckpt_error
+    /// if the state was already partially loaded when a defect surfaced:
+    /// the system is then unusable and the caller must rebuild it cold
+    /// (exp::execute_job does).
+    bool try_load_checkpoint(
+        std::uint64_t run_instructions, std::uint64_t run_warmup,
+        const std::function<void(ckpt::reader&)>& driver_load);
+    /// Cadence/signal check at a quiescent boundary: saves when `retired`
+    /// crossed checkpoint.every since the last save or a SIGTERM/SIGINT is
+    /// latched, then fires the halt_after and LNUCA_CKPT_EXIT_AFTER test
+    /// hooks and converts a latched signal into ckpt::interrupted.
+    void checkpoint_boundary(
+        std::uint64_t retired, std::uint64_t run_instructions,
+        std::uint64_t run_warmup,
+        const std::function<void(ckpt::writer&)>& driver_save);
+    /// Successful completion: unlink the snapshot (a stale one would
+    /// "resume" a finished run).
+    void checkpoint_complete();
+
     system_config config_;
     std::uint64_t seed_ = 1;
     mem::txn_id_source ids_;
@@ -265,6 +311,10 @@ private:
     std::unique_ptr<dnuca::dnuca_cache> dnuca_;
     std::unique_ptr<mem::main_memory> memory_;
     sim::engine engine_;
+
+    // Checkpoint bookkeeping for the current run() invocation.
+    std::uint64_t ckpt_last_save_ = 0; ///< retired cursor at the last save
+    std::uint64_t ckpt_saves_ = 0;     ///< successful saves this process
 };
 
 /// Multiprogrammed weighted speedup of a homogeneous-mix CMP run against

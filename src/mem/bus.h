@@ -60,6 +60,17 @@ public:
     const counter_set& counters() const { return counters_; }
     bool quiescent() const { return down_.empty() && up_.empty(); }
 
+    /// Checkpoint hooks (quiescent-only; hier::system owns the section).
+    void save_state(ckpt::writer& w) const override;
+    void load_state(ckpt::reader& r) override;
+
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar.counters(counters_);
+        ar(down_free_at_);
+        ar(up_free_at_);
+    }
+
 private:
     cycle_t transfer_cycles(std::uint32_t bytes) const
     {

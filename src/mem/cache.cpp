@@ -1,5 +1,6 @@
 #include "src/mem/cache.h"
 
+#include "src/ckpt/archive.h"
 #include "src/common/log.h"
 
 #include <algorithm>
@@ -685,6 +686,21 @@ bool conventional_cache::holds_or_in_flight(addr_t addr) const
     const addr_t block = tags_.block_of(addr);
     return tags_.probe(block).has_value() || mshrs_.find(block) != nullptr ||
            wb_.contains(block);
+}
+
+void conventional_cache::save_state(ckpt::writer& w) const
+{
+    if (!quiescent())
+        throw ckpt::ckpt_error("cache '" + config_.name +
+                               "': checkpoint requested while not quiescent");
+    ckpt::saver ar(w);
+    const_cast<conventional_cache*>(this)->serialize(ar);
+}
+
+void conventional_cache::load_state(ckpt::reader& r)
+{
+    ckpt::loader ar(r);
+    serialize(ar);
 }
 
 } // namespace lnuca::mem

@@ -115,6 +115,28 @@ public:
     /// eviction machinery (see coh::coherence_hub::check_invariants).
     bool holds_or_in_flight(addr_t addr) const;
 
+    /// Checkpoint hooks (quiescent-only; hier::system owns the section).
+    void save_state(ckpt::writer& w) const override;
+    void load_state(ckpt::reader& r) override;
+
+    /// Persistent-at-quiescence state: tags, stats, schedule anchors and
+    /// the warm-path elision caches. MSHRs, write buffers and the
+    /// lookup/refill queues are empty by the quiesce contract.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        tags_.serialize(ar);
+        ar.counters(counters_);
+        ar(port_free_);
+        ar(now_);
+        ar(warm_last_block_);
+        ar(warm_last_kind_);
+        ar(warm_wb_);
+        std::uint64_t warm_wb_pos = warm_wb_pos_;
+        ar(warm_wb_pos);
+        warm_wb_pos_ = std::size_t(warm_wb_pos);
+        ar(warm_state_stale_);
+    }
+
 private:
     struct pending_access {
         mem_request request;

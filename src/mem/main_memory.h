@@ -44,6 +44,16 @@ public:
     /// Cycles to deliver a `bytes`-sized block, unloaded.
     cycle_t unloaded_latency(std::uint32_t bytes) const;
 
+    /// Checkpoint hooks (quiescent-only; hier::system owns the section).
+    void save_state(ckpt::writer& w) const override;
+    void load_state(ckpt::reader& r) override;
+
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar.counters(counters_);
+        ar(wires_free_at_);
+    }
+
 private:
     std::uint32_t chunks_for(std::uint32_t bytes) const
     {

@@ -31,6 +31,12 @@ public:
     std::uint32_t victim(std::uint32_t set);
     std::string name() const { return "lru"; }
 
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(stamp_);
+        ar(last_use_);
+    }
+
 private:
     std::uint32_t ways_ = 0;
     std::uint64_t stamp_ = 0;
@@ -47,6 +53,8 @@ public:
     std::uint32_t victim(std::uint32_t set);
     std::string name() const { return "random"; }
 
+    template <class Ar> void serialize(Ar& ar) { ar(rng_); }
+
 private:
     std::uint32_t ways_ = 0;
     rng rng_;
@@ -59,6 +67,8 @@ public:
     void touch(std::uint32_t, std::uint32_t) {}
     std::uint32_t victim(std::uint32_t set);
     std::string name() const { return "fifo"; }
+
+    template <class Ar> void serialize(Ar& ar) { ar(next_); }
 
 private:
     std::uint32_t ways_ = 0;
@@ -99,6 +109,14 @@ public:
     std::string name() const
     {
         return std::visit([](const auto& p) { return p.name(); }, impl_);
+    }
+
+    /// Checkpoint support: the active alternative is fixed by configuration
+    /// (same config on save and restore), so only its recency state needs
+    /// to round-trip - never the variant tag.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        std::visit([&](auto& p) { p.serialize(ar); }, impl_);
     }
 
 private:

@@ -151,6 +151,10 @@ class txn_id_source {
 public:
     txn_id_t next() { return ++last_; }
 
+    /// Checkpoint support: restoring the cursor keeps post-restore ids
+    /// identical to the uninterrupted run's.
+    template <class Ar> void serialize(Ar& ar) { ar(last_); }
+
 private:
     txn_id_t last_ = 0;
 };

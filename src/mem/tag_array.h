@@ -17,6 +17,14 @@ struct cache_line {
     /// MESI write permission (coherent private caches): E or M. A dirty
     /// line is always exclusive. Non-coherent caches never read it.
     bool exclusive = false;
+
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(tag);
+        ar(valid);
+        ar(dirty);
+        ar(exclusive);
+    }
 };
 
 struct tag_array_config {
@@ -98,6 +106,13 @@ public:
 
     /// Number of valid lines (occupancy metrics).
     std::uint64_t valid_count() const;
+
+    /// Checkpoint support: lines + recency state. Geometry is config.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(lines_);
+        ar(policy_);
+    }
 
 private:
     cache_line& line_ref(std::uint32_t set, std::uint32_t way)

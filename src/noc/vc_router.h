@@ -47,6 +47,10 @@ public:
     const counter_set& counters() const { return counters_; }
     bool quiescent() const;
 
+    /// Checkpoint support: at quiescence buffers are empty, credits are
+    /// back to full and every VC is unowned, so only counters persist.
+    template <class Ar> void serialize(Ar& ar) { ar.counters(counters_); }
+
 private:
     friend class mesh_network;
 
@@ -113,6 +117,15 @@ public:
 
     /// X-Y route: next hop direction from `from` towards `to`.
     static port_dir route_xy(coord from, coord to);
+
+    /// Checkpoint support: per-router counters + the hop total that feeds
+    /// the energy model.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        for (vc_router& r : routers_)
+            r.serialize(ar);
+        ar(flit_hops_);
+    }
 
 private:
     std::size_t index(coord c) const

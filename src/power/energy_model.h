@@ -55,6 +55,32 @@ struct energy_inputs {
 
     // Main memory transfers.
     std::uint64_t memory_transfers = 0;
+
+    /// Checkpoint support: the sampled driver accumulates these across
+    /// windows, so they ride in the checkpoint's driver section.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(cycles);
+        ar(l1_accesses);
+        ar(has_l2);
+        ar(l2_accesses);
+        std::uint64_t tiles = fabric_tiles;
+        ar(tiles);
+        fabric_tiles = unsigned(tiles);
+        ar(tile_tag_lookups);
+        ar(tile_data_accesses);
+        ar(transport_hops);
+        ar(replacement_hops);
+        ar(search_hops);
+        ar(has_l3);
+        ar(l3_accesses);
+        std::uint64_t banks = dnuca_banks;
+        ar(banks);
+        dnuca_banks = unsigned(banks);
+        ar(bank_accesses);
+        ar(dnuca_flit_hops);
+        ar(memory_transfers);
+    }
 };
 
 energy_breakdown compute_energy(const energy_inputs& in);

@@ -91,6 +91,19 @@ public:
     /// component will ever act again without external input.
     cycle_t horizon() const;
 
+    /// Checkpoint support: the clock and its attribution counters are the
+    /// engine's entire persistent state (the component list is topology,
+    /// rebuilt from config on restore). Restoring now_ absolutely means
+    /// every schedule anchor (port-free cycles, wire-free times) restores
+    /// as-is too.
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(now_);
+        ar(skipped_);
+        ar(executed_);
+        ar(fast_forwarded_);
+    }
+
 private:
     void step();
     void paranoid_step();

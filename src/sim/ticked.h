@@ -22,6 +22,11 @@
 
 #include <cstdint>
 
+namespace lnuca::ckpt {
+class writer;
+class reader;
+} // namespace lnuca::ckpt
+
 namespace lnuca::sim {
 
 /// Order-independent accumulator for cheap component state digests
@@ -62,6 +67,14 @@ public:
     /// anything a dishonest next_event() could silently change. Default 0
     /// ("stateless"): such a component is vacuously checkable.
     virtual std::uint64_t state_digest() const { return 0; }
+
+    /// Checkpoint hooks. Called only at quiescence (see src/ckpt/format.h):
+    /// in-flight structures are empty by contract, so components persist
+    /// only state that survives a drain - tables, counters, schedule
+    /// anchors, RNG lanes. Default no-op: a component with no persistent
+    /// state needs nothing. Implementations write/read exactly one section.
+    virtual void save_state(ckpt::writer&) const {}
+    virtual void load_state(ckpt::reader&) {}
 };
 
 } // namespace lnuca::sim

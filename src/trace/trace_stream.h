@@ -5,6 +5,7 @@
 // checks and no allocation - the micro_hotpath gate holds it to that).
 #pragma once
 
+#include "src/ckpt/archive.h"
 #include "src/trace/trace_data.h"
 #include "src/workloads/stream.h"
 
@@ -55,6 +56,24 @@ public:
     std::uint64_t warm_block_count() const override { return warm_count_; }
 
     std::uint64_t position() const { return pos_; }
+
+    /// Checkpoint hooks: the replay cursor is the lane's entire mutable
+    /// state (the mapped trace itself is immutable input).
+    void save_state(ckpt::writer& w) const override
+    {
+        ckpt::saver ar(w);
+        ar(pos_);
+    }
+
+    void load_state(ckpt::reader& r) override
+    {
+        ckpt::loader ar(r);
+        ar(pos_);
+        if (pos_ >= count_)
+            throw ckpt::ckpt_error(
+                "trace_stream: checkpointed position past end of lane "
+                "(different trace file?)");
+    }
 
 private:
     std::shared_ptr<const trace_data> data_; ///< keeps the mapping alive

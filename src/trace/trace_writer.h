@@ -6,6 +6,7 @@
 // construction - the state a replay needs to pre-warm bit-identically.
 #pragma once
 
+#include "src/ckpt/format.h"
 #include "src/trace/format.h"
 #include "src/workloads/stream.h"
 
@@ -115,6 +116,21 @@ public:
     std::uint64_t warm_block_count() const override
     {
         return inner_->warm_block_count();
+    }
+
+    /// Capture and checkpointing are mutually exclusive (run_app rejects
+    /// the flag combination): a restored capture would re-emit only the
+    /// post-restore suffix, silently producing a truncated trace.
+    void save_state(ckpt::writer&) const override
+    {
+        throw ckpt::ckpt_error(
+            "capture_stream: trace capture cannot be checkpointed");
+    }
+
+    void load_state(ckpt::reader&) override
+    {
+        throw ckpt::ckpt_error(
+            "capture_stream: trace capture cannot be restored");
     }
 
 private:

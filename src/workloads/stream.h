@@ -11,6 +11,11 @@
 
 #include <cstdint>
 
+namespace lnuca::ckpt {
+class writer;
+class reader;
+} // namespace lnuca::ckpt
+
 namespace lnuca::wl {
 
 class workload_stream : public cpu::instruction_stream {
@@ -32,6 +37,13 @@ public:
     /// generators return their footprint (the sliding window wraps modulo
     /// it).
     virtual std::uint64_t warm_block_count() const = 0;
+
+    /// Checkpoint hooks: persist the replay cursor (and any generator RNG
+    /// lanes) so a restored run consumes the identical future instruction
+    /// sequence. Pure virtual on purpose - a stream that cannot be
+    /// snapshotted must not silently checkpoint as a fresh one.
+    virtual void save_state(ckpt::writer& w) const = 0;
+    virtual void load_state(ckpt::reader& r) = 0;
 };
 
 } // namespace lnuca::wl

@@ -1,5 +1,7 @@
 #include "src/workloads/synthetic.h"
 
+#include "src/ckpt/archive.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -192,6 +194,18 @@ std::unique_ptr<synthetic_stream> make_stream(const workload_profile& profile,
                                               addr_t region_base)
 {
     return std::make_unique<synthetic_stream>(profile, seed, region_base);
+}
+
+void synthetic_stream::save_state(ckpt::writer& w) const
+{
+    ckpt::saver ar(w);
+    const_cast<synthetic_stream*>(this)->serialize(ar);
+}
+
+void synthetic_stream::load_state(ckpt::reader& r)
+{
+    ckpt::loader ar(r);
+    serialize(ar);
 }
 
 } // namespace lnuca::wl

@@ -51,6 +51,23 @@ public:
         return profile_.footprint_blocks;
     }
 
+    /// Checkpoint hooks: both RNG lanes plus the generator cursors - the
+    /// profile itself is configuration and reconstructs identically.
+    void save_state(ckpt::writer& w) const override;
+    void load_state(ckpt::reader& r) override;
+
+    template <class Ar> void serialize(Ar& ar)
+    {
+        ar(rng_);
+        ar(dep_rng_);
+        ar(frontier_);
+        ar(seq_addr_);
+        ar(in_seq_run_);
+        ar(instr_count_);
+        ar(last_load_distance_);
+        ar(pc_);
+    }
+
 private:
     addr_t pick_address();
     addr_t new_block();

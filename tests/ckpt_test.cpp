@@ -1,0 +1,501 @@
+// Checkpoint/restore (src/ckpt/ + hier::system + exp wiring): a run killed
+// at an arbitrary snapshot and resumed must be bit-identical to the same
+// run left uninterrupted, across backends, CMP, sampled fidelity and
+// scenario (trace-lane) workloads; corrupt/truncated/foreign checkpoints
+// must fall back to a cold start, never to wrong results.
+//
+// The kill is the deterministic in-process test hook
+// (checkpoint_config::halt_after): after the Nth successful save the driver
+// throws ckpt::interrupted exactly as a latched SIGTERM would. The
+// reference run is the *same command with checkpointing enabled* left to
+// finish — that is the documented contract (chunk-boundary drains are part
+// of the checkpointed schedule).
+#include "src/ckpt/format.h"
+#include "src/ckpt/reader.h"
+#include "src/ckpt/signal.h"
+#include "src/exp/runner.h"
+#include "src/exp/sink.h"
+#include "src/exp/sweep.h"
+#include "src/hier/presets.h"
+#include "src/hier/system.h"
+#include "src/trace/workload_spec.h"
+#include "src/workloads/spec2006.h"
+#include "tests/run_result_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace lnuca {
+namespace {
+
+std::string temp_path(const std::string& name)
+{
+    return ::testing::TempDir() + "lnuca_" + name;
+}
+
+bool file_exists(const std::string& path)
+{
+    return ::access(path.c_str(), F_OK) == 0;
+}
+
+/// The uninterrupted reference: same config, checkpointing enabled, never
+/// killed. (Checkpointing itself must not change results either — the
+/// completed run's snapshot is unlinked, which is also verified here.)
+hier::run_result run_clean(hier::system_config config,
+                           const wl::workload_profile& workload,
+                           std::uint64_t instructions, std::uint64_t warmup,
+                           std::uint64_t seed)
+{
+    const hier::run_result r =
+        hier::run_one(config, workload, instructions, warmup, seed);
+    EXPECT_FALSE(file_exists(config.checkpoint.path))
+        << "completed run must unlink its snapshot";
+    return r;
+}
+
+/// Kill at the halt_after'th save, then resume from the snapshot.
+hier::run_result run_killed_and_resumed(hier::system_config config,
+                                        const wl::workload_profile& workload,
+                                        std::uint64_t instructions,
+                                        std::uint64_t warmup,
+                                        std::uint64_t seed,
+                                        std::uint64_t halt_after)
+{
+    hier::system_config killed = config;
+    killed.checkpoint.halt_after = halt_after;
+    bool interrupted = false;
+    try {
+        hier::run_one(killed, workload, instructions, warmup, seed);
+    } catch (const ckpt::interrupted& e) {
+        interrupted = true;
+        EXPECT_EQ(e.checkpoint_path, config.checkpoint.path);
+    }
+    EXPECT_TRUE(interrupted) << "halt_after=" << halt_after
+                             << " never reached a save boundary";
+    EXPECT_TRUE(file_exists(config.checkpoint.path));
+
+    // The snapshot on disk must validate end to end (what `ckpt_tool
+    // validate` runs).
+    {
+        const ckpt::reader r(config.checkpoint.path);
+        EXPECT_GE(r.sections().size(), 5u);
+    }
+
+    hier::system_config resumed = config;
+    resumed.checkpoint.resume = true;
+    return hier::run_one(resumed, workload, instructions, warmup, seed);
+}
+
+hier::system_config with_checkpoint(hier::system_config config,
+                                    const std::string& path,
+                                    std::uint64_t every)
+{
+    config.checkpoint.path = path;
+    config.checkpoint.every = every;
+    std::remove(path.c_str());
+    return config;
+}
+
+struct kill_case {
+    const char* tag;
+    std::uint64_t halt_after;
+};
+
+// ---------------------------------------------------------------------------
+// Bit-identity: kill + resume == uninterrupted, across the matrix.
+// ---------------------------------------------------------------------------
+
+TEST(ckpt_identity, single_core_conventional_exact)
+{
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    for (const kill_case c : {kill_case{"early", 1}, kill_case{"late", 3}}) {
+        SCOPED_TRACE(c.tag);
+        const hier::system_config config = with_checkpoint(
+            hier::presets::l2_256kb(),
+            temp_path(std::string("single_") + c.tag + ".ckpt"), 4000);
+        const auto clean = run_clean(config, workload, 20'000, 2'000, 7);
+        const auto resumed =
+            run_killed_and_resumed(config, workload, 20'000, 2'000, 7,
+                                   c.halt_after);
+        expect_sim_fields_identical(clean, resumed);
+    }
+}
+
+TEST(ckpt_identity, single_core_lnuca_paranoid_engine)
+{
+    // paranoid re-checks hub/engine invariants; on restore it additionally
+    // runs the digest comparison against a freshly recomputed state_digest.
+    hier::system_config base = hier::presets::lnuca_l3(3);
+    base.engine_mode = sim::schedule_mode::paranoid;
+    const hier::system_config config = with_checkpoint(
+        base, temp_path("lnuca_paranoid.ckpt"), 5000);
+    const wl::workload_profile workload = *wl::find_spec2006("456.hmmer");
+    const auto clean = run_clean(config, workload, 18'000, 2'000, 11);
+    const auto resumed =
+        run_killed_and_resumed(config, workload, 18'000, 2'000, 11, 2);
+    expect_sim_fields_identical(clean, resumed);
+}
+
+TEST(ckpt_identity, single_core_dnuca_exact)
+{
+    const hier::system_config config = with_checkpoint(
+        hier::presets::dnuca_4x8(), temp_path("dnuca.ckpt"), 6000);
+    const wl::workload_profile workload = *wl::find_spec2006("470.lbm");
+    const auto clean = run_clean(config, workload, 18'000, 2'000, 3);
+    const auto resumed =
+        run_killed_and_resumed(config, workload, 18'000, 2'000, 3, 1);
+    expect_sim_fields_identical(clean, resumed);
+}
+
+TEST(ckpt_identity, cmp_two_core_scenario_trace_lanes)
+{
+    // Scenario workloads replay shared-memory trace lanes, so this also
+    // covers trace_stream cursor save/restore and the coherence hub +
+    // directory sections.
+    const auto workload = trace::parse_workload_spec("scenario:producer_consumer");
+    ASSERT_TRUE(workload.has_value());
+    const hier::system_config config = with_checkpoint(
+        hier::presets::cmp(hier::presets::l2_256kb(), 2),
+        temp_path("cmp_scenario.ckpt"), 3000);
+    const auto clean = run_clean(config, *workload, 16'000, 2'000, 5);
+    const auto resumed =
+        run_killed_and_resumed(config, *workload, 16'000, 2'000, 5, 2);
+    expect_sim_fields_identical(clean, resumed);
+}
+
+TEST(ckpt_identity, cmp_two_core_lnuca_exact)
+{
+    const hier::system_config config = with_checkpoint(
+        hier::presets::cmp(hier::presets::lnuca_l3(2), 2),
+        temp_path("cmp_lnuca.ckpt"), 4000);
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    const auto clean = run_clean(config, workload, 16'000, 2'000, 9);
+    const auto resumed =
+        run_killed_and_resumed(config, workload, 16'000, 2'000, 9, 1);
+    expect_sim_fields_identical(clean, resumed);
+}
+
+TEST(ckpt_identity, sampled_single_core)
+{
+    hier::system_config base = hier::presets::l2_256kb();
+    const auto sampling = hier::parse_sampling_spec("periodic:2000:8000:800");
+    ASSERT_TRUE(sampling.has_value());
+    base.sampling = *sampling;
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    for (const kill_case c : {kill_case{"w1", 1}, kill_case{"w2", 2}}) {
+        SCOPED_TRACE(c.tag);
+        const hier::system_config config = with_checkpoint(
+            base, temp_path(std::string("sampled_") + c.tag + ".ckpt"),
+            8000);
+        const auto clean = run_clean(config, workload, 32'000, 2'000, 17);
+        const auto resumed =
+            run_killed_and_resumed(config, workload, 32'000, 2'000, 17,
+                                   c.halt_after);
+        ASSERT_TRUE(clean.sampled);
+        expect_sim_fields_identical(clean, resumed);
+    }
+}
+
+TEST(ckpt_identity, sampled_cmp_scenario)
+{
+    hier::system_config base = hier::presets::cmp(hier::presets::lnuca_l3(3), 2);
+    const auto sampling = hier::parse_sampling_spec("periodic:1000:8000:400");
+    ASSERT_TRUE(sampling.has_value());
+    base.sampling = *sampling;
+    const auto workload = trace::parse_workload_spec("scenario:producer_consumer");
+    ASSERT_TRUE(workload.has_value());
+    const hier::system_config config = with_checkpoint(
+        base, temp_path("sampled_cmp.ckpt"), 8000);
+    const auto clean = run_clean(config, *workload, 32'000, 4'000, 13);
+    const auto resumed =
+        run_killed_and_resumed(config, *workload, 32'000, 4'000, 13, 1);
+    ASSERT_TRUE(clean.sampled);
+    EXPECT_EQ(clean.cores, 2u);
+    expect_sim_fields_identical(clean, resumed);
+}
+
+// ---------------------------------------------------------------------------
+// Damage and mismatch: always a warned cold start, never wrong results.
+// ---------------------------------------------------------------------------
+
+/// Leave a valid snapshot at `config.checkpoint.path` by killing a run.
+void leave_snapshot(const hier::system_config& config,
+                    const wl::workload_profile& workload,
+                    std::uint64_t instructions, std::uint64_t warmup,
+                    std::uint64_t seed)
+{
+    hier::system_config killed = config;
+    killed.checkpoint.halt_after = 1;
+    try {
+        hier::run_one(killed, workload, instructions, warmup, seed);
+        FAIL() << "expected ckpt::interrupted";
+    } catch (const ckpt::interrupted&) {
+    }
+    ASSERT_TRUE(file_exists(config.checkpoint.path));
+}
+
+TEST(ckpt_damage, corrupt_byte_falls_back_to_cold_start)
+{
+    const hier::system_config config = with_checkpoint(
+        hier::presets::l2_256kb(), temp_path("corrupt.ckpt"), 4000);
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    const auto clean = run_clean(config, workload, 12'000, 1'000, 7);
+
+    leave_snapshot(config, workload, 12'000, 1'000, 7);
+    {
+        // Flip one payload byte mid-file: a section CRC must catch it.
+        std::fstream f(config.checkpoint.path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(0, std::ios::end);
+        const std::streamoff size = f.tellg();
+        ASSERT_GT(size, 128);
+        f.seekp(size / 2);
+        char byte = 0;
+        f.seekg(size / 2);
+        f.read(&byte, 1);
+        byte = char(byte ^ 0x40);
+        f.seekp(size / 2);
+        f.write(&byte, 1);
+    }
+    EXPECT_THROW(ckpt::reader r(config.checkpoint.path), ckpt::ckpt_error);
+
+    hier::system_config resumed = config;
+    resumed.checkpoint.resume = true;
+    const auto r = hier::run_one(resumed, workload, 12'000, 1'000, 7);
+    expect_sim_fields_identical(clean, r); // cold start, full re-run
+}
+
+TEST(ckpt_damage, truncated_file_falls_back_to_cold_start)
+{
+    const hier::system_config config = with_checkpoint(
+        hier::presets::l2_256kb(), temp_path("truncated.ckpt"), 4000);
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    const auto clean = run_clean(config, workload, 12'000, 1'000, 7);
+
+    leave_snapshot(config, workload, 12'000, 1'000, 7);
+    {
+        std::ifstream in(config.checkpoint.path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        ASSERT_GT(bytes.size(), 200u);
+        std::ofstream out(config.checkpoint.path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), std::streamsize(bytes.size() / 3));
+    }
+    EXPECT_THROW(ckpt::reader r(config.checkpoint.path), ckpt::ckpt_error);
+
+    hier::system_config resumed = config;
+    resumed.checkpoint.resume = true;
+    const auto r = hier::run_one(resumed, workload, 12'000, 1'000, 7);
+    expect_sim_fields_identical(clean, r);
+}
+
+TEST(ckpt_damage, foreign_run_checkpoint_is_rejected_cold)
+{
+    // A snapshot from seed 7 must not restore into a seed 8 run: the
+    // config hash differs, so the restore is rejected before any state is
+    // touched and the seed-8 run proceeds cold.
+    const hier::system_config config = with_checkpoint(
+        hier::presets::l2_256kb(), temp_path("foreign.ckpt"), 4000);
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    const auto clean8 = run_clean(config, workload, 12'000, 1'000, 8);
+
+    leave_snapshot(config, workload, 12'000, 1'000, 7);
+    hier::system_config resumed = config;
+    resumed.checkpoint.resume = true;
+    const auto r = hier::run_one(resumed, workload, 12'000, 1'000, 8);
+    expect_sim_fields_identical(clean8, r);
+}
+
+TEST(ckpt_damage, shorter_run_rejects_longer_runs_snapshot)
+{
+    // Same config and seed but a different requested run length: the meta
+    // section mismatch must force a cold start (a 12k snapshot cursor
+    // inside an 8k run would be past the end).
+    const hier::system_config config = with_checkpoint(
+        hier::presets::l2_256kb(), temp_path("meta_mismatch.ckpt"), 3000);
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    const auto clean = run_clean(config, workload, 8'000, 1'000, 7);
+
+    leave_snapshot(config, workload, 12'000, 1'000, 7);
+    hier::system_config resumed = config;
+    resumed.checkpoint.resume = true;
+    const auto r = hier::run_one(resumed, workload, 8'000, 1'000, 7);
+    expect_sim_fields_identical(clean, r);
+}
+
+// ---------------------------------------------------------------------------
+// exp wiring: execute_job stamps per-job checkpoint files, interruption
+// becomes a structured row, resume completes bit-identically.
+// ---------------------------------------------------------------------------
+
+exp::job make_job(const hier::system_config& config,
+                  const wl::workload_profile& workload,
+                  std::uint64_t instructions, std::uint64_t warmup)
+{
+    exp::job j;
+    j.config = config;
+    j.workload = workload;
+    j.instructions = instructions;
+    j.warmup = warmup;
+    j.seed = 21;
+    return j;
+}
+
+TEST(ckpt_exp, execute_job_interrupt_then_resume_is_bit_identical)
+{
+    const std::string dir = temp_path("jobs_ckpt_d");
+    ASSERT_TRUE(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST);
+    const std::string job_path = dir + "/job_0.ckpt";
+    std::remove(job_path.c_str());
+
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    exp::run_options opt;
+    opt.checkpoint_dir = dir;
+    opt.checkpoint_every = 4000;
+
+    // Reference: the same stamped job left uninterrupted.
+    exp::job clean_job = make_job(hier::presets::l2_256kb(), workload,
+                                  20'000, 2'000);
+    const hier::run_result clean = exp::execute_job(clean_job, opt);
+    ASSERT_EQ(clean.status, hier::run_status::ok);
+    EXPECT_FALSE(file_exists(job_path));
+
+    // Interrupted job: halt_after survives the stamping (execute_job only
+    // overrides path/every/resume), so the attempt throws ckpt::interrupted
+    // and the runner converts it into a structured failed row.
+    exp::job killed_job = clean_job;
+    killed_job.config.checkpoint.halt_after = 2;
+    const hier::run_result killed = exp::execute_job(killed_job, opt);
+    EXPECT_EQ(killed.status, hier::run_status::failed);
+    EXPECT_NE(killed.error.find("interrupted by signal"), std::string::npos);
+    EXPECT_TRUE(file_exists(job_path));
+
+    // Resume: restores the snapshot and finishes identically.
+    opt.checkpoint_resume = true;
+    const hier::run_result resumed = exp::execute_job(clean_job, opt);
+    ASSERT_EQ(resumed.status, hier::run_status::ok);
+    expect_sim_fields_identical(clean, resumed);
+    EXPECT_FALSE(file_exists(job_path));
+}
+
+TEST(ckpt_exp, clean_sweep_has_no_abandoned_workers_or_sink_failures)
+{
+    exp::sweep s;
+    s.add_config(hier::presets::l2_256kb())
+        .add_workload(*wl::find_spec2006("429.mcf"))
+        .add_workload(*wl::find_spec2006("456.hmmer"))
+        .instructions(4'000)
+        .warmup(500)
+        .base_seed(3);
+    const exp::report rep = exp::run_sweep(s, exp::run_options{2});
+    ASSERT_EQ(rep.results.size(), 2u);
+    for (const auto& r : rep.results)
+        EXPECT_EQ(r.status, hier::run_status::ok);
+    EXPECT_EQ(rep.abandoned_workers, 0u);
+    EXPECT_EQ(rep.sink_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sink durability: failed writes/fsyncs throw sink_error instead of
+// silently dropping rows, and run_sweep survives by disabling the sink.
+// ---------------------------------------------------------------------------
+
+TEST(ckpt_sink, unopenable_path_reports_not_ok)
+{
+    exp::jsonl_sink sink(temp_path("no_such_dir") + "/x.jsonl", 1, 0);
+    EXPECT_FALSE(sink.ok());
+}
+
+TEST(ckpt_sink, failed_write_throws_sink_error_naming_the_row)
+{
+    // /dev/full accepts the open and fails every write with ENOSPC — the
+    // "disk filled mid-sweep" case. Skip quietly where it is absent.
+    if (::access("/dev/full", W_OK) != 0)
+        GTEST_SKIP() << "/dev/full not available";
+    exp::jsonl_sink sink("/dev/full", 1, 0);
+    ASSERT_TRUE(sink.ok());
+    exp::job j;
+    j.config = hier::presets::l2_256kb();
+    hier::run_result r;
+    r.config_name = "cfg";
+    r.workload_name = "wl";
+    try {
+        sink.consume(j, r); // flush_rows=1: flushes (and fails) right here
+        FAIL() << "expected sink_error";
+    } catch (const exp::sink_error& e) {
+        EXPECT_NE(std::string(e.what()).find("row 0"), std::string::npos);
+    }
+    // The failed batch was dropped: destruction must not throw again.
+}
+
+TEST(ckpt_sink, run_sweep_disables_failed_sink_and_counts_it)
+{
+    if (::access("/dev/full", W_OK) != 0)
+        GTEST_SKIP() << "/dev/full not available";
+    exp::jsonl_sink bad("/dev/full", 1, 0);
+    ASSERT_TRUE(bad.ok());
+    exp::sweep s;
+    s.add_config(hier::presets::l2_256kb())
+        .add_workload(*wl::find_spec2006("429.mcf"))
+        .instructions(2'000)
+        .warmup(200);
+    const exp::report rep =
+        exp::run_sweep(s, exp::run_options{1}, {&bad});
+    ASSERT_EQ(rep.results.size(), 1u);
+    EXPECT_EQ(rep.results[0].status, hier::run_status::ok); // jobs unharmed
+    EXPECT_EQ(rep.sink_failures, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Signal latch plumbing (the real SIGTERM path minus the signal itself).
+// ---------------------------------------------------------------------------
+
+TEST(ckpt_signal, latch_reports_signal_and_clears)
+{
+    ckpt::install_signal_handlers();
+    EXPECT_FALSE(ckpt::interrupt_requested());
+    ::raise(SIGTERM);
+    EXPECT_TRUE(ckpt::interrupt_requested());
+    EXPECT_EQ(ckpt::interrupt_signal(), SIGTERM);
+    ckpt::clear_interrupt();
+    EXPECT_FALSE(ckpt::interrupt_requested());
+}
+
+TEST(ckpt_signal, latched_signal_saves_at_next_boundary_and_interrupts)
+{
+    ckpt::install_signal_handlers();
+    const hier::system_config config = with_checkpoint(
+        hier::presets::l2_256kb(), temp_path("signal.ckpt"), 4000);
+    const wl::workload_profile workload = *wl::find_spec2006("429.mcf");
+    const auto clean = run_clean(config, workload, 20'000, 2'000, 7);
+
+    ::raise(SIGTERM);
+    bool interrupted = false;
+    try {
+        hier::run_one(config, workload, 20'000, 2'000, 7);
+    } catch (const ckpt::interrupted&) {
+        interrupted = true;
+    }
+    ckpt::clear_interrupt();
+    EXPECT_TRUE(interrupted);
+    EXPECT_TRUE(file_exists(config.checkpoint.path));
+
+    hier::system_config resumed = config;
+    resumed.checkpoint.resume = true;
+    const auto r = hier::run_one(resumed, workload, 20'000, 2'000, 7);
+    expect_sim_fields_identical(clean, r);
+}
+
+} // namespace
+} // namespace lnuca

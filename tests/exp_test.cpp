@@ -126,6 +126,9 @@ TEST(runner, parallel_sweep_bit_identical_to_serial)
     const report parallel = run_sweep(s, {8});
     ASSERT_EQ(serial.jobs.size(), 12u);
     ASSERT_EQ(parallel.jobs.size(), 12u);
+    // Harness health: a non-fault sweep never leaks a stuck worker.
+    EXPECT_EQ(serial.abandoned_workers, 0u);
+    EXPECT_EQ(parallel.abandoned_workers, 0u);
     for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
         EXPECT_TRUE(serial.jobs[i].key == parallel.jobs[i].key);
         expect_identical(serial.results[i], parallel.results[i]);
