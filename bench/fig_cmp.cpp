@@ -42,31 +42,51 @@ int main(int argc, char** argv)
         return exp::exit_cli_error;
     }
 
+    // --manifest: the manifest's expanded configs replace the preset grid;
+    // its baseline_config map then drives the WS hook instead of the
+    // fixed per-backend stride.
+    std::optional<exp::manifest> man;
+    if (!opt.manifest_path.empty()) {
+        std::string manifest_error;
+        man = exp::load_manifest(opt.manifest_path, &manifest_error);
+        if (!man) {
+            std::fprintf(stderr, "%s\n", manifest_error.c_str());
+            return exp::exit_cli_error;
+        }
+    }
+
     std::vector<hier::system_config> configs;
     std::vector<std::string> backend_names;
-    for (const auto& base :
-         {hier::presets::l2_256kb(), hier::presets::lnuca_l3(2),
-          hier::presets::lnuca_l3(3), hier::presets::lnuca_l3(4),
-          hier::presets::dnuca_4x8()}) {
-        backend_names.push_back(base.name);
-        for (const unsigned cores : k_core_counts)
-            configs.push_back(cores == 1 ? base
-                                         : hier::presets::cmp(base, cores));
-    }
-    for (auto& config : configs) {
-        config.engine_mode = opt.engine_mode;
-        config.sampling = opt.sampling;
+    if (man) {
+        configs = man->configs;
+    } else {
+        for (const auto& base :
+             {hier::presets::l2_256kb(), hier::presets::lnuca_l3(2),
+              hier::presets::lnuca_l3(3), hier::presets::lnuca_l3(4),
+              hier::presets::dnuca_4x8()}) {
+            backend_names.push_back(base.name);
+            for (const unsigned cores : k_core_counts)
+                configs.push_back(
+                    cores == 1 ? base : hier::presets::cmp(base, cores));
+        }
+        for (auto& config : configs) {
+            config.engine_mode = opt.engine_mode;
+            config.sampling = opt.sampling;
+        }
     }
     const std::size_t per_backend = std::size(k_core_counts);
 
     exp::sweep s;
     s.add_configs(configs)
-        .add_workloads(opt.workload_override.empty() ? cmp_workloads()
-                                                     : opt.workload_override)
-        .replicates(opt.replicates)
-        .instructions(opt.instructions)
-        .warmup(opt.warmup)
-        .base_seed(opt.seed)
+        .add_workloads(man ? man->workloads
+                           : (opt.workload_override.empty()
+                                  ? cmp_workloads()
+                                  : opt.workload_override))
+        .replicates(man ? man->replicates : opt.replicates)
+        .instructions(man ? man->instructions : opt.instructions)
+        .warmup(man ? man->warmup : opt.warmup)
+        .base_seed(man ? man->base_seed : opt.seed)
+        .manifest_hash(man ? man->hash : 0)
         .shard(opt.shard_index, opt.shard_count);
 
     exp::resume_scan scan;
@@ -100,8 +120,17 @@ int main(int argc, char** argv)
             return;
         if (configs[j.key.config].cores <= 1)
             return;
-        const std::size_t base_config =
-            (j.key.config / per_backend) * per_backend;
+        std::size_t base_config;
+        if (man) {
+            const auto baseline = man->baseline_config[j.key.config];
+            if (!baseline) { // no cores=1 point on these axis coordinates
+                missing_baseline = true;
+                return;
+            }
+            base_config = *baseline;
+        } else {
+            base_config = (j.key.config / per_backend) * per_backend;
+        }
         const hier::run_result* base =
             rep.find(base_config, j.key.workload, j.key.replicate);
         if (base == nullptr || (base->status != hier::run_status::ok &&
@@ -124,11 +153,13 @@ int main(int argc, char** argv)
     if (exp::report_failures(rep) > 0)
         return exp::exit_job_failure;
 
-    if (opt.quiet || opt.shard_count > 1) {
+    if (opt.quiet || opt.shard_count > 1 || man) {
         if (opt.shard_count > 1)
             std::printf("shard %zu/%zu: summary tables suppressed - merge "
                         "the per-shard JSON-lines outputs\n",
                         opt.shard_index, opt.shard_count);
+        // Manifest mode: the backend x cores grid below assumes the
+        // bench's own preset layout; query the results store instead.
         return exp::exit_ok;
     }
 

@@ -43,6 +43,13 @@ struct job {
     /// across the whole sweep (see src/common/rng.h).
     std::uint64_t seed = 1;
 
+    /// Provenance stamp of a manifest-driven sweep (src/exp/manifest.h):
+    /// the canonical-content hash of the manifest that expanded this job.
+    /// 0 for ad-hoc (manifest-less) sweeps. Carried into every JSONL row
+    /// so merge_tool and --resume can prove a result file belongs to the
+    /// manifest they were handed.
+    std::uint64_t manifest_hash = 0;
+
     hier::run_result run() const
     {
         return hier::run_one(config, workload, instructions, warmup, seed);

@@ -1,0 +1,105 @@
+// Declarative sweep manifests: a versioned JSON description of an
+// experiment space that expands deterministically into an exp::sweep.
+//
+// Schema `lnuca_sweep/1` — a single JSON object:
+//
+//   {
+//     "schema":       "lnuca_sweep/1",          // required, exact
+//     "name":         "l2-vs-ln3",              // optional label
+//     "presets":      ["L2-256KB", "ln3"],      // required, non-empty;
+//                                               //   hier::presets::by_name
+//     "cores":        [1, 2],                   // optional, default [1]
+//     "engine":       ["skip", "dense"],        // optional, default ["skip"]
+//     "sampling":     ["off", "periodic:2000:40000"], // optional, ["off"]
+//     "overrides":    [{}, {"l2.size_kb": 512}],// optional, default [{}]
+//                                               //   hier::apply_config_override
+//     "workloads":    ["429.mcf", "trace:t.bin", "scenario:ping_pong"],
+//                                               // required, non-empty;
+//                                               //   trace::parse_workload_spec
+//     "replicates":   1,                        // optional, default 1
+//     "base_seed":    1,                        // optional, default 1
+//     "instructions": 400000,                   // optional, hier defaults
+//     "warmup":       60000
+//   }
+//
+// Unknown top-level keys, an unknown schema string, a mistyped preset /
+// workload / engine / sampling / override key, or malformed JSON are all
+// hard errors — a manifest is an experiment's record of truth and must not
+// be silently reinterpreted.
+//
+// Expansion: the config axis is the nested product
+//   preset x cores x engine x sampling x override-set
+// in declared order (preset-major), and the sweep is then the usual
+// config-major (config x workload x replicate) space of exp::sweep. Each
+// expanded config's name carries its provenance: the preset's canonical
+// name, presets::cmp's "-Nc" suffix, then "+dense"/"+paranoid",
+// "+periodic:<detail>:<period>:<warmup>", and one "+key=value" per
+// override in sorted key order — only non-default axis values append a
+// suffix, so a minimal manifest reproduces the familiar preset names.
+//
+// Identity: `hash` is a 64-bit FNV-1a over the manifest's *canonical*
+// serialisation — resolved preset names, canonical engine/sampling tokens,
+// sorted override keys, declared axis order, all scalars decimal. Two
+// manifest files that differ only in whitespace, key order, alias spelling
+// ("ln3" vs "LN3-144KB") or override key order hash identically; any
+// change to the experiment space changes the hash. The sweep stamps the
+// hash into every job (job::manifest_hash), so every JSON-lines row proves
+// which manifest produced it — the provenance check behind --resume and
+// tools/merge_tool.
+#pragma once
+
+#include "src/exp/sweep.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lnuca::exp {
+
+/// Current (only) schema tag.
+inline constexpr const char* manifest_schema = "lnuca_sweep/1";
+
+/// A parsed, expanded manifest. `configs` / `workloads` are fully realised
+/// (override values applied, CMP wrapping done) — to_sweep() is a pure
+/// repackaging, no further interpretation.
+struct manifest {
+    std::string name;                          ///< optional "name" label
+    std::vector<hier::system_config> configs;  ///< expanded config axis
+    std::vector<wl::workload_profile> workloads;
+    std::size_t replicates = 1;
+    std::uint64_t base_seed = 1;
+    std::uint64_t instructions = hier::default_instructions;
+    std::uint64_t warmup = hier::default_warmup;
+
+    /// Canonical-content hash (see header comment); never 0 for a
+    /// successfully parsed manifest (0 marks ad-hoc sweeps in job rows).
+    std::uint64_t hash = 0;
+
+    /// For each config, the index of its cores == 1 partner on the same
+    /// (preset, engine, sampling, override) coordinates — the weighted-
+    /// speedup baseline for CMP analysis — or nullopt when the manifest
+    /// has no cores == 1 point for that combination.
+    std::vector<std::optional<std::size_t>> baseline_config;
+
+    /// Number of rows a complete result set must contain.
+    std::size_t total_jobs() const
+    {
+        return configs.size() * workloads.size() * replicates;
+    }
+
+    /// The equivalent sweep (unsharded; callers add .shard() as needed),
+    /// with manifest_hash stamped on every job.
+    sweep to_sweep() const;
+};
+
+/// Parse a manifest from JSON text. On failure returns nullopt and, when
+/// `error` is non-null, a one-line description naming the offending key.
+std::optional<manifest> parse_manifest(const std::string& json_text,
+                                       std::string* error);
+
+/// Read and parse a manifest file (the --manifest flag).
+std::optional<manifest> load_manifest(const std::string& path,
+                                      std::string* error);
+
+} // namespace lnuca::exp

@@ -2,11 +2,13 @@
 
 #include "src/ckpt/signal.h"
 #include "src/common/stats.h"
+#include "src/exp/manifest.h"
 #include "src/trace/workload_spec.h"
 
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -42,6 +44,17 @@ void set_cli_error(app_options& opt, std::string text)
         opt.cli_error = true;
         opt.cli_error_text = std::move(text);
     }
+}
+
+// The spec string a workload profile was parsed from (inverse of
+// trace::parse_workload_spec) — the canonical sort key for --workload.
+std::string workload_spec_of(const wl::workload_profile& w)
+{
+    if (!w.scenario.empty())
+        return "scenario:" + w.scenario;
+    if (!w.trace_path.empty())
+        return "trace:" + w.trace_path;
+    return w.name;
 }
 
 } // namespace
@@ -95,8 +108,36 @@ app_options parse_app_options(const cli_args& args)
                          "proxy name, trace:<file>, or scenario:<name>); "
                          "keeping the default workload set\n",
                          bad.c_str());
+        // Canonical ordering: a sweep's flat indices (and hence seeds and
+        // resume/merge provenance) must be a function of the workload
+        // *set*, not of the order the specs were typed in — otherwise
+        // `--workload a,b --resume` silently rejects a file written by the
+        // equivalent `--workload b,a` run. Stable sort by spec string;
+        // duplicates keep their relative order (and their distinct flats).
+        std::stable_sort(opt.workload_override.begin(),
+                         opt.workload_override.end(),
+                         [](const wl::workload_profile& a,
+                            const wl::workload_profile& b) {
+                             return workload_spec_of(a) < workload_spec_of(b);
+                         });
     }
     opt.capture_path = args.get_string("capture", "");
+
+    // --manifest: the file is authoritative for the experiment definition;
+    // every flag that would redefine part of it is rejected rather than
+    // silently out-voted (the row provenance hash would not match what the
+    // operator typed).
+    opt.manifest_path = args.get_string("manifest", "");
+    if (!opt.manifest_path.empty()) {
+        for (const char* flag :
+             {"workload", "instructions", "warmup", "seed", "replicates",
+              "engine", "sampling", "capture"}) {
+            if (args.value(flag))
+                set_cli_error(opt, std::string("--manifest and --") + flag +
+                                       " are mutually exclusive (the "
+                                       "manifest defines the experiment)");
+        }
+    }
 
     opt.timeout_seconds = args.get_double("timeout", 0.0);
     if (opt.timeout_seconds < 0.0)
@@ -258,7 +299,8 @@ bool scan_resume_file(const app_options& opt, const sweep& s, resume_scan& out)
         if (flat >= jobs.size() || !(jobs[flat].key == decoded->key) ||
             jobs[flat].seed != decoded->seed ||
             jobs[flat].instructions != decoded->instructions_requested ||
-            jobs[flat].warmup != decoded->warmup) {
+            jobs[flat].warmup != decoded->warmup ||
+            jobs[flat].manifest_hash != decoded->manifest_hash) {
             std::fprintf(stderr,
                          "--resume: '%s' line %zu does not match this sweep "
                          "(flat %zu, seed %llu); was the file produced by a "
@@ -355,23 +397,46 @@ int run_app(int argc, const char* const* argv,
         return exit_cli_error;
     }
 
-    if (!opt.workload_override.empty())
-        workloads = opt.workload_override;
-
-    for (auto& config : configs) {
-        config.engine_mode = opt.engine_mode;
-        config.sampling = opt.sampling;
+    std::uint64_t manifest_hash = 0;
+    std::uint64_t instructions = opt.instructions;
+    std::uint64_t warmup = opt.warmup;
+    std::uint64_t base_seed = opt.seed;
+    std::size_t replicates = opt.replicates;
+    if (!opt.manifest_path.empty()) {
+        // The manifest replaces the bench's axes wholesale — configs carry
+        // their own engine/sampling values, so the flag-driven rewrite
+        // below must not touch them.
+        std::string manifest_error;
+        const auto m = load_manifest(opt.manifest_path, &manifest_error);
+        if (!m) {
+            std::fprintf(stderr, "%s\n", manifest_error.c_str());
+            return exit_cli_error;
+        }
+        configs = m->configs;
+        workloads = m->workloads;
+        instructions = m->instructions;
+        warmup = m->warmup;
+        base_seed = m->base_seed;
+        replicates = m->replicates;
+        manifest_hash = m->hash;
+    } else {
+        if (!opt.workload_override.empty())
+            workloads = opt.workload_override;
+        for (auto& config : configs) {
+            config.engine_mode = opt.engine_mode;
+            config.sampling = opt.sampling;
+        }
     }
     if (!opt.capture_path.empty()) {
         // One capture file holds one run's lanes; a multi-job sweep would
         // overwrite it per job (and concurrently, with threads > 1).
-        if (configs.size() * workloads.size() * opt.replicates != 1 ||
+        if (configs.size() * workloads.size() * replicates != 1 ||
             opt.shard_count != 1) {
             std::fprintf(stderr,
                          "--capture requires a single-job sweep (1 config x "
                          "1 workload, replicates=1, no shard); got %zu x %zu "
                          "x %zu\n",
-                         configs.size(), workloads.size(), opt.replicates);
+                         configs.size(), workloads.size(), replicates);
             return exit_cli_error;
         }
         configs.front().capture_path = opt.capture_path;
@@ -380,10 +445,11 @@ int run_app(int argc, const char* const* argv,
     sweep s;
     s.add_configs(configs)
         .add_workloads(workloads)
-        .replicates(opt.replicates)
-        .instructions(opt.instructions)
-        .warmup(opt.warmup)
-        .base_seed(opt.seed)
+        .replicates(replicates)
+        .instructions(instructions)
+        .warmup(warmup)
+        .base_seed(base_seed)
+        .manifest_hash(manifest_hash)
         .shard(opt.shard_index, opt.shard_count);
 
     resume_scan scan;
@@ -445,6 +511,12 @@ int run_app(int argc, const char* const* argv,
                     "matrix\n",
                     opt.shard_index, opt.shard_count, rep.jobs.size(),
                     s.total_jobs());
+        return exit_ok;
+    }
+    if (manifest_hash != 0) {
+        // A bench's render callback assumes the bench's own config and
+        // workload layout; a manifest-driven matrix is arbitrary, so the
+        // rendered tables are the results store's job (tools/results_db.py).
         return exit_ok;
     }
     if (!opt.quiet && render)

@@ -1,6 +1,16 @@
 // Shared main() body for the figure/table bench binaries and sweep-driven
 // examples. Standardises the experiment-runner command line:
 //
+//   --manifest FILE    drive the sweep from a lnuca_sweep/1 JSON manifest
+//                      (src/exp/manifest.h) instead of the bench's own
+//                      configs/workloads. The manifest is authoritative for
+//                      the experiment definition, so combining it with
+//                      --workload/--instructions/--warmup/--seed/
+//                      --replicates/--engine/--sampling/--capture is a CLI
+//                      error; --shard/--resume/--threads/--json/--csv/
+//                      fault-tolerance flags compose as usual. Every row
+//                      carries the manifest's content hash, and --resume
+//                      refuses files whose rows carry a different one.
 //   --instructions N   measured instructions per run
 //   --warmup N         discarded warm-up instructions per run
 //   --seed S           base seed (per-job seeds derive via rng::split)
@@ -88,6 +98,9 @@ inline constexpr int exit_job_failure = 1; ///< >= 1 job failed / timed out
 inline constexpr int exit_cli_error = 2;   ///< bad flags / unusable files
 
 struct app_options {
+    /// --manifest: when non-empty, the sweep definition comes from this
+    /// lnuca_sweep/1 file and the per-axis flags above are rejected.
+    std::string manifest_path;
     std::uint64_t instructions = hier::default_instructions;
     std::uint64_t warmup = hier::default_warmup;
     std::uint64_t seed = 1;
@@ -158,8 +171,9 @@ struct resume_scan {
 
 /// Scan opt.json_path against the sweep for --resume. Rules: every decoded
 /// row must match the sweep's job at its flat index (same coordinates,
-/// seed, instructions, warmup — otherwise the file belongs to a different
-/// sweep and resuming would silently mix experiments); rows for other
+/// seed, instructions, warmup and manifest hash — otherwise the file
+/// belongs to a different sweep and resuming would silently mix
+/// experiments); rows for other
 /// shards of the same sweep are accepted and ignored; exactly one
 /// undecodable *trailing* line is tolerated as a kill-torn tail and
 /// truncated off the file; an undecodable line anywhere else poisons the

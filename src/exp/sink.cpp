@@ -116,7 +116,7 @@ void table_sink::finish()
 void csv_sink::begin(std::size_t)
 {
     out_ << "config,workload,config_index,workload_index,replicate,flat,seed,"
-            "status,error,"
+            "manifest,status,error,"
             "floating_point,cores,instructions,cycles,ipc,per_core_ipc,"
             "weighted_speedup,sampled,sampled_windows,"
             "measured_instructions,ipc_ci95,l2_read_hits,"
@@ -137,9 +137,14 @@ void csv_sink::consume(const job& j, const hier::run_result& r)
             per_core += ';';
         per_core += fmt_double(r.per_core_ipc[i]);
     }
+    char manifest_hex[24] = "";
+    if (j.manifest_hash != 0)
+        std::snprintf(manifest_hex, sizeof manifest_hex, "%016llx",
+                      (unsigned long long)j.manifest_hash);
     out_ << csv_quote(r.config_name) << ',' << csv_quote(r.workload_name)
          << ',' << j.key.config << ',' << j.key.workload << ','
          << j.key.replicate << ',' << j.key.flat << ',' << j.seed << ','
+         << manifest_hex << ','
          << to_string(r.status) << ',' << csv_quote(r.error) << ','
          << (r.floating_point ? 1 : 0) << ',' << r.cores << ','
          << r.instructions << ','
@@ -201,6 +206,14 @@ std::string encode_json_line(const job& j, const hier::run_result& r)
     u64("seed", j.seed);
     u64("instructions_requested", j.instructions);
     u64("warmup", j.warmup);
+    if (j.manifest_hash != 0) {
+        // Hex string, not a JSON number: a 64-bit hash would lose precision
+        // in any double-backed JSON reader (Python's json included).
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      (unsigned long long)j.manifest_hash);
+        str("manifest", buf);
+    }
     str("status", to_string(r.status));
     if (r.status != hier::run_status::ok)
         str("error", r.error);
@@ -654,6 +667,15 @@ std::optional<decoded_run> decode_json_line(const std::string& line)
             ok = c.parse_u64(out.instructions_requested);
         else if (key == "warmup")
             ok = c.parse_u64(out.warmup);
+        else if (key == "manifest") {
+            std::string hex;
+            ok = c.parse_string(hex) && !hex.empty();
+            if (ok) {
+                char* after = nullptr;
+                out.manifest_hash = std::strtoull(hex.c_str(), &after, 16);
+                ok = after == hex.c_str() + hex.size();
+            }
+        }
         else if (key == "status") {
             std::string text;
             ok = c.parse_string(text);

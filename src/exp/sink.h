@@ -141,6 +141,8 @@ struct decoded_run {
     std::uint64_t seed = 0;
     std::uint64_t instructions_requested = 0;
     std::uint64_t warmup = 0;
+    /// Manifest provenance stamp (0 = ad-hoc sweep or pre-manifest row).
+    std::uint64_t manifest_hash = 0;
     hier::run_result result;
 };
 

@@ -52,6 +52,12 @@ sweep& sweep::base_seed(std::uint64_t seed)
     return *this;
 }
 
+sweep& sweep::manifest_hash(std::uint64_t hash)
+{
+    manifest_hash_ = hash;
+    return *this;
+}
+
 sweep& sweep::shard(std::size_t index, std::size_t count)
 {
     if (count == 0)
@@ -83,6 +89,7 @@ std::vector<job> sweep::build() const
                 j.instructions = instructions_;
                 j.warmup = warmup_;
                 j.seed = rng::split(base_seed_, c, w, r);
+                j.manifest_hash = manifest_hash_;
                 jobs.push_back(std::move(j));
             }
     return jobs;

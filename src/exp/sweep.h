@@ -38,6 +38,11 @@ public:
     /// default) keeps everything. index must be < count.
     sweep& shard(std::size_t index, std::size_t count);
 
+    /// Provenance stamp for manifest-driven sweeps: every built job (and
+    /// hence every JSONL row) carries this hash. 0 (the default) marks an
+    /// ad-hoc sweep.
+    sweep& manifest_hash(std::uint64_t hash);
+
     const std::vector<hier::system_config>& configs() const { return configs_; }
     const std::vector<wl::workload_profile>& workloads() const
     {
@@ -49,6 +54,7 @@ public:
     std::uint64_t seed() const { return base_seed_; }
     std::size_t shard_index() const { return shard_index_; }
     std::size_t shard_count() const { return shard_count_; }
+    std::uint64_t manifest() const { return manifest_hash_; }
 
     /// Size of the full cartesian space, ignoring the shard filter.
     std::size_t total_jobs() const
@@ -68,6 +74,7 @@ private:
     std::uint64_t base_seed_ = 1;
     std::size_t shard_index_ = 0;
     std::size_t shard_count_ = 1;
+    std::uint64_t manifest_hash_ = 0;
 };
 
 } // namespace lnuca::exp

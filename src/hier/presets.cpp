@@ -2,6 +2,8 @@
 
 #include "src/common/types.h"
 
+#include <cctype>
+
 namespace lnuca::hier {
 
 namespace {
@@ -177,7 +179,181 @@ system_config cmp(const system_config& base, unsigned cores)
     return s;
 }
 
+std::optional<system_config> by_name(const std::string& name)
+{
+    std::string n;
+    n.reserve(name.size());
+    for (const char ch : name)
+        if (ch != ' ')
+            n += char(std::tolower(static_cast<unsigned char>(ch)));
+    if (n == "l2" || n == "l2-256kb")
+        return l2_256kb();
+    if (n == "dnuca" || n == "dn-4x8")
+        return dnuca_4x8();
+    for (unsigned levels = 2; levels <= 4; ++levels) {
+        const std::string ln = "ln" + std::to_string(levels);
+        std::string full = lnuca_config_name(levels);
+        for (char& ch : full)
+            ch = char(std::tolower(static_cast<unsigned char>(ch)));
+        if (n == ln || n == full)
+            return lnuca_l3(levels);
+        if (n == ln + "+dn" || n == ln + "+dn-4x8")
+            return lnuca_dnuca(levels);
+    }
+    return std::nullopt;
+}
+
 } // namespace presets
+
+namespace {
+
+bool override_cache(mem::cache_config& c, const std::string& field,
+                    std::uint64_t v)
+{
+    if (field == "size_kb")
+        c.size_bytes = v * 1024;
+    else if (field == "ways")
+        c.ways = std::uint32_t(v);
+    else if (field == "block_bytes")
+        c.block_bytes = std::uint32_t(v);
+    else if (field == "completion_latency")
+        c.completion_latency = std::uint32_t(v);
+    else if (field == "initiation_interval")
+        c.initiation_interval = std::uint32_t(v);
+    else if (field == "ports")
+        c.ports = std::uint32_t(v);
+    else if (field == "banks")
+        c.banks = std::uint32_t(v);
+    else if (field == "mshr_entries")
+        c.mshr_entries = std::uint32_t(v);
+    else if (field == "mshr_secondary")
+        c.mshr_secondary = std::uint32_t(v);
+    else if (field == "write_buffer_entries")
+        c.write_buffer_entries = std::uint32_t(v);
+    else
+        return false;
+    return true;
+}
+
+bool override_core(cpu::core_config& c, const std::string& field,
+                   std::uint64_t v)
+{
+    if (field == "fetch_width")
+        c.fetch_width = unsigned(v);
+    else if (field == "dispatch_width")
+        c.dispatch_width = unsigned(v);
+    else if (field == "commit_width")
+        c.commit_width = unsigned(v);
+    else if (field == "rob_size")
+        c.rob_size = unsigned(v);
+    else if (field == "lsq_size")
+        c.lsq_size = unsigned(v);
+    else if (field == "store_buffer_size")
+        c.store_buffer_size = unsigned(v);
+    else if (field == "mispredict_penalty")
+        c.mispredict_penalty = unsigned(v);
+    else if (field == "tlb_entries")
+        c.tlb_entries = unsigned(v);
+    else
+        return false;
+    return true;
+}
+
+bool override_fabric(fabric::fabric_config& c, const std::string& field,
+                     std::uint64_t v)
+{
+    if (field == "levels")
+        c.levels = unsigned(v);
+    else if (field == "mshr_entries")
+        c.mshr_entries = std::uint32_t(v);
+    else if (field == "inject_queue_depth")
+        c.inject_queue_depth = std::uint32_t(v);
+    else if (field == "evict_queue_depth")
+        c.evict_queue_depth = std::uint32_t(v);
+    else if (field == "exit_queue_depth")
+        c.exit_queue_depth = std::uint32_t(v);
+    else
+        return false;
+    return true;
+}
+
+bool override_dnuca(dnuca::dnuca_config& c, const std::string& field,
+                    std::uint64_t v)
+{
+    if (field == "bank_sets")
+        c.bank_sets = unsigned(v);
+    else if (field == "rows")
+        c.rows = unsigned(v);
+    else if (field == "bank_kb")
+        c.bank_bytes = v * 1024;
+    else if (field == "bank_ways")
+        c.bank_ways = std::uint32_t(v);
+    else if (field == "bank_latency")
+        c.bank_latency = std::uint32_t(v);
+    else
+        return false;
+    return true;
+}
+
+bool override_memory(mem::main_memory_config& c, const std::string& field,
+                     std::uint64_t v)
+{
+    if (field == "first_chunk_latency")
+        c.first_chunk_latency = std::uint32_t(v);
+    else if (field == "inter_chunk_latency")
+        c.inter_chunk_latency = std::uint32_t(v);
+    else if (field == "queue_depth")
+        c.queue_depth = std::uint32_t(v);
+    else
+        return false;
+    return true;
+}
+
+bool override_bus(mem::bus_config& c, const std::string& field,
+                  std::uint64_t v)
+{
+    if (field == "width_bytes")
+        c.width_bytes = std::uint32_t(v);
+    else if (field == "arbitration")
+        c.arbitration = std::uint32_t(v);
+    else if (field == "response_bytes")
+        c.response_bytes = std::uint32_t(v);
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool apply_config_override(system_config& config, const std::string& key,
+                           std::uint64_t value, std::string* error)
+{
+    const std::size_t dot = key.find('.');
+    bool ok = false;
+    if (dot != std::string::npos && dot != 0 && dot + 1 < key.size()) {
+        const std::string group = key.substr(0, dot);
+        const std::string field = key.substr(dot + 1);
+        if (group == "l1")
+            ok = override_cache(config.l1, field, value);
+        else if (group == "l2")
+            ok = override_cache(config.l2, field, value);
+        else if (group == "l3")
+            ok = override_cache(config.l3, field, value);
+        else if (group == "core")
+            ok = override_core(config.core, field, value);
+        else if (group == "fabric")
+            ok = override_fabric(config.fabric, field, value);
+        else if (group == "dnuca")
+            ok = override_dnuca(config.dnuca, field, value);
+        else if (group == "memory")
+            ok = override_memory(config.memory, field, value);
+        else if (group == "bus")
+            ok = override_bus(config.l1_l2_bus, field, value);
+    }
+    if (!ok && error != nullptr)
+        *error = "unknown system_config override key '" + key + "'";
+    return ok;
+}
 
 std::optional<sampling_config> parse_sampling_spec(const std::string& spec)
 {

@@ -130,6 +130,13 @@ system_config dnuca_4x8();
 /// L-NUCA between the L1 and the D-NUCA.
 system_config lnuca_dnuca(unsigned levels);
 
+/// Resolve a preset by name for manifest-driven sweeps (src/exp/manifest).
+/// Accepts the canonical config names ("L2-256KB", "LN3-144KB", "DN-4x8",
+/// "LN3 + DN-4x8") and the short aliases the tools already use
+/// ("l2", "ln2".."ln4", "dnuca", "ln2+dn".."ln4+dn"), case-insensitively.
+/// Returns std::nullopt for anything else.
+std::optional<system_config> by_name(const std::string& name);
+
 /// N-core CMP over any single-core preset: private copy-back L1s (MESI,
 /// eviction-notifying) per core, the base hierarchy's shared level behind
 /// a coherence hub whose message latencies match the backend (narrow bus
@@ -139,6 +146,29 @@ system_config lnuca_dnuca(unsigned levels);
 system_config cmp(const system_config& base, unsigned cores);
 
 } // namespace presets
+
+/// Apply one dotted-key numeric override to a system_config (the
+/// `overrides` axis of a sweep manifest, src/exp/manifest.h). Supported
+/// keys are a curated projection of the config structs:
+///
+///   l1.* / l2.* / l3.*   size_kb, ways, block_bytes, completion_latency,
+///                        initiation_interval, ports, banks, mshr_entries,
+///                        mshr_secondary, write_buffer_entries
+///   fabric.*             levels, mshr_entries, inject_queue_depth,
+///                        evict_queue_depth, exit_queue_depth
+///   dnuca.*              bank_sets, rows, bank_kb, bank_ways, bank_latency
+///   memory.*             first_chunk_latency, inter_chunk_latency,
+///                        queue_depth
+///   core.*               fetch_width, dispatch_width, commit_width,
+///                        rob_size, lsq_size, store_buffer_size,
+///                        mispredict_penalty, tlb_entries
+///   bus.*                width_bytes, arbitration, response_bytes
+///
+/// Returns false (with *error naming the key) on an unknown key — a
+/// manifest must not silently ignore a mistyped override. The config's
+/// name is NOT touched; callers append their own provenance suffix.
+bool apply_config_override(system_config& config, const std::string& key,
+                           std::uint64_t value, std::string* error);
 
 /// Human name like the paper's: LN3-144KB.
 std::string lnuca_config_name(unsigned levels);

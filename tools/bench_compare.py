@@ -1,140 +1,237 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: diff fresh BENCH_*.json files against the last
-baseline artifact from main.
+"""Perf-regression gate over the bench metrics store.
 
-Understands two shapes:
+Every perf source CI produces is normalised into ONE schema — a SQLite
+`metrics` table of (file, name, metric, value, direction) rows:
 
-* google-benchmark JSON (BENCH_engine.json, BENCH_hotpath.json): compares
-  per-benchmark throughput (items_per_second, i.e. instructions or cycles
-  retired per wall second) when present, else real_time.
-* micro_sampling JSON (BENCH_sampling.json): compares median_speedup and
-  per-run sampled wall seconds.
+* google-benchmark JSON (BENCH_engine.json, BENCH_hotpath.json):
+  per-benchmark items_per_second (higher is better) when present, else
+  real_time (lower is better).
+* micro_sampling JSON (BENCH_sampling.json): median_speedup /
+  median_speedup_cmp (higher) plus per-run sampled wall seconds (lower).
+* sweep JSON-lines rows (*.jsonl, e.g. a merge_tool output): host
+  throughput sim_instructions_per_second per config/workload (higher).
 
-A metric regressing by more than --threshold (default 15%) fails the gate
-(exit 1). A missing baseline file - first run on a branch, expired
-artifact - only warns (exit 0): the gate needs history to bite, and the
-fresh run uploads the new baseline either way.
+The fresh run's metrics are always written to --db (default
+<fresh-dir>/bench.sqlite) so the uploaded artifact IS the next baseline.
+Comparison order, preserving the historical warn-without-baseline
+contract:
+
+1. baseline dir holds a bench.sqlite  -> store-vs-store SQL join (the gate)
+2. only legacy BENCH_*.json baselines -> compare against their extracted
+   metrics (one-release fallback so the first store-backed run on a branch
+   still gates instead of warning)
+3. no baseline at all                 -> warn and exit 0; the fresh
+   artifact becomes the baseline
+
+A metric regressing beyond --threshold (default 15%) in its bad direction
+fails the gate (exit 1).
 """
 
 import argparse
 import json
 import os
+import sqlite3
 import sys
 
-
-def load(path):
-    with open(path) as f:
-        return json.load(f)
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS metrics (
+  file TEXT NOT NULL,      -- source file name (BENCH_engine.json, ...)
+  name TEXT NOT NULL,      -- benchmark / config/workload identifier
+  metric TEXT NOT NULL,    -- items_per_second, sampled_seconds, ...
+  value REAL NOT NULL,
+  direction TEXT NOT NULL CHECK (direction IN ('higher', 'lower')),
+  PRIMARY KEY (file, name, metric)
+);
+"""
 
 
 def pct(new, old):
     return 100.0 * (new - old) / old if old else 0.0
 
 
-def compare_google_benchmark(base, fresh, threshold):
-    """Yield (name, metric, old, new, regression_pct) tuples."""
-    base_by_name = {
-        b["name"]: b
-        for b in base.get("benchmarks", [])
-        if b.get("run_type", "iteration") == "iteration"
-    }
-    for bench in fresh.get("benchmarks", []):
+# ---------------------------------------------------------------------------
+# Extraction: every source shape -> (name, metric, value, direction) rows.
+# ---------------------------------------------------------------------------
+
+def extract_google_benchmark(doc):
+    for bench in doc.get("benchmarks", []):
         if bench.get("run_type", "iteration") != "iteration":
             continue
-        ref = base_by_name.get(bench["name"])
-        if ref is None:
-            continue
-        if "items_per_second" in bench and "items_per_second" in ref:
-            old, new = ref["items_per_second"], bench["items_per_second"]
-            if old > 0 and new < old * (1.0 - threshold):
-                yield bench["name"], "items_per_second", old, new
-        elif "real_time" in bench and "real_time" in ref:
-            old, new = ref["real_time"], bench["real_time"]
-            if old > 0 and new > old * (1.0 + threshold):
-                yield bench["name"], "real_time", old, new
+        if "items_per_second" in bench:
+            yield bench["name"], "items_per_second", \
+                bench["items_per_second"], "higher"
+        elif "real_time" in bench:
+            yield bench["name"], "real_time", bench["real_time"], "lower"
 
 
-def compare_sampling(base, fresh, threshold):
-    # Single-core and CMP sections carry independent medians and run
-    # lists; compare whichever the baseline already has (older baselines
-    # predate the CMP rows and must stay warn-free).
+def extract_sampling(doc):
     for metric in ("median_speedup", "median_speedup_cmp"):
-        old, new = base.get(metric, 0), fresh.get(metric, 0)
-        if old > 0 and new < old * (1.0 - threshold):
-            yield "micro_sampling", metric, old, new
+        if doc.get(metric, 0) > 0:
+            yield "micro_sampling", metric, doc[metric], "higher"
     for key in ("runs", "cmp_runs"):
-        base_runs = {
-            (r["config"], r["workload"]): r for r in base.get(key, [])
-        }
-        for run in fresh.get(key, []):
-            ref = base_runs.get((run["config"], run["workload"]))
-            if ref is None:
-                continue
-            old = ref.get("sampled_seconds", 0)
-            new = run.get("sampled_seconds", 0)
-            if old > 0 and new > old * (1.0 + threshold):
+        for run in doc.get(key, []):
+            seconds = run.get("sampled_seconds", 0)
+            if seconds > 0:
                 yield (f"{run['config']}/{run['workload']}",
-                       "sampled_seconds", old, new)
+                       "sampled_seconds", seconds, "lower")
+
+
+def extract_sweep_rows(path):
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("status", "ok") != "ok":
+                continue
+            rate = row.get("sim_instructions_per_second", 0)
+            if rate > 0:
+                name = (f"{row['config']}/{row['workload']}"
+                        f"/r{row.get('replicate', 0)}")
+                yield name, "sim_instructions_per_second", rate, "higher"
+
+
+def extract_file(path):
+    """Rows for one source file, dispatched on shape."""
+    if path.endswith(".jsonl"):
+        yield from extract_sweep_rows(path)
+        return
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" in doc:
+        yield from extract_google_benchmark(doc)
+    else:
+        yield from extract_sampling(doc)
+
+
+# ---------------------------------------------------------------------------
+# Store plumbing.
+# ---------------------------------------------------------------------------
+
+def write_store(db_path, named_rows):
+    db = sqlite3.connect(db_path)
+    with db:
+        db.executescript(SCHEMA)
+        db.execute("DELETE FROM metrics")
+        db.executemany("INSERT INTO metrics VALUES (?, ?, ?, ?, ?)",
+                       named_rows)
+    return db
+
+
+def find_baseline(baseline_dir, filename):
+    """The baseline file, looking one level deep too: `gh run download`
+    without -n unpacks artifacts into subdirectories."""
+    if not os.path.isdir(baseline_dir):
+        return None
+    direct = os.path.join(baseline_dir, filename)
+    if os.path.exists(direct):
+        return direct
+    for entry in sorted(os.listdir(baseline_dir)):
+        nested = os.path.join(baseline_dir, entry, filename)
+        if os.path.exists(nested):
+            return nested
+    return None
+
+
+def regressions_between(fresh_rows, base_rows, threshold):
+    base = {(f, n, m): v for f, n, m, v, _ in base_rows}
+    for file, name, metric, new, direction in fresh_rows:
+        old = base.get((file, name, metric))
+        if old is None or old <= 0:
+            continue
+        bad = (new < old * (1.0 - threshold) if direction == "higher"
+               else new > old * (1.0 + threshold))
+        if bad:
+            yield file, name, metric, old, new
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--baseline-dir", required=True,
                         help="directory holding the main-branch artifact")
     parser.add_argument("--fresh-dir", required=True,
-                        help="directory holding this run's BENCH_*.json")
+                        help="directory holding this run's perf sources")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="fractional regression that fails (default .15)")
+    parser.add_argument("--db", default=None,
+                        help="metrics store to write (default "
+                             "<fresh-dir>/bench.sqlite)")
     parser.add_argument("files", nargs="*",
-                        help="file names to compare (default: BENCH_*.json "
-                             "present in --fresh-dir)")
+                        help="source file names (default: BENCH_*.json in "
+                             "--fresh-dir)")
     args = parser.parse_args()
 
     names = args.files or sorted(
         f for f in os.listdir(args.fresh_dir)
         if f.startswith("BENCH_") and f.endswith(".json"))
     if not names:
-        print("bench_compare: no BENCH_*.json in", args.fresh_dir)
+        print("bench_compare: no perf sources in", args.fresh_dir)
         return 0
 
-    regressions = []
-    compared = 0
+    # Extract the fresh run into the store, unconditionally: the uploaded
+    # bench.sqlite is the next run's baseline even if this gate fails.
+    fresh_rows = []
     for name in names:
-        fresh_path = os.path.join(args.fresh_dir, name)
-        base_path = os.path.join(args.baseline_dir, name)
-        if not os.path.exists(fresh_path):
+        path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(path):
             print(f"bench_compare: {name}: missing fresh file, skipping")
             continue
-        if not os.path.exists(base_path):
-            # Baseline artifacts live inside subdirectories when fetched
-            # with `gh run download` without -n; look one level deep.
-            nested = [
-                os.path.join(args.baseline_dir, d, name)
-                for d in (os.listdir(args.baseline_dir)
-                          if os.path.isdir(args.baseline_dir) else [])
-            ]
-            base_path = next((p for p in nested if os.path.exists(p)), None)
-        if base_path is None or not os.path.exists(base_path):
-            print(f"bench_compare: {name}: no baseline from main yet - "
-                  f"warn-only (the fresh artifact becomes the baseline)")
-            continue
+        fresh_rows.extend((name, bench, metric, value, direction)
+                          for bench, metric, value, direction
+                          in extract_file(path))
+    db_path = args.db or os.path.join(args.fresh_dir, "bench.sqlite")
+    write_store(db_path, fresh_rows)
+    print(f"bench_compare: {len(fresh_rows)} metrics from "
+          f"{len(names)} source(s) -> {db_path}")
 
-        base, fresh = load(base_path), load(fresh_path)
-        compared += 1
-        compare = (compare_google_benchmark
-                   if "benchmarks" in fresh else compare_sampling)
-        for bench, metric, old, new in compare(base, fresh, args.threshold):
-            regressions.append((name, bench, metric, old, new))
+    # 1) Store-backed baseline.
+    base_store = find_baseline(args.baseline_dir, "bench.sqlite")
+    base_rows = None
+    if base_store is not None:
+        db = sqlite3.connect(base_store)
+        base_rows = db.execute(
+            "SELECT file, name, metric, value, direction "
+            "FROM metrics").fetchall()
+        print(f"bench_compare: baseline store {base_store} "
+              f"({len(base_rows)} metrics)")
+    else:
+        # 2) Legacy per-file JSON baselines (one-release fallback: lets the
+        # first store-backed run gate against the last pre-store artifact).
+        legacy = []
+        for name in names:
+            base_path = find_baseline(args.baseline_dir, name)
+            if base_path is None:
+                print(f"bench_compare: {name}: no baseline from main yet - "
+                      f"warn-only (the fresh artifact becomes the baseline)")
+                continue
+            legacy.extend((name, bench, metric, value, direction)
+                          for bench, metric, value, direction
+                          in extract_file(base_path))
+        if legacy:
+            base_rows = legacy
+            print(f"bench_compare: legacy JSON baseline "
+                  f"({len(legacy)} metrics)")
 
-    for name, bench, metric, old, new in regressions:
-        print(f"REGRESSION {name} {bench}: {metric} "
+    if base_rows is None:
+        # 3) Nothing to gate against: the contract is warn, not red.
+        print("bench_compare: no baseline at all - warn-only")
+        return 0
+
+    failures = list(regressions_between(fresh_rows, base_rows,
+                                        args.threshold))
+    for file, name, metric, old, new in failures:
+        print(f"REGRESSION {file} {name}: {metric} "
               f"{old:.4g} -> {new:.4g} ({pct(new, old):+.1f}%)")
-    if regressions:
-        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s) beyond "
               f"{100 * args.threshold:.0f}% - failing the gate")
         return 1
-    print(f"bench_compare: {compared} file(s) compared, no regression "
-          f"beyond {100 * args.threshold:.0f}%")
+    print(f"bench_compare: {len(fresh_rows)} metric(s) compared, no "
+          f"regression beyond {100 * args.threshold:.0f}%")
     return 0
 
 

@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""Queryable results store: sweep JSON-lines -> SQLite.
+
+Subcommands:
+
+  ingest     load one or more JSONL result files (shard outputs or a
+             merge_tool merge) into the `runs` table, keyed by
+             (manifest hash, flat index). Re-ingesting a row replaces it.
+             per_core_ipc is unnested into its own table, one row per core.
+  speedup    (re)create the `speedup` view — every ok run joined against
+             the named baseline config on the same (manifest, workload,
+             replicate) — and print it.
+  aggregate  mean / median / 95% CI of a metric, grouped by any column set
+             (default: config).
+  query      raw SQL passthrough, rows as TSV with a header line.
+
+Only the Python standard library is used (sqlite3, json). Every run_result
+field of the JSONL schema (src/exp/sink.cpp) has a typed column; the two
+variable-length arrays are unnested (per_core_ipc) or kept as a JSON text
+column (fabric_read_hits — its length is a config property, not an axis).
+Seeds are stored as decimal TEXT: they are full-range 64-bit values, which
+SQLite's signed INTEGER cannot hold.
+"""
+
+import argparse
+import json
+import math
+import os
+import sqlite3
+import statistics
+import sys
+
+# column name -> (sqlite type, json key or None if same)
+RUN_COLUMNS = [
+    ("manifest", "TEXT"),
+    ("flat", "INTEGER"),
+    ("config", "TEXT"),
+    ("workload", "TEXT"),
+    ("config_index", "INTEGER"),
+    ("workload_index", "INTEGER"),
+    ("replicate", "INTEGER"),
+    ("seed", "TEXT"),
+    ("instructions_requested", "INTEGER"),
+    ("warmup", "INTEGER"),
+    ("status", "TEXT"),
+    ("error", "TEXT"),
+    ("floating_point", "INTEGER"),
+    ("instructions", "INTEGER"),
+    ("cycles", "INTEGER"),
+    ("ipc", "REAL"),
+    ("cores", "INTEGER"),
+    ("weighted_speedup", "REAL"),
+    ("sampled", "INTEGER"),
+    ("sampled_windows", "INTEGER"),
+    ("measured_instructions", "INTEGER"),
+    ("ipc_ci95", "REAL"),
+    ("l2_read_hits", "INTEGER"),
+    ("fabric_read_hits", "TEXT"),
+    ("transport_actual", "INTEGER"),
+    ("transport_min", "INTEGER"),
+    ("search_restarts", "INTEGER"),
+    ("searches", "INTEGER"),
+    ("loads_l1", "INTEGER"),
+    ("loads_fabric", "INTEGER"),
+    ("loads_l2", "INTEGER"),
+    ("loads_l3", "INTEGER"),
+    ("loads_dnuca", "INTEGER"),
+    ("loads_memory", "INTEGER"),
+    ("loads_peer", "INTEGER"),
+    ("avg_load_latency", "REAL"),
+    ("host_seconds", "REAL"),
+    ("sim_cycles_per_second", "REAL"),
+    ("sim_instructions_per_second", "REAL"),
+    ("dynamic_j", "REAL"),
+    ("static_l1_j", "REAL"),
+    ("static_storage_j", "REAL"),
+    ("static_l3_j", "REAL"),
+]
+
+SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS runs (
+  {", ".join(f"{name} {typ}" for name, typ in RUN_COLUMNS)},
+  PRIMARY KEY (manifest, flat)
+);
+CREATE TABLE IF NOT EXISTS per_core_ipc (
+  manifest TEXT NOT NULL,
+  flat INTEGER NOT NULL,
+  core INTEGER NOT NULL,
+  ipc REAL NOT NULL,
+  PRIMARY KEY (manifest, flat, core)
+);
+CREATE INDEX IF NOT EXISTS runs_by_config ON runs (config, workload);
+"""
+
+# JSONL keys folded into their typed column instead of matching by name.
+ENERGY_KEYS = ("dynamic_j", "static_l1_j", "static_storage_j", "static_l3_j")
+
+
+def open_db(path):
+    db = sqlite3.connect(path)
+    db.executescript(SCHEMA)
+    return db
+
+
+def row_values(record):
+    values = {}
+    energy = record.get("energy", {})
+    for name, _ in RUN_COLUMNS:
+        if name == "manifest":
+            values[name] = record.get("manifest", "")
+        elif name == "seed":
+            values[name] = str(record.get("seed", 0))
+        elif name == "fabric_read_hits":
+            values[name] = json.dumps(record.get("fabric_read_hits", []))
+        elif name in ENERGY_KEYS:
+            values[name] = energy.get(name)
+        elif name in ("floating_point", "sampled"):
+            values[name] = 1 if record.get(name) else 0
+        elif name == "error":
+            values[name] = record.get("error", "")
+        else:
+            values[name] = record.get(name)
+    return values
+
+
+def cmd_ingest(args):
+    db = open_db(args.db)
+    names = [name for name, _ in RUN_COLUMNS]
+    insert = (f"INSERT INTO runs ({', '.join(names)}) "
+              f"VALUES ({', '.join(':' + n for n in names)})")
+    total = 0
+    with db:
+        for path in args.files:
+            rows = 0
+            with open(path) as f:
+                for line_no, line in enumerate(f, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        print(f"results_db: {path} line {line_no}: "
+                              f"undecodable row (torn tail? merge first)",
+                              file=sys.stderr)
+                        return 1
+                    values = row_values(record)
+                    key = (values["manifest"], values["flat"])
+                    db.execute("DELETE FROM runs WHERE manifest = ? AND "
+                               "flat = ?", key)
+                    db.execute("DELETE FROM per_core_ipc WHERE manifest = ? "
+                               "AND flat = ?", key)
+                    db.execute(insert, values)
+                    db.executemany(
+                        "INSERT INTO per_core_ipc VALUES (?, ?, ?, ?)",
+                        [(key[0], key[1], core, ipc) for core, ipc in
+                         enumerate(record.get("per_core_ipc", []))])
+                    rows += 1
+            print(f"results_db: ingested {rows} rows from {path}")
+            total += rows
+    print(f"results_db: {total} rows total, db at {args.db}")
+    return 0
+
+
+def cmd_speedup(args):
+    db = open_db(args.db)
+    metric = args.metric
+    if metric not in {name for name, _ in RUN_COLUMNS}:
+        print(f"results_db: unknown metric column '{metric}'",
+              file=sys.stderr)
+        return 1
+    baseline = args.baseline.replace("'", "''")
+    with db:
+        db.execute("DROP VIEW IF EXISTS speedup")
+        # A view cannot take parameters, so the baseline name is baked in;
+        # re-running `speedup` with another baseline rebuilds it.
+        db.execute(f"""
+            CREATE VIEW speedup AS
+            SELECT r.manifest, r.config, r.workload, r.replicate,
+                   r.{metric} AS value, b.{metric} AS baseline_value,
+                   CASE WHEN b.{metric} != 0
+                        THEN 1.0 * r.{metric} / b.{metric} END AS speedup
+            FROM runs r
+            JOIN runs b ON b.manifest = r.manifest
+                       AND b.workload = r.workload
+                       AND b.replicate = r.replicate
+                       AND b.config = '{baseline}'
+            WHERE r.config != '{baseline}'
+              AND r.status = 'ok' AND b.status = 'ok'
+        """)
+    rows = db.execute("SELECT config, workload, replicate, value, "
+                      "baseline_value, speedup FROM speedup "
+                      "ORDER BY config, workload, replicate").fetchall()
+    if not rows:
+        print(f"results_db: no rows to compare against baseline "
+              f"'{args.baseline}' (is the name spelled like the config "
+              f"column?)", file=sys.stderr)
+        return 1
+    print(f"config\tworkload\treplicate\t{metric}\tbaseline\tspeedup")
+    for config, workload, replicate, value, base, speedup in rows:
+        sp = f"{speedup:.4f}" if speedup is not None else "n/a"
+        print(f"{config}\t{workload}\t{replicate}\t{value:.6g}\t"
+              f"{base:.6g}\t{sp}")
+    return 0
+
+
+def cmd_aggregate(args):
+    db = open_db(args.db)
+    columns = {name for name, _ in RUN_COLUMNS}
+    groups = [g.strip() for g in args.group.split(",") if g.strip()]
+    if args.metric not in columns or not all(g in columns for g in groups):
+        print("results_db: --metric/--group must name runs columns",
+              file=sys.stderr)
+        return 1
+    select = ", ".join(groups)
+    rows = db.execute(
+        f"SELECT {select}, {args.metric} FROM runs "
+        f"WHERE status = 'ok' AND {args.metric} IS NOT NULL").fetchall()
+    buckets = {}
+    for row in rows:
+        buckets.setdefault(row[:-1], []).append(row[-1])
+    print("\t".join(groups) + "\tn\tmean\tmedian\tci95")
+    for key in sorted(buckets):
+        values = buckets[key]
+        n = len(values)
+        mean = statistics.fmean(values)
+        median = statistics.median(values)
+        # Normal-approximation 95% CI of the mean; 0 for a single sample.
+        ci95 = (1.96 * statistics.stdev(values) / math.sqrt(n)
+                if n > 1 else 0.0)
+        print("\t".join(str(k) for k in key) +
+              f"\t{n}\t{mean:.6g}\t{median:.6g}\t{ci95:.6g}")
+    return 0
+
+
+def cmd_query(args):
+    db = open_db(args.db)
+    cursor = db.execute(args.sql)
+    if cursor.description:
+        print("\t".join(col[0] for col in cursor.description))
+        for row in cursor:
+            print("\t".join("" if v is None else str(v) for v in row))
+    db.commit()
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ingest", help="load JSONL result files")
+    p.add_argument("--db", required=True, help="SQLite database path")
+    p.add_argument("files", nargs="+", help="JSONL files to ingest")
+    p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser("speedup",
+                       help="(re)create + print the speedup view")
+    p.add_argument("--db", required=True)
+    p.add_argument("--baseline", required=True,
+                   help="baseline config name (the `config` column value)")
+    p.add_argument("--metric", default="ipc",
+                   help="metric column to ratio (default: ipc)")
+    p.set_defaults(fn=cmd_speedup)
+
+    p = sub.add_parser("aggregate", help="mean/median/ci95 per group")
+    p.add_argument("--db", required=True)
+    p.add_argument("--group", default="config",
+                   help="comma-separated group columns (default: config)")
+    p.add_argument("--metric", default="ipc")
+    p.set_defaults(fn=cmd_aggregate)
+
+    p = sub.add_parser("query", help="raw SQL passthrough (TSV output)")
+    p.add_argument("--db", required=True)
+    p.add_argument("sql", help="SQL statement to run")
+    p.set_defaults(fn=cmd_query)
+
+    args = parser.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream `head` closed the pipe; that is not an error.
+        os._exit(0)
